@@ -1,0 +1,218 @@
+package scale
+
+// One benchmark per figure in the paper's evaluation. Each runs the
+// deterministic experiment scenario and reports the figure's headline
+// numbers as custom metrics, so `go test -bench=Fig -benchtime=1x`
+// regenerates the entire evaluation. Absolute values reflect this
+// repository's simulated substrate; the shapes are asserted by the
+// experiments package's own tests and recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"scale/internal/experiments"
+	"scale/internal/metrics"
+)
+
+// reportSeriesEnds reports the first and last y of a named series.
+func reportSeriesEnds(b *testing.B, r *experiments.Result, label, unit string) {
+	b.Helper()
+	for _, s := range r.Series {
+		if s.Label != label || len(s.Points) == 0 {
+			continue
+		}
+		b.ReportMetric(s.Points[0].Y, label+"-first-"+unit)
+		b.ReportMetric(s.Points[len(s.Points)-1].Y, label+"-last-"+unit)
+		return
+	}
+}
+
+func reportChecks(b *testing.B, r *experiments.Result) {
+	b.Helper()
+	pass := 0
+	for _, c := range r.Checks {
+		if c.Pass {
+			pass++
+		} else {
+			b.Errorf("%s shape check failed: %s — %s", r.ID, c.Name, c.Detail)
+		}
+	}
+	b.ReportMetric(float64(pass), "checks-passed")
+}
+
+func maxY(r *experiments.Result, label string) float64 {
+	for _, s := range r.Series {
+		if s.Label == label {
+			return s.MaxY()
+		}
+	}
+	return 0
+}
+
+func benchExperiment(b *testing.B, run func() *experiments.Result, report func(*testing.B, *experiments.Result)) {
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = run()
+	}
+	reportChecks(b, r)
+	if report != nil {
+		report(b, r)
+	}
+}
+
+// BenchmarkFig2aStaticAssignment — Figure 2(a): p99 delay vs offered
+// rate on one statically-assigned MME.
+func BenchmarkFig2aStaticAssignment(b *testing.B) {
+	benchExperiment(b, experiments.Fig2aStaticAssignment, func(b *testing.B, r *experiments.Result) {
+		reportSeriesEnds(b, r, "AttachReq", "ms")
+		reportSeriesEnds(b, r, "ServiceReq", "ms")
+	})
+}
+
+// BenchmarkFig2bOverloadProtection — Figure 2(b): attach delay CDF,
+// light vs overloaded-and-reassigned.
+func BenchmarkFig2bOverloadProtection(b *testing.B) {
+	benchExperiment(b, experiments.Fig2bOverloadProtection, nil)
+}
+
+// BenchmarkFig2cSignalingOverhead — Figure 2(c): measured vs ideal load
+// under reactive reassignment.
+func BenchmarkFig2cSignalingOverhead(b *testing.B) {
+	benchExperiment(b, experiments.Fig2cSignalingOverhead, func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(maxY(r, "MME#2(3GPP)"), "mme2-peak-load-pct")
+	})
+}
+
+// BenchmarkFig2dScalingOut — Figure 2(d): per-MME delay timelines
+// around the t=10s scale-out.
+func BenchmarkFig2dScalingOut(b *testing.B) {
+	benchExperiment(b, experiments.Fig2dScalingOut, func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(maxY(r, "MME #1"), "mme1-peak-delay-ms")
+	})
+}
+
+// BenchmarkFig3aPropagationDelay — Figure 3(a): p99 delay vs eNB-MME RTT.
+func BenchmarkFig3aPropagationDelay(b *testing.B) {
+	benchExperiment(b, experiments.Fig3aPropagationDelay, func(b *testing.B, r *experiments.Result) {
+		reportSeriesEnds(b, r, "ServiceReq", "ms")
+	})
+}
+
+// BenchmarkFig3bMultiDCPooling — Figure 3(b): delay CDF single vs
+// multi-DC static pooling.
+func BenchmarkFig3bMultiDCPooling(b *testing.B) {
+	benchExperiment(b, experiments.Fig3bMultiDCPooling, nil)
+}
+
+// BenchmarkFig6aReplicationModel — Figure 6(a): analytic cost vs rate
+// for R=1,2,3.
+func BenchmarkFig6aReplicationModel(b *testing.B) {
+	benchExperiment(b, experiments.Fig6aReplicationModel, func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(maxY(r, "Replication=1"), "R1-max-cost")
+		b.ReportMetric(maxY(r, "Replication=2"), "R2-max-cost")
+	})
+}
+
+// BenchmarkFig6bAccessAwareModel — Figure 6(b): random vs access-aware
+// replication under memory pressure.
+func BenchmarkFig6bAccessAwareModel(b *testing.B) {
+	benchExperiment(b, experiments.Fig6bAccessAwareModel, func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(maxY(r, "Random Replication"), "random-max-cost")
+		b.ReportMetric(maxY(r, "Probabilistic Replication"), "aware-max-cost")
+	})
+}
+
+// BenchmarkFig7aMLBOverhead — Figure 7(a) / E1: MLB CPU under 4
+// saturated MMPs.
+func BenchmarkFig7aMLBOverhead(b *testing.B) {
+	benchExperiment(b, experiments.Fig7aMLBOverhead, func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(maxY(r, "MLB"), "mlb-peak-cpu-pct")
+	})
+}
+
+// BenchmarkFig7bReplicationOverhead — Figure 7(b) / E2: replica-update
+// CPU cost at the idle transition.
+func BenchmarkFig7bReplicationOverhead(b *testing.B) {
+	benchExperiment(b, experiments.Fig7bReplicationOverhead, nil)
+}
+
+// BenchmarkFig8SCALEvs3GPP — Figures 8(a–c) / E4-i: SCALE vs the 3GPP
+// reactive pool under VM overload.
+func BenchmarkFig8SCALEvs3GPP(b *testing.B) {
+	benchExperiment(b, experiments.Fig8SCALEvs3GPP, nil)
+}
+
+// BenchmarkFig8dGeoMultiplexing — Figure 8(d) / E4-ii: DC1 p99 under
+// LOW/HIGH/EXTREME load for LocalDC/CurrentSys/SCALE.
+func BenchmarkFig8dGeoMultiplexing(b *testing.B) {
+	benchExperiment(b, experiments.Fig8dGeoMultiplexing, func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(maxY(r, "SCALE"), "scale-worst-p99-ms")
+		b.ReportMetric(maxY(r, "Local DC"), "local-worst-p99-ms")
+	})
+}
+
+// BenchmarkFig9ReplicaPlacement — Figure 9 / E3: SIMPLE vs SCALE
+// replica placement.
+func BenchmarkFig9ReplicaPlacement(b *testing.B) {
+	benchExperiment(b, experiments.Fig9ReplicaPlacement, nil)
+}
+
+// BenchmarkFig10aStateManagement — Figure 10(a) / S1: p99 vs
+// replication factor for skews L1-L4, 30 VMs, 80K devices.
+func BenchmarkFig10aStateManagement(b *testing.B) {
+	benchExperiment(b, experiments.Fig10aStateManagement, func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(maxY(r, "SCALE(L4)"), "L4-worst-p99-s")
+		b.ReportMetric(maxY(r, "Basic Const. Hashing"), "basic-worst-p99-s")
+	})
+}
+
+// BenchmarkFig10bGeoStrategies — Figure 10(b) / S2: per-DC p99 for
+// IND/RDM1/RDM2/SCALE.
+func BenchmarkFig10bGeoStrategies(b *testing.B) {
+	benchExperiment(b, experiments.Fig10bGeoStrategies, func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(maxY(r, "IND"), "ind-worst-p99-ms")
+		b.ReportMetric(maxY(r, "SCALE"), "scale-worst-p99-ms")
+	})
+}
+
+// BenchmarkFig11AccessAwareness — Figure 11 / S3: provisioned VMs and
+// delay vs β.
+func BenchmarkFig11AccessAwareness(b *testing.B) {
+	benchExperiment(b, experiments.Fig11AccessAwareness, func(b *testing.B, r *experiments.Result) {
+		b.ReportMetric(maxY(r, "#VM Provisioned"), "vms-at-beta1")
+	})
+}
+
+// BenchmarkAblationTokens — virtual-token count trade-off (balance and
+// replica scatter vs membership churn).
+func BenchmarkAblationTokens(b *testing.B) {
+	benchExperiment(b, experiments.AblationTokens, nil)
+}
+
+// BenchmarkAblationRouting — least-loaded-of-replicas vs master-only
+// routing at equal state cost.
+func BenchmarkAblationRouting(b *testing.B) {
+	benchExperiment(b, experiments.AblationRouting, nil)
+}
+
+// BenchmarkAblationAccessAware — access-aware vs random replica pruning
+// at equal β, in the event simulator.
+func BenchmarkAblationAccessAware(b *testing.B) {
+	benchExperiment(b, experiments.AblationAccessAware, nil)
+}
+
+// BenchmarkAblationGeoMetric — delay-proportional remote-DC selection
+// vs uniform random.
+func BenchmarkAblationGeoMetric(b *testing.B) {
+	benchExperiment(b, experiments.AblationGeoMetric, nil)
+}
+
+// BenchmarkHistogramRecord measures the hot-path cost of the delay
+// recorder every simulated request passes through.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := metrics.NewHistogram(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000000 + 1))
+	}
+}

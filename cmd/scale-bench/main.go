@@ -1,0 +1,68 @@
+// Command scale-bench regenerates every figure in the paper's
+// evaluation and prints the measured series plus pass/fail shape checks.
+//
+// Usage:
+//
+//	scale-bench                 # run all 16 experiments
+//	scale-bench -only F8d,F10a  # run a subset
+//	scale-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"scale/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations (A1-A4)")
+	flag.Parse()
+
+	all := experiments.All()
+	// Ablations join the set when requested explicitly or when a filter
+	// names them.
+	if *ablations || *only != "" || *list {
+		all = append(all, experiments.Ablations()...)
+	}
+	if *list {
+		for _, e := range all {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failed := 0
+	ran := 0
+	start := time.Now()
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ran++
+		t0 := time.Now()
+		r := e.Run()
+		fmt.Print(r.String())
+		fmt.Printf("   (%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		if !r.Passed() {
+			failed++
+		}
+	}
+	fmt.Printf("ran %d experiments in %v; %d with failing checks\n",
+		ran, time.Since(start).Round(time.Millisecond), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

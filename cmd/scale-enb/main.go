@@ -1,0 +1,100 @@
+// Command scale-enb is the eNodeB emulator and load generator: it
+// connects to a scale-mlb front-end, registers cells, then drives a UE
+// fleet through attach → idle → service-request cycles, reporting the
+// control-plane latency distribution.
+//
+// Example:
+//
+//	scale-enb -mlb 127.0.0.1:36412 -devices 200 -cycles 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"scale/internal/core"
+	"scale/internal/enb"
+	"scale/internal/metrics"
+	"scale/internal/s1ap"
+)
+
+func main() {
+	var (
+		mlbAddr   = flag.String("mlb", "127.0.0.1:36412", "MLB S1AP address")
+		devices   = flag.Int("devices", 100, "UE fleet size")
+		firstIMSI = flag.Uint64("first-imsi", 100000000, "first IMSI (must be provisioned at the HSS)")
+		cycles    = flag.Int("cycles", 3, "idle→active cycles per device after attach")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-procedure timeout")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "scale-enb ", log.LstdFlags|log.Lmicroseconds)
+
+	client, err := core.DialENB(*mlbAddr, map[uint32][]uint16{1: {7}, 2: {7, 8}})
+	if err != nil {
+		logger.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+
+	attachHist := metrics.NewHistogram(5)
+	attachHist.SetUnit(1e6, "ms")
+	srHist := metrics.NewHistogram(5)
+	srHist.SetUnit(1e6, "ms")
+
+	waitState := func(imsi uint64, want enb.UEState) error {
+		return client.WaitUntil(*timeout, func(e *enb.Emulator) bool {
+			return e.UEFor(imsi).State == want
+		})
+	}
+
+	logger.Printf("attaching %d devices", *devices)
+	for i := 0; i < *devices; i++ {
+		imsi := *firstIMSI + uint64(i)
+		start := time.Now()
+		if err := client.Run(func(e *enb.Emulator) error { return e.StartAttach(imsi, 1) }); err != nil {
+			logger.Fatalf("attach %d: %v", imsi, err)
+		}
+		if err := waitState(imsi, enb.Active); err != nil {
+			logger.Fatalf("attach %d: %v", imsi, err)
+		}
+		attachHist.Record(time.Since(start).Nanoseconds())
+	}
+
+	logger.Printf("running %d idle/active cycles per device", *cycles)
+	for c := 0; c < *cycles; c++ {
+		for i := 0; i < *devices; i++ {
+			imsi := *firstIMSI + uint64(i)
+			if err := client.Run(func(e *enb.Emulator) error {
+				ue := e.UEFor(imsi)
+				e.Uplink(ue.Cell, &s1ap.UEContextReleaseRequest{
+					ENBUEID: ue.ENBUEID, MMEUEID: ue.MMEUEID, Cause: 1,
+				})
+				return nil
+			}); err != nil {
+				logger.Fatalf("release %d: %v", imsi, err)
+			}
+			if err := waitState(imsi, enb.Idle); err != nil {
+				logger.Fatalf("release %d: %v", imsi, err)
+			}
+			start := time.Now()
+			if err := client.Run(func(e *enb.Emulator) error {
+				return e.StartServiceRequest(imsi, uint32(1+(c+i)%2))
+			}); err != nil {
+				logger.Fatalf("service request %d: %v", imsi, err)
+			}
+			if err := waitState(imsi, enb.Active); err != nil {
+				logger.Fatalf("service request %d: %v", imsi, err)
+			}
+			srHist.Record(time.Since(start).Nanoseconds())
+		}
+	}
+
+	fmt.Printf("attach          %s\n", attachHist)
+	fmt.Printf("service-request %s\n", srHist)
+	var stats enb.Stats
+	client.Run(func(e *enb.Emulator) error { stats = e.Stats(); return nil })
+	fmt.Printf("fleet: attaches=%d service=%d rejects=%d\n",
+		stats.Attaches, stats.ServiceRequests, stats.Rejects)
+}

@@ -1,0 +1,51 @@
+// Command scale-epc runs the EPC substrate daemons — the HSS subscriber
+// database (S6a) and the S-GW control plane (S11) — that scale-mmp
+// instances dial.
+//
+// Example:
+//
+//	scale-epc -hss-listen :3868 -sgw-listen :2123 -subscribers 100000
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"scale/internal/hss"
+	"scale/internal/sgw"
+)
+
+func main() {
+	var (
+		hssListen   = flag.String("hss-listen", "127.0.0.1:3868", "HSS (S6a) listen address")
+		sgwListen   = flag.String("sgw-listen", "127.0.0.1:2123", "S-GW (S11) listen address")
+		firstIMSI   = flag.Uint64("first-imsi", 100000000, "first provisioned IMSI")
+		subscribers = flag.Int("subscribers", 100000, "number of provisioned subscribers")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "scale-epc ", log.LstdFlags|log.Lmicroseconds)
+
+	db := hss.NewDB()
+	db.ProvisionRange(*firstIMSI, *subscribers)
+	hssSrv, err := hss.Serve(*hssListen, db)
+	if err != nil {
+		logger.Fatalf("hss: %v", err)
+	}
+	gw := sgw.New()
+	sgwSrv, err := sgw.Serve(*sgwListen, gw)
+	if err != nil {
+		logger.Fatalf("sgw: %v", err)
+	}
+	logger.Printf("HSS on %s (%d subscribers from %d), S-GW on %s",
+		hssSrv.Addr(), *subscribers, *firstIMSI, sgwSrv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down: %d sessions, %d auth vectors issued", gw.Len(), db.VectorsIssued())
+	sgwSrv.Close()
+	hssSrv.Close()
+}

@@ -1,0 +1,55 @@
+// Command scale-mlb runs the MME Load Balancer as a TCP daemon: it
+// presents S1AP to eNodeBs on one listener and accepts MMP agent
+// registrations on another, routing every request per SCALE's
+// consistent-hash + least-loaded policy.
+//
+// Example:
+//
+//	scale-mlb -enb-listen :36412 -mmp-listen :36500
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"scale/internal/core"
+	"scale/internal/guti"
+	"scale/internal/mlb"
+)
+
+func main() {
+	var (
+		enbListen = flag.String("enb-listen", "127.0.0.1:36412", "S1AP listen address for eNodeBs")
+		mmpListen = flag.String("mmp-listen", "127.0.0.1:36500", "cluster listen address for MMP agents")
+		name      = flag.String("name", "scale-mlb", "MME identity presented to eNodeBs")
+		mcc       = flag.Uint("mcc", 310, "mobile country code")
+		mnc       = flag.Uint("mnc", 26, "mobile network code")
+		mmegi     = flag.Uint("mmegi", 0x0101, "MME group id")
+		tokens    = flag.Int("tokens", 5, "tokens per MMP on the hash ring")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "scale-mlb ", log.LstdFlags|log.Lmicroseconds)
+
+	srv, err := core.ServeMLB(mlb.Config{
+		Name:   *name,
+		PLMN:   guti.PLMN{MCC: uint16(*mcc), MNC: uint16(*mnc)},
+		MMEGI:  uint16(*mmegi),
+		MMEC:   1,
+		Tokens: *tokens,
+	}, *enbListen, *mmpListen, logger)
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+	logger.Printf("S1AP on %s, cluster on %s", srv.ENBAddr(), srv.MMPAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		logger.Fatalf("close: %v", err)
+	}
+}

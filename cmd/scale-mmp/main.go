@@ -1,0 +1,61 @@
+// Command scale-mmp runs one MME Processing entity as a TCP daemon: it
+// registers with a scale-mlb front-end and serves MME procedures against
+// the HSS and S-GW.
+//
+// Example:
+//
+//	scale-mmp -index 1 -mlb 127.0.0.1:36500 -hss 127.0.0.1:3868 -sgw 127.0.0.1:2123
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scale/internal/core"
+	"scale/internal/guti"
+)
+
+func main() {
+	var (
+		index   = flag.Uint("index", 1, "MMP index (1-255), embedded in UE identifiers")
+		id      = flag.String("id", "", "MMP id (default mmp-<index>)")
+		mlbAddr = flag.String("mlb", "127.0.0.1:36500", "MLB cluster address")
+		hssAddr = flag.String("hss", "127.0.0.1:3868", "HSS address")
+		sgwAddr = flag.String("sgw", "127.0.0.1:2123", "S-GW address")
+		mcc     = flag.Uint("mcc", 310, "mobile country code")
+		mnc     = flag.Uint("mnc", 26, "mobile network code")
+		mmegi   = flag.Uint("mmegi", 0x0101, "MME group id")
+		report  = flag.Duration("load-report", 2*time.Second, "load report interval")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "scale-mmp ", log.LstdFlags|log.Lmicroseconds)
+
+	agent, err := core.StartMMPAgent(core.MMPAgentConfig{
+		ID:              *id,
+		Index:           uint8(*index),
+		PLMN:            guti.PLMN{MCC: uint16(*mcc), MNC: uint16(*mnc)},
+		MMEGI:           uint16(*mmegi),
+		MMEC:            1,
+		MLBAddr:         *mlbAddr,
+		HSSAddr:         *hssAddr,
+		SGWAddr:         *sgwAddr,
+		LoadReportEvery: *report,
+		Logger:          logger,
+	})
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+	logger.Printf("%s serving (mlb=%s hss=%s sgw=%s)", agent.Engine.ID(), *mlbAddr, *hssAddr, *sgwAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	st := agent.Engine.Stats()
+	logger.Printf("shutting down: attaches=%d service=%d tau=%d handovers=%d",
+		st.Attaches, st.ServiceRequests, st.TAUs, st.Handovers)
+	agent.Close()
+}

@@ -1,0 +1,177 @@
+// Command scale-sim runs a configurable large-scale control-plane
+// simulation: a device population with a chosen access-skew offers
+// signaling load to a SCALE cluster, the 3GPP static pool, or the
+// SIMPLE pairwise-replicated baseline, and the tool reports the delay
+// distribution and per-VM utilization.
+//
+// Example:
+//
+//	scale-sim -system scale -vms 30 -devices 80000 -rate 5000 -duration 10s
+//	scale-sim -system 3gpp -vms 4 -rate 1500 -reassign
+//	scale-sim -geo -dcs 3 -rate 2000 -geo-budget 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scale/internal/baseline"
+	"scale/internal/core"
+	"scale/internal/netem"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "scale", "cluster model: scale | 3gpp | simple")
+		vms      = flag.Int("vms", 10, "number of MMP/MME VMs")
+		devices  = flag.Int("devices", 10000, "registered device count")
+		rate     = flag.Float64("rate", 1000, "aggregate signaling rate (requests/second)")
+		duration = flag.Duration("duration", 10*time.Second, "simulated duration")
+		replicas = flag.Int("replicas", 2, "replication factor R (scale only)")
+		tokens   = flag.Int("tokens", 5, "tokens per VM on the hash ring (scale only; 1 = basic hashing)")
+		repCost  = flag.Duration("replication-cost", 100*time.Microsecond, "CPU cost per replica update (scale only)")
+		reassign = flag.Bool("reassign", false, "enable reactive overload reassignment (3gpp only)")
+		skew     = flag.String("skew", "uniform", "access-weight distribution: uniform | bimodal | zipf")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+
+		geo       = flag.Bool("geo", false, "run a multi-DC geo-multiplexing scenario instead (DC1 overloaded, others light)")
+		dcs       = flag.Int("dcs", 3, "number of DCs (geo mode)")
+		geoBudget = flag.Int("geo-budget", 5000, "per-DC external-state budget Sm (geo mode)")
+		interDC   = flag.Duration("inter-dc", 15*time.Millisecond, "one-way inter-DC delay (geo mode)")
+	)
+	flag.Parse()
+
+	if *geo {
+		runGeo(*dcs, *vms, *devices, *rate, *duration, *geoBudget, *interDC, *seed)
+		return
+	}
+
+	var dist trace.WeightDist
+	switch *skew {
+	case "uniform":
+		dist = trace.Uniform{Lo: 0.2, Hi: 0.9}
+	case "bimodal":
+		dist = trace.Bimodal{LowFrac: 0.5, LowW: 0.1, HighW: 0.8}
+	case "zipf":
+		dist = trace.Zipf{S: 1.2, Levels: 20}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown skew %q\n", *skew)
+		os.Exit(2)
+	}
+	pop := trace.NewPopulation(*devices, *seed, dist)
+	eng := sim.NewEngine()
+
+	var (
+		cluster sim.Cluster
+		rec     *sim.Recorder
+		vmList  []*sim.VM
+	)
+	switch *system {
+	case "scale":
+		c := core.NewScaleCluster(core.ScaleClusterConfig{
+			Eng: eng, NumVMs: *vms, Tokens: *tokens, Replicas: *replicas,
+			ReplicationCost: *repCost,
+		})
+		cluster, rec, vmList = c, c.Recorder(), c.VMs()
+	case "3gpp":
+		c := baseline.NewStatic(baseline.StaticConfig{
+			Eng: eng, NumVMs: *vms, Seed: *seed,
+			ReassignEnabled: *reassign,
+		})
+		cluster, rec, vmList = c, c.Recorder(), c.VMs()
+	case "simple":
+		c := baseline.NewSimple(baseline.SimpleConfig{
+			Eng: eng, NumVMs: *vms, ReplicationCost: *repCost,
+		})
+		cluster, rec, vmList = c, c.Recorder(), c.VMs()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	arrivals := trace.Generator{Pop: pop, Seed: *seed + 1}.Poisson(*rate, *duration)
+	core.FeedWorkload(eng, pop, arrivals, cluster)
+	wall := time.Now()
+	eng.Run()
+
+	fmt.Printf("system=%s vms=%d devices=%d rate=%.0f/s duration=%v (simulated in %v)\n",
+		*system, *vms, *devices, *rate, *duration, time.Since(wall).Round(time.Millisecond))
+	fmt.Printf("requests: offered=%d completed=%d\n", len(arrivals), rec.Count())
+	fmt.Printf("delay: mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		rec.Mean().Round(time.Microsecond),
+		time.Duration(rec.All.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(rec.All.Quantile(0.95)).Round(time.Microsecond),
+		rec.P99().Round(time.Microsecond),
+		time.Duration(rec.All.Max()).Round(time.Microsecond))
+
+	fmt.Println("per-VM utilization:")
+	for _, vm := range vmList {
+		fmt.Printf("  %-12s mean=%5.1f%% peak=%5.1f%% processed=%d\n",
+			vm.ID, vm.MeanUtilization()*100, vm.PeakUtilization()*100, vm.Processed())
+	}
+	fmt.Println("delay CDF:")
+	for _, p := range rec.CDF(20) {
+		fmt.Printf("  %10v  %.3f\n", time.Duration(p.Value).Round(100*time.Microsecond), p.Fraction)
+	}
+}
+
+// runGeo simulates DC1 under overload with the remaining DCs lightly
+// loaded, SCALE geo-multiplexing enabled, and prints per-DC outcomes.
+func runGeo(dcs, vmsPerDC, devices int, rate float64, duration time.Duration, budget int, interDC time.Duration, seed int64) {
+	if dcs < 2 {
+		fmt.Fprintln(os.Stderr, "geo mode needs at least 2 DCs")
+		os.Exit(2)
+	}
+	eng := sim.NewEngine()
+	delays := netem.NewMatrix()
+	names := make([]string, dcs)
+	for i := range names {
+		names[i] = fmt.Sprintf("dc%d", i+1)
+	}
+	for i := 0; i < dcs; i++ {
+		for j := i + 1; j < dcs; j++ {
+			delays.Set(names[i], names[j], netem.Delay{Base: interDC})
+		}
+	}
+	g := core.NewGeoScale(core.GeoConfig{
+		Eng: eng, Delays: delays,
+		OverloadThreshold: 20 * time.Millisecond, Seed: seed,
+	})
+	clusters := make([]*core.ScaleCluster, dcs)
+	for i := range clusters {
+		clusters[i] = core.NewScaleCluster(core.ScaleClusterConfig{
+			Eng: eng, NumVMs: vmsPerDC, Tokens: 5,
+		})
+		g.AddDC(names[i], clusters[i], budget)
+	}
+	pop := trace.NewPopulation(devices, seed, trace.Uniform{Lo: 0.6, Hi: 0.95})
+	planned := g.PlanReplicas(names[0], pop, core.ScaleRemotePolicy{Sm: budget, V: vmsPerDC})
+
+	// DC1 takes the configured (overload) rate; others 15% of it.
+	arr := trace.Generator{Pop: pop, Seed: seed + 1, Mix: trace.Mix{trace.Attach: 1}}.Poisson(rate, duration)
+	g.FeedAt(names[0], pop, arr)
+	lightPop := trace.NewPopulation(devices/4, seed+2, trace.Uniform{Lo: 0.3, Hi: 0.7})
+	for i := 1; i < dcs; i++ {
+		light := trace.Generator{Pop: lightPop, Seed: seed + int64(2+i), Mix: trace.Mix{trace.Attach: 1}}.
+			Poisson(rate*0.15, duration)
+		g.FeedAt(names[i], lightPop, light)
+	}
+	wall := time.Now()
+	eng.Run()
+
+	fmt.Printf("geo: %d DCs × %d VMs, DC1 at %.0f/s for %v, %d external replicas planned (simulated in %v)\n",
+		dcs, vmsPerDC, rate, duration, planned, time.Since(wall).Round(time.Millisecond))
+	for i, c := range clusters {
+		rec := c.Recorder()
+		fmt.Printf("  %-4s p99=%10v mean=%9v completed=%6d offloaded-away=%d\n",
+			names[i],
+			rec.P99().Round(time.Microsecond),
+			rec.Mean().Round(time.Microsecond),
+			rec.Count(),
+			g.Offloaded[names[i]])
+	}
+}

@@ -1,0 +1,14 @@
+// Package scale is a from-scratch Go reproduction of "Scaling the LTE
+// Control-Plane for Future Mobile Access" (CoNEXT 2015): the SCALE
+// framework for virtualizing the LTE MME, together with the EPC
+// substrate it runs on (NAS/S1AP/S11/S6a codecs, eNodeB/UE emulator,
+// S-GW and HSS), the 3GPP-standard and SIMPLE baselines it is evaluated
+// against, the stochastic replication analysis from the paper's
+// appendix, and a discrete-event simulator that regenerates every figure
+// in the paper's evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate
+// each figure: go test -bench=Fig -benchtime=1x .
+package scale

@@ -1,0 +1,75 @@
+// IoT surge: the "synchronous mass-access" scenario that motivates the
+// paper (Section 3) — thousands of event-triggered IoT devices attach
+// within a two-second window on top of steady smartphone traffic. The
+// example runs the identical workload against the 3GPP static pool and
+// a SCALE cluster, then prints how each absorbed the spike.
+//
+// Run: go run ./examples/iot-surge
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"scale/internal/baseline"
+	"scale/internal/core"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+func main() {
+	const (
+		vms      = 6
+		devices  = 20000
+		surgeN   = 4000
+		steady   = 800.0 // requests/second of background signaling
+		horizon  = 20 * time.Second
+		surgeAt  = 8 * time.Second
+		surgeWin = 2 * time.Second
+	)
+	pop := trace.NewPopulation(devices, 42, trace.Bimodal{LowFrac: 0.6, LowW: 0.1, HighW: 0.8})
+	gen := trace.Generator{Pop: pop, Seed: 43}
+	background := gen.Poisson(steady, horizon)
+	surge := gen.Surge(surgeN, trace.Attach, surgeAt, surgeWin)
+	workload := trace.Merge(background, surge)
+	fmt.Printf("workload: %.0f req/s steady + %d attaches in %v at t=%v (%d total requests)\n",
+		steady, surgeN, surgeWin, surgeAt, len(workload))
+
+	run := func(name string, build func(eng *sim.Engine) (sim.Cluster, *sim.Recorder)) {
+		eng := sim.NewEngine()
+		c, rec := build(eng)
+		core.FeedWorkload(eng, pop, workload, c)
+		eng.Run()
+		fmt.Printf("%-14s p50=%8v  p99=%9v  max=%9v\n", name,
+			time.Duration(rec.All.Quantile(0.5)).Round(time.Millisecond),
+			rec.P99().Round(time.Millisecond),
+			time.Duration(rec.All.Max()).Round(time.Millisecond))
+	}
+
+	fmt.Println("\nsame workload, three platforms:")
+	run("3GPP static", func(eng *sim.Engine) (sim.Cluster, *sim.Recorder) {
+		s := baseline.NewStatic(baseline.StaticConfig{Eng: eng, NumVMs: vms, Seed: 44})
+		return s, s.Recorder()
+	})
+	run("3GPP+reassign", func(eng *sim.Engine) (sim.Cluster, *sim.Recorder) {
+		s := baseline.NewStatic(baseline.StaticConfig{
+			Eng: eng, NumVMs: vms, Seed: 44,
+			ReassignEnabled: true, OverloadThreshold: 30 * time.Millisecond,
+		})
+		return s, s.Recorder()
+	})
+	run("SCALE", func(eng *sim.Engine) (sim.Cluster, *sim.Recorder) {
+		c := core.NewScaleCluster(core.ScaleClusterConfig{
+			Eng: eng, NumVMs: vms, Tokens: 5,
+			ReplicationCost: 100 * time.Microsecond,
+		})
+		// Elastic scale-out: the epoch provisioner reacts to the surge
+		// by adding VMs shortly after it begins.
+		eng.At(surgeAt+time.Second, func() { c.AddVM(); c.AddVM() })
+		return c, c.Recorder()
+	})
+
+	fmt.Println("\nSCALE's least-loaded-of-replicas routing spreads the surge across")
+	fmt.Println("all VMs immediately, and consistent hashing lets the two surge-time")
+	fmt.Println("VM additions take load without any device reassignment signaling.")
+}

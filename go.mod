@@ -1,0 +1,3 @@
+module scale
+
+go 1.24

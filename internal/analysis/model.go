@@ -1,0 +1,271 @@
+// Package analysis implements SCALE's stochastic replication model
+// (paper Appendix A1/A2). The model predicts the expected cost (delay) a
+// device's control request incurs in an epoch as a function of the
+// replication factor R, per-VM capacity N, epoch length T, arrival rate
+// λ, and the device's access probability w — and, in the
+// memory-constrained regime, of the strategy used to decide which devices
+// receive an extra replica.
+//
+// These closed forms drive two design decisions in the paper:
+//
+//   - R = 2 captures almost all of the load-balancing benefit
+//     (Figure 6(a) — reproduced by experiment F6a), and
+//   - replicating proportionally to access probability beats random
+//     replica pruning by ~5x at load 0.85 (Figure 6(b) — experiment F6b).
+package analysis
+
+import "math"
+
+// Model fixes the environment parameters of the stochastic analysis.
+type Model struct {
+	// N is the number of requests a single MMP VM can process per epoch
+	// (its compute capacity).
+	N int
+	// T is the epoch duration in seconds.
+	T float64
+	// C is the cost incurred by a request that cannot be served; it only
+	// scales the output, so 1 yields "normalized cost".
+	C float64
+	// MaxTerms bounds the series truncation (terms beyond N). Zero means
+	// DefaultMaxTerms.
+	MaxTerms int
+	// Tol stops summation once a term falls below Tol times the running
+	// sum. Zero means DefaultTol.
+	Tol float64
+}
+
+// Defaults for series truncation.
+const (
+	DefaultMaxTerms = 200000
+	DefaultTol      = 1e-12
+)
+
+func (m Model) maxTerms() int {
+	if m.MaxTerms <= 0 {
+		return DefaultMaxTerms
+	}
+	return m.MaxTerms
+}
+
+func (m Model) tol() float64 {
+	if m.Tol <= 0 {
+		return DefaultTol
+	}
+	return m.Tol
+}
+
+// gammaFactorIncrement returns Π_{q=0}^{R-1} (1 − q/(kR)), the k-th
+// multiplicative increment of the Eq. 9 simplification
+//
+//	Γ(kR+1) / (Γ(k+1)^R · R^(kR+1))
+//	  = (1/R) · Π_{p=0}^{k-1} Π_{q=0}^{R-1} (1 − q/((k−p)R)).
+//
+// Computing the factor incrementally keeps the series numerically stable
+// where the raw Gamma ratio overflows float64 for k beyond a few hundred.
+func gammaFactorIncrement(k, r int) float64 {
+	prod := 1.0
+	kr := float64(k * r)
+	for q := 1; q < r; q++ {
+		prod *= 1 - float64(q)/kr
+	}
+	return prod
+}
+
+// DeviceCost evaluates Eq. 8: the expected cost C̄_i for a device with
+// access probability w whose state is replicated on R VMs, each VM seeing
+// Poisson arrivals at rate lambda (requests/second).
+//
+//	C̄_i = (C/λ) · w^R · Σ_{k=N}^∞ (1 − w/(λT))^(kR) · Γ(kR+1)/(Γ(k+1)^R·R^(kR+1))
+//
+// Domain: R ≥ 1, 0 ≤ w ≤ λT. Out-of-domain inputs are clamped: w ≤ 0 or
+// lambda ≤ 0 yield 0 (no arrivals, no cost); w > λT is clamped to λT
+// (a device cannot arrive more often than the aggregate stream).
+func (m Model) DeviceCost(lambda, w float64, r int) float64 {
+	if r < 1 {
+		r = 1
+	}
+	if lambda <= 0 || w <= 0 {
+		return 0
+	}
+	if m.N < 1 || m.T <= 0 {
+		return 0
+	}
+	if w > lambda*m.T {
+		w = lambda * m.T
+	}
+	base := 1 - w/(lambda*m.T)
+	if base <= 0 {
+		return 0 // the device is the entire stream; it is always first in line
+	}
+
+	// factor(k) per Eq. 9, built incrementally from k=1.
+	factor := 1.0 / float64(r)
+	// base^(kR) built incrementally too.
+	baseR := math.Pow(base, float64(r))
+	pow := 1.0
+	for k := 1; k < m.N; k++ {
+		factor *= gammaFactorIncrement(k, r)
+		pow *= baseR
+	}
+
+	sum := 0.0
+	tol := m.tol()
+	maxK := m.N + m.maxTerms()
+	for k := m.N; k <= maxK; k++ {
+		factor *= gammaFactorIncrement(k, r)
+		pow *= baseR
+		term := pow * factor
+		sum += term
+		if term < tol*sum && k > m.N {
+			break
+		}
+	}
+	c := m.C
+	if c == 0 {
+		c = 1
+	}
+	return (c / lambda) * math.Pow(w, float64(r)) * sum
+}
+
+// AverageCost evaluates Eq. 10: the access-probability-weighted average
+// of DeviceCost over a device population with weights ws.
+func (m Model) AverageCost(lambda float64, ws []float64, r int) float64 {
+	var num, den float64
+	for _, w := range ws {
+		if w <= 0 {
+			continue
+		}
+		num += w * m.DeviceCost(lambda, w, r)
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// BaseReplicas returns R′ = ⌊V·S′/K⌋, the replica count every device is
+// guaranteed when V VMs of residual state capacity S′ must hold total
+// state K (Appendix A2). The result is clamped to ≥ 0.
+func BaseReplicas(v int, sPrime, k float64) int {
+	if k <= 0 || v <= 0 || sPrime <= 0 {
+		return 0
+	}
+	return int(math.Floor(float64(v) * sPrime / k))
+}
+
+// AccessUnawareProb evaluates Eq. 11: the uniform probability that any
+// given device receives one extra replica beyond R′ under random
+// (access-unaware) selection:
+//
+//	P_i(rep) = V·S′/K − ⌊V·S′/K⌋, identical for all i.
+func AccessUnawareProb(v int, sPrime, k float64) float64 {
+	if k <= 0 || v <= 0 || sPrime <= 0 {
+		return 0
+	}
+	x := float64(v) * sPrime / k
+	return x - math.Floor(x)
+}
+
+// AccessAwareProb evaluates Eq. 12: extra-replica probability
+// proportional to the device's access weight:
+//
+//	P_i(rep) = min{ 1, (w_i/Σ_j w_j) · (V·S′/K − ⌊V·S′/K⌋) · K }.
+func AccessAwareProb(w, sumW float64, v int, sPrime, k float64) float64 {
+	if w <= 0 || sumW <= 0 {
+		return 0
+	}
+	frac := AccessUnawareProb(v, sPrime, k)
+	p := (w / sumW) * frac * k
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ConstrainedDeviceCost evaluates Eq. 13: the expected cost when the
+// device gets R′ replicas with probability 1−pRep and R′+1 with
+// probability pRep:
+//
+//	C̄_i = (1 − P_i)·C̄_i(R′) + P_i·C̄_i(R′+1).
+func (m Model) ConstrainedDeviceCost(lambda, w, pRep float64, rPrime int) float64 {
+	if pRep < 0 {
+		pRep = 0
+	}
+	if pRep > 1 {
+		pRep = 1
+	}
+	return (1-pRep)*m.DeviceCost(lambda, w, rPrime) + pRep*m.DeviceCost(lambda, w, rPrime+1)
+}
+
+// ConstrainedPopulation describes a memory-constrained DC for strategy
+// comparison: V VMs with residual per-VM state capacity SPrime must store
+// K units of total device state.
+type ConstrainedPopulation struct {
+	V      int
+	SPrime float64
+	K      float64
+}
+
+// CompareStrategies returns the population-average cost (Eq. 10 over
+// Eq. 13) at arrival rate lambda under (a) access-unaware random
+// replication and (b) access-aware proportional replication, for the same
+// memory budget. This is the pair of curves in Figure 6(b).
+func (m Model) CompareStrategies(lambda float64, ws []float64, pop ConstrainedPopulation) (random, aware float64) {
+	rPrime := BaseReplicas(pop.V, pop.SPrime, pop.K)
+	pUniform := AccessUnawareProb(pop.V, pop.SPrime, pop.K)
+	var sumW float64
+	for _, w := range ws {
+		if w > 0 {
+			sumW += w
+		}
+	}
+	var numR, numA, den float64
+	for _, w := range ws {
+		if w <= 0 {
+			continue
+		}
+		numR += w * m.ConstrainedDeviceCost(lambda, w, pUniform, rPrime)
+		pA := AccessAwareProb(w, sumW, pop.V, pop.SPrime, pop.K)
+		numA += w * m.ConstrainedDeviceCost(lambda, w, pA, rPrime)
+		den += w
+	}
+	if den == 0 {
+		return 0, 0
+	}
+	return numR / den, numA / den
+}
+
+// UnservedProbability evaluates the inner probability of Eq. 5/6 at a
+// fixed observation instant t: the probability a device with access
+// probability w cannot be served by any of its R VMs. Exposed for tests
+// that cross-validate the closed form against Monte-Carlo simulation.
+func (m Model) UnservedProbability(lambda, w float64, r int, t float64) float64 {
+	if lambda <= 0 || w <= 0 || t < 0 || t > m.T || m.N < 1 {
+		return 0
+	}
+	if w > lambda*m.T {
+		w = lambda * m.T
+	}
+	// P(i not served at Vj at t) = {1 − e^{−λ(T−t)}}·w·Σ_{k≥N} (λt)^k e^{−λt}/k! · (1 − w/(λT))^k
+	arriveLater := (1 - math.Exp(-lambda*(m.T-t))) * w
+	// Poisson tail weighted by (1-w/(λT))^k, computed iteratively.
+	base := 1 - w/(lambda*m.T)
+	lt := lambda * t
+	logTerm := -lt // log of e^{-λt} (λt)^0/0!
+	sum := 0.0
+	for k := 0; k <= m.N+m.maxTerms(); k++ {
+		if k > 0 {
+			logTerm += math.Log(lt) - math.Log(float64(k))
+		}
+		if k >= m.N {
+			term := math.Exp(logTerm) * math.Pow(base, float64(k))
+			sum += term
+			if term < m.tol()*sum && sum > 0 && k > m.N {
+				break
+			}
+		}
+	}
+	p := arriveLater * sum
+	return math.Pow(p, float64(r))
+}

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var testModel = Model{N: 50, T: 100, C: 1}
+
+func TestDeviceCostZeroInputs(t *testing.T) {
+	m := testModel
+	if m.DeviceCost(0, 0.5, 2) != 0 {
+		t.Fatal("lambda=0 should cost 0")
+	}
+	if m.DeviceCost(0.5, 0, 2) != 0 {
+		t.Fatal("w=0 should cost 0")
+	}
+	if (Model{N: 0, T: 100}).DeviceCost(0.5, 0.5, 2) != 0 {
+		t.Fatal("N=0 should cost 0")
+	}
+	if (Model{N: 50, T: 0}).DeviceCost(0.5, 0.5, 2) != 0 {
+		t.Fatal("T=0 should cost 0")
+	}
+}
+
+func TestDeviceCostPositiveUnderLoad(t *testing.T) {
+	m := testModel
+	c := m.DeviceCost(0.9, 0.8, 1)
+	if c <= 0 {
+		t.Fatalf("cost at high load = %v, want > 0", c)
+	}
+}
+
+// Figure 6(a)'s headline: replication monotonically reduces expected
+// cost, and R=2 captures most of the benefit (R2→R3 gain is small
+// relative to R1→R2).
+func TestReplicationReducesCost(t *testing.T) {
+	m := testModel
+	lambda, w := 0.9, 0.8
+	c1 := m.DeviceCost(lambda, w, 1)
+	c2 := m.DeviceCost(lambda, w, 2)
+	c3 := m.DeviceCost(lambda, w, 3)
+	if !(c1 > c2 && c2 > c3) {
+		t.Fatalf("costs not monotone in R: %v %v %v", c1, c2, c3)
+	}
+	gain12 := c1 - c2
+	gain23 := c2 - c3
+	if gain23 > gain12 {
+		t.Fatalf("diminishing returns violated: R1->R2 %v, R2->R3 %v", gain12, gain23)
+	}
+	if c2 > c1*0.5 {
+		t.Fatalf("R=2 should drastically reduce cost: c1=%v c2=%v", c1, c2)
+	}
+}
+
+func TestCostIncreasesWithArrivalRate(t *testing.T) {
+	m := testModel
+	prev := -1.0
+	for _, lambda := range []float64{0.3, 0.5, 0.7, 0.9, 1.0} {
+		c := m.DeviceCost(lambda, 0.8, 1)
+		if c < prev {
+			t.Fatalf("cost not monotone in lambda at %v: %v < %v", lambda, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCostIncreasesWithAccessWeight(t *testing.T) {
+	m := testModel
+	// Devices that appear more often see more contention in Eq. 8
+	// (larger w^R and slower-decaying tail).
+	lo := m.DeviceCost(0.9, 0.2, 2)
+	hi := m.DeviceCost(0.9, 0.9, 2)
+	if hi <= lo {
+		t.Fatalf("cost not increasing in w: w=0.2→%v w=0.9→%v", lo, hi)
+	}
+}
+
+func TestWClampedToLambdaT(t *testing.T) {
+	m := testModel
+	a := m.DeviceCost(0.001, 1.0, 1) // w > λT=0.1 → clamp
+	if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+		t.Fatalf("clamped cost = %v", a)
+	}
+}
+
+func TestGammaFactorIncrement(t *testing.T) {
+	// R=1: empty product = 1 for every k.
+	for k := 1; k < 10; k++ {
+		if got := gammaFactorIncrement(k, 1); got != 1 {
+			t.Fatalf("R=1 increment at k=%d = %v", k, got)
+		}
+	}
+	// R=2, k=1: (1 - 1/2) = 0.5
+	if got := gammaFactorIncrement(1, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("R=2 k=1 = %v", got)
+	}
+	// Validate Eq. 9 against the direct Gamma ratio for small k, R.
+	for _, r := range []int{1, 2, 3} {
+		factor := 1.0 / float64(r)
+		for k := 1; k <= 8; k++ {
+			factor *= gammaFactorIncrement(k, r)
+			direct := math.Gamma(float64(k*r+1)) /
+				(math.Pow(math.Gamma(float64(k+1)), float64(r)) * math.Pow(float64(r), float64(k*r+1)))
+			if math.Abs(factor-direct)/direct > 1e-9 {
+				t.Fatalf("Eq.9 mismatch at k=%d R=%d: incremental=%v direct=%v", k, r, factor, direct)
+			}
+		}
+	}
+}
+
+func TestAverageCostWeighted(t *testing.T) {
+	m := testModel
+	ws := []float64{0.9, 0.1}
+	avg := m.AverageCost(0.9, ws, 1)
+	c9 := m.DeviceCost(0.9, 0.9, 1)
+	c1 := m.DeviceCost(0.9, 0.1, 1)
+	want := (0.9*c9 + 0.1*c1) / 1.0
+	if math.Abs(avg-want) > 1e-12 {
+		t.Fatalf("AverageCost = %v want %v", avg, want)
+	}
+	if m.AverageCost(0.9, nil, 1) != 0 {
+		t.Fatal("empty population cost != 0")
+	}
+	if m.AverageCost(0.9, []float64{0, -1}, 1) != 0 {
+		t.Fatal("non-positive weights should be skipped")
+	}
+}
+
+func TestBaseReplicas(t *testing.T) {
+	if got := BaseReplicas(10, 100, 600); got != 1 {
+		t.Fatalf("R' = %d, want 1", got)
+	}
+	if got := BaseReplicas(10, 100, 400); got != 2 {
+		t.Fatalf("R' = %d, want 2", got)
+	}
+	if got := BaseReplicas(0, 100, 400); got != 0 {
+		t.Fatalf("V=0 R' = %d", got)
+	}
+	if got := BaseReplicas(10, 100, 0); got != 0 {
+		t.Fatalf("K=0 R' = %d", got)
+	}
+}
+
+func TestAccessUnawareProb(t *testing.T) {
+	// V·S'/K = 1.5 → fractional part 0.5
+	if got := AccessUnawareProb(3, 50, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("P = %v, want 0.5", got)
+	}
+	if got := AccessUnawareProb(0, 50, 100); got != 0 {
+		t.Fatalf("V=0 P = %v", got)
+	}
+}
+
+func TestAccessAwareProb(t *testing.T) {
+	// Proportionality and cap at 1. With K=100 devices of total weight 50
+	// and V·S'/K = 1.5, there are 0.5·K = 50 extra replica slots, so
+	// P_i = (w_i/50)·50 = w_i.
+	p1 := AccessAwareProb(0.1, 50.0, 3, 50, 100)
+	p2 := AccessAwareProb(0.2, 50.0, 3, 50, 100)
+	if math.Abs(p2-2*p1) > 1e-9 {
+		t.Fatalf("not proportional: %v vs %v", p1, p2)
+	}
+	if got := AccessAwareProb(1.0, 1.0, 3, 50, 100); got != 1 {
+		t.Fatalf("cap failed: %v", got)
+	}
+	if got := AccessAwareProb(0, 1, 3, 50, 100); got != 0 {
+		t.Fatalf("w=0 P = %v", got)
+	}
+}
+
+func TestConstrainedDeviceCostInterpolates(t *testing.T) {
+	m := testModel
+	lambda, w := 0.9, 0.8
+	c1 := m.DeviceCost(lambda, w, 1)
+	c2 := m.DeviceCost(lambda, w, 2)
+	mid := m.ConstrainedDeviceCost(lambda, w, 0.5, 1)
+	want := 0.5*c1 + 0.5*c2
+	if math.Abs(mid-want) > 1e-12 {
+		t.Fatalf("interpolation = %v want %v", mid, want)
+	}
+	if got := m.ConstrainedDeviceCost(lambda, w, -1, 1); got != c1 {
+		t.Fatalf("pRep<0 clamp failed: %v vs %v", got, c1)
+	}
+	if got := m.ConstrainedDeviceCost(lambda, w, 2, 1); got != c2 {
+		t.Fatalf("pRep>1 clamp failed: %v vs %v", got, c2)
+	}
+}
+
+// Figure 6(b)'s headline: under a memory constraint, access-aware
+// replication beats random replication, markedly at high load.
+func TestAccessAwareBeatsRandom(t *testing.T) {
+	m := testModel
+	// Bimodal population: 25% hot devices, 75% cold.
+	var ws []float64
+	for i := 0; i < 100; i++ {
+		if i < 25 {
+			ws = append(ws, 0.9)
+		} else {
+			ws = append(ws, 0.05)
+		}
+	}
+	pop := ConstrainedPopulation{V: 10, SPrime: 15, K: 100} // V·S'/K = 1.5
+	for _, lambda := range []float64{0.8, 0.9, 1.0} {
+		random, aware := m.CompareStrategies(lambda, ws, pop)
+		if aware >= random {
+			t.Fatalf("lambda=%v: aware %v >= random %v", lambda, aware, random)
+		}
+	}
+	// Empty population degenerate case.
+	r, a := m.CompareStrategies(0.9, nil, pop)
+	if r != 0 || a != 0 {
+		t.Fatalf("empty population: %v %v", r, a)
+	}
+}
+
+func TestUnservedProbabilityBounds(t *testing.T) {
+	m := testModel
+	for _, r := range []int{1, 2, 3} {
+		for _, tt := range []float64{0, 25, 50, 99} {
+			p := m.UnservedProbability(0.9, 0.8, r, tt)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("P out of range at R=%d t=%v: %v", r, tt, p)
+			}
+		}
+	}
+	// More replicas → lower unserved probability at the same instant.
+	p1 := m.UnservedProbability(0.9, 0.8, 1, 50)
+	p2 := m.UnservedProbability(0.9, 0.8, 2, 50)
+	if p2 > p1 {
+		t.Fatalf("P(R=2)=%v > P(R=1)=%v", p2, p1)
+	}
+	if m.UnservedProbability(0.9, 0.8, 1, m.T+1) != 0 {
+		t.Fatal("t beyond epoch should be 0")
+	}
+}
+
+// Property: DeviceCost is finite, non-negative, and monotone
+// non-increasing in R for any in-domain parameters.
+func TestDeviceCostProperty(t *testing.T) {
+	m := Model{N: 20, T: 50, C: 1}
+	f := func(l8, w8 uint8) bool {
+		lambda := 0.1 + float64(l8%90)/100.0 // 0.1..0.99
+		w := 0.05 + float64(w8%90)/100.0     // 0.05..0.94
+		prev := math.Inf(1)
+		for r := 1; r <= 4; r++ {
+			c := m.DeviceCost(lambda, w, r)
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return false
+			}
+			if c > prev+1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLessThanOneNormalized(t *testing.T) {
+	m := testModel
+	if m.DeviceCost(0.9, 0.8, 0) != m.DeviceCost(0.9, 0.8, 1) {
+		t.Fatal("R<1 should normalize to 1")
+	}
+}
+
+func BenchmarkDeviceCostR2(b *testing.B) {
+	m := testModel
+	for i := 0; i < b.N; i++ {
+		m.DeviceCost(0.9, 0.8, 2)
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestUnservedProbabilityMatchesMonteCarlo validates Eq. 5/6 against a
+// direct simulation of the model's own assumptions: Poisson arrivals at
+// rate λ over an epoch T, a device of access probability w, a VM that
+// can serve N arrivals, and random assignment to one of R replica VMs.
+//
+// This is the ground-truth check that the closed form the paper's
+// replication strategy rests on is implemented correctly.
+func TestUnservedProbabilityMatchesMonteCarlo(t *testing.T) {
+	m := Model{N: 8, T: 10, C: 1}
+	const (
+		trials = 300000
+		lambda = 1.2
+		w      = 0.6
+		tObs   = 4.0
+	)
+	rng := rand.New(rand.NewSource(99))
+
+	for _, R := range []int{1, 2} {
+		// Analytic value.
+		want := m.UnservedProbability(lambda, w, R, tObs)
+
+		// Monte Carlo: per Eq. 4, the device is unserved at VM j at
+		// instant t if (a) it arrives in (t, T], (b) it did NOT arrive
+		// in (0, t], and (c) the VM already has ≥ N arrivals by t.
+		// With R replicas, all R VMs must be in that state.
+		unserved := 0
+		for i := 0; i < trials; i++ {
+			all := true
+			for r := 0; r < R; r++ {
+				// Arrivals at this VM by time t.
+				k := poisson(rng, lambda*tObs)
+				if k < m.N {
+					all = false
+					break
+				}
+				// Device not among the k arrivals in (0, t]: each
+				// arrival is this device with probability w/(λT).
+				pNot := math.Pow(1-w/(lambda*m.T), float64(k))
+				if rng.Float64() >= pNot {
+					all = false
+					break
+				}
+				// Device arrives in (t, T] with probability
+				// (1 − e^{−λ(T−t)})·w.
+				pArr := (1 - math.Exp(-lambda*(m.T-tObs))) * w
+				if rng.Float64() >= pArr {
+					all = false
+					break
+				}
+			}
+			if all {
+				unserved++
+			}
+		}
+		got := float64(unserved) / trials
+
+		tol := 0.15 * want
+		if tol < 0.002 {
+			tol = 0.002
+		}
+		if math.Abs(got-want) > tol {
+			t.Errorf("R=%d: analytic %.5f vs monte carlo %.5f (tol %.5f)", R, want, got, tol)
+		}
+	}
+}
+
+// poisson draws one Poisson variate (Knuth's method; fine for small λt).
+func poisson(rng *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// TestDeviceCostSeriesConvergence checks the Eq. 8 series truncation:
+// tightening the tolerance must not change the result materially, and
+// the configured caps must be respected.
+func TestDeviceCostSeriesConvergence(t *testing.T) {
+	loose := Model{N: 50, T: 100, C: 1, Tol: 1e-6}
+	tight := Model{N: 50, T: 100, C: 1, Tol: 1e-14}
+	for _, lambda := range []float64{0.6, 0.9, 1.0} {
+		for _, r := range []int{1, 2, 3} {
+			a := loose.DeviceCost(lambda, 0.8, r)
+			b := tight.DeviceCost(lambda, 0.8, r)
+			if b == 0 {
+				if a != 0 {
+					t.Fatalf("λ=%v R=%d: loose %.6g vs tight 0", lambda, r, a)
+				}
+				continue
+			}
+			if math.Abs(a-b)/b > 1e-3 {
+				t.Errorf("λ=%v R=%d: truncation unstable %.6g vs %.6g", lambda, r, a, b)
+			}
+		}
+	}
+	// A tiny MaxTerms must still terminate and bound the estimate from
+	// below (fewer positive terms).
+	capped := Model{N: 50, T: 100, C: 1, MaxTerms: 3}
+	full := Model{N: 50, T: 100, C: 1}
+	if capped.DeviceCost(0.9, 0.8, 1) > full.DeviceCost(0.9, 0.8, 1) {
+		t.Fatal("capped series exceeds full series")
+	}
+}

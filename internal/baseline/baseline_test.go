@@ -1,0 +1,275 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"scale/internal/cluster"
+	"scale/internal/core"
+	"scale/internal/netem"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+func feed(eng *sim.Engine, pop *trace.Population, rate float64, horizon time.Duration, c sim.Cluster, seed int64) int {
+	arr := trace.Generator{Pop: pop, Seed: seed}.Poisson(rate, horizon)
+	core.FeedWorkload(eng, pop, arr, c)
+	return len(arr)
+}
+
+func TestStaticAssignmentSticky(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStatic(StaticConfig{Eng: eng, NumVMs: 3, Seed: 1})
+	pop := trace.NewPopulation(50, 2, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	n := feed(eng, pop, 50, 5*time.Second, s, 3)
+	eng.Run()
+	if got := s.Recorder().Count(); got != uint64(n) {
+		t.Fatalf("completed %d of %d", got, n)
+	}
+	// Every device must keep a stable assignment.
+	for i := range pop.Devices {
+		key := core.DeviceKey(pop, i)
+		if idx := s.AssignedTo(key); idx >= 0 {
+			if again := s.AssignedTo(key); again != idx {
+				t.Fatal("assignment not sticky")
+			}
+		}
+	}
+	if s.AssignedTo("never-seen") != -1 {
+		t.Fatal("unknown device assigned")
+	}
+}
+
+func TestStaticOverloadWithoutReassignQueues(t *testing.T) {
+	// One overloaded MME with reassignment disabled: delays blow up —
+	// the Figure 2(a) knee.
+	eng := sim.NewEngine()
+	s := NewStatic(StaticConfig{Eng: eng, NumVMs: 1, Seed: 1})
+	pop := trace.NewPopulation(100, 2, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	feed(eng, pop, 2000, 3*time.Second, s, 3) // ~2.5x capacity
+	eng.Run()
+	if p99 := s.Recorder().P99(); p99 < 100*time.Millisecond {
+		t.Fatalf("overloaded p99 = %v, expected queueing blow-up", p99)
+	}
+}
+
+func TestStaticReassignmentShedsLoadAtACost(t *testing.T) {
+	mk := func(reassign bool) (*Static, *sim.Engine) {
+		eng := sim.NewEngine()
+		s := NewStatic(StaticConfig{
+			Eng: eng, NumVMs: 2, Seed: 5,
+			ReassignEnabled:   reassign,
+			OverloadThreshold: 20 * time.Millisecond,
+		})
+		return s, eng
+	}
+	// Pin all devices to MME 0 by assigning them before the flood. The
+	// offered load (600 attach/s ≈ 1.5× one MME, 0.75× the pool) leaves
+	// the pool headroom, so shedding can stabilize the system; the
+	// overhead cost still shows up on both MMEs.
+	pop := trace.NewPopulation(100, 6, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	gen := func(seed int64) []trace.Arrival {
+		return trace.Generator{Pop: pop, Seed: seed, Mix: trace.Mix{trace.Attach: 1}}.Poisson(600, 5*time.Second)
+	}
+
+	sOff, engOff := mk(false)
+	for i := range pop.Devices {
+		sOff.assigned[core.DeviceKey(pop, i)] = 0
+	}
+	core.FeedWorkload(engOff, pop, gen(7), sOff)
+	engOff.Run()
+
+	sOn, engOn := mk(true)
+	for i := range pop.Devices {
+		sOn.assigned[core.DeviceKey(pop, i)] = 0
+	}
+	core.FeedWorkload(engOn, pop, gen(7), sOn)
+	engOn.Run()
+
+	if sOn.Reassignments == 0 {
+		t.Fatal("no reassignments under overload")
+	}
+	if sOn.SignalingOverhead == 0 {
+		t.Fatal("no signaling overhead recorded")
+	}
+	// Reassignment helps tail latency vs. a pinned overload...
+	if sOn.Recorder().P99() >= sOff.Recorder().P99() {
+		t.Fatalf("reassignment did not help: %v vs %v", sOn.Recorder().P99(), sOff.Recorder().P99())
+	}
+	// ...but the second MME now carries real work (the overhead the
+	// IDEAL case of Figure 2(c) would not have).
+	if sOn.VMs()[1].Processed() == 0 {
+		t.Fatal("target MME idle after reassignments")
+	}
+}
+
+func TestStaticScaleOutOnlyNewDevices(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStatic(StaticConfig{Eng: eng, NumVMs: 1, Seed: 9})
+	pop := trace.NewPopulation(200, 10, trace.Uniform{Lo: 0.5, Hi: 0.5})
+
+	// Register the first 100 devices on MME 0.
+	for i := 0; i < 100; i++ {
+		s.assigned[core.DeviceKey(pop, i)] = 0
+	}
+	s.AddVM(10) // new MME with aggressive weight
+	// Existing devices stay put.
+	for i := 0; i < 100; i++ {
+		if s.AssignedTo(core.DeviceKey(pop, i)) != 0 {
+			t.Fatal("registered device moved to new MME")
+		}
+	}
+	// New devices overwhelmingly land on the new MME (weight 10 vs 1).
+	newOnNew := 0
+	for i := 100; i < 200; i++ {
+		s.Arrive(&sim.Request{Device: i, Key: core.DeviceKey(pop, i), Proc: trace.Attach, Arrived: 0})
+		if s.AssignedTo(core.DeviceKey(pop, i)) == 1 {
+			newOnNew++
+		}
+	}
+	if newOnNew < 70 {
+		t.Fatalf("only %d/100 new devices on the new MME", newOnNew)
+	}
+	eng.Run()
+}
+
+func TestSimpleRoutingTableGrows(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSimple(SimpleConfig{Eng: eng, NumVMs: 5})
+	pop := trace.NewPopulation(300, 11, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	feed(eng, pop, 100, 5*time.Second, s, 12)
+	eng.Run()
+	if s.RoutingTableSize() == 0 {
+		t.Fatal("routing table empty")
+	}
+	if s.RoutingTableSize() > 300 {
+		t.Fatalf("routing table %d > population", s.RoutingTableSize())
+	}
+}
+
+func TestSimplePairwiseSpillover(t *testing.T) {
+	// When a home VM is saturated, overflow lands ONLY on its single
+	// partner — the E3 weakness.
+	eng := sim.NewEngine()
+	s := NewSimple(SimpleConfig{Eng: eng, NumVMs: 5})
+	pop := trace.NewPopulation(400, 13, trace.Uniform{Lo: 0.5, Hi: 0.5})
+
+	// Find devices homed on VM 0.
+	var homed []int
+	for i := range pop.Devices {
+		if s.home(core.DeviceKey(pop, i)) == 0 {
+			homed = append(homed, i)
+		}
+	}
+	if len(homed) < 20 {
+		t.Skipf("only %d devices homed on vm0", len(homed))
+	}
+	// Flood requests from those devices only.
+	eng.At(0, func() {
+		for round := 0; round < 50; round++ {
+			for _, d := range homed {
+				s.Arrive(&sim.Request{Device: d, Key: core.DeviceKey(pop, d), Proc: trace.Attach, Arrived: eng.Now()})
+			}
+		}
+	})
+	eng.Run()
+	vms := s.VMs()
+	if vms[0].Processed() == 0 || vms[1].Processed() == 0 {
+		t.Fatalf("home/partner processed %d/%d", vms[0].Processed(), vms[1].Processed())
+	}
+	// VMs 2..4 hold no state for these devices and must stay idle.
+	for i := 2; i < 5; i++ {
+		if vms[i].Processed() != 0 {
+			t.Fatalf("vm %d processed %d without holding state", i, vms[i].Processed())
+		}
+	}
+}
+
+func TestSimpleReplicationWork(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSimple(SimpleConfig{Eng: eng, NumVMs: 2, ReplicationCost: time.Millisecond})
+	pop := trace.NewPopulation(10, 14, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	n := feed(eng, pop, 20, 2*time.Second, s, 15)
+	eng.Run()
+	var total uint64
+	for _, vm := range s.VMs() {
+		total += vm.Processed()
+	}
+	if total < uint64(n)*2 {
+		t.Fatalf("replication work missing: %d items for %d requests", total, n)
+	}
+}
+
+func TestUniformRemotePolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	p := UniformRemotePolicy{Frac: 0.5}
+	candidates := []cluster.RemoteDC{{ID: "a"}, {ID: "b"}}
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[p.PlanDevice("home", 0.1, 1, candidates, rng)]++
+	}
+	// ~50% none, remainder split between a and b; weight is ignored.
+	if counts[""] < 4000 || counts[""] > 6000 {
+		t.Fatalf("none fraction = %d", counts[""])
+	}
+	if counts["a"] == 0 || counts["b"] == 0 {
+		t.Fatalf("choices = %v", counts)
+	}
+	if got := p.PlanDevice("home", 1, 1, nil, rng); got != "" {
+		t.Fatalf("no-candidate plan = %q", got)
+	}
+}
+
+func TestStaticGeoAlwaysRemoteForAssigned(t *testing.T) {
+	eng := sim.NewEngine()
+	local := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+	remote := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+	delays := netem.NewMatrix()
+	delays.Set("dc1", "dc2", netem.Delay{Base: 25 * time.Millisecond})
+	sg := NewStaticGeo(local, remote, 0.5, delays, "dc1", "dc2", 17)
+
+	pop := trace.NewPopulation(200, 18, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	feed(eng, pop, 100, 5*time.Second, sg, 19)
+	eng.Run()
+
+	share := sg.RemoteShare()
+	if share < 0.35 || share > 0.65 {
+		t.Fatalf("remote share = %v", share)
+	}
+	// Remote-homed devices pay ≥ 50ms RTT even though the local DC is
+	// idle — the Figure 3(b) pathology.
+	if max := time.Duration(remote.Recorder().All.Max()); max < 50*time.Millisecond {
+		t.Fatalf("remote max delay = %v", max)
+	}
+	if local.Recorder().Count() == 0 || remote.Recorder().Count() == 0 {
+		t.Fatal("one pool idle")
+	}
+}
+
+func TestIndependentDCs(t *testing.T) {
+	eng := sim.NewEngine()
+	c1 := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 1, Tokens: 8})
+	ind := &IndependentDCs{DCs: map[string]*core.ScaleCluster{"dc1": c1}}
+	pop := trace.NewPopulation(20, 20, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	arr := trace.Generator{Pop: pop, Seed: 21}.Poisson(20, 2*time.Second)
+	ind.FeedAt(eng, "dc1", pop, arr)
+	ind.FeedAt(eng, "dc-x", pop, arr) // unknown: no-op
+	eng.Run()
+	if c1.Recorder().Count() != uint64(len(arr)) {
+		t.Fatalf("completed %d of %d", c1.Recorder().Count(), len(arr))
+	}
+}
+
+func TestFixedDelayCluster(t *testing.T) {
+	eng := sim.NewEngine()
+	inner := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 1, Tokens: 8})
+	f := &FixedDelayCluster{Inner: inner, Extra: 30 * time.Millisecond}
+	eng.At(0, func() {
+		f.Arrive(&sim.Request{Key: "k", Proc: trace.TAUpdate, Arrived: 0})
+	})
+	eng.Run()
+	if mean := inner.Recorder().Mean(); mean < 30*time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+}

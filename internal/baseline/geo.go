@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"math/rand"
+	"time"
+
+	"scale/internal/cluster"
+	"scale/internal/core"
+	"scale/internal/netem"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+// UniformRemotePolicy is the RDM1/RDM2 planning rule of experiment S2
+// (Figure 10(b)): a fixed fraction of every DC's devices is replicated
+// to a uniformly random remote DC, ignoring access frequency, current
+// load and propagation delay.
+type UniformRemotePolicy struct {
+	// Frac is the fraction of devices replicated externally.
+	Frac float64
+}
+
+// PlanDevice implements core.RemotePolicy.
+func (p UniformRemotePolicy) PlanDevice(_ string, _, _ float64, candidates []cluster.RemoteDC, rng *rand.Rand) string {
+	if len(candidates) == 0 || rng.Float64() >= p.Frac {
+		return ""
+	}
+	// Uniform choice, budget- and delay-unaware.
+	return candidates[rng.Intn(len(candidates))].ID
+}
+
+// StaticGeo models "current systems" multi-DC pooling (Section 3.1,
+// experiment 4; Figures 3 and 8(d)): a fixed fraction of devices is
+// statically assigned to MMEs in a remote DC, and their requests always
+// travel there — regardless of either DC's load.
+type StaticGeo struct {
+	// Local and Remote are the two pools.
+	Local, Remote *core.ScaleCluster
+	// RemoteFrac is the fraction of devices homed on the remote pool.
+	RemoteFrac float64
+	// Delays provides the inter-DC one-way delay.
+	Delays *netem.Matrix
+	// LocalID and RemoteID name the sites in Delays.
+	LocalID, RemoteID string
+
+	rng      *rand.Rand
+	assigned map[string]bool // key → remote?
+}
+
+// NewStaticGeo builds the static split.
+func NewStaticGeo(local, remote *core.ScaleCluster, remoteFrac float64, delays *netem.Matrix, localID, remoteID string, seed int64) *StaticGeo {
+	return &StaticGeo{
+		Local: local, Remote: remote,
+		RemoteFrac: remoteFrac,
+		Delays:     delays,
+		LocalID:    localID, RemoteID: remoteID,
+		rng:      rand.New(rand.NewSource(seed)),
+		assigned: make(map[string]bool),
+	}
+}
+
+// Arrive implements sim.Cluster.
+func (s *StaticGeo) Arrive(req *sim.Request) {
+	remote, ok := s.assigned[req.Key]
+	if !ok {
+		remote = s.rng.Float64() < s.RemoteFrac
+		s.assigned[req.Key] = remote
+	}
+	if !remote {
+		s.Local.Arrive(req)
+		return
+	}
+	// Statically homed remote: every request pays the propagation RTT.
+	interDC := s.Delays.Get(s.LocalID, s.RemoteID).Base
+	s.Remote.ArriveWithNet(req, 2*interDC)
+}
+
+// RemoteShare reports the fraction of sighted devices homed remotely.
+func (s *StaticGeo) RemoteShare() float64 {
+	if len(s.assigned) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range s.assigned {
+		if r {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.assigned))
+}
+
+// IndependentDCs is the IND baseline of Figure 10(b): each DC processes
+// only its own devices; no pooling at all. It simply maps device home
+// DCs to clusters.
+type IndependentDCs struct {
+	DCs map[string]*core.ScaleCluster
+}
+
+// ArriveAt presents a request at its home DC.
+func (i *IndependentDCs) ArriveAt(home string, req *sim.Request) {
+	if c, ok := i.DCs[home]; ok {
+		c.Arrive(req)
+	}
+}
+
+// FeedAt schedules one DC's workload.
+func (i *IndependentDCs) FeedAt(eng *sim.Engine, home string, pop *trace.Population, arrivals []trace.Arrival) {
+	c, ok := i.DCs[home]
+	if !ok {
+		return
+	}
+	core.FeedWorkload(eng, pop, arrivals, c)
+}
+
+// FixedDelayCluster wraps a cluster adding a constant extra network
+// delay to every request — used for the Figure 3(a) propagation-delay
+// sweep, where the eNodeB↔MME RTT is the independent variable.
+type FixedDelayCluster struct {
+	Inner *core.ScaleCluster
+	Extra time.Duration
+}
+
+// Arrive implements sim.Cluster.
+func (f *FixedDelayCluster) Arrive(req *sim.Request) {
+	f.Inner.ArriveWithNet(req, f.Extra)
+}

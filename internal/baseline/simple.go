@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"hash/fnv"
+	"time"
+
+	"scale/internal/sim"
+)
+
+// SimpleConfig parameterizes the SIMPLE baseline of experiment E3
+// (Figure 9): device state is uniformly partitioned across VMs and each
+// VM's entire state is replicated onto exactly one partner VM, so a hot
+// VM can only shed load to that single partner — and the front-end must
+// keep a per-device routing table.
+type SimpleConfig struct {
+	Eng          *sim.Engine
+	NumVMs       int
+	ServiceTimes sim.ServiceTimes
+	Net          sim.NetworkParams
+	Recorder     *sim.Recorder
+	CPUWindow    time.Duration
+	// ReplicationCost mirrors ScaleClusterConfig.ReplicationCost.
+	ReplicationCost time.Duration
+}
+
+// Simple simulates the SIMPLE pairwise-replicated cluster.
+type Simple struct {
+	cfg SimpleConfig
+	vms []*sim.VM
+	rec *sim.Recorder
+	// routing is the per-device table the paper criticizes: device key →
+	// home VM index. (Entries are created on first sight.)
+	routing map[string]int
+}
+
+// NewSimple builds the cluster.
+func NewSimple(cfg SimpleConfig) *Simple {
+	if cfg.Recorder == nil {
+		cfg.Recorder = sim.NewRecorder()
+	}
+	s := &Simple{cfg: cfg, rec: cfg.Recorder, routing: make(map[string]int)}
+	for i := 0; i < cfg.NumVMs; i++ {
+		s.vms = append(s.vms, sim.NewVM(cfg.Eng, vmName(i), cfg.ServiceTimes, cfg.CPUWindow))
+	}
+	return s
+}
+
+func vmName(i int) string {
+	return "simple-vm-" + string(rune('1'+i))
+}
+
+// Recorder returns the delay recorder.
+func (s *Simple) Recorder() *sim.Recorder { return s.rec }
+
+// VMs returns the cluster's VMs.
+func (s *Simple) VMs() []*sim.VM { return s.vms }
+
+// home returns the device's home VM index, populating the routing table.
+func (s *Simple) home(key string) int {
+	if idx, ok := s.routing[key]; ok {
+		return idx
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	idx := int(h.Sum32()) % len(s.vms)
+	if idx < 0 {
+		idx += len(s.vms)
+	}
+	s.routing[key] = idx
+	return idx
+}
+
+// RoutingTableSize reports the per-device table footprint — the
+// scalability liability SCALE's hash routing avoids.
+func (s *Simple) RoutingTableSize() int { return len(s.routing) }
+
+// HomeOf exposes a device's home VM index (experiments classify devices
+// by home to construct skewed workloads).
+func (s *Simple) HomeOf(key string) int { return s.home(key) }
+
+// Arrive implements sim.Cluster: a device may be served by its home VM
+// or the single partner holding the home VM's replica — the cluster's
+// only load-balancing freedom.
+func (s *Simple) Arrive(req *sim.Request) {
+	if len(s.vms) == 0 {
+		return
+	}
+	home := s.home(req.Key)
+	partner := (home + 1) % len(s.vms)
+	vm := s.vms[home]
+	alt := s.vms[partner]
+	other := alt
+	if len(s.vms) > 1 && alt.QueueDelay() < vm.QueueDelay() {
+		vm, other = alt, vm
+	}
+	arrived, proc := req.Arrived, req.Proc
+	net := s.cfg.Net.RequestRTT()
+	repCost := s.cfg.ReplicationCost
+	vm.Process(proc, 0, func(done time.Duration) {
+		s.rec.Record(proc, done-arrived+net)
+		if repCost > 0 && other != vm {
+			other.ProcessWork(repCost, nil)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package baseline implements the comparison systems the paper measures
+// SCALE against:
+//
+//   - Static: the 3GPP-standard MME pool — static eNodeB-driven device
+//     assignment, reactive overload protection via device reassignment
+//     (Section 3.1, experiments in Figure 2 and 8), and weighted
+//     scale-out where only unregistered devices reach a new MME.
+//   - Simple: uniform state distribution with whole-VM pairwise
+//     replication and a per-device routing table — "representative of a
+//     few commercially available virtual MME systems" (E3, Figure 9).
+//   - UniformRemotePolicy / StaticGeo: the geo-distribution baselines
+//     (IND, RDM1/RDM2, and statically split "current systems" pools) of
+//     Figures 3, 8(d) and 10(b).
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scale/internal/sim"
+)
+
+// StaticConfig parameterizes the 3GPP-standard pool baseline.
+type StaticConfig struct {
+	Eng *sim.Engine
+	// NumVMs is the initial MME count.
+	NumVMs int
+	// ServiceTimes for the VMs (nil → sim defaults).
+	ServiceTimes sim.ServiceTimes
+	// Net is the topology's propagation delays.
+	Net sim.NetworkParams
+	// Recorder receives completed-request delays (nil → internal).
+	Recorder *sim.Recorder
+	// CPUWindow is the utilization sampling window.
+	CPUWindow time.Duration
+
+	// ReassignEnabled turns on reactive overload protection: when an
+	// MME's backlog exceeds OverloadThreshold it pushes the arriving
+	// device to the least-loaded peer, at the cost of reassignment
+	// signaling on both MMEs and a reconnect penalty for the device
+	// (Section 3.1, experiment 2).
+	ReassignEnabled   bool
+	OverloadThreshold time.Duration
+	// ReassignSignalingCost is CPU burned on BOTH MMEs per reassigned
+	// device (context transfer + detach/re-attach signaling).
+	ReassignSignalingCost time.Duration
+	// ReassignLatency is the extra delay the reassigned device's request
+	// suffers (release + reconnect round trips).
+	ReassignLatency time.Duration
+
+	// Seed drives the weighted assignment of unregistered devices.
+	Seed int64
+
+	// OnComplete, if set, observes every completed request with the
+	// serving MME's index — used by experiments that plot per-MME delay
+	// over time (Figure 2(d)).
+	OnComplete func(vmIdx int, delay, at time.Duration)
+}
+
+// Static simulates a 3GPP MME pool with static device→MME binding.
+type Static struct {
+	cfg StaticConfig
+	eng *sim.Engine
+	rec *sim.Recorder
+	rng *rand.Rand
+
+	vms     []*sim.VM
+	weights []float64 // relative capacity for new-device assignment
+	// assigned pins each device to its MME for its registered lifetime.
+	assigned map[string]int
+
+	// Reassignments counts reactive overload migrations.
+	Reassignments uint64
+	// SignalingOverhead accumulates the extra CPU time burned on
+	// reassignment signaling across all MMEs.
+	SignalingOverhead time.Duration
+}
+
+// NewStatic builds the pool.
+func NewStatic(cfg StaticConfig) *Static {
+	if cfg.Recorder == nil {
+		cfg.Recorder = sim.NewRecorder()
+	}
+	if cfg.OverloadThreshold <= 0 {
+		cfg.OverloadThreshold = 50 * time.Millisecond
+	}
+	if cfg.ReassignSignalingCost <= 0 {
+		cfg.ReassignSignalingCost = 2 * time.Millisecond
+	}
+	if cfg.ReassignLatency <= 0 {
+		cfg.ReassignLatency = 30 * time.Millisecond
+	}
+	s := &Static{
+		cfg:      cfg,
+		eng:      cfg.Eng,
+		rec:      cfg.Recorder,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		assigned: make(map[string]int),
+	}
+	for i := 0; i < cfg.NumVMs; i++ {
+		s.AddVM(1.0)
+	}
+	return s
+}
+
+// Recorder returns the delay recorder.
+func (s *Static) Recorder() *sim.Recorder { return s.rec }
+
+// VMs returns the pool's VMs.
+func (s *Static) VMs() []*sim.VM { return s.vms }
+
+// AddVM scales the pool out. weight is the 3GPP "relative MME capacity"
+// eNodeBs use when assigning unregistered devices: a high weight makes
+// the new MME attract new registrations aggressively, but — per the
+// standard's limitation — already-registered devices never move
+// (Section 3.1, experiment 3).
+func (s *Static) AddVM(weight float64) *sim.VM {
+	name := fmt.Sprintf("mme-%d", len(s.vms)+1)
+	vm := sim.NewVM(s.eng, name, s.cfg.ServiceTimes, s.cfg.CPUWindow)
+	s.vms = append(s.vms, vm)
+	s.weights = append(s.weights, weight)
+	return vm
+}
+
+// assignNew picks an MME for an unregistered device by capacity weight.
+func (s *Static) assignNew() int {
+	var total float64
+	for _, w := range s.weights {
+		total += w
+	}
+	u := s.rng.Float64() * total
+	var cum float64
+	for i, w := range s.weights {
+		cum += w
+		if u <= cum {
+			return i
+		}
+	}
+	return len(s.vms) - 1
+}
+
+// Preassign pins a device to an MME index without generating traffic —
+// experiments use it to stage an already-registered fleet. Out-of-range
+// indices are ignored.
+func (s *Static) Preassign(key string, vm int) {
+	if vm < 0 || vm >= len(s.vms) {
+		return
+	}
+	s.assigned[key] = vm
+}
+
+// AssignedTo reports the device's MME index, or -1 if unregistered.
+func (s *Static) AssignedTo(key string) int {
+	if idx, ok := s.assigned[key]; ok {
+		return idx
+	}
+	return -1
+}
+
+// Arrive implements sim.Cluster.
+func (s *Static) Arrive(req *sim.Request) {
+	if len(s.vms) == 0 {
+		return
+	}
+	idx, registered := s.assigned[req.Key]
+	if !registered {
+		idx = s.assignNew()
+		s.assigned[req.Key] = idx
+	}
+	vm := s.vms[idx]
+
+	if s.cfg.ReassignEnabled && len(s.vms) > 1 && vm.QueueDelay() > s.cfg.OverloadThreshold {
+		if s.reassign(idx, req) {
+			return
+		}
+	}
+
+	arrived, proc := req.Arrived, req.Proc
+	net := s.cfg.Net.RequestRTT()
+	vm.Process(proc, 0, func(done time.Duration) {
+		s.rec.Record(proc, done-arrived+net)
+		if s.cfg.OnComplete != nil {
+			s.cfg.OnComplete(idx, done-arrived+net, done)
+		}
+	})
+}
+
+// reassign models the 3GPP overload procedure: the overloaded MME tells
+// the device to re-initiate its connection and transfers state to the
+// least-loaded peer; both burn signaling CPU and the device's request is
+// delayed by the reconnect (Section 3.1, experiment 2: "the additional
+// signaling causes high delays and further increase in load").
+// It reports false (leaving the request to be processed in place) when
+// no peer is meaningfully less loaded — the hysteresis that keeps real
+// pools from ping-ponging devices between two overloaded MMEs.
+func (s *Static) reassign(from int, req *sim.Request) bool {
+	to := -1
+	for i, vm := range s.vms {
+		if i == from {
+			continue
+		}
+		if to < 0 || vm.QueueDelay() < s.vms[to].QueueDelay() {
+			to = i
+		}
+	}
+	if to < 0 || s.vms[to].QueueDelay() >= s.vms[from].QueueDelay()/2 {
+		return false
+	}
+	s.Reassignments++
+	s.SignalingOverhead += 2 * s.cfg.ReassignSignalingCost
+	// Overhead work on both MMEs: detach signaling + context transfer.
+	s.vms[from].ProcessWork(s.cfg.ReassignSignalingCost, nil)
+	s.vms[to].ProcessWork(s.cfg.ReassignSignalingCost, nil)
+	s.assigned[req.Key] = to
+
+	arrived, proc := req.Arrived, req.Proc
+	net := s.cfg.Net.RequestRTT() + s.cfg.ReassignLatency
+	s.vms[to].Process(proc, 0, func(done time.Duration) {
+		s.rec.Record(proc, done-arrived+net)
+		if s.cfg.OnComplete != nil {
+			s.cfg.OnComplete(to, done-arrived+net, done)
+		}
+	})
+	return true
+}

@@ -1,0 +1,164 @@
+// Package cdr implements Call Data Record generation, one of the
+// computational tasks the paper lists for the MME (Section 2: "...
+// generation of Call-Data Records, billing, and lawful intercepts").
+// Each completed control-plane procedure emits a record into a bounded
+// journal that downstream billing/analytics would drain.
+package cdr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventType classifies a record.
+type EventType uint8
+
+// Event types.
+const (
+	EventAttach EventType = iota + 1
+	EventServiceRequest
+	EventTAU
+	EventHandover
+	EventPaging
+	EventDetach
+	EventImplicitDetach
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventAttach:
+		return "attach"
+	case EventServiceRequest:
+		return "service-request"
+	case EventTAU:
+		return "tau"
+	case EventHandover:
+		return "handover"
+	case EventPaging:
+		return "paging"
+	case EventDetach:
+		return "detach"
+	case EventImplicitDetach:
+		return "implicit-detach"
+	default:
+		return fmt.Sprintf("cdr.EventType(%d)", uint8(t))
+	}
+}
+
+// Record is one call data record.
+type Record struct {
+	Seq   uint64
+	At    time.Time
+	Event EventType
+	IMSI  uint64
+	// MME identifies the serving MMP.
+	MME string
+	// Cell and TAI locate the device at the event.
+	Cell uint32
+	TAI  uint16
+}
+
+// Journal is a bounded, concurrency-safe CDR buffer: a fixed-capacity
+// ring that never blocks the control plane — if billing lags, the
+// oldest records are overwritten and Dropped counts the loss.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Record
+	start   int // index of the oldest record
+	count   int
+	seq     uint64
+	dropped uint64
+}
+
+// NewJournal creates a journal holding up to capacity records
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{buf: make([]Record, capacity)}
+}
+
+// Append records one event, assigning its sequence number.
+func (j *Journal) Append(r Record) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	r.Seq = j.seq
+	if j.count == len(j.buf) {
+		// Overwrite the oldest.
+		j.buf[j.start] = r
+		j.start = (j.start + 1) % len(j.buf)
+		j.dropped++
+		return r.Seq
+	}
+	j.buf[(j.start+j.count)%len(j.buf)] = r
+	j.count++
+	return r.Seq
+}
+
+// Len reports buffered records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.count
+}
+
+// Dropped reports records lost to overflow.
+func (j *Journal) Dropped() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Drain removes and returns up to max buffered records in order
+// (oldest first); max ≤ 0 drains everything.
+func (j *Journal) Drain(max int) []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.count
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Record, n)
+	for i := 0; i < n; i++ {
+		out[i] = j.buf[(j.start+i)%len(j.buf)]
+	}
+	j.start = (j.start + n) % len(j.buf)
+	j.count -= n
+	return out
+}
+
+// Snapshot returns the buffered records without draining.
+func (j *Journal) Snapshot() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, j.count)
+	for i := 0; i < j.count; i++ {
+		out[i] = j.buf[(j.start+i)%len(j.buf)]
+	}
+	return out
+}
+
+// ByIMSI filters a snapshot for one subscriber — the lawful-intercept
+// style query the paper alludes to.
+func (j *Journal) ByIMSI(imsi uint64) []Record {
+	var out []Record
+	for _, r := range j.Snapshot() {
+		if r.IMSI == imsi {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Counts tallies buffered records per event type.
+func (j *Journal) Counts() map[EventType]int {
+	out := make(map[EventType]int)
+	for _, r := range j.Snapshot() {
+		out[r.Event]++
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package cdr
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func rec(imsi uint64, ev EventType) Record {
+	return Record{At: time.Unix(0, 0), Event: ev, IMSI: imsi, MME: "mmp-1", Cell: 1, TAI: 7}
+}
+
+func TestAppendAssignsSequence(t *testing.T) {
+	j := NewJournal(10)
+	s1 := j.Append(rec(1, EventAttach))
+	s2 := j.Append(rec(2, EventDetach))
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("seqs = %d,%d", s1, s2)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("len = %d", j.Len())
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	j := NewJournal(3)
+	for i := uint64(1); i <= 5; i++ {
+		j.Append(rec(i, EventAttach))
+	}
+	if j.Len() != 3 {
+		t.Fatalf("len = %d", j.Len())
+	}
+	if j.Dropped() != 2 {
+		t.Fatalf("dropped = %d", j.Dropped())
+	}
+	got := j.Snapshot()
+	if got[0].IMSI != 3 || got[2].IMSI != 5 {
+		t.Fatalf("ring contents: %v", got)
+	}
+}
+
+func TestDrainOrderAndPartial(t *testing.T) {
+	j := NewJournal(10)
+	for i := uint64(1); i <= 6; i++ {
+		j.Append(rec(i, EventTAU))
+	}
+	first := j.Drain(2)
+	if len(first) != 2 || first[0].IMSI != 1 || first[1].IMSI != 2 {
+		t.Fatalf("partial drain = %v", first)
+	}
+	rest := j.Drain(0)
+	if len(rest) != 4 || rest[0].IMSI != 3 || rest[3].IMSI != 6 {
+		t.Fatalf("full drain = %v", rest)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("len after drain = %d", j.Len())
+	}
+	if got := j.Drain(5); len(got) != 0 {
+		t.Fatalf("drain of empty = %v", got)
+	}
+}
+
+func TestDrainAfterWrap(t *testing.T) {
+	j := NewJournal(4)
+	for i := uint64(1); i <= 7; i++ { // wraps
+		j.Append(rec(i, EventHandover))
+	}
+	got := j.Drain(0)
+	if len(got) != 4 {
+		t.Fatalf("drain len = %d", len(got))
+	}
+	for i, r := range got {
+		if r.IMSI != uint64(4+i) {
+			t.Fatalf("order after wrap: %v", got)
+		}
+	}
+}
+
+func TestByIMSIAndCounts(t *testing.T) {
+	j := NewJournal(16)
+	j.Append(rec(7, EventAttach))
+	j.Append(rec(8, EventAttach))
+	j.Append(rec(7, EventServiceRequest))
+	j.Append(rec(7, EventDetach))
+
+	mine := j.ByIMSI(7)
+	if len(mine) != 3 {
+		t.Fatalf("byIMSI = %d", len(mine))
+	}
+	counts := j.Counts()
+	if counts[EventAttach] != 2 || counts[EventServiceRequest] != 1 || counts[EventDetach] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if got := j.ByIMSI(99); got != nil {
+		t.Fatalf("unknown imsi = %v", got)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	j := NewJournal(0)
+	j.Append(rec(1, EventAttach))
+	j.Append(rec(2, EventAttach))
+	if j.Len() != 1 || j.Snapshot()[0].IMSI != 2 {
+		t.Fatalf("capacity-1 journal: %v", j.Snapshot())
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for ev := EventAttach; ev <= EventImplicitDetach; ev++ {
+		if s := ev.String(); s == "" || s[0] == 'c' {
+			t.Fatalf("event %d String = %q", ev, s)
+		}
+	}
+	if EventType(99).String() == "" {
+		t.Fatal("unknown event String empty")
+	}
+}
+
+func TestConcurrentAppendDrain(t *testing.T) {
+	j := NewJournal(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Append(rec(uint64(g*1000+i), EventTAU))
+			}
+		}(g)
+	}
+	var drained int
+	var dmu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			n := len(j.Drain(16))
+			dmu.Lock()
+			drained += n
+			dmu.Unlock()
+		}
+	}()
+	wg.Wait()
+	total := drained + j.Len() + int(j.Dropped())
+	if total != 2000 {
+		t.Fatalf("accounting: drained %d + buffered %d + dropped %d != 2000",
+			drained, j.Len(), j.Dropped())
+	}
+}
+
+// Property: for any append/drain interleaving, records drain in
+// sequence order with no duplicates.
+func TestSequenceOrderProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		j := NewJournal(8)
+		var lastSeq uint64
+		imsi := uint64(0)
+		for _, op := range ops {
+			if op%3 == 0 {
+				got := j.Drain(int(op % 5))
+				for _, r := range got {
+					if r.Seq <= lastSeq {
+						return false
+					}
+					lastSeq = r.Seq
+				}
+			} else {
+				imsi++
+				j.Append(rec(imsi, EventTAU))
+			}
+		}
+		for _, r := range j.Drain(0) {
+			if r.Seq <= lastSeq {
+				return false
+			}
+			lastSeq = r.Seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

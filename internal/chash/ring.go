@@ -1,0 +1,271 @@
+// Package chash implements the consistent hash ring SCALE uses to
+// partition device state across MMP VMs (Section 4.3.1).
+//
+// Each node is represented by a configurable number of tokens hashed onto
+// a fixed circular ring; a key's master node is the first node clockwise
+// from the key's hash, and its replicas are the next distinct nodes. The
+// paper's MD5-based instantiation is preserved (Section 5, "We
+// implemented the Consistent Hashing functionality using the MD5 hash
+// libraries").
+//
+// The token-less variant ("basic consistent hashing" in experiment S1,
+// Figure 10(a)) is obtained with Tokens=1.
+package chash
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultTokens is the per-node token count used by the paper's
+// simulations ("Each VM is represented by 5 tokens on the hash ring").
+const DefaultTokens = 5
+
+// NodeID identifies a node (an MMP VM) on the ring.
+type NodeID string
+
+// ErrEmptyRing is returned by lookups on a ring with no nodes.
+var ErrEmptyRing = errors.New("chash: ring has no nodes")
+
+type tokenPoint struct {
+	hash uint64
+	node NodeID
+}
+
+// Ring is a consistent hash ring with virtual tokens. It is safe for
+// concurrent use: lookups take a read lock, membership changes a write
+// lock.
+type Ring struct {
+	mu      sync.RWMutex
+	tokens  int
+	points  []tokenPoint // sorted by hash
+	nodes   map[NodeID]struct{}
+	version uint64 // bumped on every membership change
+}
+
+// New creates an empty ring with the given tokens per node.
+// tokens < 1 is normalized to DefaultTokens.
+func New(tokens int) *Ring {
+	if tokens < 1 {
+		tokens = DefaultTokens
+	}
+	return &Ring{tokens: tokens, nodes: make(map[NodeID]struct{})}
+}
+
+// hashKey maps arbitrary bytes to a point on the ring using the first 8
+// bytes of their MD5 digest.
+func hashKey(b []byte) uint64 {
+	sum := md5.Sum(b)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// HashString maps a string key onto the ring coordinate space. Exposed so
+// tests and the simulator can reason about placement.
+func HashString(s string) uint64 { return hashKey([]byte(s)) }
+
+func tokenHash(n NodeID, i int) uint64 {
+	return hashKey([]byte(fmt.Sprintf("%s#%d", n, i)))
+}
+
+// Add inserts a node with the ring's token count. Adding an existing node
+// is a no-op. Consistent hashing guarantees only keys adjacent to the new
+// tokens move (Section 4.3.1: "addition or removal of VM only affects
+// state re-assignment among neighboring VMs").
+func (r *Ring) Add(n NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[n]; ok {
+		return
+	}
+	r.nodes[n] = struct{}{}
+	for i := 0; i < r.tokens; i++ {
+		r.points = append(r.points, tokenPoint{hash: tokenHash(n, i), node: n})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	r.version++
+}
+
+// Remove deletes a node and all its tokens. Removing an absent node is a
+// no-op.
+func (r *Ring) Remove(n NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[n]; !ok {
+		return
+	}
+	delete(r.nodes, n)
+	pts := r.points[:0]
+	for _, p := range r.points {
+		if p.node != n {
+			pts = append(pts, p)
+		}
+	}
+	r.points = pts
+	r.version++
+}
+
+// Nodes returns the current members in unspecified order.
+func (r *Ring) Nodes() []NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]NodeID, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Len reports the number of member nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Version reports a counter incremented on every membership change. The
+// MLB uses it to detect stale ring metadata.
+func (r *Ring) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// Lookup returns the master node for key: the owner of the first token at
+// or clockwise after the key's hash.
+func (r *Ring) Lookup(key []byte) (NodeID, error) {
+	owners, err := r.Owners(key, 1)
+	if err != nil {
+		return "", err
+	}
+	return owners[0], nil
+}
+
+// LookupString is Lookup for string keys.
+func (r *Ring) LookupString(key string) (NodeID, error) { return r.Lookup([]byte(key)) }
+
+// Owners returns up to n distinct nodes for key, in ring order starting
+// with the master. Owners[1:] are the replica placements: because nodes
+// hold multiple tokens, successive keys mastered by the same node scatter
+// their replicas across different neighbors, which is precisely the
+// hot-spot-avoidance property experiment E3 (Figure 9) demonstrates.
+//
+// If the ring has fewer than n nodes, all nodes are returned.
+func (r *Ring) Owners(key []byte, n int) ([]NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil, ErrEmptyRing
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]NodeID, 0, n)
+	seen := make(map[NodeID]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out, nil
+}
+
+// OwnersString is Owners for string keys.
+func (r *Ring) OwnersString(key string, n int) ([]NodeID, error) {
+	return r.Owners([]byte(key), n)
+}
+
+// Successor returns the first distinct node clockwise after node's tokens
+// for the given key — the replica target the master MMP pushes state to
+// asynchronously (Section 4.3.2).
+func (r *Ring) Successor(key []byte) (NodeID, error) {
+	owners, err := r.Owners(key, 2)
+	if err != nil {
+		return "", err
+	}
+	if len(owners) < 2 {
+		return "", errors.New("chash: ring needs at least 2 nodes for a successor")
+	}
+	return owners[1], nil
+}
+
+// Distribution counts, for a sample of nKeys synthetic keys, how many
+// each node masters. Used by tests and by the provisioner's balance
+// diagnostics.
+func (r *Ring) Distribution(nKeys int) map[NodeID]int {
+	out := make(map[NodeID]int)
+	for i := 0; i < nKeys; i++ {
+		n, err := r.LookupString(fmt.Sprintf("key-%d", i))
+		if err != nil {
+			return out
+		}
+		out[n]++
+	}
+	return out
+}
+
+// Snapshot returns an immutable copy of the ring for lock-free routing in
+// the MLB's hot path.
+func (r *Ring) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pts := make([]tokenPoint, len(r.points))
+	copy(pts, r.points)
+	nodes := make([]NodeID, 0, len(r.nodes))
+	for n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return &Snapshot{points: pts, nodes: nodes, version: r.version}
+}
+
+// Snapshot is an immutable view of a Ring. All methods are safe for
+// concurrent use without locking.
+type Snapshot struct {
+	points  []tokenPoint
+	nodes   []NodeID
+	version uint64
+}
+
+// Version reports the ring version the snapshot was taken at.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Nodes returns the members in sorted order.
+func (s *Snapshot) Nodes() []NodeID { return s.nodes }
+
+// Owners mirrors Ring.Owners on the frozen view.
+func (s *Snapshot) Owners(key []byte, n int) ([]NodeID, error) {
+	if len(s.points) == 0 {
+		return nil, ErrEmptyRing
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(s.nodes) {
+		n = len(s.nodes)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(s.points), func(i int) bool { return s.points[i].hash >= h })
+	out := make([]NodeID, 0, n)
+	seen := make(map[NodeID]struct{}, n)
+	for i := 0; i < len(s.points) && len(out) < n; i++ {
+		p := s.points[(start+i)%len(s.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out, nil
+}

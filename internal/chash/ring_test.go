@@ -1,0 +1,446 @@
+package chash
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRingLookup(t *testing.T) {
+	r := New(5)
+	if _, err := r.LookupString("k"); err != ErrEmptyRing {
+		t.Fatalf("err = %v, want ErrEmptyRing", err)
+	}
+	if _, err := r.Owners([]byte("k"), 2); err != ErrEmptyRing {
+		t.Fatalf("owners err = %v", err)
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r := New(5)
+	r.Add("a")
+	for i := 0; i < 100; i++ {
+		n, err := r.LookupString(fmt.Sprintf("key-%d", i))
+		if err != nil || n != "a" {
+			t.Fatalf("lookup = %v,%v", n, err)
+		}
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	r := New(5)
+	for _, n := range []NodeID{"a", "b", "c", "d"} {
+		r.Add(n)
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("dev-%d", i)
+		n1, _ := r.LookupString(k)
+		n2, _ := r.LookupString(k)
+		if n1 != n2 {
+			t.Fatalf("non-deterministic lookup for %s", k)
+		}
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := New(3)
+	r.Add("a")
+	v := r.Version()
+	r.Add("a")
+	if r.Version() != v {
+		t.Fatal("duplicate Add changed version")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := New(5)
+	r.Add("a")
+	r.Add("b")
+	r.Remove("a")
+	if r.Len() != 1 {
+		t.Fatalf("len after remove = %d", r.Len())
+	}
+	for i := 0; i < 20; i++ {
+		n, err := r.LookupString(fmt.Sprintf("k%d", i))
+		if err != nil || n != "b" {
+			t.Fatalf("post-remove lookup = %v, %v", n, err)
+		}
+	}
+	r.Remove("zzz") // absent: no-op
+	if r.Len() != 1 {
+		t.Fatal("removing absent node changed membership")
+	}
+}
+
+func TestOwnersDistinct(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10; i++ {
+		r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+	}
+	for i := 0; i < 200; i++ {
+		owners, err := r.OwnersString(fmt.Sprintf("dev-%d", i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(owners) != 3 {
+			t.Fatalf("owners len = %d", len(owners))
+		}
+		seen := map[NodeID]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner %s for key %d", o, i)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestOwnersClampedToMembership(t *testing.T) {
+	r := New(5)
+	r.Add("a")
+	r.Add("b")
+	owners, err := r.Owners([]byte("k"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v", owners)
+	}
+}
+
+func TestSuccessorNeedsTwoNodes(t *testing.T) {
+	r := New(5)
+	r.Add("only")
+	if _, err := r.Successor([]byte("k")); err == nil {
+		t.Fatal("expected error with single node")
+	}
+	r.Add("other")
+	s, err := r.Successor([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := r.Lookup([]byte("k"))
+	if s == m {
+		t.Fatal("successor equals master")
+	}
+}
+
+// Consistent hashing's core contract: adding a node only moves keys to
+// the new node, never between existing nodes.
+func TestMinimalDisruptionOnAdd(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 10; i++ {
+		r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+	}
+	const nKeys = 5000
+	before := make(map[string]NodeID, nKeys)
+	for i := 0; i < nKeys; i++ {
+		k := fmt.Sprintf("dev-%d", i)
+		n, _ := r.LookupString(k)
+		before[k] = n
+	}
+	r.Add("vm-new")
+	moved := 0
+	for k, prev := range before {
+		now, _ := r.LookupString(k)
+		if now != prev {
+			if now != "vm-new" {
+				t.Fatalf("key %s moved between existing nodes: %s -> %s", k, prev, now)
+			}
+			moved++
+		}
+	}
+	// Expected share ~ 1/11 of keys; allow generous slack.
+	frac := float64(moved) / nKeys
+	if frac > 0.25 {
+		t.Fatalf("add moved %.1f%% of keys", 100*frac)
+	}
+	if moved == 0 {
+		t.Fatal("add moved no keys at all")
+	}
+}
+
+// Removing a node must only reassign that node's keys.
+func TestMinimalDisruptionOnRemove(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 10; i++ {
+		r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+	}
+	const nKeys = 5000
+	before := make(map[string]NodeID, nKeys)
+	for i := 0; i < nKeys; i++ {
+		k := fmt.Sprintf("dev-%d", i)
+		n, _ := r.LookupString(k)
+		before[k] = n
+	}
+	r.Remove("vm-3")
+	for k, prev := range before {
+		now, _ := r.LookupString(k)
+		if prev != "vm-3" && now != prev {
+			t.Fatalf("key %s moved though its master survived: %s -> %s", k, prev, now)
+		}
+		if prev == "vm-3" && now == "vm-3" {
+			t.Fatalf("key %s still on removed node", k)
+		}
+	}
+}
+
+// With enough tokens, load distribution should be roughly uniform.
+func TestTokenBalancing(t *testing.T) {
+	const nodes, keys = 20, 40000
+	r := New(64)
+	for i := 0; i < nodes; i++ {
+		r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+	}
+	dist := r.Distribution(keys)
+	mean := float64(keys) / nodes
+	for n, c := range dist {
+		if math.Abs(float64(c)-mean)/mean > 0.5 {
+			t.Errorf("node %s has %d keys, mean %f: imbalance > 50%%", n, c, mean)
+		}
+	}
+}
+
+// Token-less ("basic") hashing should be visibly worse balanced than the
+// tokened ring — the property Figure 10(a)'s baseline exposes.
+func TestTokensImproveBalanceOverBasic(t *testing.T) {
+	const nodes, keys = 30, 30000
+	spread := func(tokens int) float64 {
+		r := New(tokens)
+		for i := 0; i < nodes; i++ {
+			r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+		}
+		dist := r.Distribution(keys)
+		max, min := 0, keys
+		for i := 0; i < nodes; i++ {
+			c := dist[NodeID(fmt.Sprintf("vm-%d", i))]
+			if c > max {
+				max = c
+			}
+			if c < min {
+				min = c
+			}
+		}
+		return float64(max-min) / (float64(keys) / nodes)
+	}
+	basic, tokened := spread(1), spread(32)
+	if tokened >= basic {
+		t.Fatalf("tokens did not improve balance: basic=%.2f tokened=%.2f", basic, tokened)
+	}
+}
+
+// Replicas of one node's keys should scatter across many distinct
+// neighbors when tokens are used (the E3 property), but concentrate on
+// one neighbor in basic mode.
+func TestReplicaScatter(t *testing.T) {
+	scatter := func(tokens int) int {
+		r := New(tokens)
+		for i := 0; i < 10; i++ {
+			r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+		}
+		// Find keys mastered by vm-0 and count distinct replica targets.
+		targets := map[NodeID]bool{}
+		for i := 0; i < 20000; i++ {
+			k := fmt.Sprintf("dev-%d", i)
+			owners, _ := r.OwnersString(k, 2)
+			if owners[0] == "vm-0" {
+				targets[owners[1]] = true
+			}
+		}
+		return len(targets)
+	}
+	if basic := scatter(1); basic != 1 {
+		t.Fatalf("basic mode scattered to %d neighbors, want 1", basic)
+	}
+	if tokened := scatter(16); tokened < 4 {
+		t.Fatalf("tokened mode scattered to only %d neighbors", tokened)
+	}
+}
+
+func TestSnapshotMatchesRing(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 6; i++ {
+		r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+	}
+	s := r.Snapshot()
+	if s.Version() != r.Version() {
+		t.Fatal("version mismatch")
+	}
+	if len(s.Nodes()) != 6 {
+		t.Fatalf("snapshot nodes = %d", len(s.Nodes()))
+	}
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("dev-%d", i))
+		a, _ := r.Owners(k, 2)
+		b, err := s.Owners(k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("snapshot disagrees with ring on key %d: %v vs %v", i, a, b)
+		}
+	}
+	// Snapshot is frozen: ring changes don't affect it.
+	v := s.Version()
+	r.Add("vm-late")
+	if s.Version() != v {
+		t.Fatal("snapshot mutated by ring change")
+	}
+	if _, err := (&Snapshot{}).Owners([]byte("k"), 1); err != ErrEmptyRing {
+		t.Fatalf("empty snapshot err = %v", err)
+	}
+}
+
+func TestNewNormalizesTokens(t *testing.T) {
+	r := New(0)
+	r.Add("a")
+	if got := len(r.points); got != DefaultTokens {
+		t.Fatalf("points = %d, want %d", got, DefaultTokens)
+	}
+}
+
+// Property: for any random key set and any membership, Owners returns the
+// master as element 0 and never duplicates.
+func TestOwnersProperty(t *testing.T) {
+	f := func(keys []string, nNodes uint8) bool {
+		n := int(nNodes%12) + 1
+		r := New(5)
+		for i := 0; i < n; i++ {
+			r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+		}
+		for _, k := range keys {
+			want := 3
+			if want > n {
+				want = n
+			}
+			owners, err := r.OwnersString(k, 3)
+			if err != nil || len(owners) != want {
+				return false
+			}
+			m, _ := r.LookupString(k)
+			if owners[0] != m {
+				return false
+			}
+			seen := map[NodeID]bool{}
+			for _, o := range owners {
+				if seen[o] {
+					return false
+				}
+				seen[o] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("GUTI-1") != HashString("GUTI-1") {
+		t.Fatal("hash not stable")
+	}
+	if HashString("GUTI-1") == HashString("GUTI-2") {
+		t.Fatal("suspicious collision on trivial inputs")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := New(32)
+	for i := 0; i < 50; i++ {
+		r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+	}
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("dev-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Lookup(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotOwners(b *testing.B) {
+	r := New(32)
+	for i := 0; i < 50; i++ {
+		r.Add(NodeID(fmt.Sprintf("vm-%d", i)))
+	}
+	s := r.Snapshot()
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("dev-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Owners(keys[i%len(keys)], 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: under an arbitrary sequence of adds and removes, the ring's
+// invariants hold at every step — lookups are total over membership,
+// owners are distinct, and keys only move when their owner's membership
+// changed.
+func TestMembershipChurnProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := New(5)
+		live := map[NodeID]bool{}
+		nextID := 0
+		keys := make([]string, 200)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("dev-%d", i)
+		}
+		owner := map[string]NodeID{}
+
+		for _, op := range ops {
+			var changed NodeID
+			if op%3 != 0 || len(live) == 0 {
+				changed = NodeID(fmt.Sprintf("vm-%d", nextID))
+				nextID++
+				r.Add(changed)
+				live[changed] = true
+			} else {
+				// Remove an arbitrary live node (deterministic pick).
+				for n := range live {
+					if changed == "" || n < changed {
+						changed = n
+					}
+				}
+				r.Remove(changed)
+				delete(live, changed)
+			}
+			if len(live) == 0 {
+				owner = map[string]NodeID{}
+				continue
+			}
+			if r.Len() != len(live) {
+				return false
+			}
+			for _, k := range keys {
+				now, err := r.LookupString(k)
+				if err != nil || !live[now] {
+					return false
+				}
+				if prev, ok := owner[k]; ok && prev != now {
+					// A key may only move if its previous owner left or
+					// the newly added node took it.
+					if live[prev] && now != changed {
+						return false
+					}
+				}
+				owner[k] = now
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package cluster implements SCALE's DC-level resource management
+// policies: per-epoch VM provisioning driven jointly by compute and
+// memory (Section 4.4, Eq. 1), access-aware replica pruning via the β
+// knob (Section 4.5.1, Eq. 2–3), and geo-multiplexing budgets with
+// delay-proportional remote-DC selection (Section 4.5.2).
+//
+// Everything here is pure policy: the simulator and the prototype both
+// call these functions, so the experiments and the runnable system share
+// one implementation of the paper's equations.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"scale/internal/metrics"
+)
+
+// DefaultReplicas is R, the paper's chosen replication factor.
+const DefaultReplicas = 2
+
+// HighAccessThreshold is the w_i cutoff above which a device is eligible
+// for external (remote-DC) replication (Section 4.5.2: w_i ≥ 0.5).
+const HighAccessThreshold = 0.5
+
+// VMsForCompute returns V_C(t) = ⌈L̄(t)/N⌉: VMs needed to process the
+// expected per-epoch signaling load with per-VM capacity N.
+func VMsForCompute(expectedLoad float64, n int) int {
+	if n <= 0 || expectedLoad <= 0 {
+		return 0
+	}
+	return int(math.Ceil(expectedLoad / float64(n)))
+}
+
+// VMsForMemory returns V_S(t) = ⌈β·R·K/S⌉: VMs needed to store R
+// replicas of K device states with per-VM capacity S, scaled by β.
+func VMsForMemory(beta float64, r, k, s int) int {
+	if s <= 0 || k <= 0 || r <= 0 {
+		return 0
+	}
+	if beta <= 0 {
+		beta = 1
+	}
+	if beta > 1 {
+		beta = 1
+	}
+	return int(math.Ceil(beta * float64(r) * float64(k) / float64(s)))
+}
+
+// Beta evaluates Eq. 2:
+//
+//	β(x) = 1 − (K̂(x) − Sn − Sm) / (R·K)
+//
+// where K̂(x) is the number of devices with access probability ≤ x whose
+// state will be kept at a single replica, Sn the space reserved for new
+// devices, and Sm the space reserved for external (remote-DC) state. The
+// result is clamped to (0, 1].
+func Beta(kHat, sn, sm, r, k int) float64 {
+	if r <= 0 || k <= 0 {
+		return 1
+	}
+	b := 1 - float64(kHat-sn-sm)/float64(r*k)
+	if b > 1 {
+		return 1
+	}
+	// β must stay positive: at least the master copies are stored.
+	if b < 1.0/float64(r) {
+		return 1.0 / float64(r)
+	}
+	return b
+}
+
+// ReplicaProb evaluates Eq. 3: the probability that device i (weight w
+// of population total sumW) receives a second, local replica, given the
+// remaining memory after masters, new-device headroom and external
+// budget:
+//
+//	P_i(rep) = (w_i/Σ_j w_j) · (V·S − Sn − Sm − K)
+//
+// clamped to [0, 1].
+func ReplicaProb(w, sumW float64, v, s, sn, sm, k int) float64 {
+	if w <= 0 || sumW <= 0 {
+		return 0
+	}
+	slots := float64(v*s - sn - sm - k)
+	if slots <= 0 {
+		return 0
+	}
+	p := (w / sumW) * slots
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ExternalReplicaProb is the Section 4.5.2 analogue for remote
+// replication: each MMP replicates its high-access devices (w ≥
+// HighAccessThreshold) externally with probability proportional to
+// weight, budgeted to its share Sm/V of the DC's external allowance:
+//
+//	P_i = (w_i / Σ_{j: w_j≥0.5} w_j) · (Sm/V)
+func ExternalReplicaProb(w, sumWHigh float64, sm, v int) float64 {
+	if w < HighAccessThreshold || sumWHigh <= 0 || v <= 0 || sm <= 0 {
+		return 0
+	}
+	p := (w / sumWHigh) * float64(sm) / float64(v)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Config parameterizes a Provisioner.
+type Config struct {
+	// N is per-VM compute capacity: requests per epoch.
+	N int
+	// S is per-VM memory capacity: device states stored.
+	S int
+	// R is the replication factor (0 → DefaultReplicas).
+	R int
+	// Alpha is the load-forecast EWMA factor (0 → 0.5).
+	Alpha float64
+	// MinVMs floors the provisioning (a pool never scales to zero).
+	MinVMs int
+}
+
+// Decision is one epoch's provisioning outcome.
+type Decision struct {
+	// VC and VS are the compute- and memory-driven VM counts.
+	VC, VS int
+	// V = max(VC, VS, MinVMs) is the provisioned count.
+	V int
+	// Beta is the memory-control parameter used.
+	Beta float64
+	// ExpectedLoad is the L̄(t) forecast the decision used.
+	ExpectedLoad float64
+}
+
+// Provisioner tracks the load forecast across epochs and emits
+// provisioning decisions (Section 4.4).
+type Provisioner struct {
+	cfg  Config
+	lbar *metrics.EWMA
+}
+
+// NewProvisioner creates a provisioner.
+func NewProvisioner(cfg Config) *Provisioner {
+	if cfg.R <= 0 {
+		cfg.R = DefaultReplicas
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.5
+	}
+	if cfg.MinVMs <= 0 {
+		cfg.MinVMs = 1
+	}
+	return &Provisioner{cfg: cfg, lbar: metrics.NewEWMA(cfg.Alpha)}
+}
+
+// Epoch folds the previous epoch's observed load into the forecast and
+// returns the provisioning decision for the next epoch. k is the
+// registered-device count; beta the memory-control parameter (use
+// Beta(...) for access-aware pruning, or 1 for full replication).
+func (p *Provisioner) Epoch(observedLoad float64, k int, beta float64) Decision {
+	expected := p.lbar.Observe(observedLoad)
+	vc := VMsForCompute(expected, p.cfg.N)
+	vs := VMsForMemory(beta, p.cfg.R, k, p.cfg.S)
+	v := vc
+	if vs > v {
+		v = vs
+	}
+	if v < p.cfg.MinVMs {
+		v = p.cfg.MinVMs
+	}
+	return Decision{VC: vc, VS: vs, V: v, Beta: beta, ExpectedLoad: expected}
+}
+
+// Forecast returns the current L̄ without observing a new epoch.
+func (p *Provisioner) Forecast() float64 { return p.lbar.Value() }
+
+// GeoBudget manages one DC's external-state allowance: Sm is the total
+// room offered to remote DCs, Available (Ŝm) the unused share
+// (Section 4.5.2, DC-level operation). It is not safe for concurrent
+// use; the DC controller owns it.
+type GeoBudget struct {
+	sm   int
+	used int
+}
+
+// NewGeoBudget creates a budget of sm state units.
+func NewGeoBudget(sm int) *GeoBudget {
+	if sm < 0 {
+		sm = 0
+	}
+	return &GeoBudget{sm: sm}
+}
+
+// Total returns Sm.
+func (g *GeoBudget) Total() int { return g.sm }
+
+// Available returns Ŝm = Sm − used (never negative).
+func (g *GeoBudget) Available() int {
+	if g.used >= g.sm {
+		return 0
+	}
+	return g.sm - g.used
+}
+
+// Used returns the occupied external-state count.
+func (g *GeoBudget) Used() int { return g.used }
+
+// Accept reserves room for n external device states; it reports false
+// (reserving nothing) if fewer than n units are available.
+func (g *GeoBudget) Accept(n int) bool {
+	if n <= 0 || g.Available() < n {
+		return false
+	}
+	g.used += n
+	return true
+}
+
+// Release frees n units (remote DC deleted its replicas).
+func (g *GeoBudget) Release(n int) {
+	g.used -= n
+	if g.used < 0 {
+		g.used = 0
+	}
+}
+
+// Resize changes Sm to track the DC's own load (Section 4.5.2 step iv);
+// it returns the number of external states that must be evicted (used
+// beyond the new total), if any.
+func (g *GeoBudget) Resize(sm int) (evict int) {
+	if sm < 0 {
+		sm = 0
+	}
+	g.sm = sm
+	if g.used > g.sm {
+		evict = g.used - g.sm
+		g.used = g.sm
+	}
+	return evict
+}
+
+// RemoteDC is a candidate destination for external replication.
+type RemoteDC struct {
+	ID string
+	// Delay is the inter-DC propagation delay D_ij.
+	Delay time.Duration
+	// Available is the advertised Ŝm of that DC.
+	Available int
+}
+
+// ChooseRemoteDC picks the destination for a device's external replica:
+// among DCs with available budget, probabilistically proportional to
+//
+//	p = (1/D_ik) / Σ_j (1/D_ij)
+//
+// (Section 4.5.2, choice of remote DCs). Probabilistic rather than
+// greedy selection avoids hot-spots when one DC is near many others.
+// Returns "" if no candidate has budget.
+func ChooseRemoteDC(rng *rand.Rand, candidates []RemoteDC) string {
+	var weights []float64
+	var ids []string
+	var total float64
+	for _, c := range candidates {
+		if c.Available <= 0 {
+			continue
+		}
+		d := c.Delay.Seconds()
+		if d <= 0 {
+			d = 1e-3 // co-located DCs: near-zero delay, huge weight
+		}
+		w := 1 / d
+		weights = append(weights, w)
+		ids = append(ids, c.ID)
+		total += w
+	}
+	if len(ids) == 0 {
+		return ""
+	}
+	if rng == nil {
+		// Deterministic fallback: highest weight.
+		best := 0
+		for i := range weights {
+			if weights[i] > weights[best] {
+				best = i
+			}
+		}
+		return ids[best]
+	}
+	u := rng.Float64() * total
+	var cum float64
+	for i := range ids {
+		cum += weights[i]
+		if u <= cum {
+			return ids[i]
+		}
+	}
+	return ids[len(ids)-1]
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVMsForCompute(t *testing.T) {
+	if got := VMsForCompute(1000, 100); got != 10 {
+		t.Fatalf("VC = %d", got)
+	}
+	if got := VMsForCompute(1001, 100); got != 11 {
+		t.Fatalf("VC ceil = %d", got)
+	}
+	if got := VMsForCompute(0, 100); got != 0 {
+		t.Fatalf("VC zero load = %d", got)
+	}
+	if got := VMsForCompute(100, 0); got != 0 {
+		t.Fatalf("VC zero capacity = %d", got)
+	}
+}
+
+func TestVMsForMemory(t *testing.T) {
+	// β=1, R=2, K=1000, S=100 → 20 VMs.
+	if got := VMsForMemory(1, 2, 1000, 100); got != 20 {
+		t.Fatalf("VS = %d", got)
+	}
+	// β=0.75 → 15 VMs (the paper's 25% saving).
+	if got := VMsForMemory(0.75, 2, 1000, 100); got != 15 {
+		t.Fatalf("VS β=0.75 = %d", got)
+	}
+	// β clamps.
+	if got := VMsForMemory(0, 2, 1000, 100); got != 20 {
+		t.Fatalf("VS β=0 = %d", got)
+	}
+	if got := VMsForMemory(2, 2, 1000, 100); got != 20 {
+		t.Fatalf("VS β>1 = %d", got)
+	}
+	if got := VMsForMemory(1, 2, 0, 100); got != 0 {
+		t.Fatalf("VS K=0 = %d", got)
+	}
+}
+
+func TestBeta(t *testing.T) {
+	// No low-access devices: β = 1.
+	if got := Beta(0, 0, 0, 2, 1000); got != 1 {
+		t.Fatalf("β = %v", got)
+	}
+	// K̂=500, Sn=50, Sm=50: β = 1 − 400/2000 = 0.8.
+	if got := Beta(500, 50, 50, 2, 1000); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("β = %v", got)
+	}
+	// Floor at 1/R: even if every device is low-access, masters remain.
+	if got := Beta(10000, 0, 0, 2, 1000); got != 0.5 {
+		t.Fatalf("β floor = %v", got)
+	}
+	// Degenerate inputs.
+	if got := Beta(10, 0, 0, 0, 0); got != 1 {
+		t.Fatalf("β degenerate = %v", got)
+	}
+	// More reclaimed memory (larger K̂) never increases β.
+	prev := 2.0
+	for _, kHat := range []int{0, 100, 300, 500, 900} {
+		b := Beta(kHat, 10, 10, 2, 1000)
+		if b > prev {
+			t.Fatalf("β not monotone at K̂=%d: %v > %v", kHat, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestReplicaProb(t *testing.T) {
+	// 100 devices (K), V·S=150, no reservations → 50 slots. sumW=50.
+	p1 := ReplicaProb(0.5, 50, 3, 50, 0, 0, 100)
+	if math.Abs(p1-0.5) > 1e-12 {
+		t.Fatalf("P = %v", p1)
+	}
+	// Proportionality.
+	p2 := ReplicaProb(1.0, 50, 3, 50, 0, 0, 100)
+	if math.Abs(p2-2*p1) > 1e-9 {
+		t.Fatalf("not proportional: %v vs %v", p1, p2)
+	}
+	// No slots → 0.
+	if got := ReplicaProb(0.5, 50, 2, 50, 0, 0, 100); got != 0 {
+		t.Fatalf("no-slots P = %v", got)
+	}
+	// Reservations shrink slots.
+	pRes := ReplicaProb(0.5, 50, 3, 50, 25, 25, 100)
+	if pRes >= p1 {
+		t.Fatalf("reservations did not shrink P: %v vs %v", pRes, p1)
+	}
+	// Cap at 1.
+	if got := ReplicaProb(1.0, 1.0, 10, 100, 0, 0, 100); got != 1 {
+		t.Fatalf("cap = %v", got)
+	}
+	if got := ReplicaProb(0, 50, 3, 50, 0, 0, 100); got != 0 {
+		t.Fatalf("w=0 P = %v", got)
+	}
+}
+
+func TestExternalReplicaProb(t *testing.T) {
+	// Below threshold: never replicated externally.
+	if got := ExternalReplicaProb(0.4, 10, 100, 10); got != 0 {
+		t.Fatalf("below threshold P = %v", got)
+	}
+	p := ExternalReplicaProb(0.8, 8, 40, 10) // (0.8/8)·(40/10) = 0.4
+	if math.Abs(p-0.4) > 1e-12 {
+		t.Fatalf("P = %v", p)
+	}
+	if got := ExternalReplicaProb(0.8, 8, 0, 10); got != 0 {
+		t.Fatalf("no budget P = %v", got)
+	}
+	if got := ExternalReplicaProb(5, 5, 100, 1); got != 1 {
+		t.Fatalf("cap = %v", got)
+	}
+}
+
+func TestProvisionerEpoch(t *testing.T) {
+	p := NewProvisioner(Config{N: 100, S: 1000, R: 2, Alpha: 1}) // alpha=1: forecast = last observed
+	// Compute-bound: high load, few devices.
+	d := p.Epoch(2500, 100, 1)
+	if d.VC != 25 || d.V != 25 {
+		t.Fatalf("compute-bound: %+v", d)
+	}
+	if d.VS != 1 {
+		t.Fatalf("VS = %d", d.VS)
+	}
+	// Memory-bound: low load, many devices.
+	d = p.Epoch(100, 50000, 1)
+	if d.VS != 100 || d.V != 100 {
+		t.Fatalf("memory-bound: %+v", d)
+	}
+	// β reduces the memory-bound provisioning.
+	d2 := p.Epoch(100, 50000, 0.75)
+	if d2.V != 75 {
+		t.Fatalf("β=0.75 V = %d", d2.V)
+	}
+}
+
+func TestProvisionerForecastSmoothing(t *testing.T) {
+	p := NewProvisioner(Config{N: 100, S: 1000, Alpha: 0.5})
+	p.Epoch(1000, 10, 1)
+	d := p.Epoch(2000, 10, 1)
+	// L̄ = 0.5·2000 + 0.5·1000 = 1500.
+	if math.Abs(d.ExpectedLoad-1500) > 1e-9 {
+		t.Fatalf("forecast = %v", d.ExpectedLoad)
+	}
+	if math.Abs(p.Forecast()-1500) > 1e-9 {
+		t.Fatalf("Forecast() = %v", p.Forecast())
+	}
+}
+
+func TestProvisionerMinVMs(t *testing.T) {
+	p := NewProvisioner(Config{N: 100, S: 1000, MinVMs: 3})
+	d := p.Epoch(10, 10, 1)
+	if d.V != 3 {
+		t.Fatalf("min VMs: %+v", d)
+	}
+}
+
+func TestGeoBudget(t *testing.T) {
+	g := NewGeoBudget(100)
+	if g.Total() != 100 || g.Available() != 100 || g.Used() != 0 {
+		t.Fatalf("fresh budget: %+v", g)
+	}
+	if !g.Accept(60) {
+		t.Fatal("accept 60 failed")
+	}
+	if g.Available() != 40 {
+		t.Fatalf("available = %d", g.Available())
+	}
+	if g.Accept(50) {
+		t.Fatal("over-accept succeeded")
+	}
+	if g.Accept(0) || g.Accept(-5) {
+		t.Fatal("degenerate accept succeeded")
+	}
+	g.Release(10)
+	if g.Used() != 50 {
+		t.Fatalf("used after release = %d", g.Used())
+	}
+	g.Release(1000)
+	if g.Used() != 0 {
+		t.Fatalf("over-release: used = %d", g.Used())
+	}
+}
+
+func TestGeoBudgetResize(t *testing.T) {
+	g := NewGeoBudget(100)
+	g.Accept(80)
+	// Shrinking below usage evicts the difference.
+	if evict := g.Resize(50); evict != 30 {
+		t.Fatalf("evict = %d", evict)
+	}
+	if g.Used() != 50 || g.Available() != 0 {
+		t.Fatalf("after resize: used=%d avail=%d", g.Used(), g.Available())
+	}
+	// Growing evicts nothing.
+	if evict := g.Resize(200); evict != 0 {
+		t.Fatalf("grow evict = %d", evict)
+	}
+	if g.Available() != 150 {
+		t.Fatalf("grown available = %d", g.Available())
+	}
+	if evict := g.Resize(-5); evict != 50 {
+		t.Fatalf("negative resize evict = %d", evict)
+	}
+}
+
+func TestChooseRemoteDCDelayProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	candidates := []RemoteDC{
+		{ID: "near", Delay: 10 * time.Millisecond, Available: 100},
+		{ID: "far", Delay: 100 * time.Millisecond, Available: 100},
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[ChooseRemoteDC(rng, candidates)]++
+	}
+	// Weights 1/0.01 : 1/0.1 = 10:1 → near ≈ 90.9%.
+	frac := float64(counts["near"]) / 10000
+	if math.Abs(frac-10.0/11) > 0.03 {
+		t.Fatalf("near fraction = %v", frac)
+	}
+}
+
+func TestChooseRemoteDCSkipsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	candidates := []RemoteDC{
+		{ID: "full", Delay: time.Millisecond, Available: 0},
+		{ID: "open", Delay: time.Second, Available: 10},
+	}
+	for i := 0; i < 100; i++ {
+		if got := ChooseRemoteDC(rng, candidates); got != "open" {
+			t.Fatalf("chose %q", got)
+		}
+	}
+	if got := ChooseRemoteDC(rng, []RemoteDC{{ID: "full", Available: 0}}); got != "" {
+		t.Fatalf("no-budget choice = %q", got)
+	}
+	if got := ChooseRemoteDC(rng, nil); got != "" {
+		t.Fatalf("empty choice = %q", got)
+	}
+}
+
+func TestChooseRemoteDCNilRNGDeterministic(t *testing.T) {
+	candidates := []RemoteDC{
+		{ID: "near", Delay: time.Millisecond, Available: 1},
+		{ID: "far", Delay: time.Second, Available: 1},
+	}
+	for i := 0; i < 10; i++ {
+		if got := ChooseRemoteDC(nil, candidates); got != "near" {
+			t.Fatalf("nil-rng choice = %q", got)
+		}
+	}
+}
+
+func TestChooseRemoteDCZeroDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Zero delay must not divide by zero and should dominate.
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[ChooseRemoteDC(rng, []RemoteDC{
+			{ID: "colocated", Delay: 0, Available: 1},
+			{ID: "distant", Delay: 50 * time.Millisecond, Available: 1},
+		})]++
+	}
+	if counts["colocated"] < 900 {
+		t.Fatalf("colocated chosen only %d/1000", counts["colocated"])
+	}
+}
+
+// Property: provisioning is monotone — more load or more devices never
+// yields fewer VMs.
+func TestProvisionMonotoneProperty(t *testing.T) {
+	f := func(load1, load2 uint16, k1, k2 uint16) bool {
+		l1, l2 := float64(load1), float64(load2)
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		ka, kb := int(k1), int(k2)
+		if ka > kb {
+			ka, kb = kb, ka
+		}
+		vcA := VMsForCompute(l1, 50)
+		vcB := VMsForCompute(l2, 50)
+		vsA := VMsForMemory(1, 2, ka, 100)
+		vsB := VMsForMemory(1, 2, kb, 100)
+		return vcA <= vcB && vsA <= vsB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

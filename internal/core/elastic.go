@@ -1,0 +1,131 @@
+package core
+
+import (
+	"time"
+
+	"scale/internal/cluster"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+// ElasticController closes the loop of Section 4.4 over a simulated
+// cluster: every epoch it observes the realized signaling load, folds it
+// into the L̄ forecast, recomputes β from the live access-frequency
+// distribution (Section 4.5.1) and resizes the MMP pool to
+// V = max(V_C, V_S). Consistent hashing confines the state movement of
+// each resize to ring neighbors, which is what makes this cheap enough
+// to do every epoch — the property experiment F2d shows the 3GPP pool
+// lacks.
+type ElasticController struct {
+	Eng     *sim.Engine
+	Cluster *ScaleCluster
+	Prov    *cluster.Provisioner
+	// Epoch is the provisioning period.
+	Epoch time.Duration
+	// Pop supplies access weights for β; X is the low-access threshold
+	// (w_i ≤ X keeps a single replica). NewHeadroom is Sn as a fraction
+	// of the population; ExternalBudget is Sm in device states.
+	Pop            *trace.Population
+	X              float64
+	NewHeadroom    float64
+	ExternalBudget int
+
+	// History records every provisioning decision.
+	History []EpochRecord
+
+	// lastCounts holds per-VM processed baselines; keyed per VM so that
+	// scale-in (which forgets a VM's counter) cannot underflow the
+	// epoch delta.
+	lastCounts map[string]uint64
+}
+
+// EpochRecord is one epoch's observation and decision.
+type EpochRecord struct {
+	At       time.Duration
+	Observed float64 // requests in the epoch
+	Beta     float64
+	Decision cluster.Decision
+	Size     int // cluster size after applying the decision
+}
+
+// Start schedules the controller's epoch ticks until stop (exclusive).
+func (c *ElasticController) Start(stop time.Duration) {
+	if c.Epoch <= 0 {
+		c.Epoch = 5 * time.Second
+	}
+	var tick func()
+	tick = func() {
+		c.runEpoch()
+		if c.Eng.Now()+c.Epoch <= stop {
+			c.Eng.After(c.Epoch, tick)
+		}
+	}
+	c.Eng.After(c.Epoch, tick)
+}
+
+// runEpoch performs one observation + resize cycle.
+func (c *ElasticController) runEpoch() {
+	var delta uint64
+	next := make(map[string]uint64, c.Cluster.Size())
+	for _, vm := range c.Cluster.VMs() {
+		p := vm.Processed()
+		delta += p - c.lastCounts[vm.ID]
+		next[vm.ID] = p
+	}
+	c.lastCounts = next
+	observed := float64(delta)
+
+	beta := 1.0
+	k := 0
+	if c.Pop != nil {
+		k = c.Pop.Len()
+		kHat := c.Pop.LowAccessCount(c.X)
+		sn := int(c.NewHeadroom * float64(k))
+		beta = cluster.Beta(kHat, sn, c.ExternalBudget, cluster.DefaultReplicas, k)
+	}
+	d := c.Prov.Epoch(observed, k, beta)
+	c.resize(d.V)
+	c.History = append(c.History, EpochRecord{
+		At:       c.Eng.Now(),
+		Observed: observed,
+		Beta:     beta,
+		Decision: d,
+		Size:     c.Cluster.Size(),
+	})
+}
+
+// resize grows or shrinks the pool toward target, one ring change at a
+// time (each is a neighbor-local state move).
+func (c *ElasticController) resize(target int) {
+	if target < 1 {
+		target = 1
+	}
+	for c.Cluster.Size() < target {
+		c.Cluster.AddVM()
+	}
+	for c.Cluster.Size() > target {
+		vms := c.Cluster.VMs()
+		// Shrink from the most recently added VM: its keys return to
+		// the neighbors that held them before it joined.
+		c.Cluster.RemoveVM(vms[len(vms)-1].ID)
+	}
+}
+
+// PeakSize reports the largest pool size the controller reached.
+func (c *ElasticController) PeakSize() int {
+	peak := 0
+	for _, rec := range c.History {
+		if rec.Size > peak {
+			peak = rec.Size
+		}
+	}
+	return peak
+}
+
+// FinalSize reports the pool size after the last epoch.
+func (c *ElasticController) FinalSize() int {
+	if len(c.History) == 0 {
+		return c.Cluster.Size()
+	}
+	return c.History[len(c.History)-1].Size
+}

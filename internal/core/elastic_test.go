@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/cluster"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+func newElastic(t *testing.T, eng *sim.Engine, startVMs int, pop *trace.Population) *ElasticController {
+	t.Helper()
+	c := NewScaleCluster(ScaleClusterConfig{Eng: eng, NumVMs: startVMs, Tokens: 8})
+	return &ElasticController{
+		Eng:     eng,
+		Cluster: c,
+		Prov: cluster.NewProvisioner(cluster.Config{
+			// One VM handles ~2000 attach-ish requests per 5s epoch.
+			N: 2000, S: 1 << 20, Alpha: 0.7, MinVMs: 1,
+		}),
+		Epoch:       5 * time.Second,
+		Pop:         pop,
+		X:           0.2,
+		NewHeadroom: 0.05,
+	}
+}
+
+func TestElasticScalesOutUnderLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	pop := trace.NewPopulation(2000, 1, trace.Uniform{Lo: 0.4, Hi: 0.9})
+	ec := newElastic(t, eng, 1, pop)
+	ec.Start(60 * time.Second)
+
+	// 2000 req/s ≈ 10k per epoch → needs ~5 VMs.
+	arr := trace.Generator{Pop: pop, Seed: 2, Mix: trace.Mix{trace.Attach: 1}}.Poisson(2000, 60*time.Second)
+	FeedWorkload(eng, pop, arr, ec.Cluster)
+	eng.Run()
+
+	if len(ec.History) < 5 {
+		t.Fatalf("epochs = %d", len(ec.History))
+	}
+	if ec.PeakSize() < 4 {
+		t.Fatalf("peak size = %d, expected scale-out to ~5", ec.PeakSize())
+	}
+	// Forecast tracked the real load within a factor.
+	last := ec.History[len(ec.History)-1]
+	if last.Decision.ExpectedLoad < 5000 {
+		t.Fatalf("forecast = %.0f, want ~10000", last.Decision.ExpectedLoad)
+	}
+}
+
+func TestElasticScalesInAfterSurge(t *testing.T) {
+	eng := sim.NewEngine()
+	pop := trace.NewPopulation(2000, 3, trace.Uniform{Lo: 0.4, Hi: 0.9})
+	ec := newElastic(t, eng, 1, pop)
+	ec.Start(120 * time.Second)
+
+	// Heavy first 30 s, near-silence afterwards.
+	heavy := trace.Generator{Pop: pop, Seed: 4, Mix: trace.Mix{trace.Attach: 1}}.Poisson(2000, 30*time.Second)
+	quiet := trace.Generator{Pop: pop, Seed: 5, Mix: trace.Mix{trace.Attach: 1}}.Poisson(20, 85*time.Second)
+	for i := range quiet {
+		quiet[i].At += 30 * time.Second
+	}
+	FeedWorkload(eng, pop, heavy, ec.Cluster)
+	FeedWorkload(eng, pop, quiet, ec.Cluster)
+	eng.Run()
+
+	if ec.PeakSize() < 4 {
+		t.Fatalf("peak = %d", ec.PeakSize())
+	}
+	if ec.FinalSize() >= ec.PeakSize() {
+		t.Fatalf("no scale-in: final %d vs peak %d", ec.FinalSize(), ec.PeakSize())
+	}
+	// Requests arriving after the scale-in still complete (ring handles
+	// the membership change).
+	if got := ec.Cluster.Recorder().Count(); got != uint64(len(heavy)+len(quiet)) {
+		t.Fatalf("completed %d of %d", got, len(heavy)+len(quiet))
+	}
+}
+
+func TestElasticMemoryBoundUsesBeta(t *testing.T) {
+	eng := sim.NewEngine()
+	// Large population with many low-access devices and tiny per-VM
+	// memory: V_S dominates and β < 1 must shrink it.
+	pop := trace.NewPopulation(10000, 6, trace.Bimodal{LowFrac: 0.5, LowW: 0.1, HighW: 0.8})
+	c := NewScaleCluster(ScaleClusterConfig{Eng: eng, NumVMs: 1, Tokens: 8})
+	ec := &ElasticController{
+		Eng:     eng,
+		Cluster: c,
+		Prov: cluster.NewProvisioner(cluster.Config{
+			N: 1 << 20, S: 1000, Alpha: 0.7, MinVMs: 1,
+		}),
+		Epoch:       5 * time.Second,
+		Pop:         pop,
+		X:           0.2,
+		NewHeadroom: 0.05,
+	}
+	ec.Start(20 * time.Second)
+	eng.At(21*time.Second, func() {})
+	eng.Run()
+
+	last := ec.History[len(ec.History)-1]
+	if last.Beta >= 1 {
+		t.Fatalf("β = %v, expected < 1 with 50%% low-access devices", last.Beta)
+	}
+	full := cluster.VMsForMemory(1, 2, pop.Len(), 1000)
+	if last.Size >= full {
+		t.Fatalf("size %d not reduced below β=1 provisioning %d", last.Size, full)
+	}
+	if last.Decision.VS != last.Size {
+		t.Fatalf("memory-bound sizing mismatch: VS=%d size=%d", last.Decision.VS, last.Size)
+	}
+}
+
+func TestElasticDefaultsAndFloor(t *testing.T) {
+	eng := sim.NewEngine()
+	ec := newElastic(t, eng, 3, nil) // nil population: β=1, K=0
+	ec.Epoch = 0                     // default applied on Start
+	ec.Start(12 * time.Second)
+	eng.Run()
+	if len(ec.History) == 0 {
+		t.Fatal("no epochs ran")
+	}
+	// With no load and no memory pressure the pool floors at MinVMs.
+	if ec.FinalSize() != 1 {
+		t.Fatalf("final size = %d, want MinVMs=1", ec.FinalSize())
+	}
+	if ec.History[0].At != 5*time.Second {
+		t.Fatalf("default epoch not applied: first tick at %v", ec.History[0].At)
+	}
+}

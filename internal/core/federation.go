@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math/rand"
+
+	"scale/internal/cluster"
+	"scale/internal/guti"
+	"scale/internal/mlb"
+	"scale/internal/nas"
+	"scale/internal/netem"
+	"scale/internal/s1ap"
+	"scale/internal/state"
+	"scale/internal/ueid"
+)
+
+// Federation runs SCALE's geo-multiplexing (Section 4.5.2) over the
+// in-process prototype: multiple Systems (one per DC) with
+//
+//   - planning: each DC's high-access devices are proactively replicated
+//     to a remote DC chosen by the budget- and delay-aware metric p;
+//   - execution: when a DC declares overload, requests from externally-
+//     replicated devices are forwarded to their remote DC's MLB and
+//     served off the replica, the responses routed back to the home
+//     eNodeB;
+//   - consistency: replica refreshes from the serving DC flow back to
+//     the device's home DC (and onward to its external replica).
+type Federation struct {
+	delays  *netem.Matrix
+	rng     *rand.Rand
+	systems map[string]*System
+	order   []string
+	budgets map[string]*cluster.GeoBudget
+	homeOf  map[guti.GUTI]string
+	// overloaded marks DCs currently shedding load (the prototype's
+	// stand-in for the load threshold of Section 4.6, step 3).
+	overloaded map[string]bool
+	// dcOfIndex maps an MMP index to its DC — active-mode messages route
+	// to the DC that owns the embedded MMP id, wherever the device is
+	// currently served.
+	dcOfIndex map[uint8]string
+
+	// Offloaded counts requests served away from their home DC.
+	Offloaded map[string]uint64
+	// GeoReplications counts cross-DC state pushes.
+	GeoReplications uint64
+}
+
+// NewFederation creates an empty federation.
+func NewFederation(delays *netem.Matrix, seed int64) *Federation {
+	return &Federation{
+		delays:     delays,
+		rng:        rand.New(rand.NewSource(seed)),
+		systems:    make(map[string]*System),
+		budgets:    make(map[string]*cluster.GeoBudget),
+		homeOf:     make(map[guti.GUTI]string),
+		overloaded: make(map[string]bool),
+		dcOfIndex:  make(map[uint8]string),
+		Offloaded:  make(map[string]uint64),
+	}
+}
+
+// AddDC registers a DC's System with its external-state budget and
+// wires the cross-DC hooks.
+func (f *Federation) AddDC(id string, sys *System, budget int) {
+	f.systems[id] = sys
+	f.order = append(f.order, id)
+	f.budgets[id] = cluster.NewGeoBudget(budget)
+	for _, idx := range sys.MMPIndices() {
+		f.dcOfIndex[idx] = id
+	}
+	sys.OutboundFallback = func(enbID uint32, tai uint16, msg s1ap.Message) {
+		f.routeDownlink(enbID, tai, msg)
+	}
+	sys.OnReplicate = func(from string, ctx *state.UEContext) {
+		f.propagate(id, from, ctx)
+	}
+}
+
+// System returns a DC's system.
+func (f *Federation) System(id string) *System { return f.systems[id] }
+
+// SetOverloaded flips a DC's overload signal.
+func (f *Federation) SetOverloaded(id string, overloaded bool) {
+	f.overloaded[id] = overloaded
+}
+
+// PlanReplicas selects homeDC's externally-replicated devices: masters
+// with access frequency ≥ cluster.HighAccessThreshold are replicated,
+// weight-proportionally within the DC's share, to a remote DC chosen by
+// the delay-proportional metric p among those with available budget.
+// It returns how many devices were planned.
+func (f *Federation) PlanReplicas(homeDC string, sm int) int {
+	sys := f.systems[homeDC]
+	if sys == nil {
+		return 0
+	}
+	v := len(sys.Engines())
+	if v == 0 {
+		return 0
+	}
+	// Gather master contexts and Σ w over high-access devices.
+	var contexts []*state.UEContext
+	var engineOf []string
+	var sumWHigh float64
+	for id, eng := range sys.Engines() {
+		eng.Store().Range(func(ctx *state.UEContext, isReplica bool) bool {
+			if isReplica {
+				return true
+			}
+			contexts = append(contexts, ctx)
+			engineOf = append(engineOf, id)
+			if ctx.AccessFreq >= cluster.HighAccessThreshold {
+				sumWHigh += ctx.AccessFreq
+			}
+			return true
+		})
+	}
+	planned := 0
+	for i, ctx := range contexts {
+		_ = engineOf[i]
+		if ctx.RemoteDC != "" {
+			continue
+		}
+		prob := cluster.ExternalReplicaProb(ctx.AccessFreq, sumWHigh, sm, v)
+		if prob <= 0 || f.rng.Float64() >= prob {
+			continue
+		}
+		choice := cluster.ChooseRemoteDC(f.rng, f.candidates(homeDC))
+		if choice == "" {
+			continue
+		}
+		if !f.budgets[choice].Accept(1) {
+			continue
+		}
+		ctx.RemoteDC = choice
+		ctx.Version++
+		f.homeOf[ctx.GUTI] = homeDC
+		f.pushReplica(choice, ctx)
+		planned++
+	}
+	return planned
+}
+
+func (f *Federation) candidates(homeDC string) []cluster.RemoteDC {
+	var out []cluster.RemoteDC
+	for _, id := range f.order {
+		if id == homeDC {
+			continue
+		}
+		out = append(out, cluster.RemoteDC{
+			ID:        id,
+			Delay:     f.delays.Get(homeDC, id).Base,
+			Available: f.budgets[id].Available(),
+		})
+	}
+	return out
+}
+
+// pushReplica installs a context copy at dc's ring owners ("the
+// replication is done using a MLB VM of the remote DC, which selects
+// the MMP VM based on the hash ring of that DC", Section 4.5.2).
+func (f *Federation) pushReplica(dc string, ctx *state.UEContext) {
+	sys := f.systems[dc]
+	if sys == nil {
+		return
+	}
+	owners, err := sys.Router.Ring().Owners(ctx.GUTI.Key(), mlb.ReplicaFanout)
+	if err != nil || len(owners) == 0 {
+		return
+	}
+	if eng, ok := sys.Engines()[string(owners[0])]; ok {
+		if eng.ApplyReplica(ctx.Clone()) == nil {
+			f.GeoReplications++
+		}
+	}
+}
+
+// propagate carries a replica refresh across DCs: home→external for
+// normally-served devices, serving→home (→external) when a remote DC
+// served the device off its replica.
+func (f *Federation) propagate(dcID, _ string, ctx *state.UEContext) {
+	home, known := f.homeOf[ctx.GUTI]
+	if !known {
+		return // device has no external replica; nothing to do
+	}
+	if dcID == home {
+		// Normal path: refresh the external replica.
+		if ctx.RemoteDC != "" && ctx.RemoteDC != home {
+			f.pushReplica(ctx.RemoteDC, ctx)
+		}
+		return
+	}
+	// The device was served remotely at dcID: push the fresh state home,
+	// where the master and its local replica live.
+	homeSys := f.systems[home]
+	if homeSys == nil {
+		return
+	}
+	owners, err := homeSys.Router.Ring().Owners(ctx.GUTI.Key(), mlb.ReplicaFanout)
+	if err != nil {
+		return
+	}
+	for _, o := range owners {
+		eng, ok := homeSys.Engines()[string(o)]
+		if !ok {
+			continue
+		}
+		existing, has := eng.Store().Get(ctx.GUTI)
+		if has && !eng.Store().IsReplica(ctx.GUTI) {
+			// Keep the home master a master: install the newer state as
+			// master rather than demoting it to a replica entry.
+			if ctx.Version > existing.Version {
+				eng.InstallMaster(ctx.Clone())
+				f.GeoReplications++
+			}
+			continue
+		}
+		if eng.ApplyReplica(ctx.Clone()) == nil {
+			f.GeoReplications++
+		}
+	}
+}
+
+// DeliverUplink is the federation-aware entry point for uplink traffic:
+// when the home DC is overloaded and the device's state has an external
+// replica, the request is forwarded to the remote DC's MLB
+// (Section 4.6, step 3); otherwise it flows through the home system.
+func (f *Federation) DeliverUplink(homeDC string, cell uint32, msg s1ap.Message) {
+	sys := f.systems[homeDC]
+	if sys == nil {
+		return
+	}
+	// Active-mode messages carry the serving MMP's index: route them to
+	// whichever DC owns it (the home DC normally; a remote DC while the
+	// device is being served off its external replica).
+	if id, ok := uplinkMMEUEID(msg); ok && id != 0 {
+		idx, _ := ueid.Split(id)
+		if dc, known := f.dcOfIndex[idx]; known && dc != homeDC {
+			f.systems[dc].DeliverUplink(cell, msg)
+			return
+		}
+	}
+	if f.overloaded[homeDC] {
+		if g, ok := uplinkGUTI(msg); ok {
+			if remote := f.remoteFor(homeDC, g); remote != "" {
+				f.Offloaded[homeDC]++
+				f.systems[remote].DeliverUplink(cell, msg)
+				return
+			}
+		}
+	}
+	sys.DeliverUplink(cell, msg)
+}
+
+// remoteFor returns the external-replica DC for a device homed at
+// homeDC, or "".
+func (f *Federation) remoteFor(homeDC string, g guti.GUTI) string {
+	if f.homeOf[g] != homeDC {
+		return ""
+	}
+	sys := f.systems[homeDC]
+	for _, eng := range sys.Engines() {
+		if ctx, ok := eng.Store().Get(g); ok && !eng.Store().IsReplica(g) {
+			if ctx.RemoteDC != "" && ctx.RemoteDC != homeDC {
+				return ctx.RemoteDC
+			}
+			return ""
+		}
+	}
+	return ""
+}
+
+// routeDownlink returns a downlink addressed to an eNodeB some other DC
+// serves.
+func (f *Federation) routeDownlink(enbID uint32, _ uint16, msg s1ap.Message) {
+	for _, id := range f.order {
+		if sys := f.systems[id]; sys.HasENB(enbID) {
+			sys.DeliverDownlink(enbID, msg)
+			return
+		}
+	}
+}
+
+// uplinkMMEUEID extracts the MME-assigned UE id from active-mode
+// messages (those routed by embedded MMP identity rather than GUTI).
+func uplinkMMEUEID(msg s1ap.Message) (uint32, bool) {
+	switch m := msg.(type) {
+	case *s1ap.UplinkNASTransport:
+		return m.MMEUEID, true
+	case *s1ap.InitialContextSetupResponse:
+		return m.MMEUEID, true
+	case *s1ap.UEContextReleaseRequest:
+		return m.MMEUEID, true
+	case *s1ap.UEContextReleaseComplete:
+		return m.MMEUEID, true
+	case *s1ap.HandoverRequired:
+		return m.MMEUEID, true
+	case *s1ap.HandoverRequestAck:
+		return m.MMEUEID, true
+	case *s1ap.HandoverNotify:
+		return m.MMEUEID, true
+	default:
+		return 0, false
+	}
+}
+
+// uplinkGUTI extracts the routing GUTI from idle-mode initial messages.
+func uplinkGUTI(msg s1ap.Message) (guti.GUTI, bool) {
+	m, ok := msg.(*s1ap.InitialUEMessage)
+	if !ok {
+		return guti.GUTI{}, false
+	}
+	n, err := nas.Unmarshal(m.NASPDU)
+	if err != nil {
+		return guti.GUTI{}, false
+	}
+	switch t := n.(type) {
+	case *nas.ServiceRequest:
+		return t.GUTI, true
+	case *nas.TAURequest:
+		return t.GUTI, true
+	default:
+		return guti.GUTI{}, false
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/netem"
+	"scale/internal/s1ap"
+)
+
+// fedBed builds a two-DC federation with eNodeBs at DC1 only: DC1 homes
+// the fleet, DC2 is the geo-multiplexing target.
+type fedBed struct {
+	fed      *Federation
+	dc1, dc2 *System
+	em       *enb.Emulator
+}
+
+func newFedBed(t *testing.T) *fedBed {
+	t.Helper()
+	delays := netem.NewMatrix()
+	delays.Set("dc1", "dc2", netem.Delay{Base: 15 * time.Millisecond})
+	f := NewFederation(delays, 1)
+
+	mk := func(mmegi uint16, base uint8) *System {
+		return NewSystem(SystemConfig{
+			NumMMPs: 2, PLMN: guti.PLMN{MCC: 310, MNC: 26},
+			MMEGI: mmegi, MMEC: 1, Subscribers: 1000, IndexBase: base,
+		})
+	}
+	dc1, dc2 := mk(0x0101, 0), mk(0x0202, 100)
+	f.AddDC("dc1", dc1, 500)
+	f.AddDC("dc2", dc2, 500)
+
+	em := enb.New()
+	dc1.RegisterCell(em, 1, []uint16{7})
+	// The emulator's uplink goes through the federation so offload can
+	// intercept.
+	em.Uplink = func(cell uint32, msg s1ap.Message) { f.DeliverUplink("dc1", cell, msg) }
+	return &fedBed{fed: f, dc1: dc1, dc2: dc2, em: em}
+}
+
+func TestFederationPlansHotDevices(t *testing.T) {
+	tb := newFedBed(t)
+	// Attach + several idle/active cycles so access frequencies climb.
+	for i := 0; i < 40; i++ {
+		imsi := uint64(baseIMSI + i)
+		if err := tb.em.Attach(imsi, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.em.ReleaseToIdle(imsi); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 3; c++ {
+			if err := tb.em.ServiceRequest(imsi, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.em.ReleaseToIdle(imsi); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	planned := tb.fed.PlanReplicas("dc1", 500)
+	if planned == 0 {
+		t.Fatal("nothing planned despite hot fleet")
+	}
+	if used := tb.fed.budgets["dc2"].Used(); used != planned {
+		t.Fatalf("budget used %d != planned %d", used, planned)
+	}
+	// Replicas actually landed at DC2.
+	remoteStates := 0
+	for _, eng := range tb.dc2.Engines() {
+		remoteStates += eng.Store().Len()
+	}
+	if remoteStates != planned {
+		t.Fatalf("dc2 holds %d states, planned %d", remoteStates, planned)
+	}
+	// Re-planning is idempotent.
+	if again := tb.fed.PlanReplicas("dc1", 500); again != 0 {
+		t.Fatalf("second plan placed %d", again)
+	}
+}
+
+func TestFederationOffloadServesRemotely(t *testing.T) {
+	tb := newFedBed(t)
+	imsi := uint64(baseIMSI)
+	if err := tb.em.Attach(imsi, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.em.ReleaseToIdle(imsi); err != nil {
+		t.Fatal(err)
+	}
+	// Heat the device, then plan.
+	for c := 0; c < 4; c++ {
+		if err := tb.em.ServiceRequest(imsi, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.em.ReleaseToIdle(imsi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.fed.PlanReplicas("dc1", 500) == 0 {
+		t.Fatal("device not planned")
+	}
+
+	// Overload DC1: the next service request must be served at DC2 off
+	// the geo-replica, with responses routed back to the home eNodeB.
+	tb.fed.SetOverloaded("dc1", true)
+	dc2Before := tb.dc2.Engines()
+	var srBefore uint64
+	for _, eng := range dc2Before {
+		srBefore += eng.Stats().ServiceRequests
+	}
+	if err := tb.em.ServiceRequest(imsi, 1); err != nil {
+		t.Fatalf("offloaded service request: %v", err)
+	}
+	if tb.em.UEFor(imsi).State != enb.Active {
+		t.Fatalf("state = %v", tb.em.UEFor(imsi).State)
+	}
+	if tb.fed.Offloaded["dc1"] == 0 {
+		t.Fatal("no offload recorded")
+	}
+	var srAfter uint64
+	for _, eng := range tb.dc2.Engines() {
+		srAfter += eng.Stats().ServiceRequests
+	}
+	if srAfter != srBefore+1 {
+		t.Fatalf("dc2 service requests %d → %d", srBefore, srAfter)
+	}
+
+	// The device returns to idle through DC2; its refreshed state must
+	// flow back to the home DC so DC1 can serve it again.
+	if err := tb.em.ReleaseToIdle(imsi); err != nil {
+		t.Fatal(err)
+	}
+	if tb.fed.GeoReplications == 0 {
+		t.Fatal("no geo replication flowed")
+	}
+	tb.fed.SetOverloaded("dc1", false)
+	if err := tb.em.ServiceRequest(imsi, 1); err != nil {
+		t.Fatalf("home service after offload cycle: %v", err)
+	}
+	if err := tb.em.ReleaseToIdle(imsi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFederationNoOffloadWithoutReplica(t *testing.T) {
+	tb := newFedBed(t)
+	imsi := uint64(baseIMSI + 5)
+	if err := tb.em.Attach(imsi, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.em.ReleaseToIdle(imsi); err != nil {
+		t.Fatal(err)
+	}
+	// Overloaded, but the device has no external replica: served at home.
+	tb.fed.SetOverloaded("dc1", true)
+	if err := tb.em.ServiceRequest(imsi, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tb.fed.Offloaded["dc1"] != 0 {
+		t.Fatal("offloaded a device without an external replica")
+	}
+	for _, eng := range tb.dc2.Engines() {
+		if eng.Stats().ServiceRequests != 0 {
+			t.Fatal("dc2 served without a replica")
+		}
+	}
+}
+
+func TestFederationAccessors(t *testing.T) {
+	tb := newFedBed(t)
+	if tb.fed.System("dc1") != tb.dc1 || tb.fed.System("dc2") != tb.dc2 {
+		t.Fatal("System accessor mismatch")
+	}
+	if tb.fed.System("dc-x") != nil {
+		t.Fatal("unknown DC returned a system")
+	}
+	// AttachENB wires an emulator's cells without S1 Setup re-dispatch.
+	em2 := enb.New()
+	em2.AddCell(9, []uint16{99})
+	tb.dc2.AttachENB(em2)
+	if !tb.dc2.HasENB(9) {
+		t.Fatal("AttachENB did not register the cell")
+	}
+	// PlanReplicas on an unknown DC is a no-op.
+	if got := tb.fed.PlanReplicas("dc-x", 10); got != 0 {
+		t.Fatalf("unknown-DC plan = %d", got)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"scale/internal/cluster"
+	"scale/internal/netem"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+// RemotePolicy decides, at planning time, which remote DC (if any)
+// holds a device's external replica. SCALE's policy is delay- and
+// budget-aware and only replicates high-access devices (Section 4.5.2);
+// the baselines in package baseline plug in uniform-random variants.
+type RemotePolicy interface {
+	// PlanDevice returns the chosen remote DC id or "" for none.
+	// candidates excludes the home DC.
+	PlanDevice(homeDC string, weight, sumWHigh float64, candidates []cluster.RemoteDC, rng *rand.Rand) string
+}
+
+// ScaleRemotePolicy implements the paper's external-replication rule:
+// devices with w ≥ 0.5 are replicated with probability proportional to
+// weight within the per-DC budget share, to a DC chosen by the
+// delay-proportional metric p among those with available budget.
+type ScaleRemotePolicy struct {
+	// Sm is the home DC's external-replication allowance (state units);
+	// V its VM count. Together they bound the planned replicas.
+	Sm, V int
+}
+
+// PlanDevice implements RemotePolicy.
+func (p ScaleRemotePolicy) PlanDevice(_ string, w, sumWHigh float64, candidates []cluster.RemoteDC, rng *rand.Rand) string {
+	prob := cluster.ExternalReplicaProb(w, sumWHigh, p.Sm, p.V)
+	if prob <= 0 || rng.Float64() >= prob {
+		return ""
+	}
+	return cluster.ChooseRemoteDC(rng, candidates)
+}
+
+// GeoConfig parameterizes a multi-DC SCALE deployment.
+type GeoConfig struct {
+	Eng *sim.Engine
+	// Delays holds inter-DC one-way propagation delays.
+	Delays *netem.Matrix
+	// OverloadThreshold is the local queue backlog beyond which a
+	// request with an external replica is offloaded.
+	OverloadThreshold time.Duration
+	// Seed drives replica planning and probabilistic DC choice.
+	Seed int64
+}
+
+// GeoDC is one data center in a GeoScale deployment.
+type GeoDC struct {
+	ID      string
+	Cluster *ScaleCluster
+	Budget  *cluster.GeoBudget
+}
+
+// GeoScale coordinates geo-multiplexing across DCs: it plans external
+// replicas per policy and installs per-DC offload hooks that steal
+// overload traffic to the planned remote DC when that helps
+// (Section 4.5.2 and the routing rule of Section 4.6, step 3).
+type GeoScale struct {
+	cfg   GeoConfig
+	dcs   map[string]*GeoDC
+	order []string
+	rng   *rand.Rand
+	// remoteOf maps homeDC → deviceKey → remote DC id.
+	remoteOf map[string]map[string]string
+	// Offloaded counts requests processed away from home, per home DC.
+	Offloaded map[string]uint64
+}
+
+// NewGeoScale creates an empty deployment.
+func NewGeoScale(cfg GeoConfig) *GeoScale {
+	if cfg.OverloadThreshold <= 0 {
+		cfg.OverloadThreshold = 20 * time.Millisecond
+	}
+	return &GeoScale{
+		cfg:       cfg,
+		dcs:       make(map[string]*GeoDC),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		remoteOf:  make(map[string]map[string]string),
+		Offloaded: make(map[string]uint64),
+	}
+}
+
+// AddDC registers a DC with its external-state budget.
+func (g *GeoScale) AddDC(id string, c *ScaleCluster, budget int) *GeoDC {
+	dc := &GeoDC{ID: id, Cluster: c, Budget: cluster.NewGeoBudget(budget)}
+	g.dcs[id] = dc
+	g.order = append(g.order, id)
+	g.remoteOf[id] = make(map[string]string)
+	c.RemoteHook = func(req *sim.Request, localQueue time.Duration) bool {
+		return g.maybeOffload(id, req, localQueue)
+	}
+	return dc
+}
+
+// DC returns a registered DC.
+func (g *GeoScale) DC(id string) *GeoDC { return g.dcs[id] }
+
+// PlanReplicas runs the per-epoch external replication planning for
+// homeDC over its device population using policy.
+func (g *GeoScale) PlanReplicas(homeDC string, pop *trace.Population, policy RemotePolicy) int {
+	home := g.dcs[homeDC]
+	if home == nil {
+		return 0
+	}
+	var sumWHigh float64
+	for _, d := range pop.Devices {
+		if d.Weight >= cluster.HighAccessThreshold {
+			sumWHigh += d.Weight
+		}
+	}
+	planned := 0
+	for i, d := range pop.Devices {
+		candidates := g.candidates(homeDC)
+		choice := policy.PlanDevice(homeDC, d.Weight, sumWHigh, candidates, g.rng)
+		if choice == "" {
+			continue
+		}
+		remote := g.dcs[choice]
+		if remote == nil || !remote.Budget.Accept(1) {
+			continue
+		}
+		g.remoteOf[homeDC][DeviceKey(pop, i)] = choice
+		planned++
+	}
+	return planned
+}
+
+// RemotePlanCounts reports, for a home DC, how many external replicas
+// were planned at each remote DC — the direct output of the selection
+// metric, used by the placement ablation.
+func (g *GeoScale) RemotePlanCounts(homeDC string) map[string]int {
+	out := map[string]int{}
+	for _, dc := range g.remoteOf[homeDC] {
+		out[dc]++
+	}
+	return out
+}
+
+// candidates lists the other DCs with their advertised Ŝm and delay.
+func (g *GeoScale) candidates(homeDC string) []cluster.RemoteDC {
+	var out []cluster.RemoteDC
+	for _, id := range g.order {
+		if id == homeDC {
+			continue
+		}
+		out = append(out, cluster.RemoteDC{
+			ID:        id,
+			Delay:     g.cfg.Delays.Get(homeDC, id).Base,
+			Available: g.dcs[id].Budget.Available(),
+		})
+	}
+	return out
+}
+
+// maybeOffload implements the runtime forwarding rule: when the local
+// holder's backlog exceeds the threshold and the device has an external
+// replica whose DC is currently less loaded, process remotely, paying
+// the inter-DC round trip.
+func (g *GeoScale) maybeOffload(homeDC string, req *sim.Request, localQueue time.Duration) bool {
+	if localQueue <= g.cfg.OverloadThreshold {
+		return false
+	}
+	remoteID, ok := g.remoteOf[homeDC][req.Key]
+	if !ok {
+		return false
+	}
+	remote := g.dcs[remoteID]
+	if remote == nil {
+		return false
+	}
+	holders := remote.Cluster.holders(req)
+	if len(holders) == 0 {
+		return false
+	}
+	best := holders[0]
+	for _, vm := range holders[1:] {
+		if vm.QueueDelay() < best.QueueDelay() {
+			best = vm
+		}
+	}
+	// Only offload if the remote queue (plus the propagation penalty) is
+	// actually an improvement.
+	interDC := g.cfg.Delays.Get(homeDC, remoteID).Base
+	if best.QueueDelay()+2*interDC >= localQueue {
+		return false
+	}
+	g.Offloaded[homeDC]++
+	remote.Cluster.processRecorded(best, holders, req, 2*interDC, g.dcs[homeDC].Cluster.Recorder())
+	return true
+}
+
+// ArriveAt presents a request at its home DC.
+func (g *GeoScale) ArriveAt(homeDC string, req *sim.Request) {
+	if dc := g.dcs[homeDC]; dc != nil {
+		dc.Cluster.Arrive(req)
+	}
+}
+
+// FeedAt schedules a workload into one DC.
+func (g *GeoScale) FeedAt(homeDC string, pop *trace.Population, arrivals []trace.Arrival) {
+	for _, a := range arrivals {
+		a := a
+		g.cfg.Eng.At(a.At, func() {
+			g.ArriveAt(homeDC, &sim.Request{
+				Device:  a.Device,
+				Key:     DeviceKey(pop, a.Device),
+				Weight:  pop.Devices[a.Device].Weight,
+				Proc:    a.Proc,
+				Arrived: g.cfg.Eng.Now(),
+			})
+		})
+	}
+}

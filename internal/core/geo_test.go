@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/netem"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+func geoSetup(t *testing.T, eng *sim.Engine, budget int) (*GeoScale, *ScaleCluster, *ScaleCluster) {
+	t.Helper()
+	delays := netem.NewMatrix()
+	delays.Set("dc1", "dc2", netem.Delay{Base: 10 * time.Millisecond})
+	g := NewGeoScale(GeoConfig{
+		Eng:               eng,
+		Delays:            delays,
+		OverloadThreshold: 5 * time.Millisecond,
+		Seed:              1,
+	})
+	c1 := NewScaleCluster(ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+	c2 := NewScaleCluster(ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+	g.AddDC("dc1", c1, budget)
+	g.AddDC("dc2", c2, budget)
+	return g, c1, c2
+}
+
+func hotPopulation(n int, seed int64) *trace.Population {
+	return trace.NewPopulation(n, seed, trace.Uniform{Lo: 0.8, Hi: 0.95})
+}
+
+func TestPlanReplicasRespectsBudget(t *testing.T) {
+	eng := sim.NewEngine()
+	g, _, _ := geoSetup(t, eng, 10)
+	pop := hotPopulation(500, 3)
+	planned := g.PlanReplicas("dc1", pop, ScaleRemotePolicy{Sm: 1000, V: 1})
+	if planned == 0 {
+		t.Fatal("nothing planned")
+	}
+	if planned > 10 {
+		t.Fatalf("planned %d beyond remote budget 10", planned)
+	}
+	if used := g.DC("dc2").Budget.Used(); used != planned {
+		t.Fatalf("budget used %d != planned %d", used, planned)
+	}
+}
+
+func TestPlanReplicasSkipsLowAccess(t *testing.T) {
+	eng := sim.NewEngine()
+	g, _, _ := geoSetup(t, eng, 1000)
+	cold := trace.NewPopulation(200, 5, trace.Uniform{Lo: 0.05, Hi: 0.2})
+	if planned := g.PlanReplicas("dc1", cold, ScaleRemotePolicy{Sm: 1000, V: 1}); planned != 0 {
+		t.Fatalf("planned %d cold devices", planned)
+	}
+}
+
+func TestPlanReplicasUnknownDC(t *testing.T) {
+	eng := sim.NewEngine()
+	g, _, _ := geoSetup(t, eng, 10)
+	if got := g.PlanReplicas("dc-x", hotPopulation(10, 1), ScaleRemotePolicy{Sm: 10, V: 1}); got != 0 {
+		t.Fatalf("planned %d at unknown DC", got)
+	}
+}
+
+func TestOffloadUnderOverload(t *testing.T) {
+	eng := sim.NewEngine()
+	g, c1, c2 := geoSetup(t, eng, 100000)
+	pop := hotPopulation(300, 7)
+	planned := g.PlanReplicas("dc1", pop, ScaleRemotePolicy{Sm: 100000, V: 1})
+	if planned < 100 {
+		t.Fatalf("planned only %d", planned)
+	}
+
+	// Overload dc1 far beyond its 2-VM capacity; dc2 idle.
+	arr := trace.Generator{Pop: pop, Seed: 8}.Poisson(3000, 5*time.Second)
+	g.FeedAt("dc1", pop, arr)
+	eng.Run()
+
+	if g.Offloaded["dc1"] == 0 {
+		t.Fatal("no offloading under overload")
+	}
+	// Remote DC actually processed work.
+	var remoteWork uint64
+	for _, vm := range c2.VMs() {
+		remoteWork += vm.Processed()
+	}
+	if remoteWork == 0 {
+		t.Fatal("dc2 processed nothing")
+	}
+	_ = c1
+}
+
+func TestNoOffloadWhenLocalLight(t *testing.T) {
+	eng := sim.NewEngine()
+	g, _, c2 := geoSetup(t, eng, 100000)
+	pop := hotPopulation(100, 9)
+	g.PlanReplicas("dc1", pop, ScaleRemotePolicy{Sm: 100000, V: 1})
+
+	// Light load: local queues never exceed the threshold.
+	arr := trace.Generator{Pop: pop, Seed: 10}.Poisson(50, 5*time.Second)
+	g.FeedAt("dc1", pop, arr)
+	eng.Run()
+
+	if g.Offloaded["dc1"] != 0 {
+		t.Fatalf("offloaded %d under light load", g.Offloaded["dc1"])
+	}
+	for _, vm := range c2.VMs() {
+		if vm.Processed() != 0 {
+			t.Fatal("dc2 processed work without overload")
+		}
+	}
+}
+
+func TestOffloadedDelaysIncludePropagation(t *testing.T) {
+	eng := sim.NewEngine()
+	g, c1, _ := geoSetup(t, eng, 100000)
+	pop := hotPopulation(200, 11)
+	g.PlanReplicas("dc1", pop, ScaleRemotePolicy{Sm: 100000, V: 1})
+
+	arr := trace.Generator{Pop: pop, Seed: 12}.Poisson(2500, 3*time.Second)
+	g.FeedAt("dc1", pop, arr)
+	eng.Run()
+
+	// Offloaded requests paid ≥ 20ms (2×10ms inter-DC) — the max delay
+	// must reflect that when offloading happened.
+	if g.Offloaded["dc1"] > 0 {
+		if max := time.Duration(c1.Recorder().All.Max()); max < 20*time.Millisecond {
+			t.Fatalf("max delay %v despite offloading", max)
+		}
+	} else {
+		t.Fatal("expected offloading in this scenario")
+	}
+}
+
+func TestGeoFeedUnknownDCIsNoop(t *testing.T) {
+	eng := sim.NewEngine()
+	g, _, _ := geoSetup(t, eng, 10)
+	pop := hotPopulation(10, 13)
+	arr := trace.Generator{Pop: pop, Seed: 14}.Poisson(10, time.Second)
+	g.FeedAt("nowhere", pop, arr)
+	eng.Run() // must not panic
+}
+
+// SCALE's planner must respect a full remote budget: once dc2 is full,
+// planning for dc1 stops placing replicas there.
+func TestBudgetExhaustionStopsPlanning(t *testing.T) {
+	eng := sim.NewEngine()
+	g, _, _ := geoSetup(t, eng, 5)
+	pop := hotPopulation(1000, 15)
+	p1 := g.PlanReplicas("dc1", pop, ScaleRemotePolicy{Sm: 100000, V: 1})
+	if p1 > 5 {
+		t.Fatalf("planned %d > budget 5", p1)
+	}
+	// Second epoch of planning adds nothing.
+	if p2 := g.PlanReplicas("dc1", pop, ScaleRemotePolicy{Sm: 100000, V: 1}); p2 != 0 {
+		t.Fatalf("second plan placed %d", p2)
+	}
+}
+
+func TestRemotePlanCounts(t *testing.T) {
+	eng := sim.NewEngine()
+	g, _, _ := geoSetup(t, eng, 1000)
+	pop := hotPopulation(300, 21)
+	planned := g.PlanReplicas("dc1", pop, ScaleRemotePolicy{Sm: 1000, V: 1})
+	counts := g.RemotePlanCounts("dc1")
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != planned {
+		t.Fatalf("plan counts %v sum to %d, planned %d", counts, total, planned)
+	}
+	if len(g.RemotePlanCounts("dc-x")) != 0 {
+		t.Fatal("unknown DC has plan counts")
+	}
+}

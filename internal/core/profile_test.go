@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/cluster"
+	"scale/internal/enb"
+)
+
+// TestAccessProfilingSeparatesHotAndCold drives two fleets — chatty
+// smartphones cycling idle/active every epoch and quiet sensors that
+// attach once and fall silent — through several profiling epochs, then
+// verifies the profiled frequencies separate them and feed a β < 1.
+func TestAccessProfilingSeparatesHotAndCold(t *testing.T) {
+	s, em := newSystem(t, 3)
+	const (
+		hotN, coldN = 30, 60
+		epochs      = 6
+	)
+	var hot, cold []uint64
+	for i := 0; i < hotN; i++ {
+		hot = append(hot, uint64(baseIMSI+i))
+	}
+	for i := 0; i < coldN; i++ {
+		cold = append(cold, uint64(baseIMSI+hotN+i))
+	}
+	for _, imsi := range append(append([]uint64{}, hot...), cold...) {
+		if err := em.Attach(imsi, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Epochs: hot devices cycle; cold devices stay silent.
+	for e := 0; e < epochs; e++ {
+		epochStart := time.Now()
+		for _, imsi := range hot {
+			if err := em.ServiceRequest(imsi, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := em.ReleaseToIdle(imsi); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.EndEpoch(epochStart, 0.2)
+	}
+
+	profile := s.AccessProfile()
+	if len(profile) != hotN+coldN {
+		t.Fatalf("profiled %d devices", len(profile))
+	}
+	var hotMin, coldMax float64 = 1, 0
+	for _, imsi := range hot {
+		if w := profile[imsi]; w < hotMin {
+			hotMin = w
+		}
+	}
+	for _, imsi := range cold {
+		if w := profile[imsi]; w > coldMax {
+			coldMax = w
+		}
+	}
+	if hotMin <= coldMax {
+		t.Fatalf("profiles overlap: hot min %.3f vs cold max %.3f", hotMin, coldMax)
+	}
+	if coldMax > 0.2 {
+		t.Fatalf("cold devices not aged below threshold: %.3f", coldMax)
+	}
+
+	// The profiled K̂ feeds Eq. 2: with 2/3 of devices cold, β < 1.
+	kHat := s.EndEpoch(time.Now(), 0.2)
+	if kHat != coldN {
+		t.Fatalf("K̂ = %d, want %d", kHat, coldN)
+	}
+	beta := cluster.Beta(kHat, 0, 0, 2, hotN+coldN)
+	if beta >= 1 {
+		t.Fatalf("β = %v with %d cold devices", beta, kHat)
+	}
+}
+
+func TestAccessProfileCountsOnlyMasters(t *testing.T) {
+	s, em := newSystem(t, 4)
+	for i := 0; i < 40; i++ {
+		imsi := uint64(baseIMSI + i)
+		if err := em.Attach(imsi, 1); err != nil {
+			t.Fatal(err)
+		}
+		// Idle → replicas exist on other VMs.
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	profile := s.AccessProfile()
+	if len(profile) != 40 {
+		t.Fatalf("profile counted replicas: %d entries for 40 devices", len(profile))
+	}
+	_ = em
+	_ = enb.Detached
+}

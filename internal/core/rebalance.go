@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"scale/internal/mlb"
+	"scale/internal/state"
+)
+
+// This file implements the prototype-side state management for pool
+// membership changes (Section 4.3.1): when MMPs are added the ring
+// assigns some devices new masters, and their state must follow; when
+// an MMP fails or is removed, the surviving replica holders take over.
+
+// RebalanceStats summarizes one rebalancing pass.
+type RebalanceStats struct {
+	// MastersMoved counts contexts whose master changed VM.
+	MastersMoved int
+	// ReplicasMoved counts replica placements refreshed.
+	ReplicasMoved int
+	// Scanned counts contexts examined.
+	Scanned int
+}
+
+// RebalanceStates realigns every master context with the current hash
+// ring: contexts whose ring owner changed (after AddMMP) move to the
+// new master, and replicas are re-pushed to the current successor.
+// Consistent hashing guarantees only ring-neighbor keys move.
+func (s *System) RebalanceStates() RebalanceStats {
+	var st RebalanceStats
+	ring := s.Router.Ring()
+	type move struct {
+		from string
+		ctx  *state.UEContext
+	}
+	var moves []move
+	for id, eng := range s.engines {
+		eng.Store().Range(func(ctx *state.UEContext, isReplica bool) bool {
+			if isReplica {
+				return true
+			}
+			st.Scanned++
+			owners, err := ring.Owners(ctx.GUTI.Key(), mlb.ReplicaFanout)
+			if err != nil || len(owners) == 0 {
+				return true
+			}
+			if string(owners[0]) != id {
+				moves = append(moves, move{from: id, ctx: ctx})
+			}
+			return true
+		})
+	}
+	for _, m := range moves {
+		newMaster, err := ring.Owners(m.ctx.GUTI.Key(), mlb.ReplicaFanout)
+		if err != nil {
+			continue
+		}
+		target, ok := s.engines[string(newMaster[0])]
+		if !ok {
+			continue
+		}
+		moved := m.ctx.Clone()
+		moved.Version++
+		target.InstallMaster(moved)
+		s.engines[m.from].Store().Delete(m.ctx.GUTI)
+		st.MastersMoved++
+		// Refresh the replica at the new successor.
+		if len(newMaster) > 1 {
+			if rep, ok := s.engines[string(newMaster[1])]; ok {
+				if err := rep.ApplyReplica(moved.Clone()); err == nil {
+					st.ReplicasMoved++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// RemoveMMP fails or decommissions an MMP: it leaves the ring, and
+// every device it mastered is recovered onto the device's surviving
+// state holders — the replica becomes the master (the paper's
+// availability argument for proactive replication). Devices without a
+// replica lose their context (they re-attach on next contact, exactly
+// as a real MME failure forces).
+//
+// It returns (recovered, lost) context counts.
+func (s *System) RemoveMMP(id string) (recovered, lost int, err error) {
+	eng, ok := s.engines[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: unknown MMP %s", id)
+	}
+	// Collect the failed VM's master contexts before membership changes.
+	var masters []*state.UEContext
+	eng.Store().Range(func(ctx *state.UEContext, isReplica bool) bool {
+		if !isReplica {
+			masters = append(masters, ctx)
+		}
+		return true
+	})
+	s.Router.UnregisterMMP(id)
+	delete(s.engines, id)
+	delete(s.indexOf, id)
+
+	ring := s.Router.Ring()
+	for _, ctx := range masters {
+		owners, oerr := ring.Owners(ctx.GUTI.Key(), mlb.ReplicaFanout)
+		if oerr != nil || len(owners) == 0 {
+			lost++
+			continue
+		}
+		// The new master is the first surviving owner. If it already
+		// holds a replica of the device, its copy is authoritative; if
+		// not, the device's state is recovered from... nowhere in a real
+		// failure — but on a planned decommission we still hold ctx, so
+		// install it.
+		target := s.engines[string(owners[0])]
+		if target == nil {
+			lost++
+			continue
+		}
+		if existing, ok := target.Store().Get(ctx.GUTI); ok {
+			// Promote the replica copy in place.
+			promoted := existing.Clone()
+			promoted.Version++
+			target.InstallMaster(promoted)
+			recovered++
+			continue
+		}
+		// Planned removal: migrate the context directly.
+		moved := ctx.Clone()
+		moved.Version++
+		target.InstallMaster(moved)
+		recovered++
+	}
+	return recovered, lost, nil
+}
+
+// FailMMP simulates a crash: unlike RemoveMMP, the failed VM's own
+// state is NOT available for migration — only devices with replicas
+// elsewhere survive.
+func (s *System) FailMMP(id string) (survived, lost int, err error) {
+	eng, ok := s.engines[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: unknown MMP %s", id)
+	}
+	var mastersGUTIs []*state.UEContext
+	eng.Store().Range(func(ctx *state.UEContext, isReplica bool) bool {
+		if !isReplica {
+			mastersGUTIs = append(mastersGUTIs, ctx)
+		}
+		return true
+	})
+	s.Router.UnregisterMMP(id)
+	delete(s.engines, id)
+	delete(s.indexOf, id)
+
+	ring := s.Router.Ring()
+	for _, ctx := range mastersGUTIs {
+		owners, oerr := ring.Owners(ctx.GUTI.Key(), mlb.ReplicaFanout)
+		if oerr != nil {
+			lost++
+			continue
+		}
+		promotedAny := false
+		for _, o := range owners {
+			holder := s.engines[string(o)]
+			if holder == nil {
+				continue
+			}
+			if existing, ok := holder.Store().Get(ctx.GUTI); ok {
+				promoted := existing.Clone()
+				promoted.Version++
+				holder.InstallMaster(promoted)
+				promotedAny = true
+				break
+			}
+		}
+		if promotedAny {
+			survived++
+		} else {
+			lost++
+		}
+	}
+	return survived, lost, nil
+}

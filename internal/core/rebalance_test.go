@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/state"
+)
+
+// attachFleet attaches n devices and idles them, returning their IMSIs.
+func attachFleet(t *testing.T, em *enb.Emulator, n int) []uint64 {
+	t.Helper()
+	imsis := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		imsi := uint64(baseIMSI + i)
+		imsis[i] = imsi
+		if err := em.Attach(imsi, 1); err != nil {
+			t.Fatalf("attach %d: %v", imsi, err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			t.Fatalf("idle %d: %v", imsi, err)
+		}
+	}
+	return imsis
+}
+
+func masterOfDevice(s *System, em *enb.Emulator, imsi uint64) (string, *state.UEContext) {
+	g := em.UEFor(imsi).GUTI
+	for id, eng := range s.Engines() {
+		if ctx, ok := eng.Store().Get(g); ok && !eng.Store().IsReplica(g) {
+			return id, ctx
+		}
+	}
+	return "", nil
+}
+
+func TestRebalanceAfterScaleOut(t *testing.T) {
+	s, em := newSystem(t, 2)
+	imsis := attachFleet(t, em, 120)
+
+	// Grow the pool, then realign state with the new ring.
+	s.AddMMP()
+	st := s.RebalanceStates()
+	if st.Scanned != 120 {
+		t.Fatalf("scanned = %d", st.Scanned)
+	}
+	if st.MastersMoved == 0 {
+		t.Fatal("no masters moved to the new MMP")
+	}
+	// Consistent hashing: only a ~1/3 share should move.
+	if st.MastersMoved > 80 {
+		t.Fatalf("moved %d of 120 — more than consistent hashing predicts", st.MastersMoved)
+	}
+	// Every device's master now matches the ring, and every device still
+	// works end-to-end.
+	ring := s.Router.Ring()
+	for _, imsi := range imsis {
+		id, ctx := masterOfDevice(s, em, imsi)
+		if ctx == nil {
+			t.Fatalf("device %d lost its context", imsi)
+		}
+		owners, err := ring.Owners(ctx.GUTI.Key(), 2)
+		if err != nil || string(owners[0]) != id {
+			t.Fatalf("device %d mastered on %s, ring says %v", imsi, id, owners)
+		}
+		if err := em.ServiceRequest(imsi, 2); err != nil {
+			t.Fatalf("service request %d after rebalance: %v", imsi, err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRebalanceNoopWhenAligned(t *testing.T) {
+	s, em := newSystem(t, 3)
+	attachFleet(t, em, 50)
+	st := s.RebalanceStates()
+	if st.MastersMoved != 0 {
+		t.Fatalf("aligned cluster moved %d masters", st.MastersMoved)
+	}
+}
+
+func TestRemoveMMPPlannedMigration(t *testing.T) {
+	s, em := newSystem(t, 3)
+	imsis := attachFleet(t, em, 90)
+
+	victim := s.Router.MMPs()[0]
+	vEng, _ := s.Engine(victim)
+	victimMasters := vEng.Store().MasterCount()
+	if victimMasters == 0 {
+		t.Skip("victim mastered nothing")
+	}
+	recovered, lost, err := s.RemoveMMP(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Fatalf("planned removal lost %d contexts", lost)
+	}
+	if recovered != victimMasters {
+		t.Fatalf("recovered %d of %d", recovered, victimMasters)
+	}
+	// Every device still serviceable.
+	for _, imsi := range imsis {
+		if err := em.ServiceRequest(imsi, 1); err != nil {
+			t.Fatalf("service request %d after removal: %v", imsi, err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.RemoveMMP("mmp-ghost"); err == nil {
+		t.Fatal("removing unknown MMP succeeded")
+	}
+}
+
+func TestFailMMPReplicasTakeOver(t *testing.T) {
+	s, em := newSystem(t, 4)
+	imsis := attachFleet(t, em, 100)
+
+	victim := s.Router.MMPs()[1]
+	vEng, _ := s.Engine(victim)
+	victimMasters := vEng.Store().MasterCount()
+
+	survived, lost, err := s.FailMMP(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if survived+lost != victimMasters {
+		t.Fatalf("survived %d + lost %d != masters %d", survived, lost, victimMasters)
+	}
+	// With R=2 replication on idle, every idled device had a replica —
+	// all must survive the crash.
+	if lost != 0 {
+		t.Fatalf("lost %d contexts despite full replication", lost)
+	}
+	// The fleet keeps working off the promoted replicas.
+	working := 0
+	for _, imsi := range imsis {
+		if err := em.ServiceRequest(imsi, 1); err == nil {
+			working++
+			if err := em.ReleaseToIdle(imsi); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if working != len(imsis) {
+		t.Fatalf("only %d/%d devices survived the MMP crash", working, len(imsis))
+	}
+}
+
+func TestFailMMPWithoutReplicationLosesState(t *testing.T) {
+	s := NewSystem(SystemConfig{
+		NumMMPs: 3, PLMN: guti.PLMN{MCC: 310, MNC: 26},
+		Subscribers: 500, DisableReplication: true,
+	})
+	em := enb.New()
+	s.RegisterCell(em, 1, []uint16{7})
+	for i := 0; i < 60; i++ {
+		imsi := uint64(baseIMSI + i)
+		if err := em.Attach(imsi, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := s.Router.MMPs()[0]
+	vEng, _ := s.Engine(victim)
+	victimMasters := vEng.Store().MasterCount()
+	survived, lost, err := s.FailMMP(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No replication: everything the victim mastered is gone — the
+	// contrast that motivates SCALE's proactive replication.
+	if survived != 0 || lost != victimMasters {
+		t.Fatalf("survived=%d lost=%d masters=%d", survived, lost, victimMasters)
+	}
+}

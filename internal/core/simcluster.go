@@ -1,0 +1,304 @@
+// Package core assembles SCALE's components into runnable systems:
+//
+//   - ScaleCluster / GeoScale: the simulated SCALE MME cluster (single-
+//     and multi-DC) used by the experiment harness to regenerate the
+//     paper's figures, built on the sim engine with the chash/cluster
+//     policies.
+//   - System (system.go): the in-process prototype — real MLB router,
+//     MMP procedure engines, HSS, S-GW and eNodeB emulator wired
+//     together, exchanging real S1AP/NAS/S11/S6a messages.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scale/internal/chash"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+// ScaleClusterConfig parameterizes a simulated SCALE DC.
+type ScaleClusterConfig struct {
+	Eng *sim.Engine
+	// NumVMs is the initial MMP VM count.
+	NumVMs int
+	// Tokens per VM on the hash ring (0 → chash.DefaultTokens; 1 = the
+	// "basic consistent hashing" baseline of Figure 10(a)).
+	Tokens int
+	// Replicas is R, the copies of each device's state (including the
+	// master). 0 → 2.
+	Replicas int
+	// ServiceTimes for the VMs (nil → sim defaults).
+	ServiceTimes sim.ServiceTimes
+	// Net is the topology's propagation delays.
+	Net sim.NetworkParams
+	// Recorder receives completed-request delays (nil → internal).
+	Recorder *sim.Recorder
+	// ReplicaFor decides whether a device's state is replicated beyond
+	// the master (access-aware pruning). nil → every device replicated.
+	ReplicaFor func(device int, weight float64) bool
+	// ReplicationCost is the CPU cost of one asynchronous replica
+	// update, charged to the replica holder after a request completes.
+	// Zero disables replication work modeling.
+	ReplicationCost time.Duration
+	// CPUWindow is the utilization sampling window (0 → 1s).
+	CPUWindow time.Duration
+}
+
+// ScaleCluster simulates one DC's MMP pool under SCALE's policies:
+// consistent-hash state partitioning with tokens, R-way replication,
+// and least-loaded routing among a device's state holders
+// (Sections 4.3, 4.6).
+type ScaleCluster struct {
+	cfg  ScaleClusterConfig
+	eng  *sim.Engine
+	ring *chash.Ring
+	vms  map[string]*sim.VM
+	rec  *sim.Recorder
+
+	hasReplica map[int]bool
+	nextVM     int
+
+	// RemoteHook, when set, may steal a request for remote processing
+	// (geo-multiplexing); it returns true if it consumed the request.
+	RemoteHook func(req *sim.Request, localQueue time.Duration) bool
+}
+
+// NewScaleCluster builds the cluster with its initial VMs.
+func NewScaleCluster(cfg ScaleClusterConfig) *ScaleCluster {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = sim.NewRecorder()
+	}
+	c := &ScaleCluster{
+		cfg:        cfg,
+		eng:        cfg.Eng,
+		ring:       chash.New(cfg.Tokens),
+		vms:        make(map[string]*sim.VM),
+		rec:        cfg.Recorder,
+		hasReplica: make(map[int]bool),
+	}
+	for i := 0; i < cfg.NumVMs; i++ {
+		c.AddVM()
+	}
+	return c
+}
+
+// Recorder returns the delay recorder.
+func (c *ScaleCluster) Recorder() *sim.Recorder { return c.rec }
+
+// VMs returns the live VMs in ring-registration order.
+func (c *ScaleCluster) VMs() []*sim.VM {
+	out := make([]*sim.VM, 0, len(c.vms))
+	for i := 0; i < c.nextVM; i++ {
+		if vm, ok := c.vms[vmName(i)]; ok {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// VM returns a VM by name.
+func (c *ScaleCluster) VM(name string) (*sim.VM, bool) {
+	vm, ok := c.vms[name]
+	return vm, ok
+}
+
+func vmName(i int) string { return fmt.Sprintf("vm-%d", i) }
+
+// AddVM provisions one more MMP VM and returns it. Consistent hashing
+// confines state movement to ring neighbors; the movement cost is
+// charged to the new VM as installation work proportional to its state
+// share.
+func (c *ScaleCluster) AddVM() *sim.VM {
+	name := vmName(c.nextVM)
+	c.nextVM++
+	vm := sim.NewVM(c.eng, name, c.cfg.ServiceTimes, c.cfg.CPUWindow)
+	c.vms[name] = vm
+	c.ring.Add(chash.NodeID(name))
+	return vm
+}
+
+// RemoveVM deprovisions a VM (scale-in). Its keys flow to ring
+// neighbors automatically on subsequent lookups.
+func (c *ScaleCluster) RemoveVM(name string) {
+	delete(c.vms, name)
+	c.ring.Remove(chash.NodeID(name))
+}
+
+// Size reports the live VM count.
+func (c *ScaleCluster) Size() int { return len(c.vms) }
+
+// replicated reports (computing lazily) whether the device's state has
+// a replica beyond the master.
+func (c *ScaleCluster) replicated(device int, weight float64) bool {
+	if c.cfg.ReplicaFor == nil {
+		return true
+	}
+	has, ok := c.hasReplica[device]
+	if !ok {
+		has = c.cfg.ReplicaFor(device, weight)
+		c.hasReplica[device] = has
+	}
+	return has
+}
+
+// holders returns the device's state-holding VMs: master first.
+func (c *ScaleCluster) holders(req *sim.Request) []*sim.VM {
+	n := 1
+	if c.replicated(req.Device, req.Weight) {
+		n = c.cfg.Replicas
+	}
+	owners, err := c.ring.OwnersString(req.Key, n)
+	if err != nil {
+		return nil
+	}
+	out := make([]*sim.VM, 0, len(owners))
+	for _, o := range owners {
+		if vm, ok := c.vms[string(o)]; ok {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// Arrive implements sim.Cluster: route to the least-loaded state holder
+// and record the completion delay (queue + service + fixed RTT).
+func (c *ScaleCluster) Arrive(req *sim.Request) {
+	holders := c.holders(req)
+	if len(holders) == 0 {
+		return
+	}
+	// Least-loaded by queue backlog (the MLB's smoothed-load choice at
+	// epoch scale; queue depth is the fluid-limit equivalent).
+	best := holders[0]
+	for _, vm := range holders[1:] {
+		if vm.QueueDelay() < best.QueueDelay() {
+			best = vm
+		}
+	}
+	if c.RemoteHook != nil && c.RemoteHook(req, best.QueueDelay()) {
+		return
+	}
+	c.process(best, holders, req, 0)
+}
+
+// process runs req on vm, charging extraNet of additional network delay
+// (geo forwarding), then models the asynchronous replica refresh.
+func (c *ScaleCluster) process(vm *sim.VM, holders []*sim.VM, req *sim.Request, extraNet time.Duration) {
+	c.processRecorded(vm, holders, req, extraNet, c.rec)
+}
+
+// processRecorded is process with an explicit delay recorder — geo
+// offloading records a forwarded request's delay against the device's
+// HOME DC, not the DC that happened to execute it.
+func (c *ScaleCluster) processRecorded(vm *sim.VM, holders []*sim.VM, req *sim.Request, extraNet time.Duration, rec *sim.Recorder) {
+	arrived := req.Arrived
+	proc := req.Proc
+	net := c.cfg.Net.RequestRTT() + extraNet
+	vm.Process(proc, 0, func(done time.Duration) {
+		rec.Record(proc, done-arrived+net)
+		// Asynchronous replica refresh (Section 4.6): after serving, the
+		// handling VM pushes the updated state to the other holders.
+		if c.cfg.ReplicationCost > 0 {
+			for _, h := range holders {
+				if h != vm {
+					h.ProcessWork(c.cfg.ReplicationCost, nil)
+				}
+			}
+		}
+	})
+}
+
+// ArriveWithNet routes like Arrive but charges extra network delay and
+// bypasses the remote hook — used when another DC forwards a request
+// here, or when a baseline statically assigns devices to a remote pool.
+func (c *ScaleCluster) ArriveWithNet(req *sim.Request, extraNet time.Duration) {
+	holders := c.holders(req)
+	if len(holders) == 0 {
+		return
+	}
+	best := holders[0]
+	for _, vm := range holders[1:] {
+		if vm.QueueDelay() < best.QueueDelay() {
+			best = vm
+		}
+	}
+	c.process(best, holders, req, extraNet)
+}
+
+// ProcessAt forces a request onto a named VM (experiments that pin load,
+// e.g. E2's replication-overhead setup).
+func (c *ScaleCluster) ProcessAt(name string, req *sim.Request) {
+	vm, ok := c.vms[name]
+	if !ok {
+		return
+	}
+	c.process(vm, c.holders(req), req, 0)
+}
+
+// MasterOf returns the master VM name for a routing key, or "" on an
+// empty ring. Experiments use it to classify devices by master — e.g.
+// S1's L1–L4 skew scenarios drive extra load at devices mastered on a
+// chosen subset of VMs.
+func (c *ScaleCluster) MasterOf(key string) string {
+	owner, err := c.ring.LookupString(key)
+	if err != nil {
+		return ""
+	}
+	return string(owner)
+}
+
+// DevicesMasteredOn partitions population indices by whether their
+// master VM is in the given set.
+func (c *ScaleCluster) DevicesMasteredOn(pop *trace.Population, vmSet map[string]bool) (in, out []int) {
+	for i := range pop.Devices {
+		key := DeviceKey(pop, i)
+		if vmSet[c.MasterOf(key)] {
+			in = append(in, i)
+		} else {
+			out = append(out, i)
+		}
+	}
+	return in, out
+}
+
+// DeviceKey is the canonical routing key for a population index.
+func DeviceKey(pop *trace.Population, idx int) string {
+	return fmt.Sprintf("imsi-%d", pop.Devices[idx].IMSI)
+}
+
+// WeightedReplicaFor builds a ReplicaFor predicate implementing the
+// paper's access-aware rule: devices with weight ≤ x keep a single copy
+// (Section 4.5.1); everyone else gets the full R replicas.
+func WeightedReplicaFor(x float64) func(int, float64) bool {
+	return func(_ int, w float64) bool { return w > x }
+}
+
+// RandomReplicaFor builds the access-unaware baseline: each device is
+// replicated with fixed probability p regardless of weight.
+func RandomReplicaFor(p float64, seed int64) func(int, float64) bool {
+	rng := rand.New(rand.NewSource(seed))
+	return func(_ int, _ float64) bool { return rng.Float64() < p }
+}
+
+// FeedWorkload drives arrivals into any cluster model using the
+// canonical device keys.
+func FeedWorkload(eng *sim.Engine, pop *trace.Population, arrivals []trace.Arrival, c sim.Cluster) {
+	for _, a := range arrivals {
+		a := a
+		eng.At(a.At, func() {
+			c.Arrive(&sim.Request{
+				Device:  a.Device,
+				Key:     DeviceKey(pop, a.Device),
+				Weight:  pop.Devices[a.Device].Weight,
+				Proc:    a.Proc,
+				Arrived: eng.Now(),
+			})
+		})
+	}
+}

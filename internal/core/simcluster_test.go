@@ -1,0 +1,271 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+func newCluster(t *testing.T, eng *sim.Engine, vms int, opts func(*ScaleClusterConfig)) *ScaleCluster {
+	t.Helper()
+	cfg := ScaleClusterConfig{
+		Eng:    eng,
+		NumVMs: vms,
+		Tokens: 8,
+	}
+	if opts != nil {
+		opts(&cfg)
+	}
+	return NewScaleCluster(cfg)
+}
+
+func run(t *testing.T, eng *sim.Engine, pop *trace.Population, rate float64, horizon time.Duration, c sim.Cluster, seed int64) {
+	t.Helper()
+	arr := trace.Generator{Pop: pop, Seed: seed}.Poisson(rate, horizon)
+	FeedWorkload(eng, pop, arr, c)
+	eng.Run()
+}
+
+func TestScaleClusterProcessesAll(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, eng, 4, nil)
+	pop := trace.NewPopulation(500, 1, trace.Uniform{Lo: 0.2, Hi: 0.8})
+	arr := trace.Generator{Pop: pop, Seed: 2}.Poisson(200, 10*time.Second)
+	FeedWorkload(eng, pop, arr, c)
+	eng.Run()
+	if got := c.Recorder().Count(); got != uint64(len(arr)) {
+		t.Fatalf("completed %d of %d", got, len(arr))
+	}
+	if c.Recorder().P99() <= 0 {
+		t.Fatal("p99 not positive")
+	}
+	// Work spread across all VMs.
+	for _, vm := range c.VMs() {
+		if vm.Processed() == 0 {
+			t.Fatalf("VM %s idle", vm.ID)
+		}
+	}
+}
+
+func TestScaleClusterLeastLoadedAvoidsHotVM(t *testing.T) {
+	// With R=2, a device whose master is busy is served by its replica.
+	eng := sim.NewEngine()
+	c := newCluster(t, eng, 2, nil)
+	pop := trace.NewPopulation(10, 3, trace.Uniform{Lo: 0.5, Hi: 0.5})
+
+	// Saturate vm-0 with background work.
+	vms := c.VMs()
+	eng.At(0, func() { vms[0].ProcessWork(10*time.Second, nil) })
+
+	arr := trace.Generator{Pop: pop, Seed: 4}.Poisson(50, 2*time.Second)
+	FeedWorkload(eng, pop, arr, c)
+	eng.RunUntil(3 * time.Second)
+	// Essentially all requests must have completed on vm-1 (vm-0 is
+	// blocked for 10s).
+	if done := c.Recorder().Count(); done < uint64(len(arr))*9/10 {
+		t.Fatalf("only %d of %d completed despite replica path", done, len(arr))
+	}
+}
+
+func TestScaleClusterNoReplicaPinsToMaster(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, eng, 4, func(cfg *ScaleClusterConfig) {
+		cfg.ReplicaFor = func(int, float64) bool { return false } // nobody replicated
+	})
+	pop := trace.NewPopulation(100, 5, trace.Uniform{Lo: 0.5, Hi: 0.5})
+
+	// Map each device to its master and check all its requests land there.
+	counts := make(map[int]string)
+	for i := range pop.Devices {
+		counts[i] = c.MasterOf(DeviceKey(pop, i))
+	}
+	before := map[string]uint64{}
+	for _, vm := range c.VMs() {
+		before[vm.ID] = vm.Processed()
+	}
+	run(t, eng, pop, 100, 5*time.Second, c, 6)
+	// Per-device routing is unobservable directly; instead assert the
+	// aggregate: with identical weights and no replicas, the processed
+	// split must match the master distribution of the population.
+	masters := map[string]int{}
+	for i := range pop.Devices {
+		masters[counts[i]]++
+	}
+	for _, vm := range c.VMs() {
+		if masters[vm.ID] == 0 && vm.Processed() > before[vm.ID] {
+			t.Fatalf("VM %s processed requests but masters no devices", vm.ID)
+		}
+	}
+}
+
+func TestScaleClusterReplicationWork(t *testing.T) {
+	eng := sim.NewEngine()
+	noRep := newCluster(t, eng, 3, nil)
+	pop := trace.NewPopulation(100, 7, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	run(t, eng, pop, 100, 5*time.Second, noRep, 8)
+	var baseWork uint64
+	for _, vm := range noRep.VMs() {
+		baseWork += vm.Processed()
+	}
+
+	eng2 := sim.NewEngine()
+	withRep := NewScaleCluster(ScaleClusterConfig{
+		Eng: eng2, NumVMs: 3, Tokens: 8, ReplicationCost: 200 * time.Microsecond,
+	})
+	run(t, eng2, pop, 100, 5*time.Second, withRep, 8)
+	var repWork uint64
+	for _, vm := range withRep.VMs() {
+		repWork += vm.Processed()
+	}
+	// Replication adds one work item per request (R=2 → one peer).
+	if repWork <= baseWork {
+		t.Fatalf("replication work not modeled: %d vs %d", repWork, baseWork)
+	}
+}
+
+func TestAddRemoveVM(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, eng, 2, nil)
+	if c.Size() != 2 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	vm := c.AddVM()
+	if c.Size() != 3 || vm.ID != "vm-2" {
+		t.Fatalf("after add: size=%d id=%s", c.Size(), vm.ID)
+	}
+	if _, ok := c.VM("vm-2"); !ok {
+		t.Fatal("vm-2 not found")
+	}
+	c.RemoveVM("vm-0")
+	if c.Size() != 2 {
+		t.Fatalf("after remove: %d", c.Size())
+	}
+	// Requests keyed to vm-0's range now land elsewhere.
+	pop := trace.NewPopulation(50, 9, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	run(t, eng, pop, 50, 2*time.Second, c, 10)
+	if c.Recorder().Count() == 0 {
+		t.Fatal("no requests completed after membership change")
+	}
+}
+
+func TestWeightedReplicaFor(t *testing.T) {
+	f := WeightedReplicaFor(0.2)
+	if f(0, 0.1) || f(0, 0.2) {
+		t.Fatal("low-access device replicated")
+	}
+	if !f(0, 0.5) {
+		t.Fatal("high-access device not replicated")
+	}
+}
+
+func TestRandomReplicaForFraction(t *testing.T) {
+	f := RandomReplicaFor(0.3, 42)
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if f(i, 0.9) {
+			n++
+		}
+	}
+	frac := float64(n) / 10000
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("fraction = %v", frac)
+	}
+}
+
+func TestReplicaForMemoized(t *testing.T) {
+	eng := sim.NewEngine()
+	calls := 0
+	c := newCluster(t, eng, 2, func(cfg *ScaleClusterConfig) {
+		cfg.ReplicaFor = func(int, float64) bool { calls++; return true }
+	})
+	req := &sim.Request{Device: 7, Key: "k7", Weight: 0.5}
+	c.Arrive(req)
+	c.Arrive(req)
+	if calls != 1 {
+		t.Fatalf("ReplicaFor called %d times", calls)
+	}
+}
+
+func TestProcessAt(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, eng, 2, nil)
+	eng.At(0, func() {
+		c.ProcessAt("vm-0", &sim.Request{Key: "x", Proc: trace.Attach, Arrived: 0})
+		c.ProcessAt("vm-ghost", &sim.Request{Key: "x", Proc: trace.Attach, Arrived: 0}) // no-op
+	})
+	eng.Run()
+	vm, _ := c.VM("vm-0")
+	if vm.Processed() != 1 {
+		t.Fatalf("vm-0 processed = %d", vm.Processed())
+	}
+	if c.Recorder().Count() != 1 {
+		t.Fatalf("recorded = %d", c.Recorder().Count())
+	}
+}
+
+func TestDevicesMasteredOn(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCluster(t, eng, 4, nil)
+	pop := trace.NewPopulation(200, 11, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	set := map[string]bool{"vm-0": true, "vm-1": true}
+	in, out := c.DevicesMasteredOn(pop, set)
+	if len(in)+len(out) != 200 {
+		t.Fatalf("partition sizes %d+%d", len(in), len(out))
+	}
+	if len(in) == 0 || len(out) == 0 {
+		t.Fatalf("degenerate partition %d/%d", len(in), len(out))
+	}
+	for _, i := range in {
+		if !set[c.MasterOf(DeviceKey(pop, i))] {
+			t.Fatal("misclassified device")
+		}
+	}
+}
+
+func TestArriveWithNetAddsDelay(t *testing.T) {
+	engA := sim.NewEngine()
+	plain := newCluster(t, engA, 1, nil)
+	engA.At(0, func() {
+		plain.Arrive(&sim.Request{Key: "k", Proc: trace.TAUpdate, Arrived: 0})
+	})
+	engA.Run()
+
+	engB := sim.NewEngine()
+	delayed := newCluster(t, engB, 1, nil)
+	engB.At(0, func() {
+		delayed.ArriveWithNet(&sim.Request{Key: "k", Proc: trace.TAUpdate, Arrived: 0}, 40*time.Millisecond)
+	})
+	engB.Run()
+
+	diff := delayed.Recorder().Mean() - plain.Recorder().Mean()
+	if diff != 40*time.Millisecond {
+		t.Fatalf("extra net delay = %v", diff)
+	}
+}
+
+// Simulations must be bit-deterministic per seed: reproducibility is
+// what makes the experiment harness's shape checks trustworthy.
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() (uint64, time.Duration, float64) {
+		eng := sim.NewEngine()
+		c := NewScaleCluster(ScaleClusterConfig{
+			Eng: eng, NumVMs: 5, Tokens: 8, ReplicationCost: 100 * time.Microsecond,
+		})
+		pop := trace.NewPopulation(2000, 77, trace.Zipf{S: 1.3, Levels: 15})
+		arr := trace.Generator{Pop: pop, Seed: 78}.Poisson(800, 5*time.Second)
+		FeedWorkload(eng, pop, arr, c)
+		eng.Run()
+		var util float64
+		for _, vm := range c.VMs() {
+			util += vm.MeanUtilization()
+		}
+		return c.Recorder().Count(), c.Recorder().P99(), util
+	}
+	c1, p1, u1 := run()
+	c2, p2, u2 := run()
+	if c1 != c2 || p1 != p2 || u1 != u2 {
+		t.Fatalf("non-deterministic: (%d,%v,%v) vs (%d,%v,%v)", c1, p1, u1, c2, p2, u2)
+	}
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/mlb"
+	"scale/internal/mmp"
+	"scale/internal/s11"
+	"scale/internal/s1ap"
+	"scale/internal/s6"
+	"scale/internal/sgw"
+	"scale/internal/state"
+	"scale/internal/ueid"
+)
+
+// SystemConfig parameterizes an in-process SCALE deployment.
+type SystemConfig struct {
+	// Name is the MME identity the MLB presents.
+	Name string
+	// NumMMPs is the initial MMP VM count.
+	NumMMPs int
+	// PLMN et al. form the pool identity.
+	PLMN  guti.PLMN
+	MMEGI uint16
+	MMEC  uint8
+	// Tokens per MMP on the hash ring (0 → default).
+	Tokens int
+	// Subscribers provisions the HSS with this many sequential IMSIs
+	// starting at FirstIMSI.
+	FirstIMSI   uint64
+	Subscribers int
+	// DisableReplication turns SCALE's proactive replication off (the
+	// legacy-MME configuration).
+	DisableReplication bool
+	// IndexBase offsets this system's MMP indices — federations give
+	// each DC a disjoint range so active-mode UE ids identify the
+	// serving DC as well as the serving MMP.
+	IndexBase uint8
+}
+
+// System is the in-process SCALE prototype: a real MLB router in front
+// of real MMP procedure engines, talking real S1AP/NAS to eNodeB
+// emulators and real S6a/S11 to the HSS and S-GW — all wired with
+// synchronous function calls instead of sockets. The cmd/ binaries run
+// the same components over TCP.
+type System struct {
+	cfg     SystemConfig
+	Router  *mlb.Router
+	HSS     *hss.DB
+	GW      *sgw.GW
+	engines map[string]*mmp.Engine
+	indexOf map[string]uint8
+	emus    map[uint32]*enb.Emulator // cell id → emulator
+
+	// ForwardRetries counts requests re-delivered to the master after a
+	// replica-less MMP returned ErrNoContext.
+	ForwardRetries uint64
+	// Replications counts local replica fan-outs executed.
+	Replications uint64
+
+	// OutboundFallback, when set, receives downlink messages addressed
+	// to eNodeBs this system does not know — a Federation uses it to
+	// route responses for remotely-served requests back to the device's
+	// home DC.
+	OutboundFallback func(enbID uint32, tai uint16, msg s1ap.Message)
+	// OnReplicate, when set, observes every replica fan-out — a
+	// Federation uses it to propagate state across DCs (Section 4.5.2).
+	OnReplicate func(from string, ctx *state.UEContext)
+}
+
+// NewSystem builds and wires a deployment.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.NumMMPs <= 0 {
+		cfg.NumMMPs = 2
+	}
+	if cfg.Subscribers <= 0 {
+		cfg.Subscribers = 1000
+	}
+	if cfg.FirstIMSI == 0 {
+		cfg.FirstIMSI = 100000000
+	}
+	s := &System{
+		cfg:     cfg,
+		HSS:     hss.NewDB(),
+		GW:      sgw.New(),
+		engines: make(map[string]*mmp.Engine),
+		indexOf: make(map[string]uint8),
+		emus:    make(map[uint32]*enb.Emulator),
+	}
+	s.HSS.ProvisionRange(cfg.FirstIMSI, cfg.Subscribers)
+	s.Router = mlb.NewRouter(mlb.Config{
+		Name: cfg.Name, PLMN: cfg.PLMN, MMEGI: cfg.MMEGI, MMEC: cfg.MMEC, Tokens: cfg.Tokens,
+	})
+	for i := 0; i < cfg.NumMMPs; i++ {
+		s.AddMMP()
+	}
+	return s
+}
+
+// AddMMP provisions one more MMP engine (scale-out) and returns its id.
+func (s *System) AddMMP() string {
+	index := s.cfg.IndexBase + uint8(len(s.engines)+1)
+	id := fmt.Sprintf("mmp-%d", index)
+	var rep mmp.Replicator
+	if !s.cfg.DisableReplication {
+		rep = systemReplicator{s}
+	}
+	eng := mmp.New(mmp.Config{
+		ID:             id,
+		Index:          index,
+		PLMN:           s.cfg.PLMN,
+		MMEGI:          s.cfg.MMEGI,
+		MMEC:           s.cfg.MMEC,
+		ServingNetwork: s.cfg.PLMN.String(),
+		HSS:            hssAdapter{s.HSS},
+		SGW:            sgwAdapter{s.GW},
+		Replicator:     rep,
+	})
+	s.engines[id] = eng
+	s.indexOf[id] = index
+	s.Router.RegisterMMP(id, index)
+	return id
+}
+
+// Engine returns an MMP engine by id.
+func (s *System) Engine(id string) (*mmp.Engine, bool) {
+	e, ok := s.engines[id]
+	return e, ok
+}
+
+// Engines returns all engines keyed by id.
+func (s *System) Engines() map[string]*mmp.Engine { return s.engines }
+
+// AttachENB wires an eNodeB emulator: its cells S1-Setup with the MLB
+// and its uplink is routed through the system.
+func (s *System) AttachENB(em *enb.Emulator) {
+	em.Uplink = s.DeliverUplink
+	for _, cell := range em.Cells() {
+		s.emus[cell] = em
+	}
+}
+
+// RegisterCell performs the S1 Setup for one new cell of an attached
+// emulator.
+func (s *System) RegisterCell(em *enb.Emulator, cell uint32, tais []uint16) {
+	req := em.AddCell(cell, tais)
+	s.emus[cell] = em
+	s.Router.HandleS1Setup(req)
+	if em.Uplink == nil {
+		em.Uplink = s.DeliverUplink
+	}
+}
+
+// DeliverUplink routes one uplink S1AP message from a cell through the
+// MLB to an MMP, executing the full synchronous exchange.
+func (s *System) DeliverUplink(cell uint32, msg s1ap.Message) {
+	if setup, ok := msg.(*s1ap.S1SetupRequest); ok {
+		s.Router.HandleS1Setup(setup)
+		return
+	}
+	d, err := s.Router.Route(msg)
+	if err != nil {
+		return
+	}
+	eng, ok := s.engines[d.Target]
+	if !ok {
+		return
+	}
+	out, err := eng.Handle(cell, d.Msg)
+	if err == mmp.ErrNoContext && d.Master != "" && d.Master != d.Target {
+		// The least-loaded replica holder lacks this device's state
+		// (single-replica device): forward to the master (Section 4.6).
+		s.ForwardRetries++
+		if master, ok := s.engines[d.Master]; ok {
+			out, err = master.Handle(cell, d.Msg)
+		}
+	}
+	if err != nil {
+		return
+	}
+	s.deliverOutbound(out)
+}
+
+func (s *System) deliverOutbound(out []mmp.Outbound) {
+	for _, o := range out {
+		if o.ENB == mmp.BroadcastENB {
+			for _, cell := range s.Router.ENBsForTAI(o.TAI) {
+				if em, ok := s.emus[cell]; ok {
+					em.HandleDownlink(cell, o.Msg)
+				}
+			}
+			continue
+		}
+		if em, ok := s.emus[o.ENB]; ok {
+			em.HandleDownlink(o.ENB, o.Msg)
+			continue
+		}
+		if s.OutboundFallback != nil {
+			s.OutboundFallback(o.ENB, o.TAI, o.Msg)
+		}
+	}
+}
+
+// HasENB reports whether this system serves the given eNodeB cell.
+func (s *System) HasENB(enbID uint32) bool {
+	_, ok := s.emus[enbID]
+	return ok
+}
+
+// DeliverDownlink hands a downlink message to a locally-attached eNodeB.
+func (s *System) DeliverDownlink(enbID uint32, msg s1ap.Message) {
+	if em, ok := s.emus[enbID]; ok {
+		em.HandleDownlink(enbID, msg)
+	}
+}
+
+// TriggerDownlinkData simulates downlink packets arriving at the S-GW
+// for a session; if the device is Idle the owning MMP pages it and the
+// device answers with a service request.
+func (s *System) TriggerDownlinkData(sgwTEID uint32) error {
+	ddn, ok := s.GW.DownlinkDataArrived(sgwTEID)
+	if !ok {
+		return fmt.Errorf("core: no idle session for TEID %d", sgwTEID)
+	}
+	idx, _ := ueid.Split(ddn.MMETEID)
+	var target *mmp.Engine
+	for id, engineIdx := range s.indexOf {
+		if engineIdx == idx {
+			target = s.engines[id]
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("core: no engine for MMP index %d", idx)
+	}
+	out, err := target.HandleDownlinkData(ddn)
+	if err != nil {
+		return err
+	}
+	s.deliverOutbound(out)
+	return nil
+}
+
+// MMPIndices lists the numeric indices of this system's MMPs.
+func (s *System) MMPIndices() []uint8 {
+	out := make([]uint8, 0, len(s.indexOf))
+	for _, idx := range s.indexOf {
+		out = append(out, idx)
+	}
+	return out
+}
+
+// AccessProfile aggregates the per-device profiled access frequencies
+// across all MMPs (Section 4.5).
+func (s *System) AccessProfile() map[uint64]float64 {
+	out := make(map[uint64]float64)
+	for _, eng := range s.engines {
+		for imsi, w := range eng.AccessProfile() {
+			out[imsi] = w
+		}
+	}
+	return out
+}
+
+// EndEpoch ages the access frequency of every device that stayed silent
+// since epochStart, then returns K̂(x): the count of devices whose
+// profiled frequency is at or below x — the input to cluster.Beta.
+func (s *System) EndEpoch(epochStart time.Time, x float64) (kHat int) {
+	for _, eng := range s.engines {
+		eng.DecayIdle(epochStart)
+	}
+	for _, w := range s.AccessProfile() {
+		if w <= x {
+			kHat++
+		}
+	}
+	return kHat
+}
+
+// systemReplicator fans a device-state snapshot out to the ring's other
+// holders (and would cross DCs via RemoteDC in a multi-DC assembly).
+type systemReplicator struct{ s *System }
+
+// Replicate implements mmp.Replicator.
+func (r systemReplicator) Replicate(from string, ctx *state.UEContext) {
+	owners, err := r.s.Router.Ring().Owners(ctx.GUTI.Key(), mlb.ReplicaFanout)
+	if err != nil {
+		return
+	}
+	for _, o := range owners {
+		id := string(o)
+		if id == from {
+			continue
+		}
+		if eng, ok := r.s.engines[id]; ok {
+			// Each holder gets its own copy.
+			_ = eng.ApplyReplica(ctx.Clone())
+			r.s.Replications++
+		}
+	}
+	if r.s.OnReplicate != nil {
+		r.s.OnReplicate(from, ctx)
+	}
+}
+
+// hssAdapter exposes the in-process HSS DB through the engine's S6a
+// client interface (the TCP deployment substitutes *hss.Client).
+type hssAdapter struct{ db *hss.DB }
+
+// AuthInfo implements mmp.HSSClient.
+func (a hssAdapter) AuthInfo(imsi uint64, sn string, n uint8) (*s6.AuthInfoAnswer, error) {
+	return a.db.Handle(&s6.AuthInfoRequest{IMSI: imsi, ServingNetwork: sn, NumVectors: n}).(*s6.AuthInfoAnswer), nil
+}
+
+// UpdateLocation implements mmp.HSSClient.
+func (a hssAdapter) UpdateLocation(imsi uint64, mmeID string) (*s6.UpdateLocationAnswer, error) {
+	return a.db.Handle(&s6.UpdateLocationRequest{IMSI: imsi, MMEID: mmeID}).(*s6.UpdateLocationAnswer), nil
+}
+
+// Purge implements mmp.HSSClient.
+func (a hssAdapter) Purge(imsi uint64) error {
+	a.db.Handle(&s6.PurgeRequest{IMSI: imsi})
+	return nil
+}
+
+// sgwAdapter exposes the in-process S-GW through the engine's S11
+// client interface (the TCP deployment substitutes *sgw.Client).
+type sgwAdapter struct{ gw *sgw.GW }
+
+// CreateSession implements mmp.SGWClient.
+func (a sgwAdapter) CreateSession(imsi uint64, teid uint32, apn string, ebi uint8) (*s11.CreateSessionResponse, error) {
+	return a.gw.Handle(&s11.CreateSessionRequest{IMSI: imsi, MMETEID: teid, APN: apn, BearerID: ebi}).(*s11.CreateSessionResponse), nil
+}
+
+// ModifyBearer implements mmp.SGWClient.
+func (a sgwAdapter) ModifyBearer(sgwTEID, enbTEID uint32, addr string, ebi uint8) (*s11.ModifyBearerResponse, error) {
+	return a.gw.Handle(&s11.ModifyBearerRequest{SGWTEID: sgwTEID, ENBTEID: enbTEID, ENBAddr: addr, BearerID: ebi}).(*s11.ModifyBearerResponse), nil
+}
+
+// ReleaseAccessBearers implements mmp.SGWClient.
+func (a sgwAdapter) ReleaseAccessBearers(sgwTEID uint32) (*s11.ReleaseAccessBearersResponse, error) {
+	return a.gw.Handle(&s11.ReleaseAccessBearersRequest{SGWTEID: sgwTEID}).(*s11.ReleaseAccessBearersResponse), nil
+}
+
+// DeleteSession implements mmp.SGWClient.
+func (a sgwAdapter) DeleteSession(sgwTEID uint32, ebi uint8) (*s11.DeleteSessionResponse, error) {
+	return a.gw.Handle(&s11.DeleteSessionRequest{SGWTEID: sgwTEID, BearerID: ebi}).(*s11.DeleteSessionResponse), nil
+}

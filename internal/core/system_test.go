@@ -1,0 +1,369 @@
+package core
+
+import (
+	"testing"
+
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/state"
+)
+
+func newSystem(t *testing.T, mmps int) (*System, *enb.Emulator) {
+	t.Helper()
+	s := NewSystem(SystemConfig{
+		Name:        "mlb-test",
+		NumMMPs:     mmps,
+		PLMN:        guti.PLMN{MCC: 310, MNC: 26},
+		MMEGI:       0x0101,
+		MMEC:        1,
+		Subscribers: 2000,
+	})
+	em := enb.New()
+	s.RegisterCell(em, 1, []uint16{7})
+	s.RegisterCell(em, 2, []uint16{7, 8})
+	s.RegisterCell(em, 3, []uint16{9})
+	return s, em
+}
+
+const baseIMSI = 100000000
+
+func TestEndToEndAttach(t *testing.T) {
+	s, em := newSystem(t, 4)
+	for i := 0; i < 50; i++ {
+		if err := em.Attach(baseIMSI+uint64(i), 1); err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+	}
+	if em.Stats().Attaches != 50 {
+		t.Fatalf("attaches = %d", em.Stats().Attaches)
+	}
+	if s.GW.Len() != 50 {
+		t.Fatalf("sgw sessions = %d", s.GW.Len())
+	}
+	// Attaches spread over multiple engines via the hash ring.
+	enginesUsed := 0
+	for _, eng := range s.Engines() {
+		if eng.Stats().Attaches > 0 {
+			enginesUsed++
+		}
+	}
+	if enginesUsed < 2 {
+		t.Fatalf("attaches concentrated on %d engine(s)", enginesUsed)
+	}
+}
+
+func TestEndToEndUnknownSubscriberRejected(t *testing.T) {
+	_, em := newSystem(t, 2)
+	if err := em.Attach(999999999, 1); err == nil {
+		t.Fatal("unknown IMSI attached")
+	}
+	if em.UEFor(999999999).State != enb.Detached {
+		t.Fatal("rejected UE not detached")
+	}
+}
+
+func TestEndToEndIdleActiveCycle(t *testing.T) {
+	s, em := newSystem(t, 4)
+	imsi := uint64(baseIMSI + 1)
+	if err := em.Attach(imsi, 1); err != nil {
+		t.Fatal(err)
+	}
+	repsBefore := s.Replications
+
+	if err := em.ReleaseToIdle(imsi); err != nil {
+		t.Fatal(err)
+	}
+	if s.Replications <= repsBefore {
+		t.Fatal("idle transition did not replicate")
+	}
+	// Service request from a different cell.
+	if err := em.ServiceRequest(imsi, 2); err != nil {
+		t.Fatal(err)
+	}
+	if em.UEFor(imsi).State != enb.Active {
+		t.Fatalf("state = %v", em.UEFor(imsi).State)
+	}
+	// And back to idle again.
+	if err := em.ReleaseToIdle(imsi); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndTAU(t *testing.T) {
+	_, em := newSystem(t, 3)
+	imsi := uint64(baseIMSI + 2)
+	if err := em.Attach(imsi, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(imsi); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.TAU(imsi, 3); err != nil {
+		t.Fatal(err)
+	}
+	if em.Stats().TAUs != 1 {
+		t.Fatalf("TAUs = %d", em.Stats().TAUs)
+	}
+}
+
+func TestEndToEndHandover(t *testing.T) {
+	s, em := newSystem(t, 4)
+	imsi := uint64(baseIMSI + 3)
+	if err := em.Attach(imsi, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.StartHandover(imsi, 2); err != nil {
+		t.Fatal(err)
+	}
+	ue := em.UEFor(imsi)
+	if ue.Cell != 2 || ue.State != enb.Active {
+		t.Fatalf("ue after handover: %+v", ue)
+	}
+	// The S-GW downlink must point at the new cell's tunnel.
+	var handovers uint64
+	for _, eng := range s.Engines() {
+		handovers += eng.Stats().Handovers
+	}
+	if handovers != 1 {
+		t.Fatalf("engine handovers = %d", handovers)
+	}
+}
+
+func TestEndToEndDetach(t *testing.T) {
+	s, em := newSystem(t, 3)
+	imsi := uint64(baseIMSI + 4)
+	if err := em.Attach(imsi, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Detach(imsi, false); err != nil {
+		t.Fatal(err)
+	}
+	if s.GW.Len() != 0 {
+		t.Fatalf("sgw sessions after detach = %d", s.GW.Len())
+	}
+	if em.UEFor(imsi).State != enb.Detached {
+		t.Fatal("UE not detached")
+	}
+	// Re-attach works (fresh registration).
+	if err := em.Attach(imsi, 1); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+}
+
+func TestEndToEndPaging(t *testing.T) {
+	s, em := newSystem(t, 3)
+	imsi := uint64(baseIMSI + 5)
+	if err := em.Attach(imsi, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Find the S-GW TEID for the session.
+	var sgwTEID uint32
+	for _, eng := range s.Engines() {
+		eng.Store().Range(func(ctx *state.UEContext, _ bool) bool {
+			if ctx.IMSI == imsi {
+				sgwTEID = ctx.SGWTEID
+				return false
+			}
+			return true
+		})
+	}
+	if sgwTEID == 0 {
+		t.Fatal("no session found")
+	}
+	if err := em.ReleaseToIdle(imsi); err != nil {
+		t.Fatal(err)
+	}
+	// Downlink data arrives: the device must be paged and come back
+	// Active automatically.
+	if err := s.TriggerDownlinkData(sgwTEID); err != nil {
+		t.Fatal(err)
+	}
+	if em.UEFor(imsi).State != enb.Active {
+		t.Fatalf("state after paging = %v", em.UEFor(imsi).State)
+	}
+	if em.Stats().PagingResponses != 1 {
+		t.Fatalf("paging responses = %d", em.Stats().PagingResponses)
+	}
+	// Active session: no pending downlink notification.
+	if err := s.TriggerDownlinkData(sgwTEID); err == nil {
+		t.Fatal("active session paged")
+	}
+}
+
+func TestEndToEndManyDevicesAcrossCells(t *testing.T) {
+	s, em := newSystem(t, 4)
+	const n = 300
+	for i := 0; i < n; i++ {
+		cell := uint32(i%3 + 1)
+		imsi := uint64(baseIMSI + 100 + i)
+		if err := em.Attach(imsi, cell); err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		if i%2 == 0 {
+			if err := em.ReleaseToIdle(imsi); err != nil {
+				t.Fatalf("release %d: %v", i, err)
+			}
+		}
+	}
+	if s.GW.Len() != n {
+		t.Fatalf("sessions = %d", s.GW.Len())
+	}
+	// Half the fleet idled → replicas were pushed.
+	if s.Replications == 0 {
+		t.Fatal("no replications")
+	}
+	// Every engine's replica count matches the system fan-out.
+	var applied uint64
+	for _, eng := range s.Engines() {
+		applied += eng.Stats().ReplicasApplied
+	}
+	if applied == 0 {
+		t.Fatal("no replicas applied")
+	}
+}
+
+func TestScaleOutAddMMP(t *testing.T) {
+	s, em := newSystem(t, 2)
+	for i := 0; i < 40; i++ {
+		if err := em.Attach(baseIMSI+uint64(500+i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := s.AddMMP()
+	if _, ok := s.Engine(id); !ok {
+		t.Fatal("new engine missing")
+	}
+	// New attaches can land on the new MMP; ring now has 3 nodes.
+	if got := len(s.Router.MMPs()); got != 3 {
+		t.Fatalf("router MMPs = %d", got)
+	}
+	for i := 0; i < 40; i++ {
+		if err := em.Attach(baseIMSI+uint64(600+i), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, _ := s.Engine(id)
+	if eng.Stats().Attaches == 0 {
+		t.Fatal("new MMP received no attaches")
+	}
+}
+
+func TestDisableReplicationBaseline(t *testing.T) {
+	s := NewSystem(SystemConfig{
+		NumMMPs: 2, PLMN: guti.PLMN{MCC: 310, MNC: 26},
+		Subscribers: 100, DisableReplication: true,
+	})
+	em := enb.New()
+	s.RegisterCell(em, 1, []uint16{7})
+	imsi := uint64(baseIMSI + 7)
+	if err := em.Attach(imsi, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(imsi); err != nil {
+		t.Fatal(err)
+	}
+	if s.Replications != 0 {
+		t.Fatalf("legacy config replicated %d times", s.Replications)
+	}
+}
+
+func TestForwardToMasterOnMissingReplica(t *testing.T) {
+	// With replication disabled, the router may still pick the
+	// would-be-replica VM (least loaded); the system must retry at the
+	// master so the request succeeds anyway.
+	s := NewSystem(SystemConfig{
+		NumMMPs: 4, PLMN: guti.PLMN{MCC: 310, MNC: 26},
+		Subscribers: 500, DisableReplication: true,
+	})
+	em := enb.New()
+	s.RegisterCell(em, 1, []uint16{7})
+
+	// Attach + idle a fleet, then drive service requests; every one
+	// must succeed even though replicas don't exist.
+	for i := 0; i < 100; i++ {
+		imsi := baseIMSI + uint64(i)
+		if err := em.Attach(imsi, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Skew the load reports so the router prefers non-masters.
+	mmps := s.Router.MMPs()
+	s.Router.ReportLoad(mmps[0], 0.9)
+	s.Router.ReportLoad(mmps[1], 0.9)
+	for i := 0; i < 100; i++ {
+		imsi := baseIMSI + uint64(i)
+		if err := em.ServiceRequest(imsi, 1); err != nil {
+			t.Fatalf("service request %d: %v", i, err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.ForwardRetries == 0 {
+		t.Fatal("no forward-to-master retries despite missing replicas")
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	s := NewSystem(SystemConfig{})
+	if len(s.Engines()) != 2 {
+		t.Fatalf("default MMPs = %d", len(s.Engines()))
+	}
+	if s.HSS.Len() != 1000 {
+		t.Fatalf("default subscribers = %d", s.HSS.Len())
+	}
+}
+
+func BenchmarkEndToEndAttachIdleCycle(b *testing.B) {
+	s := NewSystem(SystemConfig{
+		NumMMPs: 4, PLMN: guti.PLMN{MCC: 310, MNC: 26},
+		Subscribers: 100000,
+	})
+	em := enb.New()
+	s.RegisterCell(em, 1, []uint16{7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imsi := uint64(baseIMSI + i%100000)
+		if err := em.Attach(imsi, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			b.Fatal(err)
+		}
+		if err := em.Detach(imsi, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndServiceRequest(b *testing.B) {
+	s := NewSystem(SystemConfig{
+		NumMMPs: 4, PLMN: guti.PLMN{MCC: 310, MNC: 26},
+		Subscribers: 1000,
+	})
+	em := enb.New()
+	s.RegisterCell(em, 1, []uint16{7})
+	const n = 500
+	for i := 0; i < n; i++ {
+		imsi := uint64(baseIMSI + i)
+		if err := em.Attach(imsi, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imsi := uint64(baseIMSI + i%n)
+		if err := em.ServiceRequest(imsi, 1); err != nil {
+			b.Fatalf("sr %d: %v", i, err)
+		}
+		if err := em.ReleaseToIdle(imsi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,537 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/mlb"
+	"scale/internal/mmp"
+	"scale/internal/s1ap"
+	"scale/internal/sgw"
+	"scale/internal/transport"
+	"scale/internal/wire"
+)
+
+// This file assembles the same components as System over TCP, for the
+// cmd/ daemons: an MLB server with an S1AP side (eNodeBs) and a cluster
+// side (MMP agents), and an MMP agent that runs an Engine against a
+// remote MLB, HSS and S-GW.
+//
+// MLB↔MMP frames (cluster side, stream numbers below):
+//
+//	StreamCtl:  control — U8 kind {1=register, 2=load-report}
+//	            register:    String16 id, U8 index
+//	            load-report: F64 utilization
+//	StreamS1:   S1AP envelope — U32 enbID, U16 tai, Raw s1ap
+//
+// eNodeB connections use plain S1AP payloads on transport.StreamUE and
+// the S1 Setup exchange on transport.StreamCommon.
+
+// Cluster-side stream ids.
+const (
+	StreamCtl uint16 = 10
+	StreamS1  uint16 = 11
+)
+
+// Control frame kinds.
+const (
+	ctlRegister   uint8 = 1
+	ctlLoadReport uint8 = 2
+)
+
+// EncodeEnvelope packs an S1AP message with its eNodeB routing tag.
+func EncodeEnvelope(enbID uint32, tai uint16, msg s1ap.Message) []byte {
+	w := wire.NewWriter(96)
+	w.U32(enbID)
+	w.U16(tai)
+	w.Raw(s1ap.Marshal(msg))
+	return w.Bytes()
+}
+
+// DecodeEnvelope unpacks an S1AP envelope.
+func DecodeEnvelope(b []byte) (enbID uint32, tai uint16, msg s1ap.Message, err error) {
+	r := wire.NewReader(b)
+	enbID = r.U32()
+	tai = r.U16()
+	rest := r.Raw(r.Remaining())
+	if r.Err() != nil {
+		return 0, 0, nil, r.Err()
+	}
+	msg, err = s1ap.Unmarshal(rest)
+	return enbID, tai, msg, err
+}
+
+// MLBServer is the TCP-facing MLB: one listener for eNodeBs, one for
+// MMP agents.
+type MLBServer struct {
+	Router *mlb.Router
+
+	enbSrv *transport.Server
+	mmpSrv *transport.Server
+
+	mu       sync.Mutex
+	enbConns map[uint32]*transport.Conn // eNB id → conn
+	mmpConns map[string]*transport.Conn // MMP id → conn
+	logger   *log.Logger
+}
+
+// ServeMLB starts an MLB on the two listen addresses.
+func ServeMLB(cfg mlb.Config, enbAddr, mmpAddr string, logger *log.Logger) (*MLBServer, error) {
+	s := &MLBServer{
+		Router:   mlb.NewRouter(cfg),
+		enbConns: make(map[uint32]*transport.Conn),
+		mmpConns: make(map[string]*transport.Conn),
+		logger:   logger,
+	}
+	var err error
+	s.enbSrv, err = transport.Serve(enbAddr, s.handleENB)
+	if err != nil {
+		return nil, err
+	}
+	s.mmpSrv, err = transport.Serve(mmpAddr, s.handleMMP)
+	if err != nil {
+		s.enbSrv.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// ENBAddr reports the eNodeB-side listen address.
+func (s *MLBServer) ENBAddr() string { return s.enbSrv.Addr() }
+
+// MMPAddr reports the cluster-side listen address.
+func (s *MLBServer) MMPAddr() string { return s.mmpSrv.Addr() }
+
+// Close shuts both listeners down.
+func (s *MLBServer) Close() error {
+	err1 := s.enbSrv.Close()
+	err2 := s.mmpSrv.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (s *MLBServer) logf(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// handleENB processes frames from eNodeB connections.
+func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
+	msg, err := s1ap.Unmarshal(frame.Payload)
+	if err != nil {
+		s.logf("mlb: bad S1AP frame from eNB: %v", err)
+		return
+	}
+	if setup, ok := msg.(*s1ap.S1SetupRequest); ok {
+		resp := s.Router.HandleS1Setup(setup)
+		s.mu.Lock()
+		s.enbConns[setup.ENBID] = conn
+		s.mu.Unlock()
+		if err := conn.Write(transport.StreamCommon, s1ap.Marshal(resp)); err != nil {
+			s.logf("mlb: setup response: %v", err)
+		}
+		return
+	}
+	enbID := s.enbIDFor(conn)
+	d, err := s.Router.Route(msg)
+	if err != nil {
+		s.logf("mlb: route %s: %v", msg.Type(), err)
+		return
+	}
+	s.mu.Lock()
+	target := s.mmpConns[d.Target]
+	master := s.mmpConns[d.Master]
+	s.mu.Unlock()
+	if target == nil {
+		target = master
+	}
+	if target == nil {
+		s.logf("mlb: no connection for MMP %s", d.Target)
+		return
+	}
+	if err := target.Write(StreamS1, EncodeEnvelope(enbID, 0, d.Msg)); err != nil {
+		s.logf("mlb: forward to %s: %v", d.Target, err)
+	}
+}
+
+func (s *MLBServer) enbIDFor(conn *transport.Conn) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, c := range s.enbConns {
+		if c == conn {
+			return id
+		}
+	}
+	return 0
+}
+
+// handleMMP processes frames from MMP agents.
+func (s *MLBServer) handleMMP(conn *transport.Conn, frame transport.Message) {
+	switch frame.Stream {
+	case StreamCtl:
+		r := wire.NewReader(frame.Payload)
+		switch r.U8() {
+		case ctlRegister:
+			id := r.String16()
+			index := r.U8()
+			if r.Err() != nil {
+				return
+			}
+			s.mu.Lock()
+			s.mmpConns[id] = conn
+			s.mu.Unlock()
+			s.Router.RegisterMMP(id, index)
+			s.logf("mlb: MMP %s (index %d) registered", id, index)
+		case ctlLoadReport:
+			util := r.F64()
+			if r.Err() != nil {
+				return
+			}
+			s.mu.Lock()
+			var id string
+			for mID, c := range s.mmpConns {
+				if c == conn {
+					id = mID
+					break
+				}
+			}
+			s.mu.Unlock()
+			if id != "" {
+				s.Router.ReportLoad(id, util)
+			}
+		}
+	case StreamS1:
+		enbID, tai, msg, err := DecodeEnvelope(frame.Payload)
+		if err != nil {
+			s.logf("mlb: bad envelope from MMP: %v", err)
+			return
+		}
+		if enbID == mmp.BroadcastENB {
+			for _, cell := range s.Router.ENBsForTAI(tai) {
+				s.sendToENB(cell, msg)
+			}
+			return
+		}
+		s.sendToENB(enbID, msg)
+	}
+}
+
+func (s *MLBServer) sendToENB(enbID uint32, msg s1ap.Message) {
+	s.mu.Lock()
+	conn := s.enbConns[enbID]
+	s.mu.Unlock()
+	if conn == nil {
+		s.logf("mlb: no connection for eNB %d", enbID)
+		return
+	}
+	if err := conn.Write(transport.StreamUE, s1ap.Marshal(msg)); err != nil {
+		s.logf("mlb: downlink to eNB %d: %v", enbID, err)
+	}
+}
+
+// MMPAgentConfig parameterizes a TCP MMP agent.
+type MMPAgentConfig struct {
+	ID              string
+	Index           uint8
+	PLMN            guti.PLMN
+	MMEGI           uint16
+	MMEC            uint8
+	MLBAddr         string
+	HSSAddr         string
+	SGWAddr         string
+	LoadReportEvery time.Duration
+	Logger          *log.Logger
+}
+
+// MMPAgent runs an MMP engine against a remote MLB/HSS/S-GW.
+type MMPAgent struct {
+	Engine *mmp.Engine
+	conn   *transport.Conn
+	hss    *hss.Client
+	sgw    *sgw.Client
+	logger *log.Logger
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// StartMMPAgent dials the peers, registers with the MLB and starts the
+// serve loop.
+func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
+	if cfg.ID == "" {
+		cfg.ID = fmt.Sprintf("mmp-%d", cfg.Index)
+	}
+	hc, err := hss.DialClient(cfg.HSSAddr)
+	if err != nil {
+		return nil, fmt.Errorf("mmp agent: HSS: %w", err)
+	}
+	sc, err := sgw.DialClient(cfg.SGWAddr)
+	if err != nil {
+		hc.Close()
+		return nil, fmt.Errorf("mmp agent: SGW: %w", err)
+	}
+	conn, err := transport.Dial(cfg.MLBAddr)
+	if err != nil {
+		hc.Close()
+		sc.Close()
+		return nil, fmt.Errorf("mmp agent: MLB: %w", err)
+	}
+	a := &MMPAgent{
+		conn:   conn,
+		hss:    hc,
+		sgw:    sc,
+		logger: cfg.Logger,
+		done:   make(chan struct{}),
+	}
+	a.Engine = mmp.New(mmp.Config{
+		ID:             cfg.ID,
+		Index:          cfg.Index,
+		PLMN:           cfg.PLMN,
+		MMEGI:          cfg.MMEGI,
+		MMEC:           cfg.MMEC,
+		ServingNetwork: cfg.PLMN.String(),
+		HSS:            hc,
+		SGW:            sc,
+		// TCP agents replicate through the MLB in a follow-on wiring;
+		// in this deployment replication is local to the agent.
+		Replicator: nil,
+	})
+
+	// Register.
+	w := wire.NewWriter(32)
+	w.U8(ctlRegister)
+	w.String16(cfg.ID)
+	w.U8(cfg.Index)
+	if err := conn.Write(StreamCtl, w.Bytes()); err != nil {
+		a.Close()
+		return nil, fmt.Errorf("mmp agent: register: %w", err)
+	}
+
+	a.wg.Add(1)
+	go a.serveLoop()
+	if cfg.LoadReportEvery > 0 {
+		a.wg.Add(1)
+		go a.loadLoop(cfg.LoadReportEvery)
+	}
+	return a, nil
+}
+
+func (a *MMPAgent) logf(format string, args ...interface{}) {
+	if a.logger != nil {
+		a.logger.Printf(format, args...)
+	}
+}
+
+func (a *MMPAgent) serveLoop() {
+	defer a.wg.Done()
+	for {
+		frame, err := a.conn.Read()
+		if err != nil {
+			select {
+			case <-a.done:
+			default:
+				a.logf("mmp agent: read: %v", err)
+			}
+			return
+		}
+		if frame.Stream != StreamS1 {
+			continue
+		}
+		enbID, _, msg, err := DecodeEnvelope(frame.Payload)
+		if err != nil {
+			a.logf("mmp agent: envelope: %v", err)
+			continue
+		}
+		out, err := a.Engine.Handle(enbID, msg)
+		if err != nil && !errors.Is(err, mmp.ErrNoContext) {
+			a.logf("mmp agent: handle %s: %v", msg.Type(), err)
+			continue
+		}
+		for _, o := range out {
+			if err := a.conn.Write(StreamS1, EncodeEnvelope(o.ENB, o.TAI, o.Msg)); err != nil {
+				a.logf("mmp agent: write: %v", err)
+				return
+			}
+		}
+	}
+}
+
+func (a *MMPAgent) loadLoop(every time.Duration) {
+	defer a.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-t.C:
+			w := wire.NewWriter(16)
+			w.U8(ctlLoadReport)
+			// A socket deployment has no virtual CPU model; report the
+			// engine's queue proxy (0 — the MLB then balances purely by
+			// hash). Real deployments would sample the host.
+			w.F64(0)
+			if err := a.conn.Write(StreamCtl, w.Bytes()); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops the agent.
+func (a *MMPAgent) Close() error {
+	select {
+	case <-a.done:
+	default:
+		close(a.done)
+	}
+	err := a.conn.Close()
+	a.hss.Close()
+	a.sgw.Close()
+	a.wg.Wait()
+	return err
+}
+
+// ENBClient drives an eNodeB emulator against a TCP MLB. It serializes
+// emulator access under a mutex (the emulator is not concurrency-safe)
+// and lets callers wait for procedure completion with a timeout.
+type ENBClient struct {
+	Emu  *enb.Emulator
+	conn *transport.Conn
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// DialENB connects an emulator to a TCP MLB and registers its cells.
+func DialENB(mlbAddr string, cells map[uint32][]uint16) (*ENBClient, error) {
+	conn, err := transport.Dial(mlbAddr)
+	if err != nil {
+		return nil, err
+	}
+	c := &ENBClient{
+		Emu:  enb.New(),
+		conn: conn,
+		done: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.Emu.Uplink = func(_ uint32, msg s1ap.Message) {
+		// Uplink is invoked with c.mu held (all emulator access is under
+		// the lock); the framed write is safe to perform inline.
+		if err := conn.Write(transport.StreamUE, s1ap.Marshal(msg)); err != nil {
+			// The read loop will observe the close and wake waiters.
+			return
+		}
+	}
+	for id, tais := range cells {
+		req := c.Emu.AddCell(id, tais)
+		if err := conn.Write(transport.StreamCommon, s1ap.Marshal(req)); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *ENBClient) readLoop() {
+	defer c.wg.Done()
+	for {
+		frame, err := c.conn.Read()
+		if err != nil {
+			close(c.done)
+			c.cond.Broadcast()
+			return
+		}
+		msg, err := s1ap.Unmarshal(frame.Payload)
+		if err != nil {
+			continue
+		}
+		if _, ok := msg.(*s1ap.S1SetupResponse); ok {
+			continue
+		}
+		c.mu.Lock()
+		// Cell id on downlink: the emulator needs the serving cell; the
+		// MLB sends per-eNB conns, and this client owns all its cells,
+		// so resolve by the UE's record inside HandleDownlink. Passing
+		// cell 0 is safe for every handler except handover admission,
+		// which matches on hoTarget.
+		c.Emu.HandleDownlink(c.downlinkCell(msg), msg)
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// downlinkCell picks the cell a downlink should be processed under.
+// All this client's cells share one MLB connection, so the choice only
+// matters for handover admission (target cell) and paging (a cell
+// serving the paged TAI).
+func (c *ENBClient) downlinkCell(msg s1ap.Message) uint32 {
+	switch m := msg.(type) {
+	case *s1ap.HandoverRequest:
+		if target, ok := c.Emu.PendingHandoverTarget(); ok {
+			return target
+		}
+	case *s1ap.Paging:
+		for _, tai := range m.TAIs {
+			if cell, ok := c.Emu.CellForTAI(tai); ok {
+				return cell
+			}
+		}
+	}
+	cells := c.Emu.Cells()
+	if len(cells) > 0 {
+		return cells[0]
+	}
+	return 0
+}
+
+// Run executes fn with exclusive emulator access.
+func (c *ENBClient) Run(fn func(e *enb.Emulator) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn(c.Emu)
+}
+
+// WaitUntil blocks until pred(e) is true or the timeout elapses.
+func (c *ENBClient) WaitUntil(timeout time.Duration, pred func(e *enb.Emulator) bool) error {
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !pred(c.Emu) {
+		select {
+		case <-c.done:
+			return errors.New("core: MLB connection closed")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return errors.New("core: timeout waiting for UE state")
+		}
+		// Wake periodically so the deadline is honored even without
+		// traffic.
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			c.cond.Broadcast()
+		}()
+		c.cond.Wait()
+	}
+	return nil
+}
+
+// Close tears the client down.
+func (c *ENBClient) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

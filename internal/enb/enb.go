@@ -1,0 +1,543 @@
+// Package enb emulates the radio access network side of the testbed:
+// one Emulator models a set of eNodeB cells and the UE fleet attached
+// to them, driving the NAS/S1AP state machines devices execute against
+// the MME — attach with EPS-AKA (using the same USIM key derivation the
+// HSS uses, so authentication genuinely verifies), service request,
+// TAU, paging response, S1 handover and detach.
+//
+// It is the reproduction's stand-in for the paper's "eNodeB emulator
+// [that] supports the higher-layer protocols of the eNodeB" plus the
+// python load generator driving it (Section 5).
+//
+// The Emulator is transport-agnostic and synchronous: Uplink is a
+// callback the host wires to the MLB, and downlink messages re-enter
+// via HandleDownlink — possibly re-entrantly from inside an Uplink
+// call (the in-process prototype does exactly that). It is not safe for
+// concurrent use; drive it from one goroutine.
+package enb
+
+import (
+	"errors"
+	"fmt"
+
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+)
+
+// UEState is the emulator-side connection state of a device.
+type UEState int
+
+// UE states.
+const (
+	Detached UEState = iota
+	Attaching
+	Active
+	Idle
+)
+
+// String names the state.
+func (s UEState) String() string {
+	switch s {
+	case Detached:
+		return "detached"
+	case Attaching:
+		return "attaching"
+	case Active:
+		return "active"
+	case Idle:
+		return "idle"
+	default:
+		return fmt.Sprintf("enb.UEState(%d)", int(s))
+	}
+}
+
+// UE is one emulated device.
+type UE struct {
+	IMSI  uint64
+	K     [32]byte
+	GUTI  guti.GUTI
+	State UEState
+	// Cell is the serving cell while Attaching/Active.
+	Cell    uint32
+	ENBUEID uint32
+	MMEUEID uint32
+	ENBTEID uint32
+	// srSeq is the uplink count echoed in ServiceRequests.
+	srSeq uint32
+	// hoTarget/hoENBUEID/hoTEID stage an in-flight handover.
+	hoTarget  uint32
+	hoENBUEID uint32
+	hoTEID    uint32
+	// LastError records the most recent NAS reject cause (0 = none).
+	LastError uint8
+	bearerUp  bool
+}
+
+// Stats counts emulator activity.
+type Stats struct {
+	Attaches        uint64
+	ServiceRequests uint64
+	TAUs            uint64
+	Handovers       uint64
+	Detaches        uint64
+	PagingResponses uint64
+	Rejects         uint64
+}
+
+// Emulator models cells + UE fleet.
+type Emulator struct {
+	// Uplink delivers an S1AP message from a cell to the MME/MLB. Set
+	// before use.
+	Uplink func(cell uint32, msg s1ap.Message)
+
+	cells       map[uint32][]uint16 // cell id → TAIs
+	ues         map[uint64]*UE
+	byENBUEID   map[uint32]*UE
+	byMTMSI     map[uint32]*UE
+	nextENBUEID uint32
+	nextTEID    uint32
+	stats       Stats
+}
+
+// New creates an empty emulator.
+func New() *Emulator {
+	return &Emulator{
+		cells:     make(map[uint32][]uint16),
+		ues:       make(map[uint64]*UE),
+		byENBUEID: make(map[uint32]*UE),
+		byMTMSI:   make(map[uint32]*UE),
+	}
+}
+
+// AddCell registers a cell and returns its S1SetupRequest for the host
+// to deliver to the MLB.
+func (e *Emulator) AddCell(id uint32, tais []uint16) *s1ap.S1SetupRequest {
+	e.cells[id] = append([]uint16(nil), tais...)
+	return &s1ap.S1SetupRequest{ENBID: id, Name: fmt.Sprintf("enb-%d", id), TAIs: tais}
+}
+
+// Cells returns the registered cell ids.
+func (e *Emulator) Cells() []uint32 {
+	out := make([]uint32, 0, len(e.cells))
+	for id := range e.cells {
+		out = append(out, id)
+	}
+	return out
+}
+
+// CellForTAI returns a cell serving the given tracking area.
+func (e *Emulator) CellForTAI(tai uint16) (uint32, bool) {
+	for id, tais := range e.cells {
+		for _, t := range tais {
+			if t == tai {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// PendingHandoverTarget returns the staged handover target cell of any
+// UE with a handover in flight — asynchronous hosts use it to resolve
+// which cell a HandoverRequest downlink addresses.
+func (e *Emulator) PendingHandoverTarget() (uint32, bool) {
+	for _, ue := range e.ues {
+		if ue.hoTarget != 0 {
+			return ue.hoTarget, true
+		}
+	}
+	return 0, false
+}
+
+// TAIOf returns the first tracking area of a cell.
+func (e *Emulator) TAIOf(cell uint32) uint16 {
+	if tais := e.cells[cell]; len(tais) > 0 {
+		return tais[0]
+	}
+	return 0
+}
+
+// Stats returns activity counters.
+func (e *Emulator) Stats() Stats { return e.stats }
+
+// UEFor returns the emulated device for an IMSI, creating it Detached.
+func (e *Emulator) UEFor(imsi uint64) *UE {
+	ue, ok := e.ues[imsi]
+	if !ok {
+		ue = &UE{IMSI: imsi, K: hss.KeyForIMSI(imsi), State: Detached}
+		e.ues[imsi] = ue
+	}
+	return ue
+}
+
+func (e *Emulator) send(cell uint32, msg s1ap.Message) {
+	if e.Uplink == nil {
+		panic("enb: Uplink not wired")
+	}
+	e.Uplink(cell, msg)
+}
+
+func (e *Emulator) newENBUEID(ue *UE) uint32 {
+	e.nextENBUEID++
+	id := e.nextENBUEID
+	ue.ENBUEID = id
+	e.byENBUEID[id] = ue
+	return id
+}
+
+// Errors returned by procedures.
+var (
+	ErrUnknownCell = errors.New("enb: unknown cell")
+	ErrBadUEState  = errors.New("enb: UE is not in the required state")
+	ErrProcedure   = errors.New("enb: procedure did not complete")
+)
+
+// StartAttach sends the attach request without waiting for completion —
+// the entry point for asynchronous (TCP) hosts, where downlinks arrive
+// later via HandleDownlink. Synchronous hosts use Attach.
+func (e *Emulator) StartAttach(imsi uint64, cell uint32) error {
+	if _, ok := e.cells[cell]; !ok {
+		return ErrUnknownCell
+	}
+	ue := e.UEFor(imsi)
+	if ue.State == Active || ue.State == Attaching {
+		return fmt.Errorf("%w: %s", ErrBadUEState, ue.State)
+	}
+	ue.State = Attaching
+	ue.Cell = cell
+	ue.LastError = 0
+	ue.bearerUp = false
+	id := e.newENBUEID(ue)
+	e.send(cell, &s1ap.InitialUEMessage{
+		ENBUEID: id,
+		TAI:     e.TAIOf(cell),
+		NASPDU:  nas.Marshal(&nas.AttachRequest{IMSI: imsi, OldGUTI: ue.GUTI, TAI: e.TAIOf(cell)}),
+	})
+	return nil
+}
+
+// Attach registers a device through a cell. With a synchronous host the
+// entire exchange completes inside this call; success is judged by the
+// UE reaching Active.
+func (e *Emulator) Attach(imsi uint64, cell uint32) error {
+	if err := e.StartAttach(imsi, cell); err != nil {
+		return err
+	}
+	ue := e.UEFor(imsi)
+	if ue.State != Active {
+		if ue.LastError != 0 {
+			return fmt.Errorf("%w: attach rejected, cause %d", ErrProcedure, ue.LastError)
+		}
+		return fmt.Errorf("%w: attach left UE %s", ErrProcedure, ue.State)
+	}
+	return nil
+}
+
+// StartServiceRequest sends the service request without waiting for
+// completion (asynchronous hosts).
+func (e *Emulator) StartServiceRequest(imsi uint64, cell uint32) error {
+	if _, ok := e.cells[cell]; !ok {
+		return ErrUnknownCell
+	}
+	ue := e.UEFor(imsi)
+	if ue.State != Idle {
+		return fmt.Errorf("%w: %s", ErrBadUEState, ue.State)
+	}
+	ue.Cell = cell
+	ue.LastError = 0
+	ue.bearerUp = false
+	id := e.newENBUEID(ue)
+	seq := ue.srSeq
+	ue.srSeq++
+	e.send(cell, &s1ap.InitialUEMessage{
+		ENBUEID: id,
+		TAI:     e.TAIOf(cell),
+		NASPDU:  nas.Marshal(&nas.ServiceRequest{GUTI: ue.GUTI, KSI: 1, Seq: seq}),
+	})
+	return nil
+}
+
+// ServiceRequest transitions an Idle device back to Active via a cell.
+func (e *Emulator) ServiceRequest(imsi uint64, cell uint32) error {
+	if err := e.StartServiceRequest(imsi, cell); err != nil {
+		return err
+	}
+	ue := e.UEFor(imsi)
+	if ue.State != Active {
+		if ue.LastError != 0 {
+			return fmt.Errorf("%w: service request rejected, cause %d", ErrProcedure, ue.LastError)
+		}
+		return fmt.Errorf("%w: service request left UE %s", ErrProcedure, ue.State)
+	}
+	return nil
+}
+
+// TAU sends a tracking-area update for an Idle device.
+func (e *Emulator) TAU(imsi uint64, cell uint32) error {
+	if _, ok := e.cells[cell]; !ok {
+		return ErrUnknownCell
+	}
+	ue := e.UEFor(imsi)
+	if ue.State != Idle {
+		return fmt.Errorf("%w: %s", ErrBadUEState, ue.State)
+	}
+	ue.LastError = 0
+	before := ue.GUTI
+	id := e.newENBUEID(ue)
+	e.send(cell, &s1ap.InitialUEMessage{
+		ENBUEID: id,
+		TAI:     e.TAIOf(cell),
+		NASPDU:  nas.Marshal(&nas.TAURequest{GUTI: ue.GUTI, TAI: e.TAIOf(cell)}),
+	})
+	if ue.LastError != 0 {
+		return fmt.Errorf("%w: TAU rejected, cause %d", ErrProcedure, ue.LastError)
+	}
+	_ = before
+	return nil
+}
+
+// ReleaseToIdle performs the eNodeB-initiated inactivity release.
+func (e *Emulator) ReleaseToIdle(imsi uint64) error {
+	ue := e.UEFor(imsi)
+	if ue.State != Active {
+		return fmt.Errorf("%w: %s", ErrBadUEState, ue.State)
+	}
+	e.send(ue.Cell, &s1ap.UEContextReleaseRequest{
+		ENBUEID: ue.ENBUEID, MMEUEID: ue.MMEUEID, Cause: 1,
+	})
+	if ue.State != Idle {
+		return fmt.Errorf("%w: release left UE %s", ErrProcedure, ue.State)
+	}
+	return nil
+}
+
+// BeginHandover stages and sends the handover request without waiting
+// for completion (asynchronous hosts).
+func (e *Emulator) BeginHandover(imsi uint64, target uint32) error {
+	if _, ok := e.cells[target]; !ok {
+		return ErrUnknownCell
+	}
+	ue := e.UEFor(imsi)
+	if ue.State != Active {
+		return fmt.Errorf("%w: %s", ErrBadUEState, ue.State)
+	}
+	if ue.Cell == target {
+		return fmt.Errorf("%w: already served by cell %d", ErrBadUEState, target)
+	}
+	ue.hoTarget = target
+	e.send(ue.Cell, &s1ap.HandoverRequired{
+		ENBUEID: ue.ENBUEID, MMEUEID: ue.MMEUEID, TargetENB: target,
+	})
+	return nil
+}
+
+// StartHandover moves an Active device from its serving cell to target.
+func (e *Emulator) StartHandover(imsi uint64, target uint32) error {
+	if err := e.BeginHandover(imsi, target); err != nil {
+		return err
+	}
+	ue := e.UEFor(imsi)
+	if ue.Cell != target {
+		return fmt.Errorf("%w: handover did not complete", ErrProcedure)
+	}
+	return nil
+}
+
+// Detach deregisters a device.
+func (e *Emulator) Detach(imsi uint64, switchOff bool) error {
+	ue := e.UEFor(imsi)
+	if ue.State == Detached {
+		return fmt.Errorf("%w: %s", ErrBadUEState, ue.State)
+	}
+	cell := ue.Cell
+	id := e.newENBUEID(ue)
+	e.send(cell, &s1ap.InitialUEMessage{
+		ENBUEID: id,
+		TAI:     e.TAIOf(cell),
+		NASPDU:  nas.Marshal(&nas.DetachRequest{GUTI: ue.GUTI, SwitchOff: switchOff}),
+	})
+	// Switch-off detach gets no DetachAccept; complete locally.
+	delete(e.byMTMSI, ue.GUTI.MTMSI)
+	ue.State = Detached
+	ue.GUTI = guti.GUTI{}
+	ue.srSeq = 0
+	e.stats.Detaches++
+	return nil
+}
+
+// HandleDownlink processes one S1AP message from the MME addressed to
+// cell.
+func (e *Emulator) HandleDownlink(cell uint32, msg s1ap.Message) {
+	switch m := msg.(type) {
+	case *s1ap.DownlinkNASTransport:
+		e.handleNAS(cell, m)
+	case *s1ap.InitialContextSetupRequest:
+		e.handleICSRequest(cell, m)
+	case *s1ap.UEContextReleaseCommand:
+		e.handleReleaseCommand(cell, m)
+	case *s1ap.Paging:
+		e.handlePaging(cell, m)
+	case *s1ap.HandoverRequest:
+		e.handleHandoverRequest(cell, m)
+	case *s1ap.HandoverCommand:
+		e.handleHandoverCommand(cell, m)
+	}
+}
+
+func (e *Emulator) handleNAS(cell uint32, m *s1ap.DownlinkNASTransport) {
+	ue, ok := e.byENBUEID[m.ENBUEID]
+	if !ok {
+		return
+	}
+	if m.MMEUEID != 0 {
+		ue.MMEUEID = m.MMEUEID
+	}
+	nasMsg, err := nas.Unmarshal(m.NASPDU)
+	if err != nil {
+		return
+	}
+	switch n := nasMsg.(type) {
+	case *nas.AuthenticationRequest:
+		res := hss.DeriveRES(ue.K, n.RAND)
+		e.send(cell, &s1ap.UplinkNASTransport{
+			ENBUEID: ue.ENBUEID, MMEUEID: ue.MMEUEID,
+			NASPDU: nas.Marshal(&nas.AuthenticationResponse{RES: res}),
+		})
+	case *nas.SecurityModeCommand:
+		e.send(cell, &s1ap.UplinkNASTransport{
+			ENBUEID: ue.ENBUEID, MMEUEID: ue.MMEUEID,
+			NASPDU: nas.Marshal(&nas.SecurityModeComplete{}),
+		})
+	case *nas.AttachAccept:
+		e.stats.Attaches++
+		delete(e.byMTMSI, ue.GUTI.MTMSI)
+		ue.GUTI = n.GUTI
+		e.byMTMSI[n.GUTI.MTMSI] = ue
+		ue.srSeq = 0
+		e.send(cell, &s1ap.UplinkNASTransport{
+			ENBUEID: ue.ENBUEID, MMEUEID: ue.MMEUEID,
+			NASPDU: nas.Marshal(&nas.AttachComplete{GUTI: n.GUTI}),
+		})
+		e.maybeActivate(ue)
+	case *nas.ServiceAccept:
+		e.stats.ServiceRequests++
+		e.maybeActivate(ue)
+	case *nas.AttachReject:
+		ue.LastError = n.Cause
+		ue.State = Detached
+		e.stats.Rejects++
+	case *nas.ServiceReject:
+		ue.LastError = n.Cause
+		ue.State = Idle
+		e.stats.Rejects++
+	case *nas.TAUReject:
+		ue.LastError = n.Cause
+		e.stats.Rejects++
+	case *nas.TAUAccept:
+		e.stats.TAUs++
+		// GUTI may be re-assigned on TAU.
+		if !n.GUTI.IsZero() && n.GUTI != ue.GUTI {
+			delete(e.byMTMSI, ue.GUTI.MTMSI)
+			ue.GUTI = n.GUTI
+			e.byMTMSI[n.GUTI.MTMSI] = ue
+		}
+	case *nas.DetachAccept:
+		ue.State = Detached
+	}
+}
+
+// maybeActivate marks the UE Active once both the NAS accept and the
+// bearer setup completed (order varies).
+func (e *Emulator) maybeActivate(ue *UE) {
+	if ue.bearerUp {
+		ue.State = Active
+	} else {
+		// NAS accepted first; activation completes in handleICSRequest.
+		ue.State = Attaching
+	}
+}
+
+func (e *Emulator) handleICSRequest(cell uint32, m *s1ap.InitialContextSetupRequest) {
+	ue, ok := e.byENBUEID[m.ENBUEID]
+	if !ok {
+		return
+	}
+	ue.MMEUEID = m.MMEUEID
+	e.nextTEID++
+	ue.ENBTEID = e.nextTEID
+	ue.bearerUp = true
+	e.send(cell, &s1ap.InitialContextSetupResponse{
+		ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID, ENBTEID: ue.ENBTEID,
+	})
+	// If the NAS accept already arrived, the UE is now fully Active.
+	if ue.State == Attaching || ue.State == Idle {
+		ue.State = Active
+	}
+}
+
+func (e *Emulator) handleReleaseCommand(cell uint32, m *s1ap.UEContextReleaseCommand) {
+	ue, ok := e.byENBUEID[m.ENBUEID]
+	if !ok {
+		return
+	}
+	e.send(cell, &s1ap.UEContextReleaseComplete{ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID})
+	delete(e.byENBUEID, ue.ENBUEID)
+	ue.State = Idle
+	ue.ENBUEID = 0
+	ue.bearerUp = false
+}
+
+// handlePaging answers a page for an Idle device with a service request
+// ("the device responds with a re-attach procedure", Section 2).
+func (e *Emulator) handlePaging(cell uint32, m *s1ap.Paging) {
+	ue, ok := e.byMTMSI[m.MTMSI]
+	if !ok || ue.State != Idle {
+		return
+	}
+	e.stats.PagingResponses++
+	_ = e.ServiceRequest(ue.IMSI, cell)
+}
+
+// handleHandoverRequest is the target-cell admission.
+func (e *Emulator) handleHandoverRequest(cell uint32, m *s1ap.HandoverRequest) {
+	// Admit: allocate the target-side ids and stage them on the UE.
+	var ue *UE
+	for _, u := range e.ues {
+		if u.MMEUEID == m.MMEUEID && u.hoTarget == cell {
+			ue = u
+			break
+		}
+	}
+	if ue == nil {
+		return
+	}
+	e.nextENBUEID++
+	ue.hoENBUEID = e.nextENBUEID
+	e.nextTEID++
+	ue.hoTEID = e.nextTEID
+	e.send(cell, &s1ap.HandoverRequestAck{
+		MMEUEID: m.MMEUEID, NewENBUEID: ue.hoENBUEID, ENBTEID: ue.hoTEID,
+	})
+}
+
+// handleHandoverCommand is the source-cell execution: the UE "moves"
+// and the target confirms with HandoverNotify.
+func (e *Emulator) handleHandoverCommand(_ uint32, m *s1ap.HandoverCommand) {
+	ue, ok := e.byENBUEID[m.ENBUEID]
+	if !ok || ue.hoTarget == 0 {
+		return
+	}
+	delete(e.byENBUEID, ue.ENBUEID)
+	target := ue.hoTarget
+	ue.Cell = target
+	ue.ENBUEID = ue.hoENBUEID
+	ue.ENBTEID = ue.hoTEID
+	ue.hoTarget, ue.hoENBUEID, ue.hoTEID = 0, 0, 0
+	e.byENBUEID[ue.ENBUEID] = ue
+	e.stats.Handovers++
+	e.send(target, &s1ap.HandoverNotify{
+		ENBUEID: ue.ENBUEID, MMEUEID: m.MMEUEID, TAI: e.TAIOf(target),
+	})
+}

@@ -1,0 +1,406 @@
+package enb
+
+import (
+	"errors"
+	"testing"
+
+	"scale/internal/guti"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+)
+
+// scriptedMME replies to uplinks with canned behavior, exercising the
+// emulator's state machine without a full MME.
+type scriptedMME struct {
+	em *Emulator
+	// rejectAttach makes every attach fail at the first NAS step.
+	rejectAttach bool
+	// uplinks records everything received.
+	uplinks []s1ap.Message
+	nextID  uint32
+}
+
+func (m *scriptedMME) handle(cell uint32, msg s1ap.Message) {
+	m.uplinks = append(m.uplinks, msg)
+	switch t := msg.(type) {
+	case *s1ap.InitialUEMessage:
+		n, err := nas.Unmarshal(t.NASPDU)
+		if err != nil {
+			return
+		}
+		switch n.(type) {
+		case *nas.AttachRequest:
+			if m.rejectAttach {
+				m.em.HandleDownlink(cell, &s1ap.DownlinkNASTransport{
+					ENBUEID: t.ENBUEID,
+					NASPDU:  nas.Marshal(&nas.AttachReject{Cause: nas.CauseCongestion}),
+				})
+				return
+			}
+			m.nextID++
+			// Skip auth for the script: deliver accept + ICS directly.
+			m.em.HandleDownlink(cell, &s1ap.InitialContextSetupRequest{
+				ENBUEID: t.ENBUEID, MMEUEID: m.nextID, SGWTEID: 5, BearerID: 5,
+			})
+			m.em.HandleDownlink(cell, &s1ap.DownlinkNASTransport{
+				ENBUEID: t.ENBUEID, MMEUEID: m.nextID,
+				NASPDU: nas.Marshal(&nas.AttachAccept{
+					GUTI: guti.GUTI{MMEGI: 1, MMEC: 1, MTMSI: m.nextID}, T3412Sec: 3240,
+				}),
+			})
+		case *nas.ServiceRequest:
+			m.nextID++
+			m.em.HandleDownlink(cell, &s1ap.InitialContextSetupRequest{
+				ENBUEID: t.ENBUEID, MMEUEID: m.nextID, SGWTEID: 5, BearerID: 5,
+			})
+			m.em.HandleDownlink(cell, &s1ap.DownlinkNASTransport{
+				ENBUEID: t.ENBUEID, MMEUEID: m.nextID,
+				NASPDU: nas.Marshal(&nas.ServiceAccept{EBI: 5}),
+			})
+		}
+	case *s1ap.UEContextReleaseRequest:
+		m.em.HandleDownlink(cell, &s1ap.UEContextReleaseCommand{
+			ENBUEID: t.ENBUEID, MMEUEID: t.MMEUEID, Cause: t.Cause,
+		})
+	}
+}
+
+func newScripted(t *testing.T) (*Emulator, *scriptedMME) {
+	t.Helper()
+	em := New()
+	m := &scriptedMME{em: em}
+	em.Uplink = m.handle
+	em.AddCell(1, []uint16{7})
+	em.AddCell(2, []uint16{8})
+	return em, m
+}
+
+func TestAttachViaScript(t *testing.T) {
+	em, _ := newScripted(t)
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	ue := em.UEFor(42)
+	if ue.State != Active || ue.GUTI.IsZero() || ue.ENBTEID == 0 {
+		t.Fatalf("ue = %+v", ue)
+	}
+	// Double attach is a state error.
+	if err := em.Attach(42, 1); !errors.Is(err, ErrBadUEState) {
+		t.Fatalf("double attach err = %v", err)
+	}
+}
+
+func TestAttachRejected(t *testing.T) {
+	em, m := newScripted(t)
+	m.rejectAttach = true
+	err := em.Attach(42, 1)
+	if !errors.Is(err, ErrProcedure) {
+		t.Fatalf("err = %v", err)
+	}
+	ue := em.UEFor(42)
+	if ue.State != Detached || ue.LastError != nas.CauseCongestion {
+		t.Fatalf("ue = %+v", ue)
+	}
+	if em.Stats().Rejects != 1 {
+		t.Fatalf("rejects = %d", em.Stats().Rejects)
+	}
+}
+
+func TestUnknownCellErrors(t *testing.T) {
+	em, _ := newScripted(t)
+	if err := em.Attach(42, 99); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("attach err = %v", err)
+	}
+	if err := em.ServiceRequest(42, 99); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("sr err = %v", err)
+	}
+	if err := em.TAU(42, 99); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("tau err = %v", err)
+	}
+	if err := em.StartHandover(42, 99); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("ho err = %v", err)
+	}
+}
+
+func TestStateGuards(t *testing.T) {
+	em, _ := newScripted(t)
+	// Service request while detached.
+	if err := em.ServiceRequest(42, 1); !errors.Is(err, ErrBadUEState) {
+		t.Fatalf("sr err = %v", err)
+	}
+	// Release while detached.
+	if err := em.ReleaseToIdle(42); !errors.Is(err, ErrBadUEState) {
+		t.Fatalf("release err = %v", err)
+	}
+	// Detach while detached.
+	if err := em.Detach(42, false); !errors.Is(err, ErrBadUEState) {
+		t.Fatalf("detach err = %v", err)
+	}
+	// Handover while idle.
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.StartHandover(42, 2); !errors.Is(err, ErrBadUEState) {
+		t.Fatalf("ho err = %v", err)
+	}
+	// Handover to the serving cell.
+	if err := em.ServiceRequest(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.StartHandover(42, 1); !errors.Is(err, ErrBadUEState) {
+		t.Fatalf("same-cell ho err = %v", err)
+	}
+}
+
+func TestIdleCycleViaScript(t *testing.T) {
+	em, _ := newScripted(t)
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(42); err != nil {
+		t.Fatal(err)
+	}
+	if em.UEFor(42).State != Idle {
+		t.Fatal("not idle")
+	}
+	if err := em.ServiceRequest(42, 2); err != nil {
+		t.Fatal(err)
+	}
+	if em.UEFor(42).State != Active || em.UEFor(42).Cell != 2 {
+		t.Fatalf("ue = %+v", em.UEFor(42))
+	}
+	// srSeq advances per service request.
+	if em.UEFor(42).srSeq != 1 {
+		t.Fatalf("srSeq = %d", em.UEFor(42).srSeq)
+	}
+}
+
+func TestUplinkNotWiredPanics(t *testing.T) {
+	em := New()
+	em.AddCell(1, []uint16{7})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = em.Attach(1, 1)
+}
+
+func TestUEStateString(t *testing.T) {
+	for s, want := range map[UEState]string{
+		Detached: "detached", Attaching: "attaching", Active: "active", Idle: "idle",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d = %q", s, s.String())
+		}
+	}
+	if UEState(9).String() == "" {
+		t.Fatal("unknown state empty")
+	}
+}
+
+func TestTAIOf(t *testing.T) {
+	em := New()
+	em.AddCell(5, []uint16{11, 12})
+	if em.TAIOf(5) != 11 {
+		t.Fatalf("TAIOf = %d", em.TAIOf(5))
+	}
+	if em.TAIOf(99) != 0 {
+		t.Fatalf("unknown cell TAI = %d", em.TAIOf(99))
+	}
+}
+
+func TestPagingIgnoredWhenNotIdle(t *testing.T) {
+	em, _ := newScripted(t)
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	mtmsi := em.UEFor(42).GUTI.MTMSI
+	// Active device: paging is a no-op.
+	em.HandleDownlink(1, &s1ap.Paging{MTMSI: mtmsi})
+	if em.Stats().PagingResponses != 0 {
+		t.Fatal("active device answered paging")
+	}
+	// Unknown MTMSI: no-op.
+	em.HandleDownlink(1, &s1ap.Paging{MTMSI: 0xFFFF})
+}
+
+// scriptedMME extensions: TAU, detach and handover handling so the full
+// emulator state machine is exercised without a real MME.
+type fullScript struct {
+	*scriptedMME
+	// reassignGUTI makes TAUAccept carry a fresh GUTI.
+	reassignGUTI bool
+	// sourceENBUEID remembers the handover source for the command leg.
+	sourceENBUEID uint32
+}
+
+func (m *fullScript) handleFull(cell uint32, msg s1ap.Message) {
+	switch t := msg.(type) {
+	case *s1ap.InitialUEMessage:
+		n, err := nas.Unmarshal(t.NASPDU)
+		if err != nil {
+			return
+		}
+		switch req := n.(type) {
+		case *nas.TAURequest:
+			g := req.GUTI
+			if m.reassignGUTI {
+				g.MTMSI += 1000
+			}
+			m.em.HandleDownlink(cell, &s1ap.DownlinkNASTransport{
+				ENBUEID: t.ENBUEID,
+				NASPDU:  nas.Marshal(&nas.TAUAccept{GUTI: g, T3412Sec: 3240}),
+			})
+			return
+		case *nas.DetachRequest:
+			if !req.SwitchOff {
+				m.em.HandleDownlink(cell, &s1ap.DownlinkNASTransport{
+					ENBUEID: t.ENBUEID,
+					NASPDU:  nas.Marshal(&nas.DetachAccept{}),
+				})
+			}
+			return
+		}
+		m.scriptedMME.handle(cell, msg)
+	case *s1ap.HandoverRequired:
+		// MME side of the S1 handover: ask the target to admit.
+		m.em.HandleDownlink(t.TargetENB, &s1ap.HandoverRequest{
+			MMEUEID: t.MMEUEID, SGWTEID: 5, BearerID: 5,
+		})
+	case *s1ap.HandoverRequestAck:
+		// Command the source.
+		for _, u := range []uint32{1, 2} {
+			_ = u
+		}
+		m.em.HandleDownlink(0, &s1ap.HandoverCommand{
+			ENBUEID: m.sourceENBUEID, MMEUEID: t.MMEUEID,
+		})
+	case *s1ap.HandoverNotify:
+		// Done.
+	default:
+		m.scriptedMME.handle(cell, msg)
+	}
+}
+
+// sourceENBUEID tracks the source-side id for the handover command.
+func (m *fullScript) trackSource(cell uint32, msg s1ap.Message) {
+	if ho, ok := msg.(*s1ap.HandoverRequired); ok {
+		m.sourceENBUEID = ho.ENBUEID
+	}
+	m.handleFull(cell, msg)
+}
+
+func newFullScript(t *testing.T) (*Emulator, *fullScript) {
+	t.Helper()
+	em := New()
+	fs := &fullScript{scriptedMME: &scriptedMME{em: em}}
+	em.Uplink = fs.trackSource
+	em.AddCell(1, []uint16{7})
+	em.AddCell(2, []uint16{8})
+	return em, fs
+}
+
+func TestScriptedTAUWithGUTIReassignment(t *testing.T) {
+	em, fs := newFullScript(t)
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(42); err != nil {
+		t.Fatal(err)
+	}
+	old := em.UEFor(42).GUTI
+	fs.reassignGUTI = true
+	if err := em.TAU(42, 2); err != nil {
+		t.Fatal(err)
+	}
+	now := em.UEFor(42).GUTI
+	if now == old || now.MTMSI != old.MTMSI+1000 {
+		t.Fatalf("GUTI not reassigned: %v -> %v", old, now)
+	}
+	if em.Stats().TAUs != 1 {
+		t.Fatalf("TAUs = %d", em.Stats().TAUs)
+	}
+}
+
+func TestScriptedDetachWithAccept(t *testing.T) {
+	em, _ := newFullScript(t)
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Detach(42, false); err != nil {
+		t.Fatal(err)
+	}
+	if em.UEFor(42).State != Detached {
+		t.Fatalf("state = %v", em.UEFor(42).State)
+	}
+	if em.Stats().Detaches != 1 {
+		t.Fatalf("detaches = %d", em.Stats().Detaches)
+	}
+	// Switch-off variant.
+	if err := em.Attach(43, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.Detach(43, true); err != nil {
+		t.Fatal(err)
+	}
+	if em.UEFor(43).State != Detached {
+		t.Fatal("switch-off detach incomplete")
+	}
+}
+
+func TestScriptedHandover(t *testing.T) {
+	em, _ := newFullScript(t)
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if target, ok := em.PendingHandoverTarget(); ok {
+		t.Fatalf("phantom pending handover to %d", target)
+	}
+	if err := em.StartHandover(42, 2); err != nil {
+		t.Fatal(err)
+	}
+	ue := em.UEFor(42)
+	if ue.Cell != 2 || ue.State != Active {
+		t.Fatalf("after handover: %+v", ue)
+	}
+	if em.Stats().Handovers != 1 {
+		t.Fatalf("handovers = %d", em.Stats().Handovers)
+	}
+}
+
+func TestScriptedPagingResponse(t *testing.T) {
+	em, _ := newFullScript(t)
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(42); err != nil {
+		t.Fatal(err)
+	}
+	mtmsi := em.UEFor(42).GUTI.MTMSI
+	em.HandleDownlink(1, &s1ap.Paging{MTMSI: mtmsi, TAIs: []uint16{7}})
+	if em.UEFor(42).State != Active {
+		t.Fatalf("state after paging = %v", em.UEFor(42).State)
+	}
+	if em.Stats().PagingResponses != 1 {
+		t.Fatalf("paging responses = %d", em.Stats().PagingResponses)
+	}
+}
+
+func TestCellsAndCellForTAI(t *testing.T) {
+	em := New()
+	em.AddCell(1, []uint16{7})
+	em.AddCell(2, []uint16{8, 9})
+	if got := len(em.Cells()); got != 2 {
+		t.Fatalf("cells = %d", got)
+	}
+	if c, ok := em.CellForTAI(9); !ok || c != 2 {
+		t.Fatalf("CellForTAI(9) = %d,%v", c, ok)
+	}
+	if _, ok := em.CellForTAI(99); ok {
+		t.Fatal("unknown TAI resolved")
+	}
+}

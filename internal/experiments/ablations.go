@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"scale/internal/chash"
+	"scale/internal/cluster"
+	"scale/internal/core"
+	"scale/internal/metrics"
+	"scale/internal/netem"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+// Ablations lists the design-choice ablation experiments (beyond the
+// paper's own figures): each isolates one SCALE mechanism and compares
+// it against the naive alternative.
+func Ablations() []Experiment {
+	return []Experiment{
+		{"A1", AblationTokens},
+		{"A2", AblationRouting},
+		{"A3", AblationAccessAware},
+		{"A4", AblationGeoMetric},
+	}
+}
+
+// AblationTokens quantifies the virtual-token count trade-off
+// (Section 4.3.2, "Placement of Replicas"): more tokens balance load
+// and scatter replicas better, but involve more VMs in state exchange
+// when membership changes.
+func AblationTokens() *Result {
+	r := &Result{
+		ID:     "A1",
+		Figure: "ablation",
+		Title:  "Tokens per VM: load balance and replica scatter vs membership churn",
+	}
+	const (
+		numVMs  = 20
+		keys    = 20000
+		horizon = 4 * time.Second
+	)
+	pop := trace.NewPopulation(keys, 161, trace.Uniform{Lo: 0.4, Hi: 0.9})
+
+	balance := metrics.Series{Label: "p99 under skew (ms)"}
+	churn := metrics.Series{Label: "VMs touched by one addition"}
+	scatter := metrics.Series{Label: "replica scatter (distinct peers)"}
+	res := map[int]time.Duration{}
+	churnBy := map[int]int{}
+	for _, tokens := range []int{1, 5, 32} {
+		// (a) delay under skewed load.
+		eng := sim.NewEngine()
+		c := core.NewScaleCluster(core.ScaleClusterConfig{
+			Eng: eng, NumVMs: numVMs, Tokens: tokens,
+		})
+		hot, cold := splitByMaster(c, pop, 4)
+		perVM := 1.0 / sim.DefaultServiceTimes[trace.Attach].Seconds()
+		hotArr := trace.Generator{Pop: hot, Seed: 162, Mix: trace.Mix{trace.Attach: 1}}.
+			Poisson(1.8*perVM*4, horizon)
+		coldArr := trace.Generator{Pop: cold, Seed: 163, Mix: trace.Mix{trace.Attach: 1}}.
+			Poisson(0.25*perVM*16, horizon)
+		core.FeedWorkload(eng, hot, hotArr, c)
+		core.FeedWorkload(eng, cold, coldArr, c)
+		eng.Run()
+		p99 := c.Recorder().P99()
+		res[tokens] = p99
+		balance.Add(float64(tokens), ms(float64(p99)))
+
+		// (b) membership-change churn: how many existing VMs hand keys
+		// to a new node.
+		ring := chash.New(tokens)
+		for i := 0; i < numVMs; i++ {
+			ring.Add(chash.NodeID(vmNameFor(i)))
+		}
+		before := map[string]string{}
+		for i := 0; i < keys; i++ {
+			k := core.DeviceKey(pop, i)
+			owner, _ := ring.LookupString(k)
+			before[k] = string(owner)
+		}
+		ring.Add("vm-new")
+		donors := map[string]bool{}
+		for k, prev := range before {
+			now, _ := ring.LookupString(k)
+			if string(now) != prev {
+				donors[prev] = true
+			}
+		}
+		churnBy[tokens] = len(donors)
+		churn.Add(float64(tokens), float64(len(donors)))
+
+		// (c) replica scatter: distinct peers receiving vm 0's replicas.
+		peers := map[string]bool{}
+		for i := 0; i < keys; i++ {
+			owners, _ := ring.OwnersString(core.DeviceKey(pop, i), 2)
+			if string(owners[0]) == vmNameFor(0) {
+				peers[string(owners[1])] = true
+			}
+		}
+		scatter.Add(float64(tokens), float64(len(peers)))
+	}
+	r.addSeries(balance)
+	r.addSeries(churn)
+	r.addSeries(scatter)
+	r.check("more tokens improve skewed-load delay", res[32] <= res[1],
+		"p99 tokens=1 %v vs tokens=32 %v", res[1], res[32])
+	r.check("more tokens touch more VMs on membership change", churnBy[32] > churnBy[1],
+		"donors: tokens=1 %d, tokens=5 %d, tokens=32 %d", churnBy[1], churnBy[5], churnBy[32])
+	r.note("the paper picks 5 tokens: 'most of the benefit is achieved even with a relatively low number of tokens'")
+	return r
+}
+
+func vmNameFor(i int) string {
+	return "vm-" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// AblationRouting compares the MLB's least-loaded-of-replicas choice
+// against master-only routing at identical replication cost — isolating
+// the routing policy from the replication itself.
+func AblationRouting() *Result {
+	r := &Result{
+		ID:     "A2",
+		Figure: "ablation",
+		Title:  "Routing: least-loaded-of-replicas vs master-only at equal state cost",
+	}
+	const horizon = 6 * time.Second
+	pop := trace.NewPopulation(4000, 171, trace.Uniform{Lo: 0.4, Hi: 0.9})
+
+	run := func(leastLoaded bool) time.Duration {
+		eng := sim.NewEngine()
+		cfg := core.ScaleClusterConfig{
+			Eng: eng, NumVMs: 5, Tokens: 8,
+			ReplicationCost: 100 * time.Microsecond,
+		}
+		if !leastLoaded {
+			// Master-only: the device still has a replica (same memory
+			// and replication-work cost), but the router never uses it.
+			cfg.ReplicaFor = func(int, float64) bool { return false }
+		}
+		c := core.NewScaleCluster(cfg)
+		hot, _ := splitByMaster(c, pop, 1)
+		perVM := 1.0 / sim.DefaultServiceTimes[trace.Attach].Seconds()
+		arr := trace.Generator{Pop: hot, Seed: 172, Mix: trace.Mix{trace.Attach: 1}}.
+			Poisson(1.8*perVM, horizon)
+		core.FeedWorkload(eng, hot, arr, c)
+		eng.Run()
+		return c.Recorder().P99()
+	}
+	ll := run(true)
+	mo := run(false)
+	r.addSeries(metrics.Series{Label: "p99 (ms)", Points: []metrics.Point{
+		{X: 0, Y: ms(float64(mo))}, {X: 1, Y: ms(float64(ll))},
+	}})
+	r.check("least-loaded routing absorbs a hot master", mo > 3*ll,
+		"p99 master-only %v vs least-loaded %v", mo, ll)
+	return r
+}
+
+// AblationAccessAware compares access-aware replica pruning against
+// random pruning at the same β (same memory budget) in the event
+// simulator — the system-level counterpart of the analytic Figure 6(b).
+func AblationAccessAware() *Result {
+	r := &Result{
+		ID:     "A3",
+		Figure: "ablation",
+		Title:  "Replica pruning at equal β: access-aware vs random",
+	}
+	const (
+		horizon = 6 * time.Second
+		x       = 0.2
+	)
+	pop := trace.NewPopulation(20000, 181, trace.Bimodal{LowFrac: 0.5, LowW: 0.1, HighW: 0.85})
+	replicatedFrac := 1 - float64(pop.LowAccessCount(x))/float64(pop.Len())
+
+	run := func(aware bool) time.Duration {
+		eng := sim.NewEngine()
+		cfg := core.ScaleClusterConfig{Eng: eng, NumVMs: 6, Tokens: 8}
+		if aware {
+			cfg.ReplicaFor = core.WeightedReplicaFor(x)
+		} else {
+			cfg.ReplicaFor = core.RandomReplicaFor(replicatedFrac, 182)
+		}
+		c := core.NewScaleCluster(cfg)
+		// Load comes weight-proportionally, so the hot half generates
+		// nearly all requests; the system is pushed near saturation.
+		arr := trace.Generator{Pop: pop, Seed: 183, Mix: trace.Mix{trace.Attach: 1}}.
+			Poisson(2300, horizon)
+		core.FeedWorkload(eng, pop, arr, c)
+		eng.Run()
+		return c.Recorder().P99()
+	}
+	aware := run(true)
+	random := run(false)
+	r.addSeries(metrics.Series{Label: "p99 (ms)", Points: []metrics.Point{
+		{X: 0, Y: ms(float64(random))}, {X: 1, Y: ms(float64(aware))},
+	}})
+	r.note("both strategies replicate %.0f%% of devices", replicatedFrac*100)
+	r.check("access-aware pruning beats random at equal memory", aware < random,
+		"p99 aware %v vs random %v", aware, random)
+	return r
+}
+
+// AblationGeoMetric isolates the remote-DC selection metric p: SCALE's
+// delay-proportional probabilistic choice vs uniform random choice over
+// the same candidate set and budget.
+func AblationGeoMetric() *Result {
+	r := &Result{
+		ID:     "A4",
+		Figure: "ablation",
+		Title:  "Remote-DC choice: delay-proportional metric p vs uniform random",
+	}
+	const horizon = 8 * time.Second
+	delays := netem.NewMatrix()
+	delays.Set("dc1", "near", netem.Delay{Base: 8 * time.Millisecond})
+	delays.Set("dc1", "far", netem.Delay{Base: 45 * time.Millisecond})
+	delays.Set("near", "far", netem.Delay{Base: 40 * time.Millisecond})
+
+	pop := trace.NewPopulation(3000, 191, trace.Uniform{Lo: 0.6, Hi: 0.95})
+
+	type outcome struct {
+		p99               time.Duration
+		planNear, planFar int
+		workNear, workFar uint64
+	}
+	run := func(policy core.RemotePolicy) outcome {
+		eng := sim.NewEngine()
+		g := core.NewGeoScale(core.GeoConfig{
+			Eng: eng, Delays: delays,
+			OverloadThreshold: 20 * time.Millisecond, Seed: 192,
+		})
+		c1 := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+		cn := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+		cf := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+		g.AddDC("dc1", c1, 6000)
+		g.AddDC("near", cn, 6000)
+		g.AddDC("far", cf, 6000)
+		if policy != nil {
+			g.PlanReplicas("dc1", pop, policy)
+		}
+		arr := trace.Generator{Pop: pop, Seed: 193, Mix: trace.Mix{trace.Attach: 1}}.
+			Poisson(1800, horizon)
+		g.FeedAt("dc1", pop, arr)
+		eng.Run()
+		o := outcome{p99: c1.Recorder().P99()}
+		plans := g.RemotePlanCounts("dc1")
+		o.planNear, o.planFar = plans["near"], plans["far"]
+		for _, vm := range cn.VMs() {
+			o.workNear += vm.Processed()
+		}
+		for _, vm := range cf.VMs() {
+			o.workFar += vm.Processed()
+		}
+		return o
+	}
+
+	metricP := run(core.ScaleRemotePolicy{Sm: 6000, V: 2})
+	uniform := run(uniformChoicePolicy{sm: 6000, v: 2})
+	localOnly := run(nil)
+
+	r.addSeries(metrics.Series{Label: "dc1 p99 (ms)", Points: []metrics.Point{
+		{X: 0, Y: ms(float64(localOnly.p99))},
+		{X: 1, Y: ms(float64(uniform.p99))},
+		{X: 2, Y: ms(float64(metricP.p99))},
+	}})
+	r.addSeries(metrics.Series{Label: "planned replicas near/far", Points: []metrics.Point{
+		{X: 1, Y: float64(metricP.planNear)}, {X: 2, Y: float64(metricP.planFar)},
+		{X: 3, Y: float64(uniform.planNear)}, {X: 4, Y: float64(uniform.planFar)},
+	}})
+	r.note("runtime offload work near/far: metric-p %d/%d, uniform %d/%d (the "+
+		"runtime guard — forward only if remote queue + RTT beats local queue — "+
+		"re-steers even uniformly planned replicas toward the near DC)",
+		metricP.workNear, metricP.workFar, uniform.workNear, uniform.workFar)
+	r.check("metric p concentrates replicas at the near DC",
+		metricP.planNear > 3*metricP.planFar,
+		"planned near %d vs far %d (weights 1/8ms : 1/45ms ≈ 5.6:1)",
+		metricP.planNear, metricP.planFar)
+	r.check("uniform choice scatters replicas evenly",
+		uniform.planFar > uniform.planNear/2,
+		"planned near %d vs far %d", uniform.planNear, uniform.planFar)
+	r.check("either policy beats no geo-multiplexing",
+		metricP.p99 < localOnly.p99/5 && uniform.p99 < localOnly.p99/5,
+		"dc1 p99: local-only %v, uniform %v, metric-p %v",
+		localOnly.p99, uniform.p99, metricP.p99)
+	return r
+}
+
+// uniformChoicePolicy keeps SCALE's device selection (high-w,
+// weight-proportional, budget-capped) but picks the remote DC uniformly
+// at random — isolating the metric p.
+type uniformChoicePolicy struct{ sm, v int }
+
+// PlanDevice implements core.RemotePolicy.
+func (p uniformChoicePolicy) PlanDevice(_ string, w, sumWHigh float64, candidates []cluster.RemoteDC, rng *rand.Rand) string {
+	prob := cluster.ExternalReplicaProb(w, sumWHigh, p.sm, p.v)
+	if prob <= 0 || rng.Float64() >= prob {
+		return ""
+	}
+	var open []string
+	for _, c := range candidates {
+		if c.Available > 0 {
+			open = append(open, c.ID)
+		}
+	}
+	if len(open) == 0 {
+		return ""
+	}
+	return open[rng.Intn(len(open))]
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestAblationTokens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale simulation")
+	}
+	assertResult(t, AblationTokens(), 3)
+}
+
+func TestAblationRouting(t *testing.T) {
+	assertResult(t, AblationRouting(), 1)
+}
+
+func TestAblationAccessAware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale simulation")
+	}
+	assertResult(t, AblationAccessAware(), 1)
+}
+
+func TestAblationGeoMetric(t *testing.T) {
+	assertResult(t, AblationGeoMetric(), 1)
+}
+
+func TestAblationRegistry(t *testing.T) {
+	if got := len(Ablations()); got != 4 {
+		t.Fatalf("ablations = %d", got)
+	}
+	for _, a := range Ablations() {
+		if a.ID == "" || a.Run == nil {
+			t.Fatalf("incomplete ablation %+v", a)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scale/internal/baseline"
+	"scale/internal/core"
+	"scale/internal/metrics"
+	"scale/internal/netem"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+// Fig2aStaticAssignment reproduces Figure 2(a): on a single statically-
+// assigned MME, the 99th-percentile processing delay of each procedure
+// blows up once the offered rate crosses the MME's compute capacity.
+func Fig2aStaticAssignment() *Result {
+	r := &Result{
+		ID:     "F2a",
+		Figure: "Figure 2(a)",
+		Title:  "Static assignment: 99th %tile delay vs requests/second on one MME",
+	}
+	procs := []struct {
+		name string
+		proc trace.Procedure
+	}{
+		{"AttachReq", trace.Attach},
+		{"ServiceReq", trace.ServiceRequest},
+		{"Handovers", trace.Handover},
+	}
+	const horizon = 10 * time.Second
+	knee := map[string]float64{}
+	for _, p := range procs {
+		series := metrics.Series{Label: p.name}
+		var low, high float64
+		for rate := 100.0; rate <= 1000; rate += 100 {
+			eng := sim.NewEngine()
+			s := baseline.NewStatic(baseline.StaticConfig{Eng: eng, NumVMs: 1, Seed: 2})
+			pop := trace.NewPopulation(2000, 21, trace.Uniform{Lo: 0.3, Hi: 0.9})
+			arr := trace.Generator{Pop: pop, Seed: 22, Mix: trace.Mix{p.proc: 1}}.Poisson(rate, horizon)
+			core.FeedWorkload(eng, pop, arr, s)
+			eng.Run()
+			p99 := ms(float64(s.Recorder().P99()))
+			series.Add(rate, p99)
+			if rate == 100 {
+				low = p99
+			}
+			if rate == 1000 {
+				high = p99
+			}
+			if knee[p.name] == 0 && p99 > 10*low && low > 0 {
+				knee[p.name] = rate
+			}
+		}
+		r.addSeries(series)
+		r.check("delay blows up past capacity ("+p.name+")", high > 10*low,
+			"p99 at 1000/s = %.1f ms vs %.1f ms at 100/s", high, low)
+	}
+	// The heaviest procedure (attach) must hit its knee earliest.
+	r.check("attach saturates before service requests",
+		knee["AttachReq"] > 0 && (knee["ServiceReq"] == 0 || knee["AttachReq"] <= knee["ServiceReq"]),
+		"knees: attach %.0f/s, service %.0f/s", knee["AttachReq"], knee["ServiceReq"])
+	return r
+}
+
+// Fig2bOverloadProtection reproduces Figure 2(b): the delay CDF of
+// attaches served by a lightly-loaded MME vs attaches arriving while the
+// MME is overloaded and reactively reassigned to a peer.
+func Fig2bOverloadProtection() *Result {
+	r := &Result{
+		ID:     "F2b",
+		Figure: "Figure 2(b)",
+		Title:  "Reactive overload protection: attach delay CDF, light vs overloaded",
+	}
+	run := func(overload bool) *sim.Recorder {
+		eng := sim.NewEngine()
+		s := baseline.NewStatic(baseline.StaticConfig{
+			Eng: eng, NumVMs: 2, Seed: 3,
+			ReassignEnabled:   true,
+			OverloadThreshold: 30 * time.Millisecond,
+		})
+		pop := trace.NewPopulation(500, 31, trace.Uniform{Lo: 0.3, Hi: 0.9})
+		// Stage the measured fleet as registered on MME 0.
+		for i := range pop.Devices {
+			s.Preassign(core.DeviceKey(pop, i), 0)
+		}
+		if overload {
+			// Standing backlog on MME 0 during the measured window:
+			// ~120% of its attach capacity in background work.
+			vm := s.VMs()[0]
+			for t := time.Duration(0); t < 10*time.Second; t += 2 * time.Millisecond {
+				eng.At(t, func() { vm.ProcessWork(2400*time.Microsecond, nil) })
+			}
+		}
+		arr := trace.Generator{Pop: pop, Seed: 32, Mix: trace.Mix{trace.Attach: 1}}.Poisson(100, 10*time.Second)
+		core.FeedWorkload(eng, pop, arr, s)
+		eng.Run()
+		return s.Recorder()
+	}
+	light := run(false)
+	over := run(true)
+	r.addSeries(cdfSeries("ATTACH Req (Light Load)", light))
+	r.addSeries(cdfSeries("ATTACH Req (Overloaded)", over))
+	lp, op := light.P99(), over.P99()
+	r.check("overloaded reassignment is far slower", op > 3*lp,
+		"p99 light = %v, overloaded = %v", lp, op)
+	return r
+}
+
+func cdfSeries(label string, rec *sim.Recorder) metrics.Series {
+	s := metrics.Series{Label: label}
+	for _, p := range rec.CDF(40) {
+		s.Add(ms(float64(p.Value)), p.Fraction)
+	}
+	return s
+}
+
+// Fig2cSignalingOverhead reproduces Figure 2(c): reactive reassignment
+// inflates the measured load on BOTH MMEs versus the ideal (overhead-
+// free) shedding, increasingly with the overload fraction.
+func Fig2cSignalingOverhead() *Result {
+	r := &Result{
+		ID:     "F2c",
+		Figure: "Figure 2(c)",
+		Title:  "Reassignment signaling: actual load % vs overload %",
+	}
+	mme1 := metrics.Series{Label: "MME#1(3GPP)"}
+	mme2 := metrics.Series{Label: "MME#2(3GPP)"}
+	ideal1 := metrics.Series{Label: "MME#1(IDEAL)"}
+	ideal2 := metrics.Series{Label: "MME#2(IDEAL)"}
+	var excessAt50 float64
+	const horizon = 20 * time.Second
+	for _, overloadPct := range []float64{10, 20, 30, 40, 50} {
+		eng := sim.NewEngine()
+		s := baseline.NewStatic(baseline.StaticConfig{
+			Eng: eng, NumVMs: 2, Seed: 4,
+			ReassignEnabled:   true,
+			OverloadThreshold: 25 * time.Millisecond,
+		})
+		pop := trace.NewPopulation(1000, 41, trace.Uniform{Lo: 0.3, Hi: 0.9})
+		// Pin everyone to MME 0, then offer (1+o)·capacity of attach-only
+		// load.
+		for i := range pop.Devices {
+			s.Preassign(core.DeviceKey(pop, i), 0)
+		}
+		capacity := 1.0 / sim.DefaultServiceTimes[trace.Attach].Seconds()
+		rate := capacity * (1 + overloadPct/100)
+		arr := trace.Generator{Pop: pop, Seed: 42, Mix: trace.Mix{trace.Attach: 1}}.Poisson(rate, horizon)
+		core.FeedWorkload(eng, pop, arr, s)
+		eng.Run()
+		u1 := s.VMs()[0].MeanUtilization() * 100
+		u2 := s.VMs()[1].MeanUtilization() * 100
+		mme1.Add(overloadPct, u1)
+		mme2.Add(overloadPct, u2)
+		// Ideal: MME1 saturates at 100%, MME2 absorbs exactly the excess.
+		ideal1.Add(overloadPct, 100)
+		ideal2.Add(overloadPct, overloadPct)
+		if overloadPct == 50 {
+			excessAt50 = u2 - overloadPct
+		}
+	}
+	r.addSeries(mme1)
+	r.addSeries(ideal1)
+	r.addSeries(mme2)
+	r.addSeries(ideal2)
+	r.check("reassignment overhead inflates MME#2 load beyond ideal", excessAt50 > 2,
+		"at 50%% overload MME#2 runs %.1f%% above the ideal share", excessAt50)
+	last2, _ := mme2.YAt(50, 0.1)
+	first2, _ := mme2.YAt(10, 0.1)
+	r.check("overhead grows with overload", last2 > first2,
+		"MME#2 load grows from %.1f%% to %.1f%%", first2, last2)
+	return r
+}
+
+// Fig2dScalingOut reproduces Figure 2(d): an overloaded MME#1, MME#2
+// instantiated at t=10 s; because only unregistered devices reach the
+// new MME, the pool takes tens of seconds to equalize.
+func Fig2dScalingOut() *Result {
+	r := &Result{
+		ID:     "F2d",
+		Figure: "Figure 2(d)",
+		Title:  "3GPP scale-out: per-MME delays over time after adding MME#2 at t=10s",
+	}
+	const (
+		horizon = 60 * time.Second
+		bucket  = 5 * time.Second
+	)
+	// Slow VMs (the paper's pool saturates around 50 req/s): scale the
+	// service times so one MME's attach capacity is ~47/s.
+	slow := sim.DefaultServiceTimes.Scale(8.4)
+
+	eng := sim.NewEngine()
+	nBuckets := int(horizon / bucket)
+	delays := make([][]*metrics.Histogram, 2)
+	for v := range delays {
+		delays[v] = make([]*metrics.Histogram, nBuckets)
+		for b := range delays[v] {
+			delays[v][b] = metrics.NewHistogram(5)
+		}
+	}
+	s := baseline.NewStatic(baseline.StaticConfig{
+		Eng: eng, NumVMs: 1, Seed: 5,
+		ServiceTimes: slow,
+		OnComplete: func(vmIdx int, delay, at time.Duration) {
+			b := int(at / bucket)
+			if b >= 0 && b < nBuckets && vmIdx < 2 {
+				delays[vmIdx][b].Record(int64(delay))
+			}
+		},
+	})
+	pop := trace.NewPopulation(5000, 51, trace.Uniform{Lo: 0.3, Hi: 0.9})
+	// Most requests come from devices registered on MME1; the rest are
+	// fresh attaches (unregistered) that a new MME can absorb.
+	registered := trace.FromDevices(pop.Devices[:4000])
+	fresh := trace.FromDevices(pop.Devices[4000:])
+	for i := 0; i < registered.Len(); i++ {
+		s.Preassign(core.DeviceKey(registered, i), 0)
+	}
+	regArr := trace.Generator{Pop: registered, Seed: 52, Mix: trace.Mix{trace.Attach: 1}}.Poisson(40, horizon)
+	freshArr := trace.Generator{Pop: fresh, Seed: 53, Mix: trace.Mix{trace.Attach: 1}}.Poisson(12, horizon)
+	core.FeedWorkload(eng, registered, regArr, s)
+	core.FeedWorkload(eng, fresh, freshArr, s)
+	// MME#1 starts with a standing backlog (it has been overloaded for a
+	// while when the experiment begins).
+	eng.At(0, func() { s.VMs()[0].ProcessWork(1500*time.Millisecond, nil) })
+	// MME#2 comes up at t=10 s with an aggressive new-device weight.
+	eng.At(10*time.Second, func() { s.AddVM(8) })
+	eng.Run()
+
+	series := []metrics.Series{{Label: "MME #1"}, {Label: "MME #2"}}
+	for v := 0; v < 2; v++ {
+		for b := 0; b < nBuckets; b++ {
+			if delays[v][b].Count() == 0 {
+				continue
+			}
+			series[v].Add(float64(b)*bucket.Seconds()+bucket.Seconds()/2, ms(delays[v][b].Mean()))
+		}
+	}
+	r.addSeries(series[0])
+	r.addSeries(series[1])
+
+	// Shape: MME1 stays slow right after MME2 arrives (no rebalancing of
+	// registered devices) and only drains its backlog tens of seconds
+	// later.
+	early, okE := series[0].YAt(12.5, 2.6)
+	late, okL := series[0].YAt(57.5, 2.6)
+	r.check("MME#1 still overloaded after MME#2 arrives", okE && okL && early > 3*late,
+		"MME#1 mean delay %.1f ms at t≈12.5s vs %.1f ms at t≈57.5s", early, late)
+	var converged float64 = -1
+	for b := 2; b < nBuckets; b++ {
+		t := float64(b)*bucket.Seconds() + bucket.Seconds()/2
+		y1, ok1 := series[0].YAt(t, 0.1)
+		if ok1 && y1 < 150 {
+			converged = t
+			break
+		}
+	}
+	r.check("equalization takes tens of seconds", converged > 20,
+		"MME#1 returns below 150 ms at t≈%.1fs (paper: ~35s)", converged)
+	return r
+}
+
+// Fig3aPropagationDelay reproduces Figure 3(a): control-plane delay as a
+// function of the eNodeB↔MME RTT when the MME pool is remote.
+func Fig3aPropagationDelay() *Result {
+	r := &Result{
+		ID:     "F3a",
+		Figure: "Figure 3(a)",
+		Title:  "Remote pooling: 99th %tile delay vs eNodeB-MME RTT",
+	}
+	procs := []struct {
+		name string
+		proc trace.Procedure
+	}{
+		{"AttachReq", trace.Attach},
+		{"ServiceReq", trace.ServiceRequest},
+		{"Handovers", trace.Handover},
+	}
+	for _, p := range procs {
+		series := metrics.Series{Label: p.name}
+		for _, rtt := range []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+			eng := sim.NewEngine()
+			inner := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 1, Tokens: 8})
+			c := &baseline.FixedDelayCluster{Inner: inner, Extra: rtt}
+			pop := trace.NewPopulation(500, 61, trace.Uniform{Lo: 0.3, Hi: 0.9})
+			arr := trace.Generator{Pop: pop, Seed: 62, Mix: trace.Mix{p.proc: 1}}.Poisson(100, 10*time.Second)
+			core.FeedWorkload(eng, pop, arr, c)
+			eng.Run()
+			series.Add(rtt.Seconds()*msPerSecond, ms(float64(inner.Recorder().P99())))
+		}
+		r.addSeries(series)
+		base, _ := series.YAt(0, 0.1)
+		far, _ := series.YAt(30, 0.1)
+		r.check("propagation delay dominates remote control-plane delay ("+p.name+")",
+			far >= base+25, "p99 %.1f ms at 0 RTT vs %.1f ms at 30 ms RTT", base, far)
+	}
+	return r
+}
+
+// Fig3bMultiDCPooling reproduces Figure 3(b): statically pooling MMEs
+// across DCs inflates the delay CDF even at average load, because
+// remote-homed devices always pay the inter-DC RTT.
+func Fig3bMultiDCPooling() *Result {
+	r := &Result{
+		ID:     "F3b",
+		Figure: "Figure 3(b)",
+		Title:  "Static multi-DC pool: delay CDF, single vs multiple DC",
+	}
+	run := func(remoteFrac float64) (*sim.Recorder, *sim.Recorder) {
+		eng := sim.NewEngine()
+		shared := sim.NewRecorder()
+		local := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8, Recorder: shared})
+		remote := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8, Recorder: shared})
+		delays := netem.NewMatrix()
+		delays.Set("dc1", "dc2", netem.Delay{Base: 25 * time.Millisecond})
+		sg := baseline.NewStaticGeo(local, remote, remoteFrac, delays, "dc1", "dc2", 71)
+		pop := trace.NewPopulation(2000, 72, trace.Uniform{Lo: 0.3, Hi: 0.9})
+		arr := trace.Generator{Pop: pop, Seed: 73}.Poisson(400, 10*time.Second)
+		core.FeedWorkload(eng, pop, arr, sg)
+		eng.Run()
+		return shared, shared
+	}
+	single, _ := run(0)
+	multi, _ := run(0.5)
+	r.addSeries(cdfSeries("Single DC", single))
+	r.addSeries(cdfSeries("Multiple DC", multi))
+	r.check("multi-DC static pooling inflates delays at average load",
+		multi.P99() > single.P99()+40*time.Millisecond,
+		"p99 single = %v, multi = %v", single.P99(), multi.P99())
+	return r
+}
+
+var _ = fmt.Sprintf

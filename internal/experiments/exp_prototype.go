@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scale/internal/baseline"
+	"scale/internal/core"
+	"scale/internal/metrics"
+	"scale/internal/netem"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+// mlbFront models the MLB VM in front of an MMP cluster: every request
+// costs a fixed routing CPU amount at the front-end before reaching the
+// back-end (experiment E1 / Figure 7(a)).
+type mlbFront struct {
+	vm    *sim.VM
+	inner *core.ScaleCluster
+	cost  time.Duration
+}
+
+// Arrive implements sim.Cluster.
+func (f *mlbFront) Arrive(req *sim.Request) {
+	f.vm.ProcessWork(f.cost, func(time.Duration) {
+		f.inner.Arrive(req)
+	})
+}
+
+// Fig7aMLBOverhead reproduces Figure 7(a) / E1: the MLB's routing cost
+// stays well below saturation while the MMP VMs behind it are fully
+// utilized, even as MMPs (and their saturating load) are added stepwise.
+func Fig7aMLBOverhead() *Result {
+	r := &Result{
+		ID:     "F7a",
+		Figure: "Figure 7(a) [E1]",
+		Title:  "MLB overhead: front-end CPU vs saturated MMPs added stepwise",
+	}
+	eng := sim.NewEngine()
+	inner := core.NewScaleCluster(core.ScaleClusterConfig{
+		Eng: eng, NumVMs: 1, Tokens: 8, CPUWindow: time.Second,
+	})
+	front := &mlbFront{
+		vm:    sim.NewVM(eng, "mlb", sim.ServiceTimes{}, time.Second),
+		inner: inner,
+		cost:  400 * time.Microsecond,
+	}
+	pop := trace.NewPopulation(4000, 81, trace.Uniform{Lo: 0.3, Hi: 0.9})
+
+	// Saturating attach-only load per live MMP (~1.2× one VM's attach
+	// capacity of 400/s). Every 2 s: one more MMP and one more load step.
+	const perMMP = 480.0
+	step := 0
+	for t := time.Duration(0); t < 8*time.Second; t += 2 * time.Second {
+		step++
+		// Each step layers one more MMP's worth of saturating load on top
+		// of the previous steps' (which keep running to the end).
+		seg := trace.Generator{Pop: pop, Seed: int64(82 + step), Mix: trace.Mix{trace.Attach: 1}}.
+			Poisson(perMMP, 8*time.Second-t)
+		for i := range seg {
+			seg[i].At += t
+		}
+		core.FeedWorkload(eng, pop, seg, front)
+		if step > 1 {
+			at := t
+			eng.At(at, func() { inner.AddVM() })
+		}
+	}
+	eng.RunUntil(9 * time.Second)
+
+	r.addSeries(cpuSeries("MLB", front.vm))
+	if vm, ok := inner.VM("vm-1"); ok {
+		r.addSeries(cpuSeries("MMP2", vm))
+	}
+	if vm, ok := inner.VM("vm-3"); ok {
+		r.addSeries(cpuSeries("MMP4", vm))
+	}
+
+	mlbPeak := front.vm.PeakUtilization()
+	var mmpPeak float64
+	for _, vm := range inner.VMs() {
+		if u := vm.PeakUtilization(); u > mmpPeak {
+			mmpPeak = u
+		}
+	}
+	r.check("MMPs saturate", mmpPeak > 0.9, "max MMP utilization %.2f", mmpPeak)
+	r.check("MLB stays below 80%% with 4 saturated MMPs", mlbPeak < 0.8,
+		"MLB peak utilization %.2f", mlbPeak)
+	return r
+}
+
+func cpuSeries(label string, vm *sim.VM) metrics.Series {
+	s := metrics.Series{Label: label}
+	for _, p := range vm.CPUTrace() {
+		s.Add(p.At.Seconds(), p.Util*100)
+	}
+	return s
+}
+
+// Fig7bReplicationOverhead reproduces Figure 7(b) / E2: an attach burst
+// pinned on MMP1 drives its CPU to ~90%; when the devices go Idle at
+// t=15 s, the asynchronous replica refresh costs under 10% CPU.
+func Fig7bReplicationOverhead() *Result {
+	r := &Result{
+		ID:     "F7b",
+		Figure: "Figure 7(b) [E2]",
+		Title:  "Replication overhead: CPU on MMP1 during attach burst and idle-time replica update",
+	}
+	eng := sim.NewEngine()
+	c := core.NewScaleCluster(core.ScaleClusterConfig{
+		Eng: eng, NumVMs: 4, Tokens: 8, CPUWindow: time.Second,
+	})
+	pop := trace.NewPopulation(200, 91, trace.Uniform{Lo: 0.5, Hi: 0.9})
+
+	// All requests forced to vm-0 (the paper forces the MLB to forward
+	// everything to MMP1): an attach burst in [2s, 4s).
+	burst := trace.Generator{Pop: pop, Seed: 92, Mix: trace.Mix{trace.Attach: 1}}.
+		Poisson(360, 2*time.Second)
+	for _, a := range burst {
+		a := a
+		eng.At(a.At+2*time.Second, func() {
+			c.ProcessAt("vm-0", &sim.Request{
+				Device: a.Device, Key: core.DeviceKey(pop, a.Device),
+				Weight: pop.Devices[a.Device].Weight, Proc: a.Proc, Arrived: eng.Now(),
+			})
+		})
+	}
+	// At t=15 s all devices transition to Idle: MMP1 pushes one replica
+	// update per device (~0.4 ms of marshal+send work each).
+	eng.At(15*time.Second, func() {
+		vm, _ := c.VM("vm-0")
+		for range pop.Devices {
+			vm.ProcessWork(400*time.Microsecond, nil)
+		}
+	})
+	eng.RunUntil(30 * time.Second)
+
+	vm0, _ := c.VM("vm-0")
+	r.addSeries(cpuSeries("Load On MMP 1", vm0))
+
+	tr := vm0.CPUTrace()
+	window := func(sec int) float64 {
+		for _, p := range tr {
+			if int(p.At.Seconds()) == sec {
+				return p.Util
+			}
+		}
+		return 0
+	}
+	burstPeak := window(3)
+	if w := window(4); w > burstPeak {
+		burstPeak = w
+	}
+	repUtil := window(16)
+	quiet := window(10)
+	r.check("attach burst saturates MMP1", burstPeak > 0.75,
+		"burst-window utilization %.2f", burstPeak)
+	r.check("replica update costs <10%% CPU", repUtil > 0.01 && repUtil < 0.10,
+		"replication-window utilization %.2f (paper: <8%%)", repUtil)
+	r.check("quiet period is idle", quiet < 0.05, "t=10s utilization %.2f", quiet)
+	return r
+}
+
+// Fig8SCALEvs3GPP reproduces Figures 8(a)–(c) / E4-i: one MMP driven
+// beyond capacity. SCALE's proactive replication lets the MLB spread
+// load at fine grain; the 3GPP pool reacts with costly reassignment.
+func Fig8SCALEvs3GPP() *Result {
+	r := &Result{
+		ID:     "F8ac",
+		Figure: "Figure 8(a,b,c) [E4-i]",
+		Title:  "SCALE vs 3GPP reactive offload: delay CDF and per-VM CPU",
+	}
+	const (
+		horizon = 12 * time.Second
+		rate    = 600.0 // 1.5× one VM's attach capacity
+	)
+
+	// SCALE: 2 MMPs, R=2, devices mastered on vm-0 drive the load.
+	engS := sim.NewEngine()
+	scale := core.NewScaleCluster(core.ScaleClusterConfig{
+		Eng: engS, NumVMs: 2, Tokens: 8,
+		ReplicationCost: 100 * time.Microsecond,
+		CPUWindow:       time.Second,
+	})
+	pop := trace.NewPopulation(3000, 101, trace.Uniform{Lo: 0.3, Hi: 0.9})
+	hot, _ := scale.DevicesMasteredOn(pop, map[string]bool{"vm-0": true})
+	hotDevs := make([]trace.Device, len(hot))
+	for i, idx := range hot {
+		hotDevs[i] = pop.Devices[idx]
+	}
+	hotPop := trace.FromDevices(hotDevs)
+	arr := trace.Generator{Pop: hotPop, Seed: 102, Mix: trace.Mix{trace.Attach: 1}}.Poisson(rate, horizon)
+	core.FeedWorkload(engS, hotPop, arr, scale)
+	engS.Run()
+
+	// 3GPP: same fleet pinned to MME 0, reactive reassignment on.
+	engB := sim.NewEngine()
+	legacy := baseline.NewStatic(baseline.StaticConfig{
+		Eng: engB, NumVMs: 2, Seed: 103,
+		ReassignEnabled:   true,
+		OverloadThreshold: 30 * time.Millisecond,
+	})
+	for i := 0; i < hotPop.Len(); i++ {
+		legacy.Preassign(core.DeviceKey(hotPop, i), 0)
+	}
+	arrB := trace.Generator{Pop: hotPop, Seed: 102, Mix: trace.Mix{trace.Attach: 1}}.Poisson(rate, horizon)
+	core.FeedWorkload(engB, hotPop, arrB, legacy)
+	engB.Run()
+
+	r.addSeries(cdfSeries("SCALE", scale.Recorder()))
+	r.addSeries(cdfSeries("Current Systems", legacy.Recorder()))
+	sVM0, _ := scale.VM("vm-0")
+	sVM1, _ := scale.VM("vm-1")
+	r.addSeries(cpuSeries("SCALE MMP1", sVM0))
+	r.addSeries(cpuSeries("SCALE MMP2", sVM1))
+	r.addSeries(cpuSeries("CurrentSys MMP1", legacy.VMs()[0]))
+	r.addSeries(cpuSeries("CurrentSys MMP2", legacy.VMs()[1]))
+
+	pScale, pLegacy := scale.Recorder().P99(), legacy.Recorder().P99()
+	r.check("SCALE slashes the overload tail", pLegacy > 2*pScale,
+		"p99: current systems %v vs SCALE %v (paper: >1s vs ~250ms)", pLegacy, pScale)
+	r.check("SCALE offloads at fine grain", sVM1.MeanUtilization() > 0.3,
+		"SCALE MMP2 mean utilization %.2f", sVM1.MeanUtilization())
+	r.check("reassignment overhead burned CPU", legacy.SignalingOverhead > 0,
+		"3GPP signaling overhead %v across %d reassignments",
+		legacy.SignalingOverhead, legacy.Reassignments)
+	return r
+}
+
+// Fig8dGeoMultiplexing reproduces Figure 8(d) / E4-ii: the 99th %tile
+// delay of DC1's devices under LOW/HIGH/EXTREME DC1 load, for
+// local-only processing, statically-split current systems, and SCALE's
+// geo-multiplexing.
+func Fig8dGeoMultiplexing() *Result {
+	r := &Result{
+		ID:     "F8d",
+		Figure: "Figure 8(d) [E4-ii]",
+		Title:  "Geo-multiplexing: DC1 99th %tile delay at LOW/HIGH/EXTREME load",
+	}
+	loads := []struct {
+		name string
+		rate float64
+	}{
+		{"LOW", 400},
+		{"HIGH", 1400},
+		{"EXTREME", 2000},
+	}
+	const horizon = 10 * time.Second
+	delays := netem.NewMatrix()
+	delays.Set("dc1", "dc2", netem.Delay{Base: 15 * time.Millisecond})
+	delays.Set("dc1", "dc3", netem.Delay{Base: 25 * time.Millisecond})
+	delays.Set("dc2", "dc3", netem.Delay{Base: 20 * time.Millisecond})
+
+	pop := trace.NewPopulation(3000, 111, trace.Uniform{Lo: 0.6, Hi: 0.95})
+	lightPop := trace.NewPopulation(1000, 112, trace.Uniform{Lo: 0.3, Hi: 0.7})
+
+	local := metrics.Series{Label: "Local DC"}
+	curr := metrics.Series{Label: "Curr Sys"}
+	scaleS := metrics.Series{Label: "SCALE"}
+	results := map[string]map[string]time.Duration{}
+	for li, l := range loads {
+		results[l.name] = map[string]time.Duration{}
+		x := float64(li)
+
+		// (a) Local DC only.
+		{
+			eng := sim.NewEngine()
+			c := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+			arr := trace.Generator{Pop: pop, Seed: 113, Mix: trace.Mix{trace.Attach: 1}}.Poisson(l.rate, horizon)
+			core.FeedWorkload(eng, pop, arr, c)
+			eng.Run()
+			p := c.Recorder().P99()
+			local.Add(x, ms(float64(p)))
+			results[l.name]["local"] = p
+		}
+		// (b) Current systems: one third of DC1's devices statically
+		// homed on DC2's pool.
+		{
+			eng := sim.NewEngine()
+			shared := sim.NewRecorder()
+			cl := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8, Recorder: shared})
+			cr := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8, Recorder: shared})
+			sg := baseline.NewStaticGeo(cl, cr, 1.0/3, delays, "dc1", "dc2", 114)
+			arr := trace.Generator{Pop: pop, Seed: 113, Mix: trace.Mix{trace.Attach: 1}}.Poisson(l.rate, horizon)
+			core.FeedWorkload(eng, pop, arr, sg)
+			eng.Run()
+			p := shared.P99()
+			curr.Add(x, ms(float64(p)))
+			results[l.name]["curr"] = p
+		}
+		// (c) SCALE geo-multiplexing across 3 DCs; DC2 and DC3 lightly
+		// loaded with their own traffic.
+		{
+			eng := sim.NewEngine()
+			g := core.NewGeoScale(core.GeoConfig{
+				Eng: eng, Delays: delays,
+				OverloadThreshold: 20 * time.Millisecond, Seed: 115,
+			})
+			c1 := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+			c2 := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+			c3 := core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+			g.AddDC("dc1", c1, 4000)
+			g.AddDC("dc2", c2, 4000)
+			g.AddDC("dc3", c3, 4000)
+			g.PlanReplicas("dc1", pop, core.ScaleRemotePolicy{Sm: 4000, V: 2})
+			arr := trace.Generator{Pop: pop, Seed: 113, Mix: trace.Mix{trace.Attach: 1}}.Poisson(l.rate, horizon)
+			g.FeedAt("dc1", pop, arr)
+			for _, dc := range []string{"dc2", "dc3"} {
+				light := trace.Generator{Pop: lightPop, Seed: 116, Mix: trace.Mix{trace.Attach: 1}}.Poisson(200, horizon)
+				g.FeedAt(dc, lightPop, light)
+			}
+			eng.Run()
+			p := c1.Recorder().P99()
+			scaleS.Add(x, ms(float64(p)))
+			results[l.name]["scale"] = p
+		}
+	}
+	r.addSeries(local)
+	r.addSeries(curr)
+	r.addSeries(scaleS)
+
+	low, ext := results["LOW"], results["EXTREME"]
+	r.check("at low load SCALE processes locally (beats static split)",
+		low["scale"] < low["curr"] && low["scale"] <= low["local"]+5*time.Millisecond,
+		"LOW p99: local %v, curr %v, scale %v", low["local"], low["curr"], low["scale"])
+	r.check("under extreme load SCALE beats local-only",
+		ext["scale"] < ext["local"],
+		"EXTREME p99: local %v, scale %v", ext["local"], ext["scale"])
+	r.check("SCALE never loses to current systems",
+		results["LOW"]["scale"] <= results["LOW"]["curr"] &&
+			results["HIGH"]["scale"] <= results["HIGH"]["curr"] &&
+			results["EXTREME"]["scale"] <= results["EXTREME"]["curr"],
+		"scale vs curr at LOW/HIGH/EXTREME: %v/%v, %v/%v, %v/%v",
+		results["LOW"]["scale"], results["LOW"]["curr"],
+		results["HIGH"]["scale"], results["HIGH"]["curr"],
+		results["EXTREME"]["scale"], results["EXTREME"]["curr"])
+	return r
+}
+
+// Fig9ReplicaPlacement reproduces Figure 9 / E3: against SIMPLE's
+// whole-VM pairwise replication, SCALE's token-scattered replicas let an
+// overloaded VM shed load to MANY peers instead of one.
+func Fig9ReplicaPlacement() *Result {
+	r := &Result{
+		ID:     "F9",
+		Figure: "Figure 9(a,b) [E3]",
+		Title:  "Replica placement: SIMPLE (pairwise) vs SCALE (token-scattered)",
+	}
+	const (
+		vms     = 5
+		rate    = 800.0 // ~2× one VM's attach capacity
+		horizon = 10 * time.Second
+	)
+	pop := trace.NewPopulation(4000, 121, trace.Uniform{Lo: 0.3, Hi: 0.9})
+
+	// SIMPLE: flood devices homed on VM 0.
+	engA := sim.NewEngine()
+	simple := baseline.NewSimple(baseline.SimpleConfig{
+		Eng: engA, NumVMs: vms, CPUWindow: time.Second,
+	})
+	var simpleHot []trace.Device
+	for i := range pop.Devices {
+		if simple.HomeOf(core.DeviceKey(pop, i)) == 0 {
+			simpleHot = append(simpleHot, pop.Devices[i])
+		}
+	}
+	hotA := trace.FromDevices(simpleHot)
+	arrA := trace.Generator{Pop: hotA, Seed: 122, Mix: trace.Mix{trace.Attach: 1}}.Poisson(rate, horizon)
+	core.FeedWorkload(engA, hotA, arrA, simple)
+	engA.Run()
+
+	// SCALE: flood devices mastered on vm-0.
+	engB := sim.NewEngine()
+	scale := core.NewScaleCluster(core.ScaleClusterConfig{
+		Eng: engB, NumVMs: vms, Tokens: 8, CPUWindow: time.Second,
+	})
+	hotIdx, _ := scale.DevicesMasteredOn(pop, map[string]bool{"vm-0": true})
+	var scaleHot []trace.Device
+	for _, i := range hotIdx {
+		scaleHot = append(scaleHot, pop.Devices[i])
+	}
+	hotB := trace.FromDevices(scaleHot)
+	arrB := trace.Generator{Pop: hotB, Seed: 122, Mix: trace.Mix{trace.Attach: 1}}.Poisson(rate, horizon)
+	core.FeedWorkload(engB, hotB, arrB, scale)
+	engB.Run()
+
+	r.addSeries(cdfSeries("SIMPLE", simple.Recorder()))
+	r.addSeries(cdfSeries("SCALE", scale.Recorder()))
+	for i, vm := range simple.VMs()[:2] {
+		r.addSeries(cpuSeries(fmt.Sprintf("SIMPLE (MMP%d)", i+1), vm))
+	}
+	sVM0, _ := scale.VM("vm-0")
+	sVM1, _ := scale.VM("vm-1")
+	r.addSeries(cpuSeries("SCALE(MMP1)", sVM0))
+	r.addSeries(cpuSeries("SCALE(MMP2)", sVM1))
+
+	pSimple, pScale := simple.Recorder().P99(), scale.Recorder().P99()
+	r.check("SCALE's scattered replicas beat pairwise replication",
+		pSimple > 15*pScale/10,
+		"p99 SIMPLE %v vs SCALE %v (paper: >400ms vs <200ms)", pSimple, pScale)
+
+	// Load spread: SIMPLE uses exactly 2 VMs; SCALE spreads beyond 2.
+	simpleBusy, scaleBusy := 0, 0
+	for _, vm := range simple.VMs() {
+		if vm.Processed() > 0 {
+			simpleBusy++
+		}
+	}
+	for _, vm := range scale.VMs() {
+		if vm.Processed() > 0 {
+			scaleBusy++
+		}
+	}
+	r.check("SIMPLE confined to home+partner", simpleBusy == 2,
+		"SIMPLE busy VMs = %d", simpleBusy)
+	r.check("SCALE spreads across many VMs", scaleBusy >= 3,
+		"SCALE busy VMs = %d", scaleBusy)
+	return r
+}

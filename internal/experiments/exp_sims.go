@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scale/internal/baseline"
+	"scale/internal/cluster"
+	"scale/internal/core"
+	"scale/internal/metrics"
+	"scale/internal/netem"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+// splitByMaster partitions a population into (hot, cold) sub-populations
+// by whether each device's master VM is in the first nHot VMs.
+func splitByMaster(c *core.ScaleCluster, pop *trace.Population, nHot int) (hot, cold *trace.Population) {
+	set := map[string]bool{}
+	for i, vm := range c.VMs() {
+		if i < nHot {
+			set[vm.ID] = true
+		}
+	}
+	in, out := c.DevicesMasteredOn(pop, set)
+	hd := make([]trace.Device, len(in))
+	for i, idx := range in {
+		hd[i] = pop.Devices[idx]
+	}
+	cd := make([]trace.Device, len(out))
+	for i, idx := range out {
+		cd[i] = pop.Devices[idx]
+	}
+	return trace.FromDevices(hd), trace.FromDevices(cd)
+}
+
+// Fig10aStateManagement reproduces Figure 10(a) / S1: 99th %tile
+// connectivity delay vs replication factor under increasing load skew
+// (L1–L4), plus the token-less "basic consistent hashing" baseline.
+// Setup mirrors the paper: 30 MMP VMs, 80K devices, 5 tokens per VM.
+func Fig10aStateManagement() *Result {
+	r := &Result{
+		ID:     "F10a",
+		Figure: "Figure 10(a) [S1]",
+		Title:  "State management: p99 delay vs replication factor for skews L1-L4 + basic hashing",
+	}
+	const (
+		numVMs  = 30
+		devices = 80000
+		horizon = 4 * time.Second
+	)
+	// Skew scenarios: (hot VM count, per-hot-VM overload multiple).
+	skews := []struct {
+		name    string
+		hotVMs  int
+		overMul float64
+	}{
+		{"SCALE(L1)", 3, 1.3},
+		{"SCALE(L2)", 5, 1.6},
+		{"SCALE(L3)", 6, 2.0},
+		{"SCALE(L4)", 8, 2.4},
+	}
+	perVMCapacity := 1.0 / sim.DefaultServiceTimes[trace.Attach].Seconds() // attach/s
+
+	pop := trace.NewPopulation(devices, 131, trace.Uniform{Lo: 0.3, Hi: 0.9})
+
+	runOne := func(tokens, replicas, hotVMs int, overMul float64) time.Duration {
+		eng := sim.NewEngine()
+		c := core.NewScaleCluster(core.ScaleClusterConfig{
+			Eng: eng, NumVMs: numVMs, Tokens: tokens, Replicas: replicas,
+		})
+		hot, cold := splitByMaster(c, pop, hotVMs)
+		hotRate := overMul * perVMCapacity * float64(hotVMs)
+		coldRate := 0.25 * perVMCapacity * float64(numVMs-hotVMs)
+		hotArr := trace.Generator{Pop: hot, Seed: 132, Mix: trace.Mix{trace.Attach: 1}}.Poisson(hotRate, horizon)
+		coldArr := trace.Generator{Pop: cold, Seed: 133, Mix: trace.Mix{trace.Attach: 1}}.Poisson(coldRate, horizon)
+		core.FeedWorkload(eng, hot, hotArr, c)
+		core.FeedWorkload(eng, cold, coldArr, c)
+		eng.Run()
+		return c.Recorder().P99()
+	}
+
+	p99 := map[string]map[int]time.Duration{}
+	for _, sk := range skews {
+		series := metrics.Series{Label: sk.name}
+		p99[sk.name] = map[int]time.Duration{}
+		for rep := 1; rep <= 4; rep++ {
+			p := runOne(5, rep, sk.hotVMs, sk.overMul)
+			series.Add(float64(rep), float64(p)/float64(time.Second))
+			p99[sk.name][rep] = p
+		}
+		r.addSeries(series)
+	}
+	// Basic (token-less) hashing at the highest skew.
+	basic := metrics.Series{Label: "Basic Const. Hashing"}
+	basicP99 := map[int]time.Duration{}
+	for rep := 1; rep <= 4; rep++ {
+		p := runOne(1, rep, skews[3].hotVMs, skews[3].overMul)
+		basic.Add(float64(rep), float64(p)/float64(time.Second))
+		basicP99[rep] = p
+	}
+	r.addSeries(basic)
+
+	for _, sk := range skews {
+		m := p99[sk.name]
+		// "Most of the benefit is obtained by replicating twice":
+		// the R1→R2 drop must account for ≥90% of the total achievable
+		// (R1→R4) improvement.
+		total := float64(m[1] - m[4])
+		gained := float64(m[1] - m[2])
+		r.check("R=2 captures most of the benefit ("+sk.name+")",
+			total > 0 && gained >= 0.9*total,
+			"p99 R1=%v R2=%v R3=%v R4=%v (R2 captures %.1f%% of the gain)",
+			m[1], m[2], m[3], m[4], 100*gained/total)
+	}
+	r.check("tokened ring beats basic hashing at R=2",
+		basicP99[2] > p99["SCALE(L4)"][2],
+		"basic R2 p99 %v vs tokened L4 R2 %v", basicP99[2], p99["SCALE(L4)"][2])
+	return r
+}
+
+// Fig10bGeoStrategies reproduces Figure 10(b) / S2: per-DC 99th %tile
+// delays for IND (no pooling), RDM1/RDM2 (uniform random external
+// replication, which ignores load and delay respectively), and SCALE
+// (budget- and delay-aware).
+func Fig10bGeoStrategies() *Result {
+	r := &Result{
+		ID:     "F10b",
+		Figure: "Figure 10(b) [S2]",
+		Title:  "Geo strategies: per-DC p99 for IND / RDM1 / RDM2 / SCALE",
+	}
+	const horizon = 8 * time.Second
+	dcNames := []string{"dc1", "dc2", "dc3", "dc4"}
+	// DC1 and DC3 are overloaded, DC2 and DC4 lightly loaded; DC2 is
+	// additionally (a) busier than DC4 and (b) farther from DC1/DC3.
+	ownRate := map[string]float64{"dc1": 1300, "dc2": 450, "dc3": 1300, "dc4": 120}
+	pops := map[string]*trace.Population{}
+	for i, dc := range dcNames {
+		pops[dc] = trace.NewPopulation(2000, int64(141+i), trace.Uniform{Lo: 0.6, Hi: 0.95})
+	}
+	mkDelays := func(farDC2 bool) *netem.Matrix {
+		m := netem.NewMatrix()
+		d12 := 10 * time.Millisecond
+		if farDC2 {
+			d12 = 40 * time.Millisecond
+		}
+		m.Set("dc1", "dc2", netem.Delay{Base: d12})
+		m.Set("dc3", "dc2", netem.Delay{Base: d12})
+		m.Set("dc1", "dc4", netem.Delay{Base: 10 * time.Millisecond})
+		m.Set("dc3", "dc4", netem.Delay{Base: 10 * time.Millisecond})
+		m.Set("dc1", "dc3", netem.Delay{Base: 15 * time.Millisecond})
+		m.Set("dc2", "dc4", netem.Delay{Base: 15 * time.Millisecond})
+		return m
+	}
+
+	// run executes one strategy and returns per-DC p99.
+	run := func(policy core.RemotePolicy, delays *netem.Matrix, budgets map[string]int) map[string]time.Duration {
+		eng := sim.NewEngine()
+		g := core.NewGeoScale(core.GeoConfig{
+			Eng: eng, Delays: delays,
+			OverloadThreshold: 20 * time.Millisecond, Seed: 142,
+		})
+		cs := map[string]*core.ScaleCluster{}
+		for _, dc := range dcNames {
+			cs[dc] = core.NewScaleCluster(core.ScaleClusterConfig{Eng: eng, NumVMs: 2, Tokens: 8})
+			g.AddDC(dc, cs[dc], budgets[dc])
+		}
+		if policy != nil {
+			for _, dc := range dcNames {
+				g.PlanReplicas(dc, pops[dc], policy)
+			}
+		}
+		for i, dc := range dcNames {
+			arr := trace.Generator{Pop: pops[dc], Seed: int64(143 + i), Mix: trace.Mix{trace.Attach: 1}}.
+				Poisson(ownRate[dc], horizon)
+			g.FeedAt(dc, pops[dc], arr)
+		}
+		eng.Run()
+		out := map[string]time.Duration{}
+		for _, dc := range dcNames {
+			out[dc] = cs[dc].Recorder().P99()
+		}
+		return out
+	}
+
+	uniformBudget := map[string]int{"dc1": 4000, "dc2": 4000, "dc3": 4000, "dc4": 4000}
+	// SCALE advertises budget proportional to expected headroom.
+	awareBudget := map[string]int{"dc1": 200, "dc2": 800, "dc3": 200, "dc4": 4000}
+
+	results := map[string]map[string]time.Duration{
+		// IND: no external replication at all; combined adversity.
+		"IND": run(nil, mkDelays(true), uniformBudget),
+		// RDM1: uniform replication, load-unaware — DC2 is busier but
+		// gets the same share (delays uniform).
+		"RDM1": run(baseline.UniformRemotePolicy{Frac: 0.5}, mkDelays(false), uniformBudget),
+		// RDM2: uniform replication, delay-unaware — DC2 is far.
+		"RDM2": run(baseline.UniformRemotePolicy{Frac: 0.5}, mkDelays(true), uniformBudget),
+		// SCALE: budget- and delay-aware under the combined adversity.
+		"SCALE": run(core.ScaleRemotePolicy{Sm: 4000, V: 2}, mkDelays(true), awareBudget),
+	}
+	for _, name := range []string{"IND", "RDM1", "RDM2", "SCALE"} {
+		s := metrics.Series{Label: name}
+		for i, dc := range dcNames {
+			s.Add(float64(i+1), ms(float64(results[name][dc])))
+		}
+		r.addSeries(s)
+	}
+
+	ind, rdm1, scale := results["IND"], results["RDM1"], results["SCALE"]
+	r.check("IND leaves the overloaded DCs in pain",
+		ind["dc1"] > 4*ind["dc4"] && ind["dc3"] > 4*ind["dc4"],
+		"IND p99: dc1 %v dc3 %v vs dc4 %v", ind["dc1"], ind["dc3"], ind["dc4"])
+	r.check("RDM1 dumps load on the busier light DC",
+		rdm1["dc2"] > ind["dc2"]*13/10,
+		"RDM1 dc2 p99 %v vs IND %v", rdm1["dc2"], ind["dc2"])
+	r.check("SCALE relieves the overloaded DCs",
+		scale["dc1"] < ind["dc1"] && scale["dc3"] < ind["dc3"],
+		"SCALE dc1 %v dc3 %v vs IND %v / %v", scale["dc1"], scale["dc3"], ind["dc1"], ind["dc3"])
+	r.check("SCALE protects the light DCs",
+		scale["dc2"] <= rdm1["dc2"] && scale["dc4"] < ind["dc1"],
+		"SCALE dc2 %v (RDM1 %v), dc4 %v", scale["dc2"], rdm1["dc2"], scale["dc4"])
+	worstScale := scale["dc1"]
+	for _, dc := range dcNames {
+		if scale[dc] > worstScale {
+			worstScale = scale[dc]
+		}
+	}
+	worstIND := ind["dc1"]
+	for _, dc := range dcNames {
+		if ind[dc] > worstIND {
+			worstIND = ind[dc]
+		}
+	}
+	r.check("SCALE's worst DC beats IND's worst DC", worstScale < worstIND,
+		"worst p99: SCALE %v vs IND %v", worstScale, worstIND)
+	return r
+}
+
+// Fig11AccessAwareness reproduces Figure 11 / S3: as the fraction of
+// low-access devices grows, β shrinks and SCALE provisions fewer VMs
+// (11a) without significantly hurting delays (11b). x = 0.2, K = 100K
+// devices, memory-bound provisioning.
+func Fig11AccessAwareness() *Result {
+	r := &Result{
+		ID:     "F11",
+		Figure: "Figure 11(a,b) [S3]",
+		Title:  "Access-aware replication: provisioned VMs and delay vs β",
+	}
+	const (
+		devices = 100000
+		x       = 0.2
+		perVMS  = 2000 // S: states per VM
+		snFrac  = 0.05 // headroom for new devices
+	)
+	// Low-access fractions chosen to land β on the paper's x-axis.
+	lowFracs := []float64{0.05, 0.15, 0.30, 0.55}
+
+	vmSeries := metrics.Series{Label: "#VM Provisioned"}
+	delaySeries := metrics.Series{Label: "Delay (ms)"}
+	type outcome struct {
+		beta  float64
+		vms   int
+		delay time.Duration
+	}
+	var outs []outcome
+	for fi, lf := range lowFracs {
+		pop := trace.NewPopulation(devices, int64(151+fi), trace.Bimodal{LowFrac: lf, LowW: 0.1, HighW: 0.7})
+		kHat := pop.LowAccessCount(x)
+		sn := int(snFrac * devices)
+		beta := cluster.Beta(kHat, sn, 0, 2, devices)
+		v := cluster.VMsForMemory(beta, 2, devices, perVMS)
+
+		// Delay under the reduced provisioning, with single-replica
+		// state for the low-access devices.
+		eng := sim.NewEngine()
+		c := core.NewScaleCluster(core.ScaleClusterConfig{
+			Eng: eng, NumVMs: v, Tokens: 5,
+			ReplicaFor: core.WeightedReplicaFor(x),
+		})
+		arr := trace.Generator{Pop: pop, Seed: int64(152 + fi), Mix: trace.Mix{trace.ServiceRequest: 1}}.
+			Poisson(3000, 5*time.Second)
+		core.FeedWorkload(eng, pop, arr, c)
+		eng.Run()
+		d := c.Recorder().Mean()
+
+		vmSeries.Add(beta, float64(v))
+		delaySeries.Add(beta, ms(float64(d)))
+		outs = append(outs, outcome{beta: beta, vms: v, delay: d})
+		r.note("lowFrac=%.2f → K̂=%d, β=%.3f, V=%d, mean delay %v", lf, kHat, beta, v, d)
+	}
+	r.addSeries(vmSeries)
+	r.addSeries(delaySeries)
+
+	first, last := outs[0], outs[len(outs)-1]
+	saving := 1 - float64(last.vms)/float64(first.vms)
+	r.check("β shrinks with the low-access fraction", last.beta < first.beta-0.15,
+		"β from %.3f to %.3f", first.beta, last.beta)
+	r.check("VM provisioning drops ~25%", saving > 0.18,
+		"VM saving %.0f%% (%d → %d VMs; paper: 25%%)", saving*100, first.vms, last.vms)
+	r.check("delays stay essentially flat", last.delay < first.delay*3/2,
+		"mean delay %v at β=%.2f vs %v at β=%.2f", first.delay, first.beta, last.delay, last.beta)
+	return r
+}
+
+var _ = fmt.Sprintf

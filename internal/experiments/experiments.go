@@ -1,0 +1,122 @@
+// Package experiments regenerates every figure in the paper's
+// evaluation (Sections 3 and 5). Each Fig* function runs a deterministic
+// scenario and returns a Result holding the same series the paper plots,
+// plus shape checks asserting the qualitative findings — who wins, by
+// roughly what factor, where the knees fall. Absolute values differ from
+// the paper's testbed; the EXPERIMENTS.md table records both.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"scale/internal/metrics"
+)
+
+// Check is one qualitative assertion about a reproduced figure.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is one reproduced figure.
+type Result struct {
+	// ID is the experiment id (e.g. "F2a"); Figure the paper figure it
+	// reproduces; Title a one-line description.
+	ID     string
+	Figure string
+	Title  string
+	// Series holds the plotted data, one Series per curve.
+	Series []metrics.Series
+	// Checks are the shape assertions.
+	Checks []Check
+	// Notes carry free-form observations worth recording.
+	Notes []string
+}
+
+func (r *Result) addSeries(s metrics.Series) { r.Series = append(r.Series, s) }
+
+func (r *Result) check(name string, pass bool, format string, args ...interface{}) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the result as the harness's report block.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s: %s\n", r.ID, r.Figure, r.Title)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "   series %-32s", s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, " (%.4g, %.4g)", p.X, p.Y)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "   [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID  string
+	Run func() *Result
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"F2a", Fig2aStaticAssignment},
+		{"F2b", Fig2bOverloadProtection},
+		{"F2c", Fig2cSignalingOverhead},
+		{"F2d", Fig2dScalingOut},
+		{"F3a", Fig3aPropagationDelay},
+		{"F3b", Fig3bMultiDCPooling},
+		{"F6a", Fig6aReplicationModel},
+		{"F6b", Fig6bAccessAwareModel},
+		{"F7a", Fig7aMLBOverhead},
+		{"F7b", Fig7bReplicationOverhead},
+		{"F8ac", Fig8SCALEvs3GPP},
+		{"F8d", Fig8dGeoMultiplexing},
+		{"F9", Fig9ReplicaPlacement},
+		{"F10a", Fig10aStateManagement},
+		{"F10b", Fig10bGeoStrategies},
+		{"F11", Fig11AccessAwareness},
+	}
+}
+
+// RunAll executes every experiment and returns the results in order.
+func RunAll() []*Result {
+	var out []*Result
+	for _, e := range All() {
+		out = append(out, e.Run())
+	}
+	return out
+}
+
+const msPerSecond = 1000.0
+
+// ms converts a duration-like float of nanoseconds into milliseconds.
+func ms(ns float64) float64 { return ns / 1e6 }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment must produce non-empty series and pass its own shape
+// checks — these tests ARE the reproduction criteria for every figure.
+
+func assertResult(t *testing.T, r *Result, wantSeries int) {
+	t.Helper()
+	if r.ID == "" || r.Figure == "" || r.Title == "" {
+		t.Fatalf("incomplete metadata: %+v", r)
+	}
+	if len(r.Series) < wantSeries {
+		t.Fatalf("%s: %d series, want >= %d", r.ID, len(r.Series), wantSeries)
+	}
+	for _, s := range r.Series {
+		if len(s.Points) == 0 {
+			t.Errorf("%s: series %q empty", r.ID, s.Label)
+		}
+	}
+	for _, c := range r.Checks {
+		if !c.Pass {
+			t.Errorf("%s check failed: %s — %s", r.ID, c.Name, c.Detail)
+		}
+	}
+	if out := r.String(); !strings.Contains(out, r.ID) {
+		t.Errorf("%s: String() missing id", r.ID)
+	}
+}
+
+func TestFig2aStaticAssignment(t *testing.T) {
+	assertResult(t, Fig2aStaticAssignment(), 3)
+}
+
+func TestFig2bOverloadProtection(t *testing.T) {
+	assertResult(t, Fig2bOverloadProtection(), 2)
+}
+
+func TestFig2cSignalingOverhead(t *testing.T) {
+	assertResult(t, Fig2cSignalingOverhead(), 4)
+}
+
+func TestFig2dScalingOut(t *testing.T) {
+	assertResult(t, Fig2dScalingOut(), 2)
+}
+
+func TestFig3aPropagationDelay(t *testing.T) {
+	assertResult(t, Fig3aPropagationDelay(), 3)
+}
+
+func TestFig3bMultiDCPooling(t *testing.T) {
+	assertResult(t, Fig3bMultiDCPooling(), 2)
+}
+
+func TestFig6aReplicationModel(t *testing.T) {
+	assertResult(t, Fig6aReplicationModel(), 3)
+}
+
+func TestFig6bAccessAwareModel(t *testing.T) {
+	assertResult(t, Fig6bAccessAwareModel(), 2)
+}
+
+func TestFig7aMLBOverhead(t *testing.T) {
+	assertResult(t, Fig7aMLBOverhead(), 3)
+}
+
+func TestFig7bReplicationOverhead(t *testing.T) {
+	assertResult(t, Fig7bReplicationOverhead(), 1)
+}
+
+func TestFig8SCALEvs3GPP(t *testing.T) {
+	assertResult(t, Fig8SCALEvs3GPP(), 6)
+}
+
+func TestFig8dGeoMultiplexing(t *testing.T) {
+	assertResult(t, Fig8dGeoMultiplexing(), 3)
+}
+
+func TestFig9ReplicaPlacement(t *testing.T) {
+	assertResult(t, Fig9ReplicaPlacement(), 6)
+}
+
+func TestFig10aStateManagement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale simulation")
+	}
+	assertResult(t, Fig10aStateManagement(), 5)
+}
+
+func TestFig10bGeoStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale simulation")
+	}
+	assertResult(t, Fig10bGeoStrategies(), 4)
+}
+
+func TestFig11AccessAwareness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale simulation")
+	}
+	assertResult(t, Fig11AccessAwareness(), 2)
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Run == nil {
+			t.Fatalf("incomplete registry entry %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if len(ids) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(ids))
+	}
+}

@@ -1,0 +1,182 @@
+// Package guti implements the LTE Globally Unique Temporary Identifier
+// (3GPP TS 23.003 §2.8) and its allocation.
+//
+// After attach, a device is addressed by its GUTI; in SCALE the MLB
+// hashes the GUTI onto the consistent hash ring to pick the device's
+// master MMP (Section 4.3.1), so the GUTI is the routing key for every
+// subsequent idle-mode request. The GUTI embeds the identity of the MME
+// (in SCALE: the MLB pool) that allocated it, which is how legacy eNodeBs
+// route requests back to "the same MME".
+package guti
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PLMN identifies an operator network (MCC + MNC), each packed as BCD in
+// real networks; here kept as integers for clarity.
+type PLMN struct {
+	MCC uint16 // mobile country code, 3 digits
+	MNC uint16 // mobile network code, 2-3 digits
+}
+
+// String renders the PLMN as mcc-mnc.
+func (p PLMN) String() string { return fmt.Sprintf("%03d-%02d", p.MCC, p.MNC) }
+
+// GUTI is the Globally Unique Temporary Identifier:
+// PLMN + MMEGI (group) + MMEC (code) + M-TMSI.
+type GUTI struct {
+	PLMN  PLMN
+	MMEGI uint16 // MME group id — identifies the pool
+	MMEC  uint8  // MME code — identifies the (virtual) MME within the pool
+	MTMSI uint32 // temporary subscriber id, unique within the MME
+}
+
+// EncodedLen is the wire length of an encoded GUTI.
+const EncodedLen = 11
+
+var (
+	// ErrShortBuffer indicates Decode was given fewer than EncodedLen bytes.
+	ErrShortBuffer = errors.New("guti: buffer shorter than encoded GUTI")
+	// ErrZero indicates an all-zero (unallocated) GUTI where a real one
+	// was required.
+	ErrZero = errors.New("guti: zero GUTI")
+)
+
+// IsZero reports whether g is the zero (unallocated) identifier.
+func (g GUTI) IsZero() bool { return g == GUTI{} }
+
+// Encode appends the 11-byte wire form of g to dst and returns the
+// extended slice.
+func (g GUTI) Encode(dst []byte) []byte {
+	var b [EncodedLen]byte
+	binary.BigEndian.PutUint16(b[0:2], g.PLMN.MCC)
+	binary.BigEndian.PutUint16(b[2:4], g.PLMN.MNC)
+	binary.BigEndian.PutUint16(b[4:6], g.MMEGI)
+	b[6] = g.MMEC
+	binary.BigEndian.PutUint32(b[7:11], g.MTMSI)
+	return append(dst, b[:]...)
+}
+
+// Decode parses a GUTI from the first EncodedLen bytes of src.
+func Decode(src []byte) (GUTI, error) {
+	if len(src) < EncodedLen {
+		return GUTI{}, ErrShortBuffer
+	}
+	return GUTI{
+		PLMN:  PLMN{MCC: binary.BigEndian.Uint16(src[0:2]), MNC: binary.BigEndian.Uint16(src[2:4])},
+		MMEGI: binary.BigEndian.Uint16(src[4:6]),
+		MMEC:  src[6],
+		MTMSI: binary.BigEndian.Uint32(src[7:11]),
+	}, nil
+}
+
+// Key returns the canonical hash key for consistent-hash routing: the
+// wire encoding. Using the full GUTI (not just M-TMSI) keeps keys unique
+// across pools.
+func (g GUTI) Key() []byte { return g.Encode(nil) }
+
+// String renders the GUTI in a compact human-readable form.
+func (g GUTI) String() string {
+	return fmt.Sprintf("%s:%04x:%02x:%08x", g.PLMN, g.MMEGI, g.MMEC, g.MTMSI)
+}
+
+// Allocator mints GUTIs for one (virtual) MME identity. It is safe for
+// concurrent use; M-TMSIs are unique per allocator until 2^32
+// allocations.
+type Allocator struct {
+	plmn  PLMN
+	mmegi uint16
+	mmec  uint8
+	next  atomic.Uint32
+}
+
+// NewAllocator creates an allocator minting GUTIs for the given pool
+// identity. The first allocated M-TMSI is 1, so the zero GUTI is never
+// produced.
+func NewAllocator(plmn PLMN, mmegi uint16, mmec uint8) *Allocator {
+	return &Allocator{plmn: plmn, mmegi: mmegi, mmec: mmec}
+}
+
+// Allocate mints a new GUTI.
+func (a *Allocator) Allocate() GUTI {
+	return GUTI{PLMN: a.plmn, MMEGI: a.mmegi, MMEC: a.mmec, MTMSI: a.next.Add(1)}
+}
+
+// Registry maps IMSIs to allocated GUTIs, mirroring the reallocation
+// behavior the MLB performs for unregistered devices (Section 4.3.1: "In
+// case of a request from an unregistered device, the MLB first assigns it
+// a GUTI before routing its request"). It is safe for concurrent use.
+type Registry struct {
+	alloc *Allocator
+
+	mu     sync.RWMutex
+	byIMSI map[uint64]GUTI
+	byGUTI map[GUTI]uint64
+}
+
+// NewRegistry creates an empty registry allocating from alloc.
+func NewRegistry(alloc *Allocator) *Registry {
+	return &Registry{
+		alloc:  alloc,
+		byIMSI: make(map[uint64]GUTI),
+		byGUTI: make(map[GUTI]uint64),
+	}
+}
+
+// Assign returns the GUTI for imsi, allocating one on first use.
+// The second result reports whether the GUTI was newly allocated.
+func (r *Registry) Assign(imsi uint64) (GUTI, bool) {
+	r.mu.RLock()
+	g, ok := r.byIMSI[imsi]
+	r.mu.RUnlock()
+	if ok {
+		return g, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.byIMSI[imsi]; ok {
+		return g, false
+	}
+	g = r.alloc.Allocate()
+	r.byIMSI[imsi] = g
+	r.byGUTI[g] = imsi
+	return g, true
+}
+
+// IMSI resolves a GUTI back to its IMSI.
+func (r *Registry) IMSI(g GUTI) (uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	imsi, ok := r.byGUTI[g]
+	return imsi, ok
+}
+
+// Lookup returns the GUTI previously assigned to imsi, if any.
+func (r *Registry) Lookup(imsi uint64) (GUTI, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.byIMSI[imsi]
+	return g, ok
+}
+
+// Release forgets the binding for imsi (detach).
+func (r *Registry) Release(imsi uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.byIMSI[imsi]; ok {
+		delete(r.byIMSI, imsi)
+		delete(r.byGUTI, g)
+	}
+}
+
+// Len reports the number of registered devices.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byIMSI)
+}

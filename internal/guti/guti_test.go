@@ -1,0 +1,174 @@
+package guti
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var testPLMN = PLMN{MCC: 310, MNC: 26}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := GUTI{PLMN: testPLMN, MMEGI: 0xBEEF, MMEC: 7, MTMSI: 0xDEADBEEF}
+	b := g.Encode(nil)
+	if len(b) != EncodedLen {
+		t.Fatalf("encoded len = %d", len(b))
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Fatalf("round trip: got %v want %v", got, g)
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	b := GUTI{MTMSI: 5}.Encode(prefix)
+	if len(b) != 3+EncodedLen || b[0] != 1 {
+		t.Fatalf("append semantics broken: %v", b)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode(make([]byte, EncodedLen-1)); err != ErrShortBuffer {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(mcc, mnc, mmegi uint16, mmec uint8, mtmsi uint32) bool {
+		g := GUTI{PLMN: PLMN{MCC: mcc, MNC: mnc}, MMEGI: mmegi, MMEC: mmec, MTMSI: mtmsi}
+		got, err := Decode(g.Encode(nil))
+		return err == nil && got == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(GUTI{}).IsZero() {
+		t.Fatal("zero GUTI not zero")
+	}
+	if (GUTI{MTMSI: 1}).IsZero() {
+		t.Fatal("nonzero GUTI reported zero")
+	}
+}
+
+func TestKeyUniquePerDevice(t *testing.T) {
+	a := NewAllocator(testPLMN, 1, 1)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		k := string(a.Allocate().Key())
+		if seen[k] {
+			t.Fatalf("duplicate key at %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestAllocatorNeverZero(t *testing.T) {
+	a := NewAllocator(PLMN{}, 0, 0)
+	if g := a.Allocate(); g.IsZero() {
+		t.Fatal("allocator produced zero GUTI")
+	}
+}
+
+func TestAllocatorConcurrent(t *testing.T) {
+	a := NewAllocator(testPLMN, 1, 1)
+	var mu sync.Mutex
+	seen := map[uint32]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]uint32, 0, 500)
+			for i := 0; i < 500; i++ {
+				local = append(local, a.Allocate().MTMSI)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, m := range local {
+				if seen[m] {
+					t.Errorf("duplicate MTMSI %d", m)
+				}
+				seen[m] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 4000 {
+		t.Fatalf("allocated %d unique, want 4000", len(seen))
+	}
+}
+
+func TestRegistryAssignStable(t *testing.T) {
+	r := NewRegistry(NewAllocator(testPLMN, 1, 1))
+	g1, fresh1 := r.Assign(1001)
+	g2, fresh2 := r.Assign(1001)
+	if !fresh1 || fresh2 {
+		t.Fatalf("fresh flags = %v,%v", fresh1, fresh2)
+	}
+	if g1 != g2 {
+		t.Fatalf("unstable assignment: %v vs %v", g1, g2)
+	}
+	if imsi, ok := r.IMSI(g1); !ok || imsi != 1001 {
+		t.Fatalf("reverse lookup = %v,%v", imsi, ok)
+	}
+	if g, ok := r.Lookup(1001); !ok || g != g1 {
+		t.Fatalf("forward lookup = %v,%v", g, ok)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRegistryRelease(t *testing.T) {
+	r := NewRegistry(NewAllocator(testPLMN, 1, 1))
+	g, _ := r.Assign(42)
+	r.Release(42)
+	if _, ok := r.Lookup(42); ok {
+		t.Fatal("lookup after release succeeded")
+	}
+	if _, ok := r.IMSI(g); ok {
+		t.Fatal("reverse lookup after release succeeded")
+	}
+	r.Release(42) // double release: no-op
+	g2, fresh := r.Assign(42)
+	if !fresh || g2 == g {
+		t.Fatalf("re-assign after release: fresh=%v g=%v", fresh, g2)
+	}
+}
+
+func TestRegistryConcurrentAssign(t *testing.T) {
+	r := NewRegistry(NewAllocator(testPLMN, 1, 1))
+	var wg sync.WaitGroup
+	results := make([]GUTI, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			guti, _ := r.Assign(777) // all race on the same IMSI
+			results[i] = guti
+		}(g)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("racy assign produced distinct GUTIs: %v vs %v", results[i], results[0])
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d after concurrent assign of one IMSI", r.Len())
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	g := GUTI{PLMN: testPLMN, MMEGI: 0x0102, MMEC: 0x03, MTMSI: 0x04050607}
+	if got, want := g.String(), "310-26:0102:03:04050607"; got != want {
+		t.Fatalf("String = %q want %q", got, want)
+	}
+}

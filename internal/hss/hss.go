@@ -1,0 +1,283 @@
+// Package hss emulates the Home Subscriber Server: the subscriber
+// database the MME queries over S6a for authentication vectors and
+// subscription profiles (Figure 1 in the paper).
+//
+// Subscribers are provisioned with a permanent key K; EPS-AKA vector
+// generation follows the real derivation shape (RAND → XRES, AUTN,
+// K_ASME) using the nas package's KDFs, so a UE emulator holding the same
+// K computes a matching RES.
+package hss
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"scale/internal/nas"
+	"scale/internal/s6"
+	"scale/internal/transport"
+)
+
+// Subscriber is one provisioned subscription.
+type Subscriber struct {
+	IMSI uint64
+	// K is the permanent key shared with the USIM.
+	K [32]byte
+	// Profile returned in UpdateLocationAnswer.
+	Profile s6.SubscriptionData
+	// ServingMME records the registered MME id (set by UpdateLocation).
+	ServingMME string
+	// SQN is the authentication sequence number.
+	SQN uint64
+}
+
+// DefaultProfile is the subscription profile used by ProvisionRange.
+var DefaultProfile = s6.SubscriptionData{
+	APN:          "internet",
+	AMBRUplink:   50000,
+	AMBRDownlink: 150000,
+	DefaultQCI:   9,
+	T3412Sec:     3240,
+}
+
+// KeyForIMSI derives the deterministic test-network permanent key for an
+// IMSI, shared by the HSS and the UE emulator.
+func KeyForIMSI(imsi uint64) [32]byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], imsi)
+	return sha256.Sum256(append([]byte("scale-usim-k"), b[:]...))
+}
+
+// DB is the in-memory subscriber database. It is safe for concurrent
+// use.
+type DB struct {
+	mu   sync.RWMutex
+	subs map[uint64]*Subscriber
+	// vectorsIssued counts AuthInfo vectors handed out (stats).
+	vectorsIssued uint64
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{subs: make(map[uint64]*Subscriber)}
+}
+
+// Provision adds (or replaces) a subscriber.
+func (db *DB) Provision(sub Subscriber) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := sub
+	db.subs[s.IMSI] = &s
+}
+
+// ProvisionRange provisions n sequential IMSIs starting at first with
+// derived keys and the default profile.
+func (db *DB) ProvisionRange(first uint64, n int) {
+	for i := 0; i < n; i++ {
+		imsi := first + uint64(i)
+		db.Provision(Subscriber{IMSI: imsi, K: KeyForIMSI(imsi), Profile: DefaultProfile})
+	}
+}
+
+// Len reports the number of subscribers.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.subs)
+}
+
+// VectorsIssued reports how many auth vectors have been generated.
+func (db *DB) VectorsIssued() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.vectorsIssued
+}
+
+// GenerateVector produces one EPS-AKA vector for imsi, advancing the
+// subscriber's SQN. The derivation is deterministic given (K, SQN,
+// servingNetwork): RAND = H(K, SQN), XRES = H(K, RAND)[:8], AUTN carries
+// the SQN so the USIM can verify freshness, and K_ASME comes from the
+// nas KDF.
+func (db *DB) GenerateVector(imsi uint64, servingNetwork string) (s6.AuthVector, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sub, ok := db.subs[imsi]
+	if !ok {
+		return s6.AuthVector{}, fmt.Errorf("hss: unknown IMSI %d", imsi)
+	}
+	sub.SQN++
+	var v s6.AuthVector
+	v.RAND = deriveRAND(sub.K, sub.SQN)
+	v.XRES = DeriveRES(sub.K, v.RAND)
+	binary.BigEndian.PutUint64(v.AUTN[:8], sub.SQN)
+	mac := hmac.New(sha256.New, sub.K[:])
+	mac.Write(v.AUTN[:8])
+	mac.Write(v.RAND[:])
+	copy(v.AUTN[8:], mac.Sum(nil)[:8])
+	v.KASME = nas.DeriveKASME(sub.K[:], v.RAND[:], servingNetwork)
+	db.vectorsIssued++
+	return v, nil
+}
+
+func deriveRAND(k [32]byte, sqn uint64) [16]byte {
+	mac := hmac.New(sha256.New, k[:])
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], sqn)
+	mac.Write([]byte("rand"))
+	mac.Write(b[:])
+	var out [16]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// DeriveRES computes the response the USIM returns for a challenge —
+// shared with the UE emulator so authentication genuinely verifies.
+func DeriveRES(k [32]byte, rand [16]byte) [8]byte {
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write([]byte("res"))
+	mac.Write(rand[:])
+	var out [8]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Handle processes one decoded S6a request and returns the answer.
+func (db *DB) Handle(req s6.Message) s6.Message {
+	switch m := req.(type) {
+	case *s6.AuthInfoRequest:
+		n := int(m.NumVectors)
+		if n < 1 {
+			n = 1
+		}
+		if n > 4 {
+			n = 4
+		}
+		ans := &s6.AuthInfoAnswer{Result: s6.ResultSuccess}
+		for i := 0; i < n; i++ {
+			v, err := db.GenerateVector(m.IMSI, m.ServingNetwork)
+			if err != nil {
+				return &s6.AuthInfoAnswer{Result: s6.ResultUserUnknown}
+			}
+			ans.Vectors = append(ans.Vectors, v)
+		}
+		return ans
+	case *s6.UpdateLocationRequest:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		sub, ok := db.subs[m.IMSI]
+		if !ok {
+			return &s6.UpdateLocationAnswer{Result: s6.ResultUserUnknown}
+		}
+		sub.ServingMME = m.MMEID
+		return &s6.UpdateLocationAnswer{Result: s6.ResultSuccess, Subscription: sub.Profile}
+	case *s6.PurgeRequest:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if sub, ok := db.subs[m.IMSI]; ok {
+			sub.ServingMME = ""
+			return &s6.PurgeAnswer{Result: s6.ResultSuccess}
+		}
+		return &s6.PurgeAnswer{Result: s6.ResultUserUnknown}
+	default:
+		return &s6.PurgeAnswer{Result: s6.ResultUserUnknown}
+	}
+}
+
+// ServingMME reports which MME id is registered for imsi.
+func (db *DB) ServingMME(imsi uint64) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	sub, ok := db.subs[imsi]
+	if !ok {
+		return "", false
+	}
+	return sub.ServingMME, sub.ServingMME != ""
+}
+
+// Server exposes the DB over the S6a RPC transport.
+type Server struct {
+	DB  *DB
+	srv *transport.Server
+}
+
+// Serve starts an HSS server on addr.
+func Serve(addr string, db *DB) (*Server, error) {
+	s := &Server{DB: db}
+	srv, err := transport.ServeRPC(addr, func(payload []byte) []byte {
+		req, err := s6.Unmarshal(payload)
+		if err != nil {
+			return s6.Marshal(&s6.PurgeAnswer{Result: s6.ResultUserUnknown})
+		}
+		return s6.Marshal(db.Handle(req))
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.srv = srv
+	return s, nil
+}
+
+// Addr reports the listen address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Client is an S6a client for MMPs.
+type Client struct {
+	caller *transport.Caller
+}
+
+// DialClient connects to an HSS server.
+func DialClient(addr string) (*Client, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{caller: transport.NewCaller(conn)}, nil
+}
+
+func (c *Client) call(req s6.Message) (s6.Message, error) {
+	resp, err := c.caller.Call(transport.StreamCommon, s6.Marshal(req))
+	if err != nil {
+		return nil, err
+	}
+	return s6.Unmarshal(resp)
+}
+
+// AuthInfo fetches n authentication vectors for imsi.
+func (c *Client) AuthInfo(imsi uint64, servingNetwork string, n uint8) (*s6.AuthInfoAnswer, error) {
+	resp, err := c.call(&s6.AuthInfoRequest{IMSI: imsi, ServingNetwork: servingNetwork, NumVectors: n})
+	if err != nil {
+		return nil, err
+	}
+	ans, ok := resp.(*s6.AuthInfoAnswer)
+	if !ok {
+		return nil, fmt.Errorf("hss: unexpected answer %s", resp.Type())
+	}
+	return ans, nil
+}
+
+// UpdateLocation registers mmeID as serving imsi.
+func (c *Client) UpdateLocation(imsi uint64, mmeID string) (*s6.UpdateLocationAnswer, error) {
+	resp, err := c.call(&s6.UpdateLocationRequest{IMSI: imsi, MMEID: mmeID})
+	if err != nil {
+		return nil, err
+	}
+	ans, ok := resp.(*s6.UpdateLocationAnswer)
+	if !ok {
+		return nil, fmt.Errorf("hss: unexpected answer %s", resp.Type())
+	}
+	return ans, nil
+}
+
+// Purge removes the serving-MME registration for imsi.
+func (c *Client) Purge(imsi uint64) error {
+	_, err := c.call(&s6.PurgeRequest{IMSI: imsi})
+	return err
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.caller.Close() }

@@ -1,0 +1,148 @@
+package hss
+
+import (
+	"testing"
+
+	"scale/internal/nas"
+	"scale/internal/s6"
+)
+
+func newTestDB() *DB {
+	db := NewDB()
+	db.ProvisionRange(100000, 10)
+	return db
+}
+
+func TestProvisionAndLen(t *testing.T) {
+	db := newTestDB()
+	if db.Len() != 10 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	// Re-provision same IMSI replaces, not duplicates.
+	db.Provision(Subscriber{IMSI: 100000, K: KeyForIMSI(100000)})
+	if db.Len() != 10 {
+		t.Fatalf("len after re-provision = %d", db.Len())
+	}
+}
+
+func TestGenerateVectorUnknownIMSI(t *testing.T) {
+	db := newTestDB()
+	if _, err := db.GenerateVector(999, "310-26"); err == nil {
+		t.Fatal("unknown IMSI accepted")
+	}
+}
+
+func TestGenerateVectorFreshness(t *testing.T) {
+	db := newTestDB()
+	v1, err := db.GenerateVector(100000, "310-26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := db.GenerateVector(100000, "310-26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.RAND == v2.RAND {
+		t.Fatal("consecutive vectors share RAND (SQN not advancing)")
+	}
+	if db.VectorsIssued() != 2 {
+		t.Fatalf("issued = %d", db.VectorsIssued())
+	}
+}
+
+func TestVectorMatchesUEDerivation(t *testing.T) {
+	db := newTestDB()
+	v, err := db.GenerateVector(100001, "310-26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A UE holding the same K must derive the same RES and KASME.
+	k := KeyForIMSI(100001)
+	if got := DeriveRES(k, v.RAND); got != v.XRES {
+		t.Fatal("UE-side RES does not match XRES")
+	}
+	if got := nas.DeriveKASME(k[:], v.RAND[:], "310-26"); got != v.KASME {
+		t.Fatal("UE-side KASME mismatch")
+	}
+}
+
+func TestHandleAuthInfo(t *testing.T) {
+	db := newTestDB()
+	ans := db.Handle(&s6.AuthInfoRequest{IMSI: 100000, ServingNetwork: "310-26", NumVectors: 2})
+	aia, ok := ans.(*s6.AuthInfoAnswer)
+	if !ok || aia.Result != s6.ResultSuccess || len(aia.Vectors) != 2 {
+		t.Fatalf("answer = %+v", ans)
+	}
+	// Zero requested vectors clamps to 1; huge clamps to 4.
+	aia = db.Handle(&s6.AuthInfoRequest{IMSI: 100000, NumVectors: 0}).(*s6.AuthInfoAnswer)
+	if len(aia.Vectors) != 1 {
+		t.Fatalf("clamped low = %d", len(aia.Vectors))
+	}
+	aia = db.Handle(&s6.AuthInfoRequest{IMSI: 100000, NumVectors: 200}).(*s6.AuthInfoAnswer)
+	if len(aia.Vectors) != 4 {
+		t.Fatalf("clamped high = %d", len(aia.Vectors))
+	}
+	// Unknown subscriber.
+	aia = db.Handle(&s6.AuthInfoRequest{IMSI: 5, NumVectors: 1}).(*s6.AuthInfoAnswer)
+	if aia.Result != s6.ResultUserUnknown || len(aia.Vectors) != 0 {
+		t.Fatalf("unknown = %+v", aia)
+	}
+}
+
+func TestHandleUpdateLocationAndPurge(t *testing.T) {
+	db := newTestDB()
+	ula := db.Handle(&s6.UpdateLocationRequest{IMSI: 100002, MMEID: "mlb-1"}).(*s6.UpdateLocationAnswer)
+	if ula.Result != s6.ResultSuccess || ula.Subscription.APN != "internet" {
+		t.Fatalf("ULA = %+v", ula)
+	}
+	if mme, ok := db.ServingMME(100002); !ok || mme != "mlb-1" {
+		t.Fatalf("serving = %v,%v", mme, ok)
+	}
+	pa := db.Handle(&s6.PurgeRequest{IMSI: 100002}).(*s6.PurgeAnswer)
+	if pa.Result != s6.ResultSuccess {
+		t.Fatalf("purge = %+v", pa)
+	}
+	if _, ok := db.ServingMME(100002); ok {
+		t.Fatal("serving MME survived purge")
+	}
+	// Unknown paths.
+	if a := db.Handle(&s6.UpdateLocationRequest{IMSI: 9}).(*s6.UpdateLocationAnswer); a.Result != s6.ResultUserUnknown {
+		t.Fatal("unknown ULR accepted")
+	}
+	if a := db.Handle(&s6.PurgeRequest{IMSI: 9}).(*s6.PurgeAnswer); a.Result != s6.ResultUserUnknown {
+		t.Fatal("unknown purge accepted")
+	}
+}
+
+func TestServerClientEndToEnd(t *testing.T) {
+	db := newTestDB()
+	srv, err := Serve("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ans, err := c.AuthInfo(100003, "310-26", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Result != s6.ResultSuccess || len(ans.Vectors) != 1 {
+		t.Fatalf("AuthInfo = %+v", ans)
+	}
+	ula, err := c.UpdateLocation(100003, "mlb-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ula.Result != s6.ResultSuccess {
+		t.Fatalf("UpdateLocation = %+v", ula)
+	}
+	if err := c.Purge(100003); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package metrics provides the measurement primitives used throughout the
+// SCALE reproduction: HDR-style latency histograms, CDF extraction,
+// percentile queries, exponentially-weighted load estimators and CPU
+// utilization traces.
+//
+// The experiments in the paper report 99th-percentile control-plane
+// delays, delay CDFs, and per-VM CPU utilization over time; every one of
+// those series is produced by a type in this package.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram is an HDR-style histogram: values are bucketed into
+// logarithmic magnitude groups, each subdivided linearly, giving a bounded
+// relative error at every scale. The zero value is not usable; construct
+// with NewHistogram.
+//
+// Histogram is safe for concurrent use.
+type Histogram struct {
+	mu          sync.Mutex
+	subBits     uint // log2 of sub-buckets per magnitude
+	counts      []uint64
+	total       uint64
+	sum         float64
+	min         int64
+	max         int64
+	unitDivisor float64 // for String output only
+	unitName    string
+}
+
+// NewHistogram returns a histogram that records non-negative int64 values
+// with roughly 1/(2^subBits) relative precision. subBits of 5 gives
+// ~3% error, plenty for latency percentiles.
+func NewHistogram(subBits uint) *Histogram {
+	if subBits == 0 || subBits > 10 {
+		subBits = 5
+	}
+	// 64 magnitudes max, each with 2^subBits sub-buckets.
+	return &Histogram{
+		subBits:     subBits,
+		counts:      make([]uint64, (64-int(subBits))<<subBits),
+		min:         math.MaxInt64,
+		unitDivisor: 1,
+	}
+}
+
+// SetUnit configures how String renders values (e.g. divisor 1e6, "ms"
+// for nanosecond recordings).
+func (h *Histogram) SetUnit(divisor float64, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.unitDivisor, h.unitName = divisor, name
+}
+
+func (h *Histogram) bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	// Index of highest set bit at or above subBits.
+	lz := 63 - leadingZeros64(u|1)
+	if uint(lz) < h.subBits {
+		return int(u)
+	}
+	shift := uint(lz) - h.subBits
+	magnitude := shift + 1
+	sub := (u >> shift) & ((1 << h.subBits) - 1)
+	return int(magnitude<<h.subBits) + int(sub)
+}
+
+// bucketLow returns the lowest value mapping to bucket i; used to invert
+// indices for percentile queries.
+func (h *Histogram) bucketLow(i int) int64 {
+	magnitude := uint(i) >> h.subBits
+	sub := uint64(i) & ((1 << h.subBits) - 1)
+	if magnitude == 0 {
+		return int64(sub)
+	}
+	shift := magnitude - 1
+	return int64((1<<h.subBits | sub) << shift)
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds a single observation.
+func (h *Histogram) Record(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := h.bucketIndex(v)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordN adds n observations of the same value.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := h.bucketIndex(v)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i] += n
+	h.total += n
+	h.sum += float64(v) * float64(n)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean reports the arithmetic mean of recorded values, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min reports the smallest recorded value, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest recorded value, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the approximate value at quantile q in [0,1].
+// Quantile(0.99) is the paper's ubiquitous "99th %tile delay".
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := h.bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// P99 is shorthand for Quantile(0.99).
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// CDFPoint is one (value, cumulative-fraction) sample of a distribution.
+type CDFPoint struct {
+	Value    int64
+	Fraction float64
+}
+
+// CDF returns up to maxPoints points of the empirical CDF, suitable for
+// reproducing the paper's CDF figures (2b, 3b, 8a, 9b).
+func (h *Histogram) CDF(maxPoints int) []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		pts = append(pts, CDFPoint{Value: h.bucketLow(i), Fraction: float64(cum) / float64(h.total)})
+	}
+	if maxPoints > 0 && len(pts) > maxPoints {
+		out := make([]CDFPoint, 0, maxPoints)
+		step := float64(len(pts)) / float64(maxPoints)
+		for i := 0; i < maxPoints; i++ {
+			out = append(out, pts[int(float64(i)*step)])
+		}
+		out[len(out)-1] = pts[len(pts)-1]
+		pts = out
+	}
+	return pts
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.max = 0, 0, 0
+	h.min = math.MaxInt64
+}
+
+// Merge folds other's observations into h. Both histograms must have been
+// created with the same subBits; Merge panics otherwise, since silently
+// misaligned buckets would corrupt every percentile afterwards.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if h.subBits != other.subBits {
+		panic(fmt.Sprintf("metrics: merging histograms with different precision (%d vs %d sub-bits)", h.subBits, other.subBits))
+	}
+	other.mu.Lock()
+	counts := make([]uint64, len(other.counts))
+	copy(counts, other.counts)
+	total, sum, mn, mx := other.total, other.sum, other.min, other.max
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.total += total
+	h.sum += sum
+	if total > 0 {
+		if mn < h.min {
+			h.min = mn
+		}
+		if mx > h.max {
+			h.max = mx
+		}
+	}
+}
+
+// String summarizes the distribution using the configured unit.
+func (h *Histogram) String() string {
+	div := h.unitDivisor
+	if div == 0 {
+		div = 1
+	}
+	return fmt.Sprintf("n=%d mean=%.2f%s p50=%.2f%s p95=%.2f%s p99=%.2f%s max=%.2f%s",
+		h.Count(),
+		h.Mean()/div, h.unitName,
+		float64(h.Quantile(0.50))/div, h.unitName,
+		float64(h.Quantile(0.95))/div, h.unitName,
+		float64(h.Quantile(0.99))/div, h.unitName,
+		float64(h.Max())/div, h.unitName)
+}
+
+// ExactPercentile computes an exact percentile from a raw sample slice.
+// The experiments use it to cross-check histogram accuracy; the sim's hot
+// path uses Histogram. The input slice is not modified.
+func ExactPercentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}

@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(5)
+	if h.Count() != 0 {
+		t.Fatalf("empty count = %d", h.Count())
+	}
+	if h.Quantile(0.99) != 0 {
+		t.Fatalf("empty p99 = %d", h.Quantile(0.99))
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("empty mean = %f", h.Mean())
+	}
+	if got := h.CDF(10); got != nil {
+		t.Fatalf("empty CDF = %v", got)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram(5)
+	h.Record(1500)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1500 || h.Max() != 1500 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.Abs(float64(got)-1500) > 1500*0.05 {
+			t.Fatalf("q%.2f = %d, want ~1500", q, got)
+		}
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram(5)
+	rng := rand.New(rand.NewSource(1))
+	var samples []float64
+	for i := 0; i < 50000; i++ {
+		v := int64(rng.ExpFloat64() * 1e6)
+		h.Record(v)
+		samples = append(samples, float64(v))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := ExactPercentile(samples, q)
+		approx := float64(h.Quantile(q))
+		if exact == 0 {
+			continue
+		}
+		relErr := math.Abs(approx-exact) / exact
+		if relErr > 0.05 {
+			t.Errorf("q=%v approx=%v exact=%v relErr=%.3f", q, approx, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	a, b := NewHistogram(5), NewHistogram(5)
+	for i := 0; i < 10; i++ {
+		a.Record(100)
+	}
+	b.RecordN(100, 10)
+	if a.Count() != b.Count() || a.Quantile(0.5) != b.Quantile(0.5) {
+		t.Fatalf("RecordN mismatch: %v vs %v", a, b)
+	}
+	b.RecordN(5, 0) // no-op
+	if b.Count() != 10 {
+		t.Fatalf("RecordN(_,0) changed count: %d", b.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := NewHistogram(5), NewHistogram(5), NewHistogram(5)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		v := int64(rng.Intn(100000))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), all.Count())
+	}
+	if a.Quantile(0.99) != all.Quantile(0.99) {
+		t.Fatalf("merged p99 %d != %d", a.Quantile(0.99), all.Quantile(0.99))
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged min/max mismatch")
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestHistogramMergePrecisionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on precision mismatch")
+		}
+	}()
+	NewHistogram(5).Merge(NewHistogram(6))
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	h := NewHistogram(5)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		h.Record(int64(rng.Intn(1 << 20)))
+	}
+	pts := h.CDF(50)
+	if len(pts) == 0 || len(pts) > 50 {
+		t.Fatalf("CDF len = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value {
+			t.Fatalf("CDF values not sorted at %d", i)
+		}
+		if pts[i].Fraction < pts[i-1].Fraction {
+			t.Fatalf("CDF fractions not monotone at %d", i)
+		}
+	}
+	last := pts[len(pts)-1]
+	if math.Abs(last.Fraction-1) > 1e-9 {
+		t.Fatalf("CDF does not end at 1: %v", last.Fraction)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(5)
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatalf("reset did not clear: %v", h)
+	}
+	h.Record(7)
+	if h.Count() != 1 {
+		t.Fatalf("record after reset failed")
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram(5)
+	h.Record(-5)
+	if h.Quantile(1) != 0 && h.Min() != -5 {
+		// negative values are clamped into bucket 0; min still tracks raw
+		t.Fatalf("unexpected handling: min=%d max=%d", h.Min(), h.Max())
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min,max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(5)
+		count := int(n%500) + 1
+		for i := 0; i < count; i++ {
+			h.Record(int64(rng.Intn(1 << 30)))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bucketLow(bucketIndex(v)) <= v and the relative width of the
+// bucket is bounded, i.e. the quantile error bound holds for any value.
+func TestHistogramBucketInverseProperty(t *testing.T) {
+	h := NewHistogram(5)
+	f := func(raw int64) bool {
+		v := raw
+		if v < 0 {
+			v = -v
+		}
+		v %= 1 << 40
+		i := h.bucketIndex(v)
+		low := h.bucketLow(i)
+		if low > v {
+			return false
+		}
+		// Next bucket's low bounds the error.
+		if i+1 < len(h.counts) {
+			high := h.bucketLow(i + 1)
+			if v >= high {
+				return false
+			}
+			if low >= 64 && float64(high-low)/float64(low) > 1.0/16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactPercentile(t *testing.T) {
+	s := []float64{5, 1, 9, 3, 7}
+	if got := ExactPercentile(s, 0.5); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := ExactPercentile(s, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := ExactPercentile(s, 1); got != 9 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := ExactPercentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	// input must not be reordered
+	if s[0] != 5 || s[4] != 7 {
+		t.Fatalf("input mutated: %v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(5)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				h.Record(int64(rng.Intn(1 << 22)))
+			}
+			done <- struct{}{}
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if h.Count() != 40000 {
+		t.Fatalf("count = %d, want 40000", h.Count())
+	}
+}

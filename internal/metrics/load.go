@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// EWMA is an exponentially-weighted moving average, the estimator the
+// paper uses for per-epoch load forecasting:
+//
+//	L̄(t) = α·L(t−1) + (1−α)·L̄(t−1)        (Section 4.4, Eq. 1)
+//
+// The zero value is unusable; construct with NewEWMA.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an estimator with smoothing factor alpha in (0,1].
+// Larger alpha weights the most recent observation more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one per-epoch observation into the average and returns
+// the updated forecast.
+func (e *EWMA) Observe(v float64) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.init {
+		e.value, e.init = v, true
+		return v
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current forecast (0 before any observation).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
+
+// CPUTracker models the CPU utilization of one VM over simulated time. A
+// VM accrues busy time as it services requests; utilization over a window
+// is busy/window. The MLB's load-balancing decisions and the CPU-vs-time
+// plots in Figures 7, 8(b,c) and 9(a) come from this type.
+//
+// CPUTracker is safe for concurrent use.
+type CPUTracker struct {
+	mu       sync.Mutex
+	window   time.Duration
+	busy     time.Duration // busy time accrued in the open window
+	windowAt time.Duration // start of the open window (virtual time)
+	samples  []CPUSample
+	ewma     float64
+	alpha    float64
+}
+
+// CPUSample is one (time, utilization) point of a CPU usage trace.
+type CPUSample struct {
+	At   time.Duration // virtual time at the end of the window
+	Util float64       // 0..1 (may exceed 1 transiently if oversubscribed)
+}
+
+// NewCPUTracker creates a tracker that closes a utilization sample every
+// window of virtual time.
+func NewCPUTracker(window time.Duration) *CPUTracker {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &CPUTracker{window: window, alpha: 0.3}
+}
+
+// AddBusy accrues busy CPU time ending at virtual time now. Windows that
+// close in the interim are flushed to the sample trace.
+func (c *CPUTracker) AddBusy(now, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(now)
+	c.busy += d
+}
+
+// Advance moves the window clock to now, closing any full windows.
+func (c *CPUTracker) Advance(now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(now)
+}
+
+func (c *CPUTracker) advance(now time.Duration) {
+	for now >= c.windowAt+c.window {
+		util := float64(c.busy) / float64(c.window)
+		if util < 0 {
+			util = 0
+		}
+		c.samples = append(c.samples, CPUSample{At: c.windowAt + c.window, Util: util})
+		c.ewma = c.alpha*util + (1-c.alpha)*c.ewma
+		c.busy = 0
+		c.windowAt += c.window
+	}
+}
+
+// Utilization reports the smoothed (EWMA over closed windows) CPU
+// utilization — the "current load (moving average of CPU utilization)"
+// that MMP VMs report to the MLB (Section 4.6).
+func (c *CPUTracker) Utilization() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ewma
+}
+
+// Trace returns the closed utilization samples so far.
+func (c *CPUTracker) Trace() []CPUSample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CPUSample, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
+
+// MeanUtilization averages all closed windows, or 0 if none.
+func (c *CPUTracker) MeanUtilization() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range c.samples {
+		s += x.Util
+	}
+	return s / float64(len(c.samples))
+}
+
+// PeakUtilization reports the maximum closed-window utilization.
+func (c *CPUTracker) PeakUtilization() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m float64
+	for _, x := range c.samples {
+		if x.Util > m {
+			m = x.Util
+		}
+	}
+	return m
+}
+
+// Series is a labelled sequence of (x, y) points: the common shape for
+// every figure the bench harness regenerates.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// YAt returns the y value at the first point whose x is within eps of x,
+// and whether one was found. Experiments use it to make shape assertions
+// ("delay at load 0.85 is ~5x baseline").
+func (s *Series) YAt(x, eps float64) (float64, bool) {
+	for _, p := range s.Points {
+		if math.Abs(p.X-x) <= eps {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// MaxY returns the largest y in the series, or 0 if empty.
+func (s *Series) MaxY() float64 {
+	var m float64
+	for i, p := range s.Points {
+		if i == 0 || p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// MeanY returns the arithmetic mean of y values, or 0 if empty.
+func (s *Series) MeanY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Y
+	}
+	return sum / float64(len(s.Points))
+}

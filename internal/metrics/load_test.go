@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEWMAFirstObservation(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatalf("initial value = %v", e.Value())
+	}
+	if got := e.Observe(10); got != 10 {
+		t.Fatalf("first observe = %v", got)
+	}
+}
+
+func TestEWMARecurrence(t *testing.T) {
+	// L̄(t) = α·L(t−1) + (1−α)·L̄(t−1) with α=0.25
+	e := NewEWMA(0.25)
+	e.Observe(100)
+	got := e.Observe(200)
+	want := 0.25*200 + 0.75*100
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ewma = %v, want %v", got, want)
+	}
+}
+
+func TestEWMAInvalidAlphaDefaults(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		e := NewEWMA(a)
+		e.Observe(4)
+		got := e.Observe(8)
+		want := 0.5*8 + 0.5*4
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("alpha=%v: got %v want %v", a, got, want)
+		}
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.3)
+	for i := 0; i < 200; i++ {
+		e.Observe(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-6 {
+		t.Fatalf("did not converge: %v", e.Value())
+	}
+}
+
+func TestCPUTrackerWindows(t *testing.T) {
+	c := NewCPUTracker(time.Second)
+	// 500 ms busy in window [0,1s)
+	c.AddBusy(500*time.Millisecond, 500*time.Millisecond)
+	c.Advance(2 * time.Second) // closes windows [0,1) and [1,2)
+	tr := c.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace len = %d, want 2", len(tr))
+	}
+	if math.Abs(tr[0].Util-0.5) > 1e-9 {
+		t.Fatalf("window0 util = %v, want 0.5", tr[0].Util)
+	}
+	if tr[1].Util != 0 {
+		t.Fatalf("window1 util = %v, want 0", tr[1].Util)
+	}
+}
+
+func TestCPUTrackerOversubscription(t *testing.T) {
+	c := NewCPUTracker(time.Second)
+	c.AddBusy(100*time.Millisecond, 1500*time.Millisecond) // queue backlog: >100%
+	c.Advance(time.Second)
+	tr := c.Trace()
+	if len(tr) != 1 || tr[0].Util < 1.4 {
+		t.Fatalf("oversubscribed util = %+v", tr)
+	}
+}
+
+func TestCPUTrackerStats(t *testing.T) {
+	c := NewCPUTracker(time.Second)
+	c.AddBusy(0, 200*time.Millisecond)
+	c.Advance(time.Second)
+	c.AddBusy(time.Second, 800*time.Millisecond)
+	c.Advance(2 * time.Second)
+	if m := c.MeanUtilization(); math.Abs(m-0.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if p := c.PeakUtilization(); math.Abs(p-0.8) > 1e-9 {
+		t.Fatalf("peak = %v", p)
+	}
+	if u := c.Utilization(); u <= 0 {
+		t.Fatalf("ewma util = %v", u)
+	}
+}
+
+func TestCPUTrackerDefaultWindow(t *testing.T) {
+	c := NewCPUTracker(0)
+	c.AddBusy(0, time.Second)
+	c.Advance(time.Second)
+	if len(c.Trace()) != 1 {
+		t.Fatal("default window not applied")
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	var s Series
+	s.Label = "test"
+	if s.MaxY() != 0 || s.MeanY() != 0 {
+		t.Fatal("empty series stats nonzero")
+	}
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(3, 20)
+	if got := s.MaxY(); got != 30 {
+		t.Fatalf("MaxY = %v", got)
+	}
+	if got := s.MeanY(); got != 20 {
+		t.Fatalf("MeanY = %v", got)
+	}
+	if y, ok := s.YAt(2, 0.01); !ok || y != 30 {
+		t.Fatalf("YAt(2) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(9, 0.01); ok {
+		t.Fatal("YAt(9) found")
+	}
+}

@@ -1,0 +1,279 @@
+// Package mlb implements the MME Load Balancer: the stateless front-end
+// of SCALE's split MME (Section 4.1). The MLB exposes standard S1AP to
+// eNodeBs (so it looks like one MME to the RAN) and routes every request
+// to a back-end MMP VM:
+//
+//   - Idle-mode requests carry a GUTI; the MLB hashes it on the
+//     consistent hash ring to find the master and replica MMPs and picks
+//     the least loaded (Section 4.6).
+//   - Active-mode requests carry an MME-assigned UE id with the owning
+//     MMP embedded (package ueid); the MLB routes straight to it.
+//   - Unregistered devices get a GUTI assigned before routing
+//     (Section 4.3.1).
+//
+// Per the paper's low-overhead requirement, the only metadata the MLB
+// keeps is the ring and a per-VM load figure — no per-device tables.
+package mlb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"scale/internal/chash"
+	"scale/internal/guti"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+	"scale/internal/ueid"
+)
+
+// ReplicaFanout is how many candidate MMPs a GUTI hash yields: the
+// master plus R−1 = 1 replica (the paper fixes R = 2).
+const ReplicaFanout = 2
+
+// Errors returned by routing.
+var (
+	// ErrNoMMPs means the ring is empty.
+	ErrNoMMPs = errors.New("mlb: no MMP VMs registered")
+	// ErrUnknownMMP means a UE id references an unregistered MMP index.
+	ErrUnknownMMP = errors.New("mlb: UE id references unknown MMP")
+	// ErrUnroutable means the message type carries no routing key.
+	ErrUnroutable = errors.New("mlb: message carries no routing key")
+)
+
+// Decision is the routing result for one uplink message.
+type Decision struct {
+	// Target is the chosen MMP id.
+	Target string
+	// Master is the device's master MMP (differs from Target when the
+	// load balancer picked the replica). Empty for active-mode routing.
+	Master string
+	// Msg is the (possibly rewritten) message to forward: the MLB
+	// rewrites AttachRequests for unregistered devices to carry a fresh
+	// GUTI.
+	Msg s1ap.Message
+}
+
+// Router is the MLB routing core. It is safe for concurrent use.
+type Router struct {
+	ring *chash.Ring
+	reg  *guti.Registry
+
+	mu      sync.RWMutex
+	load    map[string]float64 // MMP id → smoothed CPU utilization
+	byIndex map[uint8]string   // MMP index → id
+	index   map[string]uint8   // MMP id → index
+	enbTAIs map[uint32][]uint16
+	name    string
+}
+
+// Config parameterizes a Router.
+type Config struct {
+	// Name is the MME identity presented to eNodeBs.
+	Name string
+	// PLMN/MMEGI/MMEC seed the GUTI allocator for unregistered devices.
+	PLMN  guti.PLMN
+	MMEGI uint16
+	MMEC  uint8
+	// Tokens per MMP VM on the hash ring; 0 means chash.DefaultTokens.
+	Tokens int
+}
+
+// NewRouter creates an empty router.
+func NewRouter(cfg Config) *Router {
+	if cfg.Name == "" {
+		cfg.Name = "scale-mlb"
+	}
+	return &Router{
+		ring:    chash.New(cfg.Tokens),
+		reg:     guti.NewRegistry(guti.NewAllocator(cfg.PLMN, cfg.MMEGI, cfg.MMEC)),
+		load:    make(map[string]float64),
+		byIndex: make(map[uint8]string),
+		index:   make(map[string]uint8),
+		enbTAIs: make(map[uint32][]uint16),
+		name:    cfg.Name,
+	}
+}
+
+// RegisterMMP adds an MMP VM to the ring.
+func (r *Router) RegisterMMP(id string, index uint8) {
+	r.mu.Lock()
+	r.byIndex[index] = id
+	r.index[id] = index
+	if _, ok := r.load[id]; !ok {
+		r.load[id] = 0
+	}
+	r.mu.Unlock()
+	r.ring.Add(chash.NodeID(id))
+}
+
+// UnregisterMMP removes an MMP VM (scale-in).
+func (r *Router) UnregisterMMP(id string) {
+	r.ring.Remove(chash.NodeID(id))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx, ok := r.index[id]; ok {
+		delete(r.byIndex, idx)
+		delete(r.index, id)
+	}
+	delete(r.load, id)
+}
+
+// MMPs returns the registered MMP ids.
+func (r *Router) MMPs() []string {
+	nodes := r.ring.Nodes()
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = string(n)
+	}
+	return out
+}
+
+// Ring exposes the underlying hash ring (the provisioner rebalances
+// through it).
+func (r *Router) Ring() *chash.Ring { return r.ring }
+
+// ReportLoad records an MMP's smoothed CPU utilization — the only
+// per-VM metadata the MLB keeps (Section 4.6).
+func (r *Router) ReportLoad(id string, util float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.index[id]; ok {
+		r.load[id] = util
+	}
+}
+
+// Load returns the last reported utilization for an MMP.
+func (r *Router) Load(id string) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.load[id]
+}
+
+// HandleS1Setup registers an eNodeB and returns the S1SetupResponse the
+// MLB answers with (it presents itself as a single MME).
+func (r *Router) HandleS1Setup(m *s1ap.S1SetupRequest) *s1ap.S1SetupResponse {
+	r.mu.Lock()
+	r.enbTAIs[m.ENBID] = append([]uint16(nil), m.TAIs...)
+	name := r.name
+	r.mu.Unlock()
+	return &s1ap.S1SetupResponse{MMEName: name, RelativeCapacity: 255}
+}
+
+// ENBsForTAI lists eNodeBs serving a tracking area — the paging
+// broadcast set.
+func (r *Router) ENBsForTAI(tai uint16) []uint32 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []uint32
+	for enb, tais := range r.enbTAIs {
+		for _, t := range tais {
+			if t == tai {
+				out = append(out, enb)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AssignGUTI returns the GUTI for an IMSI, allocating on first sight —
+// the MLB-side assignment for unregistered devices.
+func (r *Router) AssignGUTI(imsi uint64) guti.GUTI {
+	g, _ := r.reg.Assign(imsi)
+	return g
+}
+
+// Route decides the MMP for one uplink S1AP message.
+func (r *Router) Route(msg s1ap.Message) (Decision, error) {
+	switch m := msg.(type) {
+	case *s1ap.InitialUEMessage:
+		return r.routeInitialUE(m)
+	case *s1ap.UplinkNASTransport:
+		return r.routeByUEID(m.MMEUEID, msg)
+	case *s1ap.InitialContextSetupResponse:
+		return r.routeByUEID(m.MMEUEID, msg)
+	case *s1ap.UEContextReleaseRequest:
+		return r.routeByUEID(m.MMEUEID, msg)
+	case *s1ap.UEContextReleaseComplete:
+		return r.routeByUEID(m.MMEUEID, msg)
+	case *s1ap.HandoverRequired:
+		return r.routeByUEID(m.MMEUEID, msg)
+	case *s1ap.HandoverRequestAck:
+		return r.routeByUEID(m.MMEUEID, msg)
+	case *s1ap.HandoverNotify:
+		return r.routeByUEID(m.MMEUEID, msg)
+	default:
+		return Decision{}, fmt.Errorf("%w: %s", ErrUnroutable, msg.Type())
+	}
+}
+
+func (r *Router) routeInitialUE(m *s1ap.InitialUEMessage) (Decision, error) {
+	nasMsg, err := nas.Unmarshal(m.NASPDU)
+	if err != nil {
+		return Decision{}, fmt.Errorf("mlb: initial UE NAS: %w", err)
+	}
+	var key guti.GUTI
+	rewritten := m
+	switch n := nasMsg.(type) {
+	case *nas.AttachRequest:
+		key = n.OldGUTI
+		if key.IsZero() {
+			// Unregistered device: assign a GUTI before routing
+			// (Section 4.3.1) and rewrite the NAS PDU so the MMP masters
+			// the device under the hashed identity.
+			key = r.AssignGUTI(n.IMSI)
+			req := *n
+			req.OldGUTI = key
+			cp := *m
+			cp.NASPDU = nas.Marshal(&req)
+			rewritten = &cp
+		}
+	case *nas.ServiceRequest:
+		key = n.GUTI
+	case *nas.TAURequest:
+		key = n.GUTI
+	case *nas.DetachRequest:
+		key = n.GUTI
+	default:
+		return Decision{}, fmt.Errorf("%w: initial NAS %s", ErrUnroutable, nasMsg.Type())
+	}
+	master, target, err := r.pick(key.Key())
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Target: target, Master: master, Msg: rewritten}, nil
+}
+
+// pick hashes key, takes the master + replica candidates from the ring,
+// and returns (master, leastLoaded).
+func (r *Router) pick(key []byte) (master, target string, err error) {
+	owners, err := r.ring.Owners(key, ReplicaFanout)
+	if err != nil {
+		return "", "", ErrNoMMPs
+	}
+	master = string(owners[0])
+	target = master
+	r.mu.RLock()
+	best := r.load[master]
+	for _, o := range owners[1:] {
+		if l := r.load[string(o)]; l < best {
+			best, target = l, string(o)
+		}
+	}
+	r.mu.RUnlock()
+	return master, target, nil
+}
+
+// routeByUEID routes an active-mode message by the MMP id embedded in
+// the MME UE id — no table lookups (Section 5 MLB implementation).
+func (r *Router) routeByUEID(id uint32, msg s1ap.Message) (Decision, error) {
+	idx, _ := ueid.Split(id)
+	r.mu.RLock()
+	target, ok := r.byIndex[idx]
+	r.mu.RUnlock()
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: index %d", ErrUnknownMMP, idx)
+	}
+	return Decision{Target: target, Msg: msg}, nil
+}

@@ -1,0 +1,260 @@
+package mlb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"scale/internal/guti"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+	"scale/internal/ueid"
+)
+
+func newTestRouter() *Router {
+	r := NewRouter(Config{Name: "mlb-test", PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1})
+	for i := 1; i <= 4; i++ {
+		r.RegisterMMP(fmt.Sprintf("mmp-%d", i), uint8(i))
+	}
+	return r
+}
+
+func TestRouteEmptyRing(t *testing.T) {
+	r := NewRouter(Config{})
+	_, err := r.Route(&s1ap.InitialUEMessage{
+		NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: guti.GUTI{MTMSI: 5}}),
+	})
+	if !errors.Is(err, ErrNoMMPs) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRouteUnregisteredAttachAssignsGUTI(t *testing.T) {
+	r := newTestRouter()
+	d, err := r.Route(&s1ap.InitialUEMessage{
+		ENBUEID: 9,
+		NASPDU:  nas.Marshal(&nas.AttachRequest{IMSI: 42}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Msg.(*s1ap.InitialUEMessage)
+	req, err := nas.Unmarshal(m.NASPDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := req.(*nas.AttachRequest).OldGUTI
+	if g.IsZero() {
+		t.Fatal("GUTI not assigned")
+	}
+	// Same IMSI re-attaching gets the same GUTI and hence the same
+	// routing decision.
+	d2, err := r.Route(&s1ap.InitialUEMessage{
+		ENBUEID: 9,
+		NASPDU:  nas.Marshal(&nas.AttachRequest{IMSI: 42}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := mustAttach(t, d2).OldGUTI
+	if g2 != g {
+		t.Fatalf("GUTI changed across attaches: %v vs %v", g, g2)
+	}
+	if d2.Target != d.Target && d2.Target != d.Master {
+		t.Fatalf("routing inconsistent: %+v vs %+v", d, d2)
+	}
+}
+
+func mustAttach(t *testing.T, d Decision) *nas.AttachRequest {
+	t.Helper()
+	m, err := nas.Unmarshal(d.Msg.(*s1ap.InitialUEMessage).NASPDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.(*nas.AttachRequest)
+}
+
+func TestRouteIdleModePicksLeastLoaded(t *testing.T) {
+	r := newTestRouter()
+	g := guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1, MTMSI: 777}
+	msg := &s1ap.InitialUEMessage{NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: g})}
+
+	d, err := r.Route(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overload the chosen target; routing must shift to the other owner.
+	r.ReportLoad(d.Target, 0.99)
+	d2, err := r.Route(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Target == d.Target {
+		t.Fatalf("routing did not avoid the loaded VM: %+v", d2)
+	}
+	if d2.Master != d.Master {
+		t.Fatalf("master changed with load: %s vs %s", d2.Master, d.Master)
+	}
+}
+
+func TestRouteActiveModeByUEID(t *testing.T) {
+	r := newTestRouter()
+	id := ueid.Compose(3, 555)
+	for _, msg := range []s1ap.Message{
+		&s1ap.UplinkNASTransport{MMEUEID: id},
+		&s1ap.InitialContextSetupResponse{MMEUEID: id},
+		&s1ap.UEContextReleaseRequest{MMEUEID: id},
+		&s1ap.UEContextReleaseComplete{MMEUEID: id},
+		&s1ap.HandoverRequired{MMEUEID: id},
+		&s1ap.HandoverRequestAck{MMEUEID: id},
+		&s1ap.HandoverNotify{MMEUEID: id},
+	} {
+		d, err := r.Route(msg)
+		if err != nil {
+			t.Fatalf("%s: %v", msg.Type(), err)
+		}
+		if d.Target != "mmp-3" {
+			t.Fatalf("%s routed to %s", msg.Type(), d.Target)
+		}
+	}
+}
+
+func TestRouteUnknownMMPIndex(t *testing.T) {
+	r := newTestRouter()
+	_, err := r.Route(&s1ap.UplinkNASTransport{MMEUEID: ueid.Compose(200, 1)})
+	if !errors.Is(err, ErrUnknownMMP) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRouteUnroutable(t *testing.T) {
+	r := newTestRouter()
+	if _, err := r.Route(&s1ap.Paging{}); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.Route(&s1ap.InitialUEMessage{
+		NASPDU: nas.Marshal(&nas.AttachComplete{}),
+	}); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("initial NAS err = %v", err)
+	}
+	if _, err := r.Route(&s1ap.InitialUEMessage{NASPDU: []byte{0xFF}}); err == nil {
+		t.Fatal("bad NAS accepted")
+	}
+}
+
+func TestUnregisterMMPReroutes(t *testing.T) {
+	r := newTestRouter()
+	g := guti.GUTI{MTMSI: 123}
+	msg := &s1ap.InitialUEMessage{NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: g})}
+	d1, err := r.Route(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.UnregisterMMP(d1.Master)
+	d2, err := r.Route(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Master == d1.Master || d2.Target == d1.Master {
+		t.Fatalf("removed MMP still routed: %+v", d2)
+	}
+	// Active-mode ids for the removed MMP now fail.
+	idx := uint8(0)
+	for i := 1; i <= 4; i++ {
+		if fmt.Sprintf("mmp-%d", i) == d1.Master {
+			idx = uint8(i)
+		}
+	}
+	if _, err := r.Route(&s1ap.UplinkNASTransport{MMEUEID: ueid.Compose(idx, 1)}); !errors.Is(err, ErrUnknownMMP) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestS1SetupAndPagingScope(t *testing.T) {
+	r := newTestRouter()
+	resp := r.HandleS1Setup(&s1ap.S1SetupRequest{ENBID: 100, Name: "enb-100", TAIs: []uint16{7, 8}})
+	if resp.MMEName != "mlb-test" || resp.RelativeCapacity == 0 {
+		t.Fatalf("setup resp = %+v", resp)
+	}
+	r.HandleS1Setup(&s1ap.S1SetupRequest{ENBID: 101, TAIs: []uint16{8}})
+	r.HandleS1Setup(&s1ap.S1SetupRequest{ENBID: 102, TAIs: []uint16{9}})
+
+	enbs := r.ENBsForTAI(8)
+	if len(enbs) != 2 {
+		t.Fatalf("TAI 8 eNBs = %v", enbs)
+	}
+	if got := r.ENBsForTAI(99); got != nil {
+		t.Fatalf("unknown TAI eNBs = %v", got)
+	}
+}
+
+func TestReportLoadIgnoresUnknown(t *testing.T) {
+	r := newTestRouter()
+	r.ReportLoad("mmp-zzz", 0.5)
+	if r.Load("mmp-zzz") != 0 {
+		t.Fatal("load recorded for unknown MMP")
+	}
+	r.ReportLoad("mmp-1", 0.7)
+	if r.Load("mmp-1") != 0.7 {
+		t.Fatal("load not recorded")
+	}
+}
+
+func TestMMPsListing(t *testing.T) {
+	r := newTestRouter()
+	if got := len(r.MMPs()); got != 4 {
+		t.Fatalf("MMPs = %d", got)
+	}
+}
+
+// Routing distributes devices across MMPs (no single hot VM for a
+// uniform population).
+func TestRoutingSpread(t *testing.T) {
+	r := newTestRouter()
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		g := guti.GUTI{MTMSI: uint32(i + 1)}
+		d, err := r.Route(&s1ap.InitialUEMessage{
+			NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: g}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[d.Master]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("masters used = %v", counts)
+	}
+	for id, c := range counts {
+		if c < 100 {
+			t.Fatalf("MMP %s mastered only %d of 2000", id, c)
+		}
+	}
+}
+
+func BenchmarkRouteIdleMode(b *testing.B) {
+	r := newTestRouter()
+	msgs := make([]*s1ap.InitialUEMessage, 256)
+	for i := range msgs {
+		msgs[i] = &s1ap.InitialUEMessage{
+			NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: guti.GUTI{MTMSI: uint32(i + 1)}}),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route(msgs[i%len(msgs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteActiveMode(b *testing.B) {
+	r := newTestRouter()
+	msg := &s1ap.UplinkNASTransport{MMEUEID: ueid.Compose(2, 42)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package mmp
+
+import (
+	"testing"
+
+	"scale/internal/cdr"
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+	"scale/internal/sgw"
+)
+
+func newCDRBed(t *testing.T) (*testBed, *cdr.Journal) {
+	t.Helper()
+	db := hss.NewDB()
+	db.ProvisionRange(100000, 100)
+	gw := sgw.New()
+	rep := &captureReplicator{}
+	journal := cdr.NewJournal(256)
+	eng := New(Config{
+		ID: "mmp-1", Index: 1,
+		PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 0x0101, MMEC: 1,
+		ServingNetwork: "310-26",
+		HSS:            localHSS{db}, SGW: localSGW{gw},
+		Replicator: rep,
+		CDR:        journal,
+	})
+	return &testBed{engine: eng, hssDB: db, gw: gw, rep: rep}, journal
+}
+
+func TestCDRLifecycle(t *testing.T) {
+	tb, journal := newCDRBed(t)
+
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+	releaseToIdle(t, tb, 1, 10, mmeUEID)
+
+	// Service request → active, handover, release, detach.
+	ctx, _ := tb.engine.Store().Get(g)
+	out, err := tb.engine.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 11, TAI: 7,
+		NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: g, Seq: ctx.Security.ULCount}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newUEID := out[0].Msg.(*s1ap.InitialContextSetupRequest).MMEUEID
+	if _, err := tb.engine.Handle(1, &s1ap.InitialContextSetupResponse{
+		ENBUEID: 11, MMEUEID: newUEID, ENBTEID: 5000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.engine.Handle(1, &s1ap.HandoverRequired{ENBUEID: 11, MMEUEID: newUEID, TargetENB: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.engine.Handle(2, &s1ap.HandoverRequestAck{MMEUEID: newUEID, NewENBUEID: 90, ENBTEID: 5001}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.engine.Handle(2, &s1ap.HandoverNotify{ENBUEID: 90, MMEUEID: newUEID, TAI: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.engine.Handle(2, &s1ap.InitialUEMessage{
+		ENBUEID: 90, TAI: 8,
+		NASPDU: nas.Marshal(&nas.DetachRequest{GUTI: g}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := journal.Counts()
+	for ev, want := range map[cdr.EventType]int{
+		cdr.EventAttach:         1,
+		cdr.EventServiceRequest: 1,
+		cdr.EventHandover:       1,
+		cdr.EventDetach:         1,
+	} {
+		if counts[ev] != want {
+			t.Fatalf("%s records = %d, want %d (all: %v)", ev, counts[ev], want, counts)
+		}
+	}
+	// Per-subscriber query returns the complete trajectory in order.
+	trail := journal.ByIMSI(100000)
+	if len(trail) != 4 {
+		t.Fatalf("trail = %d records", len(trail))
+	}
+	if trail[0].Event != cdr.EventAttach || trail[len(trail)-1].Event != cdr.EventDetach {
+		t.Fatalf("trail order: %v … %v", trail[0].Event, trail[len(trail)-1].Event)
+	}
+	if trail[0].MME != "mmp-1" || trail[0].TAI != 7 {
+		t.Fatalf("attach record = %+v", trail[0])
+	}
+}
+
+func TestCDRNilJournalIsNoop(t *testing.T) {
+	tb := newTestBed(t) // no CDR configured
+	g, _ := tb.attach(t, 100000, 1, 10)
+	if _, ok := tb.engine.Store().Get(g); !ok {
+		t.Fatal("attach failed without journal")
+	}
+}

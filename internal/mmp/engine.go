@@ -1,0 +1,760 @@
+// Package mmp implements the MME Processing entity (MMP): the back-end
+// VM of SCALE's split MME architecture (Section 4.1). An Engine executes
+// the MME procedure state machines — attach with EPS-AKA authentication,
+// service request, tracking-area update, paging, S1 handover and detach —
+// against the per-device state store, calling out to the HSS (S6a) and
+// S-GW (S11) and replicating device state asynchronously per SCALE's
+// strategy (Sections 4.3.2, 4.5.2, 4.6).
+//
+// The Engine is transport-agnostic: it consumes decoded S1AP messages
+// (tagged with the source eNodeB) and returns the S1AP messages to emit.
+// The core package wires engines to the MLB in-process or over TCP.
+package mmp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"scale/internal/cdr"
+	"scale/internal/guti"
+	"scale/internal/nas"
+	"scale/internal/s11"
+	"scale/internal/s1ap"
+	"scale/internal/s6"
+	"scale/internal/state"
+	"scale/internal/ueid"
+)
+
+// BroadcastENB is the Outbound.ENB sentinel meaning "every eNodeB
+// serving the message's tracking area" (used for paging). The MLB
+// resolves it against its S1 Setup records.
+const BroadcastENB = ^uint32(0)
+
+// Outbound is one S1AP message the engine wants delivered to an eNodeB.
+type Outbound struct {
+	ENB uint32
+	TAI uint16 // only meaningful for BroadcastENB (paging scope)
+	Msg s1ap.Message
+}
+
+// HSSClient is the S6a surface the engine needs; *hss.Client satisfies
+// it.
+type HSSClient interface {
+	AuthInfo(imsi uint64, servingNetwork string, n uint8) (*s6.AuthInfoAnswer, error)
+	UpdateLocation(imsi uint64, mmeID string) (*s6.UpdateLocationAnswer, error)
+	Purge(imsi uint64) error
+}
+
+// SGWClient is the S11 surface the engine needs; *sgw.Client satisfies
+// it.
+type SGWClient interface {
+	CreateSession(imsi uint64, mmeTEID uint32, apn string, ebi uint8) (*s11.CreateSessionResponse, error)
+	ModifyBearer(sgwTEID, enbTEID uint32, enbAddr string, ebi uint8) (*s11.ModifyBearerResponse, error)
+	ReleaseAccessBearers(sgwTEID uint32) (*s11.ReleaseAccessBearersResponse, error)
+	DeleteSession(sgwTEID uint32, ebi uint8) (*s11.DeleteSessionResponse, error)
+}
+
+// Replicator delivers a device-state snapshot to its other holders: the
+// master/replica MMPs recorded in the context, minus the sender, plus
+// the remote DC if one is recorded. Implementations must not block for
+// long — SCALE replication is asynchronous (Section 4.3.2: "replication
+// is performed by the master MMP asynchronously").
+type Replicator interface {
+	Replicate(fromMMP string, ctx *state.UEContext)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// ID is the MMP's cluster-unique name (e.g. "mmp-3").
+	ID string
+	// Index is the numeric id embedded into S1AP/S11 UE identifiers.
+	Index uint8
+	// PLMN + MMEGI + MMEC form GUTIs when the engine must allocate one
+	// itself (requests arriving without MLB pre-assignment).
+	PLMN  guti.PLMN
+	MMEGI uint16
+	MMEC  uint8
+	// ServingNetwork binds K_ASME derivation.
+	ServingNetwork string
+	// HSS and SGW are the control-plane peers.
+	HSS HSSClient
+	SGW SGWClient
+	// Replicator may be nil (replication disabled — the 3GPP baseline).
+	Replicator Replicator
+	// AccessAlpha is the moving-average factor for per-device access
+	// frequency profiling; 0 means 0.3.
+	AccessAlpha float64
+	// ENBAddr is the address handed to the S-GW for downlink tunnels in
+	// ModifyBearer (the emulated eNodeB data-plane endpoint).
+	ENBAddr string
+	// CDR, when set, receives a call data record for every completed
+	// procedure (Section 2 lists CDR generation among the MME's tasks).
+	CDR *cdr.Journal
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Attaches          uint64
+	ServiceRequests   uint64
+	TAUs              uint64
+	Handovers         uint64
+	Detaches          uint64
+	Pagings           uint64
+	ReplicationsSent  uint64
+	ReplicasApplied   uint64
+	ReplicasStale     uint64
+	AuthFailures      uint64
+	UnknownContext    uint64
+	ForwardsRequested uint64
+	ImplicitDetaches  uint64
+}
+
+// Errors the engine returns to its host.
+var (
+	// ErrNoContext means the device's state is not on this VM; the host
+	// should forward the message to ctxOwner (the master MMP).
+	ErrNoContext = errors.New("mmp: no context for device on this VM")
+	// ErrBadState means the message does not fit the device's procedure
+	// state (e.g. AuthResponse with no attach in progress).
+	ErrBadState = errors.New("mmp: message does not match procedure state")
+)
+
+type attachProc struct {
+	imsi    uint64
+	guti    guti.GUTI
+	tai     uint16
+	enbID   uint32
+	enbUEID uint32
+	xres    [8]byte
+	kasme   [nas.KeySize]byte
+	smcSent bool
+}
+
+type hoProc struct {
+	sourceENB     uint32
+	sourceENBUEID uint32
+	targetENB     uint32
+}
+
+// Engine is one MMP VM's procedure processor. It is safe for concurrent
+// use; per-call state is guarded by a single mutex, released around
+// HSS/S-GW calls.
+type Engine struct {
+	cfg   Config
+	alloc *guti.Allocator
+
+	mu            sync.Mutex
+	store         *state.Store
+	seq           uint32
+	byMMEUEID     map[uint32]guti.GUTI
+	byMMETEID     map[uint32]guti.GUTI
+	pendingAttach map[uint32]*attachProc // keyed by MMEUEID
+	pendingHO     map[uint32]*hoProc     // keyed by MMEUEID
+	lastActivity  map[guti.GUTI]time.Time
+	stats         Stats
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	if cfg.AccessAlpha <= 0 || cfg.AccessAlpha > 1 {
+		cfg.AccessAlpha = 0.3
+	}
+	if cfg.ENBAddr == "" {
+		cfg.ENBAddr = "enb-dp:2152"
+	}
+	return &Engine{
+		cfg:           cfg,
+		alloc:         guti.NewAllocator(cfg.PLMN, cfg.MMEGI, cfg.MMEC),
+		store:         state.NewStore(),
+		byMMEUEID:     make(map[uint32]guti.GUTI),
+		byMMETEID:     make(map[uint32]guti.GUTI),
+		pendingAttach: make(map[uint32]*attachProc),
+		pendingHO:     make(map[uint32]*hoProc),
+		lastActivity:  make(map[guti.GUTI]time.Time),
+	}
+}
+
+// ID returns the engine's cluster-unique name.
+func (e *Engine) ID() string { return e.cfg.ID }
+
+// Store exposes the engine's UE context store (read-mostly: provisioning
+// and the host's replication fan-out use it).
+func (e *Engine) Store() *state.Store { return e.store }
+
+// Stats returns a snapshot of activity counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *Engine) nextUEID() uint32 {
+	e.seq++
+	return ueid.Compose(e.cfg.Index, e.seq)
+}
+
+// record emits a call data record if a journal is configured.
+func (e *Engine) record(ev cdr.EventType, imsi uint64, cell uint32, tai uint16) {
+	if e.cfg.CDR == nil {
+		return
+	}
+	e.cfg.CDR.Append(cdr.Record{
+		At: time.Now(), Event: ev, IMSI: imsi, MME: e.cfg.ID, Cell: cell, TAI: tai,
+	})
+}
+
+// Handle processes one uplink S1AP message from enbID and returns the
+// messages to emit. A returned ErrNoContext means the host should
+// forward the raw message to the device's master MMP.
+func (e *Engine) Handle(enbID uint32, msg s1ap.Message) ([]Outbound, error) {
+	switch m := msg.(type) {
+	case *s1ap.InitialUEMessage:
+		return e.handleInitialUE(enbID, m)
+	case *s1ap.UplinkNASTransport:
+		return e.handleUplinkNAS(enbID, m)
+	case *s1ap.InitialContextSetupResponse:
+		return e.handleICSResponse(enbID, m)
+	case *s1ap.UEContextReleaseRequest:
+		return e.handleReleaseRequest(enbID, m)
+	case *s1ap.UEContextReleaseComplete:
+		return e.handleReleaseComplete(enbID, m)
+	case *s1ap.HandoverRequired:
+		return e.handleHandoverRequired(enbID, m)
+	case *s1ap.HandoverRequestAck:
+		return e.handleHandoverRequestAck(enbID, m)
+	case *s1ap.HandoverNotify:
+		return e.handleHandoverNotify(enbID, m)
+	default:
+		return nil, fmt.Errorf("mmp: unhandled S1AP message %s", msg.Type())
+	}
+}
+
+func (e *Engine) handleInitialUE(enbID uint32, m *s1ap.InitialUEMessage) ([]Outbound, error) {
+	nasMsg, err := nas.Unmarshal(m.NASPDU)
+	if err != nil {
+		return nil, fmt.Errorf("mmp: initial UE NAS: %w", err)
+	}
+	switch n := nasMsg.(type) {
+	case *nas.AttachRequest:
+		return e.startAttach(enbID, m, n)
+	case *nas.ServiceRequest:
+		return e.serviceRequest(enbID, m, n)
+	case *nas.TAURequest:
+		return e.tauRequest(enbID, m, n)
+	case *nas.DetachRequest:
+		return e.detach(enbID, m, n)
+	default:
+		return nil, fmt.Errorf("mmp: unexpected initial NAS %s", nasMsg.Type())
+	}
+}
+
+// startAttach runs steps 1 of the attach procedure: identity, auth
+// vector retrieval, authentication challenge.
+func (e *Engine) startAttach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.AttachRequest) ([]Outbound, error) {
+	// Fetch an auth vector first (no engine lock across the HSS call).
+	ans, err := e.cfg.HSS.AuthInfo(req.IMSI, e.cfg.ServingNetwork, 1)
+	if err != nil {
+		return nil, fmt.Errorf("mmp: HSS auth info: %w", err)
+	}
+	if ans.Result != s6.ResultSuccess || len(ans.Vectors) == 0 {
+		e.mu.Lock()
+		e.stats.AuthFailures++
+		e.mu.Unlock()
+		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+			ENBUEID: m.ENBUEID,
+			NASPDU:  nas.Marshal(&nas.AttachReject{Cause: nas.CauseAuthFailure}),
+		}}}, nil
+	}
+	v := ans.Vectors[0]
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g := req.OldGUTI
+	if g.IsZero() {
+		g = e.alloc.Allocate()
+	}
+	mmeUEID := e.nextUEID()
+	e.pendingAttach[mmeUEID] = &attachProc{
+		imsi:    req.IMSI,
+		guti:    g,
+		tai:     m.TAI,
+		enbID:   enbID,
+		enbUEID: m.ENBUEID,
+		xres:    v.XRES,
+		kasme:   v.KASME,
+	}
+	e.byMMEUEID[mmeUEID] = g
+	return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+		ENBUEID: m.ENBUEID,
+		MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.AuthenticationRequest{
+			RAND: v.RAND,
+			AUTN: v.AUTN,
+		}),
+	}}}, nil
+}
+
+func (e *Engine) handleUplinkNAS(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbound, error) {
+	nasMsg, err := nas.Unmarshal(m.NASPDU)
+	if err != nil {
+		return nil, fmt.Errorf("mmp: uplink NAS: %w", err)
+	}
+	switch n := nasMsg.(type) {
+	case *nas.AuthenticationResponse:
+		return e.authResponse(enbID, m, n)
+	case *nas.SecurityModeComplete:
+		return e.smcComplete(enbID, m)
+	case *nas.AttachComplete:
+		return e.attachComplete(m)
+	default:
+		return nil, fmt.Errorf("mmp: unexpected uplink NAS %s", nasMsg.Type())
+	}
+}
+
+func (e *Engine) authResponse(enbID uint32, m *s1ap.UplinkNASTransport, resp *nas.AuthenticationResponse) ([]Outbound, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	proc, ok := e.pendingAttach[m.MMEUEID]
+	if !ok {
+		return nil, ErrBadState
+	}
+	if resp.RES != proc.xres {
+		e.stats.AuthFailures++
+		delete(e.pendingAttach, m.MMEUEID)
+		delete(e.byMMEUEID, m.MMEUEID)
+		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+			ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID,
+			NASPDU: nas.Marshal(&nas.AttachReject{Cause: nas.CauseAuthFailure}),
+		}}}, nil
+	}
+	proc.smcSent = true
+	return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+		ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID,
+		NASPDU: nas.Marshal(&nas.SecurityModeCommand{Alg: nas.AlgHMACSHA256, NonceMME: e.seq}),
+	}}}, nil
+}
+
+func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbound, error) {
+	e.mu.Lock()
+	proc, ok := e.pendingAttach[m.MMEUEID]
+	if !ok || !proc.smcSent {
+		e.mu.Unlock()
+		return nil, ErrBadState
+	}
+	imsi, g := proc.imsi, proc.guti
+	kasme := proc.kasme
+	mmeUEID := m.MMEUEID
+	e.mu.Unlock()
+
+	// Register location and create the default bearer (network calls,
+	// engine unlocked).
+	ula, err := e.cfg.HSS.UpdateLocation(imsi, e.cfg.ID)
+	if err != nil {
+		return nil, fmt.Errorf("mmp: update location: %w", err)
+	}
+	if ula.Result != s6.ResultSuccess {
+		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
+			NASPDU: nas.Marshal(&nas.AttachReject{Cause: nas.CauseAuthFailure}),
+		}}}, nil
+	}
+	csr, err := e.cfg.SGW.CreateSession(imsi, mmeUEID, ula.Subscription.APN, 5)
+	if err != nil {
+		return nil, fmt.Errorf("mmp: create session: %w", err)
+	}
+	if csr.Cause != s11.CauseAccepted {
+		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
+			NASPDU: nas.Marshal(&nas.AttachReject{Cause: nas.CauseCongestion}),
+		}}}, nil
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ctx := &state.UEContext{
+		IMSI:     imsi,
+		GUTI:     g,
+		Mode:     state.Active,
+		TAI:      proc.tai,
+		TAIList:  []uint16{proc.tai},
+		BearerID: csr.BearerID,
+		MMETEID:  mmeUEID,
+		SGWTEID:  csr.SGWTEID,
+		PDNAddr:  csr.PDNAddr,
+		APN:      ula.Subscription.APN,
+		ENBID:    proc.enbID,
+		ENBUEID:  proc.enbUEID,
+		MMEUEID:  mmeUEID,
+		T3412Sec: ula.Subscription.T3412Sec,
+
+		MasterMMP: e.cfg.ID,
+		Version:   1,
+	}
+	ctx.Security.Establish(kasme, nas.AlgHMACSHA256, 1)
+	ctx.Touch(e.cfg.AccessAlpha)
+	e.touchActivity(ctx.GUTI, time.Now())
+	e.store.PutMaster(ctx)
+	e.byMMETEID[mmeUEID] = g
+	e.stats.Attaches++
+	e.record(cdr.EventAttach, imsi, proc.enbID, proc.tai)
+
+	return []Outbound{
+		{ENB: enbID, Msg: &s1ap.InitialContextSetupRequest{
+			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
+			SGWTEID: csr.SGWTEID, SGWAddr: e.cfg.ENBAddr,
+			BearerID: csr.BearerID,
+		}},
+		{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
+			NASPDU: nas.Marshal(&nas.AttachAccept{
+				GUTI: g, TAIList: ctx.TAIList, T3412Sec: ctx.T3412Sec,
+			}),
+		}},
+	}, nil
+}
+
+func (e *Engine) attachComplete(m *s1ap.UplinkNASTransport) ([]Outbound, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.pendingAttach[m.MMEUEID]; !ok {
+		return nil, ErrBadState
+	}
+	delete(e.pendingAttach, m.MMEUEID)
+	return nil, nil
+}
+
+func (e *Engine) handleICSResponse(enbID uint32, m *s1ap.InitialContextSetupResponse) ([]Outbound, error) {
+	e.mu.Lock()
+	g, ok := e.byMMEUEID[m.MMEUEID]
+	if !ok {
+		e.stats.UnknownContext++
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	ctx, ok := e.store.Get(g)
+	if !ok {
+		e.stats.UnknownContext++
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	sgwTEID, ebi := ctx.SGWTEID, ctx.BearerID
+	e.mu.Unlock()
+
+	if _, err := e.cfg.SGW.ModifyBearer(sgwTEID, m.ENBTEID, e.cfg.ENBAddr, ebi); err != nil {
+		return nil, fmt.Errorf("mmp: modify bearer: %w", err)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ctx.ENBTEID = m.ENBTEID
+	ctx.Version++
+	_ = enbID
+	return nil, nil
+}
+
+// serviceRequest handles the Idle→Active transition.
+func (e *Engine) serviceRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.ServiceRequest) ([]Outbound, error) {
+	e.mu.Lock()
+	ctx, ok := e.store.Get(req.GUTI)
+	if !ok {
+		e.stats.UnknownContext++
+		e.stats.ForwardsRequested++
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	// Loose uplink-count check: accept forward jumps (lost messages),
+	// reject replays below the stored count.
+	if req.Seq < ctx.Security.ULCount {
+		e.mu.Unlock()
+		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+			ENBUEID: m.ENBUEID,
+			NASPDU:  nas.Marshal(&nas.ServiceReject{Cause: nas.CauseProtocolError}),
+		}}}, nil
+	}
+	ctx.Security.ULCount = req.Seq + 1
+	mmeUEID := e.nextUEID()
+	ctx.Mode = state.Active
+	ctx.ENBID = enbID
+	ctx.ENBUEID = m.ENBUEID
+	ctx.MMEUEID = mmeUEID
+	ctx.TAI = m.TAI
+	ctx.Touch(e.cfg.AccessAlpha)
+	e.touchActivity(ctx.GUTI, time.Now())
+	e.byMMEUEID[mmeUEID] = ctx.GUTI
+	e.stats.ServiceRequests++
+	e.record(cdr.EventServiceRequest, ctx.IMSI, enbID, m.TAI)
+	sgwTEID, ebi := ctx.SGWTEID, ctx.BearerID
+	e.mu.Unlock()
+
+	return []Outbound{
+		{ENB: enbID, Msg: &s1ap.InitialContextSetupRequest{
+			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
+			SGWTEID: sgwTEID, SGWAddr: e.cfg.ENBAddr, BearerID: ebi,
+		}},
+		{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
+			NASPDU: nas.Marshal(&nas.ServiceAccept{EBI: ebi}),
+		}},
+	}, nil
+}
+
+func (e *Engine) tauRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.TAURequest) ([]Outbound, error) {
+	e.mu.Lock()
+	ctx, ok := e.store.Get(req.GUTI)
+	if !ok {
+		e.stats.UnknownContext++
+		e.stats.ForwardsRequested++
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	ctx.TAI = req.TAI
+	ctx.Touch(e.cfg.AccessAlpha)
+	e.touchActivity(ctx.GUTI, time.Now())
+	e.stats.TAUs++
+	e.record(cdr.EventTAU, ctx.IMSI, enbID, req.TAI)
+	clone := ctx.Clone()
+	t3412 := ctx.T3412Sec
+	e.mu.Unlock()
+
+	e.replicate(clone)
+	return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+		ENBUEID: m.ENBUEID,
+		NASPDU:  nas.Marshal(&nas.TAUAccept{GUTI: req.GUTI, T3412Sec: t3412}),
+	}}}, nil
+}
+
+func (e *Engine) detach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.DetachRequest) ([]Outbound, error) {
+	e.mu.Lock()
+	ctx, ok := e.store.Get(req.GUTI)
+	if !ok {
+		e.stats.UnknownContext++
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	imsi, sgwTEID, ebi := ctx.IMSI, ctx.SGWTEID, ctx.BearerID
+	e.mu.Unlock()
+
+	if _, err := e.cfg.SGW.DeleteSession(sgwTEID, ebi); err != nil {
+		return nil, fmt.Errorf("mmp: delete session: %w", err)
+	}
+	if err := e.cfg.HSS.Purge(imsi); err != nil {
+		return nil, fmt.Errorf("mmp: purge: %w", err)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store.Delete(req.GUTI)
+	delete(e.byMMETEID, ctx.MMETEID)
+	delete(e.byMMEUEID, ctx.MMEUEID)
+	e.stats.Detaches++
+	e.record(cdr.EventDetach, imsi, enbID, m.TAI)
+	if req.SwitchOff {
+		return nil, nil
+	}
+	return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+		ENBUEID: m.ENBUEID,
+		NASPDU:  nas.Marshal(&nas.DetachAccept{}),
+	}}}, nil
+}
+
+func (e *Engine) handleReleaseRequest(enbID uint32, m *s1ap.UEContextReleaseRequest) ([]Outbound, error) {
+	e.mu.Lock()
+	g, ok := e.byMMEUEID[m.MMEUEID]
+	if !ok {
+		e.stats.UnknownContext++
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	ctx, ok := e.store.Get(g)
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	sgwTEID := ctx.SGWTEID
+	e.mu.Unlock()
+
+	if _, err := e.cfg.SGW.ReleaseAccessBearers(sgwTEID); err != nil {
+		return nil, fmt.Errorf("mmp: release bearers: %w", err)
+	}
+	return []Outbound{{ENB: enbID, Msg: &s1ap.UEContextReleaseCommand{
+		ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID, Cause: m.Cause,
+	}}}, nil
+}
+
+func (e *Engine) handleReleaseComplete(_ uint32, m *s1ap.UEContextReleaseComplete) ([]Outbound, error) {
+	e.mu.Lock()
+	g, ok := e.byMMEUEID[m.MMEUEID]
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrBadState
+	}
+	ctx, ok := e.store.Get(g)
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	ctx.Mode = state.Idle
+	ctx.ENBTEID = 0
+	ctx.ENBUEID = 0
+	ctx.MMEUEID = 0
+	ctx.Version++
+	e.touchActivity(ctx.GUTI, time.Now())
+	delete(e.byMMEUEID, m.MMEUEID)
+	clone := ctx.Clone()
+	e.mu.Unlock()
+
+	// The Active→Idle transition is SCALE's replica refresh point
+	// (Section 4.6): push the updated state to the other holders.
+	e.replicate(clone)
+	return nil, nil
+}
+
+func (e *Engine) handleHandoverRequired(enbID uint32, m *s1ap.HandoverRequired) ([]Outbound, error) {
+	e.mu.Lock()
+	g, ok := e.byMMEUEID[m.MMEUEID]
+	if !ok {
+		e.stats.UnknownContext++
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	ctx, ok := e.store.Get(g)
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	e.pendingHO[m.MMEUEID] = &hoProc{
+		sourceENB:     enbID,
+		sourceENBUEID: m.ENBUEID,
+		targetENB:     m.TargetENB,
+	}
+	sgwTEID, ebi := ctx.SGWTEID, ctx.BearerID
+	e.mu.Unlock()
+
+	return []Outbound{{ENB: m.TargetENB, Msg: &s1ap.HandoverRequest{
+		MMEUEID: m.MMEUEID, SGWTEID: sgwTEID, BearerID: ebi,
+	}}}, nil
+}
+
+func (e *Engine) handleHandoverRequestAck(_ uint32, m *s1ap.HandoverRequestAck) ([]Outbound, error) {
+	e.mu.Lock()
+	proc, ok := e.pendingHO[m.MMEUEID]
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrBadState
+	}
+	g := e.byMMEUEID[m.MMEUEID]
+	ctx, haveCtx := e.store.Get(g)
+	if haveCtx {
+		// Stash the admitted endpoint; the bearer switches on Notify.
+		ctx.ENBTEID = m.ENBTEID
+		ctx.ENBUEID = m.NewENBUEID
+		ctx.ENBID = proc.targetENB
+		ctx.Version++
+	}
+	src, srcUEID := proc.sourceENB, proc.sourceENBUEID
+	e.mu.Unlock()
+
+	return []Outbound{{ENB: src, Msg: &s1ap.HandoverCommand{
+		ENBUEID: srcUEID, MMEUEID: m.MMEUEID,
+	}}}, nil
+}
+
+func (e *Engine) handleHandoverNotify(_ uint32, m *s1ap.HandoverNotify) ([]Outbound, error) {
+	e.mu.Lock()
+	proc, ok := e.pendingHO[m.MMEUEID]
+	if !ok {
+		e.mu.Unlock()
+		return nil, ErrBadState
+	}
+	g := e.byMMEUEID[m.MMEUEID]
+	ctx, haveCtx := e.store.Get(g)
+	if !haveCtx {
+		delete(e.pendingHO, m.MMEUEID)
+		e.mu.Unlock()
+		return nil, ErrNoContext
+	}
+	ctx.TAI = m.TAI
+	ctx.Touch(e.cfg.AccessAlpha)
+	e.touchActivity(ctx.GUTI, time.Now())
+	sgwTEID, enbTEID, ebi := ctx.SGWTEID, ctx.ENBTEID, ctx.BearerID
+	delete(e.pendingHO, m.MMEUEID)
+	e.stats.Handovers++
+	e.record(cdr.EventHandover, ctx.IMSI, ctx.ENBID, m.TAI)
+	_ = proc
+	e.mu.Unlock()
+
+	// Switch the S-GW downlink to the target eNodeB.
+	if _, err := e.cfg.SGW.ModifyBearer(sgwTEID, enbTEID, e.cfg.ENBAddr, ebi); err != nil {
+		return nil, fmt.Errorf("mmp: handover bearer switch: %w", err)
+	}
+	return nil, nil
+}
+
+// HandleDownlinkData processes an S-GW DownlinkDataNotification: page
+// the device across its tracking area.
+func (e *Engine) HandleDownlinkData(ddn *s11.DownlinkDataNotification) ([]Outbound, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.byMMETEID[ddn.MMETEID]
+	if !ok {
+		e.stats.UnknownContext++
+		return nil, ErrNoContext
+	}
+	ctx, ok := e.store.Get(g)
+	if !ok {
+		return nil, ErrNoContext
+	}
+	if ctx.Mode != state.Idle {
+		return nil, nil // already active; no paging needed
+	}
+	e.stats.Pagings++
+	e.record(cdr.EventPaging, ctx.IMSI, BroadcastENB, ctx.TAI)
+	return []Outbound{{ENB: BroadcastENB, TAI: ctx.TAI, Msg: &s1ap.Paging{
+		MTMSI: ctx.GUTI.MTMSI, TAIs: ctx.TAIList,
+	}}}, nil
+}
+
+// replicate pushes a state snapshot to its other holders, if a
+// replicator is configured.
+func (e *Engine) replicate(ctx *state.UEContext) {
+	if e.cfg.Replicator == nil {
+		return
+	}
+	e.cfg.Replicator.Replicate(e.cfg.ID, ctx)
+	e.mu.Lock()
+	e.stats.ReplicationsSent++
+	e.mu.Unlock()
+}
+
+// ApplyReplica installs a replica snapshot pushed by another MMP.
+func (e *Engine) ApplyReplica(ctx *state.UEContext) error {
+	err := e.store.ApplyReplica(ctx)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err != nil {
+		e.stats.ReplicasStale++
+		return err
+	}
+	if ctx.MMETEID != 0 {
+		e.byMMETEID[ctx.MMETEID] = ctx.GUTI
+	}
+	e.stats.ReplicasApplied++
+	return nil
+}
+
+// InstallMaster provisions a context directly as master state — used for
+// ring rebalancing (VM addition/removal) and geo-transfers.
+func (e *Engine) InstallMaster(ctx *state.UEContext) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ctx.MasterMMP = e.cfg.ID
+	e.store.PutMaster(ctx)
+	if ctx.MMETEID != 0 {
+		e.byMMETEID[ctx.MMETEID] = ctx.GUTI
+	}
+	if ctx.MMEUEID != 0 {
+		e.byMMEUEID[ctx.MMEUEID] = ctx.GUTI
+	}
+}

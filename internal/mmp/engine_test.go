@@ -1,0 +1,650 @@
+package mmp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/nas"
+	"scale/internal/s11"
+	"scale/internal/s1ap"
+	"scale/internal/s6"
+	"scale/internal/sgw"
+	"scale/internal/state"
+)
+
+// localHSS adapts hss.DB to the HSSClient interface without sockets.
+type localHSS struct{ db *hss.DB }
+
+func (l localHSS) AuthInfo(imsi uint64, sn string, n uint8) (*s6.AuthInfoAnswer, error) {
+	return l.db.Handle(&s6.AuthInfoRequest{IMSI: imsi, ServingNetwork: sn, NumVectors: n}).(*s6.AuthInfoAnswer), nil
+}
+
+func (l localHSS) UpdateLocation(imsi uint64, mmeID string) (*s6.UpdateLocationAnswer, error) {
+	return l.db.Handle(&s6.UpdateLocationRequest{IMSI: imsi, MMEID: mmeID}).(*s6.UpdateLocationAnswer), nil
+}
+
+func (l localHSS) Purge(imsi uint64) error {
+	l.db.Handle(&s6.PurgeRequest{IMSI: imsi})
+	return nil
+}
+
+// localSGW adapts sgw.GW to the SGWClient interface.
+type localSGW struct{ gw *sgw.GW }
+
+func (l localSGW) CreateSession(imsi uint64, teid uint32, apn string, ebi uint8) (*s11.CreateSessionResponse, error) {
+	return l.gw.Handle(&s11.CreateSessionRequest{IMSI: imsi, MMETEID: teid, APN: apn, BearerID: ebi}).(*s11.CreateSessionResponse), nil
+}
+
+func (l localSGW) ModifyBearer(sgwTEID, enbTEID uint32, addr string, ebi uint8) (*s11.ModifyBearerResponse, error) {
+	return l.gw.Handle(&s11.ModifyBearerRequest{SGWTEID: sgwTEID, ENBTEID: enbTEID, ENBAddr: addr, BearerID: ebi}).(*s11.ModifyBearerResponse), nil
+}
+
+func (l localSGW) ReleaseAccessBearers(sgwTEID uint32) (*s11.ReleaseAccessBearersResponse, error) {
+	return l.gw.Handle(&s11.ReleaseAccessBearersRequest{SGWTEID: sgwTEID}).(*s11.ReleaseAccessBearersResponse), nil
+}
+
+func (l localSGW) DeleteSession(sgwTEID uint32, ebi uint8) (*s11.DeleteSessionResponse, error) {
+	return l.gw.Handle(&s11.DeleteSessionRequest{SGWTEID: sgwTEID, BearerID: ebi}).(*s11.DeleteSessionResponse), nil
+}
+
+// captureReplicator records replication calls.
+type captureReplicator struct {
+	mu   sync.Mutex
+	from []string
+	ctxs []*state.UEContext
+}
+
+func (c *captureReplicator) Replicate(from string, ctx *state.UEContext) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.from = append(c.from, from)
+	c.ctxs = append(c.ctxs, ctx)
+}
+
+func (c *captureReplicator) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ctxs)
+}
+
+type testBed struct {
+	engine *Engine
+	hssDB  *hss.DB
+	gw     *sgw.GW
+	rep    *captureReplicator
+}
+
+func newTestBed(t *testing.T) *testBed {
+	t.Helper()
+	db := hss.NewDB()
+	db.ProvisionRange(100000, 100)
+	gw := sgw.New()
+	rep := &captureReplicator{}
+	eng := New(Config{
+		ID:             "mmp-1",
+		Index:          1,
+		PLMN:           guti.PLMN{MCC: 310, MNC: 26},
+		MMEGI:          0x0101,
+		MMEC:           1,
+		ServingNetwork: "310-26",
+		HSS:            localHSS{db},
+		SGW:            localSGW{gw},
+		Replicator:     rep,
+	})
+	return &testBed{engine: eng, hssDB: db, gw: gw, rep: rep}
+}
+
+// attach drives a full attach for imsi and returns (GUTI, MMEUEID).
+func (tb *testBed) attach(t *testing.T, imsi uint64, enbID, enbUEID uint32) (guti.GUTI, uint32) {
+	t.Helper()
+	e := tb.engine
+
+	// 1. AttachRequest → AuthenticationRequest.
+	out, err := e.Handle(enbID, &s1ap.InitialUEMessage{
+		ENBUEID: enbUEID, TAI: 7,
+		NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: imsi}),
+	})
+	if err != nil {
+		t.Fatalf("attach request: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("attach step1 out = %d msgs", len(out))
+	}
+	dl := out[0].Msg.(*s1ap.DownlinkNASTransport)
+	authReq := mustNAS(t, dl.NASPDU).(*nas.AuthenticationRequest)
+	mmeUEID := dl.MMEUEID
+
+	// 2. UE computes RES with its shared key.
+	k := hss.KeyForIMSI(imsi)
+	res := hss.DeriveRES(k, authReq.RAND)
+	out, err = e.Handle(enbID, &s1ap.UplinkNASTransport{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.AuthenticationResponse{RES: res}),
+	})
+	if err != nil {
+		t.Fatalf("auth response: %v", err)
+	}
+	if _, ok := mustNAS(t, out[0].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.SecurityModeCommand); !ok {
+		t.Fatal("expected SecurityModeCommand")
+	}
+
+	// 3. SMC complete → ICSR + AttachAccept.
+	out, err = e.Handle(enbID, &s1ap.UplinkNASTransport{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.SecurityModeComplete{}),
+	})
+	if err != nil {
+		t.Fatalf("smc complete: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("smc complete out = %d msgs", len(out))
+	}
+	icsr := out[0].Msg.(*s1ap.InitialContextSetupRequest)
+	accept := mustNAS(t, out[1].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.AttachAccept)
+	if accept.GUTI.IsZero() {
+		t.Fatal("attach accept has zero GUTI")
+	}
+
+	// 4. eNB confirms context setup.
+	if _, err := e.Handle(enbID, &s1ap.InitialContextSetupResponse{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID, ENBTEID: 9000 + enbUEID,
+	}); err != nil {
+		t.Fatalf("ics response: %v", err)
+	}
+	// 5. UE confirms attach.
+	if _, err := e.Handle(enbID, &s1ap.UplinkNASTransport{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.AttachComplete{GUTI: accept.GUTI}),
+	}); err != nil {
+		t.Fatalf("attach complete: %v", err)
+	}
+	_ = icsr
+	return accept.GUTI, mmeUEID
+}
+
+func mustNAS(t *testing.T, pdu []byte) nas.Message {
+	t.Helper()
+	m, err := nas.Unmarshal(pdu)
+	if err != nil {
+		t.Fatalf("bad NAS PDU: %v", err)
+	}
+	return m
+}
+
+func TestFullAttachFlow(t *testing.T) {
+	tb := newTestBed(t)
+	g, _ := tb.attach(t, 100000, 1, 10)
+
+	ctx, ok := tb.engine.Store().Get(g)
+	if !ok {
+		t.Fatal("no context after attach")
+	}
+	if ctx.Mode != state.Active {
+		t.Fatalf("mode = %v", ctx.Mode)
+	}
+	if ctx.SGWTEID == 0 || ctx.ENBTEID == 0 {
+		t.Fatalf("bearer not established: %+v", ctx)
+	}
+	if tb.gw.Len() != 1 {
+		t.Fatalf("sgw sessions = %d", tb.gw.Len())
+	}
+	if mme, ok := tb.hssDB.ServingMME(100000); !ok || mme != "mmp-1" {
+		t.Fatalf("hss serving = %v,%v", mme, ok)
+	}
+	if s := tb.engine.Stats(); s.Attaches != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The S-GW session must point at the eNodeB (active mode).
+	sess, _ := tb.gw.Session(ctx.SGWTEID)
+	if sess.Idle() {
+		t.Fatal("sgw session idle after attach")
+	}
+}
+
+func TestAttachWrongRESRejected(t *testing.T) {
+	tb := newTestBed(t)
+	out, err := tb.engine.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 10, TAI: 7, NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: 100001}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmeUEID := out[0].Msg.(*s1ap.DownlinkNASTransport).MMEUEID
+
+	out, err = tb.engine.Handle(1, &s1ap.UplinkNASTransport{
+		ENBUEID: 10, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.AuthenticationResponse{RES: [8]byte{0xBA, 0xD0}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustNAS(t, out[0].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.AttachReject); !ok {
+		t.Fatal("expected AttachReject")
+	}
+	if s := tb.engine.Stats(); s.AuthFailures != 1 {
+		t.Fatalf("auth failures = %d", s.AuthFailures)
+	}
+	// Retrying the rejected procedure is now a bad state.
+	if _, err := tb.engine.Handle(1, &s1ap.UplinkNASTransport{
+		ENBUEID: 10, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.SecurityModeComplete{}),
+	}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAttachUnknownIMSIRejected(t *testing.T) {
+	tb := newTestBed(t)
+	out, err := tb.engine.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 10, NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: 999999999}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustNAS(t, out[0].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.AttachReject); !ok {
+		t.Fatal("expected AttachReject for unknown IMSI")
+	}
+}
+
+func releaseToIdle(t *testing.T, tb *testBed, enbID, enbUEID, mmeUEID uint32) {
+	t.Helper()
+	out, err := tb.engine.Handle(enbID, &s1ap.UEContextReleaseRequest{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID, Cause: 1,
+	})
+	if err != nil {
+		t.Fatalf("release request: %v", err)
+	}
+	if _, ok := out[0].Msg.(*s1ap.UEContextReleaseCommand); !ok {
+		t.Fatal("expected release command")
+	}
+	if _, err := tb.engine.Handle(enbID, &s1ap.UEContextReleaseComplete{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+	}); err != nil {
+		t.Fatalf("release complete: %v", err)
+	}
+}
+
+func TestActiveToIdleReplicates(t *testing.T) {
+	tb := newTestBed(t)
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+	releaseToIdle(t, tb, 1, 10, mmeUEID)
+
+	ctx, _ := tb.engine.Store().Get(g)
+	if ctx.Mode != state.Idle {
+		t.Fatalf("mode = %v", ctx.Mode)
+	}
+	// S-GW bearers released.
+	sess, _ := tb.gw.Session(ctx.SGWTEID)
+	if !sess.Idle() {
+		t.Fatal("sgw still points at eNB")
+	}
+	// Replication fired exactly once, with a snapshot (not the live ctx).
+	if tb.rep.count() != 1 {
+		t.Fatalf("replications = %d", tb.rep.count())
+	}
+	if tb.rep.ctxs[0] == ctx {
+		t.Fatal("replicated the live context, not a clone")
+	}
+	if tb.rep.from[0] != "mmp-1" {
+		t.Fatalf("replication from = %s", tb.rep.from[0])
+	}
+}
+
+func TestServiceRequestFlow(t *testing.T) {
+	tb := newTestBed(t)
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+	releaseToIdle(t, tb, 1, 10, mmeUEID)
+
+	ctx, _ := tb.engine.Store().Get(g)
+	seq := ctx.Security.ULCount
+
+	out, err := tb.engine.Handle(2, &s1ap.InitialUEMessage{
+		ENBUEID: 55, TAI: 8,
+		NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: g, KSI: 1, Seq: seq}),
+	})
+	if err != nil {
+		t.Fatalf("service request: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("out = %d msgs", len(out))
+	}
+	icsr := out[0].Msg.(*s1ap.InitialContextSetupRequest)
+	if _, ok := mustNAS(t, out[1].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.ServiceAccept); !ok {
+		t.Fatal("expected ServiceAccept")
+	}
+	// Finish context setup at the new eNB.
+	if _, err := tb.engine.Handle(2, &s1ap.InitialContextSetupResponse{
+		ENBUEID: 55, MMEUEID: icsr.MMEUEID, ENBTEID: 7777,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ = tb.engine.Store().Get(g)
+	if ctx.Mode != state.Active || ctx.ENBID != 2 || ctx.TAI != 8 {
+		t.Fatalf("ctx after service request: %+v", ctx)
+	}
+	sess, _ := tb.gw.Session(ctx.SGWTEID)
+	if sess.ENBTEID != 7777 {
+		t.Fatalf("sgw enb teid = %d", sess.ENBTEID)
+	}
+}
+
+func TestServiceRequestReplayRejected(t *testing.T) {
+	tb := newTestBed(t)
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+	releaseToIdle(t, tb, 1, 10, mmeUEID)
+
+	// Advance the stored uplink count past 0, as prior integrity-
+	// protected uplink traffic would have.
+	ctx, _ := tb.engine.Store().Get(g)
+	ctx.Security.ULCount = 5
+
+	out, err := tb.engine.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 11,
+		NASPDU:  nas.Marshal(&nas.ServiceRequest{GUTI: g, Seq: 0}), // stale count
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustNAS(t, out[0].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.ServiceReject); !ok {
+		t.Fatal("expected ServiceReject for replayed count")
+	}
+}
+
+func TestServiceRequestNoContextForwards(t *testing.T) {
+	tb := newTestBed(t)
+	unknown := guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1, MTMSI: 4242}
+	_, err := tb.engine.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 10,
+		NASPDU:  nas.Marshal(&nas.ServiceRequest{GUTI: unknown, Seq: 5}),
+	})
+	if !errors.Is(err, ErrNoContext) {
+		t.Fatalf("err = %v, want ErrNoContext", err)
+	}
+	if s := tb.engine.Stats(); s.ForwardsRequested != 1 {
+		t.Fatalf("forwards = %d", s.ForwardsRequested)
+	}
+}
+
+func TestTAUFlow(t *testing.T) {
+	tb := newTestBed(t)
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+	releaseToIdle(t, tb, 1, 10, mmeUEID)
+	repsBefore := tb.rep.count()
+
+	out, err := tb.engine.Handle(3, &s1ap.InitialUEMessage{
+		ENBUEID: 77,
+		NASPDU:  nas.Marshal(&nas.TAURequest{GUTI: g, TAI: 42}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := mustNAS(t, out[0].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.TAUAccept)
+	if acc.GUTI != g {
+		t.Fatal("TAU accept GUTI mismatch")
+	}
+	ctx, _ := tb.engine.Store().Get(g)
+	if ctx.TAI != 42 {
+		t.Fatalf("TAI = %d", ctx.TAI)
+	}
+	if tb.rep.count() != repsBefore+1 {
+		t.Fatal("TAU did not refresh replicas")
+	}
+}
+
+func TestDetachFlow(t *testing.T) {
+	tb := newTestBed(t)
+	g, _ := tb.attach(t, 100000, 1, 10)
+
+	out, err := tb.engine.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 10,
+		NASPDU:  nas.Marshal(&nas.DetachRequest{GUTI: g}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mustNAS(t, out[0].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.DetachAccept); !ok {
+		t.Fatal("expected DetachAccept")
+	}
+	if _, ok := tb.engine.Store().Get(g); ok {
+		t.Fatal("context survived detach")
+	}
+	if tb.gw.Len() != 0 {
+		t.Fatal("sgw session survived detach")
+	}
+	if _, ok := tb.hssDB.ServingMME(100000); ok {
+		t.Fatal("hss registration survived detach")
+	}
+	// Switch-off detach is silent.
+	g2, _ := tb.attach(t, 100001, 1, 11)
+	out, err = tb.engine.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 11,
+		NASPDU:  nas.Marshal(&nas.DetachRequest{GUTI: g2, SwitchOff: true}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("switch-off produced %d msgs", len(out))
+	}
+}
+
+func TestHandoverFlow(t *testing.T) {
+	tb := newTestBed(t)
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+
+	// Source eNB 1 asks to move to target eNB 2.
+	out, err := tb.engine.Handle(1, &s1ap.HandoverRequired{
+		ENBUEID: 10, MMEUEID: mmeUEID, TargetENB: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].ENB != 2 {
+		t.Fatalf("handover request sent to eNB %d", out[0].ENB)
+	}
+	hreq := out[0].Msg.(*s1ap.HandoverRequest)
+
+	// Target admits.
+	out, err = tb.engine.Handle(2, &s1ap.HandoverRequestAck{
+		MMEUEID: hreq.MMEUEID, NewENBUEID: 200, ENBTEID: 8888,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].ENB != 1 {
+		t.Fatalf("handover command sent to eNB %d", out[0].ENB)
+	}
+	if _, ok := out[0].Msg.(*s1ap.HandoverCommand); !ok {
+		t.Fatal("expected HandoverCommand")
+	}
+
+	// Target notifies arrival.
+	if _, err := tb.engine.Handle(2, &s1ap.HandoverNotify{
+		ENBUEID: 200, MMEUEID: mmeUEID, TAI: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := tb.engine.Store().Get(g)
+	if ctx.ENBID != 2 || ctx.ENBUEID != 200 || ctx.TAI != 9 {
+		t.Fatalf("ctx after handover: %+v", ctx)
+	}
+	sess, _ := tb.gw.Session(ctx.SGWTEID)
+	if sess.ENBTEID != 8888 {
+		t.Fatalf("sgw downlink = %d", sess.ENBTEID)
+	}
+	if s := tb.engine.Stats(); s.Handovers != 1 {
+		t.Fatalf("handovers = %d", s.Handovers)
+	}
+}
+
+func TestHandoverUnknownUE(t *testing.T) {
+	tb := newTestBed(t)
+	if _, err := tb.engine.Handle(1, &s1ap.HandoverRequired{MMEUEID: 12345}); !errors.Is(err, ErrNoContext) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := tb.engine.Handle(1, &s1ap.HandoverRequestAck{MMEUEID: 12345}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("ack err = %v", err)
+	}
+	if _, err := tb.engine.Handle(1, &s1ap.HandoverNotify{MMEUEID: 12345}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("notify err = %v", err)
+	}
+}
+
+func TestPaging(t *testing.T) {
+	tb := newTestBed(t)
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+	ctx, _ := tb.engine.Store().Get(g)
+	mmeTEID := ctx.MMETEID
+
+	// Active device: no paging.
+	out, err := tb.engine.HandleDownlinkData(&s11.DownlinkDataNotification{MMETEID: mmeTEID})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("active paging: %v %v", out, err)
+	}
+
+	releaseToIdle(t, tb, 1, 10, mmeUEID)
+	out, err = tb.engine.HandleDownlinkData(&s11.DownlinkDataNotification{MMETEID: mmeTEID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].ENB != BroadcastENB {
+		t.Fatalf("paging out = %+v", out)
+	}
+	page := out[0].Msg.(*s1ap.Paging)
+	if page.MTMSI != g.MTMSI {
+		t.Fatal("paged wrong MTMSI")
+	}
+	// Unknown TEID.
+	if _, err := tb.engine.HandleDownlinkData(&s11.DownlinkDataNotification{MMETEID: 999999}); !errors.Is(err, ErrNoContext) {
+		t.Fatalf("unknown teid err = %v", err)
+	}
+}
+
+func TestApplyReplicaAndServe(t *testing.T) {
+	tb := newTestBed(t)
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+	releaseToIdle(t, tb, 1, 10, mmeUEID)
+	snapshot := tb.rep.ctxs[0]
+
+	// A second engine receives the replica and can serve the device.
+	db2 := tb.hssDB
+	tb2 := &testBed{hssDB: db2}
+	_ = tb2
+	other := New(Config{
+		ID: "mmp-2", Index: 2, ServingNetwork: "310-26",
+		HSS: localHSS{tb.hssDB}, SGW: localSGW{tb.gw},
+	})
+	if err := other.ApplyReplica(snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if !other.Store().IsReplica(g) {
+		t.Fatal("replica not flagged")
+	}
+	// Stale re-apply rejected.
+	if err := other.ApplyReplica(snapshot.Clone()); err == nil {
+		t.Fatal("stale replica accepted")
+	}
+	// The replica holder can process a service request for the device.
+	out, err := other.Handle(4, &s1ap.InitialUEMessage{
+		ENBUEID: 90,
+		NASPDU:  nas.Marshal(&nas.ServiceRequest{GUTI: g, Seq: snapshot.Security.ULCount}),
+	})
+	if err != nil {
+		t.Fatalf("replica serve: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("replica serve out = %d", len(out))
+	}
+	st := other.Stats()
+	if st.ReplicasApplied != 1 || st.ReplicasStale != 1 || st.ServiceRequests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInstallMaster(t *testing.T) {
+	tb := newTestBed(t)
+	ctx := &state.UEContext{
+		GUTI:    guti.GUTI{MTMSI: 777},
+		MMETEID: 0x02000001,
+		MMEUEID: 0x02000001,
+		Mode:    state.Idle,
+		Version: 3,
+	}
+	tb.engine.InstallMaster(ctx)
+	got, ok := tb.engine.Store().Get(ctx.GUTI)
+	if !ok || got.MasterMMP != "mmp-1" {
+		t.Fatalf("install master: %+v %v", got, ok)
+	}
+	if tb.engine.Store().IsReplica(ctx.GUTI) {
+		t.Fatal("master flagged as replica")
+	}
+}
+
+func TestReplicationDisabledBaseline(t *testing.T) {
+	db := hss.NewDB()
+	db.ProvisionRange(100000, 10)
+	eng := New(Config{
+		ID: "mme-legacy", Index: 1, ServingNetwork: "310-26",
+		HSS: localHSS{db}, SGW: localSGW{sgw.New()},
+		Replicator: nil, // 3GPP baseline: no proactive replication
+	})
+	tb := &testBed{engine: eng, hssDB: db, gw: sgw.New(), rep: &captureReplicator{}}
+	_ = tb
+	// A full attach and release must not panic with nil replicator.
+	bed := &testBed{engine: eng, hssDB: db}
+	_, mmeUEID := bedAttach(t, eng, 100000)
+	_ = bed
+	if _, err := eng.Handle(1, &s1ap.UEContextReleaseRequest{ENBUEID: 10, MMEUEID: mmeUEID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Handle(1, &s1ap.UEContextReleaseComplete{ENBUEID: 10, MMEUEID: mmeUEID}); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.ReplicationsSent != 0 {
+		t.Fatalf("baseline replicated: %+v", s)
+	}
+}
+
+// bedAttach is a minimal attach driver for engines built outside
+// newTestBed.
+func bedAttach(t *testing.T, e *Engine, imsi uint64) (guti.GUTI, uint32) {
+	t.Helper()
+	out, err := e.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 10, TAI: 7, NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: imsi}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := out[0].Msg.(*s1ap.DownlinkNASTransport)
+	authReq := mustNAS(t, dl.NASPDU).(*nas.AuthenticationRequest)
+	res := hss.DeriveRES(hss.KeyForIMSI(imsi), authReq.RAND)
+	if _, err = e.Handle(1, &s1ap.UplinkNASTransport{
+		ENBUEID: 10, MMEUEID: dl.MMEUEID,
+		NASPDU: nas.Marshal(&nas.AuthenticationResponse{RES: res}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = e.Handle(1, &s1ap.UplinkNASTransport{
+		ENBUEID: 10, MMEUEID: dl.MMEUEID,
+		NASPDU: nas.Marshal(&nas.SecurityModeComplete{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept := mustNAS(t, out[1].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.AttachAccept)
+	if _, err := e.Handle(1, &s1ap.InitialContextSetupResponse{
+		ENBUEID: 10, MMEUEID: dl.MMEUEID, ENBTEID: 9999,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Handle(1, &s1ap.UplinkNASTransport{
+		ENBUEID: 10, MMEUEID: dl.MMEUEID,
+		NASPDU: nas.Marshal(&nas.AttachComplete{GUTI: accept.GUTI}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return accept.GUTI, dl.MMEUEID
+}

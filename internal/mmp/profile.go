@@ -1,0 +1,50 @@
+package mmp
+
+import (
+	"time"
+
+	"scale/internal/state"
+)
+
+// Access-frequency profiling (Section 4.5): "SCALE keeps track of the
+// average access frequency of a device in an epoch (as a moving
+// average) and includes it with the rest of the state". Touch() on each
+// procedure raises a device's frequency; DecayIdle, run at epoch
+// boundaries, ages devices that stayed silent — together they converge
+// on each device's w_i, which the access-aware replication and the β
+// provisioning knob consume.
+
+// DecayIdle ages the access frequency of every master device with no
+// activity since the given instant and returns how many were decayed.
+// Call it once per epoch.
+func (e *Engine) DecayIdle(since time.Time) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	e.store.Range(func(ctx *state.UEContext, isReplica bool) bool {
+		if isReplica {
+			return true
+		}
+		if last, ok := e.lastActivity[ctx.GUTI]; !ok || last.Before(since) {
+			ctx.Decay(e.cfg.AccessAlpha)
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// AccessProfile returns the profiled access frequency of every master
+// device on this VM, keyed by IMSI.
+func (e *Engine) AccessProfile() map[uint64]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[uint64]float64)
+	e.store.Range(func(ctx *state.UEContext, isReplica bool) bool {
+		if !isReplica {
+			out[ctx.IMSI] = ctx.AccessFreq
+		}
+		return true
+	})
+	return out
+}

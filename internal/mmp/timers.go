@@ -1,0 +1,95 @@
+package mmp
+
+import (
+	"time"
+
+	"scale/internal/cdr"
+	"scale/internal/guti"
+	"scale/internal/state"
+)
+
+// Timer handling: a real MME arms the mobile-reachable timer (derived
+// from T3412, the periodic TAU timer it hands each device) and
+// implicitly detaches devices that stay silent past it — reclaiming
+// S-GW sessions and HSS registrations for dead devices. The paper lists
+// "timers" first among the per-device state an MME maintains
+// (Section 2); this file is that machinery for the prototype.
+
+// touchActivity records device liveness; called by every procedure.
+func (e *Engine) touchActivity(g guti.GUTI, now time.Time) {
+	if e.lastActivity == nil {
+		e.lastActivity = make(map[guti.GUTI]time.Time)
+	}
+	e.lastActivity[g] = now
+}
+
+// ExpireStale implicitly detaches every Idle master device silent for
+// longer than its T3412 plus grace. It returns the detached IMSIs.
+// Active devices are never expired (their liveness is the S1
+// connection), and replica entries are left to their masters.
+func (e *Engine) ExpireStale(grace time.Duration, now time.Time) []uint64 {
+	type victim struct {
+		g       guti.GUTI
+		imsi    uint64
+		sgwTEID uint32
+		ebi     uint8
+		mmeTEID uint32
+		mmeUEID uint32
+	}
+	e.mu.Lock()
+	var victims []victim
+	e.store.Range(func(ctx *state.UEContext, isReplica bool) bool {
+		if isReplica || ctx.Mode != state.Idle {
+			return true
+		}
+		last, ok := e.lastActivity[ctx.GUTI]
+		if !ok {
+			// Never seen by the timer layer (e.g. installed via
+			// rebalancing): start its clock now.
+			e.lastActivity[ctx.GUTI] = now
+			return true
+		}
+		deadline := time.Duration(ctx.T3412Sec)*time.Second + grace
+		if deadline <= grace {
+			deadline = grace
+		}
+		if now.Sub(last) > deadline {
+			victims = append(victims, victim{
+				g: ctx.GUTI, imsi: ctx.IMSI,
+				sgwTEID: ctx.SGWTEID, ebi: ctx.BearerID,
+				mmeTEID: ctx.MMETEID, mmeUEID: ctx.MMEUEID,
+			})
+		}
+		return true
+	})
+	e.mu.Unlock()
+
+	var detached []uint64
+	for _, v := range victims {
+		// Network-side cleanup (engine unlocked).
+		if _, err := e.cfg.SGW.DeleteSession(v.sgwTEID, v.ebi); err != nil {
+			continue
+		}
+		if err := e.cfg.HSS.Purge(v.imsi); err != nil {
+			continue
+		}
+		e.mu.Lock()
+		e.store.Delete(v.g)
+		delete(e.byMMETEID, v.mmeTEID)
+		delete(e.byMMEUEID, v.mmeUEID)
+		delete(e.lastActivity, v.g)
+		e.stats.ImplicitDetaches++
+		e.mu.Unlock()
+		e.record(cdr.EventImplicitDetach, v.imsi, 0, 0)
+		detached = append(detached, v.imsi)
+	}
+	return detached
+}
+
+// TrackedDevices reports how many devices have live activity clocks
+// (diagnostics).
+func (e *Engine) TrackedDevices() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.lastActivity)
+}

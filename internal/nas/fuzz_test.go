@@ -1,0 +1,43 @@
+package nas
+
+import (
+	"bytes"
+	"testing"
+
+	"scale/internal/guti"
+)
+
+// FuzzUnmarshal hardens the NAS decoder against arbitrary input: it
+// must never panic, and anything it accepts must re-encode to an
+// equivalent message (decode∘encode = identity on the valid set).
+func FuzzUnmarshal(f *testing.F) {
+	g := guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 2, MTMSI: 3}
+	seeds := []Message{
+		&AttachRequest{IMSI: 123456789012345, OldGUTI: g, TAI: 7, Capabilities: 0xF0},
+		&AttachAccept{GUTI: g, TAIList: []uint16{1, 2, 3}, T3412Sec: 3240},
+		&AuthenticationRequest{RAND: [16]byte{1}, AUTN: [16]byte{2}},
+		&ServiceRequest{GUTI: g, KSI: 1, Seq: 42},
+		&TAURequest{GUTI: g, TAI: 9},
+		&DetachRequest{GUTI: g, SwitchOff: true},
+	}
+	for _, m := range seeds {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re := Marshal(m)
+		m2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(re, Marshal(m2)) {
+			t.Fatalf("marshal not stable: % x vs % x", re, Marshal(m2))
+		}
+	})
+}

@@ -1,0 +1,445 @@
+// Package nas implements an EPS NAS-like (Non-Access-Stratum) message
+// codec: the protocol exchanged between devices (UEs) and the MME for
+// attach, authentication, service requests, tracking-area updates and
+// detach (3GPP TS 24.301, simplified).
+//
+// Message layouts are reproduction-faithful rather than bit-exact: each
+// message carries the same information elements that drive MME processing
+// cost and state size in the paper, encoded with the wire package. A
+// one-byte message type tags the envelope, mirroring the NAS message type
+// octet.
+package nas
+
+import (
+	"errors"
+	"fmt"
+
+	"scale/internal/guti"
+	"scale/internal/wire"
+)
+
+// MessageType tags a NAS message on the wire.
+type MessageType uint8
+
+// NAS message types.
+const (
+	TypeAttachRequest MessageType = iota + 1
+	TypeAttachAccept
+	TypeAttachComplete
+	TypeAttachReject
+	TypeAuthenticationRequest
+	TypeAuthenticationResponse
+	TypeSecurityModeCommand
+	TypeSecurityModeComplete
+	TypeServiceRequest
+	TypeServiceAccept
+	TypeServiceReject
+	TypeTAURequest
+	TypeTAUAccept
+	TypeTAUReject
+	TypeDetachRequest
+	TypeDetachAccept
+)
+
+// String names the message type.
+func (t MessageType) String() string {
+	switch t {
+	case TypeAttachRequest:
+		return "AttachRequest"
+	case TypeAttachAccept:
+		return "AttachAccept"
+	case TypeAttachComplete:
+		return "AttachComplete"
+	case TypeAttachReject:
+		return "AttachReject"
+	case TypeAuthenticationRequest:
+		return "AuthenticationRequest"
+	case TypeAuthenticationResponse:
+		return "AuthenticationResponse"
+	case TypeSecurityModeCommand:
+		return "SecurityModeCommand"
+	case TypeSecurityModeComplete:
+		return "SecurityModeComplete"
+	case TypeServiceRequest:
+		return "ServiceRequest"
+	case TypeServiceAccept:
+		return "ServiceAccept"
+	case TypeServiceReject:
+		return "ServiceReject"
+	case TypeTAURequest:
+		return "TAURequest"
+	case TypeTAUAccept:
+		return "TAUAccept"
+	case TypeTAUReject:
+		return "TAUReject"
+	case TypeDetachRequest:
+		return "DetachRequest"
+	case TypeDetachAccept:
+		return "DetachAccept"
+	default:
+		return fmt.Sprintf("nas.MessageType(%d)", uint8(t))
+	}
+}
+
+// Cause codes for reject messages (a tiny subset of TS 24.301 Annex A).
+const (
+	CauseCongestion       uint8 = 22
+	CauseAuthFailure      uint8 = 20
+	CauseImplicitDetached uint8 = 10
+	CauseProtocolError    uint8 = 111
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrUnknownType = errors.New("nas: unknown message type")
+	ErrEmpty       = errors.New("nas: empty message")
+)
+
+// Message is a decoded NAS message.
+type Message interface {
+	Type() MessageType
+	marshal(w *wire.Writer)
+	unmarshal(r *wire.Reader)
+}
+
+// Marshal encodes m with its type tag.
+func Marshal(m Message) []byte {
+	w := wire.NewWriter(64)
+	w.U8(uint8(m.Type()))
+	m.marshal(w)
+	return w.Bytes()
+}
+
+// Unmarshal decodes a NAS message.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrEmpty
+	}
+	m := newMessage(MessageType(b[0]))
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
+	}
+	r := wire.NewReader(b[1:])
+	m.unmarshal(r)
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("nas: decode %s: %w", m.Type(), err)
+	}
+	return m, nil
+}
+
+func newMessage(t MessageType) Message {
+	switch t {
+	case TypeAttachRequest:
+		return &AttachRequest{}
+	case TypeAttachAccept:
+		return &AttachAccept{}
+	case TypeAttachComplete:
+		return &AttachComplete{}
+	case TypeAttachReject:
+		return &AttachReject{}
+	case TypeAuthenticationRequest:
+		return &AuthenticationRequest{}
+	case TypeAuthenticationResponse:
+		return &AuthenticationResponse{}
+	case TypeSecurityModeCommand:
+		return &SecurityModeCommand{}
+	case TypeSecurityModeComplete:
+		return &SecurityModeComplete{}
+	case TypeServiceRequest:
+		return &ServiceRequest{}
+	case TypeServiceAccept:
+		return &ServiceAccept{}
+	case TypeServiceReject:
+		return &ServiceReject{}
+	case TypeTAURequest:
+		return &TAURequest{}
+	case TypeTAUAccept:
+		return &TAUAccept{}
+	case TypeTAUReject:
+		return &TAUReject{}
+	case TypeDetachRequest:
+		return &DetachRequest{}
+	case TypeDetachAccept:
+		return &DetachAccept{}
+	default:
+		return nil
+	}
+}
+
+func putGUTI(w *wire.Writer, g guti.GUTI) { w.Raw(g.Encode(nil)) }
+
+func getGUTI(r *wire.Reader) guti.GUTI {
+	b := r.Raw(guti.EncodedLen)
+	if b == nil {
+		return guti.GUTI{}
+	}
+	g, _ := guti.Decode(b)
+	return g
+}
+
+// AttachRequest registers a device with the network. A fresh device
+// identifies by IMSI; a returning device includes its old GUTI.
+type AttachRequest struct {
+	IMSI    uint64
+	OldGUTI guti.GUTI // zero if none
+	TAI     uint16    // tracking area the request originates from
+	// Capabilities summarizes UE network capability IEs.
+	Capabilities uint32
+}
+
+// Type implements Message.
+func (*AttachRequest) Type() MessageType { return TypeAttachRequest }
+
+func (m *AttachRequest) marshal(w *wire.Writer) {
+	w.U64(m.IMSI)
+	putGUTI(w, m.OldGUTI)
+	w.U16(m.TAI)
+	w.U32(m.Capabilities)
+}
+
+func (m *AttachRequest) unmarshal(r *wire.Reader) {
+	m.IMSI = r.U64()
+	m.OldGUTI = getGUTI(r)
+	m.TAI = r.U16()
+	m.Capabilities = r.U32()
+}
+
+// AttachAccept completes registration, assigning the GUTI and the
+// periodic TAU timer (T3412).
+type AttachAccept struct {
+	GUTI     guti.GUTI
+	TAIList  []uint16 // tracking areas the device may roam without TAU
+	T3412Sec uint32
+}
+
+// Type implements Message.
+func (*AttachAccept) Type() MessageType { return TypeAttachAccept }
+
+func (m *AttachAccept) marshal(w *wire.Writer) {
+	putGUTI(w, m.GUTI)
+	w.U16(uint16(len(m.TAIList)))
+	for _, t := range m.TAIList {
+		w.U16(t)
+	}
+	w.U32(m.T3412Sec)
+}
+
+func (m *AttachAccept) unmarshal(r *wire.Reader) {
+	m.GUTI = getGUTI(r)
+	n := int(r.U16())
+	if n > 0 && n <= r.Remaining()/2 {
+		m.TAIList = make([]uint16, n)
+		for i := range m.TAIList {
+			m.TAIList[i] = r.U16()
+		}
+	} else if n > 0 {
+		// Declared more TAIs than bytes remain: poison the reader.
+		_ = r.Raw(r.Remaining() + 1)
+	}
+	m.T3412Sec = r.U32()
+}
+
+// AttachComplete acknowledges the AttachAccept.
+type AttachComplete struct {
+	GUTI guti.GUTI
+}
+
+// Type implements Message.
+func (*AttachComplete) Type() MessageType { return TypeAttachComplete }
+
+func (m *AttachComplete) marshal(w *wire.Writer)   { putGUTI(w, m.GUTI) }
+func (m *AttachComplete) unmarshal(r *wire.Reader) { m.GUTI = getGUTI(r) }
+
+// AttachReject refuses registration.
+type AttachReject struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (*AttachReject) Type() MessageType { return TypeAttachReject }
+
+func (m *AttachReject) marshal(w *wire.Writer)   { w.U8(m.Cause) }
+func (m *AttachReject) unmarshal(r *wire.Reader) { m.Cause = r.U8() }
+
+// AuthenticationRequest carries the EPS-AKA challenge (RAND, AUTN).
+type AuthenticationRequest struct {
+	RAND [16]byte
+	AUTN [16]byte
+}
+
+// Type implements Message.
+func (*AuthenticationRequest) Type() MessageType { return TypeAuthenticationRequest }
+
+func (m *AuthenticationRequest) marshal(w *wire.Writer) {
+	w.Raw(m.RAND[:])
+	w.Raw(m.AUTN[:])
+}
+
+func (m *AuthenticationRequest) unmarshal(r *wire.Reader) {
+	copy(m.RAND[:], r.Raw(16))
+	copy(m.AUTN[:], r.Raw(16))
+}
+
+// AuthenticationResponse carries the UE's RES.
+type AuthenticationResponse struct {
+	RES [8]byte
+}
+
+// Type implements Message.
+func (*AuthenticationResponse) Type() MessageType { return TypeAuthenticationResponse }
+
+func (m *AuthenticationResponse) marshal(w *wire.Writer)   { w.Raw(m.RES[:]) }
+func (m *AuthenticationResponse) unmarshal(r *wire.Reader) { copy(m.RES[:], r.Raw(8)) }
+
+// SecurityModeCommand activates NAS security with the chosen algorithm.
+type SecurityModeCommand struct {
+	Alg      uint8
+	NonceMME uint32
+}
+
+// Type implements Message.
+func (*SecurityModeCommand) Type() MessageType { return TypeSecurityModeCommand }
+
+func (m *SecurityModeCommand) marshal(w *wire.Writer) {
+	w.U8(m.Alg)
+	w.U32(m.NonceMME)
+}
+
+func (m *SecurityModeCommand) unmarshal(r *wire.Reader) {
+	m.Alg = r.U8()
+	m.NonceMME = r.U32()
+}
+
+// SecurityModeComplete acknowledges security activation.
+type SecurityModeComplete struct{}
+
+// Type implements Message.
+func (*SecurityModeComplete) Type() MessageType { return TypeSecurityModeComplete }
+
+func (*SecurityModeComplete) marshal(*wire.Writer)   {}
+func (*SecurityModeComplete) unmarshal(*wire.Reader) {}
+
+// ServiceRequest asks for the Idle→Active transition of a registered
+// device — the most frequent procedure in a busy network.
+type ServiceRequest struct {
+	GUTI guti.GUTI
+	KSI  uint8
+	Seq  uint32 // NAS uplink count (integrity context)
+}
+
+// Type implements Message.
+func (*ServiceRequest) Type() MessageType { return TypeServiceRequest }
+
+func (m *ServiceRequest) marshal(w *wire.Writer) {
+	putGUTI(w, m.GUTI)
+	w.U8(m.KSI)
+	w.U32(m.Seq)
+}
+
+func (m *ServiceRequest) unmarshal(r *wire.Reader) {
+	m.GUTI = getGUTI(r)
+	m.KSI = r.U8()
+	m.Seq = r.U32()
+}
+
+// ServiceAccept confirms the transition; EBI names the re-activated
+// bearer.
+type ServiceAccept struct {
+	EBI uint8
+}
+
+// Type implements Message.
+func (*ServiceAccept) Type() MessageType { return TypeServiceAccept }
+
+func (m *ServiceAccept) marshal(w *wire.Writer)   { w.U8(m.EBI) }
+func (m *ServiceAccept) unmarshal(r *wire.Reader) { m.EBI = r.U8() }
+
+// ServiceReject refuses the transition.
+type ServiceReject struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (*ServiceReject) Type() MessageType { return TypeServiceReject }
+
+func (m *ServiceReject) marshal(w *wire.Writer)   { w.U8(m.Cause) }
+func (m *ServiceReject) unmarshal(r *wire.Reader) { m.Cause = r.U8() }
+
+// TAURequest is the periodic (or mobility-triggered) tracking area
+// update from an Idle device.
+type TAURequest struct {
+	GUTI guti.GUTI
+	TAI  uint16
+}
+
+// Type implements Message.
+func (*TAURequest) Type() MessageType { return TypeTAURequest }
+
+func (m *TAURequest) marshal(w *wire.Writer) {
+	putGUTI(w, m.GUTI)
+	w.U16(m.TAI)
+}
+
+func (m *TAURequest) unmarshal(r *wire.Reader) {
+	m.GUTI = getGUTI(r)
+	m.TAI = r.U16()
+}
+
+// TAUAccept acknowledges the update; the GUTI may be re-assigned.
+type TAUAccept struct {
+	GUTI     guti.GUTI
+	T3412Sec uint32
+}
+
+// Type implements Message.
+func (*TAUAccept) Type() MessageType { return TypeTAUAccept }
+
+func (m *TAUAccept) marshal(w *wire.Writer) {
+	putGUTI(w, m.GUTI)
+	w.U32(m.T3412Sec)
+}
+
+func (m *TAUAccept) unmarshal(r *wire.Reader) {
+	m.GUTI = getGUTI(r)
+	m.T3412Sec = r.U32()
+}
+
+// TAUReject refuses the update.
+type TAUReject struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (*TAUReject) Type() MessageType { return TypeTAUReject }
+
+func (m *TAUReject) marshal(w *wire.Writer)   { w.U8(m.Cause) }
+func (m *TAUReject) unmarshal(r *wire.Reader) { m.Cause = r.U8() }
+
+// DetachRequest deregisters the device. SwitchOff suppresses the
+// DetachAccept.
+type DetachRequest struct {
+	GUTI      guti.GUTI
+	SwitchOff bool
+}
+
+// Type implements Message.
+func (*DetachRequest) Type() MessageType { return TypeDetachRequest }
+
+func (m *DetachRequest) marshal(w *wire.Writer) {
+	putGUTI(w, m.GUTI)
+	w.Bool(m.SwitchOff)
+}
+
+func (m *DetachRequest) unmarshal(r *wire.Reader) {
+	m.GUTI = getGUTI(r)
+	m.SwitchOff = r.Bool()
+}
+
+// DetachAccept acknowledges a detach.
+type DetachAccept struct{}
+
+// Type implements Message.
+func (*DetachAccept) Type() MessageType { return TypeDetachAccept }
+
+func (*DetachAccept) marshal(*wire.Writer)   {}
+func (*DetachAccept) unmarshal(*wire.Reader) {}

@@ -1,0 +1,142 @@
+package nas
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scale/internal/guti"
+)
+
+var testGUTI = guti.GUTI{
+	PLMN:  guti.PLMN{MCC: 310, MNC: 26},
+	MMEGI: 0x0101,
+	MMEC:  0x07,
+	MTMSI: 0xCAFEBABE,
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b := Marshal(m)
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", m.Type(), err)
+	}
+	if got.Type() != m.Type() {
+		t.Fatalf("type = %v want %v", got.Type(), m.Type())
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip %s: got %+v want %+v", m.Type(), got, m)
+	}
+	return got
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&AttachRequest{IMSI: 123456789012345, OldGUTI: testGUTI, TAI: 77, Capabilities: 0xF0F0},
+		&AttachRequest{IMSI: 1}, // zero GUTI
+		&AttachAccept{GUTI: testGUTI, TAIList: []uint16{1, 2, 3}, T3412Sec: 3240},
+		&AttachAccept{GUTI: testGUTI}, // nil TAI list
+		&AttachComplete{GUTI: testGUTI},
+		&AttachReject{Cause: CauseCongestion},
+		&AuthenticationRequest{RAND: [16]byte{1, 2, 3}, AUTN: [16]byte{4, 5, 6}},
+		&AuthenticationResponse{RES: [8]byte{9, 9, 9}},
+		&SecurityModeCommand{Alg: AlgHMACSHA256, NonceMME: 0xDEAD},
+		&SecurityModeComplete{},
+		&ServiceRequest{GUTI: testGUTI, KSI: 3, Seq: 42},
+		&ServiceAccept{EBI: 5},
+		&ServiceReject{Cause: CauseImplicitDetached},
+		&TAURequest{GUTI: testGUTI, TAI: 12},
+		&TAUAccept{GUTI: testGUTI, T3412Sec: 3240},
+		&TAUReject{Cause: CauseProtocolError},
+		&DetachRequest{GUTI: testGUTI, SwitchOff: true},
+		&DetachAccept{},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err != ErrEmpty {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := Unmarshal([]byte{0xEE}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	// Truncated AttachRequest.
+	b := Marshal(&AttachRequest{IMSI: 5})
+	if _, err := Unmarshal(b[:len(b)-2]); err == nil {
+		t.Fatal("truncated message accepted")
+	}
+	// Trailing garbage.
+	if _, err := Unmarshal(append(Marshal(&DetachAccept{}), 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestAttachAcceptHugeTAIList(t *testing.T) {
+	// A corrupt length that claims more TAIs than bytes must error, not
+	// allocate or panic.
+	b := Marshal(&AttachAccept{GUTI: testGUTI, TAIList: []uint16{1}, T3412Sec: 1})
+	// TAI count field sits right after the 11-byte GUTI (+1 type byte).
+	b[12], b[13] = 0xFF, 0xFF
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("oversized TAI list accepted")
+	}
+}
+
+func TestMessageTypeStrings(t *testing.T) {
+	for ty := TypeAttachRequest; ty <= TypeDetachAccept; ty++ {
+		if s := ty.String(); s == "" || s[0] == 'n' {
+			t.Fatalf("missing String for type %d: %q", ty, s)
+		}
+	}
+	if MessageType(200).String() != "nas.MessageType(200)" {
+		t.Fatalf("unknown type String = %q", MessageType(200).String())
+	}
+}
+
+func TestServiceRequestProperty(t *testing.T) {
+	f := func(mtmsi uint32, ksi uint8, seq uint32) bool {
+		m := &ServiceRequest{GUTI: guti.GUTI{MTMSI: mtmsi | 1}, KSI: ksi, Seq: seq}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		sr, ok := got.(*ServiceRequest)
+		return ok && *sr == *m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		// Any input must either decode or error — never panic.
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalServiceRequest(b *testing.B) {
+	m := &ServiceRequest{GUTI: testGUTI, KSI: 1, Seq: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Marshal(m)
+	}
+}
+
+func BenchmarkUnmarshalServiceRequest(b *testing.B) {
+	buf := Marshal(&ServiceRequest{GUTI: testGUTI, KSI: 1, Seq: 7})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

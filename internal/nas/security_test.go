@@ -1,0 +1,135 @@
+package nas
+
+import (
+	"bytes"
+	"testing"
+)
+
+var (
+	testK    = bytes.Repeat([]byte{0x11}, 32)
+	testRAND = bytes.Repeat([]byte{0x22}, 16)
+)
+
+func TestDeriveKASMEDeterministic(t *testing.T) {
+	a := DeriveKASME(testK, testRAND, "310-26")
+	b := DeriveKASME(testK, testRAND, "310-26")
+	if a != b {
+		t.Fatal("KASME not deterministic")
+	}
+	c := DeriveKASME(testK, testRAND, "310-27")
+	if a == c {
+		t.Fatal("KASME not bound to serving network")
+	}
+	d := DeriveKASME(testK, bytes.Repeat([]byte{0x23}, 16), "310-26")
+	if a == d {
+		t.Fatal("KASME not bound to RAND")
+	}
+}
+
+func TestDeriveKNASintAlgSeparation(t *testing.T) {
+	kasme := DeriveKASME(testK, testRAND, "310-26")
+	a := DeriveKNASint(kasme, AlgNull)
+	b := DeriveKNASint(kasme, AlgHMACSHA256)
+	if a == b {
+		t.Fatal("KNASint identical across algorithms")
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	kasme := DeriveKASME(testK, testRAND, "310-26")
+	knas := DeriveKNASint(kasme, AlgHMACSHA256)
+	msg := []byte("service-request")
+	mac := ComputeMAC(knas, 7, false, msg)
+	if err := VerifyMAC(knas, 7, false, msg, mac); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong count, direction, message or key must fail.
+	if err := VerifyMAC(knas, 8, false, msg, mac); err != ErrMACMismatch {
+		t.Fatal("wrong count accepted")
+	}
+	if err := VerifyMAC(knas, 7, true, msg, mac); err != ErrMACMismatch {
+		t.Fatal("wrong direction accepted")
+	}
+	if err := VerifyMAC(knas, 7, false, []byte("tampered"), mac); err != ErrMACMismatch {
+		t.Fatal("tampered message accepted")
+	}
+	other := DeriveKNASint(kasme, AlgNull)
+	if err := VerifyMAC(other, 7, false, msg, mac); err != ErrMACMismatch {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestSecurityContextCounters(t *testing.T) {
+	kasme := DeriveKASME(testK, testRAND, "310-26")
+
+	var ue, mme SecurityContext
+	ue.Establish(kasme, AlgHMACSHA256, 1)
+	mme.Establish(kasme, AlgHMACSHA256, 1)
+
+	// Uplink: UE seals, MME verifies — counters stay in lockstep.
+	for i := 0; i < 5; i++ {
+		msg := []byte{byte(i)}
+		mac := ue.SealUplink(msg)
+		if err := mme.VerifyUplink(msg, mac); err != nil {
+			t.Fatalf("uplink %d: %v", i, err)
+		}
+	}
+	if ue.ULCount != 5 || mme.ULCount != 5 {
+		t.Fatalf("UL counts = %d,%d", ue.ULCount, mme.ULCount)
+	}
+
+	// Downlink mirror.
+	for i := 0; i < 3; i++ {
+		msg := []byte{0xD0, byte(i)}
+		mac := mme.SealDownlink(msg)
+		if err := ue.VerifyDownlink(msg, mac); err != nil {
+			t.Fatalf("downlink %d: %v", i, err)
+		}
+	}
+	if ue.DLCount != 3 || mme.DLCount != 3 {
+		t.Fatalf("DL counts = %d,%d", ue.DLCount, mme.DLCount)
+	}
+}
+
+func TestSecurityContextReplayRejected(t *testing.T) {
+	kasme := DeriveKASME(testK, testRAND, "310-26")
+	var ue, mme SecurityContext
+	ue.Establish(kasme, AlgHMACSHA256, 1)
+	mme.Establish(kasme, AlgHMACSHA256, 1)
+
+	msg := []byte("once")
+	mac := ue.SealUplink(msg)
+	if err := mme.VerifyUplink(msg, mac); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same sealed message must fail (counter advanced).
+	if err := mme.VerifyUplink(msg, mac); err != ErrMACMismatch {
+		t.Fatal("replay accepted")
+	}
+}
+
+func TestVerifyFailureDoesNotAdvance(t *testing.T) {
+	kasme := DeriveKASME(testK, testRAND, "310-26")
+	var mme SecurityContext
+	mme.Establish(kasme, AlgHMACSHA256, 1)
+	bad := [MACLen]byte{1, 2, 3, 4}
+	_ = mme.VerifyUplink([]byte("x"), bad)
+	if mme.ULCount != 0 {
+		t.Fatalf("failed verify advanced counter to %d", mme.ULCount)
+	}
+}
+
+func TestEstablishResetsCounters(t *testing.T) {
+	kasme := DeriveKASME(testK, testRAND, "310-26")
+	var s SecurityContext
+	s.Establish(kasme, AlgHMACSHA256, 1)
+	s.SealUplink([]byte("a"))
+	s.SealDownlink([]byte("b"))
+	s.Establish(kasme, AlgHMACSHA256, 2)
+	if s.ULCount != 0 || s.DLCount != 0 {
+		t.Fatalf("re-establish kept counters: %d,%d", s.ULCount, s.DLCount)
+	}
+	if s.KSI != 2 {
+		t.Fatalf("KSI = %d", s.KSI)
+	}
+}

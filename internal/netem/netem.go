@@ -1,0 +1,184 @@
+// Package netem emulates network propagation characteristics: fixed
+// one-way delays with optional jitter, and a DC-to-DC delay matrix.
+//
+// It stands in for the Linux netem qdisc the paper uses to emulate
+// inter-DC propagation delays ("We also emulate inter-DC propagation
+// delays using netem", Section 5.1 E4-ii). The simulator samples link
+// delays from a Matrix; the TCP prototype wraps connections in a
+// DelayedConn.
+package netem
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Delay describes a one-way link delay profile.
+type Delay struct {
+	Base   time.Duration
+	Jitter time.Duration // uniform in [0, Jitter)
+}
+
+// Sample draws one delay. A nil rng yields the base delay (no jitter),
+// keeping hot paths deterministic when jitter is disabled.
+func (d Delay) Sample(rng *rand.Rand) time.Duration {
+	if d.Jitter <= 0 || rng == nil {
+		return d.Base
+	}
+	return d.Base + time.Duration(rng.Int63n(int64(d.Jitter)))
+}
+
+// RTT returns the round-trip base delay.
+func (d Delay) RTT() time.Duration { return 2 * d.Base }
+
+// Matrix holds symmetric pairwise one-way delays between sites (DCs).
+// The zero value is an empty matrix (all delays zero). Matrix is safe
+// for concurrent use.
+type Matrix struct {
+	mu    sync.RWMutex
+	delay map[[2]string]Delay
+}
+
+// NewMatrix returns an empty delay matrix.
+func NewMatrix() *Matrix {
+	return &Matrix{delay: make(map[[2]string]Delay)}
+}
+
+func key(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Set records the one-way delay between sites a and b (symmetric).
+func (m *Matrix) Set(a, b string, d Delay) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.delay == nil {
+		m.delay = make(map[[2]string]Delay)
+	}
+	m.delay[key(a, b)] = d
+}
+
+// Get returns the delay profile between a and b. Same-site and unknown
+// pairs return the zero Delay.
+func (m *Matrix) Get(a, b string) Delay {
+	if a == b {
+		return Delay{}
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.delay[key(a, b)]
+}
+
+// OneWay samples a one-way delay from a to b.
+func (m *Matrix) OneWay(a, b string, rng *rand.Rand) time.Duration {
+	return m.Get(a, b).Sample(rng)
+}
+
+// Sites returns every site named in the matrix, deduplicated, in
+// unspecified order.
+func (m *Matrix) Sites() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for k := range m.delay {
+		for _, s := range k[:] {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// DelayedConn wraps a net.Conn so every Write is delivered to the
+// underlying connection after a one-way delay, preserving write order.
+// Reads pass through untouched (the peer applies its own delay).
+type DelayedConn struct {
+	net.Conn
+	delay Delay
+	rng   *rand.Rand
+
+	mu     sync.Mutex
+	queue  chan delayedChunk
+	closed bool
+	err    error
+	wg     sync.WaitGroup
+}
+
+type delayedChunk struct {
+	due  time.Time
+	data []byte
+}
+
+// NewDelayedConn wraps conn. seed feeds the jitter source; writes are
+// copied, so callers may reuse their buffers immediately.
+func NewDelayedConn(conn net.Conn, delay Delay, seed int64) *DelayedConn {
+	d := &DelayedConn{
+		Conn:  conn,
+		delay: delay,
+		rng:   rand.New(rand.NewSource(seed)),
+		queue: make(chan delayedChunk, 1024),
+	}
+	d.wg.Add(1)
+	go d.writer()
+	return d
+}
+
+func (d *DelayedConn) writer() {
+	defer d.wg.Done()
+	for chunk := range d.queue {
+		if wait := time.Until(chunk.due); wait > 0 {
+			time.Sleep(wait)
+		}
+		if _, err := d.Conn.Write(chunk.data); err != nil {
+			d.mu.Lock()
+			if d.err == nil {
+				d.err = err
+			}
+			d.mu.Unlock()
+			// Keep draining so senders don't block forever.
+		}
+	}
+}
+
+// Write queues b for delayed delivery. It reports len(b) immediately
+// unless a previous delivery failed or the conn is closed.
+func (d *DelayedConn) Write(b []byte) (int, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	if d.err != nil {
+		err := d.err
+		d.mu.Unlock()
+		return 0, err
+	}
+	due := time.Now().Add(d.delay.Sample(d.rng))
+	data := make([]byte, len(b))
+	copy(data, b)
+	d.mu.Unlock()
+	d.queue <- delayedChunk{due: due, data: data}
+	return len(b), nil
+}
+
+// Close flushes queued writes and closes the underlying connection.
+func (d *DelayedConn) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.queue)
+	d.wg.Wait()
+	return d.Conn.Close()
+}

@@ -1,0 +1,193 @@
+package netem
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDelaySample(t *testing.T) {
+	d := Delay{Base: 10 * time.Millisecond}
+	if got := d.Sample(nil); got != 10*time.Millisecond {
+		t.Fatalf("no-jitter sample = %v", got)
+	}
+	if got := d.RTT(); got != 20*time.Millisecond {
+		t.Fatalf("RTT = %v", got)
+	}
+	dj := Delay{Base: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		got := dj.Sample(rng)
+		if got < 10*time.Millisecond || got >= 15*time.Millisecond {
+			t.Fatalf("jittered sample out of range: %v", got)
+		}
+	}
+	// Jitter configured but nil rng: deterministic base.
+	if got := dj.Sample(nil); got != 10*time.Millisecond {
+		t.Fatalf("nil-rng sample = %v", got)
+	}
+}
+
+func TestMatrixSymmetric(t *testing.T) {
+	m := NewMatrix()
+	m.Set("dc1", "dc2", Delay{Base: 30 * time.Millisecond})
+	if got := m.Get("dc1", "dc2").Base; got != 30*time.Millisecond {
+		t.Fatalf("forward = %v", got)
+	}
+	if got := m.Get("dc2", "dc1").Base; got != 30*time.Millisecond {
+		t.Fatalf("reverse = %v", got)
+	}
+	if got := m.Get("dc1", "dc1"); got != (Delay{}) {
+		t.Fatalf("same-site = %v", got)
+	}
+	if got := m.Get("dc1", "dc9"); got != (Delay{}) {
+		t.Fatalf("unknown pair = %v", got)
+	}
+}
+
+func TestMatrixZeroValueUsable(t *testing.T) {
+	var m Matrix
+	if got := m.Get("a", "b"); got != (Delay{}) {
+		t.Fatalf("zero matrix get = %v", got)
+	}
+	m.Set("a", "b", Delay{Base: time.Millisecond})
+	if got := m.Get("b", "a").Base; got != time.Millisecond {
+		t.Fatalf("zero matrix set/get = %v", got)
+	}
+}
+
+func TestMatrixSites(t *testing.T) {
+	m := NewMatrix()
+	m.Set("dc1", "dc2", Delay{Base: time.Millisecond})
+	m.Set("dc2", "dc3", Delay{Base: time.Millisecond})
+	sites := m.Sites()
+	if len(sites) != 3 {
+		t.Fatalf("sites = %v", sites)
+	}
+}
+
+func TestMatrixOneWay(t *testing.T) {
+	m := NewMatrix()
+	m.Set("a", "b", Delay{Base: 5 * time.Millisecond})
+	if got := m.OneWay("a", "b", nil); got != 5*time.Millisecond {
+		t.Fatalf("OneWay = %v", got)
+	}
+}
+
+func TestMatrixConcurrent(t *testing.T) {
+	m := NewMatrix()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); m.Set("a", "b", Delay{Base: time.Millisecond}) }()
+		go func() { defer wg.Done(); _ = m.Get("a", "b") }()
+	}
+	wg.Wait()
+}
+
+func TestDelayedConnDelivers(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	dc := NewDelayedConn(client, Delay{Base: 20 * time.Millisecond}, 1)
+	defer dc.Close()
+
+	msg := []byte("hello")
+	start := time.Now()
+	if _, err := dc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("payload = %q", buf)
+	}
+	if elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered too fast: %v", elapsed)
+	}
+}
+
+func TestDelayedConnPreservesOrder(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	dc := NewDelayedConn(client, Delay{Base: time.Millisecond, Jitter: 2 * time.Millisecond}, 2)
+	defer dc.Close()
+
+	go func() {
+		for i := byte(0); i < 20; i++ {
+			dc.Write([]byte{i})
+		}
+	}()
+	buf := make([]byte, 1)
+	for i := byte(0); i < 20; i++ {
+		if _, err := server.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != i {
+			t.Fatalf("out of order: got %d want %d", buf[0], i)
+		}
+	}
+}
+
+func TestDelayedConnBufferReuse(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	dc := NewDelayedConn(client, Delay{Base: 10 * time.Millisecond}, 3)
+	defer dc.Close()
+
+	buf := []byte("aaaa")
+	dc.Write(buf)
+	copy(buf, "bbbb") // caller reuses its buffer immediately
+	got := make([]byte, 4)
+	if _, err := server.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aaaa" {
+		t.Fatalf("buffer aliasing: got %q", got)
+	}
+}
+
+func TestDelayedConnWriteAfterClose(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	dc := NewDelayedConn(client, Delay{}, 4)
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	if err := dc.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestDelayedConnCloseFlushes(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	dc := NewDelayedConn(client, Delay{Base: 10 * time.Millisecond}, 5)
+
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 5)
+		n, _ := server.Read(buf)
+		done <- buf[:n]
+	}()
+	dc.Write([]byte("flush"))
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if string(got) != "flush" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not flush queued write")
+	}
+}

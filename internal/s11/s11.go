@@ -1,0 +1,296 @@
+// Package s11 implements a GTP-C-like codec for the S11 interface
+// between the MME and the Serving Gateway (3GPP TS 29.274, simplified):
+// session (default bearer) creation and deletion, bearer modification on
+// idle↔active transitions and handovers, and downlink data notification,
+// which triggers paging.
+package s11
+
+import (
+	"errors"
+	"fmt"
+
+	"scale/internal/wire"
+)
+
+// MessageType tags an S11 message on the wire.
+type MessageType uint8
+
+// S11 message types.
+const (
+	TypeCreateSessionRequest MessageType = iota + 1
+	TypeCreateSessionResponse
+	TypeModifyBearerRequest
+	TypeModifyBearerResponse
+	TypeReleaseAccessBearersRequest
+	TypeReleaseAccessBearersResponse
+	TypeDeleteSessionRequest
+	TypeDeleteSessionResponse
+	TypeDownlinkDataNotification
+	TypeDownlinkDataNotificationAck
+)
+
+// String names the message type.
+func (t MessageType) String() string {
+	names := [...]string{
+		TypeCreateSessionRequest:         "CreateSessionRequest",
+		TypeCreateSessionResponse:        "CreateSessionResponse",
+		TypeModifyBearerRequest:          "ModifyBearerRequest",
+		TypeModifyBearerResponse:         "ModifyBearerResponse",
+		TypeReleaseAccessBearersRequest:  "ReleaseAccessBearersRequest",
+		TypeReleaseAccessBearersResponse: "ReleaseAccessBearersResponse",
+		TypeDeleteSessionRequest:         "DeleteSessionRequest",
+		TypeDeleteSessionResponse:        "DeleteSessionResponse",
+		TypeDownlinkDataNotification:     "DownlinkDataNotification",
+		TypeDownlinkDataNotificationAck:  "DownlinkDataNotificationAck",
+	}
+	if int(t) < len(names) && names[t] != "" {
+		return names[t]
+	}
+	return fmt.Sprintf("s11.MessageType(%d)", uint8(t))
+}
+
+// Cause codes.
+const (
+	CauseAccepted        uint8 = 16
+	CauseContextNotFound uint8 = 64
+	CauseNoResources     uint8 = 73
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrUnknownType = errors.New("s11: unknown message type")
+	ErrEmpty       = errors.New("s11: empty message")
+)
+
+// Message is a decoded S11 message.
+type Message interface {
+	Type() MessageType
+	marshal(w *wire.Writer)
+	unmarshal(r *wire.Reader)
+}
+
+// Marshal encodes m with its type tag.
+func Marshal(m Message) []byte {
+	w := wire.NewWriter(64)
+	w.U8(uint8(m.Type()))
+	m.marshal(w)
+	return w.Bytes()
+}
+
+// Unmarshal decodes an S11 message.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrEmpty
+	}
+	m := newMessage(MessageType(b[0]))
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
+	}
+	r := wire.NewReader(b[1:])
+	m.unmarshal(r)
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("s11: decode %s: %w", m.Type(), err)
+	}
+	return m, nil
+}
+
+func newMessage(t MessageType) Message {
+	switch t {
+	case TypeCreateSessionRequest:
+		return &CreateSessionRequest{}
+	case TypeCreateSessionResponse:
+		return &CreateSessionResponse{}
+	case TypeModifyBearerRequest:
+		return &ModifyBearerRequest{}
+	case TypeModifyBearerResponse:
+		return &ModifyBearerResponse{}
+	case TypeReleaseAccessBearersRequest:
+		return &ReleaseAccessBearersRequest{}
+	case TypeReleaseAccessBearersResponse:
+		return &ReleaseAccessBearersResponse{}
+	case TypeDeleteSessionRequest:
+		return &DeleteSessionRequest{}
+	case TypeDeleteSessionResponse:
+		return &DeleteSessionResponse{}
+	case TypeDownlinkDataNotification:
+		return &DownlinkDataNotification{}
+	case TypeDownlinkDataNotificationAck:
+		return &DownlinkDataNotificationAck{}
+	default:
+		return nil
+	}
+}
+
+// CreateSessionRequest establishes the default bearer for a device
+// during attach. MMETEID embeds the owning MMP id (package ueid), the
+// S11-side analogue of the S1AP id embedding.
+type CreateSessionRequest struct {
+	IMSI     uint64
+	MMETEID  uint32 // MME-side tunnel endpoint for this session
+	APN      string
+	BearerID uint8
+}
+
+// Type implements Message.
+func (*CreateSessionRequest) Type() MessageType { return TypeCreateSessionRequest }
+
+func (m *CreateSessionRequest) marshal(w *wire.Writer) {
+	w.U64(m.IMSI)
+	w.U32(m.MMETEID)
+	w.String16(m.APN)
+	w.U8(m.BearerID)
+}
+
+func (m *CreateSessionRequest) unmarshal(r *wire.Reader) {
+	m.IMSI = r.U64()
+	m.MMETEID = r.U32()
+	m.APN = r.String16()
+	m.BearerID = r.U8()
+}
+
+// CreateSessionResponse returns the S-GW tunnel endpoint and the
+// device's PDN address.
+type CreateSessionResponse struct {
+	Cause    uint8
+	SGWTEID  uint32
+	PDNAddr  uint32 // IPv4 address assigned to the device
+	BearerID uint8
+}
+
+// Type implements Message.
+func (*CreateSessionResponse) Type() MessageType { return TypeCreateSessionResponse }
+
+func (m *CreateSessionResponse) marshal(w *wire.Writer) {
+	w.U8(m.Cause)
+	w.U32(m.SGWTEID)
+	w.U32(m.PDNAddr)
+	w.U8(m.BearerID)
+}
+
+func (m *CreateSessionResponse) unmarshal(r *wire.Reader) {
+	m.Cause = r.U8()
+	m.SGWTEID = r.U32()
+	m.PDNAddr = r.U32()
+	m.BearerID = r.U8()
+}
+
+// ModifyBearerRequest points the S-GW's downlink at a (new) eNodeB
+// tunnel endpoint: sent on Idle→Active and at handover completion.
+type ModifyBearerRequest struct {
+	SGWTEID  uint32
+	ENBTEID  uint32
+	ENBAddr  string
+	BearerID uint8
+}
+
+// Type implements Message.
+func (*ModifyBearerRequest) Type() MessageType { return TypeModifyBearerRequest }
+
+func (m *ModifyBearerRequest) marshal(w *wire.Writer) {
+	w.U32(m.SGWTEID)
+	w.U32(m.ENBTEID)
+	w.String16(m.ENBAddr)
+	w.U8(m.BearerID)
+}
+
+func (m *ModifyBearerRequest) unmarshal(r *wire.Reader) {
+	m.SGWTEID = r.U32()
+	m.ENBTEID = r.U32()
+	m.ENBAddr = r.String16()
+	m.BearerID = r.U8()
+}
+
+// ModifyBearerResponse acknowledges the modification.
+type ModifyBearerResponse struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (*ModifyBearerResponse) Type() MessageType { return TypeModifyBearerResponse }
+
+func (m *ModifyBearerResponse) marshal(w *wire.Writer)   { w.U8(m.Cause) }
+func (m *ModifyBearerResponse) unmarshal(r *wire.Reader) { m.Cause = r.U8() }
+
+// ReleaseAccessBearersRequest tears down the radio-side path on
+// Active→Idle; the session itself survives.
+type ReleaseAccessBearersRequest struct {
+	SGWTEID uint32
+}
+
+// Type implements Message.
+func (*ReleaseAccessBearersRequest) Type() MessageType { return TypeReleaseAccessBearersRequest }
+
+func (m *ReleaseAccessBearersRequest) marshal(w *wire.Writer)   { w.U32(m.SGWTEID) }
+func (m *ReleaseAccessBearersRequest) unmarshal(r *wire.Reader) { m.SGWTEID = r.U32() }
+
+// ReleaseAccessBearersResponse acknowledges the release.
+type ReleaseAccessBearersResponse struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (*ReleaseAccessBearersResponse) Type() MessageType { return TypeReleaseAccessBearersResponse }
+
+func (m *ReleaseAccessBearersResponse) marshal(w *wire.Writer)   { w.U8(m.Cause) }
+func (m *ReleaseAccessBearersResponse) unmarshal(r *wire.Reader) { m.Cause = r.U8() }
+
+// DeleteSessionRequest removes the device's session entirely (detach).
+type DeleteSessionRequest struct {
+	SGWTEID  uint32
+	BearerID uint8
+}
+
+// Type implements Message.
+func (*DeleteSessionRequest) Type() MessageType { return TypeDeleteSessionRequest }
+
+func (m *DeleteSessionRequest) marshal(w *wire.Writer) {
+	w.U32(m.SGWTEID)
+	w.U8(m.BearerID)
+}
+
+func (m *DeleteSessionRequest) unmarshal(r *wire.Reader) {
+	m.SGWTEID = r.U32()
+	m.BearerID = r.U8()
+}
+
+// DeleteSessionResponse acknowledges deletion.
+type DeleteSessionResponse struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (*DeleteSessionResponse) Type() MessageType { return TypeDeleteSessionResponse }
+
+func (m *DeleteSessionResponse) marshal(w *wire.Writer)   { w.U8(m.Cause) }
+func (m *DeleteSessionResponse) unmarshal(r *wire.Reader) { m.Cause = r.U8() }
+
+// DownlinkDataNotification tells the MME that downlink packets arrived
+// for an Idle device; the MME responds by paging it.
+type DownlinkDataNotification struct {
+	SGWTEID uint32
+	MMETEID uint32
+}
+
+// Type implements Message.
+func (*DownlinkDataNotification) Type() MessageType { return TypeDownlinkDataNotification }
+
+func (m *DownlinkDataNotification) marshal(w *wire.Writer) {
+	w.U32(m.SGWTEID)
+	w.U32(m.MMETEID)
+}
+
+func (m *DownlinkDataNotification) unmarshal(r *wire.Reader) {
+	m.SGWTEID = r.U32()
+	m.MMETEID = r.U32()
+}
+
+// DownlinkDataNotificationAck acknowledges the notification.
+type DownlinkDataNotificationAck struct {
+	Cause uint8
+}
+
+// Type implements Message.
+func (*DownlinkDataNotificationAck) Type() MessageType { return TypeDownlinkDataNotificationAck }
+
+func (m *DownlinkDataNotificationAck) marshal(w *wire.Writer)   { w.U8(m.Cause) }
+func (m *DownlinkDataNotificationAck) unmarshal(r *wire.Reader) { m.Cause = r.U8() }

@@ -1,0 +1,85 @@
+package s11
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&CreateSessionRequest{IMSI: 123456789, MMETEID: 0x01000001, APN: "internet", BearerID: 5},
+		&CreateSessionResponse{Cause: CauseAccepted, SGWTEID: 42, PDNAddr: 0x0A000001, BearerID: 5},
+		&ModifyBearerRequest{SGWTEID: 42, ENBTEID: 77, ENBAddr: "10.1.0.1:2152", BearerID: 5},
+		&ModifyBearerResponse{Cause: CauseAccepted},
+		&ReleaseAccessBearersRequest{SGWTEID: 42},
+		&ReleaseAccessBearersResponse{Cause: CauseAccepted},
+		&DeleteSessionRequest{SGWTEID: 42, BearerID: 5},
+		&DeleteSessionResponse{Cause: CauseContextNotFound},
+		&DownlinkDataNotification{SGWTEID: 42, MMETEID: 0x01000001},
+		&DownlinkDataNotificationAck{Cause: CauseAccepted},
+	}
+	for _, m := range msgs {
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %s: got %+v want %+v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err != ErrEmpty {
+		t.Fatalf("empty = %v", err)
+	}
+	if _, err := Unmarshal([]byte{200}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	b := Marshal(&CreateSessionRequest{IMSI: 1, APN: "x"})
+	if _, err := Unmarshal(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if _, err := Unmarshal(append(Marshal(&ModifyBearerResponse{}), 1)); err == nil {
+		t.Fatal("trailing accepted")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := TypeCreateSessionRequest; ty <= TypeDownlinkDataNotificationAck; ty++ {
+		if s := ty.String(); s == "" || s[0] == 's' {
+			t.Fatalf("type %d String = %q", ty, s)
+		}
+	}
+	if MessageType(77).String() != "s11.MessageType(77)" {
+		t.Fatal("unknown String")
+	}
+}
+
+func TestCreateSessionProperty(t *testing.T) {
+	f := func(imsi uint64, teid uint32, apn string, ebi uint8) bool {
+		if len(apn) > 1<<15 {
+			return true
+		}
+		m := &CreateSessionRequest{IMSI: imsi, MMETEID: teid, APN: apn, BearerID: ebi}
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,561 @@
+// Package s1ap implements an S1AP-like codec: the control protocol
+// between eNodeBs and the MME on the S1-MME interface (3GPP TS 36.413,
+// simplified).
+//
+// The procedures modeled are the ones the paper's experiments exercise:
+// S1 Setup, initial/uplink/downlink NAS transport, initial context setup
+// (bearer establishment toward the eNodeB), UE context release
+// (Active→Idle), paging, and the S1 handover sequence. NAS PDUs ride
+// opaquely inside transport messages exactly as in real S1AP.
+package s1ap
+
+import (
+	"errors"
+	"fmt"
+
+	"scale/internal/wire"
+)
+
+// MessageType tags an S1AP message on the wire.
+type MessageType uint8
+
+// S1AP message types.
+const (
+	TypeS1SetupRequest MessageType = iota + 1
+	TypeS1SetupResponse
+	TypeInitialUEMessage
+	TypeUplinkNASTransport
+	TypeDownlinkNASTransport
+	TypeInitialContextSetupRequest
+	TypeInitialContextSetupResponse
+	TypeUEContextReleaseCommand
+	TypeUEContextReleaseComplete
+	TypePaging
+	TypeHandoverRequired
+	TypeHandoverRequest
+	TypeHandoverRequestAck
+	TypeHandoverCommand
+	TypeHandoverNotify
+	TypeOverloadStart
+	TypeOverloadStop
+	TypeUEContextReleaseRequest
+)
+
+// String names the message type.
+func (t MessageType) String() string {
+	names := [...]string{
+		TypeS1SetupRequest:              "S1SetupRequest",
+		TypeS1SetupResponse:             "S1SetupResponse",
+		TypeInitialUEMessage:            "InitialUEMessage",
+		TypeUplinkNASTransport:          "UplinkNASTransport",
+		TypeDownlinkNASTransport:        "DownlinkNASTransport",
+		TypeInitialContextSetupRequest:  "InitialContextSetupRequest",
+		TypeInitialContextSetupResponse: "InitialContextSetupResponse",
+		TypeUEContextReleaseCommand:     "UEContextReleaseCommand",
+		TypeUEContextReleaseComplete:    "UEContextReleaseComplete",
+		TypePaging:                      "Paging",
+		TypeHandoverRequired:            "HandoverRequired",
+		TypeHandoverRequest:             "HandoverRequest",
+		TypeHandoverRequestAck:          "HandoverRequestAck",
+		TypeHandoverCommand:             "HandoverCommand",
+		TypeHandoverNotify:              "HandoverNotify",
+		TypeOverloadStart:               "OverloadStart",
+		TypeOverloadStop:                "OverloadStop",
+		TypeUEContextReleaseRequest:     "UEContextReleaseRequest",
+	}
+	if int(t) < len(names) && names[t] != "" {
+		return names[t]
+	}
+	return fmt.Sprintf("s1ap.MessageType(%d)", uint8(t))
+}
+
+// Errors returned by Unmarshal.
+var (
+	ErrUnknownType = errors.New("s1ap: unknown message type")
+	ErrEmpty       = errors.New("s1ap: empty message")
+)
+
+// Message is a decoded S1AP message.
+type Message interface {
+	Type() MessageType
+	marshal(w *wire.Writer)
+	unmarshal(r *wire.Reader)
+}
+
+// Marshal encodes m with its type tag.
+func Marshal(m Message) []byte {
+	w := wire.NewWriter(96)
+	w.U8(uint8(m.Type()))
+	m.marshal(w)
+	return w.Bytes()
+}
+
+// Unmarshal decodes an S1AP message.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrEmpty
+	}
+	m := newMessage(MessageType(b[0]))
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
+	}
+	r := wire.NewReader(b[1:])
+	m.unmarshal(r)
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("s1ap: decode %s: %w", m.Type(), err)
+	}
+	return m, nil
+}
+
+func newMessage(t MessageType) Message {
+	switch t {
+	case TypeS1SetupRequest:
+		return &S1SetupRequest{}
+	case TypeS1SetupResponse:
+		return &S1SetupResponse{}
+	case TypeInitialUEMessage:
+		return &InitialUEMessage{}
+	case TypeUplinkNASTransport:
+		return &UplinkNASTransport{}
+	case TypeDownlinkNASTransport:
+		return &DownlinkNASTransport{}
+	case TypeInitialContextSetupRequest:
+		return &InitialContextSetupRequest{}
+	case TypeInitialContextSetupResponse:
+		return &InitialContextSetupResponse{}
+	case TypeUEContextReleaseCommand:
+		return &UEContextReleaseCommand{}
+	case TypeUEContextReleaseComplete:
+		return &UEContextReleaseComplete{}
+	case TypePaging:
+		return &Paging{}
+	case TypeHandoverRequired:
+		return &HandoverRequired{}
+	case TypeHandoverRequest:
+		return &HandoverRequest{}
+	case TypeHandoverRequestAck:
+		return &HandoverRequestAck{}
+	case TypeHandoverCommand:
+		return &HandoverCommand{}
+	case TypeHandoverNotify:
+		return &HandoverNotify{}
+	case TypeOverloadStart:
+		return &OverloadStart{}
+	case TypeOverloadStop:
+		return &OverloadStop{}
+	case TypeUEContextReleaseRequest:
+		return &UEContextReleaseRequest{}
+	default:
+		return nil
+	}
+}
+
+func putU16List(w *wire.Writer, list []uint16) {
+	w.U16(uint16(len(list)))
+	for _, v := range list {
+		w.U16(v)
+	}
+}
+
+func getU16List(r *wire.Reader) []uint16 {
+	n := int(r.U16())
+	if n == 0 {
+		return nil
+	}
+	if n > r.Remaining()/2 {
+		_ = r.Raw(r.Remaining() + 1) // poison: declared more than present
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = r.U16()
+	}
+	return out
+}
+
+// S1SetupRequest is sent by an eNodeB when it connects to an MME.
+type S1SetupRequest struct {
+	ENBID uint32
+	Name  string
+	TAIs  []uint16 // tracking areas served by this eNodeB
+}
+
+// Type implements Message.
+func (*S1SetupRequest) Type() MessageType { return TypeS1SetupRequest }
+
+func (m *S1SetupRequest) marshal(w *wire.Writer) {
+	w.U32(m.ENBID)
+	w.String16(m.Name)
+	putU16List(w, m.TAIs)
+}
+
+func (m *S1SetupRequest) unmarshal(r *wire.Reader) {
+	m.ENBID = r.U32()
+	m.Name = r.String16()
+	m.TAIs = getU16List(r)
+}
+
+// S1SetupResponse acknowledges the eNodeB. RelativeCapacity is the MME
+// weight factor eNodeBs use for load-spreading in legacy pools —
+// precisely the static knob Section 3.1 calls out as inadequate.
+type S1SetupResponse struct {
+	MMEName          string
+	ServedMMEGIs     []uint16
+	RelativeCapacity uint8
+}
+
+// Type implements Message.
+func (*S1SetupResponse) Type() MessageType { return TypeS1SetupResponse }
+
+func (m *S1SetupResponse) marshal(w *wire.Writer) {
+	w.String16(m.MMEName)
+	putU16List(w, m.ServedMMEGIs)
+	w.U8(m.RelativeCapacity)
+}
+
+func (m *S1SetupResponse) unmarshal(r *wire.Reader) {
+	m.MMEName = r.String16()
+	m.ServedMMEGIs = getU16List(r)
+	m.RelativeCapacity = r.U8()
+}
+
+// InitialUEMessage carries the first NAS PDU of a UE transaction (e.g.
+// an AttachRequest or ServiceRequest) from the eNodeB to the MME.
+type InitialUEMessage struct {
+	ENBUEID uint32 // eNodeB-assigned per-UE S1AP id
+	TAI     uint16
+	NASPDU  []byte
+}
+
+// Type implements Message.
+func (*InitialUEMessage) Type() MessageType { return TypeInitialUEMessage }
+
+func (m *InitialUEMessage) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U16(m.TAI)
+	w.Bytes16(m.NASPDU)
+}
+
+func (m *InitialUEMessage) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.TAI = r.U16()
+	m.NASPDU = r.Bytes16()
+}
+
+// UplinkNASTransport carries subsequent NAS PDUs for an established UE
+// context. MMEUEID embeds the owning MMP (package ueid), which is how
+// the MLB routes Active-mode traffic without per-device tables.
+type UplinkNASTransport struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	NASPDU  []byte
+}
+
+// Type implements Message.
+func (*UplinkNASTransport) Type() MessageType { return TypeUplinkNASTransport }
+
+func (m *UplinkNASTransport) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.Bytes16(m.NASPDU)
+}
+
+func (m *UplinkNASTransport) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+	m.NASPDU = r.Bytes16()
+}
+
+// DownlinkNASTransport carries NAS PDUs from the MME to the UE.
+type DownlinkNASTransport struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	NASPDU  []byte
+}
+
+// Type implements Message.
+func (*DownlinkNASTransport) Type() MessageType { return TypeDownlinkNASTransport }
+
+func (m *DownlinkNASTransport) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.Bytes16(m.NASPDU)
+}
+
+func (m *DownlinkNASTransport) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+	m.NASPDU = r.Bytes16()
+}
+
+// InitialContextSetupRequest instructs the eNodeB to establish the
+// radio-side bearer toward the S-GW.
+type InitialContextSetupRequest struct {
+	ENBUEID  uint32
+	MMEUEID  uint32
+	SGWTEID  uint32
+	SGWAddr  string
+	KeyENB   [32]byte // derived radio security key
+	BearerID uint8
+}
+
+// Type implements Message.
+func (*InitialContextSetupRequest) Type() MessageType { return TypeInitialContextSetupRequest }
+
+func (m *InitialContextSetupRequest) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.U32(m.SGWTEID)
+	w.String16(m.SGWAddr)
+	w.Raw(m.KeyENB[:])
+	w.U8(m.BearerID)
+}
+
+func (m *InitialContextSetupRequest) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+	m.SGWTEID = r.U32()
+	m.SGWAddr = r.String16()
+	copy(m.KeyENB[:], r.Raw(32))
+	m.BearerID = r.U8()
+}
+
+// InitialContextSetupResponse confirms bearer establishment and carries
+// the eNodeB-side tunnel endpoint.
+type InitialContextSetupResponse struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	ENBTEID uint32
+}
+
+// Type implements Message.
+func (*InitialContextSetupResponse) Type() MessageType { return TypeInitialContextSetupResponse }
+
+func (m *InitialContextSetupResponse) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.U32(m.ENBTEID)
+}
+
+func (m *InitialContextSetupResponse) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+	m.ENBTEID = r.U32()
+}
+
+// UEContextReleaseCommand tears down the UE's S1 context
+// (Active→Idle).
+type UEContextReleaseCommand struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	Cause   uint8
+}
+
+// Type implements Message.
+func (*UEContextReleaseCommand) Type() MessageType { return TypeUEContextReleaseCommand }
+
+func (m *UEContextReleaseCommand) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.U8(m.Cause)
+}
+
+func (m *UEContextReleaseCommand) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+	m.Cause = r.U8()
+}
+
+// UEContextReleaseComplete acknowledges the release.
+type UEContextReleaseComplete struct {
+	ENBUEID uint32
+	MMEUEID uint32
+}
+
+// Type implements Message.
+func (*UEContextReleaseComplete) Type() MessageType { return TypeUEContextReleaseComplete }
+
+func (m *UEContextReleaseComplete) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+}
+
+func (m *UEContextReleaseComplete) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+}
+
+// Paging wakes an Idle device: broadcast to every eNodeB serving the
+// device's tracking areas.
+type Paging struct {
+	MTMSI uint32
+	TAIs  []uint16
+}
+
+// Type implements Message.
+func (*Paging) Type() MessageType { return TypePaging }
+
+func (m *Paging) marshal(w *wire.Writer) {
+	w.U32(m.MTMSI)
+	putU16List(w, m.TAIs)
+}
+
+func (m *Paging) unmarshal(r *wire.Reader) {
+	m.MTMSI = r.U32()
+	m.TAIs = getU16List(r)
+}
+
+// HandoverRequired starts an S1 handover: the source eNodeB asks the MME
+// to move the UE to the target eNodeB.
+type HandoverRequired struct {
+	ENBUEID   uint32
+	MMEUEID   uint32
+	TargetENB uint32
+}
+
+// Type implements Message.
+func (*HandoverRequired) Type() MessageType { return TypeHandoverRequired }
+
+func (m *HandoverRequired) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.U32(m.TargetENB)
+}
+
+func (m *HandoverRequired) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+	m.TargetENB = r.U32()
+}
+
+// HandoverRequest asks the target eNodeB to admit the UE.
+type HandoverRequest struct {
+	MMEUEID  uint32
+	SGWTEID  uint32
+	BearerID uint8
+}
+
+// Type implements Message.
+func (*HandoverRequest) Type() MessageType { return TypeHandoverRequest }
+
+func (m *HandoverRequest) marshal(w *wire.Writer) {
+	w.U32(m.MMEUEID)
+	w.U32(m.SGWTEID)
+	w.U8(m.BearerID)
+}
+
+func (m *HandoverRequest) unmarshal(r *wire.Reader) {
+	m.MMEUEID = r.U32()
+	m.SGWTEID = r.U32()
+	m.BearerID = r.U8()
+}
+
+// HandoverRequestAck is the target eNodeB's admission, with its new
+// per-UE id and tunnel endpoint.
+type HandoverRequestAck struct {
+	MMEUEID    uint32
+	NewENBUEID uint32
+	ENBTEID    uint32
+}
+
+// Type implements Message.
+func (*HandoverRequestAck) Type() MessageType { return TypeHandoverRequestAck }
+
+func (m *HandoverRequestAck) marshal(w *wire.Writer) {
+	w.U32(m.MMEUEID)
+	w.U32(m.NewENBUEID)
+	w.U32(m.ENBTEID)
+}
+
+func (m *HandoverRequestAck) unmarshal(r *wire.Reader) {
+	m.MMEUEID = r.U32()
+	m.NewENBUEID = r.U32()
+	m.ENBTEID = r.U32()
+}
+
+// HandoverCommand tells the source eNodeB to execute the handover.
+type HandoverCommand struct {
+	ENBUEID uint32
+	MMEUEID uint32
+}
+
+// Type implements Message.
+func (*HandoverCommand) Type() MessageType { return TypeHandoverCommand }
+
+func (m *HandoverCommand) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+}
+
+func (m *HandoverCommand) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+}
+
+// HandoverNotify is the target eNodeB's confirmation that the UE has
+// arrived.
+type HandoverNotify struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	TAI     uint16
+}
+
+// Type implements Message.
+func (*HandoverNotify) Type() MessageType { return TypeHandoverNotify }
+
+func (m *HandoverNotify) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.U16(m.TAI)
+}
+
+func (m *HandoverNotify) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+	m.TAI = r.U16()
+}
+
+// UEContextReleaseRequest is the eNodeB's request to release an
+// inactive UE's S1 context — the trigger for the Active→Idle
+// transition (and hence for SCALE's replica refresh).
+type UEContextReleaseRequest struct {
+	ENBUEID uint32
+	MMEUEID uint32
+	Cause   uint8
+}
+
+// Type implements Message.
+func (*UEContextReleaseRequest) Type() MessageType { return TypeUEContextReleaseRequest }
+
+func (m *UEContextReleaseRequest) marshal(w *wire.Writer) {
+	w.U32(m.ENBUEID)
+	w.U32(m.MMEUEID)
+	w.U8(m.Cause)
+}
+
+func (m *UEContextReleaseRequest) unmarshal(r *wire.Reader) {
+	m.ENBUEID = r.U32()
+	m.MMEUEID = r.U32()
+	m.Cause = r.U8()
+}
+
+// OverloadStart asks eNodeBs to throttle traffic toward an overloaded
+// MME — the reactive 3GPP mechanism the baseline uses.
+type OverloadStart struct {
+	TrafficLoadReduction uint8 // percentage 0-100
+}
+
+// Type implements Message.
+func (*OverloadStart) Type() MessageType { return TypeOverloadStart }
+
+func (m *OverloadStart) marshal(w *wire.Writer)   { w.U8(m.TrafficLoadReduction) }
+func (m *OverloadStart) unmarshal(r *wire.Reader) { m.TrafficLoadReduction = r.U8() }
+
+// OverloadStop ends throttling.
+type OverloadStop struct{}
+
+// Type implements Message.
+func (*OverloadStop) Type() MessageType { return TypeOverloadStop }
+
+func (*OverloadStop) marshal(*wire.Writer)   {}
+func (*OverloadStop) unmarshal(*wire.Reader) {}

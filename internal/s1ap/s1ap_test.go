@@ -1,0 +1,110 @@
+package s1ap
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&S1SetupRequest{ENBID: 100, Name: "enb-100", TAIs: []uint16{1, 2}},
+		&S1SetupRequest{ENBID: 1}, // empty name/TAIs
+		&S1SetupResponse{MMEName: "mlb-1", ServedMMEGIs: []uint16{0x0101}, RelativeCapacity: 200},
+		&InitialUEMessage{ENBUEID: 7, TAI: 3, NASPDU: []byte{1, 2, 3}},
+		&UplinkNASTransport{ENBUEID: 7, MMEUEID: 0x01000009, NASPDU: []byte{4}},
+		&DownlinkNASTransport{ENBUEID: 7, MMEUEID: 9, NASPDU: []byte{5, 6}},
+		&InitialContextSetupRequest{ENBUEID: 7, MMEUEID: 9, SGWTEID: 11, SGWAddr: "10.0.0.2:2123", KeyENB: [32]byte{1}, BearerID: 5},
+		&InitialContextSetupResponse{ENBUEID: 7, MMEUEID: 9, ENBTEID: 12},
+		&UEContextReleaseCommand{ENBUEID: 7, MMEUEID: 9, Cause: 1},
+		&UEContextReleaseComplete{ENBUEID: 7, MMEUEID: 9},
+		&Paging{MTMSI: 0xCAFE, TAIs: []uint16{3, 4, 5}},
+		&HandoverRequired{ENBUEID: 7, MMEUEID: 9, TargetENB: 200},
+		&HandoverRequest{MMEUEID: 9, SGWTEID: 11, BearerID: 5},
+		&HandoverRequestAck{MMEUEID: 9, NewENBUEID: 77, ENBTEID: 13},
+		&HandoverCommand{ENBUEID: 7, MMEUEID: 9},
+		&HandoverNotify{ENBUEID: 77, MMEUEID: 9, TAI: 4},
+		&OverloadStart{TrafficLoadReduction: 50},
+		&OverloadStop{},
+		&UEContextReleaseRequest{ENBUEID: 7, MMEUEID: 9, Cause: 2},
+	}
+	for _, m := range msgs {
+		b := Marshal(m)
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %s:\n got %+v\nwant %+v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err != ErrEmpty {
+		t.Fatalf("empty = %v", err)
+	}
+	if _, err := Unmarshal([]byte{0xEE, 1, 2}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	b := Marshal(&Paging{MTMSI: 1, TAIs: []uint16{1}})
+	if _, err := Unmarshal(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if _, err := Unmarshal(append(Marshal(&OverloadStop{}), 9)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestCorruptTAIListLength(t *testing.T) {
+	b := Marshal(&Paging{MTMSI: 5, TAIs: []uint16{1}})
+	// TAI count sits after type byte (1) + MTMSI (4).
+	b[5], b[6] = 0x7F, 0xFF
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("corrupt list length accepted")
+	}
+}
+
+func TestMessageTypeStrings(t *testing.T) {
+	for ty := TypeS1SetupRequest; ty <= TypeUEContextReleaseRequest; ty++ {
+		if s := ty.String(); s == "" || s[0] == 's' {
+			t.Fatalf("type %d String = %q", ty, s)
+		}
+	}
+	if MessageType(99).String() != "s1ap.MessageType(99)" {
+		t.Fatal("unknown type String")
+	}
+}
+
+func TestNASPDUIsolation(t *testing.T) {
+	pdu := []byte{1, 2, 3}
+	b := Marshal(&InitialUEMessage{ENBUEID: 1, NASPDU: pdu})
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] = 0xFF // mutate encoded buffer
+	if got.(*InitialUEMessage).NASPDU[2] != 3 {
+		t.Fatal("NASPDU aliases the input buffer")
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRoundTripInitialUE(b *testing.B) {
+	m := &InitialUEMessage{ENBUEID: 7, TAI: 3, NASPDU: make([]byte, 40)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(Marshal(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

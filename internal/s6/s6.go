@@ -1,0 +1,275 @@
+// Package s6 implements an S6a-like codec: the protocol between the MME
+// and the HSS (3GPP TS 29.272, simplified, carried over our transport
+// instead of Diameter). It covers authentication-information retrieval
+// (EPS-AKA vectors), location update during attach, and purge on detach.
+package s6
+
+import (
+	"errors"
+	"fmt"
+
+	"scale/internal/nas"
+	"scale/internal/wire"
+)
+
+// MessageType tags an S6a message on the wire.
+type MessageType uint8
+
+// S6a message types.
+const (
+	TypeAuthInfoRequest MessageType = iota + 1
+	TypeAuthInfoAnswer
+	TypeUpdateLocationRequest
+	TypeUpdateLocationAnswer
+	TypePurgeRequest
+	TypePurgeAnswer
+)
+
+// String names the message type.
+func (t MessageType) String() string {
+	names := [...]string{
+		TypeAuthInfoRequest:       "AuthInfoRequest",
+		TypeAuthInfoAnswer:        "AuthInfoAnswer",
+		TypeUpdateLocationRequest: "UpdateLocationRequest",
+		TypeUpdateLocationAnswer:  "UpdateLocationAnswer",
+		TypePurgeRequest:          "PurgeRequest",
+		TypePurgeAnswer:           "PurgeAnswer",
+	}
+	if int(t) < len(names) && names[t] != "" {
+		return names[t]
+	}
+	return fmt.Sprintf("s6.MessageType(%d)", uint8(t))
+}
+
+// Result codes.
+const (
+	ResultSuccess      uint8 = 0
+	ResultUserUnknown  uint8 = 1
+	ResultAuthRejected uint8 = 2
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrUnknownType = errors.New("s6: unknown message type")
+	ErrEmpty       = errors.New("s6: empty message")
+)
+
+// maxVectors bounds an AuthInfoAnswer; real MMEs request a handful.
+const maxVectors = 16
+
+// Message is a decoded S6a message.
+type Message interface {
+	Type() MessageType
+	marshal(w *wire.Writer)
+	unmarshal(r *wire.Reader)
+}
+
+// Marshal encodes m with its type tag.
+func Marshal(m Message) []byte {
+	w := wire.NewWriter(128)
+	w.U8(uint8(m.Type()))
+	m.marshal(w)
+	return w.Bytes()
+}
+
+// Unmarshal decodes an S6a message.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrEmpty
+	}
+	m := newMessage(MessageType(b[0]))
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
+	}
+	r := wire.NewReader(b[1:])
+	m.unmarshal(r)
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("s6: decode %s: %w", m.Type(), err)
+	}
+	return m, nil
+}
+
+func newMessage(t MessageType) Message {
+	switch t {
+	case TypeAuthInfoRequest:
+		return &AuthInfoRequest{}
+	case TypeAuthInfoAnswer:
+		return &AuthInfoAnswer{}
+	case TypeUpdateLocationRequest:
+		return &UpdateLocationRequest{}
+	case TypeUpdateLocationAnswer:
+		return &UpdateLocationAnswer{}
+	case TypePurgeRequest:
+		return &PurgeRequest{}
+	case TypePurgeAnswer:
+		return &PurgeAnswer{}
+	default:
+		return nil
+	}
+}
+
+// AuthVector is one EPS-AKA authentication vector: the challenge the MME
+// forwards to the device plus the expected response and the derived
+// K_ASME the MME keeps.
+type AuthVector struct {
+	RAND  [16]byte
+	AUTN  [16]byte
+	XRES  [8]byte
+	KASME [nas.KeySize]byte
+}
+
+func (v *AuthVector) marshal(w *wire.Writer) {
+	w.Raw(v.RAND[:])
+	w.Raw(v.AUTN[:])
+	w.Raw(v.XRES[:])
+	w.Raw(v.KASME[:])
+}
+
+func (v *AuthVector) unmarshal(r *wire.Reader) {
+	copy(v.RAND[:], r.Raw(16))
+	copy(v.AUTN[:], r.Raw(16))
+	copy(v.XRES[:], r.Raw(8))
+	copy(v.KASME[:], r.Raw(nas.KeySize))
+}
+
+// AuthInfoRequest asks the HSS for authentication vectors.
+type AuthInfoRequest struct {
+	IMSI           uint64
+	ServingNetwork string
+	NumVectors     uint8
+}
+
+// Type implements Message.
+func (*AuthInfoRequest) Type() MessageType { return TypeAuthInfoRequest }
+
+func (m *AuthInfoRequest) marshal(w *wire.Writer) {
+	w.U64(m.IMSI)
+	w.String16(m.ServingNetwork)
+	w.U8(m.NumVectors)
+}
+
+func (m *AuthInfoRequest) unmarshal(r *wire.Reader) {
+	m.IMSI = r.U64()
+	m.ServingNetwork = r.String16()
+	m.NumVectors = r.U8()
+}
+
+// AuthInfoAnswer returns authentication vectors (empty on failure).
+type AuthInfoAnswer struct {
+	Result  uint8
+	Vectors []AuthVector
+}
+
+// Type implements Message.
+func (*AuthInfoAnswer) Type() MessageType { return TypeAuthInfoAnswer }
+
+func (m *AuthInfoAnswer) marshal(w *wire.Writer) {
+	w.U8(m.Result)
+	if len(m.Vectors) > maxVectors {
+		panic(fmt.Sprintf("s6: %d vectors exceeds maximum %d", len(m.Vectors), maxVectors))
+	}
+	w.U8(uint8(len(m.Vectors)))
+	for i := range m.Vectors {
+		m.Vectors[i].marshal(w)
+	}
+}
+
+func (m *AuthInfoAnswer) unmarshal(r *wire.Reader) {
+	m.Result = r.U8()
+	n := int(r.U8())
+	if n > maxVectors {
+		_ = r.Raw(r.Remaining() + 1) // poison
+		return
+	}
+	if n > 0 {
+		m.Vectors = make([]AuthVector, n)
+		for i := range m.Vectors {
+			m.Vectors[i].unmarshal(r)
+		}
+	}
+}
+
+// SubscriptionData is the slice of the HSS profile the MME caches.
+type SubscriptionData struct {
+	APN          string
+	AMBRUplink   uint32 // kbit/s
+	AMBRDownlink uint32
+	DefaultQCI   uint8
+	T3412Sec     uint32 // periodic TAU timer to hand to the device
+}
+
+func (s *SubscriptionData) marshal(w *wire.Writer) {
+	w.String16(s.APN)
+	w.U32(s.AMBRUplink)
+	w.U32(s.AMBRDownlink)
+	w.U8(s.DefaultQCI)
+	w.U32(s.T3412Sec)
+}
+
+func (s *SubscriptionData) unmarshal(r *wire.Reader) {
+	s.APN = r.String16()
+	s.AMBRUplink = r.U32()
+	s.AMBRDownlink = r.U32()
+	s.DefaultQCI = r.U8()
+	s.T3412Sec = r.U32()
+}
+
+// UpdateLocationRequest registers this MME as serving the device.
+type UpdateLocationRequest struct {
+	IMSI  uint64
+	MMEID string
+}
+
+// Type implements Message.
+func (*UpdateLocationRequest) Type() MessageType { return TypeUpdateLocationRequest }
+
+func (m *UpdateLocationRequest) marshal(w *wire.Writer) {
+	w.U64(m.IMSI)
+	w.String16(m.MMEID)
+}
+
+func (m *UpdateLocationRequest) unmarshal(r *wire.Reader) {
+	m.IMSI = r.U64()
+	m.MMEID = r.String16()
+}
+
+// UpdateLocationAnswer returns the subscription profile.
+type UpdateLocationAnswer struct {
+	Result       uint8
+	Subscription SubscriptionData
+}
+
+// Type implements Message.
+func (*UpdateLocationAnswer) Type() MessageType { return TypeUpdateLocationAnswer }
+
+func (m *UpdateLocationAnswer) marshal(w *wire.Writer) {
+	w.U8(m.Result)
+	m.Subscription.marshal(w)
+}
+
+func (m *UpdateLocationAnswer) unmarshal(r *wire.Reader) {
+	m.Result = r.U8()
+	m.Subscription.unmarshal(r)
+}
+
+// PurgeRequest tells the HSS the device's state was deleted (detach).
+type PurgeRequest struct {
+	IMSI uint64
+}
+
+// Type implements Message.
+func (*PurgeRequest) Type() MessageType { return TypePurgeRequest }
+
+func (m *PurgeRequest) marshal(w *wire.Writer)   { w.U64(m.IMSI) }
+func (m *PurgeRequest) unmarshal(r *wire.Reader) { m.IMSI = r.U64() }
+
+// PurgeAnswer acknowledges a purge.
+type PurgeAnswer struct {
+	Result uint8
+}
+
+// Type implements Message.
+func (*PurgeAnswer) Type() MessageType { return TypePurgeAnswer }
+
+func (m *PurgeAnswer) marshal(w *wire.Writer)   { w.U8(m.Result) }
+func (m *PurgeAnswer) unmarshal(r *wire.Reader) { m.Result = r.U8() }

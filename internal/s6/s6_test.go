@@ -1,0 +1,80 @@
+package s6
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&AuthInfoRequest{IMSI: 123456, ServingNetwork: "310-26", NumVectors: 2},
+		&AuthInfoAnswer{Result: ResultSuccess, Vectors: []AuthVector{
+			{RAND: [16]byte{1}, AUTN: [16]byte{2}, XRES: [8]byte{3}, KASME: [32]byte{4}},
+			{RAND: [16]byte{5}},
+		}},
+		&AuthInfoAnswer{Result: ResultUserUnknown}, // no vectors
+		&UpdateLocationRequest{IMSI: 123456, MMEID: "mlb-dc1"},
+		&UpdateLocationAnswer{Result: ResultSuccess, Subscription: SubscriptionData{
+			APN: "internet", AMBRUplink: 50000, AMBRDownlink: 150000, DefaultQCI: 9, T3412Sec: 3240,
+		}},
+		&PurgeRequest{IMSI: 123456},
+		&PurgeAnswer{Result: ResultSuccess},
+	}
+	for _, m := range msgs {
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %s:\n got %+v\nwant %+v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err != ErrEmpty {
+		t.Fatalf("empty = %v", err)
+	}
+	if _, err := Unmarshal([]byte{222}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	b := Marshal(&AuthInfoRequest{IMSI: 1, ServingNetwork: "x", NumVectors: 1})
+	if _, err := Unmarshal(b[:4]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestAuthInfoAnswerVectorBounds(t *testing.T) {
+	// Corrupt vector count must error, not over-allocate.
+	b := Marshal(&AuthInfoAnswer{Result: ResultSuccess, Vectors: []AuthVector{{}}})
+	b[2] = 0xFF // count byte after type + result
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("oversized vector count accepted")
+	}
+	// Marshal-side bound enforced by panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on too many vectors")
+		}
+	}()
+	Marshal(&AuthInfoAnswer{Vectors: make([]AuthVector, maxVectors+1)})
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := TypeAuthInfoRequest; ty <= TypePurgeAnswer; ty++ {
+		if s := ty.String(); s == "" || s[0] == 's' {
+			t.Fatalf("type %d String = %q", ty, s)
+		}
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

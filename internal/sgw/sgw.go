@@ -1,0 +1,237 @@
+// Package sgw emulates the Serving Gateway's control plane: the S11 peer
+// that anchors each device's data path. The MME creates a session at
+// attach, re-points the downlink tunnel on Idle→Active transitions and
+// handovers, releases access bearers on Active→Idle, and deletes the
+// session at detach. The S-GW raises DownlinkDataNotification when
+// downlink traffic arrives for an Idle device, which makes the MME page
+// it.
+package sgw
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"scale/internal/s11"
+	"scale/internal/transport"
+)
+
+// Session is one device's bearer context at the S-GW.
+type Session struct {
+	IMSI     uint64
+	SGWTEID  uint32
+	MMETEID  uint32
+	BearerID uint8
+	PDNAddr  uint32
+	// ENBTEID/ENBAddr point the downlink at the serving eNodeB; zero
+	// when the device is Idle (bearers released).
+	ENBTEID uint32
+	ENBAddr string
+}
+
+// Idle reports whether the session's radio-side path is torn down.
+func (s *Session) Idle() bool { return s.ENBTEID == 0 }
+
+// GW is the in-memory S-GW control-plane state. It is safe for
+// concurrent use.
+type GW struct {
+	mu       sync.RWMutex
+	byTEID   map[uint32]*Session
+	nextTEID atomic.Uint32
+	nextPDN  atomic.Uint32
+}
+
+// New returns an empty gateway.
+func New() *GW {
+	g := &GW{byTEID: make(map[uint32]*Session)}
+	g.nextPDN.Store(0x0A000000) // 10.0.0.0/8 pool
+	return g
+}
+
+// Len reports the number of active sessions.
+func (g *GW) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.byTEID)
+}
+
+// Session returns the session for an S-GW TEID.
+func (g *GW) Session(teid uint32) (*Session, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s, ok := g.byTEID[teid]
+	return s, ok
+}
+
+// Handle processes one decoded S11 request and returns the response.
+func (g *GW) Handle(req s11.Message) s11.Message {
+	switch m := req.(type) {
+	case *s11.CreateSessionRequest:
+		teid := g.nextTEID.Add(1)
+		sess := &Session{
+			IMSI:     m.IMSI,
+			SGWTEID:  teid,
+			MMETEID:  m.MMETEID,
+			BearerID: m.BearerID,
+			PDNAddr:  g.nextPDN.Add(1),
+		}
+		g.mu.Lock()
+		g.byTEID[teid] = sess
+		g.mu.Unlock()
+		return &s11.CreateSessionResponse{
+			Cause:    s11.CauseAccepted,
+			SGWTEID:  teid,
+			PDNAddr:  sess.PDNAddr,
+			BearerID: m.BearerID,
+		}
+	case *s11.ModifyBearerRequest:
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		sess, ok := g.byTEID[m.SGWTEID]
+		if !ok {
+			return &s11.ModifyBearerResponse{Cause: s11.CauseContextNotFound}
+		}
+		sess.ENBTEID = m.ENBTEID
+		sess.ENBAddr = m.ENBAddr
+		return &s11.ModifyBearerResponse{Cause: s11.CauseAccepted}
+	case *s11.ReleaseAccessBearersRequest:
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		sess, ok := g.byTEID[m.SGWTEID]
+		if !ok {
+			return &s11.ReleaseAccessBearersResponse{Cause: s11.CauseContextNotFound}
+		}
+		sess.ENBTEID = 0
+		sess.ENBAddr = ""
+		return &s11.ReleaseAccessBearersResponse{Cause: s11.CauseAccepted}
+	case *s11.DeleteSessionRequest:
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if _, ok := g.byTEID[m.SGWTEID]; !ok {
+			return &s11.DeleteSessionResponse{Cause: s11.CauseContextNotFound}
+		}
+		delete(g.byTEID, m.SGWTEID)
+		return &s11.DeleteSessionResponse{Cause: s11.CauseAccepted}
+	case *s11.DownlinkDataNotificationAck:
+		return &s11.DownlinkDataNotificationAck{Cause: s11.CauseAccepted}
+	default:
+		return &s11.DeleteSessionResponse{Cause: s11.CauseContextNotFound}
+	}
+}
+
+// DownlinkDataArrived simulates downlink packets for an Idle device,
+// returning the notification the S-GW would send the MME, or false if
+// the session is unknown or Active (data flows directly).
+func (g *GW) DownlinkDataArrived(teid uint32) (*s11.DownlinkDataNotification, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	sess, ok := g.byTEID[teid]
+	if !ok || !sess.Idle() {
+		return nil, false
+	}
+	return &s11.DownlinkDataNotification{SGWTEID: teid, MMETEID: sess.MMETEID}, true
+}
+
+// Server exposes the gateway over the S11 RPC transport.
+type Server struct {
+	GW  *GW
+	srv *transport.Server
+}
+
+// Serve starts an S-GW server on addr.
+func Serve(addr string, gw *GW) (*Server, error) {
+	srv, err := transport.ServeRPC(addr, func(payload []byte) []byte {
+		req, err := s11.Unmarshal(payload)
+		if err != nil {
+			return s11.Marshal(&s11.DeleteSessionResponse{Cause: s11.CauseContextNotFound})
+		}
+		return s11.Marshal(gw.Handle(req))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{GW: gw, srv: srv}, nil
+}
+
+// Addr reports the listen address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Client is an S11 client for MMPs.
+type Client struct {
+	caller *transport.Caller
+}
+
+// DialClient connects to an S-GW server.
+func DialClient(addr string) (*Client, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{caller: transport.NewCaller(conn)}, nil
+}
+
+func (c *Client) call(req s11.Message) (s11.Message, error) {
+	resp, err := c.caller.Call(transport.StreamCommon, s11.Marshal(req))
+	if err != nil {
+		return nil, err
+	}
+	return s11.Unmarshal(resp)
+}
+
+// CreateSession establishes a default bearer.
+func (c *Client) CreateSession(imsi uint64, mmeTEID uint32, apn string, ebi uint8) (*s11.CreateSessionResponse, error) {
+	resp, err := c.call(&s11.CreateSessionRequest{IMSI: imsi, MMETEID: mmeTEID, APN: apn, BearerID: ebi})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(*s11.CreateSessionResponse)
+	if !ok {
+		return nil, fmt.Errorf("sgw: unexpected response %s", resp.Type())
+	}
+	return r, nil
+}
+
+// ModifyBearer points the downlink at an eNodeB endpoint.
+func (c *Client) ModifyBearer(sgwTEID, enbTEID uint32, enbAddr string, ebi uint8) (*s11.ModifyBearerResponse, error) {
+	resp, err := c.call(&s11.ModifyBearerRequest{SGWTEID: sgwTEID, ENBTEID: enbTEID, ENBAddr: enbAddr, BearerID: ebi})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(*s11.ModifyBearerResponse)
+	if !ok {
+		return nil, fmt.Errorf("sgw: unexpected response %s", resp.Type())
+	}
+	return r, nil
+}
+
+// ReleaseAccessBearers tears down the radio-side path (Active→Idle).
+func (c *Client) ReleaseAccessBearers(sgwTEID uint32) (*s11.ReleaseAccessBearersResponse, error) {
+	resp, err := c.call(&s11.ReleaseAccessBearersRequest{SGWTEID: sgwTEID})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(*s11.ReleaseAccessBearersResponse)
+	if !ok {
+		return nil, fmt.Errorf("sgw: unexpected response %s", resp.Type())
+	}
+	return r, nil
+}
+
+// DeleteSession removes the session (detach).
+func (c *Client) DeleteSession(sgwTEID uint32, ebi uint8) (*s11.DeleteSessionResponse, error) {
+	resp, err := c.call(&s11.DeleteSessionRequest{SGWTEID: sgwTEID, BearerID: ebi})
+	if err != nil {
+		return nil, err
+	}
+	r, ok := resp.(*s11.DeleteSessionResponse)
+	if !ok {
+		return nil, fmt.Errorf("sgw: unexpected response %s", resp.Type())
+	}
+	return r, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.caller.Close() }

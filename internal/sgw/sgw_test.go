@@ -1,0 +1,160 @@
+package sgw
+
+import (
+	"sync"
+	"testing"
+
+	"scale/internal/s11"
+)
+
+func createSession(t *testing.T, g *GW, imsi uint64) *s11.CreateSessionResponse {
+	t.Helper()
+	resp := g.Handle(&s11.CreateSessionRequest{IMSI: imsi, MMETEID: 0x01000001, APN: "internet", BearerID: 5})
+	csr, ok := resp.(*s11.CreateSessionResponse)
+	if !ok || csr.Cause != s11.CauseAccepted {
+		t.Fatalf("create = %+v", resp)
+	}
+	return csr
+}
+
+func TestCreateSession(t *testing.T) {
+	g := New()
+	csr := createSession(t, g, 42)
+	if csr.SGWTEID == 0 || csr.PDNAddr == 0 {
+		t.Fatalf("csr = %+v", csr)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	sess, ok := g.Session(csr.SGWTEID)
+	if !ok || sess.IMSI != 42 || !sess.Idle() {
+		t.Fatalf("session = %+v", sess)
+	}
+	// Distinct sessions get distinct TEIDs and PDN addresses.
+	csr2 := createSession(t, g, 43)
+	if csr2.SGWTEID == csr.SGWTEID || csr2.PDNAddr == csr.PDNAddr {
+		t.Fatal("TEID/PDN reuse")
+	}
+}
+
+func TestBearerLifecycle(t *testing.T) {
+	g := New()
+	csr := createSession(t, g, 42)
+
+	// Activate: point downlink at the eNB.
+	mbr := g.Handle(&s11.ModifyBearerRequest{SGWTEID: csr.SGWTEID, ENBTEID: 99, ENBAddr: "enb:1", BearerID: 5})
+	if mbr.(*s11.ModifyBearerResponse).Cause != s11.CauseAccepted {
+		t.Fatalf("modify = %+v", mbr)
+	}
+	sess, _ := g.Session(csr.SGWTEID)
+	if sess.Idle() || sess.ENBTEID != 99 {
+		t.Fatalf("after modify: %+v", sess)
+	}
+
+	// Idle: release access bearers.
+	rab := g.Handle(&s11.ReleaseAccessBearersRequest{SGWTEID: csr.SGWTEID})
+	if rab.(*s11.ReleaseAccessBearersResponse).Cause != s11.CauseAccepted {
+		t.Fatalf("release = %+v", rab)
+	}
+	sess, _ = g.Session(csr.SGWTEID)
+	if !sess.Idle() {
+		t.Fatal("not idle after release")
+	}
+
+	// Detach: delete session.
+	del := g.Handle(&s11.DeleteSessionRequest{SGWTEID: csr.SGWTEID, BearerID: 5})
+	if del.(*s11.DeleteSessionResponse).Cause != s11.CauseAccepted {
+		t.Fatalf("delete = %+v", del)
+	}
+	if g.Len() != 0 {
+		t.Fatal("session survived delete")
+	}
+}
+
+func TestUnknownTEIDPaths(t *testing.T) {
+	g := New()
+	if r := g.Handle(&s11.ModifyBearerRequest{SGWTEID: 7}); r.(*s11.ModifyBearerResponse).Cause != s11.CauseContextNotFound {
+		t.Fatal("modify unknown accepted")
+	}
+	if r := g.Handle(&s11.ReleaseAccessBearersRequest{SGWTEID: 7}); r.(*s11.ReleaseAccessBearersResponse).Cause != s11.CauseContextNotFound {
+		t.Fatal("release unknown accepted")
+	}
+	if r := g.Handle(&s11.DeleteSessionRequest{SGWTEID: 7}); r.(*s11.DeleteSessionResponse).Cause != s11.CauseContextNotFound {
+		t.Fatal("delete unknown accepted")
+	}
+}
+
+func TestDownlinkDataNotification(t *testing.T) {
+	g := New()
+	csr := createSession(t, g, 42)
+
+	// Idle session: notification fires.
+	ddn, ok := g.DownlinkDataArrived(csr.SGWTEID)
+	if !ok || ddn.SGWTEID != csr.SGWTEID || ddn.MMETEID != 0x01000001 {
+		t.Fatalf("ddn = %+v,%v", ddn, ok)
+	}
+	// Active session: no notification (data flows directly).
+	g.Handle(&s11.ModifyBearerRequest{SGWTEID: csr.SGWTEID, ENBTEID: 9, ENBAddr: "x", BearerID: 5})
+	if _, ok := g.DownlinkDataArrived(csr.SGWTEID); ok {
+		t.Fatal("notification for active session")
+	}
+	// Unknown TEID.
+	if _, ok := g.DownlinkDataArrived(12345); ok {
+		t.Fatal("notification for unknown session")
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	g := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for j := uint64(0); j < 100; j++ {
+				resp := g.Handle(&s11.CreateSessionRequest{IMSI: base*1000 + j, BearerID: 5})
+				csr := resp.(*s11.CreateSessionResponse)
+				g.Handle(&s11.ModifyBearerRequest{SGWTEID: csr.SGWTEID, ENBTEID: 1, BearerID: 5})
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if g.Len() != 800 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func TestServerClientEndToEnd(t *testing.T) {
+	g := New()
+	srv, err := Serve("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialClient(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	csr, err := c.CreateSession(42, 0x01000001, "internet", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.Cause != s11.CauseAccepted {
+		t.Fatalf("create = %+v", csr)
+	}
+	if _, err := c.ModifyBearer(csr.SGWTEID, 77, "enb:1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReleaseAccessBearers(csr.SGWTEID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeleteSession(csr.SGWTEID, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 0 {
+		t.Fatal("session survived end-to-end delete")
+	}
+}

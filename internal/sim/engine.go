@@ -1,0 +1,102 @@
+// Package sim is the discrete-event simulator used to reproduce the
+// paper's evaluation at scale: a virtual-time event loop, an MMP VM
+// model with FIFO CPU queueing and utilization accounting, and the
+// request plumbing shared by the SCALE cluster model (package core) and
+// the baseline models (package baseline).
+//
+// The paper's own large-scale results come from "a custom event-driven
+// simulator ... split into a load generator ... and a cluster emulator
+// that emulates the processing at the MMP VMs" (Section 5.1); this
+// package is that simulator.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded virtual-time event loop. It is not safe
+// for concurrent use: all callbacks run on the caller's goroutine.
+type Engine struct {
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// runs at the current time (immediately on the next dispatch).
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Step dispatches the next event; it reports false when no events
+// remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run dispatches until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time ≤ t, then advances the clock to
+// t. Events scheduled beyond t stay queued.
+func (e *Engine) RunUntil(t time.Duration) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }

@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/trace"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3*time.Second, func() { order = append(order, 3) })
+	e.At(1*time.Second, func() { order = append(order, 1) })
+	e.At(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.After(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.After(2*time.Second, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	e.At(2*time.Second, func() {
+		e.At(time.Second, func() { // in the past
+			if e.Now() != 2*time.Second {
+				t.Fatalf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1*time.Second, func() { ran++ })
+	e.At(5*time.Second, func() { ran++ })
+	e.RunUntil(3 * time.Second)
+	if ran != 1 {
+		t.Fatalf("ran = %d", ran)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("now = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if ran != 2 || e.Now() != 5*time.Second {
+		t.Fatalf("after run: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestVMQueueing(t *testing.T) {
+	e := NewEngine()
+	vm := NewVM(e, "vm1", ServiceTimes{trace.Attach: 10 * time.Millisecond}, time.Second)
+
+	var delays []time.Duration
+	e.At(0, func() {
+		// Three back-to-back requests: delays 10, 20, 30 ms.
+		for i := 0; i < 3; i++ {
+			arr := e.Now()
+			vm.Process(trace.Attach, 0, func(done time.Duration) {
+				delays = append(delays, done-arr)
+			})
+		}
+	})
+	e.Run()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(delays) != 3 {
+		t.Fatalf("delays = %v", delays)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delay[%d] = %v want %v", i, delays[i], want[i])
+		}
+	}
+	if vm.Processed() != 3 {
+		t.Fatalf("processed = %d", vm.Processed())
+	}
+}
+
+func TestVMIdleThenBusy(t *testing.T) {
+	e := NewEngine()
+	vm := NewVM(e, "vm1", ServiceTimes{trace.TAUpdate: 5 * time.Millisecond}, time.Second)
+	var last time.Duration
+	e.At(0, func() { vm.Process(trace.TAUpdate, 0, func(d time.Duration) { last = d }) })
+	// Second request after the first completes: no queueing.
+	e.At(100*time.Millisecond, func() {
+		arr := e.Now()
+		vm.Process(trace.TAUpdate, 0, func(d time.Duration) {
+			if d-arr != 5*time.Millisecond {
+				t.Fatalf("unqueued delay = %v", d-arr)
+			}
+		})
+	})
+	e.Run()
+	if last != 5*time.Millisecond {
+		t.Fatalf("first completion = %v", last)
+	}
+}
+
+func TestVMQueueDelay(t *testing.T) {
+	e := NewEngine()
+	vm := NewVM(e, "vm1", ServiceTimes{trace.Attach: 8 * time.Millisecond}, time.Second)
+	e.At(0, func() {
+		vm.Process(trace.Attach, 0, func(time.Duration) {})
+		if got := vm.QueueDelay(); got != 8*time.Millisecond {
+			t.Fatalf("queue delay = %v", got)
+		}
+	})
+	e.Run() // completion event advances the clock to 8ms
+	if got := vm.QueueDelay(); got != 0 {
+		t.Fatalf("post-run queue delay = %v", got)
+	}
+}
+
+func TestVMUtilization(t *testing.T) {
+	e := NewEngine()
+	vm := NewVM(e, "vm1", ServiceTimes{trace.TAUpdate: time.Millisecond}, time.Second)
+	// 500 × 1ms of work in a 1 s window → 50% utilization.
+	e.At(0, func() {
+		for i := 0; i < 500; i++ {
+			vm.Process(trace.TAUpdate, 0, nil)
+		}
+	})
+	e.At(2*time.Second, func() {})
+	e.Run()
+	mean := vm.MeanUtilization()
+	if mean < 0.2 || mean > 0.6 {
+		t.Fatalf("mean utilization = %v", mean)
+	}
+	if peak := vm.PeakUtilization(); peak < 0.4 {
+		t.Fatalf("peak utilization = %v", peak)
+	}
+	if tr := vm.CPUTrace(); len(tr) < 2 {
+		t.Fatalf("trace windows = %d", len(tr))
+	}
+}
+
+func TestVMExtraWorkAndDefaults(t *testing.T) {
+	e := NewEngine()
+	vm := NewVM(e, "vm1", nil, 0) // defaults
+	if vm.ServiceTime(trace.Attach) != DefaultServiceTimes[trace.Attach] {
+		t.Fatal("default service times not applied")
+	}
+	if vm.ServiceTime(trace.Procedure(99)) != time.Millisecond {
+		t.Fatal("unknown procedure default")
+	}
+	e.At(0, func() {
+		soj := vm.Process(trace.Attach, 10*time.Millisecond, nil)
+		if soj != DefaultServiceTimes[trace.Attach]+10*time.Millisecond {
+			t.Fatalf("sojourn with extra = %v", soj)
+		}
+	})
+	e.Run()
+}
+
+func TestServiceTimesCloneScale(t *testing.T) {
+	s := DefaultServiceTimes.Clone()
+	s[trace.Attach] = time.Second
+	if DefaultServiceTimes[trace.Attach] == time.Second {
+		t.Fatal("Clone aliases the original")
+	}
+	half := DefaultServiceTimes.Scale(0.5)
+	if half[trace.Attach] != DefaultServiceTimes[trace.Attach]/2 {
+		t.Fatalf("Scale: %v", half[trace.Attach])
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Record(trace.Attach, 10*time.Millisecond)
+	r.Record(trace.Attach, 20*time.Millisecond)
+	r.Record(trace.Handover, 5*time.Millisecond)
+	if r.Count() != 3 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if r.P99() < 15*time.Millisecond {
+		t.Fatalf("p99 = %v", r.P99())
+	}
+	if r.P99For(trace.Handover) > 6*time.Millisecond && r.P99For(trace.Handover) < 4*time.Millisecond {
+		t.Fatalf("handover p99 = %v", r.P99For(trace.Handover))
+	}
+	if r.P99For(trace.Paging) != 0 {
+		t.Fatal("unseen proc p99 != 0")
+	}
+	if len(r.CDF(10)) == 0 {
+		t.Fatal("empty CDF")
+	}
+	if r.Mean() <= 0 {
+		t.Fatal("mean <= 0")
+	}
+}
+
+// trivialCluster routes everything to one VM.
+type trivialCluster struct {
+	vm  *VM
+	rec *Recorder
+}
+
+func (c *trivialCluster) Arrive(req *Request) {
+	arr := req.Arrived
+	proc := req.Proc
+	c.vm.Process(proc, 0, func(done time.Duration) {
+		c.rec.Record(proc, done-arr)
+	})
+}
+
+func TestFeedEndToEnd(t *testing.T) {
+	e := NewEngine()
+	pop := trace.NewPopulation(100, 1, trace.Uniform{Lo: 0.2, Hi: 0.8})
+	arrivals := trace.Generator{Pop: pop, Seed: 2}.Poisson(100, 10*time.Second)
+	c := &trivialCluster{vm: NewVM(e, "vm1", nil, time.Second), rec: NewRecorder()}
+	Feed(e, pop, arrivals, c)
+	e.Run()
+	if c.rec.Count() != uint64(len(arrivals)) {
+		t.Fatalf("completed %d of %d", c.rec.Count(), len(arrivals))
+	}
+	if c.rec.P99() <= 0 {
+		t.Fatal("p99 not positive")
+	}
+}
+
+func TestNetworkParams(t *testing.T) {
+	if DefaultNetwork.RequestRTT() != 2*(DefaultNetwork.ENBToMME+DefaultNetwork.MLBToMMP) {
+		t.Fatal("RTT formula")
+	}
+}
+
+func TestDeviceKeyStable(t *testing.T) {
+	pop := trace.NewPopulation(3, 1, trace.Uniform{Lo: 0.5, Hi: 0.5})
+	if deviceKey(pop, 0) != deviceKey(pop, 0) {
+		t.Fatal("unstable key")
+	}
+	if deviceKey(pop, 0) == deviceKey(pop, 1) {
+		t.Fatal("key collision")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, tc := range []struct {
+		v uint64
+		s string
+	}{{0, "0"}, {7, "7"}, {1234567890, "1234567890"}} {
+		if got := itoa(tc.v); got != tc.s {
+			t.Fatalf("itoa(%d) = %q", tc.v, got)
+		}
+	}
+}

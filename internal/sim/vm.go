@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"time"
+
+	"scale/internal/metrics"
+	"scale/internal/trace"
+)
+
+// ServiceTimes maps each control procedure to its CPU cost on an MMP VM.
+type ServiceTimes map[trace.Procedure]time.Duration
+
+// DefaultServiceTimes calibrates a single MMP VM to saturate in the same
+// region as the paper's testbed MME (Figure 2(a): delays blow up past a
+// few hundred requests/second, attach being the costliest procedure).
+var DefaultServiceTimes = ServiceTimes{
+	trace.Attach:         2500 * time.Microsecond,
+	trace.ServiceRequest: 1200 * time.Microsecond,
+	trace.TAUpdate:       800 * time.Microsecond,
+	trace.Handover:       1600 * time.Microsecond,
+	trace.Paging:         600 * time.Microsecond,
+	trace.Detach:         1000 * time.Microsecond,
+}
+
+// Clone copies the service-time table.
+func (s ServiceTimes) Clone() ServiceTimes {
+	out := make(ServiceTimes, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Scale returns a copy with every service time multiplied by f —
+// used to model faster or slower VM flavors.
+func (s ServiceTimes) Scale(f float64) ServiceTimes {
+	out := make(ServiceTimes, len(s))
+	for k, v := range s {
+		out[k] = time.Duration(float64(v) * f)
+	}
+	return out
+}
+
+// VM models one MMP VM: a single CPU serving a FIFO queue of procedure
+// work. Processing delay emerges from queueing: work enqueued while the
+// CPU is busy waits, exactly reproducing the knee-shaped delay curves of
+// Figure 2(a).
+type VM struct {
+	ID  string
+	eng *Engine
+	svc ServiceTimes
+	cpu *metrics.CPUTracker
+
+	busyUntil time.Duration
+	processed uint64
+	// StateCount tracks stored device states for memory accounting.
+	StateCount int
+}
+
+// NewVM creates a VM with the given service-time table; nil means
+// DefaultServiceTimes. cpuWindow is the utilization sampling window
+// (0 → 1s).
+func NewVM(eng *Engine, id string, svc ServiceTimes, cpuWindow time.Duration) *VM {
+	if svc == nil {
+		svc = DefaultServiceTimes
+	}
+	if cpuWindow <= 0 {
+		cpuWindow = time.Second
+	}
+	return &VM{ID: id, eng: eng, svc: svc, cpu: metrics.NewCPUTracker(cpuWindow)}
+}
+
+// ServiceTime returns the configured CPU cost of proc.
+func (vm *VM) ServiceTime(proc trace.Procedure) time.Duration {
+	if d, ok := vm.svc[proc]; ok {
+		return d
+	}
+	return time.Millisecond
+}
+
+// Process enqueues work of the given procedure plus extra CPU time and
+// invokes done (if non-nil) at completion with the completion timestamp.
+// The returned duration is the total sojourn (queue + service).
+func (vm *VM) Process(proc trace.Procedure, extra time.Duration, done func(completion time.Duration)) time.Duration {
+	svc := vm.ServiceTime(proc) + extra
+	return vm.ProcessWork(svc, done)
+}
+
+// ProcessWork enqueues raw CPU work (replication updates, state
+// transfers) without a procedure classification.
+func (vm *VM) ProcessWork(svc time.Duration, done func(completion time.Duration)) time.Duration {
+	now := vm.eng.Now()
+	start := vm.busyUntil
+	if start < now {
+		start = now
+	}
+	completion := start + svc
+	vm.busyUntil = completion
+	vm.cpu.AddBusy(completion, svc)
+	vm.processed++
+	if done != nil {
+		vm.eng.At(completion, func() { done(completion) })
+	}
+	return completion - now
+}
+
+// QueueDelay is the time new work would wait before service starts.
+func (vm *VM) QueueDelay() time.Duration {
+	d := vm.busyUntil - vm.eng.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Utilization is the smoothed CPU utilization the VM reports to the MLB.
+func (vm *VM) Utilization() float64 {
+	vm.cpu.Advance(vm.eng.Now())
+	return vm.cpu.Utilization()
+}
+
+// CPUTrace returns the closed utilization windows so far.
+func (vm *VM) CPUTrace() []metrics.CPUSample {
+	vm.cpu.Advance(vm.eng.Now())
+	return vm.cpu.Trace()
+}
+
+// MeanUtilization averages closed CPU windows.
+func (vm *VM) MeanUtilization() float64 {
+	vm.cpu.Advance(vm.eng.Now())
+	return vm.cpu.MeanUtilization()
+}
+
+// PeakUtilization reports the maximum closed CPU window.
+func (vm *VM) PeakUtilization() float64 {
+	vm.cpu.Advance(vm.eng.Now())
+	return vm.cpu.PeakUtilization()
+}
+
+// Processed reports the number of work items executed.
+func (vm *VM) Processed() uint64 { return vm.processed }
+
+// NetworkParams collects the fixed propagation delays of the simulated
+// topology.
+type NetworkParams struct {
+	// ENBToMME is the one-way eNodeB→MLB/MME delay within a DC.
+	ENBToMME time.Duration
+	// MLBToMMP is the one-way MLB→MMP delay (same rack; tiny).
+	MLBToMMP time.Duration
+}
+
+// DefaultNetwork is a metro deployment: ~2 ms one-way RAN backhaul,
+// negligible intra-DC hop.
+var DefaultNetwork = NetworkParams{
+	ENBToMME: 2 * time.Millisecond,
+	MLBToMMP: 100 * time.Microsecond,
+}
+
+// RequestRTT is the fixed network component of one control transaction:
+// eNB→MLB→MMP and back.
+func (n NetworkParams) RequestRTT() time.Duration {
+	return 2 * (n.ENBToMME + n.MLBToMMP)
+}
+
+// Request is one control-plane transaction flowing through a cluster
+// model.
+type Request struct {
+	// Device is the population index; Key its routing identity (GUTI).
+	Device int
+	Key    string
+	Weight float64
+	Proc   trace.Procedure
+	// Arrived is the arrival virtual time.
+	Arrived time.Duration
+}
+
+// Cluster consumes requests; implementations embody the routing policy
+// under evaluation (SCALE, 3GPP static pool, SIMPLE, geo variants).
+type Cluster interface {
+	// Arrive presents a request at its arrival time; the cluster must
+	// record the eventual completion via its recorder.
+	Arrive(req *Request)
+}
+
+// Recorder accumulates per-procedure delay distributions for one
+// experiment run.
+type Recorder struct {
+	All    *metrics.Histogram
+	ByProc map[trace.Procedure]*metrics.Histogram
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		All:    metrics.NewHistogram(5),
+		ByProc: make(map[trace.Procedure]*metrics.Histogram),
+	}
+}
+
+// Record logs one completed request's total delay.
+func (r *Recorder) Record(proc trace.Procedure, delay time.Duration) {
+	r.All.Record(int64(delay))
+	h, ok := r.ByProc[proc]
+	if !ok {
+		h = metrics.NewHistogram(5)
+		r.ByProc[proc] = h
+	}
+	h.Record(int64(delay))
+}
+
+// P99 returns the 99th-percentile delay across all procedures.
+func (r *Recorder) P99() time.Duration { return time.Duration(r.All.P99()) }
+
+// P99For returns the per-procedure 99th percentile (0 if unseen).
+func (r *Recorder) P99For(proc trace.Procedure) time.Duration {
+	if h, ok := r.ByProc[proc]; ok {
+		return time.Duration(h.P99())
+	}
+	return 0
+}
+
+// Mean returns the mean delay across all procedures.
+func (r *Recorder) Mean() time.Duration { return time.Duration(r.All.Mean()) }
+
+// Count returns the number of completed requests.
+func (r *Recorder) Count() uint64 { return r.All.Count() }
+
+// CDF returns the aggregate delay CDF.
+func (r *Recorder) CDF(maxPoints int) []metrics.CDFPoint { return r.All.CDF(maxPoints) }
+
+// Feed schedules a workload's arrivals into a cluster on the engine.
+// Population weights annotate each request for access-aware policies.
+func Feed(eng *Engine, pop *trace.Population, arrivals []trace.Arrival, c Cluster) {
+	for _, a := range arrivals {
+		a := a
+		eng.At(a.At, func() {
+			req := &Request{
+				Device:  a.Device,
+				Key:     deviceKey(pop, a.Device),
+				Weight:  pop.Devices[a.Device].Weight,
+				Proc:    a.Proc,
+				Arrived: eng.Now(),
+			}
+			c.Arrive(req)
+		})
+	}
+}
+
+// deviceKey derives the stable routing key for a population index.
+func deviceKey(pop *trace.Population, idx int) string {
+	return "imsi-" + itoa(pop.Devices[idx].IMSI)
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,36 @@
+package state
+
+import (
+	"reflect"
+	"testing"
+
+	"scale/internal/guti"
+)
+
+// FuzzUnmarshal hardens the UE-context decoder (replication payloads
+// cross VM and DC boundaries): no panics, and accepted blobs round-trip
+// to identical contexts.
+func FuzzUnmarshal(f *testing.F) {
+	c := &UEContext{
+		IMSI: 1, GUTI: guti.GUTI{MTMSI: 2}, Mode: Idle,
+		TAIList: []uint16{1}, APN: "internet",
+		ReplicaMMPs: []string{"mmp-2"}, RemoteDC: "dc2", Version: 3,
+	}
+	f.Add(c.Marshal())
+	f.Add((&UEContext{}).Marshal())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ctx, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Unmarshal(ctx.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(ctx, again) {
+			t.Fatalf("round trip unstable:\n%+v\n%+v", ctx, again)
+		}
+	})
+}

@@ -1,0 +1,332 @@
+// Package state defines the per-device MME state (the UE context) and
+// the replicated store MMP VMs keep it in.
+//
+// The paper (Section 2) enumerates what an MME stores per device:
+// timers, cryptography keys, S-GW/P-GW data-path parameters, eNodeB
+// configuration and location. SCALE extends this record with the
+// device-to-MME mapping, the profiled access frequency (Section 4.5) and
+// replica placement metadata. Contexts are versioned; replicas accept
+// only monotonically newer versions, which is what makes SCALE's
+// asynchronous update-on-idle replication safe (Section 4.6: replicas are
+// refreshed when the device returns to Idle mode).
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"scale/internal/guti"
+	"scale/internal/nas"
+	"scale/internal/wire"
+)
+
+// Mode is the EMM/ECM mode of a device.
+type Mode uint8
+
+// Device modes.
+const (
+	// Deregistered: no context established.
+	Deregistered Mode = iota
+	// Idle: registered, no radio connection; reachable via paging.
+	Idle
+	// Active: registered with live radio connection and S1 context.
+	Active
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Deregistered:
+		return "deregistered"
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	default:
+		return fmt.Sprintf("state.Mode(%d)", uint8(m))
+	}
+}
+
+// UEContext is everything an MMP stores for one device.
+type UEContext struct {
+	// Identity.
+	IMSI uint64
+	GUTI guti.GUTI
+
+	// Connectivity state.
+	Mode    Mode
+	TAI     uint16
+	TAIList []uint16
+
+	// NAS security context (keys + counters).
+	Security nas.SecurityContext
+
+	// Default bearer / data path.
+	BearerID uint8
+	MMETEID  uint32
+	SGWTEID  uint32
+	ENBTEID  uint32
+	PDNAddr  uint32
+	APN      string
+
+	// S1 association while Active.
+	ENBID   uint32
+	ENBUEID uint32
+	MMEUEID uint32
+
+	// Timers (seconds).
+	T3412Sec uint32
+
+	// SCALE metadata.
+	//
+	// AccessFreq is the moving-average access frequency w_i the
+	// access-aware replication keys off.
+	AccessFreq float64
+	// MasterMMP is the device-to-MME mapping SCALE adds to the stored
+	// state (Section 4.1).
+	MasterMMP string
+	// ReplicaMMPs lists local MMPs holding copies.
+	ReplicaMMPs []string
+	// RemoteDC names the DC holding an external replica, if any
+	// (Section 4.5.2: "the master MMP attaches the location of the
+	// external state of a device to its current state").
+	RemoteDC string
+
+	// Version increases on every mutation; replicas only accept newer
+	// versions.
+	Version uint64
+}
+
+// Touch folds one observed access into the moving-average frequency and
+// bumps the version. alpha follows the paper's per-epoch moving average.
+func (c *UEContext) Touch(alpha float64) {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	c.AccessFreq = alpha*1 + (1-alpha)*c.AccessFreq
+	c.Version++
+}
+
+// Decay ages the access frequency for an epoch with no access.
+func (c *UEContext) Decay(alpha float64) {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	c.AccessFreq = (1 - alpha) * c.AccessFreq
+	c.Version++
+}
+
+// Marshal encodes the context for replication or geo-transfer.
+func (c *UEContext) Marshal() []byte {
+	w := wire.NewWriter(256)
+	w.U64(c.IMSI)
+	w.Raw(c.GUTI.Encode(nil))
+	w.U8(uint8(c.Mode))
+	w.U16(c.TAI)
+	w.U16(uint16(len(c.TAIList)))
+	for _, t := range c.TAIList {
+		w.U16(t)
+	}
+	w.Raw(c.Security.KASME[:])
+	w.Raw(c.Security.KNASint[:])
+	w.U8(c.Security.Alg)
+	w.U32(c.Security.ULCount)
+	w.U32(c.Security.DLCount)
+	w.U8(c.Security.KSI)
+	w.U8(c.BearerID)
+	w.U32(c.MMETEID)
+	w.U32(c.SGWTEID)
+	w.U32(c.ENBTEID)
+	w.U32(c.PDNAddr)
+	w.String16(c.APN)
+	w.U32(c.ENBID)
+	w.U32(c.ENBUEID)
+	w.U32(c.MMEUEID)
+	w.U32(c.T3412Sec)
+	w.F64(c.AccessFreq)
+	w.String16(c.MasterMMP)
+	w.U16(uint16(len(c.ReplicaMMPs)))
+	for _, rID := range c.ReplicaMMPs {
+		w.String16(rID)
+	}
+	w.String16(c.RemoteDC)
+	w.U64(c.Version)
+	return w.Bytes()
+}
+
+// ErrCorrupt indicates an undecodable context blob.
+var ErrCorrupt = errors.New("state: corrupt context")
+
+// Unmarshal decodes a context encoded by Marshal.
+func Unmarshal(b []byte) (*UEContext, error) {
+	r := wire.NewReader(b)
+	c := &UEContext{}
+	c.IMSI = r.U64()
+	g, err := guti.Decode(r.Raw(guti.EncodedLen))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	c.GUTI = g
+	c.Mode = Mode(r.U8())
+	c.TAI = r.U16()
+	nTAI := int(r.U16())
+	if nTAI > 0 {
+		if nTAI > r.Remaining()/2 {
+			return nil, fmt.Errorf("%w: TAI list %d", ErrCorrupt, nTAI)
+		}
+		c.TAIList = make([]uint16, nTAI)
+		for i := range c.TAIList {
+			c.TAIList[i] = r.U16()
+		}
+	}
+	copy(c.Security.KASME[:], r.Raw(nas.KeySize))
+	copy(c.Security.KNASint[:], r.Raw(nas.KeySize))
+	c.Security.Alg = r.U8()
+	c.Security.ULCount = r.U32()
+	c.Security.DLCount = r.U32()
+	c.Security.KSI = r.U8()
+	c.BearerID = r.U8()
+	c.MMETEID = r.U32()
+	c.SGWTEID = r.U32()
+	c.ENBTEID = r.U32()
+	c.PDNAddr = r.U32()
+	c.APN = r.String16()
+	c.ENBID = r.U32()
+	c.ENBUEID = r.U32()
+	c.MMEUEID = r.U32()
+	c.T3412Sec = r.U32()
+	c.AccessFreq = r.F64()
+	c.MasterMMP = r.String16()
+	nRep := int(r.U16())
+	if nRep > 0 {
+		if nRep > r.Remaining()/2 {
+			return nil, fmt.Errorf("%w: replica list %d", ErrCorrupt, nRep)
+		}
+		c.ReplicaMMPs = make([]string, nRep)
+		for i := range c.ReplicaMMPs {
+			c.ReplicaMMPs[i] = r.String16()
+		}
+	}
+	c.RemoteDC = r.String16()
+	c.Version = r.U64()
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return c, nil
+}
+
+// Clone deep-copies the context.
+func (c *UEContext) Clone() *UEContext {
+	cp := *c
+	if c.TAIList != nil {
+		cp.TAIList = append([]uint16(nil), c.TAIList...)
+	}
+	if c.ReplicaMMPs != nil {
+		cp.ReplicaMMPs = append([]string(nil), c.ReplicaMMPs...)
+	}
+	return &cp
+}
+
+// Size approximates the stored footprint in bytes (used for the memory
+// side of VM provisioning).
+func (c *UEContext) Size() int { return len(c.Marshal()) }
+
+// Store is a concurrency-safe UE context store keyed by GUTI, as held by
+// one MMP VM. It distinguishes master entries (this VM owns the device)
+// from replica entries (held for load-balancing), since provisioning
+// accounts for both but procedures behave differently on each.
+type Store struct {
+	mu      sync.RWMutex
+	byGUTI  map[guti.GUTI]*UEContext
+	replica map[guti.GUTI]bool // true if this entry is a replica copy
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byGUTI:  make(map[guti.GUTI]*UEContext),
+		replica: make(map[guti.GUTI]bool),
+	}
+}
+
+// PutMaster stores ctx as a master entry.
+func (s *Store) PutMaster(ctx *UEContext) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byGUTI[ctx.GUTI] = ctx
+	s.replica[ctx.GUTI] = false
+}
+
+// ErrStale is returned when applying a replica update older than the
+// stored version.
+var ErrStale = errors.New("state: stale replica update")
+
+// ApplyReplica stores ctx as a replica entry. Updates with a version not
+// newer than the stored one return ErrStale and leave the store
+// unchanged, making replication idempotent and reordering-safe.
+func (s *Store) ApplyReplica(ctx *UEContext) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.byGUTI[ctx.GUTI]; ok && old.Version >= ctx.Version {
+		return ErrStale
+	}
+	s.byGUTI[ctx.GUTI] = ctx
+	s.replica[ctx.GUTI] = true
+	return nil
+}
+
+// Get returns the context for g and whether it is present.
+func (s *Store) Get(g guti.GUTI) (*UEContext, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.byGUTI[g]
+	return c, ok
+}
+
+// IsReplica reports whether the entry for g is a replica copy.
+func (s *Store) IsReplica(g guti.GUTI) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replica[g]
+}
+
+// Delete removes the entry for g.
+func (s *Store) Delete(g guti.GUTI) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.byGUTI, g)
+	delete(s.replica, g)
+}
+
+// Len reports total entries (masters + replicas).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byGUTI)
+}
+
+// MasterCount reports master entries only.
+func (s *Store) MasterCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for g := range s.byGUTI {
+		if !s.replica[g] {
+			n++
+		}
+	}
+	return n
+}
+
+// Range calls fn for every entry until fn returns false. The callback
+// must not mutate the store.
+func (s *Store) Range(fn func(ctx *UEContext, isReplica bool) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for g, c := range s.byGUTI {
+		if !fn(c, s.replica[g]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package state
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"scale/internal/guti"
+)
+
+func sampleContext() *UEContext {
+	return &UEContext{
+		IMSI:        123456789012345,
+		GUTI:        guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 2, MTMSI: 99},
+		Mode:        Active,
+		TAI:         7,
+		TAIList:     []uint16{7, 8},
+		BearerID:    5,
+		MMETEID:     100,
+		SGWTEID:     200,
+		ENBTEID:     300,
+		PDNAddr:     0x0A000001,
+		APN:         "internet",
+		ENBID:       12,
+		ENBUEID:     13,
+		MMEUEID:     14,
+		T3412Sec:    3240,
+		AccessFreq:  0.42,
+		MasterMMP:   "mmp-3",
+		ReplicaMMPs: []string{"mmp-5"},
+		RemoteDC:    "dc-2",
+		Version:     17,
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	c := sampleContext()
+	c.Security.Establish([32]byte{1, 2, 3}, 1, 4)
+	c.Security.ULCount = 9
+	got, err := Unmarshal(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestMarshalMinimalContext(t *testing.T) {
+	c := &UEContext{GUTI: guti.GUTI{MTMSI: 1}}
+	got, err := Unmarshal(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("minimal round trip mismatch")
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	c := sampleContext()
+	b := c.Marshal()
+	for _, n := range []int{0, 5, len(b) / 2, len(b) - 1} {
+		if _, err := Unmarshal(b[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated at %d: err = %v", n, err)
+		}
+	}
+	if _, err := Unmarshal(append(b, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTouchAndDecay(t *testing.T) {
+	c := &UEContext{}
+	v0 := c.Version
+	c.Touch(0.3)
+	if c.AccessFreq <= 0 || c.AccessFreq > 1 {
+		t.Fatalf("freq after touch = %v", c.AccessFreq)
+	}
+	if c.Version != v0+1 {
+		t.Fatal("touch did not bump version")
+	}
+	for i := 0; i < 100; i++ {
+		c.Touch(0.3)
+	}
+	if math.Abs(c.AccessFreq-1) > 1e-6 {
+		t.Fatalf("freq should converge to 1: %v", c.AccessFreq)
+	}
+	for i := 0; i < 100; i++ {
+		c.Decay(0.3)
+	}
+	if c.AccessFreq > 1e-6 {
+		t.Fatalf("freq should decay to 0: %v", c.AccessFreq)
+	}
+	// Invalid alpha falls back rather than corrupting the average.
+	c2 := &UEContext{}
+	c2.Touch(99)
+	if c2.AccessFreq <= 0 || c2.AccessFreq > 1 {
+		t.Fatalf("fallback alpha freq = %v", c2.AccessFreq)
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := sampleContext()
+	cp := c.Clone()
+	if !reflect.DeepEqual(c, cp) {
+		t.Fatal("clone not equal")
+	}
+	cp.TAIList[0] = 99
+	cp.ReplicaMMPs[0] = "x"
+	if c.TAIList[0] == 99 || c.ReplicaMMPs[0] == "x" {
+		t.Fatal("clone shares slices")
+	}
+}
+
+func TestSizePositive(t *testing.T) {
+	if s := sampleContext().Size(); s <= 0 || s > 4096 {
+		t.Fatalf("size = %d", s)
+	}
+}
+
+func TestStoreMasterReplica(t *testing.T) {
+	s := NewStore()
+	c := sampleContext()
+	s.PutMaster(c)
+	if got, ok := s.Get(c.GUTI); !ok || got != c {
+		t.Fatal("get after put failed")
+	}
+	if s.IsReplica(c.GUTI) {
+		t.Fatal("master flagged as replica")
+	}
+	if s.Len() != 1 || s.MasterCount() != 1 {
+		t.Fatalf("len=%d masters=%d", s.Len(), s.MasterCount())
+	}
+
+	// Replica on another store.
+	s2 := NewStore()
+	rep := c.Clone()
+	if err := s2.ApplyReplica(rep); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.IsReplica(rep.GUTI) {
+		t.Fatal("replica not flagged")
+	}
+	if s2.MasterCount() != 0 {
+		t.Fatal("replica counted as master")
+	}
+}
+
+func TestApplyReplicaVersioning(t *testing.T) {
+	s := NewStore()
+	c := sampleContext()
+	c.Version = 5
+	if err := s.ApplyReplica(c.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	// Same version: stale.
+	if err := s.ApplyReplica(c.Clone()); err != ErrStale {
+		t.Fatalf("same-version err = %v", err)
+	}
+	// Older version: stale.
+	old := c.Clone()
+	old.Version = 3
+	if err := s.ApplyReplica(old); err != ErrStale {
+		t.Fatalf("old-version err = %v", err)
+	}
+	// Newer version: accepted.
+	newer := c.Clone()
+	newer.Version = 9
+	newer.Mode = Idle
+	if err := s.ApplyReplica(newer); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(c.GUTI)
+	if got.Version != 9 || got.Mode != Idle {
+		t.Fatalf("stored = %+v", got)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := NewStore()
+	c := sampleContext()
+	s.PutMaster(c)
+	s.Delete(c.GUTI)
+	if _, ok := s.Get(c.GUTI); ok {
+		t.Fatal("get after delete succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatal("len after delete")
+	}
+	s.Delete(c.GUTI) // idempotent
+}
+
+func TestStoreRange(t *testing.T) {
+	s := NewStore()
+	for i := uint32(1); i <= 5; i++ {
+		c := &UEContext{GUTI: guti.GUTI{MTMSI: i}}
+		if i%2 == 0 {
+			c.Version = 1
+			s.ApplyReplica(c)
+		} else {
+			s.PutMaster(c)
+		}
+	}
+	var masters, replicas int
+	s.Range(func(_ *UEContext, isRep bool) bool {
+		if isRep {
+			replicas++
+		} else {
+			masters++
+		}
+		return true
+	})
+	if masters != 3 || replicas != 2 {
+		t.Fatalf("masters=%d replicas=%d", masters, replicas)
+	}
+	// Early termination.
+	n := 0
+	s.Range(func(*UEContext, bool) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stop visited %d", n)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := &UEContext{GUTI: guti.GUTI{MTMSI: uint32(g*1000 + i)}, Version: 1}
+				s.PutMaster(c)
+				s.Get(c.GUTI)
+				s.IsReplica(c.GUTI)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 1600 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Deregistered.String() != "deregistered" || Idle.String() != "idle" || Active.String() != "active" {
+		t.Fatal("mode strings")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode empty")
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips arbitrary contexts.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(imsi uint64, mtmsi uint32, freq float64, ver uint64, master string, mode uint8) bool {
+		if len(master) > 1000 {
+			master = master[:1000]
+		}
+		c := &UEContext{
+			IMSI:       imsi,
+			GUTI:       guti.GUTI{MTMSI: mtmsi},
+			Mode:       Mode(mode % 3),
+			AccessFreq: freq,
+			MasterMMP:  master,
+			Version:    ver,
+		}
+		got, err := Unmarshal(c.Marshal())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkContextMarshal(b *testing.B) {
+	c := sampleContext()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Marshal()
+	}
+}
+
+func BenchmarkContextUnmarshal(b *testing.B) {
+	buf := sampleContext().Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package trace generates synthetic control-plane workloads: device
+// populations with heterogeneous access probabilities and request arrival
+// streams over a time horizon.
+//
+// The paper's evaluation varies exactly these knobs — aggregate signaling
+// rate, access-probability skew (Section 4.5: IoT devices with
+// predictable, low access frequencies), load skew across VMs (S1's
+// L1–L4), and synchronized mass-access surges (Section 3, [19]) — so the
+// generators here are the substitution for the production traces and the
+// eNodeB python load generator used in the paper's testbed.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Procedure enumerates the MME control procedures a request can invoke
+// (Section 2, "MME Procedures").
+type Procedure int
+
+const (
+	// Attach is the initial registration of a powered-on device.
+	Attach Procedure = iota
+	// ServiceRequest is the Idle→Active transition of a registered device.
+	ServiceRequest
+	// TAUpdate is a periodic tracking-area update from an Idle device.
+	TAUpdate
+	// Handover is an inter-eNodeB S1 handover of an Active device.
+	Handover
+	// Paging is a network-triggered wake-up of an Idle device.
+	Paging
+	// Detach deregisters the device.
+	Detach
+	numProcedures
+)
+
+// String returns the 3GPP-ish name of the procedure.
+func (p Procedure) String() string {
+	switch p {
+	case Attach:
+		return "attach"
+	case ServiceRequest:
+		return "service-request"
+	case TAUpdate:
+		return "tau"
+	case Handover:
+		return "handover"
+	case Paging:
+		return "paging"
+	case Detach:
+		return "detach"
+	default:
+		return fmt.Sprintf("procedure(%d)", int(p))
+	}
+}
+
+// Device is one subscriber in a synthetic population.
+type Device struct {
+	IMSI uint64
+	// Weight is the access probability w_i ∈ (0,1]: the chance the device
+	// generates signaling in an epoch. SCALE's access-aware replication
+	// keys off this value.
+	Weight float64
+	// Predictable marks devices (smart meters etc.) whose connectivity
+	// pattern is periodic and hence profileable (Section 4.5).
+	Predictable bool
+}
+
+// Population is an immutable set of devices plus the precomputed
+// machinery to sample them proportionally to weight.
+type Population struct {
+	Devices []Device
+	sumW    float64
+	cumW    []float64 // prefix sums for binary-search sampling
+}
+
+// WeightDist draws access probabilities for a synthetic population.
+type WeightDist interface {
+	// Sample returns a weight in (0, 1].
+	Sample(rng *rand.Rand) float64
+}
+
+// Uniform draws weights uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements WeightDist.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	lo, hi := u.Lo, u.Hi
+	if lo <= 0 {
+		lo = 1e-6
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Bimodal models an IoT-heavy population: fraction LowFrac of devices
+// have weight LowW (mostly dormant sensors), the rest HighW. This is the
+// population shape experiment S3 (Figure 11) sweeps.
+type Bimodal struct {
+	LowFrac     float64
+	LowW, HighW float64
+}
+
+// Sample implements WeightDist.
+func (b Bimodal) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < b.LowFrac {
+		return clampWeight(b.LowW)
+	}
+	return clampWeight(b.HighW)
+}
+
+// Zipf draws weights from a truncated Zipf-like distribution with
+// exponent S over Levels discrete levels, normalized into (0, 1].
+// Captures heavy-tailed access skew of smartphone populations.
+type Zipf struct {
+	S      float64
+	Levels int
+}
+
+// Sample implements WeightDist.
+func (z Zipf) Sample(rng *rand.Rand) float64 {
+	levels := z.Levels
+	if levels < 2 {
+		levels = 10
+	}
+	s := z.S
+	if s <= 0 {
+		s = 1.2
+	}
+	// Inverse-CDF over the discrete level probabilities.
+	var total float64
+	for i := 1; i <= levels; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	u := rng.Float64() * total
+	var cum float64
+	// Level 1 is the most probable and maps to the lowest weight: most
+	// devices are cold, a rare few are hot.
+	for i := 1; i <= levels; i++ {
+		cum += 1 / math.Pow(float64(i), s)
+		if u <= cum {
+			return float64(i) / float64(levels)
+		}
+	}
+	return 1.0
+}
+
+func clampWeight(w float64) float64 {
+	if w <= 0 {
+		return 1e-6
+	}
+	if w > 1 {
+		return 1
+	}
+	return w
+}
+
+// NewPopulation builds n devices with weights drawn from dist using a
+// deterministic seed. IMSIs are sequential starting at base 100000000.
+func NewPopulation(n int, seed int64, dist WeightDist) *Population {
+	rng := rand.New(rand.NewSource(seed))
+	devices := make([]Device, n)
+	for i := range devices {
+		w := clampWeight(dist.Sample(rng))
+		devices[i] = Device{
+			IMSI:        100000000 + uint64(i),
+			Weight:      w,
+			Predictable: rng.Float64() < 0.5,
+		}
+	}
+	return buildPopulation(devices)
+}
+
+// FromDevices wraps an explicit device list in a Population.
+func FromDevices(devices []Device) *Population {
+	cp := make([]Device, len(devices))
+	copy(cp, devices)
+	return buildPopulation(cp)
+}
+
+func buildPopulation(devices []Device) *Population {
+	p := &Population{Devices: devices, cumW: make([]float64, len(devices))}
+	for i, d := range devices {
+		p.sumW += d.Weight
+		p.cumW[i] = p.sumW
+	}
+	return p
+}
+
+// Len reports the number of devices.
+func (p *Population) Len() int { return len(p.Devices) }
+
+// TotalWeight reports Σ w_i.
+func (p *Population) TotalWeight() float64 { return p.sumW }
+
+// SampleIndex draws a device index proportionally to weight.
+func (p *Population) SampleIndex(rng *rand.Rand) int {
+	if len(p.Devices) == 0 {
+		return -1
+	}
+	u := rng.Float64() * p.sumW
+	return sort.SearchFloat64s(p.cumW, u)
+}
+
+// LowAccessCount returns K̂(x): the number of devices with w_i ≤ x
+// (Section 4.5.1).
+func (p *Population) LowAccessCount(x float64) int {
+	n := 0
+	for _, d := range p.Devices {
+		if d.Weight <= x {
+			n++
+		}
+	}
+	return n
+}
+
+// Arrival is one control-plane request in a generated workload.
+type Arrival struct {
+	At     time.Duration
+	Device int // index into the population
+	Proc   Procedure
+}
+
+// Mix is a procedure mix; weights need not sum to 1.
+type Mix map[Procedure]float64
+
+// DefaultMix approximates the signaling mix of a busy LTE network:
+// idle↔active churn dominates, with periodic TAUs, some handovers and
+// occasional fresh attaches (Section 2 field numbers).
+var DefaultMix = Mix{
+	Attach:         0.05,
+	ServiceRequest: 0.45,
+	TAUpdate:       0.25,
+	Handover:       0.15,
+	Paging:         0.10,
+}
+
+func (m Mix) pick(rng *rand.Rand) Procedure {
+	var total float64
+	for _, w := range m {
+		total += w
+	}
+	if total <= 0 {
+		return ServiceRequest
+	}
+	u := rng.Float64() * total
+	var cum float64
+	// Deterministic iteration order: walk procedures in enum order.
+	for p := Procedure(0); p < numProcedures; p++ {
+		w, ok := m[p]
+		if !ok {
+			continue
+		}
+		cum += w
+		if u <= cum {
+			return p
+		}
+	}
+	return ServiceRequest
+}
+
+// Generator produces Poisson arrival streams over a population.
+type Generator struct {
+	Pop  *Population
+	Mix  Mix
+	Seed int64
+}
+
+// Poisson generates arrivals with aggregate rate (requests/second) over
+// the horizon, devices sampled proportionally to weight, procedures drawn
+// from the mix. Arrivals are returned sorted by time.
+func (g Generator) Poisson(rate float64, horizon time.Duration) []Arrival {
+	if rate <= 0 || horizon <= 0 || g.Pop.Len() == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	mix := g.Mix
+	if mix == nil {
+		mix = DefaultMix
+	}
+	var out []Arrival
+	t := time.Duration(0)
+	for {
+		// Exponential inter-arrival with mean 1/rate seconds.
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		t += gap
+		if t >= horizon {
+			break
+		}
+		out = append(out, Arrival{At: t, Device: g.Pop.SampleIndex(rng), Proc: mix.pick(rng)})
+	}
+	return out
+}
+
+// Periodic generates the predictable IoT pattern of Section 4.5 ("smart
+// meters upload information to the cloud periodically"): every device
+// marked Predictable issues proc once per period, phase-shifted
+// per-device and jittered within ±jitter/2. Arrivals are sorted.
+func (g Generator) Periodic(period, jitter time.Duration, proc Procedure, horizon time.Duration) []Arrival {
+	if period <= 0 || horizon <= 0 || g.Pop.Len() == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 2))
+	var out []Arrival
+	for i, d := range g.Pop.Devices {
+		if !d.Predictable {
+			continue
+		}
+		phase := time.Duration(rng.Int63n(int64(period)))
+		for t := phase; t < horizon; t += period {
+			at := t
+			if jitter > 0 {
+				at += time.Duration(rng.Int63n(int64(jitter))) - jitter/2
+			}
+			if at < 0 || at >= horizon {
+				continue
+			}
+			out = append(out, Arrival{At: at, Device: i, Proc: proc})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out
+}
+
+// Surge generates a synchronized mass-access event: n devices (sampled
+// without replacement when possible) all issue proc within [start,
+// start+window), uniformly. Models the event-triggered simultaneous
+// activation of Section 3 ("synchronous mass-access").
+func (g Generator) Surge(n int, proc Procedure, start, window time.Duration) []Arrival {
+	if n <= 0 || g.Pop.Len() == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(g.Seed + 1))
+	idx := rng.Perm(g.Pop.Len())
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]Arrival, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Arrival{
+			At:     start + time.Duration(rng.Int63n(int64(window)+1)),
+			Device: idx[i],
+			Proc:   proc,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out
+}
+
+// Merge combines pre-sorted arrival streams into one sorted stream.
+func Merge(streams ...[]Arrival) []Arrival {
+	var out []Arrival
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out
+}

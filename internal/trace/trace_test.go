@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewPopulationDeterministic(t *testing.T) {
+	a := NewPopulation(100, 42, Uniform{Lo: 0.1, Hi: 0.9})
+	b := NewPopulation(100, 42, Uniform{Lo: 0.1, Hi: 0.9})
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatalf("len = %d,%d", a.Len(), b.Len())
+	}
+	for i := range a.Devices {
+		if a.Devices[i] != b.Devices[i] {
+			t.Fatalf("population not deterministic at %d", i)
+		}
+	}
+}
+
+func TestPopulationWeightsInRange(t *testing.T) {
+	for _, dist := range []WeightDist{
+		Uniform{Lo: 0.1, Hi: 0.9},
+		Bimodal{LowFrac: 0.3, LowW: 0.05, HighW: 0.8},
+		Zipf{S: 1.2, Levels: 20},
+	} {
+		p := NewPopulation(500, 7, dist)
+		for _, d := range p.Devices {
+			if d.Weight <= 0 || d.Weight > 1 {
+				t.Fatalf("%T produced weight %v", dist, d.Weight)
+			}
+		}
+	}
+}
+
+func TestBimodalFractions(t *testing.T) {
+	p := NewPopulation(10000, 3, Bimodal{LowFrac: 0.25, LowW: 0.1, HighW: 0.9})
+	low := p.LowAccessCount(0.2)
+	frac := float64(low) / 10000
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Fatalf("low fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	p := NewPopulation(10000, 5, Zipf{S: 1.5, Levels: 10})
+	// Heavy tail: many more low-weight than high-weight devices.
+	low := p.LowAccessCount(0.3)
+	high := p.Len() - p.LowAccessCount(0.7)
+	if low <= high {
+		t.Fatalf("zipf not skewed: low=%d high=%d", low, high)
+	}
+}
+
+func TestZipfDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := Zipf{} // zero config must still produce valid weights
+	for i := 0; i < 100; i++ {
+		w := z.Sample(rng)
+		if w <= 0 || w > 1 {
+			t.Fatalf("zipf default sample = %v", w)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform{Lo: 0.5, Hi: 0.2} // hi < lo
+	for i := 0; i < 10; i++ {
+		if w := u.Sample(rng); w != 0.5 {
+			t.Fatalf("degenerate uniform = %v", w)
+		}
+	}
+	u2 := Uniform{Lo: -1, Hi: 0.5} // lo <= 0 clamped
+	for i := 0; i < 100; i++ {
+		if w := u2.Sample(rng); w <= 0 {
+			t.Fatalf("uniform produced non-positive %v", w)
+		}
+	}
+}
+
+func TestSampleIndexProportional(t *testing.T) {
+	devices := []Device{
+		{IMSI: 1, Weight: 0.9},
+		{IMSI: 2, Weight: 0.1},
+	}
+	p := FromDevices(devices)
+	rng := rand.New(rand.NewSource(11))
+	counts := [2]int{}
+	for i := 0; i < 20000; i++ {
+		counts[p.SampleIndex(rng)]++
+	}
+	frac := float64(counts[0]) / 20000
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("hot device sampled %v, want ~0.9", frac)
+	}
+}
+
+func TestSampleIndexEmpty(t *testing.T) {
+	p := FromDevices(nil)
+	if got := p.SampleIndex(rand.New(rand.NewSource(1))); got != -1 {
+		t.Fatalf("empty sample = %d", got)
+	}
+}
+
+func TestLowAccessCount(t *testing.T) {
+	p := FromDevices([]Device{{Weight: 0.1}, {Weight: 0.2}, {Weight: 0.5}})
+	if got := p.LowAccessCount(0.2); got != 2 {
+		t.Fatalf("K̂(0.2) = %d", got)
+	}
+	if got := p.LowAccessCount(0.05); got != 0 {
+		t.Fatalf("K̂(0.05) = %d", got)
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := NewPopulation(1000, 9, Uniform{Lo: 0.1, Hi: 0.9})
+	g := Generator{Pop: p, Seed: 13}
+	const rate = 200.0
+	horizon := 30 * time.Second
+	arr := g.Poisson(rate, horizon)
+	want := rate * horizon.Seconds()
+	got := float64(len(arr))
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("arrivals = %v, want ~%v", got, want)
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+		if arr[i].At >= horizon {
+			t.Fatalf("arrival beyond horizon at %d", i)
+		}
+	}
+}
+
+func TestPoissonDegenerate(t *testing.T) {
+	p := NewPopulation(10, 1, Uniform{Lo: 0.5, Hi: 0.5})
+	g := Generator{Pop: p, Seed: 1}
+	if got := g.Poisson(0, time.Second); got != nil {
+		t.Fatalf("rate=0 produced %d arrivals", len(got))
+	}
+	if got := g.Poisson(10, 0); got != nil {
+		t.Fatalf("horizon=0 produced %d arrivals", len(got))
+	}
+	empty := Generator{Pop: FromDevices(nil), Seed: 1}
+	if got := empty.Poisson(10, time.Second); got != nil {
+		t.Fatalf("empty population produced %d arrivals", len(got))
+	}
+}
+
+func TestPoissonDeterministicPerSeed(t *testing.T) {
+	p := NewPopulation(50, 2, Uniform{Lo: 0.2, Hi: 0.8})
+	a := Generator{Pop: p, Seed: 5}.Poisson(50, 5*time.Second)
+	b := Generator{Pop: p, Seed: 5}.Poisson(50, 5*time.Second)
+	if len(a) != len(b) {
+		t.Fatalf("lens differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams differ at %d", i)
+		}
+	}
+	c := Generator{Pop: p, Seed: 6}.Poisson(50, 5*time.Second)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestMixPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := Mix{Attach: 1, Handover: 3}
+	counts := map[Procedure]int{}
+	for i := 0; i < 10000; i++ {
+		counts[m.pick(rng)]++
+	}
+	if counts[Attach] == 0 || counts[Handover] == 0 {
+		t.Fatalf("mix missing procedures: %v", counts)
+	}
+	ratio := float64(counts[Handover]) / float64(counts[Attach])
+	if math.Abs(ratio-3) > 0.5 {
+		t.Fatalf("mix ratio = %v, want ~3", ratio)
+	}
+	// Empty/invalid mix falls back to ServiceRequest.
+	var zero Mix
+	if got := zero.pick(rng); got != ServiceRequest {
+		t.Fatalf("empty mix pick = %v", got)
+	}
+}
+
+func TestSurge(t *testing.T) {
+	p := NewPopulation(500, 8, Uniform{Lo: 0.1, Hi: 0.9})
+	g := Generator{Pop: p, Seed: 17}
+	arr := g.Surge(200, Attach, 10*time.Second, 2*time.Second)
+	if len(arr) != 200 {
+		t.Fatalf("surge len = %d", len(arr))
+	}
+	seen := map[int]bool{}
+	for i, a := range arr {
+		if a.Proc != Attach {
+			t.Fatalf("surge proc = %v", a.Proc)
+		}
+		if a.At < 10*time.Second || a.At > 12*time.Second {
+			t.Fatalf("surge time out of window: %v", a.At)
+		}
+		if i > 0 && a.At < arr[i-1].At {
+			t.Fatalf("surge not sorted at %d", i)
+		}
+		if seen[a.Device] {
+			t.Fatalf("surge sampled device %d twice", a.Device)
+		}
+		seen[a.Device] = true
+	}
+	// n larger than population: clamped, still unique.
+	arr2 := g.Surge(1000, Attach, 0, time.Second)
+	if len(arr2) != 500 {
+		t.Fatalf("clamped surge len = %d", len(arr2))
+	}
+	if got := g.Surge(0, Attach, 0, time.Second); got != nil {
+		t.Fatalf("n=0 surge len = %d", len(got))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Arrival{{At: 1}, {At: 5}}
+	b := []Arrival{{At: 2}, {At: 3}}
+	m := Merge(a, b)
+	if len(m) != 4 {
+		t.Fatalf("merged len = %d", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].At < m[i-1].At {
+			t.Fatalf("merge not sorted at %d", i)
+		}
+	}
+	if got := Merge(); got != nil && len(got) != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+}
+
+func TestProcedureString(t *testing.T) {
+	names := map[Procedure]string{
+		Attach: "attach", ServiceRequest: "service-request", TAUpdate: "tau",
+		Handover: "handover", Paging: "paging", Detach: "detach",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q want %q", int(p), p.String(), want)
+		}
+	}
+	if Procedure(99).String() == "" {
+		t.Fatal("unknown procedure String empty")
+	}
+}
+
+// Property: SampleIndex always returns a valid index and the empirical
+// distribution respects ordering of weights.
+func TestSampleIndexProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		count := int(n%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		devices := make([]Device, count)
+		for i := range devices {
+			devices[i] = Device{IMSI: uint64(i), Weight: 0.01 + rng.Float64()}
+		}
+		p := FromDevices(devices)
+		for i := 0; i < 100; i++ {
+			idx := p.SampleIndex(rng)
+			if idx < 0 || idx >= count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodicGeneratesPerPredictableDevice(t *testing.T) {
+	devices := []Device{
+		{IMSI: 1, Weight: 0.5, Predictable: true},
+		{IMSI: 2, Weight: 0.5, Predictable: false},
+		{IMSI: 3, Weight: 0.5, Predictable: true},
+	}
+	p := FromDevices(devices)
+	g := Generator{Pop: p, Seed: 30}
+	arr := g.Periodic(time.Second, 0, TAUpdate, 10*time.Second)
+	counts := map[int]int{}
+	for i, a := range arr {
+		if a.Proc != TAUpdate {
+			t.Fatalf("proc = %v", a.Proc)
+		}
+		if i > 0 && a.At < arr[i-1].At {
+			t.Fatalf("not sorted at %d", i)
+		}
+		counts[a.Device]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("unpredictable device generated %d arrivals", counts[1])
+	}
+	// ~10 per predictable device (phase may clip one).
+	for _, d := range []int{0, 2} {
+		if counts[d] < 9 || counts[d] > 11 {
+			t.Fatalf("device %d arrivals = %d", d, counts[d])
+		}
+	}
+}
+
+func TestPeriodicJitterStaysInHorizon(t *testing.T) {
+	p := NewPopulation(100, 31, Uniform{Lo: 0.3, Hi: 0.7})
+	g := Generator{Pop: p, Seed: 32}
+	horizon := 5 * time.Second
+	arr := g.Periodic(time.Second, 400*time.Millisecond, TAUpdate, horizon)
+	if len(arr) == 0 {
+		t.Fatal("no arrivals")
+	}
+	for _, a := range arr {
+		if a.At < 0 || a.At >= horizon {
+			t.Fatalf("arrival out of horizon: %v", a.At)
+		}
+	}
+}
+
+func TestPeriodicDegenerate(t *testing.T) {
+	p := NewPopulation(10, 33, Uniform{Lo: 0.5, Hi: 0.5})
+	g := Generator{Pop: p, Seed: 34}
+	if got := g.Periodic(0, 0, TAUpdate, time.Second); got != nil {
+		t.Fatalf("period=0 produced %d", len(got))
+	}
+	if got := g.Periodic(time.Second, 0, TAUpdate, 0); got != nil {
+		t.Fatalf("horizon=0 produced %d", len(got))
+	}
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file layers request/response correlation over framed connections.
+// S6a and S11 are request/response protocols (Diameter and GTP-C carry
+// sequence numbers); here an 8-byte sequence number prefixes each payload
+// so a client can keep many calls in flight on one connection.
+
+// ErrCallerClosed is returned for calls on a closed Caller.
+var ErrCallerClosed = errors.New("transport: caller closed")
+
+// Caller issues correlated request/response calls over a framed
+// connection. It is safe for concurrent use; responses may arrive in any
+// order.
+type Caller struct {
+	conn *Conn
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan []byte
+	closed  bool
+	err     error
+}
+
+// NewCaller wraps conn and starts its response reader. The caller owns
+// the connection's read side; do not call conn.Read elsewhere.
+func NewCaller(conn *Conn) *Caller {
+	c := &Caller{conn: conn, pending: make(map[uint64]chan []byte)}
+	go c.readLoop()
+	return c
+}
+
+func (c *Caller) readLoop() {
+	for {
+		msg, err := c.conn.Read()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if len(msg.Payload) < 8 {
+			c.fail(fmt.Errorf("transport: rpc response shorter than sequence header"))
+			return
+		}
+		seq := binary.BigEndian.Uint64(msg.Payload[:8])
+		c.mu.Lock()
+		ch, ok := c.pending[seq]
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		if ok {
+			ch <- msg.Payload[8:]
+		}
+	}
+}
+
+func (c *Caller) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.err = err
+	for seq, ch := range c.pending {
+		close(ch)
+		delete(c.pending, seq)
+	}
+}
+
+// Call sends payload on stream and blocks for the correlated response.
+func (c *Caller) Call(stream uint16, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrCallerClosed
+		}
+		return nil, err
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan []byte, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(buf[:8], seq)
+	copy(buf[8:], payload)
+	if err := c.conn.Write(stream, buf); err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrCallerClosed
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close tears down the caller and its connection; in-flight calls fail.
+func (c *Caller) Close() error {
+	c.fail(ErrCallerClosed)
+	return c.conn.Close()
+}
+
+// RPCHandler computes a response payload for a request payload.
+type RPCHandler func(payload []byte) []byte
+
+// ServeRPC runs an RPC server: every inbound message is answered on the
+// same stream with the sequence number echoed. Malformed frames (missing
+// sequence header) are dropped. Returns when addr's listener is closed.
+func ServeRPC(addr string, handler RPCHandler) (*Server, error) {
+	return Serve(addr, func(conn *Conn, msg Message) {
+		if len(msg.Payload) < 8 {
+			return
+		}
+		seq := msg.Payload[:8]
+		resp := handler(msg.Payload[8:])
+		buf := make([]byte, 8+len(resp))
+		copy(buf[:8], seq)
+		copy(buf[8:], resp)
+		// Best-effort: a failed write means the peer went away and its
+		// reader will observe the close.
+		_ = conn.Write(msg.Stream, buf)
+	})
+}

@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startEchoRPC(t testing.TB) (*Server, *Caller) {
+	t.Helper()
+	srv, err := ServeRPC("127.0.0.1:0", func(p []byte) []byte {
+		return append([]byte("re:"), p...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return srv, NewCaller(conn)
+}
+
+func TestCallBasic(t *testing.T) {
+	srv, caller := startEchoRPC(t)
+	defer srv.Close()
+	defer caller.Close()
+
+	resp, err := caller.Call(StreamCommon, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:ping" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestCallEmptyPayload(t *testing.T) {
+	srv, caller := startEchoRPC(t)
+	defer srv.Close()
+	defer caller.Close()
+	resp, err := caller.Call(StreamCommon, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	srv, caller := startEchoRPC(t)
+	defer srv.Close()
+	defer caller.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := fmt.Sprintf("msg-%d", i)
+			for j := 0; j < 50; j++ {
+				resp, err := caller.Call(StreamCommon, []byte(want))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(resp) != "re:"+want {
+					t.Errorf("cross-talk: got %q want re:%s", resp, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCallAfterClose(t *testing.T) {
+	srv, caller := startEchoRPC(t)
+	defer srv.Close()
+	caller.Close()
+	if _, err := caller.Call(StreamCommon, []byte("x")); err == nil {
+		t.Fatal("call after close succeeded")
+	}
+}
+
+func TestCallFailsWhenServerDies(t *testing.T) {
+	srv, caller := startEchoRPC(t)
+	defer caller.Close()
+
+	// Slow handler variant: close the server mid-call by using a fresh
+	// pair where the server never answers.
+	srv.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := caller.Call(StreamCommon, []byte("never"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call against dead server succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("call did not fail after server close")
+	}
+}
+
+func TestServerIgnoresShortFrames(t *testing.T) {
+	srv, err := ServeRPC("127.0.0.1:0", func(p []byte) []byte { return p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A frame shorter than the 8-byte seq header must be dropped, not
+	// crash the server; a subsequent well-formed call still works.
+	if err := conn.Write(StreamCommon, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	caller := NewCaller(conn)
+	resp, err := caller.Call(StreamCommon, []byte("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("ok")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func BenchmarkRPCCall(b *testing.B) {
+	srv, caller := startEchoRPC(b)
+	defer srv.Close()
+	defer caller.Close()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caller.Call(StreamCommon, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package transport provides the reliable, ordered, message-oriented
+// transport the EPC control plane runs over.
+//
+// 3GPP carries S1AP over SCTP; Go's standard library has no SCTP, so
+// this package frames discrete messages over TCP: each frame is a 7-byte
+// header (magic byte, 2-byte stream id, 4-byte payload length) followed
+// by the payload. Stream ids mirror SCTP's stream numbers — the EPC uses
+// separate streams for common and per-UE signaling. For the single-homed
+// lab topologies in this reproduction the semantics match SCTP's
+// (ordered, reliable, message-boundaries preserved).
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Frame header layout.
+const (
+	magic     = 0x5C // "SCale"
+	headerLen = 7
+	// MaxMessageSize bounds a single frame's payload; anything larger is
+	// a protocol error (likely desynchronized framing).
+	MaxMessageSize = 1 << 20
+)
+
+// Common stream ids, mirroring SCTP stream usage on S1-MME.
+const (
+	// StreamCommon carries non-UE-associated signaling (S1 Setup, ring
+	// updates, load reports).
+	StreamCommon uint16 = 0
+	// StreamUE carries UE-associated signaling.
+	StreamUE uint16 = 1
+)
+
+var (
+	// ErrMessageTooLarge indicates a frame exceeding MaxMessageSize.
+	ErrMessageTooLarge = errors.New("transport: message exceeds maximum size")
+	// ErrBadMagic indicates a corrupt or desynchronized stream.
+	ErrBadMagic = errors.New("transport: bad frame magic")
+)
+
+// Message is one framed unit received from a peer.
+type Message struct {
+	Stream  uint16
+	Payload []byte
+}
+
+// Conn is a message-oriented connection. Writes are safe for concurrent
+// use; reads must be performed by a single goroutine (the usual
+// reader-loop pattern).
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+// NewConn frames messages over nc.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Dial connects to addr over TCP and returns a framed connection.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, d time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}
+
+// Write sends one message on the given stream. It is safe for concurrent
+// use; each message is flushed before Write returns so latency-sensitive
+// control signaling is never held in the buffer.
+func (c *Conn) Write(stream uint16, payload []byte) error {
+	if len(payload) > MaxMessageSize {
+		return ErrMessageTooLarge
+	}
+	var hdr [headerLen]byte
+	hdr[0] = magic
+	binary.BigEndian.PutUint16(hdr[1:3], stream)
+	binary.BigEndian.PutUint32(hdr[3:7], uint32(len(payload)))
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return fmt.Errorf("transport: write payload: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+// Read blocks for the next message. The returned payload is freshly
+// allocated and owned by the caller.
+func (c *Conn) Read() (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	if hdr[0] != magic {
+		return Message{}, ErrBadMagic
+	}
+	stream := binary.BigEndian.Uint16(hdr[1:3])
+	n := binary.BigEndian.Uint32(hdr[3:7])
+	if n > MaxMessageSize {
+		return Message{}, ErrMessageTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return Message{}, fmt.Errorf("transport: short payload: %w", err)
+	}
+	return Message{Stream: stream, Payload: payload}, nil
+}
+
+// SetReadDeadline sets the deadline for future Read calls.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// LocalAddr reports the local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// Handler consumes inbound messages from one connection.
+type Handler func(conn *Conn, msg Message)
+
+// Server accepts framed connections and dispatches messages to a
+// handler, one reader goroutine per connection.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[*Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr. The handler is invoked sequentially per
+// connection, concurrently across connections.
+func Serve(addr string, handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[*Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		conn := NewConn(nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+func (s *Server) readLoop(conn *Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		msg, err := conn.Read()
+		if err != nil {
+			return
+		}
+		s.handler(conn, msg)
+	}
+}
+
+// Close stops accepting, closes every connection and waits for reader
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Pipe returns a connected pair of framed in-memory connections, useful
+// in tests and single-process deployments.
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}

@@ -1,0 +1,322 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		if err := a.Write(StreamUE, []byte("attach-request")); err != nil {
+			t.Error(err)
+		}
+	}()
+	msg, err := b.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Stream != StreamUE || string(msg.Payload) != "attach-request" {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write(StreamCommon, nil)
+	msg, err := b.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg.Payload) != 0 || msg.Stream != StreamCommon {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestMessageBoundariesPreserved(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		want = append(want, bytes.Repeat([]byte{byte(i)}, i*7+1))
+	}
+	go func() {
+		for i, p := range want {
+			if err := a.Write(uint16(i%4), p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i, p := range want {
+		msg, err := b.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Stream != uint16(i%4) {
+			t.Fatalf("stream %d = %d", i, msg.Stream)
+		}
+		if !bytes.Equal(msg.Payload, p) {
+			t.Fatalf("payload %d mismatch: %d vs %d bytes", i, len(msg.Payload), len(p))
+		}
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	a, _ := Pipe()
+	defer a.Close()
+	if err := a.Write(0, make([]byte, MaxMessageSize+1)); err != ErrMessageTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	ra, wb := net.Pipe()
+	defer ra.Close()
+	conn := NewConn(ra)
+	go wb.Write([]byte{0xFF, 0, 0, 0, 0, 0, 0})
+	if _, err := conn.Read(); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadOversizedHeader(t *testing.T) {
+	ra, wb := net.Pipe()
+	defer ra.Close()
+	conn := NewConn(ra)
+	go wb.Write([]byte{magic, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := conn.Read(); err != ErrMessageTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadTruncatedPayload(t *testing.T) {
+	ra, wb := net.Pipe()
+	conn := NewConn(ra)
+	go func() {
+		wb.Write([]byte{magic, 0, 1, 0, 0, 0, 10, 'x', 'y'}) // claims 10, sends 2
+		wb.Close()
+	}()
+	_, err := conn.Read()
+	if err == nil {
+		t.Fatal("expected error on truncated payload")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	const writers, each = 8, 50
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				payload := []byte(fmt.Sprintf("w%d-m%d", w, i))
+				if err := a.Write(uint16(w), payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < writers*each {
+			msg, err := b.Read()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Frames must never interleave: payload must parse back to
+			// its writer's stream id.
+			var wi, mi int
+			if _, err := fmt.Sscanf(string(msg.Payload), "w%d-m%d", &wi, &mi); err != nil {
+				t.Errorf("corrupt frame %q", msg.Payload)
+				return
+			}
+			if uint16(wi) != msg.Stream {
+				t.Errorf("frame %q on stream %d", msg.Payload, msg.Stream)
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timeout: read %d of %d", got, writers*each)
+	}
+}
+
+func TestServerEcho(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(conn *Conn, msg Message) {
+		conn.Write(msg.Stream, append([]byte("echo:"), msg.Payload...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Write(3, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Stream != 3 || string(msg.Payload) != "echo:ping" {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestServerMultipleClients(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(conn *Conn, msg Message) {
+		conn.Write(msg.Stream, msg.Payload)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			want := fmt.Sprintf("client-%d", i)
+			if err := c.Write(0, []byte(want)); err != nil {
+				t.Error(err)
+				return
+			}
+			msg, err := c.Read()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if string(msg.Payload) != want {
+				t.Errorf("got %q want %q", msg.Payload, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(*Conn, Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestServerCloseDisconnectsClients(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(*Conn, Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Give the server a moment to register the conn.
+	time.Sleep(20 * time.Millisecond)
+	srv.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(); err == nil {
+		t.Fatal("read succeeded after server close")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if _, err := DialTimeout("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("dial timeout to closed port succeeded")
+	}
+}
+
+// Property: any (stream, payload) round-trips intact.
+func TestRoundTripProperty(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	f := func(stream uint16, payload []byte) bool {
+		errc := make(chan error, 1)
+		go func() { errc <- a.Write(stream, payload) }()
+		msg, err := b.Read()
+		if err != nil || <-errc != nil {
+			return false
+		}
+		return msg.Stream == stream && bytes.Equal(msg.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteRead256B(b *testing.B) {
+	srv, err := Serve("127.0.0.1:0", func(conn *Conn, msg Message) {
+		conn.Write(msg.Stream, msg.Payload)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 256)
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Write(1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package ueid composes and splits the per-UE identifiers the MME
+// assigns on the S1AP and S11 interfaces.
+//
+// Per the 3GPP standard, while a device is Active its requests carry the
+// MME-assigned S1AP id (from the eNodeB) or S11 tunnel id (from the
+// S-GW) rather than the GUTI. SCALE exploits this: "each MMP embeds its
+// unique ID in both the S1AP-id & S11-tunnel-id, thus enabling the MLB to
+// route the subsequent requests to the appropriate active MMP"
+// (Section 5). This package is that embedding.
+package ueid
+
+// MMPBits is the width of the embedded MMP id; the remaining bits carry
+// a per-MMP sequence number.
+const MMPBits = 8
+
+const seqMask = (uint32(1) << (32 - MMPBits)) - 1
+
+// MaxMMP is the largest embeddable MMP id.
+const MaxMMP = (1 << MMPBits) - 1
+
+// MaxSeq is the largest embeddable per-MMP sequence number.
+const MaxSeq = seqMask
+
+// Compose packs an MMP id and a sequence number into a UE id. seq values
+// above MaxSeq wrap.
+func Compose(mmp uint8, seq uint32) uint32 {
+	return uint32(mmp)<<(32-MMPBits) | (seq & seqMask)
+}
+
+// Split unpacks a UE id into the owning MMP id and sequence number.
+func Split(id uint32) (mmp uint8, seq uint32) {
+	return uint8(id >> (32 - MMPBits)), id & seqMask
+}

@@ -1,0 +1,55 @@
+package ueid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComposeSplit(t *testing.T) {
+	id := Compose(7, 12345)
+	mmp, seq := Split(id)
+	if mmp != 7 || seq != 12345 {
+		t.Fatalf("split = %d,%d", mmp, seq)
+	}
+}
+
+func TestComposeSeqWraps(t *testing.T) {
+	id := Compose(3, MaxSeq+5)
+	mmp, seq := Split(id)
+	if mmp != 3 || seq != 4 {
+		t.Fatalf("wrap = %d,%d", mmp, seq)
+	}
+}
+
+func TestBoundaryValues(t *testing.T) {
+	for _, tc := range []struct {
+		mmp uint8
+		seq uint32
+	}{{0, 0}, {MaxMMP, MaxSeq}, {1, MaxSeq}, {MaxMMP, 0}} {
+		mmp, seq := Split(Compose(tc.mmp, tc.seq))
+		if mmp != tc.mmp || seq != tc.seq {
+			t.Fatalf("boundary %v: got %d,%d", tc, mmp, seq)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(mmp uint8, seq uint32) bool {
+		m, s := Split(Compose(mmp, seq))
+		return m == mmp && s == seq&MaxSeq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctMMPsDistinctIDs(t *testing.T) {
+	seen := map[uint32]bool{}
+	for mmp := 0; mmp <= MaxMMP; mmp++ {
+		id := Compose(uint8(mmp), 42)
+		if seen[id] {
+			t.Fatalf("collision at mmp %d", mmp)
+		}
+		seen[id] = true
+	}
+}

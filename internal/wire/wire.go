@@ -1,0 +1,192 @@
+// Package wire provides the low-level primitives the protocol codecs
+// (nas, s1ap, s11, s6) share: a growing big-endian writer and a bounded
+// reader with sticky error handling, so message Marshal/Unmarshal code
+// reads as a flat sequence of field operations.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShort indicates a read past the end of the buffer: a truncated or
+// corrupt message.
+var ErrShort = errors.New("wire: buffer too short")
+
+// ErrTooLong indicates a length-prefixed field whose declared size
+// exceeds the remaining buffer or a sanity bound.
+var ErrTooLong = errors.New("wire: field length exceeds bounds")
+
+// maxFieldLen bounds any single length-prefixed field; control-plane
+// messages are small, so anything larger indicates corruption.
+const maxFieldLen = 1 << 16
+
+// Writer accumulates a big-endian encoded message. The zero value is
+// ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity hint n.
+func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded message. The slice aliases the writer's
+// buffer; callers that keep writing must copy first.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len reports the number of bytes written.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 appends a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes16 appends a 2-byte length prefix followed by b.
+func (w *Writer) Bytes16(b []byte) {
+	if len(b) > maxFieldLen {
+		panic(fmt.Sprintf("wire: field of %d bytes exceeds maximum", len(b)))
+	}
+	w.U16(uint16(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String16 appends a 2-byte length prefix followed by the string bytes.
+func (w *Writer) String16(s string) { w.Bytes16([]byte(s)) }
+
+// Raw appends b verbatim (no length prefix).
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reader decodes a big-endian message with a sticky error: after the
+// first failed read every subsequent read returns zero values, and Err
+// reports the failure. This lets Unmarshal code decode entire messages
+// without per-field error checks.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader reads from buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports unread byte count.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrShort
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Bool reads one byte as a boolean (nonzero = true).
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes16 reads a 2-byte length prefix and that many bytes. The result
+// is a fresh copy.
+func (r *Reader) Bytes16() []byte {
+	n := int(r.U16())
+	if r.err != nil {
+		return nil
+	}
+	if n > r.Remaining() {
+		r.err = ErrTooLong
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String16 reads a 2-byte length-prefixed string.
+func (r *Reader) String16() string { return string(r.Bytes16()) }
+
+// Raw reads n bytes without copying; the result aliases the input buffer.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// Finish returns r.Err(), additionally failing with ErrTooLong if
+// unread bytes remain — a strict "consumed exactly" check for fixed
+// message layouts.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrTooLong, r.Remaining())
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xAB)
+	w.U16(0xCDEF)
+	w.U32(0x01020304)
+	w.U64(0x0506070809101112)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.14159)
+	w.Bytes16([]byte{9, 8, 7})
+	w.String16("guti")
+	w.Raw([]byte{1, 2})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Fatalf("U8 = %x", got)
+	}
+	if got := r.U16(); got != 0xCDEF {
+		t.Fatalf("U16 = %x", got)
+	}
+	if got := r.U32(); got != 0x01020304 {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 0x0506070809101112 {
+		t.Fatalf("U64 = %x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool mismatch")
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := r.Bytes16(); !bytes.Equal(got, []byte{9, 8, 7}) {
+		t.Fatalf("Bytes16 = %v", got)
+	}
+	if got := r.String16(); got != "guti" {
+		t.Fatalf("String16 = %q", got)
+	}
+	if got := r.Raw(2); !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("Raw = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish = %v", err)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	_ = r.U32() // too short
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// Every subsequent read is a zero-value no-op.
+	if r.U8() != 0 || r.U16() != 0 || r.Bytes16() != nil || r.String16() != "" {
+		t.Fatal("reads after error returned non-zero")
+	}
+	if err := r.Finish(); !errors.Is(err, ErrShort) {
+		t.Fatalf("Finish = %v", err)
+	}
+}
+
+func TestReaderTrailingBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	_ = r.U8()
+	err := r.Finish()
+	if !errors.Is(err, ErrTooLong) {
+		t.Fatalf("Finish = %v", err)
+	}
+}
+
+func TestBytes16DeclaredTooLong(t *testing.T) {
+	w := NewWriter(8)
+	w.U16(100) // declares 100 bytes
+	w.Raw([]byte{1, 2, 3})
+	r := NewReader(w.Bytes())
+	if got := r.Bytes16(); got != nil {
+		t.Fatalf("Bytes16 = %v", got)
+	}
+	if !errors.Is(r.Err(), ErrTooLong) {
+		t.Fatalf("err = %v", r.Err())
+	}
+}
+
+func TestBytes16Copy(t *testing.T) {
+	w := NewWriter(8)
+	w.Bytes16([]byte{5, 5})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.Bytes16()
+	buf[2] = 9 // mutate the underlying buffer
+	if got[0] != 5 {
+		t.Fatal("Bytes16 did not copy")
+	}
+}
+
+func TestWriterBytes16PanicsOnHuge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w Writer
+	w.Bytes16(make([]byte, maxFieldLen+1))
+}
+
+func TestZeroValueWriter(t *testing.T) {
+	var w Writer
+	w.U8(1)
+	if w.Len() != 1 {
+		t.Fatalf("len = %d", w.Len())
+	}
+}
+
+func TestF64SpecialValues(t *testing.T) {
+	for _, v := range []float64{0, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		var w Writer
+		w.F64(v)
+		r := NewReader(w.Bytes())
+		if got := r.F64(); got != v {
+			t.Fatalf("F64 %v round-tripped to %v", v, got)
+		}
+	}
+	var w Writer
+	w.F64(math.NaN())
+	if got := NewReader(w.Bytes()).F64(); !math.IsNaN(got) {
+		t.Fatalf("NaN round-tripped to %v", got)
+	}
+}
+
+// Property: arbitrary field sequences round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint8, b uint16, c uint32, d uint64, s string, raw []byte) bool {
+		if len(s) > maxFieldLen || len(raw) > maxFieldLen {
+			return true
+		}
+		var w Writer
+		w.U8(a)
+		w.U16(b)
+		w.U32(c)
+		w.U64(d)
+		w.String16(s)
+		w.Bytes16(raw)
+		r := NewReader(w.Bytes())
+		okA := r.U8() == a
+		okB := r.U16() == b
+		okC := r.U32() == c
+		okD := r.U64() == d
+		okS := r.String16() == s
+		gotRaw := r.Bytes16()
+		okR := bytes.Equal(gotRaw, raw) || (len(raw) == 0 && len(gotRaw) == 0)
+		return okA && okB && okC && okD && okS && okR && r.Finish() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
