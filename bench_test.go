@@ -8,10 +8,12 @@ package scale
 // experiments package's own tests and recorded in EXPERIMENTS.md.
 
 import (
+	"os"
 	"testing"
 
 	"scale/internal/experiments"
 	"scale/internal/metrics"
+	"scale/internal/obs"
 )
 
 // reportSeriesEnds reports the first and last y of a named series.
@@ -57,6 +59,31 @@ func benchExperiment(b *testing.B, run func() *experiments.Result, report func(*
 	reportChecks(b, r)
 	if report != nil {
 		report(b, r)
+	}
+	exportSeries(b, r)
+}
+
+// exportSeries appends the result's series as JSONL to the file named by
+// SCALE_BENCH_OUT, so a benchmark run doubles as a machine-readable
+// regeneration of the evaluation. No-op when the variable is unset.
+func exportSeries(b *testing.B, r *experiments.Result) {
+	b.Helper()
+	path := os.Getenv("SCALE_BENCH_OUT")
+	if path == "" || r == nil {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		b.Fatalf("SCALE_BENCH_OUT: %v", err)
+	}
+	defer f.Close()
+	series := make([]metrics.Series, len(r.Series))
+	for i, s := range r.Series {
+		series[i] = s
+		series[i].Label = r.ID + "/" + s.Label
+	}
+	if err := obs.WriteSeriesJSONL(f, series); err != nil {
+		b.Fatalf("SCALE_BENCH_OUT: %v", err)
 	}
 }
 

@@ -6,6 +6,7 @@
 //	scale-bench                 # run all 16 experiments
 //	scale-bench -only F8d,F10a  # run a subset
 //	scale-bench -list           # list experiment ids
+//	scale-bench -json auto      # also write BENCH_<stamp>.json
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations (A1-A4)")
+	jsonOut := flag.String("json", "", `write a machine-readable run report to this file ("auto" names it BENCH_<stamp>.json)`)
 	flag.Parse()
 
 	all := experiments.All()
@@ -47,6 +49,8 @@ func main() {
 	failed := 0
 	ran := 0
 	start := time.Now()
+	var rep benchReport
+	rep.StartedAt = start.UTC().Format(time.RFC3339)
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
 			continue
@@ -59,9 +63,23 @@ func main() {
 		if !r.Passed() {
 			failed++
 		}
+		if *jsonOut != "" {
+			rep.Experiments = append(rep.Experiments, toExperimentResult(r, time.Since(t0)))
+		}
 	}
 	fmt.Printf("ran %d experiments in %v; %d with failing checks\n",
 		ran, time.Since(start).Round(time.Millisecond), failed)
+	if *jsonOut != "" {
+		calibrate(&rep)
+		rep.Failed = failed
+		rep.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		path, err := writeReport(&rep, *jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote run report to %s\n", path)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"scale/internal/core"
+	"scale/internal/experiments"
+	"scale/internal/obs"
+	"scale/internal/sim"
+	"scale/internal/trace"
+)
+
+// procLatency is one procedure's delay digest from the calibration run.
+type procLatency struct {
+	Proc   string  `json:"proc"`
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// experimentResult is one figure reproduction in the report.
+type experimentResult struct {
+	ID        string             `json:"id"`
+	Figure    string             `json:"figure"`
+	Title     string             `json:"title"`
+	Passed    bool               `json:"passed"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+	Checks    []checkResult      `json:"checks"`
+	Series    []obs.SeriesPoint  `json:"series"`
+	Stages    []obs.StageSummary `json:"stages,omitempty"`
+}
+
+type checkResult struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// benchReport is the BENCH_*.json schema.
+type benchReport struct {
+	StartedAt   string  `json:"started_at"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Calibration struct {
+		VMs              int                `json:"vms"`
+		Devices          int                `json:"devices"`
+		RatePerSec       float64            `json:"rate_per_sec"`
+		Duration         string             `json:"duration"`
+		Offered          int                `json:"offered"`
+		Completed        uint64             `json:"completed"`
+		ThroughputPerSec float64            `json:"throughput_per_sec"`
+		Latency          []procLatency      `json:"latency"`
+		Stages           []obs.StageSummary `json:"stages"`
+	} `json:"calibration"`
+	Experiments []experimentResult `json:"experiments"`
+	Failed      int                `json:"failed"`
+}
+
+func toExperimentResult(r *experiments.Result, elapsed time.Duration) experimentResult {
+	out := experimentResult{
+		ID:        r.ID,
+		Figure:    r.Figure,
+		Title:     r.Title,
+		Passed:    r.Passed(),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	for _, c := range r.Checks {
+		out.Checks = append(out.Checks, checkResult{Name: c.Name, Pass: c.Pass, Detail: c.Detail})
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			out.Series = append(out.Series, obs.SeriesPoint{Label: s.Label, X: p.X, Y: p.Y})
+		}
+	}
+	return out
+}
+
+// calibrate runs a fixed, deterministic SCALE-cluster scenario covering
+// every procedure type and fills the report's per-procedure latency and
+// per-stage span sections — the machine-readable perf baseline tracked
+// across runs.
+func calibrate(rep *benchReport) {
+	const (
+		vms      = 8
+		devices  = 20000
+		rate     = 4000.0
+		duration = 5 * time.Second
+		seed     = 1
+	)
+	eng := sim.NewEngine()
+	spans := obs.NewTracer(obs.TracerConfig{Node: "bench", Registry: obs.NewRegistry()})
+	c := core.NewScaleCluster(core.ScaleClusterConfig{
+		Eng: eng, NumVMs: vms, Tokens: 5,
+		ReplicationCost: 100 * time.Microsecond,
+		Spans:           spans,
+	})
+	pop := trace.NewPopulation(devices, seed, trace.Uniform{Lo: 0.2, Hi: 0.9})
+	mix := trace.Mix{}
+	for p, w := range trace.DefaultMix {
+		mix[p] = w
+	}
+	mix[trace.Detach] = 0.02
+	arrivals := trace.Generator{Pop: pop, Seed: seed + 1, Mix: mix}.Poisson(rate, duration)
+	core.FeedWorkload(eng, pop, arrivals, c)
+	eng.Run()
+
+	rec := c.Recorder()
+	cal := &rep.Calibration
+	cal.VMs, cal.Devices, cal.RatePerSec = vms, devices, rate
+	cal.Duration = duration.String()
+	cal.Offered = len(arrivals)
+	cal.Completed = rec.Count()
+	cal.ThroughputPerSec = float64(rec.Count()) / duration.Seconds()
+	for p := trace.Attach; p <= trace.Detach; p++ {
+		h, ok := rec.ByProc[p]
+		if !ok {
+			continue
+		}
+		cal.Latency = append(cal.Latency, procLatency{
+			Proc:   p.String(),
+			Count:  h.Count(),
+			MeanMS: h.Mean() / float64(time.Millisecond),
+			P50MS:  float64(h.Quantile(0.50)) / float64(time.Millisecond),
+			P99MS:  float64(h.Quantile(0.99)) / float64(time.Millisecond),
+		})
+	}
+	cal.Stages = spans.Summaries()
+}
+
+// writeReport writes the report to path ("auto" → BENCH_<stamp>.json)
+// and returns the resolved path.
+func writeReport(rep *benchReport, path string) (string, error) {
+	if path == "auto" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102_150405"))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return path, err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -14,7 +14,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"scale/internal/core"
 	"scale/internal/hss"
+	"scale/internal/obs"
 	"scale/internal/sgw"
 )
 
@@ -24,6 +26,7 @@ func main() {
 		sgwListen   = flag.String("sgw-listen", "127.0.0.1:2123", "S-GW (S11) listen address")
 		firstIMSI   = flag.Uint64("first-imsi", 100000000, "first provisioned IMSI")
 		subscribers = flag.Int("subscribers", 100000, "number of provisioned subscribers")
+		obsListen   = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-epc ", log.LstdFlags|log.Lmicroseconds)
@@ -41,6 +44,18 @@ func main() {
 	}
 	logger.Printf("HSS on %s (%d subscribers from %d), S-GW on %s",
 		hssSrv.Addr(), *subscribers, *firstIMSI, sgwSrv.Addr())
+	if *obsListen != "" {
+		ob := obs.NewObserver("scale-epc", 0)
+		core.RegisterTransportMetrics(ob.Reg)
+		ob.Reg.CounterFunc("hss_vectors_issued_total", func() uint64 { return uint64(db.VectorsIssued()) })
+		ob.Reg.GaugeFunc("sgw_sessions", func() float64 { return float64(gw.Len()) })
+		osrv, err := obs.Serve(*obsListen, ob.Reg, ob.Tracer)
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		defer osrv.Close()
+		logger.Printf("observability on http://%s/metrics", osrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -14,10 +14,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"scale/internal/core"
 	"scale/internal/guti"
 	"scale/internal/mlb"
+	"scale/internal/obs"
 )
 
 func main() {
@@ -29,16 +31,33 @@ func main() {
 		mnc       = flag.Uint("mnc", 26, "mobile network code")
 		mmegi     = flag.Uint("mmegi", 0x0101, "MME group id")
 		tokens    = flag.Int("tokens", 5, "tokens per MMP on the hash ring")
+		obsListen = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
+		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-mlb ", log.LstdFlags|log.Lmicroseconds)
 
+	// Bind the observability listener before the S1AP/cluster listeners
+	// so a bad -obs-listen fails fast, before eNBs can connect.
+	var ob *obs.Observer
+	if *obsListen != "" {
+		ob = obs.NewObserver(*name, *spanLog)
+		core.RegisterTransportMetrics(ob.Reg)
+		osrv, err := obs.Serve(*obsListen, ob.Reg, ob.Tracer)
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		defer osrv.Close()
+		defer obs.StartSweeper(ob.Tracer, 30*time.Second, time.Minute)()
+		logger.Printf("observability on http://%s/metrics", osrv.Addr())
+	}
 	srv, err := core.ServeMLB(mlb.Config{
 		Name:   *name,
 		PLMN:   guti.PLMN{MCC: uint16(*mcc), MNC: uint16(*mnc)},
 		MMEGI:  uint16(*mmegi),
 		MMEC:   1,
 		Tokens: *tokens,
+		Obs:    ob,
 	}, *enbListen, *mmpListen, logger)
 	if err != nil {
 		logger.Fatalf("start: %v", err)

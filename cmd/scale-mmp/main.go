@@ -9,6 +9,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -17,23 +18,44 @@ import (
 
 	"scale/internal/core"
 	"scale/internal/guti"
+	"scale/internal/obs"
 )
 
 func main() {
 	var (
-		index   = flag.Uint("index", 1, "MMP index (1-255), embedded in UE identifiers")
-		id      = flag.String("id", "", "MMP id (default mmp-<index>)")
-		mlbAddr = flag.String("mlb", "127.0.0.1:36500", "MLB cluster address")
-		hssAddr = flag.String("hss", "127.0.0.1:3868", "HSS address")
-		sgwAddr = flag.String("sgw", "127.0.0.1:2123", "S-GW address")
-		mcc     = flag.Uint("mcc", 310, "mobile country code")
-		mnc     = flag.Uint("mnc", 26, "mobile network code")
-		mmegi   = flag.Uint("mmegi", 0x0101, "MME group id")
-		report  = flag.Duration("load-report", 2*time.Second, "load report interval")
+		index     = flag.Uint("index", 1, "MMP index (1-255), embedded in UE identifiers")
+		id        = flag.String("id", "", "MMP id (default mmp-<index>)")
+		mlbAddr   = flag.String("mlb", "127.0.0.1:36500", "MLB cluster address")
+		hssAddr   = flag.String("hss", "127.0.0.1:3868", "HSS address")
+		sgwAddr   = flag.String("sgw", "127.0.0.1:2123", "S-GW address")
+		mcc       = flag.Uint("mcc", 310, "mobile country code")
+		mnc       = flag.Uint("mnc", 26, "mobile network code")
+		mmegi     = flag.Uint("mmegi", 0x0101, "MME group id")
+		report    = flag.Duration("load-report", 2*time.Second, "load report interval")
+		obsListen = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
+		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-mmp ", log.LstdFlags|log.Lmicroseconds)
 
+	node := *id
+	if node == "" {
+		node = fmt.Sprintf("mmp-%d", *index)
+	}
+	// Bind the observability listener before registering with the MLB:
+	// a bad -obs-listen must not leave a half-started MMP on the ring.
+	var ob *obs.Observer
+	if *obsListen != "" {
+		ob = obs.NewObserver(node, *spanLog)
+		core.RegisterTransportMetrics(ob.Reg)
+		osrv, err := obs.Serve(*obsListen, ob.Reg, ob.Tracer)
+		if err != nil {
+			logger.Fatalf("%v", err)
+		}
+		defer osrv.Close()
+		defer obs.StartSweeper(ob.Tracer, 30*time.Second, time.Minute)()
+		logger.Printf("observability on http://%s/metrics", osrv.Addr())
+	}
 	agent, err := core.StartMMPAgent(core.MMPAgentConfig{
 		ID:              *id,
 		Index:           uint8(*index),
@@ -45,6 +67,7 @@ func main() {
 		SGWAddr:         *sgwAddr,
 		LoadReportEvery: *report,
 		Logger:          logger,
+		Obs:             ob,
 	})
 	if err != nil {
 		logger.Fatalf("start: %v", err)

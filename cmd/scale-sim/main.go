@@ -14,12 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"scale/internal/baseline"
 	"scale/internal/core"
 	"scale/internal/netem"
+	"scale/internal/obs"
 	"scale/internal/sim"
 	"scale/internal/trace"
 )
@@ -37,6 +39,8 @@ func main() {
 		reassign = flag.Bool("reassign", false, "enable reactive overload reassignment (3gpp only)")
 		skew     = flag.String("skew", "uniform", "access-weight distribution: uniform | bimodal | zipf")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
+		spansOut = flag.String("spans", "", "write per-(procedure,stage) span summaries as JSONL to this file (scale system only)")
+		csvOut   = flag.String("csv", "", "write per-(procedure,stage) span summaries as CSV to this file (scale system only)")
 
 		geo       = flag.Bool("geo", false, "run a multi-DC geo-multiplexing scenario instead (DC1 overloaded, others light)")
 		dcs       = flag.Int("dcs", 3, "number of DCs (geo mode)")
@@ -70,11 +74,23 @@ func main() {
 		rec     *sim.Recorder
 		vmList  []*sim.VM
 	)
+	// Span tracer: decomposes every completed request into
+	// net/queue/service/replicate stage durations (virtual time).
+	var spans *obs.Tracer
+	if *spansOut != "" || *csvOut != "" {
+		if *system != "scale" {
+			fmt.Fprintln(os.Stderr, "-spans/-csv require -system scale")
+			os.Exit(2)
+		}
+		spans = obs.NewTracer(obs.TracerConfig{Node: "sim", Registry: obs.NewRegistry()})
+	}
+
 	switch *system {
 	case "scale":
 		c := core.NewScaleCluster(core.ScaleClusterConfig{
 			Eng: eng, NumVMs: *vms, Tokens: *tokens, Replicas: *replicas,
 			ReplicationCost: *repCost,
+			Spans:           spans,
 		})
 		cluster, rec, vmList = c, c.Recorder(), c.VMs()
 	case "3gpp":
@@ -93,7 +109,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	arrivals := trace.Generator{Pop: pop, Seed: *seed + 1}.Poisson(*rate, *duration)
+	// DefaultMix plus a detach share, so exported span series cover
+	// every procedure type.
+	mix := trace.Mix{}
+	for p, w := range trace.DefaultMix {
+		mix[p] = w
+	}
+	mix[trace.Detach] = 0.02
+	arrivals := trace.Generator{Pop: pop, Seed: *seed + 1, Mix: mix}.Poisson(*rate, *duration)
 	core.FeedWorkload(eng, pop, arrivals, cluster)
 	wall := time.Now()
 	eng.Run()
@@ -116,6 +139,28 @@ func main() {
 	fmt.Println("delay CDF:")
 	for _, p := range rec.CDF(20) {
 		fmt.Printf("  %10v  %.3f\n", time.Duration(p.Value).Round(100*time.Microsecond), p.Fraction)
+	}
+
+	if spans != nil {
+		sums := spans.Summaries()
+		if *spansOut != "" {
+			if err := obs.WriteFile(*spansOut, func(w io.Writer) error {
+				return obs.WriteSummariesJSONL(w, sums)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *spansOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d span summaries to %s\n", len(sums), *spansOut)
+		}
+		if *csvOut != "" {
+			if err := obs.WriteFile(*csvOut, func(w io.Writer) error {
+				return obs.WriteSummariesCSV(w, sums)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *csvOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d span summaries to %s\n", len(sums), *csvOut)
+		}
 	}
 }
 

@@ -10,11 +10,14 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"scale/internal/metrics"
+	"scale/internal/obs"
 )
 
 // DefaultReplicas is R, the paper's chosen replication factor.
@@ -138,10 +141,14 @@ type Decision struct {
 }
 
 // Provisioner tracks the load forecast across epochs and emits
-// provisioning decisions (Section 4.4).
+// provisioning decisions (Section 4.4). Epoch and Forecast are safe to
+// call concurrently with metric scrapes (see RegisterMetrics).
 type Provisioner struct {
-	cfg  Config
+	cfg Config
+
+	mu   sync.Mutex
 	lbar *metrics.EWMA
+	last Decision
 }
 
 // NewProvisioner creates a provisioner.
@@ -163,6 +170,8 @@ func NewProvisioner(cfg Config) *Provisioner {
 // registered-device count; beta the memory-control parameter (use
 // Beta(...) for access-aware pruning, or 1 for full replication).
 func (p *Provisioner) Epoch(observedLoad float64, k int, beta float64) Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	expected := p.lbar.Observe(observedLoad)
 	vc := VMsForCompute(expected, p.cfg.N)
 	vs := VMsForMemory(beta, p.cfg.R, k, p.cfg.S)
@@ -173,11 +182,40 @@ func (p *Provisioner) Epoch(observedLoad float64, k int, beta float64) Decision 
 	if v < p.cfg.MinVMs {
 		v = p.cfg.MinVMs
 	}
-	return Decision{VC: vc, VS: vs, V: v, Beta: beta, ExpectedLoad: expected}
+	p.last = Decision{VC: vc, VS: vs, V: v, Beta: beta, ExpectedLoad: expected}
+	return p.last
 }
 
 // Forecast returns the current L̄ without observing a new epoch.
-func (p *Provisioner) Forecast() float64 { return p.lbar.Value() }
+func (p *Provisioner) Forecast() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lbar.Value()
+}
+
+// LastDecision returns the most recent Epoch outcome (zero before the
+// first epoch).
+func (p *Provisioner) LastDecision() Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last
+}
+
+// RegisterMetrics exposes the provisioner's rolling outputs as gauges:
+// provisioned/compute/memory VM counts, the memory-control parameter β
+// and the load forecast, labeled by pool name.
+func (p *Provisioner) RegisterMetrics(reg *obs.Registry, pool string) {
+	gauge := func(name string, read func(Decision) float64) {
+		reg.GaugeFunc(fmt.Sprintf("%s{pool=%q}", name, pool), func() float64 {
+			return read(p.LastDecision())
+		})
+	}
+	gauge("provisioner_vms", func(d Decision) float64 { return float64(d.V) })
+	gauge("provisioner_vms_compute", func(d Decision) float64 { return float64(d.VC) })
+	gauge("provisioner_vms_memory", func(d Decision) float64 { return float64(d.VS) })
+	gauge("provisioner_beta", func(d Decision) float64 { return d.Beta })
+	reg.GaugeFunc(fmt.Sprintf("provisioner_load_forecast{pool=%q}", pool), p.Forecast)
+}
 
 // GeoBudget manages one DC's external-state allowance: Sm is the total
 // room offered to remote DCs, Available (Ŝm) the unused share

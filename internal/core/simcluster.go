@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"scale/internal/chash"
+	"scale/internal/obs"
 	"scale/internal/sim"
 	"scale/internal/trace"
 )
@@ -45,6 +46,11 @@ type ScaleClusterConfig struct {
 	ReplicationCost time.Duration
 	// CPUWindow is the utilization sampling window (0 → 1s).
 	CPUWindow time.Duration
+	// Spans, when set, receives per-stage duration observations for
+	// every completed request — net propagation, queue wait, service and
+	// replication work — labeled by procedure. Durations are virtual
+	// (simulated) time.
+	Spans *obs.Tracer
 }
 
 // ScaleCluster simulates one DC's MMP pool under SCALE's policies:
@@ -200,8 +206,23 @@ func (c *ScaleCluster) processRecorded(vm *sim.VM, holders []*sim.VM, req *sim.R
 	arrived := req.Arrived
 	proc := req.Proc
 	net := c.cfg.Net.RequestRTT() + extraNet
+	// Stage decomposition for span observation, captured at enqueue:
+	// queue wait is the VM's backlog now, service its configured cost.
+	var trace uint64
+	var queued, svc time.Duration
+	if c.cfg.Spans != nil {
+		trace = c.cfg.Spans.NewTraceID()
+		queued = vm.QueueDelay()
+		svc = vm.ServiceTime(proc)
+	}
 	vm.Process(proc, 0, func(done time.Duration) {
 		rec.Record(proc, done-arrived+net)
+		if c.cfg.Spans != nil {
+			name := proc.String()
+			c.cfg.Spans.Observe(trace, name, obs.StageNet, net)
+			c.cfg.Spans.Observe(trace, name, obs.StageQueue, queued)
+			c.cfg.Spans.Observe(trace, name, obs.StageService, svc)
+		}
 		// Asynchronous replica refresh (Section 4.6): after serving, the
 		// handling VM pushes the updated state to the other holders.
 		if c.cfg.ReplicationCost > 0 {
@@ -209,6 +230,10 @@ func (c *ScaleCluster) processRecorded(vm *sim.VM, holders []*sim.VM, req *sim.R
 				if h != vm {
 					h.ProcessWork(c.cfg.ReplicationCost, nil)
 				}
+			}
+			if c.cfg.Spans != nil {
+				c.cfg.Spans.Observe(trace, proc.String(), obs.StageReplicate,
+					time.Duration(len(holders)-1)*c.cfg.ReplicationCost)
 			}
 		}
 	})

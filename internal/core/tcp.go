@@ -12,6 +12,7 @@ import (
 	"scale/internal/hss"
 	"scale/internal/mlb"
 	"scale/internal/mmp"
+	"scale/internal/obs"
 	"scale/internal/s1ap"
 	"scale/internal/sgw"
 	"scale/internal/transport"
@@ -38,6 +39,15 @@ const (
 	StreamCtl uint16 = 10
 	StreamS1  uint16 = 11
 )
+
+// RegisterTransportMetrics exposes the process-wide transport frame
+// counters through an observability registry.
+func RegisterTransportMetrics(reg *obs.Registry) {
+	reg.CounterFunc(`transport_frames_total{dir="in"}`, func() uint64 { return transport.Stats().FramesIn })
+	reg.CounterFunc(`transport_frames_total{dir="out"}`, func() uint64 { return transport.Stats().FramesOut })
+	reg.CounterFunc(`transport_bytes_total{dir="in"}`, func() uint64 { return transport.Stats().BytesIn })
+	reg.CounterFunc(`transport_bytes_total{dir="out"}`, func() uint64 { return transport.Stats().BytesOut })
+}
 
 // Control frame kinds.
 const (
@@ -142,6 +152,15 @@ func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
 		return
 	}
 	enbID := s.enbIDFor(conn)
+	// Mint the procedure's end-to-end trace id at ingress and span the
+	// routing hop; the id rides the frame-header extension to the MMP.
+	var trace uint64
+	var span *obs.ActiveSpan
+	if ob := s.Router.Observer(); ob != nil {
+		trace = ob.Tracer.NewTraceID()
+		span = ob.Tracer.Begin(trace, mmp.ProcName(msg), obs.StageMLBRoute)
+	}
+	defer span.End()
 	d, err := s.Router.Route(msg)
 	if err != nil {
 		s.logf("mlb: route %s: %v", msg.Type(), err)
@@ -158,7 +177,7 @@ func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
 		s.logf("mlb: no connection for MMP %s", d.Target)
 		return
 	}
-	if err := target.Write(StreamS1, EncodeEnvelope(enbID, 0, d.Msg)); err != nil {
+	if err := target.WriteTraced(StreamS1, trace, EncodeEnvelope(enbID, 0, d.Msg)); err != nil {
 		s.logf("mlb: forward to %s: %v", d.Target, err)
 	}
 }
@@ -250,6 +269,9 @@ type MMPAgentConfig struct {
 	SGWAddr         string
 	LoadReportEvery time.Duration
 	Logger          *log.Logger
+	// Obs, when set, instruments the engine (per-procedure counters,
+	// span tracing) and continues traces arriving in frame headers.
+	Obs *obs.Observer
 }
 
 // MMPAgent runs an MMP engine against a remote MLB/HSS/S-GW.
@@ -303,6 +325,7 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		// TCP agents replicate through the MLB in a follow-on wiring;
 		// in this deployment replication is local to the agent.
 		Replicator: nil,
+		Obs:        cfg.Obs,
 	})
 
 	// Register.
@@ -350,13 +373,13 @@ func (a *MMPAgent) serveLoop() {
 			a.logf("mmp agent: envelope: %v", err)
 			continue
 		}
-		out, err := a.Engine.Handle(enbID, msg)
+		out, err := a.Engine.HandleTraced(frame.Trace, enbID, msg)
 		if err != nil && !errors.Is(err, mmp.ErrNoContext) {
 			a.logf("mmp agent: handle %s: %v", msg.Type(), err)
 			continue
 		}
 		for _, o := range out {
-			if err := a.conn.Write(StreamS1, EncodeEnvelope(o.ENB, o.TAI, o.Msg)); err != nil {
+			if err := a.conn.WriteTraced(StreamS1, frame.Trace, EncodeEnvelope(o.ENB, o.TAI, o.Msg)); err != nil {
 				a.logf("mmp agent: write: %v", err)
 				return
 			}

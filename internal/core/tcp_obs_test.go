@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/mlb"
+	"scale/internal/mmp"
+	"scale/internal/obs"
+	"scale/internal/sgw"
+)
+
+// TestTraceIDPropagatesENBToMMP is the observability acceptance test:
+// a trace id minted by the MLB at eNB ingress must reach the MMP agent
+// through the transport frame-header extension, so the routing span on
+// the MLB and the processing span on the MMP share one id.
+func TestTraceIDPropagatesENBToMMP(t *testing.T) {
+	plmn := guti.PLMN{MCC: 310, MNC: 26}
+
+	db := hss.NewDB()
+	db.ProvisionRange(100000000, 10)
+	hssSrv, err := hss.Serve("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hssSrv.Close()
+	sgwSrv, err := sgw.Serve("127.0.0.1:0", sgw.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sgwSrv.Close()
+
+	mlbObs := obs.NewObserver("mlb", 256)
+	mlbSrv, err := ServeMLB(mlb.Config{Name: "mlb-obs", PLMN: plmn, MMEGI: 1, MMEC: 1, Obs: mlbObs},
+		"127.0.0.1:0", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mlbSrv.Close()
+
+	mmpObs := obs.NewObserver("mmp-1", 256)
+	agent, err := StartMMPAgent(MMPAgentConfig{
+		Index: 1, PLMN: plmn, MMEGI: 1, MMEC: 1,
+		MLBAddr: mlbSrv.MMPAddr(),
+		HSSAddr: hssSrv.Addr(),
+		SGWAddr: sgwSrv.Addr(),
+		Obs:     mmpObs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(mlbSrv.Router.MMPs()) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("MMP never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	client, err := DialENB(mlbSrv.ENBAddr(), map[uint32][]uint16{1: {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	imsi := uint64(100000000)
+	if err := client.Run(func(e *enb.Emulator) error { return e.StartAttach(imsi, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WaitUntil(3*time.Second, func(e *enb.Emulator) bool {
+		return e.UEFor(imsi).State == enb.Active
+	}); err != nil {
+		t.Fatalf("attach did not complete: %v", err)
+	}
+
+	// Collect trace ids per hop. Every MLB routing span must reappear
+	// verbatim in an MMP processing span.
+	mlbTraces := make(map[uint64]bool)
+	for _, s := range mlbObs.Tracer.Log().Spans() {
+		if s.Stage != obs.StageMLBRoute {
+			continue
+		}
+		if s.Trace == 0 {
+			t.Fatalf("MLB routing span without trace id: %+v", s)
+		}
+		if s.Proc != mmp.ProcAttach {
+			t.Fatalf("MLB span proc = %q, want attach", s.Proc)
+		}
+		mlbTraces[s.Trace] = true
+	}
+	if len(mlbTraces) == 0 {
+		t.Fatal("MLB recorded no routing spans")
+	}
+
+	matched := 0
+	for _, s := range mmpObs.Tracer.Log().Spans() {
+		if s.Stage == obs.StageMMP && mlbTraces[s.Trace] {
+			matched++
+		}
+	}
+	// The attach flow crosses the MLB→MMP boundary several times
+	// (initial attach, auth response, SMC complete, attach complete, ICS
+	// response); every crossing must preserve its id.
+	if matched < len(mlbTraces) {
+		t.Fatalf("only %d MMP spans matched %d MLB trace ids", matched, len(mlbTraces))
+	}
+
+	// The engine's per-procedure counter advanced under its label.
+	if got := mmpObs.Reg.Counter(`mmp_requests_total{mmp="mmp-1",proc="attach"}`).Value(); got == 0 {
+		t.Fatal("mmp attach request counter did not advance")
+	}
+	// Side-call spans (S6a auth-info, S11 create-session) were recorded.
+	stages := make(map[string]bool)
+	for _, sum := range mmpObs.Tracer.Summaries() {
+		stages[sum.Stage] = true
+	}
+	for _, want := range []string{obs.StageS6a, obs.StageS11, obs.StageMMP} {
+		if !stages[want] {
+			t.Errorf("no spans recorded for stage %q (have %v)", want, stages)
+		}
+	}
+}

@@ -177,6 +177,11 @@ func (h *Histogram) Max() int64 {
 func (h *Histogram) Quantile(q float64) int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked is Quantile's body; h.mu must be held.
+func (h *Histogram) quantileLocked(q float64) int64 {
 	if h.total == 0 {
 		return 0
 	}
@@ -289,19 +294,33 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// String summarizes the distribution using the configured unit.
+// String summarizes the distribution using the configured unit. The whole
+// summary is taken under one lock, so it is a consistent snapshot even
+// while other goroutines record.
 func (h *Histogram) String() string {
-	div := h.unitDivisor
+	h.mu.Lock()
+	div, unit := h.unitDivisor, h.unitName
+	n := h.total
+	var mean float64
+	if n > 0 {
+		mean = h.sum / float64(n)
+	}
+	p50 := h.quantileLocked(0.50)
+	p95 := h.quantileLocked(0.95)
+	p99 := h.quantileLocked(0.99)
+	max := h.max
+	h.mu.Unlock()
+
 	if div == 0 {
 		div = 1
 	}
 	return fmt.Sprintf("n=%d mean=%.2f%s p50=%.2f%s p95=%.2f%s p99=%.2f%s max=%.2f%s",
-		h.Count(),
-		h.Mean()/div, h.unitName,
-		float64(h.Quantile(0.50))/div, h.unitName,
-		float64(h.Quantile(0.95))/div, h.unitName,
-		float64(h.Quantile(0.99))/div, h.unitName,
-		float64(h.Max())/div, h.unitName)
+		n,
+		mean/div, unit,
+		float64(p50)/div, unit,
+		float64(p95)/div, unit,
+		float64(p99)/div, unit,
+		float64(max)/div, unit)
 }
 
 // ExactPercentile computes an exact percentile from a raw sample slice.

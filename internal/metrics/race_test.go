@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramConcurrentReadersWriters hammers every Histogram method —
+// including String and SetUnit, whose unit fields were previously read
+// without the lock — from concurrent goroutines. Run with -race.
+func TestHistogramConcurrentReadersWriters(t *testing.T) {
+	h := NewHistogram(5)
+	other := NewHistogram(5)
+	for i := int64(1); i <= 1000; i++ {
+		other.Record(i)
+	}
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: Record, RecordN, SetUnit, Merge.
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				switch i % 4 {
+				case 0:
+					h.Record(int64(rng.Intn(1 << 20)))
+				case 1:
+					h.RecordN(int64(rng.Intn(1<<20)), 3)
+				case 2:
+					h.SetUnit(1e6, "ms")
+				case 3:
+					h.Merge(other)
+				}
+			}
+		}(int64(g))
+	}
+	// Readers: every query, notably the multi-stat String snapshot.
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = h.String()
+				_ = h.Count()
+				_ = h.Mean()
+				_ = h.Quantile(0.99)
+				_ = h.Min()
+				_ = h.Max()
+				_ = h.CDF(10)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if h.Count() == 0 {
+		t.Fatal("no observations recorded")
+	}
+	if got := h.Quantile(0.5); got < 0 {
+		t.Fatalf("p50 = %d, want >= 0", got)
+	}
+}
+
+// TestLoadEstimatorsConcurrent exercises EWMA and CPUTracker from
+// concurrent observers and readers, mirroring the MLB scraping load
+// reports while MMP goroutines update them. Run with -race.
+func TestLoadEstimatorsConcurrent(t *testing.T) {
+	e := NewEWMA(0.5)
+	c := NewCPUTracker(10 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				e.Observe(float64(i%100) / 100)
+				now := time.Duration(offset*2000+i) * time.Millisecond
+				c.AddBusy(now, 3*time.Millisecond)
+				c.Advance(now)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				_ = e.Value()
+				_ = c.Utilization()
+				_ = c.MeanUtilization()
+				_ = c.PeakUtilization()
+				_ = c.Trace()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if e.Value() < 0 || e.Value() > 1 {
+		t.Fatalf("ewma = %v, want within [0,1]", e.Value())
+	}
+	if len(c.Trace()) == 0 {
+		t.Fatal("no CPU windows closed")
+	}
+}

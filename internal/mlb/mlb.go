@@ -23,6 +23,7 @@ import (
 	"scale/internal/chash"
 	"scale/internal/guti"
 	"scale/internal/nas"
+	"scale/internal/obs"
 	"scale/internal/s1ap"
 	"scale/internal/ueid"
 )
@@ -65,6 +66,11 @@ type Router struct {
 	index   map[string]uint8   // MMP id → index
 	enbTAIs map[uint32][]uint16
 	name    string
+
+	ob            *obs.Observer
+	routedInitial *obs.Counter // idle-mode (GUTI-hashed) routes
+	routedUEID    *obs.Counter // active-mode (embedded UE id) routes
+	routeErrors   *obs.Counter
 }
 
 // Config parameterizes a Router.
@@ -77,6 +83,10 @@ type Config struct {
 	MMEC  uint8
 	// Tokens per MMP VM on the hash ring; 0 means chash.DefaultTokens.
 	Tokens int
+	// Obs, when set, receives routing counters and the ring-size gauge;
+	// the TCP front-end additionally uses it to mint trace ids and span
+	// the routing hop. Nil disables instrumentation.
+	Obs *obs.Observer
 }
 
 // NewRouter creates an empty router.
@@ -84,7 +94,7 @@ func NewRouter(cfg Config) *Router {
 	if cfg.Name == "" {
 		cfg.Name = "scale-mlb"
 	}
-	return &Router{
+	r := &Router{
 		ring:    chash.New(cfg.Tokens),
 		reg:     guti.NewRegistry(guti.NewAllocator(cfg.PLMN, cfg.MMEGI, cfg.MMEC)),
 		load:    make(map[string]float64),
@@ -92,8 +102,26 @@ func NewRouter(cfg Config) *Router {
 		index:   make(map[string]uint8),
 		enbTAIs: make(map[uint32][]uint16),
 		name:    cfg.Name,
+		ob:      cfg.Obs,
 	}
+	if r.ob != nil {
+		r.routedInitial = r.ob.Reg.Counter(`mlb_routed_total{kind="initial"}`)
+		r.routedUEID = r.ob.Reg.Counter(`mlb_routed_total{kind="ueid"}`)
+		r.routeErrors = r.ob.Reg.Counter(`mlb_route_errors_total`)
+		r.ob.Reg.GaugeFunc("mlb_ring_mmps", func() float64 {
+			return float64(len(r.ring.Nodes()))
+		})
+		r.ob.Reg.GaugeFunc("mlb_enbs_registered", func() float64 {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			return float64(len(r.enbTAIs))
+		})
+	}
+	return r
 }
+
+// Observer returns the router's observability bundle, or nil.
+func (r *Router) Observer() *obs.Observer { return r.ob }
 
 // RegisterMMP adds an MMP VM to the ring.
 func (r *Router) RegisterMMP(id string, index uint8) {
@@ -186,6 +214,23 @@ func (r *Router) AssignGUTI(imsi uint64) guti.GUTI {
 
 // Route decides the MMP for one uplink S1AP message.
 func (r *Router) Route(msg s1ap.Message) (Decision, error) {
+	d, err := r.route(msg)
+	if r.ob != nil {
+		switch {
+		case err != nil:
+			r.routeErrors.Inc()
+		default:
+			if _, ok := msg.(*s1ap.InitialUEMessage); ok {
+				r.routedInitial.Inc()
+			} else {
+				r.routedUEID.Inc()
+			}
+		}
+	}
+	return d, err
+}
+
+func (r *Router) route(msg s1ap.Message) (Decision, error) {
 	switch m := msg.(type) {
 	case *s1ap.InitialUEMessage:
 		return r.routeInitialUE(m)

@@ -20,6 +20,7 @@ import (
 	"scale/internal/cdr"
 	"scale/internal/guti"
 	"scale/internal/nas"
+	"scale/internal/obs"
 	"scale/internal/s11"
 	"scale/internal/s1ap"
 	"scale/internal/s6"
@@ -92,6 +93,10 @@ type Config struct {
 	// CDR, when set, receives a call data record for every completed
 	// procedure (Section 2 lists CDR generation among the MME's tasks).
 	CDR *cdr.Journal
+	// Obs, when set, receives per-procedure request counters, span
+	// durations for MMP processing, S6a/S11 side-calls and state
+	// replication. Nil disables all instrumentation.
+	Obs *obs.Observer
 }
 
 // Stats counts engine activity.
@@ -154,6 +159,8 @@ type Engine struct {
 	pendingHO     map[uint32]*hoProc     // keyed by MMEUEID
 	lastActivity  map[guti.GUTI]time.Time
 	stats         Stats
+
+	obs *engineObs // nil when Config.Obs is unset
 }
 
 // New creates an engine.
@@ -164,7 +171,19 @@ func New(cfg Config) *Engine {
 	if cfg.ENBAddr == "" {
 		cfg.ENBAddr = "enb-dp:2152"
 	}
+	var eo *engineObs
+	if cfg.Obs != nil {
+		eo = newEngineObs(cfg.Obs, cfg.ID)
+		// Time every S6a/S11 side-call as a span.
+		if cfg.HSS != nil {
+			cfg.HSS = tracedHSS{inner: cfg.HSS, tr: cfg.Obs.Tracer}
+		}
+		if cfg.SGW != nil {
+			cfg.SGW = tracedSGW{inner: cfg.SGW, tr: cfg.Obs.Tracer}
+		}
+	}
 	return &Engine{
+		obs:           eo,
 		cfg:           cfg,
 		alloc:         guti.NewAllocator(cfg.PLMN, cfg.MMEGI, cfg.MMEC),
 		store:         state.NewStore(),
@@ -209,6 +228,28 @@ func (e *Engine) record(ev cdr.EventType, imsi uint64, cell uint32, tai uint16) 
 // messages to emit. A returned ErrNoContext means the host should
 // forward the raw message to the device's master MMP.
 func (e *Engine) Handle(enbID uint32, msg s1ap.Message) ([]Outbound, error) {
+	return e.HandleTraced(0, enbID, msg)
+}
+
+// HandleTraced is Handle carrying the procedure's end-to-end trace id:
+// when observability is configured the handler is bracketed by an
+// "mmp"-stage span under that id and counted per procedure.
+func (e *Engine) HandleTraced(traceID uint64, enbID uint32, msg s1ap.Message) ([]Outbound, error) {
+	if e.obs == nil {
+		return e.dispatch(enbID, msg)
+	}
+	proc := ProcName(msg)
+	e.obs.requests[proc].Inc()
+	span := e.cfg.Obs.Tracer.Begin(traceID, proc, obs.StageMMP)
+	out, err := e.dispatch(enbID, msg)
+	span.End()
+	if err != nil {
+		e.obs.countError(err)
+	}
+	return out, err
+}
+
+func (e *Engine) dispatch(enbID uint32, msg s1ap.Message) ([]Outbound, error) {
 	switch m := msg.(type) {
 	case *s1ap.InitialUEMessage:
 		return e.handleInitialUE(enbID, m)
@@ -695,6 +736,11 @@ func (e *Engine) handleHandoverNotify(_ uint32, m *s1ap.HandoverNotify) ([]Outbo
 // HandleDownlinkData processes an S-GW DownlinkDataNotification: page
 // the device across its tracking area.
 func (e *Engine) HandleDownlinkData(ddn *s11.DownlinkDataNotification) ([]Outbound, error) {
+	if e.obs != nil {
+		e.obs.requests[ProcPaging].Inc()
+		span := e.cfg.Obs.Tracer.Begin(0, ProcPaging, obs.StageMMP)
+		defer span.End()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	g, ok := e.byMMETEID[ddn.MMETEID]
@@ -722,7 +768,11 @@ func (e *Engine) replicate(ctx *state.UEContext) {
 	if e.cfg.Replicator == nil {
 		return
 	}
+	start := time.Now()
 	e.cfg.Replicator.Replicate(e.cfg.ID, ctx)
+	if e.obs != nil {
+		e.cfg.Obs.Tracer.Observe(0, "state-refresh", obs.StageReplicate, time.Since(start))
+	}
 	e.mu.Lock()
 	e.stats.ReplicationsSent++
 	e.mu.Unlock()

@@ -1,0 +1,171 @@
+package mmp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scale/internal/nas"
+	"scale/internal/obs"
+	"scale/internal/s11"
+	"scale/internal/s1ap"
+	"scale/internal/s6"
+)
+
+// Procedure labels used in metrics and spans. InitialUEMessage is
+// classified by its NAS payload; mid-procedure S1AP messages map to the
+// procedure they belong to.
+const (
+	ProcAttach         = "attach"
+	ProcServiceRequest = "service-request"
+	ProcTAU            = "tau"
+	ProcDetach         = "detach"
+	ProcBearerSetup    = "bearer-setup"
+	ProcRelease        = "release"
+	ProcHandover       = "handover"
+	ProcPaging         = "paging"
+	ProcOther          = "other"
+)
+
+// procNames is the closed label set; counters are pre-registered for
+// each so the request path never allocates a metric id string.
+var procNames = []string{
+	ProcAttach, ProcServiceRequest, ProcTAU, ProcDetach,
+	ProcBearerSetup, ProcRelease, ProcHandover, ProcPaging, ProcOther,
+}
+
+// ProcName classifies an uplink S1AP message by the control procedure
+// it advances. The MLB and MMP use the same classification so spans
+// recorded on both hops carry matching labels.
+func ProcName(msg s1ap.Message) string {
+	switch m := msg.(type) {
+	case *s1ap.InitialUEMessage:
+		nasMsg, err := nas.Unmarshal(m.NASPDU)
+		if err != nil {
+			return ProcOther
+		}
+		switch nasMsg.(type) {
+		case *nas.AttachRequest:
+			return ProcAttach
+		case *nas.ServiceRequest:
+			return ProcServiceRequest
+		case *nas.TAURequest:
+			return ProcTAU
+		case *nas.DetachRequest:
+			return ProcDetach
+		default:
+			return ProcOther
+		}
+	case *s1ap.UplinkNASTransport:
+		// Auth response, security-mode complete and attach complete are
+		// all attach steps.
+		return ProcAttach
+	case *s1ap.InitialContextSetupResponse:
+		return ProcBearerSetup
+	case *s1ap.UEContextReleaseRequest, *s1ap.UEContextReleaseComplete:
+		return ProcRelease
+	case *s1ap.HandoverRequired, *s1ap.HandoverRequestAck, *s1ap.HandoverNotify:
+		return ProcHandover
+	default:
+		return ProcOther
+	}
+}
+
+// engineObs holds the engine's pre-registered metric handles.
+type engineObs struct {
+	ob       *obs.Observer
+	requests map[string]*obs.Counter // proc → count
+	errs     map[string]*obs.Counter // kind → count
+}
+
+func newEngineObs(ob *obs.Observer, id string) *engineObs {
+	e := &engineObs{
+		ob:       ob,
+		requests: make(map[string]*obs.Counter, len(procNames)),
+		errs:     make(map[string]*obs.Counter, 3),
+	}
+	for _, p := range procNames {
+		e.requests[p] = ob.Reg.Counter(fmt.Sprintf("mmp_requests_total{mmp=%q,proc=%q}", id, p))
+		// Same id format the tracer uses, so the latency summaries are
+		// visible on /metrics from startup, not only after first traffic.
+		ob.Reg.Histogram(fmt.Sprintf("span_duration_seconds{proc=%q,stage=%q}", p, obs.StageMMP), 1e9)
+	}
+	for _, k := range []string{"no-context", "bad-state", "other"} {
+		e.errs[k] = ob.Reg.Counter(fmt.Sprintf("mmp_errors_total{mmp=%q,kind=%q}", id, k))
+	}
+	return e
+}
+
+func (o *engineObs) countError(err error) {
+	switch {
+	case errors.Is(err, ErrNoContext):
+		o.errs["no-context"].Inc()
+	case errors.Is(err, ErrBadState):
+		o.errs["bad-state"].Inc()
+	default:
+		o.errs["other"].Inc()
+	}
+}
+
+// tracedHSS wraps an HSSClient, recording each S6a call's latency as a
+// span under stage "s6a".
+type tracedHSS struct {
+	inner HSSClient
+	tr    *obs.Tracer
+}
+
+func (h tracedHSS) AuthInfo(imsi uint64, sn string, n uint8) (*s6.AuthInfoAnswer, error) {
+	start := time.Now()
+	ans, err := h.inner.AuthInfo(imsi, sn, n)
+	h.tr.Observe(0, "auth-info", obs.StageS6a, time.Since(start))
+	return ans, err
+}
+
+func (h tracedHSS) UpdateLocation(imsi uint64, mmeID string) (*s6.UpdateLocationAnswer, error) {
+	start := time.Now()
+	ans, err := h.inner.UpdateLocation(imsi, mmeID)
+	h.tr.Observe(0, "update-location", obs.StageS6a, time.Since(start))
+	return ans, err
+}
+
+func (h tracedHSS) Purge(imsi uint64) error {
+	start := time.Now()
+	err := h.inner.Purge(imsi)
+	h.tr.Observe(0, "purge", obs.StageS6a, time.Since(start))
+	return err
+}
+
+// tracedSGW wraps an SGWClient, recording each S11 call's latency as a
+// span under stage "s11".
+type tracedSGW struct {
+	inner SGWClient
+	tr    *obs.Tracer
+}
+
+func (g tracedSGW) CreateSession(imsi uint64, teid uint32, apn string, ebi uint8) (*s11.CreateSessionResponse, error) {
+	start := time.Now()
+	resp, err := g.inner.CreateSession(imsi, teid, apn, ebi)
+	g.tr.Observe(0, "create-session", obs.StageS11, time.Since(start))
+	return resp, err
+}
+
+func (g tracedSGW) ModifyBearer(sgwTEID, enbTEID uint32, addr string, ebi uint8) (*s11.ModifyBearerResponse, error) {
+	start := time.Now()
+	resp, err := g.inner.ModifyBearer(sgwTEID, enbTEID, addr, ebi)
+	g.tr.Observe(0, "modify-bearer", obs.StageS11, time.Since(start))
+	return resp, err
+}
+
+func (g tracedSGW) ReleaseAccessBearers(sgwTEID uint32) (*s11.ReleaseAccessBearersResponse, error) {
+	start := time.Now()
+	resp, err := g.inner.ReleaseAccessBearers(sgwTEID)
+	g.tr.Observe(0, "release-bearers", obs.StageS11, time.Since(start))
+	return resp, err
+}
+
+func (g tracedSGW) DeleteSession(sgwTEID uint32, ebi uint8) (*s11.DeleteSessionResponse, error) {
+	start := time.Now()
+	resp, err := g.inner.DeleteSession(sgwTEID, ebi)
+	g.tr.Observe(0, "delete-session", obs.StageS11, time.Since(start))
+	return resp, err
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"scale/internal/metrics"
+)
+
+// This file holds the machine-readable exporters: the simulator and
+// the bench harness write per-stage span summaries and figure series
+// as JSONL or CSV instead of ad-hoc prints, so the perf trajectory can
+// be tracked across runs.
+
+// WriteSummariesJSONL writes one JSON object per (proc, stage) line.
+func WriteSummariesJSONL(w io.Writer, sums []StageSummary) error {
+	enc := json.NewEncoder(w)
+	for i := range sums {
+		if err := enc.Encode(&sums[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummariesCSV writes the summaries as CSV with a header row.
+func WriteSummariesCSV(w io.Writer, sums []StageSummary) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"proc", "stage", "count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"}); err != nil {
+		return err
+	}
+	for _, s := range sums {
+		rec := []string{
+			s.Proc, s.Stage,
+			fmt.Sprintf("%d", s.Count),
+			fmt.Sprintf("%.3f", s.MeanUS),
+			fmt.Sprintf("%.3f", s.P50US),
+			fmt.Sprintf("%.3f", s.P95US),
+			fmt.Sprintf("%.3f", s.P99US),
+			fmt.Sprintf("%.3f", s.MaxUS),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SeriesPoint is one exported (x, y) sample of a labelled series.
+type SeriesPoint struct {
+	Label string  `json:"label"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+}
+
+// WriteSeriesJSONL writes every point of every series as JSONL.
+func WriteSeriesJSONL(w io.Writer, series []metrics.Series) error {
+	enc := json.NewEncoder(w)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if err := enc.Encode(&SeriesPoint{Label: s.Label, X: p.X, Y: p.Y}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes label,x,y rows with a header.
+func WriteSeriesCSV(w io.Writer, series []metrics.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if err := cw.Write([]string{s.Label, fmt.Sprintf("%g", p.X), fmt.Sprintf("%g", p.Y)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFile atomically-ish writes an export via a closure (create,
+// write, close); it exists so callers share one error path.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

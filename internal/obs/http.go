@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewHandler builds the exposition mux:
+//
+//	/metrics       Prometheus text format
+//	/debug/scale   JSON: metric snapshot + per-(proc,stage) span
+//	               summaries + span-log state
+//	/debug/scale/spans  recent spans as JSONL
+//	/debug/pprof/* stdlib profiling endpoints
+//
+// reg and tr may each be nil; the corresponding sections are omitted.
+func NewHandler(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/scale", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var body debugScale
+		if reg != nil {
+			snap := reg.Snapshot()
+			body.Metrics = &snap
+		}
+		if tr != nil {
+			body.Node = tr.Node()
+			body.Spans = tr.Summaries()
+			body.ActiveSpans = tr.ActiveCount()
+			if l := tr.Log(); l != nil {
+				body.SpanLog = &spanLogState{
+					Retained: l.Len(),
+					Total:    l.Total(),
+					Dropped:  l.Dropped(),
+				}
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&body)
+	})
+	mux.HandleFunc("/debug/scale/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if tr != nil && tr.Log() != nil {
+			_ = tr.Log().WriteJSONL(w)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+type debugScale struct {
+	Node        string         `json:"node,omitempty"`
+	Metrics     *Snapshot      `json:"metrics,omitempty"`
+	Spans       []StageSummary `json:"spans,omitempty"`
+	ActiveSpans int            `json:"active_spans"`
+	SpanLog     *spanLogState  `json:"span_log,omitempty"`
+}
+
+type spanLogState struct {
+	Retained int    `json:"retained"`
+	Total    uint64 `json:"total"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exposition server on addr (":0" picks a free
+// port; use Addr to discover it).
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: NewHandler(reg, tr), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsAndDebug(t *testing.T) {
+	ob := NewObserver("mmp-1", 128)
+	ob.Reg.Counter(`mmp_requests_total{proc="attach"}`).Add(3)
+	s := ob.Tracer.Begin(ob.Tracer.NewTraceID(), "attach", StageMMP)
+	time.Sleep(time.Millisecond)
+	s.End()
+
+	srv, err := Serve("127.0.0.1:0", ob.Reg, ob.Tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`mmp_requests_total{proc="attach"} 3`,
+		"# TYPE span_duration_seconds summary",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/debug/scale")
+	if code != 200 {
+		t.Fatalf("/debug/scale status %d", code)
+	}
+	var dbg struct {
+		Node  string `json:"node"`
+		Spans []struct {
+			Proc  string `json:"proc"`
+			Stage string `json:"stage"`
+		} `json:"spans"`
+		SpanLog *struct {
+			Retained int `json:"retained"`
+		} `json:"span_log"`
+	}
+	if err := json.Unmarshal([]byte(body), &dbg); err != nil {
+		t.Fatalf("debug/scale not JSON: %v\n%s", err, body)
+	}
+	if dbg.Node != "mmp-1" || len(dbg.Spans) == 0 || dbg.SpanLog == nil || dbg.SpanLog.Retained != 1 {
+		t.Fatalf("debug/scale content wrong: %s", body)
+	}
+
+	code, body = get(t, base+"/debug/scale/spans")
+	if code != 200 || !strings.Contains(body, `"stage":"mmp"`) {
+		t.Fatalf("spans JSONL wrong (%d): %s", code, body)
+	}
+
+	// pprof index must be mounted.
+	code, body = get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index wrong (%d)", code)
+	}
+}

@@ -1,0 +1,317 @@
+// Package obs is the control plane's observability layer: a metrics
+// registry (named counters, gauges and latency histograms), a span
+// tracer that follows one control procedure across hops (eNB → MLB
+// routing → MMP processing → S6a/S11 side-calls → state replication),
+// and an HTTP exposition server publishing Prometheus-style text at
+// /metrics, span summaries at /debug/scale and the stdlib pprof
+// endpoints.
+//
+// The paper's headline results — 99th-percentile control-plane delay
+// CDFs, per-VM CPU timelines, per-procedure signaling counts (Section
+// 4 of PAPER.md) — are all observability artifacts; this package makes
+// the live daemons produce them at runtime instead of recomputing them
+// ad hoc inside each experiment.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"scale/internal/metrics"
+)
+
+// Counter is a monotonically increasing metric. The hot path is a
+// single atomic add — no locks.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-value metric (queue depth, utilization, ring size).
+// Stores float64 bits atomically — no locks on the hot path.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reports the last value set.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram wraps a metrics.Histogram with the unit scale used for
+// exposition: recorded values are divided by Scale when rendered
+// (record nanoseconds with Scale 1e9 to expose seconds).
+type Histogram struct {
+	H     *metrics.Histogram
+	Scale float64
+}
+
+// Record adds one observation in the recording unit.
+func (h *Histogram) Record(v int64) { h.H.Record(v) }
+
+// HistogramStats is one histogram's summary in exposition units.
+type HistogramStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Stats summarizes the histogram in exposition units.
+func (h *Histogram) Stats() HistogramStats {
+	scale := h.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	return HistogramStats{
+		Count: h.H.Count(),
+		Mean:  h.H.Mean() / scale,
+		P50:   float64(h.H.Quantile(0.50)) / scale,
+		P95:   float64(h.H.Quantile(0.95)) / scale,
+		P99:   float64(h.H.Quantile(0.99)) / scale,
+		Max:   float64(h.H.Max()) / scale,
+	}
+}
+
+// Registry holds named metrics. Metric ids are Prometheus-style:
+// a family name optionally followed by a label block, e.g.
+//
+//	mmp_requests_total{proc="attach"}
+//
+// Registration (Counter/Gauge/Histogram lookups) takes a lock and is
+// idempotent; callers keep the returned pointer so the record path is
+// lock-free. CounterFunc/GaugeFunc register read-on-scrape callbacks
+// for components that already maintain their own counters.
+type Registry struct {
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	hists        map[string]*Histogram
+	counterFuncs map[string]func() uint64
+	gaugeFuncs   map[string]func() float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		hists:        make(map[string]*Histogram),
+		counterFuncs: make(map[string]func() uint64),
+		gaugeFuncs:   make(map[string]func() float64),
+	}
+}
+
+// Counter returns the counter registered under id, creating it on
+// first use.
+func (r *Registry) Counter(id string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[id]
+	if !ok {
+		c = &Counter{}
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under id, creating it on first
+// use.
+func (r *Registry) Gauge(id string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[id]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[id] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under id, creating it on
+// first use with the given exposition scale (values recorded are
+// divided by scale when exposed; use 1e9 for nanosecond recordings
+// exposed as seconds).
+func (r *Registry) Histogram(id string, scale float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[id]
+	if !ok {
+		h = &Histogram{H: metrics.NewHistogram(5), Scale: scale}
+		r.hists[id] = h
+	}
+	return h
+}
+
+// CounterFunc registers a callback scraped as a counter — for
+// components that already keep their own monotonic counts (engine
+// Stats, transport frame counters).
+func (r *Registry) CounterFunc(id string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counterFuncs[id] = fn
+}
+
+// GaugeFunc registers a callback scraped as a gauge.
+func (r *Registry) GaugeFunc(id string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[id] = fn
+}
+
+// family extracts the metric family (the id up to the label block).
+func family(id string) string {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// labels returns the label block including braces, or "".
+func labels(id string) string {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[i:]
+	}
+	return ""
+}
+
+// withQuantile splices a quantile label into an id's label block.
+func withQuantile(id string, q string) string {
+	fam, lb := family(id), labels(id)
+	if lb == "" {
+		return fmt.Sprintf("%s{quantile=%q}", fam, q)
+	}
+	return fmt.Sprintf("%s,quantile=%q}", fam+lb[:len(lb)-1], q)
+}
+
+// Snapshot is a point-in-time copy of every registered metric, used by
+// /debug/scale and the exporters.
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// Snapshot captures all metrics.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for id, c := range r.counters {
+		counters[id] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for id, g := range r.gauges {
+		gauges[id] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for id, h := range r.hists {
+		hists[id] = h
+	}
+	cfuncs := make(map[string]func() uint64, len(r.counterFuncs))
+	for id, fn := range r.counterFuncs {
+		cfuncs[id] = fn
+	}
+	gfuncs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for id, fn := range r.gaugeFuncs {
+		gfuncs[id] = fn
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramStats),
+	}
+	for id, c := range counters {
+		snap.Counters[id] = c.Value()
+	}
+	for id, fn := range cfuncs {
+		snap.Counters[id] = fn()
+	}
+	for id, g := range gauges {
+		snap.Gauges[id] = g.Value()
+	}
+	for id, fn := range gfuncs {
+		snap.Gauges[id] = fn()
+	}
+	for id, h := range hists {
+		snap.Histograms[id] = h.Stats()
+	}
+	return snap
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format: counters and gauges as-is, histograms as
+// summaries with quantile labels plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	typed := make(map[string]string) // family → TYPE
+	var lines []string
+	add := func(fam, typ, line string) {
+		if _, ok := typed[fam]; !ok {
+			typed[fam] = typ
+		}
+		lines = append(lines, line)
+	}
+	for id, v := range snap.Counters {
+		add(family(id), "counter", fmt.Sprintf("%s %d", id, v))
+	}
+	for id, v := range snap.Gauges {
+		add(family(id), "gauge", fmt.Sprintf("%s %g", id, v))
+	}
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for id, h := range r.hists {
+		hists[id] = h
+	}
+	r.mu.Unlock()
+	for id, h := range hists {
+		scale := h.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		fam := family(id)
+		st := snap.Histograms[id]
+		add(fam, "summary", fmt.Sprintf("%s %g", withQuantile(id, "0.5"), st.P50))
+		add(fam, "summary", fmt.Sprintf("%s %g", withQuantile(id, "0.95"), st.P95))
+		add(fam, "summary", fmt.Sprintf("%s %g", withQuantile(id, "0.99"), st.P99))
+		sum := h.H.Mean() * float64(h.H.Count()) / scale
+		add(fam, "summary", fmt.Sprintf("%s_sum%s %g", fam, labels(id), sum))
+		add(fam, "summary", fmt.Sprintf("%s_count%s %d", fam, labels(id), st.Count))
+	}
+
+	sort.Strings(lines)
+	seen := make(map[string]bool)
+	for _, line := range lines {
+		fam := family(line[:strings.IndexByte(line+" ", ' ')])
+		// _sum/_count lines belong to their parent summary family.
+		base := strings.TrimSuffix(strings.TrimSuffix(fam, "_count"), "_sum")
+		if typ, ok := typed[base]; ok && !seen[base] {
+			seen[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter(`frames_total{dir="in"}`)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if reg.Counter(`frames_total{dir="in"}`) != c {
+		t.Fatal("counter registration not idempotent")
+	}
+
+	g := reg.Gauge("queue_depth")
+	g.Set(17.5)
+	if got := g.Value(); got != 17.5 {
+		t.Fatalf("gauge = %g, want 17.5", got)
+	}
+
+	h := reg.Histogram(`lat_seconds{proc="attach"}`, 1e9)
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1e6) // 1..1000 ms in ns
+	}
+	st := h.Stats()
+	if st.Count != 1000 {
+		t.Fatalf("hist count = %d", st.Count)
+	}
+	if st.P99 < 0.9 || st.P99 > 1.1 {
+		t.Fatalf("p99 = %g s, want ~0.99 s", st.P99)
+	}
+}
+
+func TestCounterFuncAndGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	var n uint64 = 42
+	reg.CounterFunc("external_total", func() uint64 { return n })
+	reg.GaugeFunc("external_gauge", func() float64 { return 3.25 })
+	snap := reg.Snapshot()
+	if snap.Counters["external_total"] != 42 {
+		t.Fatalf("counter func = %d", snap.Counters["external_total"])
+	}
+	if snap.Gauges["external_gauge"] != 3.25 {
+		t.Fatalf("gauge func = %g", snap.Gauges["external_gauge"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`mmp_requests_total{proc="attach"}`).Add(7)
+	reg.Counter(`mmp_requests_total{proc="tau"}`).Add(3)
+	reg.Gauge("ring_size").Set(4)
+	h := reg.Histogram(`mmp_latency_seconds{proc="attach"}`, 1e9)
+	h.Record(2e6)
+	h.Record(3e6)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mmp_requests_total counter",
+		`mmp_requests_total{proc="attach"} 7`,
+		`mmp_requests_total{proc="tau"} 3`,
+		"# TYPE ring_size gauge",
+		"ring_size 4",
+		"# TYPE mmp_latency_seconds summary",
+		`quantile="0.99"`,
+		`mmp_latency_seconds_count{proc="attach"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE lines must be unique per family.
+	if n := strings.Count(out, "# TYPE mmp_requests_total counter"); n != 1 {
+		t.Errorf("TYPE line repeated %d times", n)
+	}
+}
+
+// TestRegistryConcurrent hammers registration and recording from many
+// goroutines; run under -race this is the registry's thread-safety
+// audit.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("shared_total")
+			g := reg.Gauge("shared_gauge")
+			h := reg.Histogram("shared_seconds", 1e9)
+			for j := 0; j < 2000; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				h.Record(int64(j + 1))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var b strings.Builder
+			_ = reg.WritePrometheus(&b)
+			_ = reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := reg.Counter("shared_total").Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+}

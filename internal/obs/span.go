@@ -1,0 +1,448 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names for the hops a control procedure crosses. The simulator
+// additionally uses net/queue/service to decompose one hop.
+const (
+	StageENB       = "enb"
+	StageMLBRoute  = "mlb-route"
+	StageMMP       = "mmp"
+	StageS6a       = "s6a"
+	StageS11       = "s11"
+	StageReplicate = "replicate"
+
+	StageNet     = "net"
+	StageQueue   = "queue"
+	StageService = "service"
+)
+
+// Span is one recorded stage of a traced control procedure. Durations
+// are measured with a single node-local monotonic clock (start and end
+// read on the same node), so they are immune to wall-clock skew
+// between hosts; only the trace id crosses the wire.
+type Span struct {
+	// Trace is the procedure's end-to-end trace id, rendered as hex.
+	// Zero means the span was recorded outside any trace.
+	Trace uint64 `json:"-"`
+	// TraceHex is the JSONL rendering of Trace.
+	TraceHex string `json:"trace"`
+	Proc     string `json:"proc"`
+	Stage    string `json:"stage"`
+	Node     string `json:"node"`
+	// StartNS is the span start in nanoseconds of node-local monotonic
+	// time since the tracer was created.
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+	// Orphan marks spans force-closed by SweepOrphans: the procedure
+	// never completed on this node (e.g. the MMP died mid-procedure).
+	Orphan bool `json:"orphan,omitempty"`
+}
+
+// SpanLog is a bounded ring of recent spans. When full, the oldest
+// entries are overwritten and counted as dropped — memory stays
+// bounded under overflow, and /debug/scale reports the truncation.
+type SpanLog struct {
+	mu      sync.Mutex
+	cap     int
+	buf     []Span
+	next    int
+	total   uint64
+	dropped uint64
+}
+
+// NewSpanLog creates a log retaining at most capacity spans.
+func NewSpanLog(capacity int) *SpanLog {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &SpanLog{cap: capacity}
+}
+
+// Append records one span, evicting the oldest when full.
+func (l *SpanLog) Append(s Span) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, s)
+		return
+	}
+	l.buf[l.next] = s
+	l.next = (l.next + 1) % l.cap
+	l.dropped++
+}
+
+// Spans returns the retained spans, oldest first.
+func (l *SpanLog) Spans() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Len reports the number of retained spans.
+func (l *SpanLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Total reports how many spans were ever appended.
+func (l *SpanLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dropped reports how many spans were evicted by overflow.
+func (l *SpanLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// WriteJSONL writes the retained spans as one JSON object per line —
+// the span-log export schema documented in the README.
+func (l *SpanLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range l.Spans() {
+		if err := enc.Encode(&s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TracerConfig parameterizes a Tracer.
+type TracerConfig struct {
+	// Node names this tracer's host in exported spans (e.g. "mmp-3").
+	Node string
+	// Registry receives per-(proc,stage) duration histograms under
+	// span_duration_seconds; nil disables histogram recording.
+	Registry *Registry
+	// SpanLogSize bounds the retained span log; 0 disables the log
+	// (histograms still record), negative uses the default (1024).
+	SpanLogSize int
+	// Clock returns node-local monotonic time; nil uses time.Since of
+	// the tracer's creation instant, which Go backs with the monotonic
+	// clock (immune to wall-clock adjustment). Tests inject a manual
+	// clock.
+	Clock func() time.Duration
+}
+
+// Tracer follows control procedures across stages: Begin/End bracket a
+// stage on one node, Observe records an externally measured duration.
+// Durations land in per-(procedure, stage) histograms and optionally
+// in a bounded span log. Safe for concurrent use.
+type Tracer struct {
+	node  string
+	reg   *Registry
+	clock func() time.Duration
+	log   *SpanLog
+
+	idBase  uint64
+	idCtr   atomic.Uint64
+	spanCtr atomic.Uint64
+
+	mu     sync.Mutex
+	active map[uint64]*ActiveSpan
+
+	histMu sync.RWMutex
+	hists  map[string]*Histogram
+
+	orphans *Counter
+}
+
+// NewTracer creates a tracer.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Node == "" {
+		cfg.Node = "node"
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		epoch := time.Now()
+		clock = func() time.Duration { return time.Since(epoch) }
+	}
+	var slog *SpanLog
+	if cfg.SpanLogSize != 0 {
+		size := cfg.SpanLogSize
+		if size < 0 {
+			size = 0 // NewSpanLog defaults
+		}
+		slog = NewSpanLog(size)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", cfg.Node, time.Now().UnixNano())
+	base := h.Sum64()
+	if base == 0 {
+		base = 1
+	}
+	t := &Tracer{
+		node:   cfg.Node,
+		reg:    cfg.Registry,
+		clock:  clock,
+		log:    slog,
+		idBase: base,
+		active: make(map[uint64]*ActiveSpan),
+		hists:  make(map[string]*Histogram),
+	}
+	if cfg.Registry != nil {
+		t.orphans = cfg.Registry.Counter(`span_orphans_total{node="` + cfg.Node + `"}`)
+	}
+	return t
+}
+
+// Node reports the tracer's node name.
+func (t *Tracer) Node() string { return t.node }
+
+// Log returns the bounded span log, or nil if disabled.
+func (t *Tracer) Log() *SpanLog { return t.log }
+
+// NewTraceID mints a process-unique, non-zero trace id. Uniqueness
+// across nodes comes from mixing a per-tracer base (node name +
+// startup instant) with a local counter.
+func (t *Tracer) NewTraceID() uint64 {
+	for {
+		id := t.idBase ^ (t.idCtr.Add(1) * 0x9E3779B97F4A7C15)
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// ActiveSpan is one in-flight stage measurement.
+type ActiveSpan struct {
+	t     *Tracer
+	id    uint64
+	trace uint64
+	proc  string
+	stage string
+	start time.Duration
+	done  atomic.Bool
+}
+
+// Begin opens a span for (trace, proc, stage). trace may be zero for
+// untraced measurements. The caller must End it (or the tracer's
+// SweepOrphans eventually will).
+func (t *Tracer) Begin(trace uint64, proc, stage string) *ActiveSpan {
+	s := &ActiveSpan{
+		t:     t,
+		id:    t.spanCtr.Add(1),
+		trace: trace,
+		proc:  proc,
+		stage: stage,
+		start: t.clock(),
+	}
+	t.mu.Lock()
+	t.active[s.id] = s
+	t.mu.Unlock()
+	return s
+}
+
+// End closes the span, recording its duration. Safe to call once;
+// later calls (e.g. after an orphan sweep already closed it) are
+// no-ops.
+func (s *ActiveSpan) End() {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	s.t.mu.Lock()
+	delete(s.t.active, s.id)
+	s.t.mu.Unlock()
+	s.t.record(s.trace, s.proc, s.stage, s.start, s.t.clock()-s.start, false)
+}
+
+// Trace reports the span's trace id.
+func (s *ActiveSpan) Trace() uint64 { return s.trace }
+
+// Observe records an externally measured stage duration (the simulator
+// measures in virtual time and feeds durations here).
+func (t *Tracer) Observe(trace uint64, proc, stage string, d time.Duration) {
+	t.record(trace, proc, stage, t.clock()-d, d, false)
+}
+
+// SweepOrphans force-closes active spans begun more than maxAge ago,
+// marking them orphaned — the MMP died mid-procedure, or a peer never
+// answered. Returns the number of spans closed.
+func (t *Tracer) SweepOrphans(maxAge time.Duration) int {
+	cutoff := t.clock() - maxAge
+	t.mu.Lock()
+	var stale []*ActiveSpan
+	for _, s := range t.active {
+		if s.start <= cutoff {
+			stale = append(stale, s)
+		}
+	}
+	t.mu.Unlock()
+
+	n := 0
+	for _, s := range stale {
+		if !s.done.CompareAndSwap(false, true) {
+			continue // raced with End
+		}
+		t.mu.Lock()
+		delete(t.active, s.id)
+		t.mu.Unlock()
+		t.record(s.trace, s.proc, s.stage, s.start, t.clock()-s.start, true)
+		if t.orphans != nil {
+			t.orphans.Inc()
+		}
+		n++
+	}
+	return n
+}
+
+// ActiveCount reports the number of in-flight spans.
+func (t *Tracer) ActiveCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+func (t *Tracer) record(trace uint64, proc, stage string, start, dur time.Duration, orphan bool) {
+	if dur < 0 {
+		dur = 0
+	}
+	if t.reg != nil {
+		t.histFor(proc, stage).Record(int64(dur))
+	}
+	if t.log != nil {
+		t.log.Append(Span{
+			Trace:    trace,
+			TraceHex: fmt.Sprintf("%016x", trace),
+			Proc:     proc,
+			Stage:    stage,
+			Node:     t.node,
+			StartNS:  int64(start),
+			DurNS:    int64(dur),
+			Orphan:   orphan,
+		})
+	}
+}
+
+// histFor returns the (proc, stage) duration histogram, caching the
+// registry lookup so the steady-state record path takes only an
+// RLock.
+func (t *Tracer) histFor(proc, stage string) *Histogram {
+	key := proc + "\x00" + stage
+	t.histMu.RLock()
+	h, ok := t.hists[key]
+	t.histMu.RUnlock()
+	if ok {
+		return h
+	}
+	id := fmt.Sprintf("span_duration_seconds{proc=%q,stage=%q}", proc, stage)
+	h = t.reg.Histogram(id, 1e9)
+	t.histMu.Lock()
+	if existing, ok := t.hists[key]; ok {
+		h = existing
+	} else {
+		t.hists[key] = h
+	}
+	t.histMu.Unlock()
+	return h
+}
+
+// StageSummary is the per-(procedure, stage) duration digest exported
+// by the simulator and /debug/scale. Durations are microseconds.
+type StageSummary struct {
+	Proc   string  `json:"proc"`
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// Summaries digests every (proc, stage) histogram, sorted by
+// procedure then stage.
+func (t *Tracer) Summaries() []StageSummary {
+	t.histMu.RLock()
+	keys := make([]string, 0, len(t.hists))
+	for k := range t.hists {
+		keys = append(keys, k)
+	}
+	hists := make(map[string]*Histogram, len(t.hists))
+	for k, h := range t.hists {
+		hists[k] = h
+	}
+	t.histMu.RUnlock()
+	sort.Strings(keys)
+
+	out := make([]StageSummary, 0, len(keys))
+	for _, k := range keys {
+		h := hists[k]
+		var proc, stage string
+		for i := 0; i < len(k); i++ {
+			if k[i] == 0 {
+				proc, stage = k[:i], k[i+1:]
+				break
+			}
+		}
+		out = append(out, StageSummary{
+			Proc:   proc,
+			Stage:  stage,
+			Count:  h.H.Count(),
+			MeanUS: h.H.Mean() / 1e3,
+			P50US:  float64(h.H.Quantile(0.50)) / 1e3,
+			P95US:  float64(h.H.Quantile(0.95)) / 1e3,
+			P99US:  float64(h.H.Quantile(0.99)) / 1e3,
+			MaxUS:  float64(h.H.Max()) / 1e3,
+		})
+	}
+	return out
+}
+
+// StartSweeper runs SweepOrphans(maxAge) every interval until the
+// returned stop function is called — daemons use it so spans whose
+// procedure died mid-flight still surface (marked orphaned) instead of
+// leaking.
+func StartSweeper(tr *Tracer, every, maxAge time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				tr.SweepOrphans(maxAge)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Observer bundles the registry and tracer one daemon wires through
+// its components and exposes over HTTP.
+type Observer struct {
+	Reg    *Registry
+	Tracer *Tracer
+}
+
+// NewObserver creates a registry plus a tracer recording into it.
+// spanLogSize bounds the span log (0 disables it, negative uses the
+// default size).
+func NewObserver(node string, spanLogSize int) *Observer {
+	reg := NewRegistry()
+	return &Observer{
+		Reg:    reg,
+		Tracer: NewTracer(TracerConfig{Node: node, Registry: reg, SpanLogSize: spanLogSize}),
+	}
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a settable monotonic clock for deterministic span
+// tests.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *manualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func newTestTracer(node string, logSize int) (*Tracer, *manualClock, *Registry) {
+	clk := &manualClock{}
+	reg := NewRegistry()
+	tr := NewTracer(TracerConfig{Node: node, Registry: reg, SpanLogSize: logSize, Clock: clk.Now})
+	return tr, clk, reg
+}
+
+func TestSpanDuration(t *testing.T) {
+	tr, clk, _ := newTestTracer("mmp-1", 16)
+	s := tr.Begin(0xABC, "attach", StageMMP)
+	clk.Advance(3 * time.Millisecond)
+	s.End()
+
+	spans := tr.Log().Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].DurNS != int64(3*time.Millisecond) {
+		t.Fatalf("dur = %dns, want 3ms", spans[0].DurNS)
+	}
+	if spans[0].TraceHex != "0000000000000abc" {
+		t.Fatalf("trace hex = %s", spans[0].TraceHex)
+	}
+	if spans[0].Orphan {
+		t.Fatal("span marked orphan")
+	}
+}
+
+// TestSpanDurationSkewFree asserts durations come from the single
+// node-local monotonic clock: two tracers whose clocks disagree by an
+// arbitrary offset (wall skew between hosts) still each measure their
+// own stage exactly.
+func TestSpanDurationSkewFree(t *testing.T) {
+	trA, clkA, _ := newTestTracer("mlb", 16)
+	trB, clkB, _ := newTestTracer("mmp-1", 16)
+	clkB.Advance(12 * time.Hour) // gross skew between the two hosts
+
+	trace := trA.NewTraceID()
+	a := trA.Begin(trace, "attach", StageMLBRoute)
+	clkA.Advance(1 * time.Millisecond)
+	a.End()
+
+	b := trB.Begin(trace, "attach", StageMMP)
+	clkB.Advance(2 * time.Millisecond)
+	b.End()
+
+	da := trA.Log().Spans()[0].DurNS
+	db := trB.Log().Spans()[0].DurNS
+	if da != int64(time.Millisecond) || db != int64(2*time.Millisecond) {
+		t.Fatalf("durations %d/%d affected by clock skew", da, db)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr, clk, _ := newTestTracer("n", 16)
+	s := tr.Begin(1, "tau", StageMMP)
+	clk.Advance(time.Millisecond)
+	s.End()
+	s.End()
+	s.End()
+	if got := tr.Log().Total(); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+	var nilSpan *ActiveSpan
+	nilSpan.End() // must not panic
+}
+
+// TestOrphanSweep covers the MMP-dies-mid-procedure case: spans never
+// Ended are force-closed, marked orphaned, and counted.
+func TestOrphanSweep(t *testing.T) {
+	tr, clk, reg := newTestTracer("mmp-2", 16)
+	old := tr.Begin(7, "attach", StageMMP)
+	clk.Advance(10 * time.Second)
+	fresh := tr.Begin(8, "tau", StageMMP)
+	clk.Advance(100 * time.Millisecond)
+
+	if n := tr.SweepOrphans(5 * time.Second); n != 1 {
+		t.Fatalf("swept %d spans, want 1", n)
+	}
+	if tr.ActiveCount() != 1 {
+		t.Fatalf("active = %d, want 1 (the fresh span)", tr.ActiveCount())
+	}
+	spans := tr.Log().Spans()
+	if len(spans) != 1 || !spans[0].Orphan || spans[0].TraceHex != "0000000000000007" {
+		t.Fatalf("orphan span wrong: %+v", spans)
+	}
+	if got := reg.Counter(`span_orphans_total{node="mmp-2"}`).Value(); got != 1 {
+		t.Fatalf("orphan counter = %d", got)
+	}
+	// Ending the swept span later must not double-record.
+	old.End()
+	if got := tr.Log().Total(); got != 1 {
+		t.Fatalf("End after sweep recorded again: %d", got)
+	}
+	fresh.End()
+}
+
+// TestSpanLogTruncation fills the bounded log past capacity and checks
+// retention, ordering and the dropped counter.
+func TestSpanLogTruncation(t *testing.T) {
+	l := NewSpanLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Span{Proc: "attach", Stage: StageMMP, StartNS: int64(i)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("retained %d, want 4", l.Len())
+	}
+	if l.Total() != 10 || l.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", l.Total(), l.Dropped())
+	}
+	spans := l.Spans()
+	for i, s := range spans {
+		if want := int64(6 + i); s.StartNS != want {
+			t.Fatalf("span %d StartNS = %d, want %d (oldest-first of most recent)", i, s.StartNS, want)
+		}
+	}
+}
+
+func TestSpanLogJSONL(t *testing.T) {
+	tr, clk, _ := newTestTracer("mlb", 8)
+	s := tr.Begin(0x42, "service-request", StageMLBRoute)
+	clk.Advance(time.Millisecond)
+	s.End()
+	var b strings.Builder
+	if err := tr.Log().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(b.String())
+	for _, want := range []string{
+		`"trace":"0000000000000042"`,
+		`"proc":"service-request"`,
+		`"stage":"mlb-route"`,
+		`"node":"mlb"`,
+		`"dur_ns":1000000`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("JSONL missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	tr := NewTracer(TracerConfig{Node: "x"})
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := tr.NewTraceID()
+		if id == 0 {
+			t.Fatal("zero trace id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestObserveAndSummaries(t *testing.T) {
+	tr, _, _ := newTestTracer("sim", 0)
+	for i := 0; i < 100; i++ {
+		tr.Observe(0, "attach", StageQueue, time.Duration(i+1)*time.Millisecond)
+		tr.Observe(0, "attach", StageService, 2*time.Millisecond)
+		tr.Observe(0, "tau", StageService, time.Millisecond)
+	}
+	sums := tr.Summaries()
+	if len(sums) != 3 {
+		t.Fatalf("got %d summaries, want 3", len(sums))
+	}
+	// Sorted by proc then stage: attach/queue, attach/service, tau/service.
+	if sums[0].Proc != "attach" || sums[0].Stage != StageQueue {
+		t.Fatalf("first summary %+v", sums[0])
+	}
+	if sums[0].Count != 100 {
+		t.Fatalf("count = %d", sums[0].Count)
+	}
+	if sums[0].P99US < 90_000 || sums[0].P99US > 110_000 {
+		t.Fatalf("attach/queue p99 = %g us, want ~99000", sums[0].P99US)
+	}
+}
+
+// TestTracerConcurrent exercises Begin/End/Observe/Sweep from many
+// goroutines; meaningful under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(TracerConfig{Node: "race", Registry: NewRegistry(), SpanLogSize: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s := tr.Begin(tr.NewTraceID(), "attach", StageMMP)
+				tr.Observe(0, "tau", StageService, time.Microsecond)
+				s.End()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			tr.SweepOrphans(0)
+			tr.Summaries()
+		}
+	}()
+	wg.Wait()
+}

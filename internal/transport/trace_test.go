@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// writeOnlyConn adapts a bytes.Buffer into a net.Conn so tests can
+// inspect (or hand-craft) raw frame bytes without a socket.
+type writeOnlyConn struct {
+	buf *bytes.Buffer
+}
+
+func (c writeOnlyConn) Read(p []byte) (int, error)         { return c.buf.Read(p) }
+func (c writeOnlyConn) Write(p []byte) (int, error)        { return c.buf.Write(p) }
+func (c writeOnlyConn) Close() error                       { return nil }
+func (c writeOnlyConn) LocalAddr() net.Addr                { return nil }
+func (c writeOnlyConn) RemoteAddr() net.Addr               { return nil }
+func (c writeOnlyConn) SetDeadline(t time.Time) error      { return nil }
+func (c writeOnlyConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c writeOnlyConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestTraceRoundTrip covers the v2 header extension: frames written
+// with a trace id carry it, frames without one use the v1 layout and
+// read back with Trace == 0.
+func TestTraceRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	const trace = uint64(0xDEADBEEFCAFE0123)
+	go func() {
+		if err := a.WriteTraced(StreamUE, trace, []byte("attach")); err != nil {
+			t.Error(err)
+		}
+		if err := a.Write(StreamCommon, []byte("setup")); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	msg, err := b.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Trace != trace || msg.Stream != StreamUE || string(msg.Payload) != "attach" {
+		t.Fatalf("traced frame = %+v", msg)
+	}
+	msg, err = b.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Trace != 0 || msg.Stream != StreamCommon || string(msg.Payload) != "setup" {
+		t.Fatalf("untraced frame = %+v", msg)
+	}
+}
+
+// TestUntracedFrameIsV1Layout asserts WriteTraced with trace id 0
+// emits byte-for-byte the legacy v1 frame — the interop guarantee for
+// peers that predate the extension.
+func TestUntracedFrameIsV1Layout(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(writeOnlyConn{&buf})
+	if err := c.WriteTraced(3, 0, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{magic, 0, 3, 0, 0, 0, 2, 0xAA, 0xBB}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("frame = %x, want %x", buf.Bytes(), want)
+	}
+}
+
+// TestTracedFrameLayout pins the v2 wire format so the extension block
+// stays stable across refactors.
+func TestTracedFrameLayout(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(writeOnlyConn{&buf})
+	if err := c.WriteTraced(1, 0x1122334455667788, []byte{0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	want := []byte{
+		magicV2, 0, 1, 0, 0, 0, 1, // magic, stream, payload len
+		10,   // extension block length
+		0x01, // extTrace
+		8,    // value length
+		0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,
+		0xCC, // payload
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("frame = %x, want %x", got, want)
+	}
+}
+
+// TestUnknownExtensionSkipped asserts a v2 reader tolerates extension
+// types it does not understand (future header fields).
+func TestUnknownExtensionSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-build: unknown ext (type 0x7F, 3 bytes) then trace ext.
+	buf.WriteByte(magicV2)
+	hdr := make([]byte, 6)
+	binary.BigEndian.PutUint16(hdr[0:2], StreamUE)
+	binary.BigEndian.PutUint32(hdr[2:6], 2)
+	buf.Write(hdr)
+	buf.WriteByte(5 + 10)                           // ext block length
+	buf.Write([]byte{0x7F, 3, 1, 2, 3})             // unknown TLV
+	buf.Write([]byte{extTrace, 8})                  // trace TLV header
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0x02, 0x01}) // trace value
+	buf.Write([]byte{0xEE, 0xFF})                   // payload
+
+	c := NewConn(writeOnlyConn{&buf})
+	msg, err := c.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Trace != 0x0201 || !bytes.Equal(msg.Payload, []byte{0xEE, 0xFF}) {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+// TestMalformedExtensionRejected asserts a TLV overrunning the block
+// is a protocol error, not a silent desync.
+func TestMalformedExtensionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(magicV2)
+	hdr := make([]byte, 6)
+	binary.BigEndian.PutUint16(hdr[0:2], StreamUE)
+	binary.BigEndian.PutUint32(hdr[2:6], 0)
+	buf.Write(hdr)
+	buf.WriteByte(2)                 // ext block length: 2 bytes
+	buf.Write([]byte{extTrace, 200}) // claims 200-byte value — overruns
+
+	c := NewConn(writeOnlyConn{&buf})
+	if _, err := c.Read(); !errors.Is(err, ErrBadExtension) {
+		t.Fatalf("err = %v, want ErrBadExtension", err)
+	}
+}
+
+// TestTracePropagatesThroughServer runs a traced frame through a real
+// Server and checks the handler sees the id.
+func TestTracePropagatesThroughServer(t *testing.T) {
+	got := make(chan uint64, 1)
+	srv, err := Serve("127.0.0.1:0", func(_ *Conn, msg Message) {
+		got <- msg.Trace
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const trace = uint64(0xABCD)
+	if err := conn.WriteTraced(StreamUE, trace, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if id := <-got; id != trace {
+		t.Fatalf("server saw trace %x, want %x", id, trace)
+	}
+}
+
+func TestWireStatsAdvance(t *testing.T) {
+	before := Stats()
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := a.WriteTraced(StreamUE, 7, []byte("abc")); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, err := b.Read(); err != nil {
+		t.Fatal(err)
+	}
+	<-done // writer increments its counters after Flush returns
+	after := Stats()
+	if after.FramesOut <= before.FramesOut || after.FramesIn <= before.FramesIn {
+		t.Fatalf("frame counters did not advance: %+v -> %+v", before, after)
+	}
+	if after.BytesIn <= before.BytesIn || after.BytesOut <= before.BytesOut {
+		t.Fatalf("byte counters did not advance: %+v -> %+v", before, after)
+	}
+}

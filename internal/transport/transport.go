@@ -8,6 +8,14 @@
 // separate streams for common and per-UE signaling. For the single-homed
 // lab topologies in this reproduction the semantics match SCTP's
 // (ordered, reliable, message-boundaries preserved).
+//
+// Version 2 frames (magic 0x5D) append a one-byte extension-block
+// length plus a TLV extension block to the fixed header; the only
+// extension defined today is the 8-byte trace id the observability
+// layer propagates across hops. Frames without a trace id keep the v1
+// layout, so peers that predate the extension interoperate as long as
+// tracing is off; v2 readers skip unknown extension types, reserving
+// room for future header growth without another magic bump.
 package transport
 
 import (
@@ -18,16 +26,21 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Frame header layout.
 const (
-	magic     = 0x5C // "SCale"
+	magic     = 0x5C // "SCale", v1: no extension block
+	magicV2   = 0x5D // v2: header carries a TLV extension block
 	headerLen = 7
 	// MaxMessageSize bounds a single frame's payload; anything larger is
 	// a protocol error (likely desynchronized framing).
 	MaxMessageSize = 1 << 20
+
+	// extTrace is the extension type carrying an 8-byte trace id.
+	extTrace = 0x01
 )
 
 // Common stream ids, mirroring SCTP stream usage on S1-MME.
@@ -44,12 +57,43 @@ var (
 	ErrMessageTooLarge = errors.New("transport: message exceeds maximum size")
 	// ErrBadMagic indicates a corrupt or desynchronized stream.
 	ErrBadMagic = errors.New("transport: bad frame magic")
+	// ErrBadExtension indicates a v2 extension block whose TLVs overrun
+	// the declared block length.
+	ErrBadExtension = errors.New("transport: malformed header extension")
 )
 
 // Message is one framed unit received from a peer.
 type Message struct {
 	Stream  uint16
 	Payload []byte
+	// Trace is the observability trace id carried in the v2 header
+	// extension; zero when the frame had none (v1 peers, untraced
+	// traffic).
+	Trace uint64
+}
+
+// wireStats holds the package-wide frame counters the observability
+// registry scrapes. Plain atomics: the hot path pays four lock-free
+// adds per frame.
+var wireStats struct {
+	framesIn, framesOut atomic.Uint64
+	bytesIn, bytesOut   atomic.Uint64
+}
+
+// WireStats is a snapshot of the transport's global frame counters.
+type WireStats struct {
+	FramesIn, FramesOut uint64
+	BytesIn, BytesOut   uint64
+}
+
+// Stats snapshots frames/bytes moved by every Conn in the process.
+func Stats() WireStats {
+	return WireStats{
+		FramesIn:  wireStats.framesIn.Load(),
+		FramesOut: wireStats.framesOut.Load(),
+		BytesIn:   wireStats.bytesIn.Load(),
+		BytesOut:  wireStats.bytesOut.Load(),
+	}
 }
 
 // Conn is a message-oriented connection. Writes are safe for concurrent
@@ -94,17 +138,34 @@ func DialTimeout(addr string, d time.Duration) (*Conn, error) {
 // use; each message is flushed before Write returns so latency-sensitive
 // control signaling is never held in the buffer.
 func (c *Conn) Write(stream uint16, payload []byte) error {
+	return c.WriteTraced(stream, 0, payload)
+}
+
+// WriteTraced sends one message carrying a trace id in the header
+// extension. A zero trace id emits the v1 frame layout, so untraced
+// traffic stays readable by peers that predate the extension.
+func (c *Conn) WriteTraced(stream uint16, traceID uint64, payload []byte) error {
 	if len(payload) > MaxMessageSize {
 		return ErrMessageTooLarge
 	}
-	var hdr [headerLen]byte
+	// Worst case: v2 header + extLen byte + trace TLV.
+	var hdr [headerLen + 1 + 2 + 8]byte
 	hdr[0] = magic
 	binary.BigEndian.PutUint16(hdr[1:3], stream)
 	binary.BigEndian.PutUint32(hdr[3:7], uint32(len(payload)))
+	hlen := headerLen
+	if traceID != 0 {
+		hdr[0] = magicV2
+		hdr[7] = 10 // extension block: type(1) + len(1) + value(8)
+		hdr[8] = extTrace
+		hdr[9] = 8
+		binary.BigEndian.PutUint64(hdr[10:18], traceID)
+		hlen = headerLen + 1 + 10
+	}
 
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.bw.Write(hdr[:]); err != nil {
+	if _, err := c.bw.Write(hdr[:hlen]); err != nil {
 		return fmt.Errorf("transport: write header: %w", err)
 	}
 	if _, err := c.bw.Write(payload); err != nil {
@@ -113,6 +174,8 @@ func (c *Conn) Write(stream uint16, payload []byte) error {
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("transport: flush: %w", err)
 	}
+	wireStats.framesOut.Add(1)
+	wireStats.bytesOut.Add(uint64(hlen + len(payload)))
 	return nil
 }
 
@@ -123,7 +186,7 @@ func (c *Conn) Read() (Message, error) {
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return Message{}, err
 	}
-	if hdr[0] != magic {
+	if hdr[0] != magic && hdr[0] != magicV2 {
 		return Message{}, ErrBadMagic
 	}
 	stream := binary.BigEndian.Uint16(hdr[1:3])
@@ -131,11 +194,51 @@ func (c *Conn) Read() (Message, error) {
 	if n > MaxMessageSize {
 		return Message{}, ErrMessageTooLarge
 	}
+	read := headerLen
+	var traceID uint64
+	if hdr[0] == magicV2 {
+		extLen, err := c.br.ReadByte()
+		if err != nil {
+			return Message{}, fmt.Errorf("transport: short extension length: %w", err)
+		}
+		ext := make([]byte, extLen)
+		if _, err := io.ReadFull(c.br, ext); err != nil {
+			return Message{}, fmt.Errorf("transport: short extension block: %w", err)
+		}
+		read += 1 + int(extLen)
+		traceID, err = parseExtensions(ext)
+		if err != nil {
+			return Message{}, err
+		}
+	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return Message{}, fmt.Errorf("transport: short payload: %w", err)
 	}
-	return Message{Stream: stream, Payload: payload}, nil
+	wireStats.framesIn.Add(1)
+	wireStats.bytesIn.Add(uint64(read + len(payload)))
+	return Message{Stream: stream, Payload: payload, Trace: traceID}, nil
+}
+
+// parseExtensions walks the v2 TLV block, returning the trace id if
+// present. Unknown extension types are skipped — future header fields
+// must not break deployed readers.
+func parseExtensions(ext []byte) (traceID uint64, err error) {
+	for len(ext) > 0 {
+		if len(ext) < 2 {
+			return 0, ErrBadExtension
+		}
+		typ, vlen := ext[0], int(ext[1])
+		if len(ext) < 2+vlen {
+			return 0, ErrBadExtension
+		}
+		val := ext[2 : 2+vlen]
+		if typ == extTrace && vlen == 8 {
+			traceID = binary.BigEndian.Uint64(val)
+		}
+		ext = ext[2+vlen:]
+	}
+	return traceID, nil
 }
 
 // SetReadDeadline sets the deadline for future Read calls.
