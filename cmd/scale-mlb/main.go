@@ -31,6 +31,9 @@ func main() {
 		mnc       = flag.Uint("mnc", 26, "mobile network code")
 		mmegi     = flag.Uint("mmegi", 0x0101, "MME group id")
 		tokens    = flag.Int("tokens", 5, "tokens per MMP on the hash ring")
+		liveness  = flag.Duration("liveness-timeout", core.DefaultLivenessTimeout, "evict an MMP whose last frame is older than this; <=0 disables the timer (close hook still fires)")
+		fwdTries  = flag.Int("forward-attempts", 0, "MLB->MMP forward attempts per message (0 = default)")
+		fwdWait   = flag.Duration("forward-timeout", 0, "total time budget per forwarded message incl. backoff (0 = default)")
 		obsListen = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
 		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
 	)
@@ -51,14 +54,26 @@ func main() {
 		defer obs.StartSweeper(ob.Tracer, 30*time.Second, time.Minute)()
 		logger.Printf("observability on http://%s/metrics", osrv.Addr())
 	}
-	srv, err := core.ServeMLB(mlb.Config{
-		Name:   *name,
-		PLMN:   guti.PLMN{MCC: uint16(*mcc), MNC: uint16(*mnc)},
-		MMEGI:  uint16(*mmegi),
-		MMEC:   1,
-		Tokens: *tokens,
-		Obs:    ob,
-	}, *enbListen, *mmpListen, logger)
+	lv := *liveness
+	if lv <= 0 {
+		lv = -1 // config reads 0 as "use default", negative as "disabled"
+	}
+	srv, err := core.ServeMLBConfig(core.MLBServerConfig{
+		Router: mlb.Config{
+			Name:   *name,
+			PLMN:   guti.PLMN{MCC: uint16(*mcc), MNC: uint16(*mnc)},
+			MMEGI:  uint16(*mmegi),
+			MMEC:   1,
+			Tokens: *tokens,
+			Obs:    ob,
+		},
+		ENBAddr:         *enbListen,
+		MMPAddr:         *mmpListen,
+		Logger:          logger,
+		LivenessTimeout: lv,
+		ForwardAttempts: *fwdTries,
+		ForwardTimeout:  *fwdWait,
+	})
 	if err != nil {
 		logger.Fatalf("start: %v", err)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"scale/internal/core"
 	"scale/internal/guti"
+	"scale/internal/netem"
 	"scale/internal/obs"
 )
 
@@ -32,6 +33,8 @@ func main() {
 		mnc       = flag.Uint("mnc", 26, "mobile network code")
 		mmegi     = flag.Uint("mmegi", 0x0101, "MME group id")
 		report    = flag.Duration("load-report", 2*time.Second, "load report interval")
+		heartbeat = flag.Duration("heartbeat", core.DefaultHeartbeatEvery, "cluster heartbeat interval; <=0 disables")
+		failAfter = flag.Duration("fail-after", 0, "fault injection: sever the MLB connection (without deregistering) after this long; 0 disables")
 		obsListen = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
 		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
 	)
@@ -56,6 +59,10 @@ func main() {
 		defer obs.StartSweeper(ob.Tracer, 30*time.Second, time.Minute)()
 		logger.Printf("observability on http://%s/metrics", osrv.Addr())
 	}
+	hb := *heartbeat
+	if hb <= 0 {
+		hb = -1 // config reads 0 as "use default", negative as "disabled"
+	}
 	agent, err := core.StartMMPAgent(core.MMPAgentConfig{
 		ID:              *id,
 		Index:           uint8(*index),
@@ -66,11 +73,19 @@ func main() {
 		HSSAddr:         *hssAddr,
 		SGWAddr:         *sgwAddr,
 		LoadReportEvery: *report,
+		HeartbeatEvery:  hb,
 		Logger:          logger,
 		Obs:             ob,
 	})
 	if err != nil {
 		logger.Fatalf("start: %v", err)
+	}
+	if *failAfter > 0 {
+		logger.Printf("fault injection armed: killing cluster connection in %s", *failAfter)
+		defer netem.KillSwitch(*failAfter, func() {
+			logger.Printf("fault injection: severing MLB connection")
+			agent.Kill()
+		})()
 	}
 	logger.Printf("%s serving (mlb=%s hss=%s sgw=%s)", agent.Engine.ID(), *mlbAddr, *hssAddr, *sgwAddr)
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scale/internal/enb"
@@ -15,6 +16,7 @@ import (
 	"scale/internal/obs"
 	"scale/internal/s1ap"
 	"scale/internal/sgw"
+	"scale/internal/state"
 	"scale/internal/transport"
 	"scale/internal/wire"
 )
@@ -26,18 +28,37 @@ import (
 //
 // MLB↔MMP frames (cluster side, stream numbers below):
 //
-//	StreamCtl:  control — U8 kind {1=register, 2=load-report}
+//	StreamCtl:  control — U8 kind {1=register, 2=load-report,
+//	            3=heartbeat, 4=failover, 5=forward}
 //	            register:    String16 id, U8 index
 //	            load-report: F64 utilization
+//	            heartbeat:   empty
+//	            failover:    String16 dead MMP id (MLB → agents)
+//	            forward:     Raw S1AP envelope (agent → MLB, bounced
+//	                         no-context request for master re-delivery)
 //	StreamS1:   S1AP envelope — U32 enbID, U16 tai, Raw s1ap
+//	StreamRep:  replication — Raw marshaled state.UEContext. Agents push
+//	            snapshots to the MLB, which fans them out to the ring's
+//	            other holders; agents apply inbound snapshots as
+//	            replicas.
 //
 // eNodeB connections use plain S1AP payloads on transport.StreamUE and
 // the S1 Setup exchange on transport.StreamCommon.
+//
+// Failure handling: the MLB learns of a dead MMP either from its
+// connection closing (transport close hook) or from a missed
+// heartbeat/liveness timeout. Either way it removes the VM from the
+// ring, tells the surviving agents to promote the replica entries the
+// dead VM mastered, and the promoting agents re-replicate the promoted
+// state through the MLB to the ring successor, restoring R=2
+// (Sections 4.4–4.6: a device's state survives the loss of its master
+// MMP).
 
 // Cluster-side stream ids.
 const (
 	StreamCtl uint16 = 10
 	StreamS1  uint16 = 11
+	StreamRep uint16 = 12
 )
 
 // RegisterTransportMetrics exposes the process-wide transport frame
@@ -53,6 +74,15 @@ func RegisterTransportMetrics(reg *obs.Registry) {
 const (
 	ctlRegister   uint8 = 1
 	ctlLoadReport uint8 = 2
+	ctlHeartbeat  uint8 = 3
+	ctlFailover   uint8 = 4
+	// ctlForward (agent → MLB) bounces an S1AP envelope the agent cannot
+	// serve (ErrNoContext: the least-loaded replica holder lacks the
+	// device's state, e.g. before the master's async replica push lands).
+	// The MLB re-delivers the envelope to the ring master — the TCP
+	// realization of System's forward-to-master (Section 4.6). A bounce
+	// from the master itself is dropped, so forwarding cannot loop.
+	ctlForward uint8 = 5
 )
 
 // EncodeEnvelope packs an S1AP message with its eNodeB routing tag.
@@ -77,37 +107,136 @@ func DecodeEnvelope(b []byte) (enbID uint32, tai uint16, msg s1ap.Message, err e
 	return enbID, tai, msg, err
 }
 
+// MLBServerConfig parameterizes the TCP-facing MLB beyond its routing
+// core: connection-failure detection and forward retry policy.
+type MLBServerConfig struct {
+	// Router configures the routing core.
+	Router mlb.Config
+	// ENBAddr and MMPAddr are the two listen addresses.
+	ENBAddr, MMPAddr string
+	Logger           *log.Logger
+
+	// LivenessTimeout evicts an MMP whose last frame (register, load
+	// report, heartbeat, replication or S1 traffic) is older than this.
+	// It catches VMs that hang without closing their TCP connection;
+	// clean disconnects are detected immediately by the close hook.
+	// 0 uses DefaultLivenessTimeout; negative disables the timer.
+	LivenessTimeout time.Duration
+	// LivenessEvery is the check cadence (default LivenessTimeout/4).
+	LivenessEvery time.Duration
+
+	// ForwardAttempts bounds MLB→MMP forward tries per uplink message
+	// (default 3). Between attempts the message is re-routed, so after a
+	// failover the retry lands on the surviving replica.
+	ForwardAttempts int
+	// ForwardBackoff is the initial retry backoff, doubling per attempt
+	// (default 20ms).
+	ForwardBackoff time.Duration
+	// ForwardTimeout bounds the total time spent on one message,
+	// including backoff sleeps (default 2s).
+	ForwardTimeout time.Duration
+}
+
+// Failure-handling defaults.
+const (
+	DefaultLivenessTimeout = 10 * time.Second
+	DefaultHeartbeatEvery  = 2 * time.Second
+	defaultForwardAttempts = 3
+	defaultForwardBackoff  = 20 * time.Millisecond
+	defaultForwardTimeout  = 2 * time.Second
+)
+
+func (c *MLBServerConfig) applyDefaults() {
+	if c.LivenessTimeout == 0 {
+		c.LivenessTimeout = DefaultLivenessTimeout
+	}
+	if c.LivenessEvery <= 0 {
+		c.LivenessEvery = c.LivenessTimeout / 4
+		if c.LivenessEvery <= 0 {
+			c.LivenessEvery = time.Second
+		}
+	}
+	if c.ForwardAttempts <= 0 {
+		c.ForwardAttempts = defaultForwardAttempts
+	}
+	if c.ForwardBackoff <= 0 {
+		c.ForwardBackoff = defaultForwardBackoff
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = defaultForwardTimeout
+	}
+}
+
 // MLBServer is the TCP-facing MLB: one listener for eNodeBs, one for
-// MMP agents.
+// MMP agents, plus the connection lifecycle that keeps the hash ring in
+// sync with the set of live back-end VMs.
 type MLBServer struct {
 	Router *mlb.Router
 
+	cfg    MLBServerConfig
 	enbSrv *transport.Server
 	mmpSrv *transport.Server
 
 	mu       sync.Mutex
 	enbConns map[uint32]*transport.Conn // eNB id → conn
+	enbIDOf  map[*transport.Conn]uint32 // conn → eNB id (uplink hot path)
 	mmpConns map[string]*transport.Conn // MMP id → conn
+	mmpIDOf  map[*transport.Conn]string // conn → MMP id
+	lastSeen map[string]time.Time       // MMP id → last frame time
 	logger   *log.Logger
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	failovers   *obs.Counter
+	fwdRetries  *obs.Counter
+	fwdDrops    *obs.Counter
+	repForwards *obs.Counter
+	ctxForwards *obs.Counter
 }
 
-// ServeMLB starts an MLB on the two listen addresses.
+// ServeMLB starts an MLB on the two listen addresses with default
+// failure-handling policy.
 func ServeMLB(cfg mlb.Config, enbAddr, mmpAddr string, logger *log.Logger) (*MLBServer, error) {
+	return ServeMLBConfig(MLBServerConfig{
+		Router: cfg, ENBAddr: enbAddr, MMPAddr: mmpAddr, Logger: logger,
+	})
+}
+
+// ServeMLBConfig starts an MLB with explicit failure-handling policy.
+func ServeMLBConfig(cfg MLBServerConfig) (*MLBServer, error) {
+	cfg.applyDefaults()
 	s := &MLBServer{
-		Router:   mlb.NewRouter(cfg),
+		Router:   mlb.NewRouter(cfg.Router),
+		cfg:      cfg,
 		enbConns: make(map[uint32]*transport.Conn),
+		enbIDOf:  make(map[*transport.Conn]uint32),
 		mmpConns: make(map[string]*transport.Conn),
-		logger:   logger,
+		mmpIDOf:  make(map[*transport.Conn]string),
+		lastSeen: make(map[string]time.Time),
+		logger:   cfg.Logger,
+		done:     make(chan struct{}),
+	}
+	if ob := s.Router.Observer(); ob != nil {
+		s.failovers = ob.Reg.Counter("mlb_mmp_failovers_total")
+		s.fwdRetries = ob.Reg.Counter("mlb_forward_retries_total")
+		s.fwdDrops = ob.Reg.Counter("mlb_forward_drops_total")
+		s.repForwards = ob.Reg.Counter("mlb_replications_forwarded_total")
+		s.ctxForwards = ob.Reg.Counter("mlb_context_forwards_total")
 	}
 	var err error
-	s.enbSrv, err = transport.Serve(enbAddr, s.handleENB)
+	s.enbSrv, err = transport.ServeHooks(cfg.ENBAddr, s.handleENB, s.onENBClose)
 	if err != nil {
 		return nil, err
 	}
-	s.mmpSrv, err = transport.Serve(mmpAddr, s.handleMMP)
+	s.mmpSrv, err = transport.ServeHooks(cfg.MMPAddr, s.handleMMP, s.onMMPClose)
 	if err != nil {
 		s.enbSrv.Close()
 		return nil, err
+	}
+	if cfg.LivenessTimeout > 0 {
+		s.wg.Add(1)
+		go s.livenessLoop()
 	}
 	return s, nil
 }
@@ -120,8 +249,14 @@ func (s *MLBServer) MMPAddr() string { return s.mmpSrv.Addr() }
 
 // Close shuts both listeners down.
 func (s *MLBServer) Close() error {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
 	err1 := s.enbSrv.Close()
 	err2 := s.mmpSrv.Close()
+	s.wg.Wait()
 	if err1 != nil {
 		return err1
 	}
@@ -132,6 +267,104 @@ func (s *MLBServer) logf(format string, args ...interface{}) {
 	if s.logger != nil {
 		s.logger.Printf(format, args...)
 	}
+}
+
+// livenessLoop evicts MMPs whose last frame is older than the liveness
+// timeout — the safety net for VMs that hang without closing TCP.
+func (s *MLBServer) livenessLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.LivenessEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-s.cfg.LivenessTimeout)
+			s.mu.Lock()
+			var dead []string
+			for id, seen := range s.lastSeen {
+				if seen.Before(cutoff) {
+					dead = append(dead, id)
+				}
+			}
+			s.mu.Unlock()
+			for _, id := range dead {
+				s.failover(id, "liveness timeout")
+			}
+		}
+	}
+}
+
+// touchMMP refreshes the liveness record for the MMP behind conn and
+// returns its id ("" if the conn never registered).
+func (s *MLBServer) touchMMP(conn *transport.Conn) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.mmpIDOf[conn]
+	if id != "" {
+		s.lastSeen[id] = time.Now()
+	}
+	return id
+}
+
+// onMMPClose is the cluster-side connection close hook: a vanished MMP
+// is failed over immediately, without waiting for the liveness timer.
+func (s *MLBServer) onMMPClose(conn *transport.Conn, err error) {
+	s.mu.Lock()
+	id := s.mmpIDOf[conn]
+	s.mu.Unlock()
+	if id == "" {
+		return // never registered
+	}
+	select {
+	case <-s.done:
+		return // server shutdown, not a VM failure
+	default:
+	}
+	s.failover(id, fmt.Sprintf("disconnect (%v)", err))
+}
+
+// failover removes a dead MMP from the cluster: it is pruned from the
+// connection set and the hash ring (idle-mode traffic immediately
+// reroutes to the surviving replica holders), and every surviving agent
+// is told to promote the replica entries the dead VM mastered and
+// re-replicate them to the new ring successor, restoring R=2.
+func (s *MLBServer) failover(id, cause string) {
+	s.mu.Lock()
+	conn, ok := s.mmpConns[id]
+	if !ok {
+		s.mu.Unlock()
+		return // already failed over (close hook racing the liveness timer)
+	}
+	delete(s.mmpConns, id)
+	delete(s.mmpIDOf, conn)
+	delete(s.lastSeen, id)
+	survivors := make([]*transport.Conn, 0, len(s.mmpConns))
+	for _, c := range s.mmpConns {
+		survivors = append(survivors, c)
+	}
+	s.mu.Unlock()
+
+	var span *obs.ActiveSpan
+	if ob := s.Router.Observer(); ob != nil {
+		span = ob.Tracer.Begin(ob.Tracer.NewTraceID(), "mmp-failover", obs.StageFailover)
+	}
+	s.Router.UnregisterMMP(id)
+	conn.Close()
+	w := wire.NewWriter(32)
+	w.U8(ctlFailover)
+	w.String16(id)
+	for _, c := range survivors {
+		if err := c.Write(StreamCtl, w.Bytes()); err != nil {
+			s.logf("mlb: failover notify: %v", err)
+		}
+	}
+	if s.failovers != nil {
+		s.failovers.Inc()
+	}
+	span.End()
+	s.logf("mlb: MMP %s failed over (%s); %d MMPs remain", id, cause, len(survivors))
 }
 
 // handleENB processes frames from eNodeB connections.
@@ -145,6 +378,7 @@ func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
 		resp := s.Router.HandleS1Setup(setup)
 		s.mu.Lock()
 		s.enbConns[setup.ENBID] = conn
+		s.enbIDOf[conn] = setup.ENBID
 		s.mu.Unlock()
 		if err := conn.Write(transport.StreamCommon, s1ap.Marshal(resp)); err != nil {
 			s.logf("mlb: setup response: %v", err)
@@ -160,37 +394,76 @@ func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
 		trace = ob.Tracer.NewTraceID()
 		span = ob.Tracer.Begin(trace, mmp.ProcName(msg), obs.StageMLBRoute)
 	}
-	defer span.End()
-	d, err := s.Router.Route(msg)
-	if err != nil {
-		s.logf("mlb: route %s: %v", msg.Type(), err)
-		return
-	}
-	s.mu.Lock()
-	target := s.mmpConns[d.Target]
-	master := s.mmpConns[d.Master]
-	s.mu.Unlock()
-	if target == nil {
-		target = master
-	}
-	if target == nil {
-		s.logf("mlb: no connection for MMP %s", d.Target)
-		return
-	}
-	if err := target.WriteTraced(StreamS1, trace, EncodeEnvelope(enbID, 0, d.Msg)); err != nil {
-		s.logf("mlb: forward to %s: %v", d.Target, err)
+	s.forwardToMMP(trace, enbID, msg)
+	span.End()
+}
+
+// forwardToMMP routes and delivers one uplink message with bounded
+// retry: each attempt re-routes (so post-failover attempts land on the
+// surviving replica) and a write error evicts the target before the
+// next try. Backoff doubles per attempt; the total time is bounded by
+// ForwardTimeout.
+func (s *MLBServer) forwardToMMP(trace uint64, enbID uint32, msg s1ap.Message) {
+	deadline := time.Now().Add(s.cfg.ForwardTimeout)
+	backoff := s.cfg.ForwardBackoff
+	for attempt := 1; ; attempt++ {
+		d, err := s.Router.Route(msg)
+		if err != nil {
+			s.logf("mlb: route %s: %v", msg.Type(), err)
+			return
+		}
+		s.mu.Lock()
+		conn, id := s.mmpConns[d.Target], d.Target
+		if conn == nil && d.Master != "" {
+			conn, id = s.mmpConns[d.Master], d.Master
+		}
+		s.mu.Unlock()
+		if conn != nil {
+			if err := conn.WriteTraced(StreamS1, trace, EncodeEnvelope(enbID, 0, d.Msg)); err == nil {
+				return
+			}
+			// A framed write only fails when the conn is dead: evict it so
+			// the re-route below targets a live VM.
+			s.failover(id, "write error")
+		}
+		if attempt >= s.cfg.ForwardAttempts || time.Now().Add(backoff).After(deadline) {
+			if s.fwdDrops != nil {
+				s.fwdDrops.Inc()
+			}
+			s.logf("mlb: dropping %s for MMP %s after %d attempts", msg.Type(), id, attempt)
+			return
+		}
+		if s.fwdRetries != nil {
+			s.fwdRetries.Inc()
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 }
 
+// enbIDFor resolves the eNodeB id behind an S1AP connection via the
+// conn-keyed map maintained at S1 Setup (no linear scan on the uplink
+// hot path).
 func (s *MLBServer) enbIDFor(conn *transport.Conn) uint32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for id, c := range s.enbConns {
-		if c == conn {
-			return id
-		}
+	return s.enbIDOf[conn]
+}
+
+// onENBClose prunes the eNodeB connection maps. The id-keyed entry is
+// only removed if it still points at this conn — an eNB that
+// reconnected already replaced it.
+func (s *MLBServer) onENBClose(conn *transport.Conn, _ error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.enbIDOf[conn]
+	if !ok {
+		return
 	}
-	return 0
+	delete(s.enbIDOf, conn)
+	if s.enbConns[id] == conn {
+		delete(s.enbConns, id)
+	}
 }
 
 // handleMMP processes frames from MMP agents.
@@ -207,6 +480,8 @@ func (s *MLBServer) handleMMP(conn *transport.Conn, frame transport.Message) {
 			}
 			s.mu.Lock()
 			s.mmpConns[id] = conn
+			s.mmpIDOf[conn] = id
+			s.lastSeen[id] = time.Now()
 			s.mu.Unlock()
 			s.Router.RegisterMMP(id, index)
 			s.logf("mlb: MMP %s (index %d) registered", id, index)
@@ -215,20 +490,20 @@ func (s *MLBServer) handleMMP(conn *transport.Conn, frame transport.Message) {
 			if r.Err() != nil {
 				return
 			}
-			s.mu.Lock()
-			var id string
-			for mID, c := range s.mmpConns {
-				if c == conn {
-					id = mID
-					break
-				}
-			}
-			s.mu.Unlock()
-			if id != "" {
+			if id := s.touchMMP(conn); id != "" {
 				s.Router.ReportLoad(id, util)
 			}
+		case ctlHeartbeat:
+			s.touchMMP(conn)
+		case ctlForward:
+			s.touchMMP(conn)
+			s.forwardToMaster(conn, frame, r.Raw(r.Remaining()))
 		}
+	case StreamRep:
+		s.touchMMP(conn)
+		s.forwardReplica(conn, frame)
 	case StreamS1:
+		s.touchMMP(conn)
 		enbID, tai, msg, err := DecodeEnvelope(frame.Payload)
 		if err != nil {
 			s.logf("mlb: bad envelope from MMP: %v", err)
@@ -241,6 +516,89 @@ func (s *MLBServer) handleMMP(conn *transport.Conn, frame transport.Message) {
 			return
 		}
 		s.sendToENB(enbID, msg)
+	}
+}
+
+// forwardToMaster re-delivers a bounced S1AP envelope to the device's
+// ring master. Bounces from the master itself — nobody holds the state —
+// are dropped; the device recovers by NAS retransmission, like any lost
+// uplink.
+func (s *MLBServer) forwardToMaster(from *transport.Conn, frame transport.Message, envelope []byte) {
+	_, _, msg, err := DecodeEnvelope(envelope)
+	if err != nil {
+		s.logf("mlb: bad bounced envelope: %v", err)
+		return
+	}
+	d, err := s.Router.Route(msg)
+	if err != nil {
+		s.logf("mlb: route bounced %s: %v", msg.Type(), err)
+		return
+	}
+	s.mu.Lock()
+	fromID := s.mmpIDOf[from]
+	var conn *transport.Conn
+	if d.Master != "" && d.Master != fromID {
+		conn = s.mmpConns[d.Master]
+	}
+	s.mu.Unlock()
+	if conn == nil {
+		if s.fwdDrops != nil {
+			s.fwdDrops.Inc()
+		}
+		s.logf("mlb: dropping bounced %s from %s (master %q unavailable)", msg.Type(), fromID, d.Master)
+		return
+	}
+	if err := conn.WriteTraced(StreamS1, frame.Trace, envelope); err != nil {
+		s.failover(d.Master, "write error")
+		return
+	}
+	if s.ctxForwards != nil {
+		s.ctxForwards.Inc()
+	}
+}
+
+// forwardReplica fans one agent's state snapshot out to the ring's
+// other holders — the TCP realization of the replicate stream. The MLB
+// stays stateless about devices: it only hashes the snapshot's GUTI on
+// the ring to find the holders, exactly like routing.
+func (s *MLBServer) forwardReplica(from *transport.Conn, frame transport.Message) {
+	ctx, err := state.Unmarshal(frame.Payload)
+	if err != nil {
+		s.logf("mlb: bad replica push: %v", err)
+		return
+	}
+	owners, err := s.Router.Ring().Owners(ctx.GUTI.Key(), mlb.ReplicaFanout)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	fromID := s.mmpIDOf[from]
+	targets := make(map[string]*transport.Conn, len(owners))
+	for _, o := range owners {
+		id := string(o)
+		if id == fromID {
+			continue
+		}
+		if c := s.mmpConns[id]; c != nil {
+			targets[id] = c
+		}
+	}
+	// The device's recorded master gets the push too when it is not a
+	// ring owner (it mastered the device as the least-loaded pick).
+	if ctx.MasterMMP != "" && ctx.MasterMMP != fromID {
+		if c := s.mmpConns[ctx.MasterMMP]; c != nil {
+			targets[ctx.MasterMMP] = c
+		}
+	}
+	s.mu.Unlock()
+	for id, c := range targets {
+		if err := c.WriteTraced(StreamRep, frame.Trace, frame.Payload); err != nil {
+			s.logf("mlb: replica forward to %s: %v", id, err)
+			continue
+		}
+		if s.repForwards != nil {
+			s.repForwards.Inc()
+		}
 	}
 }
 
@@ -268,7 +626,10 @@ type MMPAgentConfig struct {
 	HSSAddr         string
 	SGWAddr         string
 	LoadReportEvery time.Duration
-	Logger          *log.Logger
+	// HeartbeatEvery paces the liveness heartbeat to the MLB
+	// (0 → DefaultHeartbeatEvery; negative disables).
+	HeartbeatEvery time.Duration
+	Logger         *log.Logger
 	// Obs, when set, instruments the engine (per-procedure counters,
 	// span tracing) and continues traces arriving in frame headers.
 	Obs *obs.Observer
@@ -282,6 +643,7 @@ type MMPAgent struct {
 	sgw    *sgw.Client
 	logger *log.Logger
 	done   chan struct{}
+	killed atomic.Bool
 	wg     sync.WaitGroup
 }
 
@@ -290,6 +652,9 @@ type MMPAgent struct {
 func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 	if cfg.ID == "" {
 		cfg.ID = fmt.Sprintf("mmp-%d", cfg.Index)
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
 	}
 	hc, err := hss.DialClient(cfg.HSSAddr)
 	if err != nil {
@@ -322,9 +687,9 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		ServingNetwork: cfg.PLMN.String(),
 		HSS:            hc,
 		SGW:            sc,
-		// TCP agents replicate through the MLB in a follow-on wiring;
-		// in this deployment replication is local to the agent.
-		Replicator: nil,
+		// Cross-agent replication rides the replicate stream through the
+		// MLB, which fans each snapshot out to the ring's other holders.
+		Replicator: agentReplicator{a},
 		Obs:        cfg.Obs,
 	})
 
@@ -344,7 +709,23 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		a.wg.Add(1)
 		go a.loadLoop(cfg.LoadReportEvery)
 	}
+	if cfg.HeartbeatEvery > 0 {
+		a.wg.Add(1)
+		go a.heartbeatLoop(cfg.HeartbeatEvery)
+	}
 	return a, nil
+}
+
+// agentReplicator pushes state snapshots onto the replicate stream; the
+// MLB fans them out to the ring's other holders (the TCP analogue of
+// System's in-process replication).
+type agentReplicator struct{ a *MMPAgent }
+
+// Replicate implements mmp.Replicator.
+func (r agentReplicator) Replicate(_ string, ctx *state.UEContext) {
+	if err := r.a.conn.Write(StreamRep, ctx.Marshal()); err != nil {
+		r.a.logf("mmp agent: replicate push: %v", err)
+	}
 }
 
 func (a *MMPAgent) logf(format string, args ...interface{}) {
@@ -361,33 +742,122 @@ func (a *MMPAgent) serveLoop() {
 			select {
 			case <-a.done:
 			default:
-				a.logf("mmp agent: read: %v", err)
+				if !a.killed.Load() {
+					a.logf("mmp agent: read: %v", err)
+				}
 			}
 			return
 		}
-		if frame.Stream != StreamS1 {
-			continue
+		switch frame.Stream {
+		case StreamS1:
+			a.handleS1(frame)
+		case StreamRep:
+			ctx, err := state.Unmarshal(frame.Payload)
+			if err != nil {
+				a.logf("mmp agent: bad replica: %v", err)
+				continue
+			}
+			if err := a.Engine.ApplyReplica(ctx); err != nil && !errors.Is(err, state.ErrStale) {
+				a.logf("mmp agent: apply replica: %v", err)
+			}
+		case StreamCtl:
+			r := wire.NewReader(frame.Payload)
+			if r.U8() == ctlFailover {
+				deadID := r.String16()
+				if r.Err() == nil {
+					a.promoteFrom(deadID)
+				}
+			}
 		}
-		enbID, _, msg, err := DecodeEnvelope(frame.Payload)
-		if err != nil {
-			a.logf("mmp agent: envelope: %v", err)
-			continue
+	}
+}
+
+func (a *MMPAgent) handleS1(frame transport.Message) {
+	enbID, _, msg, err := DecodeEnvelope(frame.Payload)
+	if err != nil {
+		a.logf("mmp agent: envelope: %v", err)
+		return
+	}
+	out, err := a.Engine.HandleTraced(frame.Trace, enbID, msg)
+	if errors.Is(err, mmp.ErrNoContext) {
+		// This VM doesn't hold the device's state (e.g. the master's
+		// async replica push hasn't landed yet): bounce the envelope back
+		// so the MLB re-delivers it to the master.
+		w := wire.NewWriter(len(frame.Payload) + 2)
+		w.U8(ctlForward)
+		w.Raw(frame.Payload)
+		if err := a.conn.WriteTraced(StreamCtl, frame.Trace, w.Bytes()); err != nil {
+			a.logf("mmp agent: bounce %s: %v", msg.Type(), err)
 		}
-		out, err := a.Engine.HandleTraced(frame.Trace, enbID, msg)
-		if err != nil && !errors.Is(err, mmp.ErrNoContext) {
-			a.logf("mmp agent: handle %s: %v", msg.Type(), err)
-			continue
+		return
+	}
+	if err != nil {
+		a.logf("mmp agent: handle %s: %v", msg.Type(), err)
+		return
+	}
+	for _, o := range out {
+		if err := a.conn.WriteTraced(StreamS1, frame.Trace, EncodeEnvelope(o.ENB, o.TAI, o.Msg)); err != nil {
+			a.logf("mmp agent: write: %v", err)
+			return
 		}
-		for _, o := range out {
-			if err := a.conn.WriteTraced(StreamS1, frame.Trace, EncodeEnvelope(o.ENB, o.TAI, o.Msg)); err != nil {
-				a.logf("mmp agent: write: %v", err)
+	}
+}
+
+// promoteFrom handles an MLB failover notification: replica entries
+// mastered by the dead VM are promoted to master here, then pushed back
+// through the replicate stream so the ring successor takes the replica
+// role — R=2 is restored without the dead VM. The agent's own master
+// entries are re-pushed too, since the dead VM may have held their
+// replica copies; holders with a fresh copy refuse the push as stale,
+// so the redundancy costs one version check per entry.
+func (a *MMPAgent) promoteFrom(deadID string) {
+	promoted := a.Engine.PromoteReplicasFrom(deadID)
+	// SnapshotMasters includes the freshly promoted entries.
+	for _, ctx := range a.Engine.SnapshotMasters() {
+		if err := a.conn.Write(StreamRep, ctx.Marshal()); err != nil {
+			a.logf("mmp agent: re-replicate after failover: %v", err)
+			return
+		}
+	}
+	if len(promoted) > 0 {
+		a.logf("mmp agent: %s promoted %d devices from dead %s and re-replicated",
+			a.Engine.ID(), len(promoted), deadID)
+	}
+}
+
+func (a *MMPAgent) loadLoop(every time.Duration) {
+	defer a.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	lastBusy := a.Engine.BusyNS()
+	lastAt := time.Now()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-t.C:
+			// A socket deployment has no virtual CPU model; report the
+			// fraction of the interval the engine spent executing
+			// procedures — a real occupancy proxy the MLB's
+			// master-vs-replica selection can discriminate on.
+			busy := a.Engine.BusyNS()
+			now := time.Now()
+			util := float64(busy-lastBusy) / float64(now.Sub(lastAt).Nanoseconds())
+			if util < 0 {
+				util = 0
+			}
+			lastBusy, lastAt = busy, now
+			w := wire.NewWriter(16)
+			w.U8(ctlLoadReport)
+			w.F64(util)
+			if err := a.conn.Write(StreamCtl, w.Bytes()); err != nil {
 				return
 			}
 		}
 	}
 }
 
-func (a *MMPAgent) loadLoop(every time.Duration) {
+func (a *MMPAgent) heartbeatLoop(every time.Duration) {
 	defer a.wg.Done()
 	t := time.NewTicker(every)
 	defer t.Stop()
@@ -396,17 +866,22 @@ func (a *MMPAgent) loadLoop(every time.Duration) {
 		case <-a.done:
 			return
 		case <-t.C:
-			w := wire.NewWriter(16)
-			w.U8(ctlLoadReport)
-			// A socket deployment has no virtual CPU model; report the
-			// engine's queue proxy (0 — the MLB then balances purely by
-			// hash). Real deployments would sample the host.
-			w.F64(0)
+			w := wire.NewWriter(2)
+			w.U8(ctlHeartbeat)
 			if err := a.conn.Write(StreamCtl, w.Bytes()); err != nil {
 				return
 			}
 		}
 	}
+}
+
+// Kill abruptly severs the agent's cluster connection without
+// deregistering — fault injection emulating a crashed VM. The engine
+// and its state stay in-process so tests can inspect what was lost;
+// Close remains necessary for full cleanup.
+func (a *MMPAgent) Kill() {
+	a.killed.Store(true)
+	a.conn.Close()
 }
 
 // Close stops the agent.
@@ -530,6 +1005,23 @@ func (c *ENBClient) Run(fn func(e *enb.Emulator) error) error {
 // WaitUntil blocks until pred(e) is true or the timeout elapses.
 func (c *ENBClient) WaitUntil(timeout time.Duration, pred func(e *enb.Emulator) bool) error {
 	deadline := time.Now().Add(timeout)
+	// One ticker goroutine (for the whole wait, not per poll iteration)
+	// wakes the condition periodically so the deadline is honored even
+	// without traffic.
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				c.cond.Broadcast()
+			}
+		}
+	}()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for !pred(c.Emu) {
@@ -541,12 +1033,6 @@ func (c *ENBClient) WaitUntil(timeout time.Duration, pred func(e *enb.Emulator) 
 		if time.Now().After(deadline) {
 			return errors.New("core: timeout waiting for UE state")
 		}
-		// Wake periodically so the deadline is honored even without
-		// traffic.
-		go func() {
-			time.Sleep(5 * time.Millisecond)
-			c.cond.Broadcast()
-		}()
 		c.cond.Wait()
 	}
 	return nil

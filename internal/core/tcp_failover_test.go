@@ -1,0 +1,393 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/mlb"
+	"scale/internal/obs"
+	"scale/internal/s1ap"
+	"scale/internal/sgw"
+	"scale/internal/state"
+)
+
+// failoverTestbed is a 3-MMP TCP deployment with observability, fast
+// heartbeats and cross-agent replication — the setting for the VM-death
+// drills.
+type failoverTestbed struct {
+	hssSrv *hss.Server
+	sgwSrv *sgw.Server
+	mlbSrv *MLBServer
+	ob     *obs.Observer
+	agents []*MMPAgent
+}
+
+func startFailoverTestbed(t *testing.T, mmps int) *failoverTestbed {
+	t.Helper()
+	plmn := guti.PLMN{MCC: 310, MNC: 26}
+
+	db := hss.NewDB()
+	db.ProvisionRange(100000000, 1000)
+	hssSrv, err := hss.Serve("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := sgw.New()
+	sgwSrv, err := sgw.Serve("127.0.0.1:0", gw)
+	if err != nil {
+		hssSrv.Close()
+		t.Fatal(err)
+	}
+	ob := obs.NewObserver("mlb-failover", 256)
+	mlbSrv, err := ServeMLBConfig(MLBServerConfig{
+		Router:  mlb.Config{Name: "mlb-failover", PLMN: plmn, MMEGI: 1, MMEC: 1, Obs: ob},
+		ENBAddr: "127.0.0.1:0", MMPAddr: "127.0.0.1:0",
+		// The close hook catches the kill immediately; the liveness timer
+		// is the backstop and must not evict healthy agents mid-test.
+		LivenessTimeout: 2 * time.Second,
+		LivenessEvery:   50 * time.Millisecond,
+		ForwardBackoff:  10 * time.Millisecond,
+	})
+	if err != nil {
+		hssSrv.Close()
+		sgwSrv.Close()
+		t.Fatal(err)
+	}
+	tb := &failoverTestbed{hssSrv: hssSrv, sgwSrv: sgwSrv, mlbSrv: mlbSrv, ob: ob}
+	for i := 1; i <= mmps; i++ {
+		a, err := StartMMPAgent(MMPAgentConfig{
+			Index: uint8(i), PLMN: plmn, MMEGI: 1, MMEC: 1,
+			MLBAddr:        mlbSrv.MMPAddr(),
+			HSSAddr:        hssSrv.Addr(),
+			SGWAddr:        sgwSrv.Addr(),
+			HeartbeatEvery: 50 * time.Millisecond,
+		})
+		if err != nil {
+			tb.close()
+			t.Fatal(err)
+		}
+		tb.agents = append(tb.agents, a)
+	}
+	waitFor(t, 2*time.Second, "MMP registration", func() bool {
+		return len(mlbSrv.Router.MMPs()) == mmps
+	})
+	t.Cleanup(tb.close)
+	return tb
+}
+
+func (tb *failoverTestbed) close() {
+	for _, a := range tb.agents {
+		a.Close()
+	}
+	if tb.mlbSrv != nil {
+		tb.mlbSrv.Close()
+	}
+	if tb.sgwSrv != nil {
+		tb.sgwSrv.Close()
+	}
+	if tb.hssSrv != nil {
+		tb.hssSrv.Close()
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// attachAndIdle drives n devices through attach and back to Idle. The
+// Active→Idle transition is what triggers SCALE's update-on-idle
+// replication, so afterwards every device has a master and at least one
+// replica across the cluster.
+func attachAndIdle(t *testing.T, client *ENBClient, n int) []uint64 {
+	t.Helper()
+	imsis := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		imsi := uint64(100000000 + i)
+		imsis[i] = imsi
+		if err := client.Run(func(e *enb.Emulator) error { return e.StartAttach(imsi, 1) }); err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		if err := client.WaitUntil(3*time.Second, func(e *enb.Emulator) bool {
+			return e.UEFor(imsi).State == enb.Active
+		}); err != nil {
+			t.Fatalf("attach %d did not complete: %v", i, err)
+		}
+	}
+	for _, imsi := range imsis {
+		imsi := imsi
+		if err := client.Run(func(e *enb.Emulator) error {
+			ue := e.UEFor(imsi)
+			e.Uplink(ue.Cell, &s1ap.UEContextReleaseRequest{
+				ENBUEID: ue.ENBUEID, MMEUEID: ue.MMEUEID, Cause: 1,
+			})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.WaitUntil(3*time.Second, func(e *enb.Emulator) bool {
+			return e.UEFor(imsi).State == enb.Idle
+		}); err != nil {
+			t.Fatalf("device %d did not go idle: %v", imsi, err)
+		}
+	}
+	return imsis
+}
+
+// TestTCPFailover kills one of three MMP VMs mid-run and verifies the
+// deployment survives: the ring sheds the dead VM, its devices get
+// promoted on the surviving replica holders, idle-mode service requests
+// keep succeeding, and R=2 is restored by re-replication.
+func TestTCPFailover(t *testing.T) {
+	tb := startFailoverTestbed(t, 3)
+	client, err := DialENB(tb.mlbSrv.ENBAddr(), map[uint32][]uint16{1: {7}, 2: {8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 12
+	imsis := attachAndIdle(t, client, n)
+
+	// Update-on-idle replication fans each context out through the MLB:
+	// wait until every device exists on at least two VMs.
+	waitFor(t, 3*time.Second, "initial replication", func() bool {
+		total := 0
+		for _, a := range tb.agents {
+			total += a.Engine.Store().Len()
+		}
+		return total >= 2*n
+	})
+
+	// Pick the victim: an agent that masters at least one device, so the
+	// kill actually orphans state.
+	victim := -1
+	for i, a := range tb.agents {
+		if a.Engine.Store().MasterCount() > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no agent mastered any device")
+	}
+	victimID := tb.agents[victim].Engine.ID()
+	orphaned := tb.agents[victim].Engine.Store().MasterCount()
+	t.Logf("killing %s (%d mastered devices)", victimID, orphaned)
+
+	tb.agents[victim].Kill()
+
+	// Ring eviction: the close hook fires as soon as the MLB's read loop
+	// observes the dead TCP connection.
+	waitFor(t, 3*time.Second, "ring eviction", func() bool {
+		return len(tb.mlbSrv.Router.MMPs()) == 2
+	})
+	for _, id := range tb.mlbSrv.Router.MMPs() {
+		if id == victimID {
+			t.Fatalf("dead MMP %s still on the ring", victimID)
+		}
+	}
+
+	// Survivors promote the orphaned replicas to master.
+	waitFor(t, 3*time.Second, "replica promotion", func() bool {
+		var promotions uint64
+		for i, a := range tb.agents {
+			if i == victim {
+				continue
+			}
+			promotions += a.Engine.Stats().Promotions
+		}
+		return promotions >= uint64(orphaned)
+	})
+
+	// R=2 restored: re-replication lands every device on both survivors.
+	waitFor(t, 3*time.Second, "re-replication to R=2", func() bool {
+		for i, a := range tb.agents {
+			if i == victim {
+				continue
+			}
+			if a.Engine.Store().Len() < n {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Idle-mode traffic survives the death: every device — including the
+	// promoted ones — can be brought back Active via service request.
+	for _, imsi := range imsis {
+		imsi := imsi
+		if err := client.Run(func(e *enb.Emulator) error {
+			return e.StartServiceRequest(imsi, 2)
+		}); err != nil {
+			t.Fatalf("service request %d: %v", imsi, err)
+		}
+		if err := client.WaitUntil(3*time.Second, func(e *enb.Emulator) bool {
+			return e.UEFor(imsi).State == enb.Active
+		}); err != nil {
+			t.Fatalf("service request for %d did not complete after failover: %v", imsi, err)
+		}
+	}
+
+	// The failover is observable: counter bumped, span emitted.
+	if got := tb.ob.Reg.Counter("mlb_mmp_failovers_total").Value(); got < 1 {
+		t.Fatalf("mlb_mmp_failovers_total = %d, want >= 1", got)
+	}
+}
+
+// TestTCPForwardToMaster stages the replica-miss race deterministically:
+// idle-mode requests are steered onto a VM that lacks the device's state
+// (its replica copies are deleted and the load reports rigged so the
+// MLB always picks it), and must still complete — the VM bounces the
+// envelope and the MLB re-delivers it to the master (Section 4.6).
+func TestTCPForwardToMaster(t *testing.T) {
+	tb := startFailoverTestbed(t, 2)
+	client, err := DialENB(tb.mlbSrv.ENBAddr(), map[uint32][]uint16{1: {7}, 2: {8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 10
+	imsis := attachAndIdle(t, client, n)
+	waitFor(t, 3*time.Second, "initial replication", func() bool {
+		total := 0
+		for _, a := range tb.agents {
+			total += a.Engine.Store().Len()
+		}
+		return total >= 2*n
+	})
+
+	// Strip every replica copy: each device now lives only on its master.
+	for _, a := range tb.agents {
+		var replicas []guti.GUTI
+		a.Engine.Store().Range(func(ctx *state.UEContext, isReplica bool) bool {
+			if isReplica {
+				replicas = append(replicas, ctx.GUTI)
+			}
+			return true
+		})
+		for _, g := range replicas {
+			a.Engine.Store().Delete(g)
+		}
+	}
+	// Rig the loads (the agents report none in this testbed) so the
+	// least-loaded pick always lands on mmp-2.
+	tb.mlbSrv.Router.ReportLoad("mmp-1", 0.9)
+	tb.mlbSrv.Router.ReportLoad("mmp-2", 0.0)
+
+	// Every service request completes: those for devices mastered by
+	// mmp-1 arrive at mmp-2 context-less and ride the bounce.
+	for _, imsi := range imsis {
+		imsi := imsi
+		if err := client.Run(func(e *enb.Emulator) error {
+			return e.StartServiceRequest(imsi, 2)
+		}); err != nil {
+			t.Fatalf("service request %d: %v", imsi, err)
+		}
+		if err := client.WaitUntil(3*time.Second, func(e *enb.Emulator) bool {
+			return e.UEFor(imsi).State == enb.Active
+		}); err != nil {
+			t.Fatalf("service request for %d not served via master forward: %v", imsi, err)
+		}
+	}
+	if tb.agents[0].Engine.Store().MasterCount() > 0 {
+		if got := tb.ob.Reg.Counter("mlb_context_forwards_total").Value(); got < 1 {
+			t.Fatalf("mlb_context_forwards_total = %d, want >= 1", got)
+		}
+	}
+}
+
+// TestTCPLivenessTimeout exercises the timer path: an agent whose
+// heartbeats stop (but whose TCP connection the MLB has not yet seen
+// close) is evicted within the liveness timeout.
+func TestTCPLivenessTimeout(t *testing.T) {
+	tb := startFailoverTestbed(t, 2)
+
+	// Stop the victim's loops without closing its conn: Close would fire
+	// the close hook; instead starve the liveness record by restarting
+	// the agent set with one silent member.
+	a, err := StartMMPAgent(MMPAgentConfig{
+		Index: 9, PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1,
+		MLBAddr:        tb.mlbSrv.MMPAddr(),
+		HSSAddr:        tb.hssSrv.Addr(),
+		SGWAddr:        tb.sgwSrv.Addr(),
+		HeartbeatEvery: -1, // never heartbeats
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	waitFor(t, 2*time.Second, "silent agent registration", func() bool {
+		return len(tb.mlbSrv.Router.MMPs()) == 3
+	})
+
+	// With no frames ever arriving from mmp-9, the liveness timer (2s in
+	// this testbed) evicts it while the heartbeating agents stay.
+	waitFor(t, 5*time.Second, "liveness eviction", func() bool {
+		return len(tb.mlbSrv.Router.MMPs()) == 2
+	})
+	for _, id := range tb.mlbSrv.Router.MMPs() {
+		if id == "mmp-9" {
+			t.Fatal("silent MMP still on the ring")
+		}
+	}
+}
+
+// TestTCPFailoverRetriesForward checks that an uplink racing the
+// failover is retried onto a surviving VM rather than dropped: the
+// forward loop re-routes per attempt.
+func TestTCPFailoverRetriesForward(t *testing.T) {
+	tb := startFailoverTestbed(t, 3)
+	client, err := DialENB(tb.mlbSrv.ENBAddr(), map[uint32][]uint16{1: {7}, 2: {8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 6
+	imsis := attachAndIdle(t, client, n)
+	waitFor(t, 3*time.Second, "initial replication", func() bool {
+		total := 0
+		for _, a := range tb.agents {
+			total += a.Engine.Store().Len()
+		}
+		return total >= 2*n
+	})
+
+	// Kill and immediately fire service requests — some race the
+	// eviction. A request the MLB forwards onto the dying connection
+	// before the TCP close is observed is buffered by the kernel and
+	// silently lost (no write error, so no MLB retry); that is the UE
+	// NAS layer's job to cover: like a real UE's T3417 retransmission,
+	// the request is re-issued until it completes. Every device must
+	// come back Active within a few retransmissions.
+	tb.agents[0].Kill()
+	for _, imsi := range imsis {
+		imsi := imsi
+		completed := false
+		for attempt := 0; attempt < 5 && !completed; attempt++ {
+			if err := client.Run(func(e *enb.Emulator) error {
+				return e.StartServiceRequest(imsi, 2)
+			}); err != nil && !errors.Is(err, enb.ErrBadUEState) {
+				t.Fatalf("service request %d: %v", imsi, err)
+			}
+			completed = client.WaitUntil(time.Second, func(e *enb.Emulator) bool {
+				return e.UEFor(imsi).State == enb.Active
+			}) == nil
+		}
+		if !completed {
+			t.Fatalf("service request for %d lost across failover despite retransmissions", imsi)
+		}
+	}
+}

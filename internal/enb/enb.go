@@ -72,7 +72,11 @@ type UE struct {
 	hoTEID    uint32
 	// LastError records the most recent NAS reject cause (0 = none).
 	LastError uint8
-	bearerUp  bool
+	// bearerUp/nasDone track the two halves of an activation: the
+	// InitialContextSetup exchange and the NAS accept. The UE is Active
+	// only once both completed, whatever order the downlinks arrive in.
+	bearerUp bool
+	nasDone  bool
 }
 
 // Stats counts emulator activity.
@@ -209,6 +213,7 @@ func (e *Emulator) StartAttach(imsi uint64, cell uint32) error {
 	ue.Cell = cell
 	ue.LastError = 0
 	ue.bearerUp = false
+	ue.nasDone = false
 	id := e.newENBUEID(ue)
 	e.send(cell, &s1ap.InitialUEMessage{
 		ENBUEID: id,
@@ -248,6 +253,7 @@ func (e *Emulator) StartServiceRequest(imsi uint64, cell uint32) error {
 	ue.Cell = cell
 	ue.LastError = 0
 	ue.bearerUp = false
+	ue.nasDone = false
 	id := e.newENBUEID(ue)
 	seq := ue.srSeq
 	ue.srSeq++
@@ -416,6 +422,7 @@ func (e *Emulator) handleNAS(cell uint32, m *s1ap.DownlinkNASTransport) {
 		ue.GUTI = n.GUTI
 		e.byMTMSI[n.GUTI.MTMSI] = ue
 		ue.srSeq = 0
+		ue.nasDone = true
 		e.send(cell, &s1ap.UplinkNASTransport{
 			ENBUEID: ue.ENBUEID, MMEUEID: ue.MMEUEID,
 			NASPDU: nas.Marshal(&nas.AttachComplete{GUTI: n.GUTI}),
@@ -423,6 +430,7 @@ func (e *Emulator) handleNAS(cell uint32, m *s1ap.DownlinkNASTransport) {
 		e.maybeActivate(ue)
 	case *nas.ServiceAccept:
 		e.stats.ServiceRequests++
+		ue.nasDone = true
 		e.maybeActivate(ue)
 	case *nas.AttachReject:
 		ue.LastError = n.Cause
@@ -451,7 +459,7 @@ func (e *Emulator) handleNAS(cell uint32, m *s1ap.DownlinkNASTransport) {
 // maybeActivate marks the UE Active once both the NAS accept and the
 // bearer setup completed (order varies).
 func (e *Emulator) maybeActivate(ue *UE) {
-	if ue.bearerUp {
+	if ue.bearerUp && ue.nasDone {
 		ue.State = Active
 	} else {
 		// NAS accepted first; activation completes in handleICSRequest.
@@ -471,8 +479,11 @@ func (e *Emulator) handleICSRequest(cell uint32, m *s1ap.InitialContextSetupRequ
 	e.send(cell, &s1ap.InitialContextSetupResponse{
 		ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID, ENBTEID: ue.ENBTEID,
 	})
-	// If the NAS accept already arrived, the UE is now fully Active.
-	if ue.State == Attaching || ue.State == Idle {
+	// Activation completes only if the NAS accept was already processed;
+	// otherwise the ServiceAccept/AttachAccept still in flight finishes
+	// it via maybeActivate. Flipping Active on the bearer alone let a
+	// waiter observe Active before the accept was counted in Stats.
+	if ue.nasDone {
 		ue.State = Active
 	}
 }
@@ -487,6 +498,7 @@ func (e *Emulator) handleReleaseCommand(cell uint32, m *s1ap.UEContextReleaseCom
 	ue.State = Idle
 	ue.ENBUEID = 0
 	ue.bearerUp = false
+	ue.nasDone = false
 }
 
 // handlePaging answers a page for an Idle device with a service request

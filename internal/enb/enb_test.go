@@ -404,3 +404,56 @@ func TestCellsAndCellForTAI(t *testing.T) {
 		t.Fatal("unknown TAI resolved")
 	}
 }
+
+// TestActivationWaitsForNASAccept pins the ordering invariant between
+// activation and the stats counters: a UE must not be observable as
+// Active until the NAS accept — the downlink that increments Attaches /
+// ServiceRequests — has been processed, even though the engine sends
+// the InitialContextSetupRequest first. A waiter that polls for Active
+// and then reads Stats would otherwise race the final accept.
+func TestActivationWaitsForNASAccept(t *testing.T) {
+	em, m := newScripted(t)
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if err := em.ReleaseToIdle(42); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+
+	// Take over the uplink so downlinks can be delivered one at a time.
+	var pending *s1ap.InitialUEMessage
+	em.Uplink = func(cell uint32, msg s1ap.Message) {
+		if iu, ok := msg.(*s1ap.InitialUEMessage); ok {
+			pending = iu
+		}
+	}
+	if err := em.StartServiceRequest(42, 1); err != nil {
+		t.Fatalf("start service request: %v", err)
+	}
+	if pending == nil {
+		t.Fatal("no InitialUEMessage captured")
+	}
+	before := em.Stats().ServiceRequests
+
+	m.nextID++
+	em.HandleDownlink(1, &s1ap.InitialContextSetupRequest{
+		ENBUEID: pending.ENBUEID, MMEUEID: m.nextID, SGWTEID: 5, BearerID: 5,
+	})
+	if st := em.UEFor(42).State; st == Active {
+		t.Fatal("UE Active after ICS alone, before the ServiceAccept was counted")
+	}
+	if got := em.Stats().ServiceRequests; got != before {
+		t.Fatalf("ServiceRequests = %d before accept, want %d", got, before)
+	}
+
+	em.HandleDownlink(1, &s1ap.DownlinkNASTransport{
+		ENBUEID: pending.ENBUEID, MMEUEID: m.nextID,
+		NASPDU: nas.Marshal(&nas.ServiceAccept{EBI: 5}),
+	})
+	if st := em.UEFor(42).State; st != Active {
+		t.Fatalf("UE state = %s after accept, want active", st)
+	}
+	if got := em.Stats().ServiceRequests; got != before+1 {
+		t.Fatalf("ServiceRequests = %d after accept, want %d", got, before+1)
+	}
+}

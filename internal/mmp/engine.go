@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scale/internal/cdr"
@@ -114,6 +115,9 @@ type Stats struct {
 	UnknownContext    uint64
 	ForwardsRequested uint64
 	ImplicitDetaches  uint64
+	// Promotions counts replica entries promoted to master during
+	// failover (PromoteReplicasFrom).
+	Promotions uint64
 }
 
 // Errors the engine returns to its host.
@@ -149,6 +153,12 @@ type hoProc struct {
 type Engine struct {
 	cfg   Config
 	alloc *guti.Allocator
+
+	// busyNS accumulates wall time spent executing procedures — the
+	// occupancy signal a socket deployment reports to the MLB in place
+	// of a hypervisor CPU figure (delta busy time / report interval).
+	busyNS  atomic.Int64
+	handled atomic.Uint64
 
 	mu            sync.Mutex
 	store         *state.Store
@@ -235,6 +245,11 @@ func (e *Engine) Handle(enbID uint32, msg s1ap.Message) ([]Outbound, error) {
 // when observability is configured the handler is bracketed by an
 // "mmp"-stage span under that id and counted per procedure.
 func (e *Engine) HandleTraced(traceID uint64, enbID uint32, msg s1ap.Message) ([]Outbound, error) {
+	start := time.Now()
+	defer func() {
+		e.busyNS.Add(int64(time.Since(start)))
+		e.handled.Add(1)
+	}()
 	if e.obs == nil {
 		return e.dispatch(enbID, msg)
 	}
@@ -248,6 +263,15 @@ func (e *Engine) HandleTraced(traceID uint64, enbID uint32, msg s1ap.Message) ([
 	}
 	return out, err
 }
+
+// BusyNS reports the cumulative wall time (nanoseconds) the engine has
+// spent inside procedure handlers. Hosts derive an occupancy figure by
+// differencing across a report interval.
+func (e *Engine) BusyNS() int64 { return e.busyNS.Load() }
+
+// Handled reports the cumulative procedure count (all HandleTraced and
+// HandleDownlinkData calls, including errored ones).
+func (e *Engine) Handled() uint64 { return e.handled.Load() }
 
 func (e *Engine) dispatch(enbID uint32, msg s1ap.Message) ([]Outbound, error) {
 	switch m := msg.(type) {
@@ -736,6 +760,11 @@ func (e *Engine) handleHandoverNotify(_ uint32, m *s1ap.HandoverNotify) ([]Outbo
 // HandleDownlinkData processes an S-GW DownlinkDataNotification: page
 // the device across its tracking area.
 func (e *Engine) HandleDownlinkData(ddn *s11.DownlinkDataNotification) ([]Outbound, error) {
+	start := time.Now()
+	defer func() {
+		e.busyNS.Add(int64(time.Since(start)))
+		e.handled.Add(1)
+	}()
 	if e.obs != nil {
 		e.obs.requests[ProcPaging].Inc()
 		span := e.cfg.Obs.Tracer.Begin(0, ProcPaging, obs.StageMMP)
@@ -792,6 +821,62 @@ func (e *Engine) ApplyReplica(ctx *state.UEContext) error {
 	}
 	e.stats.ReplicasApplied++
 	return nil
+}
+
+// PromoteReplicasFrom promotes every replica entry mastered by deadID to
+// a master entry owned by this engine — the failover hook the host runs
+// when the cluster declares deadID dead. Promoted contexts take this
+// engine as MasterMMP, drop deadID from their replica list, get a
+// version bump (so the promotion wins against any late push from the
+// dead VM) and have their id mappings installed. Clones of the promoted
+// contexts are returned so the host can re-replicate them to the ring
+// successor, restoring R=2.
+func (e *Engine) PromoteReplicasFrom(deadID string) []*state.UEContext {
+	promoted := e.store.PromoteMatching(func(ctx *state.UEContext) bool {
+		return ctx.MasterMMP == deadID
+	})
+	if len(promoted) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*state.UEContext, 0, len(promoted))
+	for _, ctx := range promoted {
+		ctx.MasterMMP = e.cfg.ID
+		reps := ctx.ReplicaMMPs[:0]
+		for _, r := range ctx.ReplicaMMPs {
+			if r != deadID {
+				reps = append(reps, r)
+			}
+		}
+		ctx.ReplicaMMPs = reps
+		ctx.Version++
+		if ctx.MMETEID != 0 {
+			e.byMMETEID[ctx.MMETEID] = ctx.GUTI
+		}
+		if ctx.MMEUEID != 0 {
+			e.byMMEUEID[ctx.MMEUEID] = ctx.GUTI
+		}
+		e.stats.Promotions++
+		out = append(out, ctx.Clone())
+	}
+	return out
+}
+
+// SnapshotMasters clones every master entry. The failover path uses it
+// to re-replicate this VM's own devices after a peer died: the dead VM
+// may have held their replica copies, so pushing fresh snapshots to the
+// (re-balanced) ring restores R=2 for them too. Stale-version refusal
+// on the receivers makes redundant pushes harmless.
+func (e *Engine) SnapshotMasters() []*state.UEContext {
+	var out []*state.UEContext
+	e.store.Range(func(ctx *state.UEContext, isReplica bool) bool {
+		if !isReplica {
+			out = append(out, ctx.Clone())
+		}
+		return true
+	})
+	return out
 }
 
 // InstallMaster provisions a context directly as master state — used for

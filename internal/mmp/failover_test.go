@@ -1,0 +1,118 @@
+package mmp
+
+import (
+	"testing"
+
+	"scale/internal/guti"
+	"scale/internal/s1ap"
+	"scale/internal/state"
+)
+
+func replicaFor(mtmsi uint32, master string) *state.UEContext {
+	return &state.UEContext{
+		IMSI:        900000 + uint64(mtmsi),
+		GUTI:        guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 0x0101, MMEC: 9, MTMSI: mtmsi},
+		Mode:        state.Idle,
+		MMETEID:     5000 + mtmsi,
+		MMEUEID:     6000 + mtmsi,
+		MasterMMP:   master,
+		ReplicaMMPs: []string{master, "mmp-1"},
+		Version:     3,
+	}
+}
+
+func TestPromoteReplicasFrom(t *testing.T) {
+	tb := newTestBed(t)
+	e := tb.engine
+
+	dead1, dead2 := replicaFor(1, "mmp-9"), replicaFor(2, "mmp-9")
+	live := replicaFor(3, "mmp-2")
+	for _, c := range []*state.UEContext{dead1, dead2, live} {
+		if err := e.ApplyReplica(c.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	promoted := e.PromoteReplicasFrom("mmp-9")
+	if len(promoted) != 2 {
+		t.Fatalf("promoted %d, want 2", len(promoted))
+	}
+	for _, c := range promoted {
+		if c.MasterMMP != e.ID() {
+			t.Fatalf("promoted MasterMMP = %q, want %q", c.MasterMMP, e.ID())
+		}
+		for _, r := range c.ReplicaMMPs {
+			if r == "mmp-9" {
+				t.Fatal("dead VM still listed as replica holder")
+			}
+		}
+		if c.Version <= 3 {
+			t.Fatalf("promotion did not bump version: %d", c.Version)
+		}
+	}
+	if e.Store().IsReplica(dead1.GUTI) || e.Store().IsReplica(dead2.GUTI) {
+		t.Fatal("promoted entries still flagged replica")
+	}
+	if !e.Store().IsReplica(live.GUTI) {
+		t.Fatal("replica mastered by a live VM was promoted")
+	}
+	if got := e.Stats().Promotions; got != 2 {
+		t.Fatalf("Promotions = %d, want 2", got)
+	}
+	// No matches: nothing returned, no double promotion.
+	if again := e.PromoteReplicasFrom("mmp-9"); again != nil {
+		t.Fatalf("second promote returned %d entries", len(again))
+	}
+
+	// The promoted device is now serviceable here: a downlink-data page
+	// resolves its context as master.
+	if !e.Store().IsReplica(live.GUTI) || e.Store().MasterCount() != 2 {
+		t.Fatalf("master count = %d, want 2", e.Store().MasterCount())
+	}
+}
+
+func TestSnapshotMastersIncludesPromoted(t *testing.T) {
+	tb := newTestBed(t)
+	e := tb.engine
+	if err := e.ApplyReplica(replicaFor(7, "mmp-9")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.SnapshotMasters()); got != 0 {
+		t.Fatalf("masters before promote = %d", got)
+	}
+	e.PromoteReplicasFrom("mmp-9")
+	snaps := e.SnapshotMasters()
+	if len(snaps) != 1 {
+		t.Fatalf("masters after promote = %d, want 1", len(snaps))
+	}
+	// Snapshots are clones: mutating one must not touch the store.
+	snaps[0].Version = 999
+	stored, _ := e.Store().Get(snaps[0].GUTI)
+	if stored.Version == 999 {
+		t.Fatal("SnapshotMasters returned a live pointer")
+	}
+}
+
+func TestBusyNSGrowsWithWork(t *testing.T) {
+	tb := newTestBed(t)
+	e := tb.engine
+	if e.BusyNS() != 0 || e.Handled() != 0 {
+		t.Fatalf("fresh engine busy=%d handled=%d", e.BusyNS(), e.Handled())
+	}
+	tb.attach(t, 100000, 1, 10)
+	if e.BusyNS() <= 0 {
+		t.Fatalf("BusyNS = %d after an attach", e.BusyNS())
+	}
+	if e.Handled() == 0 {
+		t.Fatal("Handled = 0 after an attach")
+	}
+
+	// Busy time keeps accumulating across procedures.
+	before := e.BusyNS()
+	if _, err := e.Handle(1, &s1ap.UEContextReleaseRequest{ENBUEID: 10, MMEUEID: 1<<24 | 1, Cause: 1}); err != nil {
+		t.Logf("release: %v", err) // outcome irrelevant; only timing matters
+	}
+	if e.BusyNS() < before {
+		t.Fatal("BusyNS went backwards")
+	}
+}

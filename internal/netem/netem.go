@@ -169,6 +169,34 @@ func (d *DelayedConn) Write(b []byte) (int, error) {
 	return len(b), nil
 }
 
+// KillSwitch arms one-shot fault injection: after d elapses, kill runs
+// (on a timer goroutine). It returns a disarm function that cancels the
+// pending fault and reports whether it fired first. A non-positive d
+// never fires — the returned disarm is still safe to call. The TCP
+// daemons use it (-fail-after) to kill an MMP agent mid-run so failover
+// drills don't need an external chaos harness.
+func KillSwitch(d time.Duration, kill func()) (disarm func() (fired bool)) {
+	if d <= 0 || kill == nil {
+		return func() bool { return false }
+	}
+	var (
+		mu    sync.Mutex
+		fired bool
+	)
+	t := time.AfterFunc(d, func() {
+		mu.Lock()
+		fired = true
+		mu.Unlock()
+		kill()
+	})
+	return func() bool {
+		t.Stop()
+		mu.Lock()
+		defer mu.Unlock()
+		return fired
+	}
+}
+
 // Close flushes queued writes and closes the underlying connection.
 func (d *DelayedConn) Close() error {
 	d.mu.Lock()

@@ -20,6 +20,7 @@ const (
 	StageS6a       = "s6a"
 	StageS11       = "s11"
 	StageReplicate = "replicate"
+	StageFailover  = "failover"
 
 	StageNet     = "net"
 	StageQueue   = "queue"

@@ -1,0 +1,109 @@
+package state
+
+import (
+	"testing"
+
+	"scale/internal/guti"
+)
+
+// A replica push must never silently demote a master entry: the
+// regression this guards against is a late snapshot from a dead MMP
+// arriving after this VM promoted the device during failover.
+func TestApplyReplicaNeverDemotesMaster(t *testing.T) {
+	s := NewStore()
+	c := sampleContext()
+	c.Version = 10
+	s.PutMaster(c)
+
+	// Stale push against a master entry: refused, nothing changes.
+	stale := c.Clone()
+	stale.Version = 4
+	if err := s.ApplyReplica(stale); err != ErrStale {
+		t.Fatalf("stale push err = %v, want ErrStale", err)
+	}
+	if s.IsReplica(c.GUTI) {
+		t.Fatal("stale replica push demoted a master entry")
+	}
+
+	// Newer push against a master entry: content merges, mastership
+	// stays — the peer legitimately served newer traffic for the device,
+	// but mastership only changes via Promote/PutMaster/Delete.
+	newer := c.Clone()
+	newer.Version = 20
+	newer.Mode = Idle
+	if err := s.ApplyReplica(newer); err != nil {
+		t.Fatalf("newer push err = %v", err)
+	}
+	if s.IsReplica(c.GUTI) {
+		t.Fatal("newer replica push demoted a master entry")
+	}
+	got, _ := s.Get(c.GUTI)
+	if got.Version != 20 || got.Mode != Idle {
+		t.Fatalf("merge did not refresh content: %+v", got)
+	}
+	if s.MasterCount() != 1 {
+		t.Fatalf("masters = %d, want 1", s.MasterCount())
+	}
+}
+
+func TestPromote(t *testing.T) {
+	s := NewStore()
+	c := sampleContext()
+	if _, ok := s.Promote(c.GUTI); ok {
+		t.Fatal("promoting an absent entry reported success")
+	}
+	if err := s.ApplyReplica(c); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Promote(c.GUTI)
+	if !ok || got == nil {
+		t.Fatal("promote failed")
+	}
+	if s.IsReplica(c.GUTI) {
+		t.Fatal("entry still a replica after promote")
+	}
+	if s.MasterCount() != 1 {
+		t.Fatalf("masters = %d", s.MasterCount())
+	}
+	// Promoting a master entry is a no-op reported as success.
+	if _, ok := s.Promote(c.GUTI); !ok {
+		t.Fatal("re-promote reported failure")
+	}
+}
+
+func TestPromoteMatching(t *testing.T) {
+	s := NewStore()
+	mk := func(mtmsi uint32, master string) *UEContext {
+		c := sampleContext()
+		c.GUTI = guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 2, MTMSI: mtmsi}
+		c.MasterMMP = master
+		return c
+	}
+	// Two replicas mastered by the dead VM, one replica mastered by a
+	// live VM, one local master entry.
+	dead1, dead2 := mk(1, "mmp-dead"), mk(2, "mmp-dead")
+	live := mk(3, "mmp-live")
+	own := mk(4, "mmp-self")
+	for _, c := range []*UEContext{dead1, dead2, live} {
+		if err := s.ApplyReplica(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.PutMaster(own)
+
+	promoted := s.PromoteMatching(func(c *UEContext) bool { return c.MasterMMP == "mmp-dead" })
+	if len(promoted) != 2 {
+		t.Fatalf("promoted %d entries, want 2", len(promoted))
+	}
+	for _, c := range []*UEContext{dead1, dead2} {
+		if s.IsReplica(c.GUTI) {
+			t.Fatalf("entry %d still a replica", c.GUTI.MTMSI)
+		}
+	}
+	if !s.IsReplica(live.GUTI) {
+		t.Fatal("replica mastered by a live VM was promoted")
+	}
+	if s.MasterCount() != 3 {
+		t.Fatalf("masters = %d, want 3", s.MasterCount())
+	}
+}

@@ -265,15 +265,59 @@ var ErrStale = errors.New("state: stale replica update")
 // ApplyReplica stores ctx as a replica entry. Updates with a version not
 // newer than the stored one return ErrStale and leave the store
 // unchanged, making replication idempotent and reordering-safe.
+//
+// A newer push targeting an entry this store holds as *master* merges
+// promote-aware: the content is refreshed (the peer legitimately served
+// newer traffic for the device) but the entry stays master — replication
+// must never silently demote mastership, e.g. when a late push from a
+// dead MMP races with this VM's failover promotion. Mastership only
+// changes via Promote/PutMaster/Delete.
 func (s *Store) ApplyReplica(ctx *UEContext) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok := s.byGUTI[ctx.GUTI]; ok && old.Version >= ctx.Version {
-		return ErrStale
+	if old, ok := s.byGUTI[ctx.GUTI]; ok {
+		if old.Version >= ctx.Version {
+			return ErrStale
+		}
+		s.byGUTI[ctx.GUTI] = ctx
+		// Keep the existing master/replica status: only the content is
+		// refreshed for entries already held as master.
+		return nil
 	}
 	s.byGUTI[ctx.GUTI] = ctx
 	s.replica[ctx.GUTI] = true
 	return nil
+}
+
+// Promote flips the entry for g from replica to master, returning the
+// stored context. It reports false (and promotes nothing) if the entry
+// is absent; promoting a master entry is a no-op reported as true.
+func (s *Store) Promote(g guti.GUTI) (*UEContext, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.byGUTI[g]
+	if !ok {
+		return nil, false
+	}
+	s.replica[g] = false
+	return c, true
+}
+
+// PromoteMatching promotes every replica entry matching pred to master
+// and returns the promoted contexts. Master entries are never visited.
+// The failover path uses it to take ownership of the devices a dead MMP
+// mastered.
+func (s *Store) PromoteMatching(pred func(ctx *UEContext) bool) []*UEContext {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*UEContext
+	for g, c := range s.byGUTI {
+		if s.replica[g] && pred(c) {
+			s.replica[g] = false
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Get returns the context for g and whether it is present.

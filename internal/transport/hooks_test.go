@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestConnOnCloseFiresOnce(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+
+	var fired atomic.Int32
+	a.OnClose(func() { fired.Add(1) })
+	a.OnClose(func() { fired.Add(1) })
+
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Second close is an idempotent no-op: hooks must not re-fire.
+	a.Close()
+	if got := fired.Load(); got != 2 {
+		t.Fatalf("hooks fired %d times, want 2 (one per registration)", got)
+	}
+}
+
+func TestConnOnCloseAfterCloseRunsImmediately(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	a.Close()
+
+	var fired atomic.Bool
+	a.OnClose(func() { fired.Store(true) })
+	if !fired.Load() {
+		t.Fatal("hook registered after close did not run immediately")
+	}
+}
+
+func TestConnOnCloseConcurrent(t *testing.T) {
+	// Hooks racing Close must fire exactly once each, whether they won or
+	// lost the race (run with -race).
+	a, b := Pipe()
+	defer b.Close()
+
+	var fired atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.OnClose(func() { fired.Add(1) })
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a.Close()
+	}()
+	wg.Wait()
+	if got := fired.Load(); got != 8 {
+		t.Fatalf("hooks fired %d times, want 8", got)
+	}
+}
+
+func TestServeHooksCloseHandler(t *testing.T) {
+	type closeEvent struct {
+		conn *Conn
+		err  error
+	}
+	events := make(chan closeEvent, 4)
+	srv, err := ServeHooks("127.0.0.1:0", func(conn *Conn, msg Message) {
+		conn.Write(msg.Stream, msg.Payload) // echo
+	}, func(conn *Conn, err error) {
+		events <- closeEvent{conn, err}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Write(3, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := client.Read(); err != nil || string(msg.Payload) != "ping" {
+		t.Fatalf("echo = %q, %v", msg.Payload, err)
+	}
+	client.Close()
+
+	select {
+	case ev := <-events:
+		if ev.conn == nil {
+			t.Fatal("close handler got nil conn")
+		}
+		if ev.err == nil {
+			t.Fatal("close handler got nil error for a peer disconnect")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close handler never fired after client disconnect")
+	}
+}
+
+func TestServeHooksCloseHandlerOnServerClose(t *testing.T) {
+	events := make(chan struct{}, 4)
+	srv, err := ServeHooks("127.0.0.1:0", func(conn *Conn, msg Message) {},
+		func(conn *Conn, err error) { events <- struct{}{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Let the server accept the conn before tearing it down.
+	if err := client.Write(1, []byte("x")); err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	srv.Close()
+
+	select {
+	case <-events:
+	case <-time.After(2 * time.Second):
+		t.Fatal("close handler never fired on server shutdown")
+	}
+}
+
+func TestServeWithoutHooksStillWorks(t *testing.T) {
+	// Serve is ServeHooks with a nil handler — a nil hook must not panic
+	// when connections close.
+	srv, err := Serve("127.0.0.1:0", func(conn *Conn, msg Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Write(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	time.Sleep(20 * time.Millisecond) // readLoop observes the close; must not panic
+}

@@ -105,6 +105,10 @@ type Conn struct {
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
+
+	hookMu   sync.Mutex
+	closed   bool
+	closeFns []func()
 }
 
 // NewConn frames messages over nc.
@@ -244,8 +248,42 @@ func parseExtensions(ext []byte) (traceID uint64, err error) {
 // SetReadDeadline sets the deadline for future Read calls.
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
 
-// Close closes the underlying connection.
-func (c *Conn) Close() error { return c.nc.Close() }
+// OnClose registers fn to run exactly once when the connection closes
+// (whichever side initiates it). Registering on an already-closed
+// connection runs fn immediately. Hooks run synchronously inside Close,
+// so they must not block and must not call Close themselves.
+func (c *Conn) OnClose(fn func()) {
+	if fn == nil {
+		return
+	}
+	c.hookMu.Lock()
+	if c.closed {
+		c.hookMu.Unlock()
+		fn()
+		return
+	}
+	c.closeFns = append(c.closeFns, fn)
+	c.hookMu.Unlock()
+}
+
+// Close closes the underlying connection and fires the close hooks. It
+// is idempotent: only the first call closes and notifies.
+func (c *Conn) Close() error {
+	c.hookMu.Lock()
+	if c.closed {
+		c.hookMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	fns := c.closeFns
+	c.closeFns = nil
+	c.hookMu.Unlock()
+	err := c.nc.Close()
+	for _, fn := range fns {
+		fn()
+	}
+	return err
+}
 
 // RemoteAddr reports the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
@@ -256,11 +294,20 @@ func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
 // Handler consumes inbound messages from one connection.
 type Handler func(conn *Conn, msg Message)
 
+// CloseHandler is notified when a served connection's read loop exits:
+// the peer disconnected, the stream desynchronized, or the server shut
+// down. err is the read error that terminated the loop (io.EOF for a
+// clean peer close). It runs on the connection's reader goroutine, after
+// the last message was handled and after the conn was removed from the
+// server's set.
+type CloseHandler func(conn *Conn, err error)
+
 // Server accepts framed connections and dispatches messages to a
 // handler, one reader goroutine per connection.
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	onClose CloseHandler
 
 	mu     sync.Mutex
 	conns  map[*Conn]struct{}
@@ -271,11 +318,18 @@ type Server struct {
 // Serve starts a server on addr. The handler is invoked sequentially per
 // connection, concurrently across connections.
 func Serve(addr string, handler Handler) (*Server, error) {
+	return ServeHooks(addr, handler, nil)
+}
+
+// ServeHooks is Serve with a connection-lifecycle hook: onClose (may be
+// nil) fires once per connection when its read loop exits. This is how
+// stateful fronts (the MLB) learn that a back-end VM died.
+func ServeHooks(addr string, handler Handler, onClose CloseHandler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, handler: handler, conns: make(map[*Conn]struct{})}
+	s := &Server{ln: ln, handler: handler, onClose: onClose, conns: make(map[*Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -307,15 +361,20 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) readLoop(conn *Conn) {
 	defer s.wg.Done()
+	var cause error
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		if s.onClose != nil {
+			s.onClose(conn, cause)
+		}
 	}()
 	for {
 		msg, err := conn.Read()
 		if err != nil {
+			cause = err
 			return
 		}
 		s.handler(conn, msg)
