@@ -27,6 +27,8 @@ func main() {
 		firstIMSI   = flag.Uint64("first-imsi", 100000000, "first provisioned IMSI")
 		subscribers = flag.Int("subscribers", 100000, "number of provisioned subscribers")
 		obsListen   = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
+		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; requires -obs-listen)")
+		blockRate   = flag.Int("block-profile-rate", 0, "sample one blocking event per n ns blocked for /debug/pprof/block (0 disables; requires -obs-listen)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-epc ", log.LstdFlags|log.Lmicroseconds)
@@ -54,6 +56,12 @@ func main() {
 			logger.Fatalf("%v", err)
 		}
 		defer osrv.Close()
+		// Contention profiling only makes sense with a listener to scrape
+		// it, so the flags are gated on -obs-listen.
+		obs.EnableContentionProfiling(*mutexFrac, *blockRate)
+		if *mutexFrac > 0 || *blockRate > 0 {
+			logger.Printf("contention profiling on (mutex 1/%d, block %dns)", *mutexFrac, *blockRate)
+		}
 		logger.Printf("observability on http://%s/metrics", osrv.Addr())
 	}
 

@@ -36,6 +36,8 @@ func main() {
 		fwdWait   = flag.Duration("forward-timeout", 0, "total time budget per forwarded message incl. backoff (0 = default)")
 		obsListen = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
 		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
+		mutexFrac = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; requires -obs-listen)")
+		blockRate = flag.Int("block-profile-rate", 0, "sample one blocking event per n ns blocked for /debug/pprof/block (0 disables; requires -obs-listen)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-mlb ", log.LstdFlags|log.Lmicroseconds)
@@ -52,6 +54,12 @@ func main() {
 		}
 		defer osrv.Close()
 		defer obs.StartSweeper(ob.Tracer, 30*time.Second, time.Minute)()
+		// Contention profiling only makes sense with a listener to scrape
+		// it, so the flags are gated on -obs-listen.
+		obs.EnableContentionProfiling(*mutexFrac, *blockRate)
+		if *mutexFrac > 0 || *blockRate > 0 {
+			logger.Printf("contention profiling on (mutex 1/%d, block %dns)", *mutexFrac, *blockRate)
+		}
 		logger.Printf("observability on http://%s/metrics", osrv.Addr())
 	}
 	lv := *liveness

@@ -37,6 +37,8 @@ func main() {
 		failAfter = flag.Duration("fail-after", 0, "fault injection: sever the MLB connection (without deregistering) after this long; 0 disables")
 		obsListen = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
 		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
+		mutexFrac = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; requires -obs-listen)")
+		blockRate = flag.Int("block-profile-rate", 0, "sample one blocking event per n ns blocked for /debug/pprof/block (0 disables; requires -obs-listen)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-mmp ", log.LstdFlags|log.Lmicroseconds)
@@ -57,6 +59,12 @@ func main() {
 		}
 		defer osrv.Close()
 		defer obs.StartSweeper(ob.Tracer, 30*time.Second, time.Minute)()
+		// Contention profiling only makes sense with a listener to scrape
+		// it, so the flags are gated on -obs-listen.
+		obs.EnableContentionProfiling(*mutexFrac, *blockRate)
+		if *mutexFrac > 0 || *blockRate > 0 {
+			logger.Printf("contention profiling on (mutex 1/%d, block %dns)", *mutexFrac, *blockRate)
+		}
 		logger.Printf("observability on http://%s/metrics", osrv.Addr())
 	}
 	hb := *heartbeat

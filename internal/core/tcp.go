@@ -68,6 +68,9 @@ func RegisterTransportMetrics(reg *obs.Registry) {
 	reg.CounterFunc(`transport_frames_total{dir="out"}`, func() uint64 { return transport.Stats().FramesOut })
 	reg.CounterFunc(`transport_bytes_total{dir="in"}`, func() uint64 { return transport.Stats().BytesIn })
 	reg.CounterFunc(`transport_bytes_total{dir="out"}`, func() uint64 { return transport.Stats().BytesOut })
+	// Flushes ≈ write syscalls; flushes/frames(out) is the write-coalescing
+	// batching factor (1.0 = no batching, lower = better under load).
+	reg.CounterFunc(`transport_flushes_total{dir="out"}`, func() uint64 { return transport.Stats().FlushesOut })
 }
 
 // Control frame kinds.
@@ -90,8 +93,22 @@ func EncodeEnvelope(enbID uint32, tai uint16, msg s1ap.Message) []byte {
 	w := wire.NewWriter(96)
 	w.U32(enbID)
 	w.U16(tai)
-	w.Raw(s1ap.Marshal(msg))
+	s1ap.MarshalTo(w, msg)
 	return w.Bytes()
+}
+
+// writeEnvelope frames msg with its routing tag and writes it on the S1
+// stream, encoding through the wire writer pool. Recycling immediately
+// after the write is safe: Conn.WriteTraced copies the payload into the
+// connection's buffer before returning.
+func writeEnvelope(conn *transport.Conn, trace uint64, enbID uint32, tai uint16, msg s1ap.Message) error {
+	w := wire.GetWriter()
+	w.U32(enbID)
+	w.U16(tai)
+	s1ap.MarshalTo(w, msg)
+	err := conn.WriteTraced(StreamS1, trace, w.Bytes())
+	wire.PutWriter(w)
+	return err
 }
 
 // DecodeEnvelope unpacks an S1AP envelope.
@@ -419,7 +436,7 @@ func (s *MLBServer) forwardToMMP(trace uint64, enbID uint32, msg s1ap.Message) {
 		}
 		s.mu.Unlock()
 		if conn != nil {
-			if err := conn.WriteTraced(StreamS1, trace, EncodeEnvelope(enbID, 0, d.Msg)); err == nil {
+			if err := writeEnvelope(conn, trace, enbID, 0, d.Msg); err == nil {
 				return
 			}
 			// A framed write only fails when the conn is dead: evict it so
@@ -610,7 +627,11 @@ func (s *MLBServer) sendToENB(enbID uint32, msg s1ap.Message) {
 		s.logf("mlb: no connection for eNB %d", enbID)
 		return
 	}
-	if err := conn.Write(transport.StreamUE, s1ap.Marshal(msg)); err != nil {
+	w := wire.GetWriter()
+	s1ap.MarshalTo(w, msg)
+	err := conn.Write(transport.StreamUE, w.Bytes())
+	wire.PutWriter(w)
+	if err != nil {
 		s.logf("mlb: downlink to eNB %d: %v", enbID, err)
 	}
 }
@@ -723,7 +744,11 @@ type agentReplicator struct{ a *MMPAgent }
 
 // Replicate implements mmp.Replicator.
 func (r agentReplicator) Replicate(_ string, ctx *state.UEContext) {
-	if err := r.a.conn.Write(StreamRep, ctx.Marshal()); err != nil {
+	w := wire.GetWriter()
+	ctx.MarshalTo(w)
+	err := r.a.conn.Write(StreamRep, w.Bytes())
+	wire.PutWriter(w)
+	if err != nil {
 		r.a.logf("mmp agent: replicate push: %v", err)
 	}
 }
@@ -783,11 +808,13 @@ func (a *MMPAgent) handleS1(frame transport.Message) {
 		// This VM doesn't hold the device's state (e.g. the master's
 		// async replica push hasn't landed yet): bounce the envelope back
 		// so the MLB re-delivers it to the master.
-		w := wire.NewWriter(len(frame.Payload) + 2)
+		w := wire.GetWriter()
 		w.U8(ctlForward)
 		w.Raw(frame.Payload)
-		if err := a.conn.WriteTraced(StreamCtl, frame.Trace, w.Bytes()); err != nil {
-			a.logf("mmp agent: bounce %s: %v", msg.Type(), err)
+		werr := a.conn.WriteTraced(StreamCtl, frame.Trace, w.Bytes())
+		wire.PutWriter(w)
+		if werr != nil {
+			a.logf("mmp agent: bounce %s: %v", msg.Type(), werr)
 		}
 		return
 	}
@@ -796,7 +823,7 @@ func (a *MMPAgent) handleS1(frame transport.Message) {
 		return
 	}
 	for _, o := range out {
-		if err := a.conn.WriteTraced(StreamS1, frame.Trace, EncodeEnvelope(o.ENB, o.TAI, o.Msg)); err != nil {
+		if err := writeEnvelope(a.conn, frame.Trace, o.ENB, o.TAI, o.Msg); err != nil {
 			a.logf("mmp agent: write: %v", err)
 			return
 		}

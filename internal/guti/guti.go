@@ -80,6 +80,25 @@ func Decode(src []byte) (GUTI, error) {
 // across pools.
 func (g GUTI) Key() []byte { return g.Encode(nil) }
 
+// Hash returns a well-mixed 64-bit hash of g, used for lock-shard
+// selection inside one VM (the consistent-hash ring keeps using Key).
+// M-TMSIs are allocated sequentially, so the raw fields pass through a
+// splitmix64-style finalizer to spread neighboring devices across
+// shards.
+func (g GUTI) Hash() uint64 {
+	h := uint64(g.MTMSI) ^
+		uint64(g.MMEGI)<<32 ^
+		uint64(g.MMEC)<<48 ^
+		uint64(g.PLMN.MCC)<<40 ^
+		uint64(g.PLMN.MNC)<<24
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // String renders the GUTI in a compact human-readable form.
 func (g GUTI) String() string {
 	return fmt.Sprintf("%s:%04x:%02x:%08x", g.PLMN, g.MMEGI, g.MMEC, g.MTMSI)

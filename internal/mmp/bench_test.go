@@ -1,0 +1,223 @@
+package mmp
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+	"scale/internal/sgw"
+)
+
+// The engine benchmarks drive the idle-mode hot path the paper's
+// queueing analysis centers on: service request (Idle→Active) and the
+// release back to Idle, plus the TAU fast path. Each parallel goroutine
+// owns a disjoint slab of pre-attached devices, so the measured
+// contention is the engine's own locking, not benchmark bookkeeping.
+
+// benchUE is one pre-attached device a benchmark goroutine cycles.
+type benchUE struct {
+	guti    guti.GUTI
+	enbUEID uint32
+	seq     uint32 // next NAS uplink count for ServiceRequest
+}
+
+// benchSlab is the device set owned by one RunParallel goroutine.
+type benchSlab struct {
+	ues []benchUE
+}
+
+// newBenchEngine builds an engine against in-process HSS/S-GW fakes,
+// with replication disabled so the measurement isolates procedure
+// processing.
+func newBenchEngine(nSubs int) *Engine {
+	db := hss.NewDB()
+	db.ProvisionRange(100000, nSubs)
+	gw := sgw.New()
+	return New(Config{
+		ID:             "mmp-bench",
+		Index:          1,
+		PLMN:           guti.PLMN{MCC: 310, MNC: 26},
+		MMEGI:          0x0101,
+		MMEC:           1,
+		ServingNetwork: "310-26",
+		HSS:            localHSS{db},
+		SGW:            localSGW{gw},
+	})
+}
+
+// benchAttach drives a full attach for imsi and returns the allocated
+// GUTI.
+func benchAttach(tb testing.TB, e *Engine, imsi uint64, enbID, enbUEID uint32) guti.GUTI {
+	tb.Helper()
+	out, err := e.Handle(enbID, &s1ap.InitialUEMessage{
+		ENBUEID: enbUEID, TAI: 7,
+		NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: imsi}),
+	})
+	if err != nil {
+		tb.Fatalf("attach request: %v", err)
+	}
+	dl := out[0].Msg.(*s1ap.DownlinkNASTransport)
+	authReq, ok := mustBenchNAS(tb, dl.NASPDU).(*nas.AuthenticationRequest)
+	if !ok {
+		tb.Fatalf("imsi %d: expected AuthenticationRequest", imsi)
+	}
+	mmeUEID := dl.MMEUEID
+	res := hss.DeriveRES(hss.KeyForIMSI(imsi), authReq.RAND)
+	if _, err = e.Handle(enbID, &s1ap.UplinkNASTransport{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.AuthenticationResponse{RES: res}),
+	}); err != nil {
+		tb.Fatalf("auth response: %v", err)
+	}
+	out, err = e.Handle(enbID, &s1ap.UplinkNASTransport{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.SecurityModeComplete{}),
+	})
+	if err != nil {
+		tb.Fatalf("smc complete: %v", err)
+	}
+	accept := mustBenchNAS(tb, out[1].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.AttachAccept)
+	if _, err := e.Handle(enbID, &s1ap.InitialContextSetupResponse{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID, ENBTEID: 9000 + enbUEID,
+	}); err != nil {
+		tb.Fatalf("ics response: %v", err)
+	}
+	if _, err := e.Handle(enbID, &s1ap.UplinkNASTransport{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.AttachComplete{GUTI: accept.GUTI}),
+	}); err != nil {
+		tb.Fatalf("attach complete: %v", err)
+	}
+	return accept.GUTI
+}
+
+func mustBenchNAS(tb testing.TB, pdu []byte) nas.Message {
+	tb.Helper()
+	m, err := nas.Unmarshal(pdu)
+	if err != nil {
+		tb.Fatalf("bad NAS PDU: %v", err)
+	}
+	return m
+}
+
+// buildSlabs pre-attaches nSlabs×perSlab devices and partitions them.
+func buildSlabs(tb testing.TB, e *Engine, nSlabs, perSlab int) []benchSlab {
+	tb.Helper()
+	slabs := make([]benchSlab, nSlabs)
+	imsi := uint64(100000)
+	var enbUEID uint32 = 1
+	for i := range slabs {
+		slabs[i].ues = make([]benchUE, perSlab)
+		for j := range slabs[i].ues {
+			g := benchAttach(tb, e, imsi, 1, enbUEID)
+			slabs[i].ues[j] = benchUE{guti: g, enbUEID: enbUEID, seq: 1}
+			imsi++
+			enbUEID++
+		}
+	}
+	return slabs
+}
+
+// serviceCycle runs one ServiceRequest (Idle→Active) followed by the
+// UEContextReleaseComplete back to Idle — the paper's dominant signaling
+// pair — for the UE, returning an error on any unexpected outcome.
+func serviceCycle(e *Engine, ue *benchUE) error {
+	out, err := e.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: ue.enbUEID, TAI: 7,
+		NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: ue.guti, Seq: ue.seq}),
+	})
+	if err != nil {
+		return fmt.Errorf("service request: %w", err)
+	}
+	ue.seq += 2
+	icsr, ok := out[0].Msg.(*s1ap.InitialContextSetupRequest)
+	if !ok {
+		return fmt.Errorf("expected ICSR, got %T", out[0].Msg)
+	}
+	if _, err := e.Handle(1, &s1ap.UEContextReleaseComplete{
+		ENBUEID: ue.enbUEID, MMEUEID: icsr.MMEUEID,
+	}); err != nil {
+		return fmt.Errorf("release complete: %w", err)
+	}
+	return nil
+}
+
+// BenchmarkEngineServiceCycleParallel measures concurrent
+// service-request/release cycles across independent devices — the
+// headline multi-core scalability number for one MMP. Compare against
+// GOMAXPROCS=1 to see the sharding win.
+func BenchmarkEngineServiceCycleParallel(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	nSlabs := 2 * procs
+	e := newBenchEngine(nSlabs * 64)
+	slabs := buildSlabs(b, e, nSlabs, 64)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		slab := &slabs[int(next.Add(1)-1)%nSlabs]
+		i := 0
+		for pb.Next() {
+			ue := &slab.ues[i%len(slab.ues)]
+			i++
+			if err := serviceCycle(e, ue); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := e.Stats()
+	if st.ServiceRequests == 0 {
+		b.Fatal("no service requests processed")
+	}
+}
+
+// BenchmarkEngineTAUParallel measures concurrent tracking-area updates:
+// a pure state read-modify on the per-device context, the lightest
+// procedure the engine serves.
+func BenchmarkEngineTAUParallel(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	nSlabs := 2 * procs
+	e := newBenchEngine(nSlabs * 64)
+	slabs := buildSlabs(b, e, nSlabs, 64)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		slab := &slabs[int(next.Add(1)-1)%nSlabs]
+		i := 0
+		for pb.Next() {
+			ue := &slab.ues[i%len(slab.ues)]
+			i++
+			if _, err := e.Handle(1, &s1ap.InitialUEMessage{
+				ENBUEID: ue.enbUEID, TAI: uint16(7 + i%3),
+				NASPDU: nas.Marshal(&nas.TAURequest{GUTI: ue.guti, TAI: uint16(7 + i%3)}),
+			}); err != nil {
+				b.Errorf("tau: %v", err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkEngineServiceCycleSerial is the single-goroutine reference
+// for the parallel cycle benchmark.
+func BenchmarkEngineServiceCycleSerial(b *testing.B) {
+	e := newBenchEngine(64)
+	slabs := buildSlabs(b, e, 1, 64)
+	slab := &slabs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ue := &slab.ues[i%len(slab.ues)]
+		if err := serviceCycle(e, ue); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

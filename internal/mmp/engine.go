@@ -9,6 +9,17 @@
 // The Engine is transport-agnostic: it consumes decoded S1AP messages
 // (tagged with the source eNodeB) and returns the S1AP messages to emit.
 // The core package wires engines to the MLB in-process or over TCP.
+//
+// Concurrency model: the engine's mutable per-device state is sharded by
+// a UE hash — one lock domain per core — so procedures for independent
+// devices run in parallel. A device's GUTI selects its shard; the MME UE
+// ids and S11 TEIDs the engine allocates embed the shard index in their
+// low sequence bits, so every identifier a later message carries (GUTI,
+// MMEUEID or MMETEID) resolves to a shard without a global map. Ids
+// allocated by a peer VM (seen after failover promotion) hash by their
+// own low bits, which keeps lookups deterministic even when the peer ran
+// a different shard count. No code path ever holds two shard locks at
+// once.
 package mmp
 
 import (
@@ -91,6 +102,10 @@ type Config struct {
 	// ENBAddr is the address handed to the S-GW for downlink tunnels in
 	// ModifyBearer (the emulated eNodeB data-plane endpoint).
 	ENBAddr string
+	// Shards overrides the engine's lock-shard count (rounded up to a
+	// power of two); 0 sizes it to GOMAXPROCS. Tests use 1 to force every
+	// device onto one shard.
+	Shards int
 	// CDR, when set, receives a call data record for every completed
 	// procedure (Section 2 lists CDR generation among the MME's tasks).
 	CDR *cdr.Journal
@@ -120,6 +135,26 @@ type Stats struct {
 	Promotions uint64
 }
 
+// shardStats is one shard's slice of the activity counters. Fields are
+// atomics so hot-path increments never require the shard lock and
+// Stats() never stalls procedure processing.
+type shardStats struct {
+	attaches          atomic.Uint64
+	serviceRequests   atomic.Uint64
+	taus              atomic.Uint64
+	handovers         atomic.Uint64
+	detaches          atomic.Uint64
+	pagings           atomic.Uint64
+	replicationsSent  atomic.Uint64
+	replicasApplied   atomic.Uint64
+	replicasStale     atomic.Uint64
+	authFailures      atomic.Uint64
+	unknownContext    atomic.Uint64
+	forwardsRequested atomic.Uint64
+	implicitDetaches  atomic.Uint64
+	promotions        atomic.Uint64
+}
+
 // Errors the engine returns to its host.
 var (
 	// ErrNoContext means the device's state is not on this VM; the host
@@ -147,8 +182,27 @@ type hoProc struct {
 	targetENB     uint32
 }
 
+// engineShard is one lock domain of the engine: the procedure and id
+// state of every device whose hash lands on it. Shards are allocated
+// individually so their headers don't share cache lines.
+type engineShard struct {
+	idx uint32 // shard index, embedded into allocated UE ids
+
+	mu sync.Mutex
+	// seq counts this shard's id allocations; the composed sequence
+	// number is seq*nShards+idx, so id→shard recovery is id's low bits.
+	seq           uint32
+	byMMEUEID     map[uint32]guti.GUTI
+	byMMETEID     map[uint32]guti.GUTI
+	pendingAttach map[uint32]*attachProc // keyed by MMEUEID
+	pendingHO     map[uint32]*hoProc     // keyed by MMEUEID
+	lastActivity  map[guti.GUTI]time.Time
+
+	stats shardStats
+}
+
 // Engine is one MMP VM's procedure processor. It is safe for concurrent
-// use; per-call state is guarded by a single mutex, released around
+// use; per-device state is guarded by per-shard mutexes, released around
 // HSS/S-GW calls.
 type Engine struct {
 	cfg   Config
@@ -160,15 +214,10 @@ type Engine struct {
 	busyNS  atomic.Int64
 	handled atomic.Uint64
 
-	mu            sync.Mutex
-	store         *state.Store
-	seq           uint32
-	byMMEUEID     map[uint32]guti.GUTI
-	byMMETEID     map[uint32]guti.GUTI
-	pendingAttach map[uint32]*attachProc // keyed by MMEUEID
-	pendingHO     map[uint32]*hoProc     // keyed by MMEUEID
-	lastActivity  map[guti.GUTI]time.Time
-	stats         Stats
+	store     *state.Store
+	shards    []*engineShard
+	nShards   uint32
+	shardMask uint32
 
 	obs *engineObs // nil when Config.Obs is unset
 }
@@ -192,17 +241,31 @@ func New(cfg Config) *Engine {
 			cfg.SGW = tracedSGW{inner: cfg.SGW, tr: cfg.Obs.Tracer}
 		}
 	}
-	return &Engine{
-		obs:           eo,
-		cfg:           cfg,
-		alloc:         guti.NewAllocator(cfg.PLMN, cfg.MMEGI, cfg.MMEC),
-		store:         state.NewStore(),
-		byMMEUEID:     make(map[uint32]guti.GUTI),
-		byMMETEID:     make(map[uint32]guti.GUTI),
-		pendingAttach: make(map[uint32]*attachProc),
-		pendingHO:     make(map[uint32]*hoProc),
-		lastActivity:  make(map[guti.GUTI]time.Time),
+	// The store picks the shard count (one per core unless overridden);
+	// the engine sizes its own lock domains to match, so an engine shard
+	// and its store shard always cover the same devices.
+	store := state.NewStoreN(cfg.Shards)
+	n := store.NumShards()
+	e := &Engine{
+		obs:       eo,
+		cfg:       cfg,
+		alloc:     guti.NewAllocator(cfg.PLMN, cfg.MMEGI, cfg.MMEC),
+		store:     store,
+		shards:    make([]*engineShard, n),
+		nShards:   uint32(n),
+		shardMask: uint32(n - 1),
 	}
+	for i := range e.shards {
+		e.shards[i] = &engineShard{
+			idx:           uint32(i),
+			byMMEUEID:     make(map[uint32]guti.GUTI),
+			byMMETEID:     make(map[uint32]guti.GUTI),
+			pendingAttach: make(map[uint32]*attachProc),
+			pendingHO:     make(map[uint32]*hoProc),
+			lastActivity:  make(map[guti.GUTI]time.Time),
+		}
+	}
+	return e
 }
 
 // ID returns the engine's cluster-unique name.
@@ -212,16 +275,53 @@ func (e *Engine) ID() string { return e.cfg.ID }
 // and the host's replication fan-out use it).
 func (e *Engine) Store() *state.Store { return e.store }
 
-// Stats returns a snapshot of activity counters.
-func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+// NumShards reports the engine's lock-shard count (a power of two,
+// matching its store).
+func (e *Engine) NumShards() int { return int(e.nShards) }
+
+// gutiShard returns the shard owning the device g — the same index the
+// store uses, so engine and store lock domains align.
+func (e *Engine) gutiShard(g guti.GUTI) *engineShard {
+	return e.shards[uint32(g.Hash())&e.shardMask]
 }
 
-func (e *Engine) nextUEID() uint32 {
-	e.seq++
-	return ueid.Compose(e.cfg.Index, e.seq)
+// idShard returns the shard an MME-allocated identifier (S1AP MME UE id
+// or S11 TEID) belongs to: the id's low sequence bits. For ids this
+// engine allocated that is exactly the owning device's GUTI shard.
+func (e *Engine) idShard(id uint32) *engineShard {
+	_, seq := ueid.Split(id)
+	return e.shards[seq&e.shardMask]
+}
+
+// Stats returns a snapshot of activity counters, aggregated across
+// shards without taking any shard lock.
+func (e *Engine) Stats() Stats {
+	var out Stats
+	for _, s := range e.shards {
+		out.Attaches += s.stats.attaches.Load()
+		out.ServiceRequests += s.stats.serviceRequests.Load()
+		out.TAUs += s.stats.taus.Load()
+		out.Handovers += s.stats.handovers.Load()
+		out.Detaches += s.stats.detaches.Load()
+		out.Pagings += s.stats.pagings.Load()
+		out.ReplicationsSent += s.stats.replicationsSent.Load()
+		out.ReplicasApplied += s.stats.replicasApplied.Load()
+		out.ReplicasStale += s.stats.replicasStale.Load()
+		out.AuthFailures += s.stats.authFailures.Load()
+		out.UnknownContext += s.stats.unknownContext.Load()
+		out.ForwardsRequested += s.stats.forwardsRequested.Load()
+		out.ImplicitDetaches += s.stats.implicitDetaches.Load()
+		out.Promotions += s.stats.promotions.Load()
+	}
+	return out
+}
+
+// nextUEIDLocked mints a UE id on shard s (s.mu held). The composed
+// sequence number is congruent to the shard index modulo the shard
+// count, so idShard recovers the owner from the id alone.
+func (e *Engine) nextUEIDLocked(s *engineShard) uint32 {
+	s.seq++
+	return ueid.Compose(e.cfg.Index, s.seq*e.nShards+s.idx)
 }
 
 // record emits a call data record if a journal is configured.
@@ -318,15 +418,13 @@ func (e *Engine) handleInitialUE(enbID uint32, m *s1ap.InitialUEMessage) ([]Outb
 // startAttach runs steps 1 of the attach procedure: identity, auth
 // vector retrieval, authentication challenge.
 func (e *Engine) startAttach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.AttachRequest) ([]Outbound, error) {
-	// Fetch an auth vector first (no engine lock across the HSS call).
+	// Fetch an auth vector first (no shard lock across the HSS call).
 	ans, err := e.cfg.HSS.AuthInfo(req.IMSI, e.cfg.ServingNetwork, 1)
 	if err != nil {
 		return nil, fmt.Errorf("mmp: HSS auth info: %w", err)
 	}
 	if ans.Result != s6.ResultSuccess || len(ans.Vectors) == 0 {
-		e.mu.Lock()
-		e.stats.AuthFailures++
-		e.mu.Unlock()
+		e.gutiShard(req.OldGUTI).stats.authFailures.Add(1)
 		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 			ENBUEID: m.ENBUEID,
 			NASPDU:  nas.Marshal(&nas.AttachReject{Cause: nas.CauseAuthFailure}),
@@ -334,14 +432,15 @@ func (e *Engine) startAttach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.At
 	}
 	v := ans.Vectors[0]
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	g := req.OldGUTI
 	if g.IsZero() {
 		g = e.alloc.Allocate()
 	}
-	mmeUEID := e.nextUEID()
-	e.pendingAttach[mmeUEID] = &attachProc{
+	s := e.gutiShard(g)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mmeUEID := e.nextUEIDLocked(s)
+	s.pendingAttach[mmeUEID] = &attachProc{
 		imsi:    req.IMSI,
 		guti:    g,
 		tai:     m.TAI,
@@ -350,7 +449,7 @@ func (e *Engine) startAttach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.At
 		xres:    v.XRES,
 		kasme:   v.KASME,
 	}
-	e.byMMEUEID[mmeUEID] = g
+	s.byMMEUEID[mmeUEID] = g
 	return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 		ENBUEID: m.ENBUEID,
 		MMEUEID: mmeUEID,
@@ -379,16 +478,17 @@ func (e *Engine) handleUplinkNAS(enbID uint32, m *s1ap.UplinkNASTransport) ([]Ou
 }
 
 func (e *Engine) authResponse(enbID uint32, m *s1ap.UplinkNASTransport, resp *nas.AuthenticationResponse) ([]Outbound, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	proc, ok := e.pendingAttach[m.MMEUEID]
+	s := e.idShard(m.MMEUEID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	proc, ok := s.pendingAttach[m.MMEUEID]
 	if !ok {
 		return nil, ErrBadState
 	}
 	if resp.RES != proc.xres {
-		e.stats.AuthFailures++
-		delete(e.pendingAttach, m.MMEUEID)
-		delete(e.byMMEUEID, m.MMEUEID)
+		s.stats.authFailures.Add(1)
+		delete(s.pendingAttach, m.MMEUEID)
+		delete(s.byMMEUEID, m.MMEUEID)
 		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 			ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID,
 			NASPDU: nas.Marshal(&nas.AttachReject{Cause: nas.CauseAuthFailure}),
@@ -397,21 +497,22 @@ func (e *Engine) authResponse(enbID uint32, m *s1ap.UplinkNASTransport, resp *na
 	proc.smcSent = true
 	return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 		ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID,
-		NASPDU: nas.Marshal(&nas.SecurityModeCommand{Alg: nas.AlgHMACSHA256, NonceMME: e.seq}),
+		NASPDU: nas.Marshal(&nas.SecurityModeCommand{Alg: nas.AlgHMACSHA256, NonceMME: s.seq}),
 	}}}, nil
 }
 
 func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbound, error) {
-	e.mu.Lock()
-	proc, ok := e.pendingAttach[m.MMEUEID]
+	s := e.idShard(m.MMEUEID)
+	s.mu.Lock()
+	proc, ok := s.pendingAttach[m.MMEUEID]
 	if !ok || !proc.smcSent {
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return nil, ErrBadState
 	}
 	imsi, g := proc.imsi, proc.guti
 	kasme := proc.kasme
 	mmeUEID := m.MMEUEID
-	e.mu.Unlock()
+	s.mu.Unlock()
 
 	// Register location and create the default bearer (network calls,
 	// engine unlocked).
@@ -436,8 +537,11 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 		}}}, nil
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// The attach was started on g's shard, so the pending-attach entry,
+	// the id mappings and the stored context all live on s.
+	gs := e.gutiShard(g)
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
 	ctx := &state.UEContext{
 		IMSI:     imsi,
 		GUTI:     g,
@@ -459,10 +563,10 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 	}
 	ctx.Security.Establish(kasme, nas.AlgHMACSHA256, 1)
 	ctx.Touch(e.cfg.AccessAlpha)
-	e.touchActivity(ctx.GUTI, time.Now())
+	gs.lastActivity[g] = time.Now()
 	e.store.PutMaster(ctx)
-	e.byMMETEID[mmeUEID] = g
-	e.stats.Attaches++
+	gs.byMMETEID[mmeUEID] = g
+	gs.stats.attaches.Add(1)
 	e.record(cdr.EventAttach, imsi, proc.enbID, proc.tai)
 
 	return []Outbound{
@@ -481,38 +585,45 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 }
 
 func (e *Engine) attachComplete(m *s1ap.UplinkNASTransport) ([]Outbound, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.pendingAttach[m.MMEUEID]; !ok {
+	s := e.idShard(m.MMEUEID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pendingAttach[m.MMEUEID]; !ok {
 		return nil, ErrBadState
 	}
-	delete(e.pendingAttach, m.MMEUEID)
+	delete(s.pendingAttach, m.MMEUEID)
 	return nil, nil
 }
 
 func (e *Engine) handleICSResponse(enbID uint32, m *s1ap.InitialContextSetupResponse) ([]Outbound, error) {
-	e.mu.Lock()
-	g, ok := e.byMMEUEID[m.MMEUEID]
+	is := e.idShard(m.MMEUEID)
+	is.mu.Lock()
+	g, ok := is.byMMEUEID[m.MMEUEID]
 	if !ok {
-		e.stats.UnknownContext++
-		e.mu.Unlock()
+		is.mu.Unlock()
+		is.stats.unknownContext.Add(1)
 		return nil, ErrNoContext
 	}
-	ctx, ok := e.store.Get(g)
+	gs := e.gutiShard(g)
+	if gs != is { // foreign id: hop to the device's shard
+		is.mu.Unlock()
+		gs.mu.Lock()
+	}
+	ctx, ok := e.store.GetAt(int(gs.idx), g)
 	if !ok {
-		e.stats.UnknownContext++
-		e.mu.Unlock()
+		gs.mu.Unlock()
+		gs.stats.unknownContext.Add(1)
 		return nil, ErrNoContext
 	}
 	sgwTEID, ebi := ctx.SGWTEID, ctx.BearerID
-	e.mu.Unlock()
+	gs.mu.Unlock()
 
 	if _, err := e.cfg.SGW.ModifyBearer(sgwTEID, m.ENBTEID, e.cfg.ENBAddr, ebi); err != nil {
 		return nil, fmt.Errorf("mmp: modify bearer: %w", err)
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
 	ctx.ENBTEID = m.ENBTEID
 	ctx.Version++
 	_ = enbID
@@ -521,37 +632,38 @@ func (e *Engine) handleICSResponse(enbID uint32, m *s1ap.InitialContextSetupResp
 
 // serviceRequest handles the Idle→Active transition.
 func (e *Engine) serviceRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.ServiceRequest) ([]Outbound, error) {
-	e.mu.Lock()
-	ctx, ok := e.store.Get(req.GUTI)
+	s := e.gutiShard(req.GUTI)
+	s.mu.Lock()
+	ctx, ok := e.store.GetAt(int(s.idx), req.GUTI)
 	if !ok {
-		e.stats.UnknownContext++
-		e.stats.ForwardsRequested++
-		e.mu.Unlock()
+		s.stats.unknownContext.Add(1)
+		s.stats.forwardsRequested.Add(1)
+		s.mu.Unlock()
 		return nil, ErrNoContext
 	}
 	// Loose uplink-count check: accept forward jumps (lost messages),
 	// reject replays below the stored count.
 	if req.Seq < ctx.Security.ULCount {
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 			ENBUEID: m.ENBUEID,
 			NASPDU:  nas.Marshal(&nas.ServiceReject{Cause: nas.CauseProtocolError}),
 		}}}, nil
 	}
 	ctx.Security.ULCount = req.Seq + 1
-	mmeUEID := e.nextUEID()
+	mmeUEID := e.nextUEIDLocked(s)
 	ctx.Mode = state.Active
 	ctx.ENBID = enbID
 	ctx.ENBUEID = m.ENBUEID
 	ctx.MMEUEID = mmeUEID
 	ctx.TAI = m.TAI
 	ctx.Touch(e.cfg.AccessAlpha)
-	e.touchActivity(ctx.GUTI, time.Now())
-	e.byMMEUEID[mmeUEID] = ctx.GUTI
-	e.stats.ServiceRequests++
+	s.lastActivity[ctx.GUTI] = time.Now()
+	s.byMMEUEID[mmeUEID] = ctx.GUTI
+	s.stats.serviceRequests.Add(1)
 	e.record(cdr.EventServiceRequest, ctx.IMSI, enbID, m.TAI)
 	sgwTEID, ebi := ctx.SGWTEID, ctx.BearerID
-	e.mu.Unlock()
+	s.mu.Unlock()
 
 	return []Outbound{
 		{ENB: enbID, Msg: &s1ap.InitialContextSetupRequest{
@@ -566,22 +678,23 @@ func (e *Engine) serviceRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas
 }
 
 func (e *Engine) tauRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.TAURequest) ([]Outbound, error) {
-	e.mu.Lock()
-	ctx, ok := e.store.Get(req.GUTI)
+	s := e.gutiShard(req.GUTI)
+	s.mu.Lock()
+	ctx, ok := e.store.GetAt(int(s.idx), req.GUTI)
 	if !ok {
-		e.stats.UnknownContext++
-		e.stats.ForwardsRequested++
-		e.mu.Unlock()
+		s.stats.unknownContext.Add(1)
+		s.stats.forwardsRequested.Add(1)
+		s.mu.Unlock()
 		return nil, ErrNoContext
 	}
 	ctx.TAI = req.TAI
 	ctx.Touch(e.cfg.AccessAlpha)
-	e.touchActivity(ctx.GUTI, time.Now())
-	e.stats.TAUs++
+	s.lastActivity[ctx.GUTI] = time.Now()
+	s.stats.taus.Add(1)
 	e.record(cdr.EventTAU, ctx.IMSI, enbID, req.TAI)
 	clone := ctx.Clone()
 	t3412 := ctx.T3412Sec
-	e.mu.Unlock()
+	s.mu.Unlock()
 
 	e.replicate(clone)
 	return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
@@ -591,15 +704,17 @@ func (e *Engine) tauRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.TAU
 }
 
 func (e *Engine) detach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.DetachRequest) ([]Outbound, error) {
-	e.mu.Lock()
-	ctx, ok := e.store.Get(req.GUTI)
+	s := e.gutiShard(req.GUTI)
+	s.mu.Lock()
+	ctx, ok := e.store.GetAt(int(s.idx), req.GUTI)
 	if !ok {
-		e.stats.UnknownContext++
-		e.mu.Unlock()
+		s.stats.unknownContext.Add(1)
+		s.mu.Unlock()
 		return nil, ErrNoContext
 	}
 	imsi, sgwTEID, ebi := ctx.IMSI, ctx.SGWTEID, ctx.BearerID
-	e.mu.Unlock()
+	mmeTEID, mmeUEID := ctx.MMETEID, ctx.MMEUEID
+	s.mu.Unlock()
 
 	if _, err := e.cfg.SGW.DeleteSession(sgwTEID, ebi); err != nil {
 		return nil, fmt.Errorf("mmp: delete session: %w", err)
@@ -608,12 +723,11 @@ func (e *Engine) detach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.DetachR
 		return nil, fmt.Errorf("mmp: purge: %w", err)
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	s.mu.Lock()
 	e.store.Delete(req.GUTI)
-	delete(e.byMMETEID, ctx.MMETEID)
-	delete(e.byMMEUEID, ctx.MMEUEID)
-	e.stats.Detaches++
+	s.stats.detaches.Add(1)
+	s.mu.Unlock()
+	e.dropIDMappings(mmeTEID, mmeUEID)
 	e.record(cdr.EventDetach, imsi, enbID, m.TAI)
 	if req.SwitchOff {
 		return nil, nil
@@ -625,20 +739,26 @@ func (e *Engine) detach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.DetachR
 }
 
 func (e *Engine) handleReleaseRequest(enbID uint32, m *s1ap.UEContextReleaseRequest) ([]Outbound, error) {
-	e.mu.Lock()
-	g, ok := e.byMMEUEID[m.MMEUEID]
+	is := e.idShard(m.MMEUEID)
+	is.mu.Lock()
+	g, ok := is.byMMEUEID[m.MMEUEID]
 	if !ok {
-		e.stats.UnknownContext++
-		e.mu.Unlock()
+		is.mu.Unlock()
+		is.stats.unknownContext.Add(1)
 		return nil, ErrNoContext
 	}
-	ctx, ok := e.store.Get(g)
+	gs := e.gutiShard(g)
+	if gs != is { // foreign id: hop to the device's shard
+		is.mu.Unlock()
+		gs.mu.Lock()
+	}
+	ctx, ok := e.store.GetAt(int(gs.idx), g)
 	if !ok {
-		e.mu.Unlock()
+		gs.mu.Unlock()
 		return nil, ErrNoContext
 	}
 	sgwTEID := ctx.SGWTEID
-	e.mu.Unlock()
+	gs.mu.Unlock()
 
 	if _, err := e.cfg.SGW.ReleaseAccessBearers(sgwTEID); err != nil {
 		return nil, fmt.Errorf("mmp: release bearers: %w", err)
@@ -649,15 +769,24 @@ func (e *Engine) handleReleaseRequest(enbID uint32, m *s1ap.UEContextReleaseRequ
 }
 
 func (e *Engine) handleReleaseComplete(_ uint32, m *s1ap.UEContextReleaseComplete) ([]Outbound, error) {
-	e.mu.Lock()
-	g, ok := e.byMMEUEID[m.MMEUEID]
+	// Ids this engine allocated live on their device's own shard, so the
+	// common case runs under a single lock acquisition; only foreign ids
+	// (adopted in a failover promotion) pay the two-shard dance.
+	is := e.idShard(m.MMEUEID)
+	is.mu.Lock()
+	g, ok := is.byMMEUEID[m.MMEUEID]
 	if !ok {
-		e.mu.Unlock()
+		is.mu.Unlock()
 		return nil, ErrBadState
 	}
-	ctx, ok := e.store.Get(g)
+	gs := e.gutiShard(g)
+	if gs != is {
+		is.mu.Unlock()
+		gs.mu.Lock()
+	}
+	ctx, ok := e.store.GetAt(int(gs.idx), g)
 	if !ok {
-		e.mu.Unlock()
+		gs.mu.Unlock()
 		return nil, ErrNoContext
 	}
 	ctx.Mode = state.Idle
@@ -665,10 +794,17 @@ func (e *Engine) handleReleaseComplete(_ uint32, m *s1ap.UEContextReleaseComplet
 	ctx.ENBUEID = 0
 	ctx.MMEUEID = 0
 	ctx.Version++
-	e.touchActivity(ctx.GUTI, time.Now())
-	delete(e.byMMEUEID, m.MMEUEID)
+	gs.lastActivity[g] = time.Now()
+	if gs == is {
+		delete(is.byMMEUEID, m.MMEUEID)
+	}
 	clone := ctx.Clone()
-	e.mu.Unlock()
+	gs.mu.Unlock()
+	if gs != is {
+		is.mu.Lock()
+		delete(is.byMMEUEID, m.MMEUEID)
+		is.mu.Unlock()
+	}
 
 	// The Active→Idle transition is SCALE's replica refresh point
 	// (Section 4.6): push the updated state to the other holders.
@@ -677,25 +813,31 @@ func (e *Engine) handleReleaseComplete(_ uint32, m *s1ap.UEContextReleaseComplet
 }
 
 func (e *Engine) handleHandoverRequired(enbID uint32, m *s1ap.HandoverRequired) ([]Outbound, error) {
-	e.mu.Lock()
-	g, ok := e.byMMEUEID[m.MMEUEID]
+	is := e.idShard(m.MMEUEID)
+	is.mu.Lock()
+	g, ok := is.byMMEUEID[m.MMEUEID]
+	is.mu.Unlock()
 	if !ok {
-		e.stats.UnknownContext++
-		e.mu.Unlock()
+		is.stats.unknownContext.Add(1)
 		return nil, ErrNoContext
 	}
-	ctx, ok := e.store.Get(g)
+	gs := e.gutiShard(g)
+	gs.mu.Lock()
+	ctx, ok := e.store.GetAt(int(gs.idx), g)
 	if !ok {
-		e.mu.Unlock()
+		gs.mu.Unlock()
 		return nil, ErrNoContext
 	}
-	e.pendingHO[m.MMEUEID] = &hoProc{
+	sgwTEID, ebi := ctx.SGWTEID, ctx.BearerID
+	gs.mu.Unlock()
+
+	is.mu.Lock()
+	is.pendingHO[m.MMEUEID] = &hoProc{
 		sourceENB:     enbID,
 		sourceENBUEID: m.ENBUEID,
 		targetENB:     m.TargetENB,
 	}
-	sgwTEID, ebi := ctx.SGWTEID, ctx.BearerID
-	e.mu.Unlock()
+	is.mu.Unlock()
 
 	return []Outbound{{ENB: m.TargetENB, Msg: &s1ap.HandoverRequest{
 		MMEUEID: m.MMEUEID, SGWTEID: sgwTEID, BearerID: ebi,
@@ -703,23 +845,27 @@ func (e *Engine) handleHandoverRequired(enbID uint32, m *s1ap.HandoverRequired) 
 }
 
 func (e *Engine) handleHandoverRequestAck(_ uint32, m *s1ap.HandoverRequestAck) ([]Outbound, error) {
-	e.mu.Lock()
-	proc, ok := e.pendingHO[m.MMEUEID]
+	is := e.idShard(m.MMEUEID)
+	is.mu.Lock()
+	proc, ok := is.pendingHO[m.MMEUEID]
 	if !ok {
-		e.mu.Unlock()
+		is.mu.Unlock()
 		return nil, ErrBadState
 	}
-	g := e.byMMEUEID[m.MMEUEID]
-	ctx, haveCtx := e.store.Get(g)
-	if haveCtx {
+	g := is.byMMEUEID[m.MMEUEID]
+	src, srcUEID, target := proc.sourceENB, proc.sourceENBUEID, proc.targetENB
+	is.mu.Unlock()
+
+	gs := e.gutiShard(g)
+	gs.mu.Lock()
+	if ctx, haveCtx := e.store.GetAt(int(gs.idx), g); haveCtx {
 		// Stash the admitted endpoint; the bearer switches on Notify.
 		ctx.ENBTEID = m.ENBTEID
 		ctx.ENBUEID = m.NewENBUEID
-		ctx.ENBID = proc.targetENB
+		ctx.ENBID = target
 		ctx.Version++
 	}
-	src, srcUEID := proc.sourceENB, proc.sourceENBUEID
-	e.mu.Unlock()
+	gs.mu.Unlock()
 
 	return []Outbound{{ENB: src, Msg: &s1ap.HandoverCommand{
 		ENBUEID: srcUEID, MMEUEID: m.MMEUEID,
@@ -727,28 +873,35 @@ func (e *Engine) handleHandoverRequestAck(_ uint32, m *s1ap.HandoverRequestAck) 
 }
 
 func (e *Engine) handleHandoverNotify(_ uint32, m *s1ap.HandoverNotify) ([]Outbound, error) {
-	e.mu.Lock()
-	proc, ok := e.pendingHO[m.MMEUEID]
-	if !ok {
-		e.mu.Unlock()
+	is := e.idShard(m.MMEUEID)
+	is.mu.Lock()
+	if _, ok := is.pendingHO[m.MMEUEID]; !ok {
+		is.mu.Unlock()
 		return nil, ErrBadState
 	}
-	g := e.byMMEUEID[m.MMEUEID]
-	ctx, haveCtx := e.store.Get(g)
+	g := is.byMMEUEID[m.MMEUEID]
+	is.mu.Unlock()
+
+	gs := e.gutiShard(g)
+	gs.mu.Lock()
+	ctx, haveCtx := e.store.GetAt(int(gs.idx), g)
 	if !haveCtx {
-		delete(e.pendingHO, m.MMEUEID)
-		e.mu.Unlock()
+		gs.mu.Unlock()
+		is.mu.Lock()
+		delete(is.pendingHO, m.MMEUEID)
+		is.mu.Unlock()
 		return nil, ErrNoContext
 	}
 	ctx.TAI = m.TAI
 	ctx.Touch(e.cfg.AccessAlpha)
-	e.touchActivity(ctx.GUTI, time.Now())
+	gs.lastActivity[ctx.GUTI] = time.Now()
 	sgwTEID, enbTEID, ebi := ctx.SGWTEID, ctx.ENBTEID, ctx.BearerID
-	delete(e.pendingHO, m.MMEUEID)
-	e.stats.Handovers++
+	gs.stats.handovers.Add(1)
 	e.record(cdr.EventHandover, ctx.IMSI, ctx.ENBID, m.TAI)
-	_ = proc
-	e.mu.Unlock()
+	gs.mu.Unlock()
+	is.mu.Lock()
+	delete(is.pendingHO, m.MMEUEID)
+	is.mu.Unlock()
 
 	// Switch the S-GW downlink to the target eNodeB.
 	if _, err := e.cfg.SGW.ModifyBearer(sgwTEID, enbTEID, e.cfg.ENBAddr, ebi); err != nil {
@@ -770,21 +923,28 @@ func (e *Engine) HandleDownlinkData(ddn *s11.DownlinkDataNotification) ([]Outbou
 		span := e.cfg.Obs.Tracer.Begin(0, ProcPaging, obs.StageMMP)
 		defer span.End()
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	g, ok := e.byMMETEID[ddn.MMETEID]
+	ts := e.idShard(ddn.MMETEID)
+	ts.mu.Lock()
+	g, ok := ts.byMMETEID[ddn.MMETEID]
 	if !ok {
-		e.stats.UnknownContext++
+		ts.mu.Unlock()
+		ts.stats.unknownContext.Add(1)
 		return nil, ErrNoContext
 	}
-	ctx, ok := e.store.Get(g)
+	gs := e.gutiShard(g)
+	if gs != ts { // foreign TEID: hop to the device's shard
+		ts.mu.Unlock()
+		gs.mu.Lock()
+	}
+	defer gs.mu.Unlock()
+	ctx, ok := e.store.GetAt(int(gs.idx), g)
 	if !ok {
 		return nil, ErrNoContext
 	}
 	if ctx.Mode != state.Idle {
 		return nil, nil // already active; no paging needed
 	}
-	e.stats.Pagings++
+	gs.stats.pagings.Add(1)
 	e.record(cdr.EventPaging, ctx.IMSI, BroadcastENB, ctx.TAI)
 	return []Outbound{{ENB: BroadcastENB, TAI: ctx.TAI, Msg: &s1ap.Paging{
 		MTMSI: ctx.GUTI.MTMSI, TAIs: ctx.TAIList,
@@ -802,24 +962,55 @@ func (e *Engine) replicate(ctx *state.UEContext) {
 	if e.obs != nil {
 		e.cfg.Obs.Tracer.Observe(0, "state-refresh", obs.StageReplicate, time.Since(start))
 	}
-	e.mu.Lock()
-	e.stats.ReplicationsSent++
-	e.mu.Unlock()
+	e.gutiShard(ctx.GUTI).stats.replicationsSent.Add(1)
+}
+
+// dropIDMappings removes the id→GUTI mappings for a departing device.
+// Each mapping lives in the shard its own id hashes to (which differs
+// from the device's GUTI shard for ids minted by a peer VM), so each is
+// removed under its own shard lock.
+func (e *Engine) dropIDMappings(mmeTEID, mmeUEID uint32) {
+	if mmeTEID != 0 {
+		s := e.idShard(mmeTEID)
+		s.mu.Lock()
+		delete(s.byMMETEID, mmeTEID)
+		s.mu.Unlock()
+	}
+	if mmeUEID != 0 {
+		s := e.idShard(mmeUEID)
+		s.mu.Lock()
+		delete(s.byMMEUEID, mmeUEID)
+		s.mu.Unlock()
+	}
+}
+
+// installIDMappings records the id→GUTI mappings for a device acquired
+// from elsewhere (replica push, promotion, rebalancing install).
+func (e *Engine) installIDMappings(mmeTEID, mmeUEID uint32, g guti.GUTI) {
+	if mmeTEID != 0 {
+		s := e.idShard(mmeTEID)
+		s.mu.Lock()
+		s.byMMETEID[mmeTEID] = g
+		s.mu.Unlock()
+	}
+	if mmeUEID != 0 {
+		s := e.idShard(mmeUEID)
+		s.mu.Lock()
+		s.byMMEUEID[mmeUEID] = g
+		s.mu.Unlock()
+	}
 }
 
 // ApplyReplica installs a replica snapshot pushed by another MMP.
 func (e *Engine) ApplyReplica(ctx *state.UEContext) error {
 	err := e.store.ApplyReplica(ctx)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	s := e.gutiShard(ctx.GUTI)
 	if err != nil {
-		e.stats.ReplicasStale++
+		s.stats.replicasStale.Add(1)
 		return err
 	}
-	if ctx.MMETEID != 0 {
-		e.byMMETEID[ctx.MMETEID] = ctx.GUTI
-	}
-	e.stats.ReplicasApplied++
+	e.installIDMappings(ctx.MMETEID, 0, ctx.GUTI)
+	s.stats.replicasApplied.Add(1)
 	return nil
 }
 
@@ -838,10 +1029,10 @@ func (e *Engine) PromoteReplicasFrom(deadID string) []*state.UEContext {
 	if len(promoted) == 0 {
 		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := make([]*state.UEContext, 0, len(promoted))
 	for _, ctx := range promoted {
+		gs := e.gutiShard(ctx.GUTI)
+		gs.mu.Lock()
 		ctx.MasterMMP = e.cfg.ID
 		reps := ctx.ReplicaMMPs[:0]
 		for _, r := range ctx.ReplicaMMPs {
@@ -851,14 +1042,12 @@ func (e *Engine) PromoteReplicasFrom(deadID string) []*state.UEContext {
 		}
 		ctx.ReplicaMMPs = reps
 		ctx.Version++
-		if ctx.MMETEID != 0 {
-			e.byMMETEID[ctx.MMETEID] = ctx.GUTI
-		}
-		if ctx.MMEUEID != 0 {
-			e.byMMEUEID[ctx.MMEUEID] = ctx.GUTI
-		}
-		e.stats.Promotions++
-		out = append(out, ctx.Clone())
+		mmeTEID, mmeUEID := ctx.MMETEID, ctx.MMEUEID
+		clone := ctx.Clone()
+		gs.mu.Unlock()
+		e.installIDMappings(mmeTEID, mmeUEID, ctx.GUTI)
+		gs.stats.promotions.Add(1)
+		out = append(out, clone)
 	}
 	return out
 }
@@ -867,29 +1056,31 @@ func (e *Engine) PromoteReplicasFrom(deadID string) []*state.UEContext {
 // to re-replicate this VM's own devices after a peer died: the dead VM
 // may have held their replica copies, so pushing fresh snapshots to the
 // (re-balanced) ring restores R=2 for them too. Stale-version refusal
-// on the receivers makes redundant pushes harmless.
+// on the receivers makes redundant pushes harmless. Each engine shard is
+// locked while its store shard is walked, so snapshots never observe a
+// half-applied procedure.
 func (e *Engine) SnapshotMasters() []*state.UEContext {
 	var out []*state.UEContext
-	e.store.Range(func(ctx *state.UEContext, isReplica bool) bool {
-		if !isReplica {
-			out = append(out, ctx.Clone())
-		}
-		return true
-	})
+	for i, s := range e.shards {
+		s.mu.Lock()
+		e.store.RangeShard(i, func(ctx *state.UEContext, isReplica bool) bool {
+			if !isReplica {
+				out = append(out, ctx.Clone())
+			}
+			return true
+		})
+		s.mu.Unlock()
+	}
 	return out
 }
 
 // InstallMaster provisions a context directly as master state — used for
 // ring rebalancing (VM addition/removal) and geo-transfers.
 func (e *Engine) InstallMaster(ctx *state.UEContext) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	s := e.gutiShard(ctx.GUTI)
+	s.mu.Lock()
 	ctx.MasterMMP = e.cfg.ID
 	e.store.PutMaster(ctx)
-	if ctx.MMETEID != 0 {
-		e.byMMETEID[ctx.MMETEID] = ctx.GUTI
-	}
-	if ctx.MMEUEID != 0 {
-		e.byMMEUEID[ctx.MMEUEID] = ctx.GUTI
-	}
+	s.mu.Unlock()
+	e.installIDMappings(ctx.MMETEID, ctx.MMEUEID, ctx.GUTI)
 }

@@ -16,35 +16,40 @@ import (
 
 // DecayIdle ages the access frequency of every master device with no
 // activity since the given instant and returns how many were decayed.
-// Call it once per epoch.
+// Call it once per epoch. The sweep proceeds shard by shard so hot-path
+// procedures on other shards are never blocked by it.
 func (e *Engine) DecayIdle(since time.Time) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	n := 0
-	e.store.Range(func(ctx *state.UEContext, isReplica bool) bool {
-		if isReplica {
+	for i, s := range e.shards {
+		s.mu.Lock()
+		e.store.RangeShard(i, func(ctx *state.UEContext, isReplica bool) bool {
+			if isReplica {
+				return true
+			}
+			if last, ok := s.lastActivity[ctx.GUTI]; !ok || last.Before(since) {
+				ctx.Decay(e.cfg.AccessAlpha)
+				n++
+			}
 			return true
-		}
-		if last, ok := e.lastActivity[ctx.GUTI]; !ok || last.Before(since) {
-			ctx.Decay(e.cfg.AccessAlpha)
-			n++
-		}
-		return true
-	})
+		})
+		s.mu.Unlock()
+	}
 	return n
 }
 
 // AccessProfile returns the profiled access frequency of every master
 // device on this VM, keyed by IMSI.
 func (e *Engine) AccessProfile() map[uint64]float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := make(map[uint64]float64)
-	e.store.Range(func(ctx *state.UEContext, isReplica bool) bool {
-		if !isReplica {
-			out[ctx.IMSI] = ctx.AccessFreq
-		}
-		return true
-	})
+	for i, s := range e.shards {
+		s.mu.Lock()
+		e.store.RangeShard(i, func(ctx *state.UEContext, isReplica bool) bool {
+			if !isReplica {
+				out[ctx.IMSI] = ctx.AccessFreq
+			}
+			return true
+		})
+		s.mu.Unlock()
+	}
 	return out
 }

@@ -1,0 +1,226 @@
+package mmp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+	"scale/internal/sgw"
+	"scale/internal/state"
+)
+
+// Shard stress: many goroutines drive full procedure mixes (attach,
+// service-request/release cycles, TAUs) through one engine at once, and
+// the test then checks exact procedure counts and store contents. Run
+// twice — once with the default shard count (devices spread across lock
+// domains) and once with Shards=1, which forces every device onto a
+// single shard so all cross-goroutine interleavings collide on the same
+// mutex and the same maps. Under -race this covers both the
+// "no two shards race" and the "one shard serializes correctly" halves
+// of the sharded design.
+
+const (
+	stressWorkers = 8
+	stressDevs    = 4 // devices per worker
+	stressIters   = 25
+)
+
+// attachErr drives a full attach, returning an error instead of failing
+// the test, so it is safe to call from worker goroutines.
+func attachErr(e *Engine, imsi uint64, enbID, enbUEID uint32) (guti.GUTI, error) {
+	out, err := e.Handle(enbID, &s1ap.InitialUEMessage{
+		ENBUEID: enbUEID, TAI: 7,
+		NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: imsi}),
+	})
+	if err != nil {
+		return guti.GUTI{}, fmt.Errorf("attach request: %w", err)
+	}
+	dl := out[0].Msg.(*s1ap.DownlinkNASTransport)
+	authReq, ok := nasOrNil(dl.NASPDU).(*nas.AuthenticationRequest)
+	if !ok {
+		return guti.GUTI{}, fmt.Errorf("imsi %d: no AuthenticationRequest", imsi)
+	}
+	mmeUEID := dl.MMEUEID
+	res := hss.DeriveRES(hss.KeyForIMSI(imsi), authReq.RAND)
+	if _, err = e.Handle(enbID, &s1ap.UplinkNASTransport{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.AuthenticationResponse{RES: res}),
+	}); err != nil {
+		return guti.GUTI{}, fmt.Errorf("auth response: %w", err)
+	}
+	out, err = e.Handle(enbID, &s1ap.UplinkNASTransport{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.SecurityModeComplete{}),
+	})
+	if err != nil {
+		return guti.GUTI{}, fmt.Errorf("smc complete: %w", err)
+	}
+	accept, ok := nasOrNil(out[1].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.AttachAccept)
+	if !ok {
+		return guti.GUTI{}, fmt.Errorf("imsi %d: no AttachAccept", imsi)
+	}
+	if _, err := e.Handle(enbID, &s1ap.InitialContextSetupResponse{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID, ENBTEID: 9000 + enbUEID,
+	}); err != nil {
+		return guti.GUTI{}, fmt.Errorf("ics response: %w", err)
+	}
+	if _, err := e.Handle(enbID, &s1ap.UplinkNASTransport{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+		NASPDU: nas.Marshal(&nas.AttachComplete{GUTI: accept.GUTI}),
+	}); err != nil {
+		return guti.GUTI{}, fmt.Errorf("attach complete: %w", err)
+	}
+	return accept.GUTI, nil
+}
+
+func nasOrNil(pdu []byte) nas.Message {
+	m, err := nas.Unmarshal(pdu)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+func runShardStress(t *testing.T, shards int) {
+	t.Helper()
+	nDevs := stressWorkers * stressDevs
+	db := hss.NewDB()
+	db.ProvisionRange(100000, nDevs)
+	gw := sgw.New()
+	rep := &captureReplicator{}
+	e := New(Config{
+		ID:             "mmp-stress",
+		Index:          1,
+		PLMN:           guti.PLMN{MCC: 310, MNC: 26},
+		MMEGI:          0x0101,
+		MMEC:           1,
+		ServingNetwork: "310-26",
+		HSS:            localHSS{db},
+		SGW:            localSGW{gw},
+		Replicator:     rep,
+		Shards:         shards,
+	})
+	if shards == 1 && e.NumShards() != 1 {
+		t.Fatalf("Shards=1 engine has %d shards", e.NumShards())
+	}
+
+	// Phase 1: all workers attach their devices concurrently.
+	errs := make(chan error, stressWorkers)
+	gutisByWorker := make([][]guti.GUTI, stressWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < stressWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gs := make([]guti.GUTI, 0, stressDevs)
+			for d := 0; d < stressDevs; d++ {
+				n := w*stressDevs + d
+				g, err := attachErr(e, uint64(100000+n), uint32(1+w), uint32(100+n))
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				gs = append(gs, g)
+			}
+			gutisByWorker[w] = gs
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Phase 2: interleaved service cycles and TAUs, all workers at once.
+	// Each worker owns its devices, so per-device ordering is still
+	// well-defined even when every device shares one shard.
+	for w := 0; w < stressWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ues := make([]benchUE, stressDevs)
+			for d, g := range gutisByWorker[w] {
+				ues[d] = benchUE{guti: g, enbUEID: uint32(100 + w*stressDevs + d), seq: 1}
+			}
+			for i := 0; i < stressIters; i++ {
+				for d := range ues {
+					if err := serviceCycle(e, &ues[d]); err != nil {
+						errs <- fmt.Errorf("worker %d dev %d iter %d: %w", w, d, i, err)
+						return
+					}
+					if _, err := e.Handle(uint32(1+w), &s1ap.InitialUEMessage{
+						ENBUEID: ues[d].enbUEID, TAI: uint16(7 + i%3),
+						NASPDU: nas.Marshal(&nas.TAURequest{GUTI: ues[d].guti, TAI: uint16(7 + i%3)}),
+					}); err != nil {
+						errs <- fmt.Errorf("worker %d dev %d tau %d: %w", w, d, i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Exact accounting: every procedure ran to completion exactly once
+	// per scheduled occurrence, regardless of shard collisions.
+	st := e.Stats()
+	wantCycles := uint64(nDevs * stressIters)
+	if st.Attaches != uint64(nDevs) {
+		t.Errorf("attaches = %d, want %d", st.Attaches, nDevs)
+	}
+	if st.ServiceRequests != wantCycles {
+		t.Errorf("service requests = %d, want %d", st.ServiceRequests, wantCycles)
+	}
+	if st.TAUs != wantCycles {
+		t.Errorf("taus = %d, want %d", st.TAUs, wantCycles)
+	}
+	if st.AuthFailures != 0 || st.UnknownContext != 0 {
+		t.Errorf("unexpected failures in stats: %+v", st)
+	}
+	// Each cycle replicates twice: at release-to-Idle and at TAU.
+	if st.ReplicationsSent != 2*wantCycles {
+		t.Errorf("replications = %d, want %d", st.ReplicationsSent, 2*wantCycles)
+	}
+	if got := uint64(rep.count()); got != st.ReplicationsSent {
+		t.Errorf("replicator saw %d pushes, stats say %d", got, st.ReplicationsSent)
+	}
+	if got := e.Store().Len(); got != nDevs {
+		t.Errorf("store len = %d, want %d", got, nDevs)
+	}
+	if got := e.Store().MasterCount(); got != nDevs {
+		t.Errorf("master count = %d, want %d", got, nDevs)
+	}
+	if got := e.TrackedDevices(); got != nDevs {
+		t.Errorf("tracked devices = %d, want %d", got, nDevs)
+	}
+	for w := range gutisByWorker {
+		for _, g := range gutisByWorker[w] {
+			ctx, ok := e.Store().Get(g)
+			if !ok {
+				t.Fatalf("device %v missing after stress", g)
+			}
+			// The last procedure per device is a TAU after release: Idle.
+			if ctx.Mode != state.Idle {
+				t.Errorf("device %v mode = %v, want Idle", g, ctx.Mode)
+			}
+		}
+	}
+}
+
+func TestConcurrentProceduresDistinctShards(t *testing.T) {
+	runShardStress(t, 0) // default: one shard per core, devices spread out
+}
+
+func TestConcurrentProceduresCollidingShards(t *testing.T) {
+	runShardStress(t, 1) // every device collides on a single lock domain
+}

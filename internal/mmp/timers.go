@@ -15,18 +15,12 @@ import (
 // "timers" first among the per-device state an MME maintains
 // (Section 2); this file is that machinery for the prototype.
 
-// touchActivity records device liveness; called by every procedure.
-func (e *Engine) touchActivity(g guti.GUTI, now time.Time) {
-	if e.lastActivity == nil {
-		e.lastActivity = make(map[guti.GUTI]time.Time)
-	}
-	e.lastActivity[g] = now
-}
-
 // ExpireStale implicitly detaches every Idle master device silent for
 // longer than its T3412 plus grace. It returns the detached IMSIs.
 // Active devices are never expired (their liveness is the S1
-// connection), and replica entries are left to their masters.
+// connection), and replica entries are left to their masters. The sweep
+// runs shard by shard, so it only ever stalls one lock domain at a
+// time.
 func (e *Engine) ExpireStale(grace time.Duration, now time.Time) []uint64 {
 	type victim struct {
 		g       guti.GUTI
@@ -36,33 +30,35 @@ func (e *Engine) ExpireStale(grace time.Duration, now time.Time) []uint64 {
 		mmeTEID uint32
 		mmeUEID uint32
 	}
-	e.mu.Lock()
 	var victims []victim
-	e.store.Range(func(ctx *state.UEContext, isReplica bool) bool {
-		if isReplica || ctx.Mode != state.Idle {
+	for i, s := range e.shards {
+		s.mu.Lock()
+		e.store.RangeShard(i, func(ctx *state.UEContext, isReplica bool) bool {
+			if isReplica || ctx.Mode != state.Idle {
+				return true
+			}
+			last, ok := s.lastActivity[ctx.GUTI]
+			if !ok {
+				// Never seen by the timer layer (e.g. installed via
+				// rebalancing): start its clock now.
+				s.lastActivity[ctx.GUTI] = now
+				return true
+			}
+			deadline := time.Duration(ctx.T3412Sec)*time.Second + grace
+			if deadline <= grace {
+				deadline = grace
+			}
+			if now.Sub(last) > deadline {
+				victims = append(victims, victim{
+					g: ctx.GUTI, imsi: ctx.IMSI,
+					sgwTEID: ctx.SGWTEID, ebi: ctx.BearerID,
+					mmeTEID: ctx.MMETEID, mmeUEID: ctx.MMEUEID,
+				})
+			}
 			return true
-		}
-		last, ok := e.lastActivity[ctx.GUTI]
-		if !ok {
-			// Never seen by the timer layer (e.g. installed via
-			// rebalancing): start its clock now.
-			e.lastActivity[ctx.GUTI] = now
-			return true
-		}
-		deadline := time.Duration(ctx.T3412Sec)*time.Second + grace
-		if deadline <= grace {
-			deadline = grace
-		}
-		if now.Sub(last) > deadline {
-			victims = append(victims, victim{
-				g: ctx.GUTI, imsi: ctx.IMSI,
-				sgwTEID: ctx.SGWTEID, ebi: ctx.BearerID,
-				mmeTEID: ctx.MMETEID, mmeUEID: ctx.MMEUEID,
-			})
-		}
-		return true
-	})
-	e.mu.Unlock()
+		})
+		s.mu.Unlock()
+	}
 
 	var detached []uint64
 	for _, v := range victims {
@@ -73,13 +69,13 @@ func (e *Engine) ExpireStale(grace time.Duration, now time.Time) []uint64 {
 		if err := e.cfg.HSS.Purge(v.imsi); err != nil {
 			continue
 		}
-		e.mu.Lock()
+		gs := e.gutiShard(v.g)
+		gs.mu.Lock()
 		e.store.Delete(v.g)
-		delete(e.byMMETEID, v.mmeTEID)
-		delete(e.byMMEUEID, v.mmeUEID)
-		delete(e.lastActivity, v.g)
-		e.stats.ImplicitDetaches++
-		e.mu.Unlock()
+		delete(gs.lastActivity, v.g)
+		gs.mu.Unlock()
+		e.dropIDMappings(v.mmeTEID, v.mmeUEID)
+		gs.stats.implicitDetaches.Add(1)
 		e.record(cdr.EventImplicitDetach, v.imsi, 0, 0)
 		detached = append(detached, v.imsi)
 	}
@@ -89,7 +85,11 @@ func (e *Engine) ExpireStale(grace time.Duration, now time.Time) []uint64 {
 // TrackedDevices reports how many devices have live activity clocks
 // (diagnostics).
 func (e *Engine) TrackedDevices() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.lastActivity)
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += len(s.lastActivity)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -25,9 +25,10 @@ func TestExpireStaleImplicitDetach(t *testing.T) {
 	future := time.Now().Add(time.Duration(ctx1.T3412Sec)*time.Second + 2*time.Hour)
 
 	// Refresh device 2 just before the sweep.
-	tb.engine.mu.Lock()
-	tb.engine.lastActivity[g2] = future.Add(-time.Minute)
-	tb.engine.mu.Unlock()
+	s2 := tb.engine.gutiShard(g2)
+	s2.mu.Lock()
+	s2.lastActivity[g2] = future.Add(-time.Minute)
+	s2.mu.Unlock()
 
 	detached := tb.engine.ExpireStale(time.Hour, future)
 	if len(detached) != 1 || detached[0] != 100000 {
@@ -89,9 +90,10 @@ func TestExpireStaleUnknownClockStartsNow(t *testing.T) {
 	releaseToIdle(t, tb, 1, 10, ue)
 
 	// Forget the activity clock (as after a rebalance install).
-	tb.engine.mu.Lock()
-	delete(tb.engine.lastActivity, g)
-	tb.engine.mu.Unlock()
+	s := tb.engine.gutiShard(g)
+	s.mu.Lock()
+	delete(s.lastActivity, g)
+	s.mu.Unlock()
 
 	future := time.Now().Add(100 * time.Hour)
 	// First sweep must arm the clock, not expire.

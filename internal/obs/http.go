@@ -6,8 +6,20 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"time"
 )
+
+// EnableContentionProfiling turns on the runtime's mutex and block
+// profilers, feeding /debug/pprof/mutex and /debug/pprof/block.
+// mutexFraction samples 1/n of contended mutex events (0 disables);
+// blockRateNS samples one blocking event per n nanoseconds blocked
+// (0 disables). Both profilers cost on the sampled paths, so daemons
+// gate them behind explicit flags rather than defaulting on.
+func EnableContentionProfiling(mutexFraction, blockRateNS int) {
+	runtime.SetMutexProfileFraction(mutexFraction)
+	runtime.SetBlockProfileRate(blockRateNS)
+}
 
 // NewHandler builds the exposition mux:
 //

@@ -85,9 +85,15 @@ type Message interface {
 // Marshal encodes m with its type tag.
 func Marshal(m Message) []byte {
 	w := wire.NewWriter(96)
+	MarshalTo(w, m)
+	return w.Bytes()
+}
+
+// MarshalTo encodes m with its type tag into w. Hot paths pair it with
+// the wire package's writer pool to keep encoding allocation-free.
+func MarshalTo(w *wire.Writer, m Message) {
 	w.U8(uint8(m.Type()))
 	m.marshal(w)
-	return w.Bytes()
 }
 
 // Unmarshal decodes an S1AP message.

@@ -14,6 +14,7 @@ package state
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"scale/internal/guti"
@@ -120,6 +121,14 @@ func (c *UEContext) Decay(alpha float64) {
 // Marshal encodes the context for replication or geo-transfer.
 func (c *UEContext) Marshal() []byte {
 	w := wire.NewWriter(256)
+	c.MarshalTo(w)
+	return w.Bytes()
+}
+
+// MarshalTo appends the context's encoding to w. The replication hot
+// path pairs it with the wire writer pool so each push reuses one
+// encode buffer instead of allocating per snapshot.
+func (c *UEContext) MarshalTo(w *wire.Writer) {
 	w.U64(c.IMSI)
 	w.Raw(c.GUTI.Encode(nil))
 	w.U8(uint8(c.Mode))
@@ -152,7 +161,6 @@ func (c *UEContext) Marshal() []byte {
 	}
 	w.String16(c.RemoteDC)
 	w.U64(c.Version)
-	return w.Bytes()
 }
 
 // ErrCorrupt indicates an undecodable context blob.
@@ -236,26 +244,83 @@ func (c *UEContext) Size() int { return len(c.Marshal()) }
 // one MMP VM. It distinguishes master entries (this VM owns the device)
 // from replica entries (held for load-balancing), since provisioning
 // accounts for both but procedures behave differently on each.
+//
+// The store is sharded by GUTI hash so replication fan-in, procedure
+// processing and snapshotting on independent devices never contend on
+// one lock; every operation on a single device touches exactly one
+// shard. Cross-device operations (Len, Range, PromoteMatching) iterate
+// the shards.
 type Store struct {
+	shards []storeShard
+	mask   uint64
+}
+
+// storeShard is one lock domain of the store. The trailing pad keeps
+// hot shard headers off each other's cache lines.
+type storeShard struct {
 	mu      sync.RWMutex
 	byGUTI  map[guti.GUTI]*UEContext
 	replica map[guti.GUTI]bool // true if this entry is a replica copy
+	_       [24]byte
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
-		byGUTI:  make(map[guti.GUTI]*UEContext),
-		replica: make(map[guti.GUTI]bool),
+// maxShards bounds the shard count; beyond this, lock contention is no
+// longer the limiter.
+const maxShards = 256
+
+// DefaultShards returns the shard count NewStore sizes for: the next
+// power of two ≥ GOMAXPROCS, capped at maxShards — one lock domain per
+// core the runtime will schedule on.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
 	}
+	p := 1
+	for p < n && p < maxShards {
+		p <<= 1
+	}
+	return p
 }
+
+// NewStore returns an empty store with DefaultShards() shards.
+func NewStore() *Store { return NewStoreN(0) }
+
+// NewStoreN returns an empty store with n shards, rounded up to a power
+// of two and capped at 256; n ≤ 0 means DefaultShards().
+func NewStoreN(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards()
+	}
+	p := 1
+	for p < n && p < maxShards {
+		p <<= 1
+	}
+	s := &Store{shards: make([]storeShard, p), mask: uint64(p - 1)}
+	for i := range s.shards {
+		s.shards[i].byGUTI = make(map[guti.GUTI]*UEContext)
+		s.shards[i].replica = make(map[guti.GUTI]bool)
+	}
+	return s
+}
+
+// NumShards reports the shard count (a power of two).
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardIndex returns the shard the given GUTI lives in — exposed so
+// hosts (the MMP engine) can align their own per-device lock domains
+// with the store's.
+func (s *Store) ShardIndex(g guti.GUTI) int { return int(g.Hash() & s.mask) }
+
+func (s *Store) shard(g guti.GUTI) *storeShard { return &s.shards[g.Hash()&s.mask] }
 
 // PutMaster stores ctx as a master entry.
 func (s *Store) PutMaster(ctx *UEContext) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.byGUTI[ctx.GUTI] = ctx
-	s.replica[ctx.GUTI] = false
+	sh := s.shard(ctx.GUTI)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.byGUTI[ctx.GUTI] = ctx
+	sh.replica[ctx.GUTI] = false
 }
 
 // ErrStale is returned when applying a replica update older than the
@@ -273,19 +338,20 @@ var ErrStale = errors.New("state: stale replica update")
 // dead MMP races with this VM's failover promotion. Mastership only
 // changes via Promote/PutMaster/Delete.
 func (s *Store) ApplyReplica(ctx *UEContext) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.byGUTI[ctx.GUTI]; ok {
+	sh := s.shard(ctx.GUTI)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.byGUTI[ctx.GUTI]; ok {
 		if old.Version >= ctx.Version {
 			return ErrStale
 		}
-		s.byGUTI[ctx.GUTI] = ctx
+		sh.byGUTI[ctx.GUTI] = ctx
 		// Keep the existing master/replica status: only the content is
 		// refreshed for entries already held as master.
 		return nil
 	}
-	s.byGUTI[ctx.GUTI] = ctx
-	s.replica[ctx.GUTI] = true
+	sh.byGUTI[ctx.GUTI] = ctx
+	sh.replica[ctx.GUTI] = true
 	return nil
 }
 
@@ -293,13 +359,14 @@ func (s *Store) ApplyReplica(ctx *UEContext) error {
 // stored context. It reports false (and promotes nothing) if the entry
 // is absent; promoting a master entry is a no-op reported as true.
 func (s *Store) Promote(g guti.GUTI) (*UEContext, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.byGUTI[g]
+	sh := s.shard(g)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.byGUTI[g]
 	if !ok {
 		return nil, false
 	}
-	s.replica[g] = false
+	sh.replica[g] = false
 	return c, true
 }
 
@@ -308,69 +375,114 @@ func (s *Store) Promote(g guti.GUTI) (*UEContext, bool) {
 // The failover path uses it to take ownership of the devices a dead MMP
 // mastered.
 func (s *Store) PromoteMatching(pred func(ctx *UEContext) bool) []*UEContext {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []*UEContext
-	for g, c := range s.byGUTI {
-		if s.replica[g] && pred(c) {
-			s.replica[g] = false
-			out = append(out, c)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for g, c := range sh.byGUTI {
+			if sh.replica[g] && pred(c) {
+				sh.replica[g] = false
+				out = append(out, c)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Get returns the context for g and whether it is present.
 func (s *Store) Get(g guti.GUTI) (*UEContext, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.byGUTI[g]
+	sh := s.shard(g)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.byGUTI[g]
+	return c, ok
+}
+
+// GetAt is Get with the shard index precomputed — hot paths that
+// already derived g's shard (the engine's aligned lock domains) skip
+// hashing the GUTI a second time. i must equal ShardIndex(g).
+func (s *Store) GetAt(i int, g guti.GUTI) (*UEContext, bool) {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.byGUTI[g]
 	return c, ok
 }
 
 // IsReplica reports whether the entry for g is a replica copy.
 func (s *Store) IsReplica(g guti.GUTI) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.replica[g]
+	sh := s.shard(g)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.replica[g]
 }
 
 // Delete removes the entry for g.
 func (s *Store) Delete(g guti.GUTI) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.byGUTI, g)
-	delete(s.replica, g)
+	sh := s.shard(g)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.byGUTI, g)
+	delete(sh.replica, g)
 }
 
 // Len reports total entries (masters + replicas).
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byGUTI)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.byGUTI)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // MasterCount reports master entries only.
 func (s *Store) MasterCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for g := range s.byGUTI {
-		if !s.replica[g] {
-			n++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for g := range sh.byGUTI {
+			if !sh.replica[g] {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // Range calls fn for every entry until fn returns false. The callback
-// must not mutate the store.
+// must not mutate the store. Entries are visited shard by shard; each
+// shard's read lock is held only while that shard is walked, so Range
+// never freezes the whole store.
 func (s *Store) Range(fn func(ctx *UEContext, isReplica bool) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for g, c := range s.byGUTI {
-		if !fn(c, s.replica[g]) {
+	for i := range s.shards {
+		if !s.rangeShard(i, fn) {
 			return
 		}
 	}
+}
+
+// RangeShard calls fn for every entry in shard i (as numbered by
+// ShardIndex) until fn returns false, reporting whether the walk ran to
+// completion. Hosts that align their own lock domains with the store's
+// use it to sweep one shard at a time.
+func (s *Store) RangeShard(i int, fn func(ctx *UEContext, isReplica bool) bool) bool {
+	return s.rangeShard(i, fn)
+}
+
+func (s *Store) rangeShard(i int, fn func(ctx *UEContext, isReplica bool) bool) bool {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for g, c := range sh.byGUTI {
+		if !fn(c, sh.replica[g]) {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"testing"
+)
+
+// benchConn returns a framed connection to a draining peer over real
+// loopback TCP, so write benchmarks exercise the full syscall path.
+func benchConn(b *testing.B) *Conn {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		_, _ = io.Copy(io.Discard, nc)
+	}()
+	conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		conn.Close()
+		ln.Close()
+		<-done
+	})
+	return conn
+}
+
+// BenchmarkConnWriteParallel measures concurrent senders sharing one
+// connection — the MLB's fan-in pattern, where every uplink from every
+// eNodeB crosses one MLB→MMP conn. With write coalescing, concurrent
+// frames share flushes (and so syscalls); the flushes-per-frame metric
+// should drop well below 1.
+func BenchmarkConnWriteParallel(b *testing.B) {
+	conn := benchConn(b)
+	payload := make([]byte, 128)
+	before := Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := conn.Write(StreamUE, payload); err != nil {
+				b.Errorf("write: %v", err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	after := Stats()
+	frames := after.FramesOut - before.FramesOut
+	if frames > 0 {
+		b.ReportMetric(float64(after.FlushesOut-before.FlushesOut)/float64(frames), "flushes/frame")
+	}
+}
+
+// BenchmarkConnWriteSerial is the single-writer reference: with no
+// concurrent writer waiting, every frame still flushes immediately, so
+// latency-sensitive lone messages are never delayed.
+func BenchmarkConnWriteSerial(b *testing.B) {
+	conn := benchConn(b)
+	payload := make([]byte, 128)
+	before := Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Write(StreamUE, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := Stats()
+	frames := after.FramesOut - before.FramesOut
+	if frames > 0 {
+		b.ReportMetric(float64(after.FlushesOut-before.FlushesOut)/float64(frames), "flushes/frame")
+	}
+}

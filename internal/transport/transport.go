@@ -78,21 +78,27 @@ type Message struct {
 var wireStats struct {
 	framesIn, framesOut atomic.Uint64
 	bytesIn, bytesOut   atomic.Uint64
+	flushesOut          atomic.Uint64
 }
 
 // WireStats is a snapshot of the transport's global frame counters.
 type WireStats struct {
 	FramesIn, FramesOut uint64
 	BytesIn, BytesOut   uint64
+	// FlushesOut counts buffered-writer flushes (≈ write syscalls). With
+	// write coalescing, concurrent senders share flushes, so
+	// FlushesOut/FramesOut is the batching factor.
+	FlushesOut uint64
 }
 
 // Stats snapshots frames/bytes moved by every Conn in the process.
 func Stats() WireStats {
 	return WireStats{
-		FramesIn:  wireStats.framesIn.Load(),
-		FramesOut: wireStats.framesOut.Load(),
-		BytesIn:   wireStats.bytesIn.Load(),
-		BytesOut:  wireStats.bytesOut.Load(),
+		FramesIn:   wireStats.framesIn.Load(),
+		FramesOut:  wireStats.framesOut.Load(),
+		BytesIn:    wireStats.bytesIn.Load(),
+		BytesOut:   wireStats.bytesOut.Load(),
+		FlushesOut: wireStats.flushesOut.Load(),
 	}
 }
 
@@ -105,6 +111,13 @@ type Conn struct {
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
+	// wwaiters counts goroutines between "decided to write" and
+	// "acquired wmu". The lock holder flushes only when nobody is
+	// waiting: under contention, queued frames batch into one flush
+	// (and so one write syscall), while a lone writer still flushes
+	// every frame immediately. The last writer out always sees zero
+	// waiters, so buffered frames are never stranded.
+	wwaiters atomic.Int32
 
 	hookMu   sync.Mutex
 	closed   bool
@@ -139,8 +152,12 @@ func DialTimeout(addr string, d time.Duration) (*Conn, error) {
 }
 
 // Write sends one message on the given stream. It is safe for concurrent
-// use; each message is flushed before Write returns so latency-sensitive
-// control signaling is never held in the buffer.
+// use. Flushing is opportunistic group commit: a lone writer flushes its
+// frame before returning (latency-sensitive control signaling is never
+// held in the buffer), but when other writers are already queued on the
+// connection the flush is left to the last of them, so a burst of
+// concurrent frames shares one flush — and one write syscall — instead
+// of paying one each.
 func (c *Conn) Write(stream uint16, payload []byte) error {
 	return c.WriteTraced(stream, 0, payload)
 }
@@ -167,7 +184,14 @@ func (c *Conn) WriteTraced(stream uint16, traceID uint64, payload []byte) error 
 		hlen = headerLen + 1 + 10
 	}
 
+	// The waiter count brackets lock acquisition: incremented before
+	// Lock, decremented after. Any writer the holder observes waiting is
+	// therefore guaranteed to acquire the lock next and re-run the flush
+	// decision, so skipping the flush can never strand bytes — the chain
+	// always ends with a writer that sees no waiters and flushes.
+	c.wwaiters.Add(1)
 	c.wmu.Lock()
+	c.wwaiters.Add(-1)
 	defer c.wmu.Unlock()
 	if _, err := c.bw.Write(hdr[:hlen]); err != nil {
 		return fmt.Errorf("transport: write header: %w", err)
@@ -175,8 +199,11 @@ func (c *Conn) WriteTraced(stream uint16, traceID uint64, payload []byte) error 
 	if _, err := c.bw.Write(payload); err != nil {
 		return fmt.Errorf("transport: write payload: %w", err)
 	}
-	if err := c.bw.Flush(); err != nil {
-		return fmt.Errorf("transport: flush: %w", err)
+	if c.wwaiters.Load() == 0 {
+		if err := c.bw.Flush(); err != nil {
+			return fmt.Errorf("transport: flush: %w", err)
+		}
+		wireStats.flushesOut.Add(1)
 	}
 	wireStats.framesOut.Add(1)
 	wireStats.bytesOut.Add(uint64(hlen + len(payload)))

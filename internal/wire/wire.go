@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrShort indicates a read past the end of the buffer: a truncated or
@@ -31,6 +32,36 @@ type Writer struct {
 
 // NewWriter returns a writer with capacity hint n.
 func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// Reset truncates the writer for reuse, keeping its buffer capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// writerPool recycles encode buffers across messages. Control-plane
+// messages are small and minted at very high rates on the hot path
+// (every frame the MLB forwards re-encodes an envelope), so reuse keeps
+// the encoder allocation-free at steady state.
+var writerPool = sync.Pool{New: func() any { return NewWriter(256) }}
+
+// maxPooledCap bounds the buffers kept by the pool; an occasional
+// outsized message must not pin its buffer forever.
+const maxPooledCap = 64 << 10
+
+// GetWriter returns an empty Writer from the package pool. Return it
+// with PutWriter once the encoded bytes have been consumed.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter recycles w. The caller must no longer use w nor any slice
+// obtained from its Bytes — the buffer will back a future message.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledCap {
+		return
+	}
+	writerPool.Put(w)
+}
 
 // Bytes returns the encoded message. The slice aliases the writer's
 // buffer; callers that keep writing must copy first.

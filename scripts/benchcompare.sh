@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# benchcompare.sh OLD.txt NEW.txt — compare two `go test -bench` outputs.
+#
+# Both files are plain `go test -bench . [-count N]` stdout captures. When
+# benchstat is on PATH it is used (run with -count 10 for significance
+# testing); otherwise an awk fallback compares the per-benchmark mean
+# ns/op and prints the delta. The fallback has no statistics — treat
+# deltas under ~10% as noise unless the runs were interleaved.
+#
+# Typical use:
+#   go test -bench . -count 6 ./internal/mmp/ > /tmp/old.txt   # at the base commit
+#   go test -bench . -count 6 ./internal/mmp/ > /tmp/new.txt   # at the candidate
+#   scripts/benchcompare.sh /tmp/old.txt /tmp/new.txt
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.txt NEW.txt" >&2
+    exit 2
+fi
+old=$1
+new=$2
+[ -f "$old" ] || { echo "benchcompare: no such file: $old" >&2; exit 2; }
+[ -f "$new" ] || { echo "benchcompare: no such file: $new" >&2; exit 2; }
+
+if command -v benchstat >/dev/null 2>&1; then
+    exec benchstat "$old" "$new"
+fi
+
+echo "benchcompare: benchstat not found, using mean-of-means fallback" >&2
+awk -v oldfile="$old" -v newfile="$new" '
+function collect(file, sum, cnt,    line, parts, n, name, val) {
+    while ((getline line < file) > 0) {
+        # Benchmark lines look like: BenchmarkName-8  <iters>  <ns> ns/op ...
+        n = split(line, parts, /[ \t]+/)
+        if (parts[1] !~ /^Benchmark/ || n < 4) continue
+        for (i = 3; i < n; i++) {
+            if (parts[i+1] == "ns/op") {
+                name = parts[1]
+                val = parts[i] + 0
+                sum[name] += val
+                cnt[name]++
+                break
+            }
+        }
+    }
+    close(file)
+}
+BEGIN {
+    collect(oldfile, osum, ocnt)
+    collect(newfile, nsum, ncnt)
+    printf "%-44s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    for (name in osum) {
+        if (!(name in nsum)) continue
+        o = osum[name] / ocnt[name]
+        v = nsum[name] / ncnt[name]
+        printf "%-44s %12.1f %12.1f %+8.1f%%\n", name, o, v, (v - o) * 100 / o
+        matched++
+    }
+    for (name in nsum) if (!(name in osum)) printf "%-44s %12s %12.1f %9s\n", name, "-", nsum[name] / ncnt[name], "new"
+    for (name in osum) if (!(name in nsum)) printf "%-44s %12.1f %12s %9s\n", name, osum[name] / ocnt[name], "-", "gone"
+    if (matched == 0) { print "benchcompare: no common benchmarks found" > "/dev/stderr"; exit 1 }
+}
+'
