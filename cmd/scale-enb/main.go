@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 	"scale/internal/core"
 	"scale/internal/enb"
 	"scale/internal/metrics"
+	"scale/internal/nas"
 	"scale/internal/s1ap"
 )
 
@@ -28,6 +30,9 @@ func main() {
 		firstIMSI = flag.Uint64("first-imsi", 100000000, "first IMSI (must be provisioned at the HSS)")
 		cycles    = flag.Int("cycles", 3, "idle→active cycles per device after attach")
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-procedure timeout")
+		highPrio  = flag.Int("high-priority", 0, "devices (from the first IMSI up) in the priority access class, exempt from overload shedding")
+		retryWait = flag.Duration("retry-wait", 20*time.Millisecond, "poll interval while a device is throttled or backing off")
+		giveUp    = flag.Duration("give-up", 30*time.Second, "per-device budget to complete a procedure through congestion before failing")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-enb ", log.LstdFlags|log.Lmicroseconds)
@@ -49,14 +54,59 @@ func main() {
 		})
 	}
 
+	// runProc drives one procedure to completion through congestion:
+	// local withholds (OverloadStart) and running backoff timers poll
+	// until the give-up budget expires, and congestion rejects from the
+	// network retry once the UE's T3346-style timer allows.
+	runProc := func(imsi uint64, want enb.UEState, start func(e *enb.Emulator) error) error {
+		deadline := time.Now().Add(*giveUp)
+		for {
+			err := client.Run(start)
+			if err != nil {
+				if (errors.Is(err, enb.ErrOverloadThrottled) || errors.Is(err, enb.ErrBackoff)) &&
+					time.Now().Before(deadline) {
+					time.Sleep(*retryWait)
+					continue
+				}
+				return err
+			}
+			rejected := false
+			if err := client.WaitUntil(*timeout, func(e *enb.Emulator) bool {
+				ue := e.UEFor(imsi)
+				rejected = ue.LastError != 0
+				return rejected || ue.State == want
+			}); err != nil {
+				return err
+			}
+			if !rejected {
+				return nil
+			}
+			var cause uint8
+			_ = client.Run(func(e *enb.Emulator) error { cause = e.UEFor(imsi).LastError; return nil })
+			if cause != nas.CauseCongestion || time.Now().After(deadline) {
+				return fmt.Errorf("rejected with cause %d", cause)
+			}
+			time.Sleep(*retryWait)
+		}
+	}
+
+	if *highPrio > 0 {
+		logger.Printf("marking first %d devices high-priority", *highPrio)
+		_ = client.Run(func(e *enb.Emulator) error {
+			for i := 0; i < *highPrio && i < *devices; i++ {
+				e.SetHighPriority(*firstIMSI+uint64(i), true)
+			}
+			return nil
+		})
+	}
+
 	logger.Printf("attaching %d devices", *devices)
 	for i := 0; i < *devices; i++ {
 		imsi := *firstIMSI + uint64(i)
 		start := time.Now()
-		if err := client.Run(func(e *enb.Emulator) error { return e.StartAttach(imsi, 1) }); err != nil {
-			logger.Fatalf("attach %d: %v", imsi, err)
-		}
-		if err := waitState(imsi, enb.Active); err != nil {
+		if err := runProc(imsi, enb.Active, func(e *enb.Emulator) error {
+			return e.StartAttach(imsi, 1)
+		}); err != nil {
 			logger.Fatalf("attach %d: %v", imsi, err)
 		}
 		attachHist.Record(time.Since(start).Nanoseconds())
@@ -79,12 +129,10 @@ func main() {
 				logger.Fatalf("release %d: %v", imsi, err)
 			}
 			start := time.Now()
-			if err := client.Run(func(e *enb.Emulator) error {
-				return e.StartServiceRequest(imsi, uint32(1+(c+i)%2))
+			cell := uint32(1 + (c+i)%2)
+			if err := runProc(imsi, enb.Active, func(e *enb.Emulator) error {
+				return e.StartServiceRequest(imsi, cell)
 			}); err != nil {
-				logger.Fatalf("service request %d: %v", imsi, err)
-			}
-			if err := waitState(imsi, enb.Active); err != nil {
 				logger.Fatalf("service request %d: %v", imsi, err)
 			}
 			srHist.Record(time.Since(start).Nanoseconds())
@@ -97,4 +145,6 @@ func main() {
 	client.Run(func(e *enb.Emulator) error { stats = e.Stats(); return nil })
 	fmt.Printf("fleet: attaches=%d service=%d rejects=%d\n",
 		stats.Attaches, stats.ServiceRequests, stats.Rejects)
+	fmt.Printf("overload: congestion-rejects=%d withheld=%d backoffs=%d retries=%d\n",
+		stats.CongestionRejects, stats.Withheld, stats.Backoffs, stats.Retries)
 }

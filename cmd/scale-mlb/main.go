@@ -38,6 +38,17 @@ func main() {
 		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
 		mutexFrac = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; requires -obs-listen)")
 		blockRate = flag.Int("block-profile-rate", 0, "sample one blocking event per n ns blocked for /debug/pprof/block (0 disables; requires -obs-listen)")
+
+		ovlDisable  = flag.Bool("overload-disable", false, "turn cluster overload control off")
+		ovlEnter    = flag.Float64("overload-enter-headroom", 0, "headroom watermark that engages overload control (0 = default 0.10)")
+		ovlExit     = flag.Float64("overload-exit-headroom", 0, "headroom watermark recovery must exceed (0 = default 0.25)")
+		ovlHold     = flag.Duration("overload-exit-hold", 0, "sustained recovery before OverloadStop (0 = default 3s)")
+		ovlMinRed   = flag.Uint("overload-min-reduction", 0, "minimum TrafficLoadReduction percent (0 = default 10)")
+		ovlMaxRed   = flag.Uint("overload-max-reduction", 0, "maximum TrafficLoadReduction percent (0 = default 90)")
+		ovlBackoff  = flag.Duration("overload-backoff", 0, "NAS backoff timer on MLB congestion rejects (0 = default 2s)")
+		ovlEvery    = flag.Duration("overload-every", 0, "headroom evaluation interval (0 = default 100ms)")
+		ovlShedHP   = flag.Bool("overload-shed-high-priority", false, "shed the high-priority establishment class too (default: exempt)")
+		retryBudget = flag.Int("forward-retry-budget", 0, "max in-flight MLB->MMP messages in retry backoff before drops (0 = default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-mlb ", log.LstdFlags|log.Lmicroseconds)
@@ -81,6 +92,18 @@ func main() {
 		LivenessTimeout: lv,
 		ForwardAttempts: *fwdTries,
 		ForwardTimeout:  *fwdWait,
+		Overload: mlb.OverloadConfig{
+			Disabled:         *ovlDisable,
+			EnterHeadroom:    *ovlEnter,
+			ExitHeadroom:     *ovlExit,
+			ExitHold:         *ovlHold,
+			MinReduction:     uint8(*ovlMinRed),
+			MaxReduction:     uint8(*ovlMaxRed),
+			BackoffMS:        uint32(ovlBackoff.Milliseconds()),
+			ShedHighPriority: *ovlShedHP,
+		},
+		OverloadEvery:      *ovlEvery,
+		ForwardRetryBudget: *retryBudget,
 	})
 	if err != nil {
 		logger.Fatalf("start: %v", err)

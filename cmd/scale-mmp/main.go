@@ -18,6 +18,7 @@ import (
 
 	"scale/internal/core"
 	"scale/internal/guti"
+	"scale/internal/mmp"
 	"scale/internal/netem"
 	"scale/internal/obs"
 )
@@ -39,6 +40,16 @@ func main() {
 		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
 		mutexFrac = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; requires -obs-listen)")
 		blockRate = flag.Int("block-profile-rate", 0, "sample one blocking event per n ns blocked for /debug/pprof/block (0 disables; requires -obs-listen)")
+
+		admDisable = flag.Bool("admission-disable", false, "turn per-shard admission control off")
+		admLimit   = flag.Int("admission-limit", 0, "pending attaches admitted per shard (0 = default 256)")
+		admEnter   = flag.Float64("admission-enter-occupancy", 0, "occupancy that trips the overloaded flag (0 = default 0.9)")
+		admExit    = flag.Float64("admission-exit-occupancy", 0, "occupancy recovery must fall below (0 = default 0.7)")
+		admDelay   = flag.Duration("admission-enter-delay", 0, "S1 queue delay that trips the overloaded flag (0 = default 50ms)")
+		admHold    = flag.Duration("admission-exit-hold", 0, "sustained calm before the overloaded flag clears (0 = default 2s)")
+		admBackoff = flag.Duration("admission-backoff", 0, "NAS backoff timer on MMP congestion rejects (0 = default 1s)")
+		queueLimit = flag.Int("queue-limit", 0, "bounded S1 ingress queue depth (0 = default 1024)")
+		procCost   = flag.Duration("proc-cost", 0, "synthetic per-procedure CPU cost for capacity experiments (0 disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-mmp ", log.LstdFlags|log.Lmicroseconds)
@@ -84,6 +95,17 @@ func main() {
 		HeartbeatEvery:  hb,
 		Logger:          logger,
 		Obs:             ob,
+		QueueLimit:      *queueLimit,
+		ProcCost:        *procCost,
+		Admission: mmp.AdmissionConfig{
+			Disabled:        *admDisable,
+			PendingLimit:    *admLimit,
+			EnterOccupancy:  *admEnter,
+			ExitOccupancy:   *admExit,
+			EnterQueueDelay: *admDelay,
+			ExitHold:        *admHold,
+			BackoffMS:       uint32(admBackoff.Milliseconds()),
+		},
 	})
 	if err != nil {
 		logger.Fatalf("start: %v", err)

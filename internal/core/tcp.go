@@ -13,6 +13,7 @@ import (
 	"scale/internal/hss"
 	"scale/internal/mlb"
 	"scale/internal/mmp"
+	"scale/internal/nas"
 	"scale/internal/obs"
 	"scale/internal/s1ap"
 	"scale/internal/sgw"
@@ -31,7 +32,9 @@ import (
 //	StreamCtl:  control — U8 kind {1=register, 2=load-report,
 //	            3=heartbeat, 4=failover, 5=forward}
 //	            register:    String16 id, U8 index
-//	            load-report: F64 utilization
+//	            load-report: F64 utilization, U8 flags (bit0 = admission
+//	                         overload; the byte is an optional trailing
+//	                         extension, absent from older senders)
 //	            heartbeat:   empty
 //	            failover:    String16 dead MMP id (MLB → agents)
 //	            forward:     Raw S1AP envelope (agent → MLB, bounced
@@ -152,15 +155,31 @@ type MLBServerConfig struct {
 	// ForwardTimeout bounds the total time spent on one message,
 	// including backoff sleeps (default 2s).
 	ForwardTimeout time.Duration
+	// ForwardRetryBudget caps how many uplink messages may sit in the
+	// retry loop at once. Beyond it a message that would retry is dropped
+	// with a counter instead — sustained MMP slowness must not grow an
+	// unbounded backlog of sleeping forward goroutines (default 128).
+	ForwardRetryBudget int
+
+	// Overload configures cluster-wide load shedding; zero values take
+	// the OverloadConfig defaults. Set Overload.Disabled to turn the
+	// controller off.
+	Overload mlb.OverloadConfig
+	// OverloadEvery paces the headroom evaluation (default 100ms).
+	OverloadEvery time.Duration
 }
 
 // Failure-handling defaults.
 const (
-	DefaultLivenessTimeout = 10 * time.Second
-	DefaultHeartbeatEvery  = 2 * time.Second
-	defaultForwardAttempts = 3
-	defaultForwardBackoff  = 20 * time.Millisecond
-	defaultForwardTimeout  = 2 * time.Second
+	DefaultLivenessTimeout    = 10 * time.Second
+	DefaultHeartbeatEvery     = 2 * time.Second
+	defaultForwardAttempts    = 3
+	defaultForwardBackoff     = 20 * time.Millisecond
+	defaultForwardTimeout     = 2 * time.Second
+	defaultForwardRetryBudget = 128
+	defaultOverloadEvery      = 100 * time.Millisecond
+	// DefaultAgentQueueLimit bounds the MMP agent's inbound S1 queue.
+	DefaultAgentQueueLimit = 1024
 )
 
 func (c *MLBServerConfig) applyDefaults() {
@@ -181,6 +200,12 @@ func (c *MLBServerConfig) applyDefaults() {
 	}
 	if c.ForwardTimeout <= 0 {
 		c.ForwardTimeout = defaultForwardTimeout
+	}
+	if c.ForwardRetryBudget <= 0 {
+		c.ForwardRetryBudget = defaultForwardRetryBudget
+	}
+	if c.OverloadEvery <= 0 {
+		c.OverloadEvery = defaultOverloadEvery
 	}
 }
 
@@ -205,11 +230,23 @@ type MLBServer struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	failovers   *obs.Counter
-	fwdRetries  *obs.Counter
-	fwdDrops    *obs.Counter
-	repForwards *obs.Counter
-	ctxForwards *obs.Counter
+	// ovl drives cluster-wide load shedding (nil when disabled).
+	ovl        *mlb.OverloadController
+	retrySlots atomic.Int32 // forwards currently inside the retry loop
+	headroom   atomic.Int64 // last measured headroom ×1e6, for the gauge
+
+	ovlSpanMu sync.Mutex
+	ovlSpan   *obs.ActiveSpan // open from OverloadStart to OverloadStop
+
+	failovers     *obs.Counter
+	fwdRetries    *obs.Counter
+	fwdDrops      *obs.Counter
+	repForwards   *obs.Counter
+	ctxForwards   *obs.Counter
+	retryOverflow *obs.Counter
+	ovlStarts     *obs.Counter
+	ovlStops      *obs.Counter
+	shedTotal     map[string]*obs.Counter // sheddable proc → rejects
 }
 
 // ServeMLB starts an MLB on the two listen addresses with default
@@ -234,12 +271,36 @@ func ServeMLBConfig(cfg MLBServerConfig) (*MLBServer, error) {
 		logger:   cfg.Logger,
 		done:     make(chan struct{}),
 	}
+	if !cfg.Overload.Disabled {
+		s.ovl = mlb.NewOverloadController(cfg.Overload)
+	}
 	if ob := s.Router.Observer(); ob != nil {
 		s.failovers = ob.Reg.Counter("mlb_mmp_failovers_total")
 		s.fwdRetries = ob.Reg.Counter("mlb_forward_retries_total")
 		s.fwdDrops = ob.Reg.Counter("mlb_forward_drops_total")
 		s.repForwards = ob.Reg.Counter("mlb_replications_forwarded_total")
 		s.ctxForwards = ob.Reg.Counter("mlb_context_forwards_total")
+		s.retryOverflow = ob.Reg.Counter("mlb_forward_retry_overflow_total")
+		if s.ovl != nil {
+			s.ovlStarts = ob.Reg.Counter("mlb_overload_starts_total")
+			s.ovlStops = ob.Reg.Counter("mlb_overload_stops_total")
+			s.shedTotal = map[string]*obs.Counter{
+				"attach": ob.Reg.Counter(`mlb_overload_shed_total{proc="attach"}`),
+				"tau":    ob.Reg.Counter(`mlb_overload_shed_total{proc="tau"}`),
+			}
+			ob.Reg.GaugeFunc("mlb_overload_active", func() float64 {
+				if s.ovl.Active() {
+					return 1
+				}
+				return 0
+			})
+			ob.Reg.GaugeFunc("mlb_overload_reduction_pct", func() float64 {
+				return float64(s.ovl.Reduction())
+			})
+			ob.Reg.GaugeFunc("mlb_headroom", func() float64 {
+				return float64(s.headroom.Load()) / 1e6
+			})
+		}
 	}
 	var err error
 	s.enbSrv, err = transport.ServeHooks(cfg.ENBAddr, s.handleENB, s.onENBClose)
@@ -255,8 +316,16 @@ func ServeMLBConfig(cfg MLBServerConfig) (*MLBServer, error) {
 		s.wg.Add(1)
 		go s.livenessLoop()
 	}
+	if s.ovl != nil {
+		s.wg.Add(1)
+		go s.overloadLoop()
+	}
 	return s, nil
 }
+
+// Overload exposes the overload controller (nil when disabled) so tests
+// and the daemon's status page can inspect the shedding state.
+func (s *MLBServer) Overload() *mlb.OverloadController { return s.ovl }
 
 // ENBAddr reports the eNodeB-side listen address.
 func (s *MLBServer) ENBAddr() string { return s.enbSrv.Addr() }
@@ -310,6 +379,75 @@ func (s *MLBServer) livenessLoop() {
 				s.failover(id, "liveness timeout")
 			}
 		}
+	}
+}
+
+// overloadLoop periodically measures ring headroom and drives the
+// OverloadStart/OverloadStop broadcast per the controller's hysteresis.
+func (s *MLBServer) overloadLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.OverloadEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			h, ok := s.Router.Headroom()
+			if ok {
+				s.headroom.Store(int64(h * 1e6))
+			}
+			switch s.ovl.Observe(h, ok) {
+			case mlb.OverloadEnter:
+				s.overloadTransition(true, h)
+				s.broadcastToENBs(&s1ap.OverloadStart{TrafficLoadReduction: s.ovl.Reduction()})
+			case mlb.OverloadUpdate:
+				s.broadcastToENBs(&s1ap.OverloadStart{TrafficLoadReduction: s.ovl.Reduction()})
+			case mlb.OverloadExit:
+				s.overloadTransition(false, h)
+				s.broadcastToENBs(&s1ap.OverloadStop{})
+			}
+		}
+	}
+}
+
+// overloadTransition records an overload episode boundary: counters,
+// the overload span (held open for the episode's whole duration) and a
+// log line.
+func (s *MLBServer) overloadTransition(entering bool, headroom float64) {
+	ob := s.Router.Observer()
+	if entering {
+		if s.ovlStarts != nil {
+			s.ovlStarts.Inc()
+		}
+		if ob != nil {
+			s.ovlSpanMu.Lock()
+			s.ovlSpan = ob.Tracer.Begin(ob.Tracer.NewTraceID(), "overload-episode", obs.StageOverload)
+			s.ovlSpanMu.Unlock()
+		}
+		s.logf("mlb: overload start (headroom %.2f, reduction %d%%)", headroom, s.ovl.Reduction())
+		return
+	}
+	if s.ovlStops != nil {
+		s.ovlStops.Inc()
+	}
+	s.ovlSpanMu.Lock()
+	s.ovlSpan.End()
+	s.ovlSpan = nil
+	s.ovlSpanMu.Unlock()
+	s.logf("mlb: overload stop (headroom %.2f)", headroom)
+}
+
+// broadcastToENBs sends one S1AP message to every attached eNodeB.
+func (s *MLBServer) broadcastToENBs(msg s1ap.Message) {
+	s.mu.Lock()
+	ids := make([]uint32, 0, len(s.enbConns))
+	for id := range s.enbConns {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.sendToENB(id, msg)
 	}
 }
 
@@ -400,7 +538,30 @@ func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
 		if err := conn.Write(transport.StreamCommon, s1ap.Marshal(resp)); err != nil {
 			s.logf("mlb: setup response: %v", err)
 		}
+		// An eNB attaching mid-episode must throttle like the rest.
+		if s.ovl != nil && s.ovl.Active() {
+			s.sendToENB(setup.ENBID, &s1ap.OverloadStart{TrafficLoadReduction: s.ovl.Reduction()})
+		}
 		return
+	}
+	// Ingress load shedding: during an overload episode, reject the
+	// requested fraction of new sheddable signaling right here with a
+	// NAS congestion reject — constant cost, no MMP round trip.
+	if s.ovl != nil && s.ovl.Active() {
+		if proc, ok := s.ovl.Sheddable(msg); ok && s.ovl.ShouldShed() {
+			if c := s.shedTotal[proc]; c != nil {
+				c.Inc()
+			}
+			reject := s.ovl.CongestionReject(msg.(*s1ap.InitialUEMessage), proc)
+			w := wire.GetWriter()
+			s1ap.MarshalTo(w, reject)
+			err := conn.Write(transport.StreamUE, w.Bytes())
+			wire.PutWriter(w)
+			if err != nil {
+				s.logf("mlb: shed reject: %v", err)
+			}
+			return
+		}
 	}
 	enbID := s.enbIDFor(conn)
 	// Mint the procedure's end-to-end trace id at ingress and span the
@@ -423,6 +584,16 @@ func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
 func (s *MLBServer) forwardToMMP(trace uint64, enbID uint32, msg s1ap.Message) {
 	deadline := time.Now().Add(s.cfg.ForwardTimeout)
 	backoff := s.cfg.ForwardBackoff
+	// A message entering the retry loop takes a slot from the bounded
+	// retry budget; holding it for the message's remaining attempts keeps
+	// the count of sleeping forwards — and their queued envelopes — from
+	// growing without bound when MMPs are slow.
+	holdsSlot := false
+	defer func() {
+		if holdsSlot {
+			s.retrySlots.Add(-1)
+		}
+	}()
 	for attempt := 1; ; attempt++ {
 		d, err := s.Router.Route(msg)
 		if err != nil {
@@ -449,6 +620,17 @@ func (s *MLBServer) forwardToMMP(trace uint64, enbID uint32, msg s1ap.Message) {
 			}
 			s.logf("mlb: dropping %s for MMP %s after %d attempts", msg.Type(), id, attempt)
 			return
+		}
+		if !holdsSlot {
+			if s.retrySlots.Add(1) > int32(s.cfg.ForwardRetryBudget) {
+				s.retrySlots.Add(-1)
+				if s.retryOverflow != nil {
+					s.retryOverflow.Inc()
+				}
+				s.logf("mlb: retry budget exhausted, dropping %s for MMP %s", msg.Type(), id)
+				return
+			}
+			holdsSlot = true
 		}
 		if s.fwdRetries != nil {
 			s.fwdRetries.Inc()
@@ -507,8 +689,12 @@ func (s *MLBServer) handleMMP(conn *transport.Conn, frame transport.Message) {
 			if r.Err() != nil {
 				return
 			}
+			// The flags byte is a tolerated extension: reports from agents
+			// that predate it simply end here (bit0 = admission overload).
+			flags := r.U8()
+			overloaded := r.Err() == nil && flags&1 != 0
 			if id := s.touchMMP(conn); id != "" {
-				s.Router.ReportLoad(id, util)
+				s.Router.ReportLoadFlags(id, util, overloaded)
 			}
 		case ctlHeartbeat:
 			s.touchMMP(conn)
@@ -654,6 +840,26 @@ type MMPAgentConfig struct {
 	// Obs, when set, instruments the engine (per-procedure counters,
 	// span tracing) and continues traces arriving in frame headers.
 	Obs *obs.Observer
+
+	// QueueLimit bounds the inbound S1 queue between the read loop and
+	// the procedure worker (0 → DefaultAgentQueueLimit). When full, new
+	// sheddable procedures are rejected with NAS congestion rejects;
+	// in-flight continuations and exempt classes apply backpressure
+	// instead of being lost.
+	QueueLimit int
+	// Admission configures the engine's admission control (see
+	// mmp.AdmissionConfig).
+	Admission mmp.AdmissionConfig
+	// ProcCost is a per-message processing cost emulation (see
+	// mmp.Config.ProcCost).
+	ProcCost time.Duration
+}
+
+// queuedFrame is one inbound S1 frame with its arrival time, so the
+// worker can measure queueing delay for the admission detector.
+type queuedFrame struct {
+	frame transport.Message
+	at    time.Time
 }
 
 // MMPAgent runs an MMP engine against a remote MLB/HSS/S-GW.
@@ -666,6 +872,15 @@ type MMPAgent struct {
 	done   chan struct{}
 	killed atomic.Bool
 	wg     sync.WaitGroup
+
+	// s1q decouples the read loop from procedure execution: a bounded
+	// queue drained by a single worker (one worker keeps per-UE message
+	// order, exactly like the previous inline dispatch).
+	s1q      chan queuedFrame
+	qPeak    atomic.Int32
+	qRejects atomic.Uint64
+
+	queueRejects *obs.Counter // nil without Obs
 }
 
 // StartMMPAgent dials the peers, registers with the MLB and starts the
@@ -692,12 +907,16 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		sc.Close()
 		return nil, fmt.Errorf("mmp agent: MLB: %w", err)
 	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = DefaultAgentQueueLimit
+	}
 	a := &MMPAgent{
 		conn:   conn,
 		hss:    hc,
 		sgw:    sc,
 		logger: cfg.Logger,
 		done:   make(chan struct{}),
+		s1q:    make(chan queuedFrame, cfg.QueueLimit),
 	}
 	a.Engine = mmp.New(mmp.Config{
 		ID:             cfg.ID,
@@ -712,7 +931,18 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		// MLB, which fans each snapshot out to the ring's other holders.
 		Replicator: agentReplicator{a},
 		Obs:        cfg.Obs,
+		Admission:  cfg.Admission,
+		ProcCost:   cfg.ProcCost,
 	})
+	if cfg.Obs != nil {
+		a.queueRejects = cfg.Obs.Reg.Counter(fmt.Sprintf("mmp_admission_queue_rejects_total{mmp=%q}", cfg.ID))
+		cfg.Obs.Reg.GaugeFunc(fmt.Sprintf("mmp_admission_queue_depth{mmp=%q}", cfg.ID), func() float64 {
+			return float64(len(a.s1q))
+		})
+		cfg.Obs.Reg.GaugeFunc(fmt.Sprintf("mmp_admission_queue_peak{mmp=%q}", cfg.ID), func() float64 {
+			return float64(a.qPeak.Load())
+		})
+	}
 
 	// Register.
 	w := wire.NewWriter(32)
@@ -724,8 +954,9 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		return nil, fmt.Errorf("mmp agent: register: %w", err)
 	}
 
-	a.wg.Add(1)
+	a.wg.Add(2)
 	go a.serveLoop()
+	go a.s1Worker()
 	if cfg.LoadReportEvery > 0 {
 		a.wg.Add(1)
 		go a.loadLoop(cfg.LoadReportEvery)
@@ -775,7 +1006,7 @@ func (a *MMPAgent) serveLoop() {
 		}
 		switch frame.Stream {
 		case StreamS1:
-			a.handleS1(frame)
+			a.enqueueS1(frame)
 		case StreamRep:
 			ctx, err := state.Unmarshal(frame.Payload)
 			if err != nil {
@@ -793,6 +1024,104 @@ func (a *MMPAgent) serveLoop() {
 					a.promoteFrom(deadID)
 				}
 			}
+		}
+	}
+}
+
+// enqueueS1 hands one S1 frame to the procedure worker. The queue is
+// bounded: a full queue sheds new sheddable procedures with a cheap NAS
+// congestion reject, while continuations of in-flight procedures and
+// exempt establishment classes block the read loop instead (TCP
+// backpressure) — they must not be lost to a storm.
+func (a *MMPAgent) enqueueS1(frame transport.Message) {
+	qf := queuedFrame{frame: frame, at: time.Now()}
+	select {
+	case a.s1q <- qf:
+		a.noteQueueDepth()
+		return
+	default:
+	}
+	if a.rejectAtQueueFull(frame) {
+		return
+	}
+	select {
+	case a.s1q <- qf:
+		a.noteQueueDepth()
+	case <-a.done:
+	}
+}
+
+// rejectAtQueueFull sheds one frame that arrived to a full queue, if it
+// is a new sheddable procedure: attach, TAU, or a mobile-originated
+// service request. Emergency, high-priority and MT-access (paging
+// response) establishment causes are never shed here.
+func (a *MMPAgent) rejectAtQueueFull(frame transport.Message) bool {
+	enbID, _, msg, err := DecodeEnvelope(frame.Payload)
+	if err != nil {
+		return true // undecodable either way; don't queue garbage
+	}
+	m, ok := msg.(*s1ap.InitialUEMessage)
+	if !ok {
+		return false
+	}
+	switch m.EstabCause {
+	case s1ap.EstabEmergency, s1ap.EstabHighPriority, s1ap.EstabMTAccess:
+		return false
+	}
+	nasMsg, err := nas.Unmarshal(m.NASPDU)
+	if err != nil {
+		return false
+	}
+	backoff := a.Engine.AdmissionBackoffMS()
+	var pdu []byte
+	switch nasMsg.(type) {
+	case *nas.AttachRequest:
+		pdu = nas.Marshal(&nas.AttachReject{Cause: nas.CauseCongestion, BackoffMS: backoff})
+	case *nas.TAURequest:
+		pdu = nas.Marshal(&nas.TAUReject{Cause: nas.CauseCongestion, BackoffMS: backoff})
+	case *nas.ServiceRequest:
+		pdu = nas.Marshal(&nas.ServiceReject{Cause: nas.CauseCongestion, BackoffMS: backoff})
+	default:
+		return false
+	}
+	a.qRejects.Add(1)
+	if a.queueRejects != nil {
+		a.queueRejects.Inc()
+	}
+	reject := &s1ap.DownlinkNASTransport{ENBUEID: m.ENBUEID, NASPDU: pdu}
+	if err := writeEnvelope(a.conn, frame.Trace, enbID, 0, reject); err != nil {
+		a.logf("mmp agent: queue-full reject: %v", err)
+	}
+	return true
+}
+
+func (a *MMPAgent) noteQueueDepth() {
+	d := int32(len(a.s1q))
+	for {
+		p := a.qPeak.Load()
+		if d <= p || a.qPeak.CompareAndSwap(p, d) {
+			return
+		}
+	}
+}
+
+// QueueStats reports the S1 queue's high-water mark and the number of
+// frames shed because the queue was full.
+func (a *MMPAgent) QueueStats() (peak int, rejects uint64) {
+	return int(a.qPeak.Load()), a.qRejects.Load()
+}
+
+// s1Worker drains the S1 queue, feeding each frame's queueing delay to
+// the admission detector before executing it.
+func (a *MMPAgent) s1Worker() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.done:
+			return
+		case qf := <-a.s1q:
+			a.Engine.ObserveQueueDelay(time.Since(qf.at))
+			a.handleS1(qf.frame)
 		}
 	}
 }
@@ -874,9 +1203,18 @@ func (a *MMPAgent) loadLoop(every time.Duration) {
 				util = 0
 			}
 			lastBusy, lastAt = busy, now
+			// The same occupancy figure drives the engine's admission
+			// detector and — via the flags byte — the MLB's headroom
+			// measurement.
+			a.Engine.ObserveOccupancy(util)
+			var flags uint8
+			if a.Engine.Overloaded() {
+				flags |= 1
+			}
 			w := wire.NewWriter(16)
 			w.U8(ctlLoadReport)
 			w.F64(util)
+			w.U8(flags)
 			if err := a.conn.Write(StreamCtl, w.Bytes()); err != nil {
 				return
 			}
@@ -944,6 +1282,13 @@ func DialENB(mlbAddr string, cells map[uint32][]uint16) (*ENBClient, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewENBClient(conn, cells)
+}
+
+// NewENBClient wires an emulator over an already-established transport
+// connection — the injection point for chaos tests that impair the
+// underlying link (netem) before framing it.
+func NewENBClient(conn *transport.Conn, cells map[uint32][]uint16) (*ENBClient, error) {
 	c := &ENBClient{
 		Emu:  enb.New(),
 		conn: conn,

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"scale/internal/enb"
+	"scale/internal/netem"
+	"scale/internal/transport"
+)
+
+// TestOverloadUnderDegradedNetwork combines the signaling storm with a
+// netem-impaired radio link: added delay with jitter, TCP-style loss
+// stalls, and a mid-storm partition that heals. The deployment must
+// ride through all of it — overload control engages and disengages,
+// nothing deadlocks, and after the link heals a fresh attach completes
+// cleanly.
+func TestOverloadUnderDegradedNetwork(t *testing.T) {
+	tb := startOverloadTestbed(t)
+
+	// Hand-dial the eNB link so the impairment layer sits under the
+	// transport framing.
+	nc, err := net.Dial("tcp", tb.mlbSrv.ENBAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := netem.NewImpairment(nc, 7)
+	im.SetDelay(netem.Delay{Base: 2 * time.Millisecond, Jitter: 2 * time.Millisecond})
+	im.SetRTO(20 * time.Millisecond)
+	im.SetLoss(0.05)
+	client, err := NewENBClient(transport.NewConn(im), map[uint32][]uint16{1: {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// A few clean attaches over the merely-degraded link.
+	for i := 0; i < 5; i++ {
+		attachTolerant(t, client, uint64(100000000+i), 10*time.Second)
+	}
+
+	// Storm over the degraded link until overload engages.
+	next := uint64(100000100)
+	fire := func(n int) {
+		for i := 0; i < n; i++ {
+			imsi := next
+			next++
+			_ = client.Run(func(e *enb.Emulator) error { return e.StartAttach(imsi, 1) })
+		}
+	}
+	fire(80)
+	waitFor(t, 10*time.Second, "overload under degraded network", func() bool {
+		return tb.mlbSrv.Overload().Active()
+	})
+
+	// Sever the radio link mid-overload, keep pressure queued behind the
+	// partition, then heal. Uplink writes stall in the impairment queue
+	// and flush on heal — exactly a short transport partition.
+	im.Partition(true)
+	fire(20)
+	time.Sleep(150 * time.Millisecond)
+	im.Partition(false)
+
+	// The system must drain the storm and recover: overload disengages
+	// once the backlog clears.
+	waitFor(t, 20*time.Second, "recovery after partition", func() bool {
+		return !tb.mlbSrv.Overload().Active()
+	})
+	waitFor(t, 5*time.Second, "eNB to see OverloadStop", func() bool {
+		var red uint8
+		_ = client.Run(func(e *enb.Emulator) error { red = e.OverloadReduction(); return nil })
+		return red == 0
+	})
+
+	// Fresh attach completes over the healed (still lossy) link.
+	attachTolerant(t, client, 100000999, 15*time.Second)
+
+	// Loss events actually happened — the link was genuinely degraded.
+	if im.LossEvents() == 0 {
+		t.Fatal("impairment recorded no loss events")
+	}
+	var st enb.Stats
+	_ = client.Run(func(e *enb.Emulator) error { st = e.Stats(); return nil })
+	if st.Attaches == 0 {
+		t.Fatalf("no attaches completed under chaos: %+v", st)
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/mlb"
+	"scale/internal/mmp"
+	"scale/internal/obs"
+	"scale/internal/sgw"
+)
+
+// overloadTestbed is a deliberately under-provisioned deployment: one
+// MMP with a synthetic per-procedure cost, a small bounded S1 queue and
+// a tight attach admission bound, fronted by an MLB with fast overload
+// evaluation. Its capacity is known exactly (1/ProcCost dispatches/s),
+// so a storm can be sized as a multiple of it.
+type overloadTestbed struct {
+	hssSrv *hss.Server
+	sgwSrv *sgw.Server
+	mlbSrv *MLBServer
+	ob     *obs.Observer
+	agent  *MMPAgent
+}
+
+const (
+	ovlProcCost     = 2 * time.Millisecond // capacity: 500 dispatches/s ≈ 100 attaches/s
+	ovlQueueLimit   = 8
+	ovlPendingLimit = 24
+)
+
+func startOverloadTestbed(t *testing.T) *overloadTestbed {
+	t.Helper()
+	plmn := guti.PLMN{MCC: 310, MNC: 26}
+
+	db := hss.NewDB()
+	db.ProvisionRange(100000000, 1000)
+	hssSrv, err := hss.Serve("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := sgw.New()
+	sgwSrv, err := sgw.Serve("127.0.0.1:0", gw)
+	if err != nil {
+		hssSrv.Close()
+		t.Fatal(err)
+	}
+	ob := obs.NewObserver("mlb-overload", 256)
+	mlbSrv, err := ServeMLBConfig(MLBServerConfig{
+		Router:  mlb.Config{Name: "mlb-overload", PLMN: plmn, MMEGI: 1, MMEC: 1, Obs: ob},
+		ENBAddr: "127.0.0.1:0", MMPAddr: "127.0.0.1:0",
+		LivenessTimeout: 5 * time.Second,
+		ForwardBackoff:  5 * time.Millisecond,
+		Overload: mlb.OverloadConfig{
+			EnterHeadroom: 0.15,
+			ExitHeadroom:  0.5,
+			ExitHold:      250 * time.Millisecond,
+			// Pin the reduction so the storm splits deterministically:
+			// ~half withheld at the eNB, half of the arrivals shed at
+			// the MLB — both paths observably exercised.
+			MinReduction: 50,
+			MaxReduction: 50,
+			BackoffMS:    100,
+		},
+		OverloadEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		hssSrv.Close()
+		sgwSrv.Close()
+		t.Fatal(err)
+	}
+	tb := &overloadTestbed{hssSrv: hssSrv, sgwSrv: sgwSrv, mlbSrv: mlbSrv, ob: ob}
+	tb.agent, err = StartMMPAgent(MMPAgentConfig{
+		Index: 1, PLMN: plmn, MMEGI: 1, MMEC: 1,
+		MLBAddr:         mlbSrv.MMPAddr(),
+		HSSAddr:         hssSrv.Addr(),
+		SGWAddr:         sgwSrv.Addr(),
+		LoadReportEvery: 25 * time.Millisecond,
+		ProcCost:        ovlProcCost,
+		QueueLimit:      ovlQueueLimit,
+		Admission: mmp.AdmissionConfig{
+			PendingLimit: ovlPendingLimit,
+			ExitHold:     200 * time.Millisecond,
+			BackoffMS:    100,
+		},
+	})
+	if err != nil {
+		tb.close()
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "MMP registration", func() bool {
+		return len(mlbSrv.Router.MMPs()) == 1
+	})
+	t.Cleanup(tb.close)
+	return tb
+}
+
+func (tb *overloadTestbed) close() {
+	if tb.agent != nil {
+		tb.agent.Close()
+	}
+	if tb.mlbSrv != nil {
+		tb.mlbSrv.Close()
+	}
+	if tb.sgwSrv != nil {
+		tb.sgwSrv.Close()
+	}
+	if tb.hssSrv != nil {
+		tb.hssSrv.Close()
+	}
+}
+
+// attachTolerant drives one attach to completion, retrying through
+// local withholds, backoff timers and congestion rejects. Returns the
+// latency of the successful attempt.
+func attachTolerant(t *testing.T, client *ENBClient, imsi uint64, budget time.Duration) time.Duration {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for {
+		start := time.Now()
+		err := client.Run(func(e *enb.Emulator) error { return e.StartAttach(imsi, 1) })
+		if err != nil {
+			if (errors.Is(err, enb.ErrOverloadThrottled) || errors.Is(err, enb.ErrBackoff)) &&
+				time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			t.Fatalf("attach %d: %v", imsi, err)
+		}
+		rejected := false
+		if err := client.WaitUntil(5*time.Second, func(e *enb.Emulator) bool {
+			ue := e.UEFor(imsi)
+			rejected = ue.LastError != 0
+			return rejected || ue.State == enb.Active
+		}); err != nil {
+			t.Fatalf("attach %d: %v", imsi, err)
+		}
+		if !rejected {
+			return time.Since(start)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("attach %d: rejected past the budget", imsi)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func p99(d []time.Duration) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)*99/100]
+}
+
+// TestOverloadControlEndToEnd drives a signaling storm several times
+// the provisioned capacity through the full loop: the MMP saturates
+// and reports overload, the MLB broadcasts OverloadStart and sheds at
+// ingress with NAS congestion rejects, the eNB withholds and backs
+// off, queues stay bounded, admitted procedures keep a sane latency,
+// and sustained recovery broadcasts OverloadStop and restores full
+// admission.
+func TestOverloadControlEndToEnd(t *testing.T) {
+	tb := startOverloadTestbed(t)
+	client, err := DialENB(tb.mlbSrv.ENBAddr(), map[uint32][]uint16{1: {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Calm baseline: sequential attaches well under capacity.
+	var calm []time.Duration
+	for i := 0; i < 15; i++ {
+		calm = append(calm, attachTolerant(t, client, uint64(100000000+i), 10*time.Second))
+		time.Sleep(10 * time.Millisecond)
+	}
+	calmP99 := p99(calm)
+
+	// Storm wave 1: fire attaches far faster than the ~100/s capacity
+	// (80 in well under a second is several times over it).
+	type attempt struct {
+		imsi  uint64
+		start time.Time
+		fired bool
+	}
+	var storm []*attempt
+	fire := func(n int) {
+		base := uint64(100000100 + len(storm))
+		for i := 0; i < n; i++ {
+			a := &attempt{imsi: base + uint64(i), start: time.Now()}
+			err := client.Run(func(e *enb.Emulator) error { return e.StartAttach(a.imsi, 1) })
+			a.fired = err == nil
+			if err != nil && !errors.Is(err, enb.ErrOverloadThrottled) && !errors.Is(err, enb.ErrBackoff) {
+				t.Fatalf("storm attach %d: %v", a.imsi, err)
+			}
+			storm = append(storm, a)
+		}
+	}
+	fire(80)
+	waitFor(t, 5*time.Second, "overload to engage", func() bool {
+		return tb.mlbSrv.Overload().Active()
+	})
+	// Wave 2 lands while OverloadStart is in force, so the eNB-side
+	// withholding and the MLB-side shedding both see traffic.
+	waitFor(t, 2*time.Second, "eNB to receive OverloadStart", func() bool {
+		var red uint8
+		_ = client.Run(func(e *enb.Emulator) error { red = e.OverloadReduction(); return nil })
+		return red > 0
+	})
+	fire(60)
+
+	// Let the storm settle: every fired device ends Active or rejected;
+	// stragglers whose continuation was dropped under pressure stay
+	// Attaching and are excluded from the latency sample.
+	var admitted []time.Duration
+	done := make(map[uint64]bool)
+	settleBy := time.Now().Add(15 * time.Second)
+	for {
+		pending := 0
+		_ = client.Run(func(e *enb.Emulator) error {
+			for _, a := range storm {
+				if !a.fired || done[a.imsi] {
+					continue
+				}
+				ue := e.UEFor(a.imsi)
+				switch {
+				case ue.State == enb.Active:
+					admitted = append(admitted, time.Since(a.start))
+					done[a.imsi] = true
+				case ue.LastError != 0:
+					done[a.imsi] = true
+				default:
+					pending++
+				}
+			}
+			return nil
+		})
+		if pending == 0 || time.Now().After(settleBy) {
+			break
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+
+	// The MLB entered overload and shed at ingress.
+	if v := tb.ob.Reg.Counter(`mlb_overload_starts_total`).Value(); v == 0 {
+		t.Fatal("no OverloadStart recorded")
+	}
+	if v := tb.ob.Reg.Counter(`mlb_overload_shed_total{proc="attach"}`).Value(); v == 0 {
+		t.Fatal("MLB shed nothing during the storm")
+	}
+	// The eNB honored OverloadStart and saw NAS congestion rejects.
+	var st enb.Stats
+	_ = client.Run(func(e *enb.Emulator) error { st = e.Stats(); return nil })
+	if st.Withheld == 0 {
+		t.Fatalf("eNB withheld nothing under OverloadStart: %+v", st)
+	}
+	if st.CongestionRejects == 0 {
+		t.Fatalf("no NAS congestion rejects reached the fleet: %+v", st)
+	}
+	// Queues stayed bounded under the storm.
+	if peak, _ := tb.agent.QueueStats(); peak > ovlQueueLimit {
+		t.Fatalf("S1 queue peak %d exceeded limit %d", peak, ovlQueueLimit)
+	}
+	if peak := tb.agent.Engine.PendingPeak(); peak > ovlPendingLimit {
+		t.Fatalf("pending-attach peak %d exceeded limit %d", peak, ovlPendingLimit)
+	}
+	// Admitted procedures kept a sane latency: p99 within 3x the calm
+	// p99, with an absolute floor so scheduler jitter on loaded CI
+	// machines cannot flake the ratio.
+	if len(admitted) < 5 {
+		t.Fatalf("only %d storm attaches admitted", len(admitted))
+	}
+	limit := 3 * calmP99
+	if floor := 250 * time.Millisecond; limit < floor {
+		limit = floor
+	}
+	if got := p99(admitted); got > limit {
+		t.Fatalf("admitted p99 %v exceeds %v (calm p99 %v)", got, limit, calmP99)
+	}
+
+	// Sustained recovery: OverloadStop goes out, the eNB resumes, and a
+	// fresh attach is admitted cleanly.
+	waitFor(t, 10*time.Second, "overload to disengage", func() bool {
+		return !tb.mlbSrv.Overload().Active()
+	})
+	if v := tb.ob.Reg.Counter(`mlb_overload_stops_total`).Value(); v == 0 {
+		t.Fatal("no OverloadStop recorded")
+	}
+	waitFor(t, 2*time.Second, "eNB to receive OverloadStop", func() bool {
+		var red uint8
+		_ = client.Run(func(e *enb.Emulator) error { red = e.OverloadReduction(); return nil })
+		return red == 0
+	})
+	if d := attachTolerant(t, client, 100000999, 10*time.Second); d > limit {
+		t.Fatalf("post-recovery attach took %v", d)
+	}
+}

@@ -19,6 +19,7 @@ package enb
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"scale/internal/guti"
 	"scale/internal/hss"
@@ -72,6 +73,13 @@ type UE struct {
 	hoTEID    uint32
 	// LastError records the most recent NAS reject cause (0 = none).
 	LastError uint8
+	// HighPriority marks the device as a member of the priority access
+	// class: its establishment cause is EstabHighPriority and it is
+	// exempt from overload withholding and congestion backoff.
+	HighPriority bool
+	// BackoffUntil is the T3346-style congestion backoff deadline set by
+	// a CauseCongestion reject; zero when no backoff is running.
+	BackoffUntil time.Time
 	// bearerUp/nasDone track the two halves of an activation: the
 	// InitialContextSetup exchange and the NAS accept. The UE is Active
 	// only once both completed, whatever order the downlinks arrive in.
@@ -88,6 +96,18 @@ type Stats struct {
 	Detaches        uint64
 	PagingResponses uint64
 	Rejects         uint64
+	// CongestionRejects counts NAS rejects carrying CauseCongestion —
+	// the subset of Rejects minted by overload control.
+	CongestionRejects uint64
+	// Withheld counts new signaling attempts suppressed locally because
+	// of an active OverloadStart (never sent to the MME).
+	Withheld uint64
+	// Backoffs counts attempts refused because the UE's congestion
+	// backoff timer was still running.
+	Backoffs uint64
+	// Retries counts procedure attempts that re-try after a congestion
+	// reject (the attempt immediately following CauseCongestion).
+	Retries uint64
 }
 
 // Emulator models cells + UE fleet.
@@ -103,6 +123,14 @@ type Emulator struct {
 	nextENBUEID uint32
 	nextTEID    uint32
 	stats       Stats
+
+	// Overload compliance (see overload.go): reduction is the
+	// TrafficLoadReduction percentage from the last OverloadStart (0 =
+	// none), rng drives deterministic withholding and backoff jitter,
+	// and now is injectable for tests.
+	reduction uint8
+	rng       uint64
+	now       func() time.Time
 }
 
 // New creates an empty emulator.
@@ -112,6 +140,8 @@ func New() *Emulator {
 		ues:       make(map[uint64]*UE),
 		byENBUEID: make(map[uint32]*UE),
 		byMTMSI:   make(map[uint32]*UE),
+		rng:       0x9E3779B97F4A7C15,
+		now:       time.Now,
 	}
 }
 
@@ -196,6 +226,12 @@ var (
 	ErrUnknownCell = errors.New("enb: unknown cell")
 	ErrBadUEState  = errors.New("enb: UE is not in the required state")
 	ErrProcedure   = errors.New("enb: procedure did not complete")
+	// ErrOverloadThrottled reports that the attempt was withheld locally
+	// because the MME asked for traffic reduction via OverloadStart.
+	ErrOverloadThrottled = errors.New("enb: withheld under MME overload")
+	// ErrBackoff reports that the UE's congestion backoff timer from an
+	// earlier CauseCongestion reject has not yet expired.
+	ErrBackoff = errors.New("enb: congestion backoff running")
 )
 
 // StartAttach sends the attach request without waiting for completion —
@@ -209,6 +245,11 @@ func (e *Emulator) StartAttach(imsi uint64, cell uint32) error {
 	if ue.State == Active || ue.State == Attaching {
 		return fmt.Errorf("%w: %s", ErrBadUEState, ue.State)
 	}
+	cause := e.estabCauseFor(ue, s1ap.EstabMOSignalling)
+	if err := e.admitNewSignaling(ue, cause); err != nil {
+		return err
+	}
+	e.noteRetry(ue)
 	ue.State = Attaching
 	ue.Cell = cell
 	ue.LastError = 0
@@ -216,9 +257,10 @@ func (e *Emulator) StartAttach(imsi uint64, cell uint32) error {
 	ue.nasDone = false
 	id := e.newENBUEID(ue)
 	e.send(cell, &s1ap.InitialUEMessage{
-		ENBUEID: id,
-		TAI:     e.TAIOf(cell),
-		NASPDU:  nas.Marshal(&nas.AttachRequest{IMSI: imsi, OldGUTI: ue.GUTI, TAI: e.TAIOf(cell)}),
+		ENBUEID:    id,
+		TAI:        e.TAIOf(cell),
+		EstabCause: cause,
+		NASPDU:     nas.Marshal(&nas.AttachRequest{IMSI: imsi, OldGUTI: ue.GUTI, TAI: e.TAIOf(cell)}),
 	})
 	return nil
 }
@@ -243,6 +285,13 @@ func (e *Emulator) Attach(imsi uint64, cell uint32) error {
 // StartServiceRequest sends the service request without waiting for
 // completion (asynchronous hosts).
 func (e *Emulator) StartServiceRequest(imsi uint64, cell uint32) error {
+	return e.startServiceRequest(imsi, cell, false)
+}
+
+// startServiceRequest implements StartServiceRequest; paged marks a
+// paging response, which uses the MT-access establishment cause and is
+// therefore exempt from overload withholding and congestion backoff.
+func (e *Emulator) startServiceRequest(imsi uint64, cell uint32, paged bool) error {
 	if _, ok := e.cells[cell]; !ok {
 		return ErrUnknownCell
 	}
@@ -250,6 +299,14 @@ func (e *Emulator) StartServiceRequest(imsi uint64, cell uint32) error {
 	if ue.State != Idle {
 		return fmt.Errorf("%w: %s", ErrBadUEState, ue.State)
 	}
+	cause := e.estabCauseFor(ue, s1ap.EstabMOData)
+	if paged {
+		cause = s1ap.EstabMTAccess
+	}
+	if err := e.admitNewSignaling(ue, cause); err != nil {
+		return err
+	}
+	e.noteRetry(ue)
 	ue.Cell = cell
 	ue.LastError = 0
 	ue.bearerUp = false
@@ -258,9 +315,10 @@ func (e *Emulator) StartServiceRequest(imsi uint64, cell uint32) error {
 	seq := ue.srSeq
 	ue.srSeq++
 	e.send(cell, &s1ap.InitialUEMessage{
-		ENBUEID: id,
-		TAI:     e.TAIOf(cell),
-		NASPDU:  nas.Marshal(&nas.ServiceRequest{GUTI: ue.GUTI, KSI: 1, Seq: seq}),
+		ENBUEID:    id,
+		TAI:        e.TAIOf(cell),
+		EstabCause: cause,
+		NASPDU:     nas.Marshal(&nas.ServiceRequest{GUTI: ue.GUTI, KSI: 1, Seq: seq}),
 	})
 	return nil
 }
@@ -289,13 +347,19 @@ func (e *Emulator) TAU(imsi uint64, cell uint32) error {
 	if ue.State != Idle {
 		return fmt.Errorf("%w: %s", ErrBadUEState, ue.State)
 	}
+	cause := e.estabCauseFor(ue, s1ap.EstabMOSignalling)
+	if err := e.admitNewSignaling(ue, cause); err != nil {
+		return err
+	}
+	e.noteRetry(ue)
 	ue.LastError = 0
 	before := ue.GUTI
 	id := e.newENBUEID(ue)
 	e.send(cell, &s1ap.InitialUEMessage{
-		ENBUEID: id,
-		TAI:     e.TAIOf(cell),
-		NASPDU:  nas.Marshal(&nas.TAURequest{GUTI: ue.GUTI, TAI: e.TAIOf(cell)}),
+		ENBUEID:    id,
+		TAI:        e.TAIOf(cell),
+		EstabCause: cause,
+		NASPDU:     nas.Marshal(&nas.TAURequest{GUTI: ue.GUTI, TAI: e.TAIOf(cell)}),
 	})
 	if ue.LastError != 0 {
 		return fmt.Errorf("%w: TAU rejected, cause %d", ErrProcedure, ue.LastError)
@@ -359,10 +423,12 @@ func (e *Emulator) Detach(imsi uint64, switchOff bool) error {
 	}
 	cell := ue.Cell
 	id := e.newENBUEID(ue)
+	// Detach is never withheld: it releases network resources.
 	e.send(cell, &s1ap.InitialUEMessage{
-		ENBUEID: id,
-		TAI:     e.TAIOf(cell),
-		NASPDU:  nas.Marshal(&nas.DetachRequest{GUTI: ue.GUTI, SwitchOff: switchOff}),
+		ENBUEID:    id,
+		TAI:        e.TAIOf(cell),
+		EstabCause: e.estabCauseFor(ue, s1ap.EstabMOSignalling),
+		NASPDU:     nas.Marshal(&nas.DetachRequest{GUTI: ue.GUTI, SwitchOff: switchOff}),
 	})
 	// Switch-off detach gets no DetachAccept; complete locally.
 	delete(e.byMTMSI, ue.GUTI.MTMSI)
@@ -389,6 +455,10 @@ func (e *Emulator) HandleDownlink(cell uint32, msg s1ap.Message) {
 		e.handleHandoverRequest(cell, m)
 	case *s1ap.HandoverCommand:
 		e.handleHandoverCommand(cell, m)
+	case *s1ap.OverloadStart:
+		e.reduction = m.TrafficLoadReduction
+	case *s1ap.OverloadStop:
+		e.reduction = 0
 	}
 }
 
@@ -436,13 +506,16 @@ func (e *Emulator) handleNAS(cell uint32, m *s1ap.DownlinkNASTransport) {
 		ue.LastError = n.Cause
 		ue.State = Detached
 		e.stats.Rejects++
+		e.noteCongestionReject(ue, n.Cause, n.BackoffMS)
 	case *nas.ServiceReject:
 		ue.LastError = n.Cause
 		ue.State = Idle
 		e.stats.Rejects++
+		e.noteCongestionReject(ue, n.Cause, n.BackoffMS)
 	case *nas.TAUReject:
 		ue.LastError = n.Cause
 		e.stats.Rejects++
+		e.noteCongestionReject(ue, n.Cause, n.BackoffMS)
 	case *nas.TAUAccept:
 		e.stats.TAUs++
 		// GUTI may be re-assigned on TAU.
@@ -509,7 +582,7 @@ func (e *Emulator) handlePaging(cell uint32, m *s1ap.Paging) {
 		return
 	}
 	e.stats.PagingResponses++
-	_ = e.ServiceRequest(ue.IMSI, cell)
+	_ = e.startServiceRequest(ue.IMSI, cell, true)
 }
 
 // handleHandoverRequest is the target-cell admission.

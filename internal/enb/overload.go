@@ -1,0 +1,126 @@
+package enb
+
+import (
+	"fmt"
+	"time"
+
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+)
+
+// Overload compliance: the emulator honors S1AP OverloadStart the way a
+// real eNodeB applies RRC access-class barring. While an OverloadStart
+// with TrafficLoadReduction R% is in force, each new mobile-originated
+// establishment attempt is withheld locally with probability R/100 —
+// never sent to the MME at all. Congestion rejects (NAS cause 22 with a
+// backoff timer IE) additionally arm a per-UE T3346-style timer with
+// ±20% jitter so a rejected fleet does not retry in lockstep. The
+// emergency, high-priority and MT-access (paging response)
+// establishment classes are exempt from both mechanisms, mirroring the
+// classes the MLB never sheds.
+
+// Seed re-seeds the deterministic PRNG driving withholding decisions
+// and backoff jitter. Zero is replaced with 1 (xorshift cannot hold 0).
+func (e *Emulator) Seed(s uint64) {
+	if s == 0 {
+		s = 1
+	}
+	e.rng = s
+}
+
+// SetHighPriority marks a device as a member of the priority access
+// class (establishment cause EstabHighPriority, exempt from
+// withholding and backoff).
+func (e *Emulator) SetHighPriority(imsi uint64, hp bool) {
+	e.UEFor(imsi).HighPriority = hp
+}
+
+// OverloadReduction reports the TrafficLoadReduction percentage of the
+// OverloadStart currently in force (0 = none).
+func (e *Emulator) OverloadReduction() uint8 { return e.reduction }
+
+// rand64 is xorshift64: cheap, deterministic under Seed, and good
+// enough for shedding decisions and jitter.
+func (e *Emulator) rand64() uint64 {
+	x := e.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	e.rng = x
+	return x
+}
+
+// estabCauseFor picks the RRC establishment cause for a new attempt:
+// the procedure default, upgraded for priority-class devices.
+func (e *Emulator) estabCauseFor(ue *UE, def uint8) uint8 {
+	if ue.HighPriority {
+		return s1ap.EstabHighPriority
+	}
+	return def
+}
+
+// exemptCause reports establishment classes never withheld or backed
+// off.
+func exemptCause(cause uint8) bool {
+	switch cause {
+	case s1ap.EstabEmergency, s1ap.EstabHighPriority, s1ap.EstabMTAccess:
+		return true
+	}
+	return false
+}
+
+// admitNewSignaling gates one new mobile-originated attempt: a running
+// congestion backoff refuses it with ErrBackoff, and an active
+// OverloadStart withholds the requested fraction with
+// ErrOverloadThrottled. Exempt classes always pass. Must be called
+// before any UE state is mutated.
+func (e *Emulator) admitNewSignaling(ue *UE, cause uint8) error {
+	if exemptCause(cause) {
+		return nil
+	}
+	if !ue.BackoffUntil.IsZero() {
+		if now := e.now(); now.Before(ue.BackoffUntil) {
+			e.stats.Backoffs++
+			return fmt.Errorf("%w for another %s", ErrBackoff, ue.BackoffUntil.Sub(now).Round(time.Millisecond))
+		}
+		ue.BackoffUntil = time.Time{}
+	}
+	if r := e.reduction; r > 0 && uint8(e.rand64()%100) < r {
+		e.stats.Withheld++
+		return fmt.Errorf("%w (%d%% reduction)", ErrOverloadThrottled, r)
+	}
+	return nil
+}
+
+// noteRetry counts an attempt that follows a congestion reject — the
+// fleet-level retry accounting. Called after admission, before
+// LastError is cleared.
+func (e *Emulator) noteRetry(ue *UE) {
+	if ue.LastError == nas.CauseCongestion {
+		e.stats.Retries++
+	}
+}
+
+// noteCongestionReject arms the per-UE backoff timer when a NAS reject
+// carries CauseCongestion and a backoff IE. Priority-class devices
+// ignore the timer.
+func (e *Emulator) noteCongestionReject(ue *UE, cause uint8, backoffMS uint32) {
+	if cause != nas.CauseCongestion {
+		return
+	}
+	e.stats.CongestionRejects++
+	if backoffMS > 0 && !ue.HighPriority {
+		ue.BackoffUntil = e.now().Add(e.jitteredBackoff(backoffMS))
+	}
+}
+
+// jitteredBackoff spreads the network-supplied timer uniformly over
+// ±20% so a storm of rejected devices does not retry in lockstep.
+func (e *Emulator) jitteredBackoff(ms uint32) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	j := d / 5
+	if j <= 0 {
+		return d
+	}
+	return d - j + time.Duration(e.rand64()%uint64(2*j+1))
+}

@@ -1,0 +1,315 @@
+package enb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+)
+
+// congestionRejectUplink answers every initial NAS request with the
+// matching CauseCongestion reject carrying a backoff IE — the MLB's
+// shedding path seen from the radio side.
+func congestionRejectUplink(em *Emulator, backoffMS uint32) func(uint32, s1ap.Message) {
+	return func(cell uint32, msg s1ap.Message) {
+		iu, ok := msg.(*s1ap.InitialUEMessage)
+		if !ok {
+			return
+		}
+		n, err := nas.Unmarshal(iu.NASPDU)
+		if err != nil {
+			return
+		}
+		var pdu []byte
+		switch n.(type) {
+		case *nas.AttachRequest:
+			pdu = nas.Marshal(&nas.AttachReject{Cause: nas.CauseCongestion, BackoffMS: backoffMS})
+		case *nas.ServiceRequest:
+			pdu = nas.Marshal(&nas.ServiceReject{Cause: nas.CauseCongestion, BackoffMS: backoffMS})
+		case *nas.TAURequest:
+			pdu = nas.Marshal(&nas.TAUReject{Cause: nas.CauseCongestion, BackoffMS: backoffMS})
+		default:
+			return
+		}
+		em.HandleDownlink(cell, &s1ap.DownlinkNASTransport{ENBUEID: iu.ENBUEID, NASPDU: pdu})
+	}
+}
+
+func TestOverloadStartWithholdsAndStopResumes(t *testing.T) {
+	em, _ := newScripted(t)
+	em.HandleDownlink(1, &s1ap.OverloadStart{TrafficLoadReduction: 100})
+	if em.OverloadReduction() != 100 {
+		t.Fatalf("reduction = %d", em.OverloadReduction())
+	}
+	if err := em.StartAttach(42, 1); !errors.Is(err, ErrOverloadThrottled) {
+		t.Fatalf("attach under 100%% reduction: %v", err)
+	}
+	if em.UEFor(42).State != Detached {
+		t.Fatalf("withheld attach mutated state: %v", em.UEFor(42).State)
+	}
+	if em.Stats().Withheld != 1 {
+		t.Fatalf("withheld = %d", em.Stats().Withheld)
+	}
+	em.HandleDownlink(1, &s1ap.OverloadStop{})
+	if em.OverloadReduction() != 0 {
+		t.Fatalf("reduction after stop = %d", em.OverloadReduction())
+	}
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatalf("attach after OverloadStop: %v", err)
+	}
+}
+
+func TestWithholdingMatchesReduction(t *testing.T) {
+	em := New()
+	em.Seed(12345)
+	em.Uplink = func(uint32, s1ap.Message) {}
+	em.AddCell(1, []uint16{7})
+	em.HandleDownlink(1, &s1ap.OverloadStart{TrafficLoadReduction: 50})
+	const n = 400
+	for i := uint64(0); i < n; i++ {
+		_ = em.StartAttach(1000+i, 1)
+	}
+	w := em.Stats().Withheld
+	// 50% ±10 points over 400 trials: generous for any sane PRNG.
+	if w < n*40/100 || w > n*60/100 {
+		t.Fatalf("withheld %d/%d at 50%% reduction", w, n)
+	}
+}
+
+func TestExemptClassesBypassWithholding(t *testing.T) {
+	em, _ := newFullScript(t)
+	// Idle device with a GUTI so it can be paged.
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(42); err != nil {
+		t.Fatal(err)
+	}
+	em.HandleDownlink(1, &s1ap.OverloadStart{TrafficLoadReduction: 100})
+
+	// Paging response (MT access) is never withheld.
+	em.HandleDownlink(1, &s1ap.Paging{MTMSI: em.UEFor(42).GUTI.MTMSI, TAIs: []uint16{7}})
+	if em.UEFor(42).State != Active || em.Stats().PagingResponses != 1 {
+		t.Fatalf("paged UE = %v, pagingResponses = %d",
+			em.UEFor(42).State, em.Stats().PagingResponses)
+	}
+
+	// High-priority devices attach through a full bar.
+	em.SetHighPriority(43, true)
+	if err := em.Attach(43, 1); err != nil {
+		t.Fatalf("high-priority attach under overload: %v", err)
+	}
+	if em.Stats().Withheld != 0 {
+		t.Fatalf("withheld = %d", em.Stats().Withheld)
+	}
+}
+
+func TestEstabCauseTagging(t *testing.T) {
+	em, fs := newFullScript(t)
+	var causes []uint8
+	inner := em.Uplink
+	em.Uplink = func(cell uint32, msg s1ap.Message) {
+		if iu, ok := msg.(*s1ap.InitialUEMessage); ok {
+			causes = append(causes, iu.EstabCause)
+		}
+		inner(cell, msg)
+	}
+	_ = fs
+
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ServiceRequest(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.TAU(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Paging response.
+	em.HandleDownlink(1, &s1ap.Paging{MTMSI: em.UEFor(42).GUTI.MTMSI, TAIs: []uint16{7}})
+	// High-priority attach.
+	em.SetHighPriority(43, true)
+	if err := em.Attach(43, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []uint8{
+		s1ap.EstabMOSignalling, // attach
+		s1ap.EstabMOData,       // service request
+		s1ap.EstabMOSignalling, // TAU
+		s1ap.EstabMTAccess,     // paging response
+		s1ap.EstabHighPriority, // high-priority attach
+	}
+	if len(causes) != len(want) {
+		t.Fatalf("causes = %v, want %v", causes, want)
+	}
+	for i := range want {
+		if causes[i] != want[i] {
+			t.Fatalf("cause[%d] = %d, want %d (all: %v)", i, causes[i], want[i], causes)
+		}
+	}
+}
+
+func TestCongestionRejectArmsBackoffAndExpiry(t *testing.T) {
+	em := New()
+	em.AddCell(1, []uint16{7})
+	em.Uplink = congestionRejectUplink(em, 1000)
+	now := time.Unix(1000, 0)
+	em.now = func() time.Time { return now }
+
+	err := em.Attach(42, 1)
+	if !errors.Is(err, ErrProcedure) {
+		t.Fatalf("attach err = %v", err)
+	}
+	ue := em.UEFor(42)
+	if ue.State != Detached || ue.LastError != nas.CauseCongestion {
+		t.Fatalf("ue = %+v", ue)
+	}
+	st := em.Stats()
+	if st.Rejects != 1 || st.CongestionRejects != 1 {
+		t.Fatalf("rejects = %d congestion = %d", st.Rejects, st.CongestionRejects)
+	}
+	// Backoff armed with ±20% jitter around 1s.
+	d := ue.BackoffUntil.Sub(now)
+	if d < 800*time.Millisecond || d > 1200*time.Millisecond {
+		t.Fatalf("backoff %v outside jitter window", d)
+	}
+
+	// Retrying while the timer runs is refused locally.
+	if err := em.StartAttach(42, 1); !errors.Is(err, ErrBackoff) {
+		t.Fatalf("retry during backoff: %v", err)
+	}
+	if em.Stats().Backoffs != 1 {
+		t.Fatalf("backoffs = %d", em.Stats().Backoffs)
+	}
+
+	// Expiry: the attempt goes out again and counts as a retry.
+	now = now.Add(2 * time.Second)
+	if err := em.StartAttach(42, 1); err != nil {
+		t.Fatalf("attach after expiry: %v", err)
+	}
+	if !em.UEFor(42).BackoffUntil.After(now) {
+		// The scripted MME rejected again, re-arming the timer.
+		t.Fatalf("backoff not re-armed: %v", em.UEFor(42).BackoffUntil)
+	}
+	if em.Stats().Retries != 1 {
+		t.Fatalf("retries = %d", em.Stats().Retries)
+	}
+}
+
+func TestServiceAndTAURejectBackoff(t *testing.T) {
+	em, _ := newScripted(t)
+	if err := em.Attach(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.ReleaseToIdle(42); err != nil {
+		t.Fatal(err)
+	}
+	em.Uplink = congestionRejectUplink(em, 500)
+	now := time.Unix(2000, 0)
+	em.now = func() time.Time { return now }
+
+	if err := em.ServiceRequest(42, 1); !errors.Is(err, ErrProcedure) {
+		t.Fatalf("sr err = %v", err)
+	}
+	ue := em.UEFor(42)
+	if ue.State != Idle || ue.LastError != nas.CauseCongestion || ue.BackoffUntil.IsZero() {
+		t.Fatalf("after ServiceReject: %+v", ue)
+	}
+	// TAU during backoff refused locally; after expiry the TAUReject
+	// lands and re-arms.
+	if err := em.TAU(42, 1); !errors.Is(err, ErrBackoff) {
+		t.Fatalf("tau during backoff: %v", err)
+	}
+	now = now.Add(time.Second)
+	if err := em.TAU(42, 1); !errors.Is(err, ErrProcedure) {
+		t.Fatalf("tau err = %v", err)
+	}
+	st := em.Stats()
+	if st.CongestionRejects != 2 || st.Retries != 1 || st.Backoffs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNonCongestionRejectNoBackoff(t *testing.T) {
+	em, m := newScripted(t)
+	m.rejectAttach = true
+	// scriptedMME rejects with CauseCongestion but no backoff IE.
+	if err := em.Attach(42, 1); !errors.Is(err, ErrProcedure) {
+		t.Fatalf("err = %v", err)
+	}
+	if !em.UEFor(42).BackoffUntil.IsZero() {
+		t.Fatal("backoff armed without a backoff IE")
+	}
+	if em.Stats().CongestionRejects != 1 {
+		t.Fatalf("congestion rejects = %d", em.Stats().CongestionRejects)
+	}
+
+	// A reject with a different cause never counts or arms backoff.
+	em2 := New()
+	em2.AddCell(1, []uint16{7})
+	em2.Uplink = func(cell uint32, msg s1ap.Message) {
+		if iu, ok := msg.(*s1ap.InitialUEMessage); ok {
+			em2.HandleDownlink(cell, &s1ap.DownlinkNASTransport{
+				ENBUEID: iu.ENBUEID,
+				NASPDU:  nas.Marshal(&nas.AttachReject{Cause: 3, BackoffMS: 1000}),
+			})
+		}
+	}
+	if err := em2.Attach(7, 1); !errors.Is(err, ErrProcedure) {
+		t.Fatalf("err = %v", err)
+	}
+	if em2.Stats().CongestionRejects != 0 || !em2.UEFor(7).BackoffUntil.IsZero() {
+		t.Fatalf("non-congestion reject tracked as congestion: %+v", em2.Stats())
+	}
+}
+
+func TestHighPriorityIgnoresBackoff(t *testing.T) {
+	em := New()
+	em.AddCell(1, []uint16{7})
+	em.Uplink = congestionRejectUplink(em, 60000)
+	em.SetHighPriority(42, true)
+	if err := em.Attach(42, 1); !errors.Is(err, ErrProcedure) {
+		t.Fatalf("err = %v", err)
+	}
+	// Rejected, but the priority class never arms the timer and retries
+	// immediately.
+	if !em.UEFor(42).BackoffUntil.IsZero() {
+		t.Fatal("priority device armed backoff")
+	}
+	if err := em.StartAttach(42, 1); errors.Is(err, ErrBackoff) {
+		t.Fatalf("priority retry blocked: %v", err)
+	}
+}
+
+func TestJitteredBackoffSpread(t *testing.T) {
+	em := New()
+	lo, hi := time.Duration(1<<62), time.Duration(0)
+	for i := 0; i < 200; i++ {
+		d := em.jitteredBackoff(1000)
+		if d < 800*time.Millisecond || d > 1200*time.Millisecond {
+			t.Fatalf("jitter %v outside ±20%%", d)
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if lo == hi {
+		t.Fatal("no jitter spread at all")
+	}
+	// Tiny timers still jitter within the window, never negative.
+	if d := em.jitteredBackoff(1); d < 800*time.Microsecond || d > 1200*time.Microsecond {
+		t.Fatalf("1ms backoff = %v", d)
+	}
+}

@@ -60,12 +60,13 @@ type Router struct {
 	ring *chash.Ring
 	reg  *guti.Registry
 
-	mu      sync.RWMutex
-	load    map[string]float64 // MMP id → smoothed CPU utilization
-	byIndex map[uint8]string   // MMP index → id
-	index   map[string]uint8   // MMP id → index
-	enbTAIs map[uint32][]uint16
-	name    string
+	mu         sync.RWMutex
+	load       map[string]float64 // MMP id → smoothed CPU utilization
+	overloaded map[string]bool    // MMP id → self-declared admission overload
+	byIndex    map[uint8]string   // MMP index → id
+	index      map[string]uint8   // MMP id → index
+	enbTAIs    map[uint32][]uint16
+	name       string
 
 	ob            *obs.Observer
 	routedInitial *obs.Counter // idle-mode (GUTI-hashed) routes
@@ -95,14 +96,15 @@ func NewRouter(cfg Config) *Router {
 		cfg.Name = "scale-mlb"
 	}
 	r := &Router{
-		ring:    chash.New(cfg.Tokens),
-		reg:     guti.NewRegistry(guti.NewAllocator(cfg.PLMN, cfg.MMEGI, cfg.MMEC)),
-		load:    make(map[string]float64),
-		byIndex: make(map[uint8]string),
-		index:   make(map[string]uint8),
-		enbTAIs: make(map[uint32][]uint16),
-		name:    cfg.Name,
-		ob:      cfg.Obs,
+		ring:       chash.New(cfg.Tokens),
+		reg:        guti.NewRegistry(guti.NewAllocator(cfg.PLMN, cfg.MMEGI, cfg.MMEC)),
+		load:       make(map[string]float64),
+		overloaded: make(map[string]bool),
+		byIndex:    make(map[uint8]string),
+		index:      make(map[string]uint8),
+		enbTAIs:    make(map[uint32][]uint16),
+		name:       cfg.Name,
+		ob:         cfg.Obs,
 	}
 	if r.ob != nil {
 		r.routedInitial = r.ob.Reg.Counter(`mlb_routed_total{kind="initial"}`)
@@ -145,6 +147,7 @@ func (r *Router) UnregisterMMP(id string) {
 		delete(r.index, id)
 	}
 	delete(r.load, id)
+	delete(r.overloaded, id)
 }
 
 // MMPs returns the registered MMP ids.
@@ -164,10 +167,17 @@ func (r *Router) Ring() *chash.Ring { return r.ring }
 // ReportLoad records an MMP's smoothed CPU utilization — the only
 // per-VM metadata the MLB keeps (Section 4.6).
 func (r *Router) ReportLoad(id string, util float64) {
+	r.ReportLoadFlags(id, util, false)
+}
+
+// ReportLoadFlags is ReportLoad carrying the VM's self-declared
+// admission-overload flag (from the extended load-report frame).
+func (r *Router) ReportLoadFlags(id string, util float64, overloaded bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.index[id]; ok {
 		r.load[id] = util
+		r.overloaded[id] = overloaded
 	}
 }
 
@@ -176,6 +186,42 @@ func (r *Router) Load(id string) float64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.load[id]
+}
+
+// Overloaded reports whether an MMP declared itself overloaded in its
+// last load report.
+func (r *Router) Overloaded(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.overloaded[id]
+}
+
+// Headroom measures the ring's remaining capacity: 1 − mean effective
+// utilization across registered VMs, where a VM that declared itself
+// overloaded counts as fully utilized regardless of its CPU figure (its
+// admission queues are the bottleneck). ok is false when no VM is
+// registered — there is no capacity to measure, only an outage.
+func (r *Router) Headroom() (headroom float64, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.index) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for id := range r.index {
+		u := r.load[id]
+		if u > 1 {
+			u = 1
+		}
+		if u < 0 {
+			u = 0
+		}
+		if r.overloaded[id] {
+			u = 1
+		}
+		sum += u
+	}
+	return 1 - sum/float64(len(r.index)), true
 }
 
 // HandleS1Setup registers an eNodeB and returns the S1SetupResponse the
@@ -291,7 +337,10 @@ func (r *Router) routeInitialUE(m *s1ap.InitialUEMessage) (Decision, error) {
 }
 
 // pick hashes key, takes the master + replica candidates from the ring,
-// and returns (master, leastLoaded).
+// and returns (master, leastLoaded). A candidate that declared itself
+// overloaded is penalized past any non-overloaded one, so new work
+// steers to replicas that still admit — overload only decides among the
+// device's legitimate holders, never off-ring.
 func (r *Router) pick(key []byte) (master, target string, err error) {
 	owners, err := r.ring.Owners(key, ReplicaFanout)
 	if err != nil {
@@ -300,9 +349,16 @@ func (r *Router) pick(key []byte) (master, target string, err error) {
 	master = string(owners[0])
 	target = master
 	r.mu.RLock()
-	best := r.load[master]
+	cost := func(id string) float64 {
+		l := r.load[id]
+		if r.overloaded[id] {
+			l += 2 // past any real utilization
+		}
+		return l
+	}
+	best := cost(master)
 	for _, o := range owners[1:] {
-		if l := r.load[string(o)]; l < best {
+		if l := cost(string(o)); l < best {
 			best, target = l, string(o)
 		}
 	}

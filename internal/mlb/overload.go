@@ -1,0 +1,238 @@
+package mlb
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+)
+
+// OverloadConfig parameterizes the MLB's cluster-wide load shedding.
+// When the ring's capacity headroom falls below EnterHeadroom the MLB
+// broadcasts S1AP OverloadStart with a TrafficLoadReduction percentage
+// derived from the measured headroom, and sheds that fraction of new
+// sheddable signaling at ingress with NAS congestion rejects. Recovery
+// is hysteretic: OverloadStop goes out only after headroom has stayed
+// above ExitHeadroom for ExitHold.
+type OverloadConfig struct {
+	// EnterHeadroom is the headroom watermark below which overload
+	// control engages. 0 means 0.10.
+	EnterHeadroom float64
+	// ExitHeadroom is the watermark headroom must exceed before recovery
+	// arms (must be > EnterHeadroom). 0 means 0.25.
+	ExitHeadroom float64
+	// ExitHold is how long headroom must stay above ExitHeadroom before
+	// OverloadStop is sent. 0 means 3s.
+	ExitHold time.Duration
+	// MinReduction/MaxReduction clamp the TrafficLoadReduction
+	// percentage. 0 means 10 and 90 respectively.
+	MinReduction uint8
+	MaxReduction uint8
+	// BackoffMS is the T3346-style backoff timer carried by the NAS
+	// congestion rejects minted at MLB ingress. 0 means 2000.
+	BackoffMS uint32
+	// ShedHighPriority, when set, sheds the EstabHighPriority class like
+	// ordinary signaling. Default false: high-priority establishment is
+	// always admitted (the configurable priority-exemption class).
+	ShedHighPriority bool
+	// Disabled turns MLB-side overload control off entirely.
+	Disabled bool
+}
+
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if c.EnterHeadroom <= 0 {
+		c.EnterHeadroom = 0.10
+	}
+	if c.ExitHeadroom <= 0 {
+		c.ExitHeadroom = 0.25
+	}
+	if c.ExitHold <= 0 {
+		c.ExitHold = 3 * time.Second
+	}
+	if c.MinReduction == 0 {
+		c.MinReduction = 10
+	}
+	if c.MaxReduction == 0 {
+		c.MaxReduction = 90
+	}
+	if c.MaxReduction > 100 {
+		c.MaxReduction = 100
+	}
+	if c.MinReduction > c.MaxReduction {
+		c.MinReduction = c.MaxReduction
+	}
+	if c.BackoffMS == 0 {
+		c.BackoffMS = 2000
+	}
+	return c
+}
+
+// OverloadEvent is one controller decision.
+type OverloadEvent int
+
+const (
+	// OverloadNone: no state change, no broadcast needed.
+	OverloadNone OverloadEvent = iota
+	// OverloadEnter: overload began — broadcast OverloadStart.
+	OverloadEnter
+	// OverloadUpdate: still overloaded but the reduction percentage
+	// changed — rebroadcast OverloadStart with the new figure.
+	OverloadUpdate
+	// OverloadExit: sustained recovery — broadcast OverloadStop.
+	OverloadExit
+)
+
+// OverloadController turns a periodic headroom measurement into
+// OverloadStart/OverloadStop decisions with hysteresis, and owns the
+// deterministic shedding of the requested traffic fraction.
+type OverloadController struct {
+	cfg OverloadConfig
+
+	active    atomic.Bool
+	reduction atomic.Uint32 // current TrafficLoadReduction percent
+	shedN     atomic.Uint64 // stride counter
+
+	mu        sync.Mutex
+	calmSince time.Time
+}
+
+// NewOverloadController builds a controller; zero config fields take
+// their defaults.
+func NewOverloadController(cfg OverloadConfig) *OverloadController {
+	return &OverloadController{cfg: cfg.withDefaults()}
+}
+
+// Config reports the controller's effective (default-filled) config.
+func (o *OverloadController) Config() OverloadConfig { return o.cfg }
+
+// Active reports whether overload control is currently engaged.
+func (o *OverloadController) Active() bool { return o.active.Load() }
+
+// Reduction reports the currently requested TrafficLoadReduction
+// percentage (0 when not active).
+func (o *OverloadController) Reduction() uint8 { return uint8(o.reduction.Load()) }
+
+// BackoffMS is the backoff timer for MLB-minted congestion rejects.
+func (o *OverloadController) BackoffMS() uint32 { return o.cfg.BackoffMS }
+
+// Observe feeds one headroom measurement (ok=false when the ring is
+// empty and headroom is meaningless) and returns the resulting event.
+// Callers broadcast OverloadStart/OverloadStop per the event.
+func (o *OverloadController) Observe(headroom float64, ok bool) OverloadEvent {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !ok {
+		// No capacity signal: hold the current state rather than flap.
+		return OverloadNone
+	}
+	now := time.Now()
+	if !o.active.Load() {
+		if headroom < o.cfg.EnterHeadroom {
+			o.active.Store(true)
+			o.calmSince = time.Time{}
+			o.reduction.Store(uint32(o.reductionFor(headroom)))
+			return OverloadEnter
+		}
+		return OverloadNone
+	}
+
+	// Active: track recovery and keep the reduction tracking headroom.
+	if headroom > o.cfg.ExitHeadroom {
+		if o.calmSince.IsZero() {
+			o.calmSince = now
+		} else if now.Sub(o.calmSince) >= o.cfg.ExitHold {
+			o.active.Store(false)
+			o.calmSince = time.Time{}
+			o.reduction.Store(0)
+			return OverloadExit
+		}
+	} else {
+		o.calmSince = time.Time{}
+	}
+	if red := o.reductionFor(headroom); red != o.Reduction() {
+		o.reduction.Store(uint32(red))
+		return OverloadUpdate
+	}
+	return OverloadNone
+}
+
+// reductionFor maps measured headroom to a TrafficLoadReduction
+// percentage: zero headroom asks for MaxReduction, headroom at the
+// enter watermark asks for MinReduction, linear in between; while
+// recovering above the watermark the request holds at MinReduction.
+func (o *OverloadController) reductionFor(headroom float64) uint8 {
+	if headroom >= o.cfg.EnterHeadroom {
+		return o.cfg.MinReduction
+	}
+	if headroom < 0 {
+		headroom = 0
+	}
+	span := float64(o.cfg.MaxReduction - o.cfg.MinReduction)
+	red := float64(o.cfg.MaxReduction) - headroom/o.cfg.EnterHeadroom*span
+	return uint8(red + 0.5)
+}
+
+// ShouldShed decides whether one sheddable ingress message is rejected,
+// using a deterministic stride over the current reduction percentage:
+// exactly R of every 100 sheddable arrivals shed, with no RNG (stable
+// under test and fair under bursts).
+func (o *OverloadController) ShouldShed() bool {
+	r := uint64(o.reduction.Load())
+	if r == 0 {
+		return false
+	}
+	if r >= 100 {
+		return true
+	}
+	n := o.shedN.Add(1)
+	return n*r/100 != (n-1)*r/100
+}
+
+// Sheddable classifies one ingress S1AP message under overload:
+// only brand-new attach and TAU attempts are shed. Everything else —
+// in-flight procedure continuations (UplinkNASTransport, context setup,
+// release, handover), service requests (paging responses among them),
+// detaches, and the emergency/high-priority/MT-access establishment
+// classes — is always admitted.
+func (o *OverloadController) Sheddable(msg s1ap.Message) (proc string, ok bool) {
+	m, isInitial := msg.(*s1ap.InitialUEMessage)
+	if !isInitial {
+		return "", false
+	}
+	switch m.EstabCause {
+	case s1ap.EstabEmergency, s1ap.EstabMTAccess:
+		return "", false
+	case s1ap.EstabHighPriority:
+		if !o.cfg.ShedHighPriority {
+			return "", false
+		}
+	}
+	nasMsg, err := nas.Unmarshal(m.NASPDU)
+	if err != nil {
+		return "", false
+	}
+	switch nasMsg.(type) {
+	case *nas.AttachRequest:
+		return "attach", true
+	case *nas.TAURequest:
+		return "tau", true
+	default:
+		return "", false
+	}
+}
+
+// CongestionReject builds the downlink NAS answer shedding one
+// classified ingress message: an AttachReject or TAUReject with
+// CauseCongestion and the configured backoff timer.
+func (o *OverloadController) CongestionReject(m *s1ap.InitialUEMessage, proc string) *s1ap.DownlinkNASTransport {
+	var pdu []byte
+	switch proc {
+	case "tau":
+		pdu = nas.Marshal(&nas.TAUReject{Cause: nas.CauseCongestion, BackoffMS: o.cfg.BackoffMS})
+	default:
+		pdu = nas.Marshal(&nas.AttachReject{Cause: nas.CauseCongestion, BackoffMS: o.cfg.BackoffMS})
+	}
+	return &s1ap.DownlinkNASTransport{ENBUEID: m.ENBUEID, NASPDU: pdu}
+}

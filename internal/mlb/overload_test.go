@@ -1,0 +1,173 @@
+package mlb
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/guti"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+)
+
+func TestOverloadControllerHysteresis(t *testing.T) {
+	o := NewOverloadController(OverloadConfig{
+		EnterHeadroom: 0.10, ExitHeadroom: 0.25, ExitHold: 20 * time.Millisecond,
+	})
+	if ev := o.Observe(0.5, true); ev != OverloadNone || o.Active() {
+		t.Fatalf("healthy headroom: ev=%v active=%v", ev, o.Active())
+	}
+	if ev := o.Observe(0.05, true); ev != OverloadEnter || !o.Active() {
+		t.Fatalf("low headroom: ev=%v active=%v", ev, o.Active())
+	}
+	if o.Reduction() < 10 || o.Reduction() > 90 {
+		t.Fatalf("reduction = %d outside clamp", o.Reduction())
+	}
+	// Headroom between the watermarks: stays active, no exit arming.
+	if ev := o.Observe(0.15, true); ev == OverloadExit || !o.Active() {
+		t.Fatalf("hysteresis band: ev=%v active=%v", ev, o.Active())
+	}
+	// Recovery must be sustained for ExitHold.
+	if ev := o.Observe(0.5, true); ev == OverloadExit {
+		t.Fatal("exited before ExitHold")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if ev := o.Observe(0.5, true); ev != OverloadExit || o.Active() {
+		t.Fatalf("sustained recovery: ev=%v active=%v", ev, o.Active())
+	}
+	if o.Reduction() != 0 {
+		t.Fatalf("reduction after exit = %d", o.Reduction())
+	}
+}
+
+func TestOverloadControllerExitHoldReset(t *testing.T) {
+	o := NewOverloadController(OverloadConfig{
+		EnterHeadroom: 0.10, ExitHeadroom: 0.25, ExitHold: 30 * time.Millisecond,
+	})
+	o.Observe(0.0, true)
+	o.Observe(0.5, true) // arms recovery
+	time.Sleep(20 * time.Millisecond)
+	o.Observe(0.05, true) // headroom collapses again: timer must reset
+	time.Sleep(20 * time.Millisecond)
+	if ev := o.Observe(0.5, true); ev == OverloadExit {
+		t.Fatal("exited without a full calm ExitHold after relapse")
+	}
+}
+
+func TestOverloadReductionTracksHeadroom(t *testing.T) {
+	o := NewOverloadController(OverloadConfig{
+		EnterHeadroom: 0.10, MinReduction: 10, MaxReduction: 90,
+	})
+	o.Observe(0.0, true)
+	if o.Reduction() != 90 {
+		t.Fatalf("reduction at zero headroom = %d, want 90", o.Reduction())
+	}
+	if ev := o.Observe(0.05, true); ev != OverloadUpdate {
+		t.Fatalf("headroom change: ev=%v", ev)
+	}
+	if o.Reduction() != 50 {
+		t.Fatalf("reduction at half watermark = %d, want 50", o.Reduction())
+	}
+}
+
+func TestOverloadShedderStride(t *testing.T) {
+	o := NewOverloadController(OverloadConfig{})
+	o.reduction.Store(30)
+	shed := 0
+	for i := 0; i < 1000; i++ {
+		if o.ShouldShed() {
+			shed++
+		}
+	}
+	if shed != 300 {
+		t.Fatalf("stride shed %d/1000 at 30%%, want 300", shed)
+	}
+	o.reduction.Store(0)
+	if o.ShouldShed() {
+		t.Fatal("shed with zero reduction")
+	}
+	o.reduction.Store(100)
+	if !o.ShouldShed() {
+		t.Fatal("did not shed at 100%")
+	}
+}
+
+func TestOverloadSheddableClassification(t *testing.T) {
+	o := NewOverloadController(OverloadConfig{})
+	g := guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1, MTMSI: 9}
+	attach := func(cause uint8) *s1ap.InitialUEMessage {
+		return &s1ap.InitialUEMessage{
+			ENBUEID: 1, TAI: 1, EstabCause: cause,
+			NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: 5}),
+		}
+	}
+	if proc, ok := o.Sheddable(attach(s1ap.EstabMOSignalling)); !ok || proc != "attach" {
+		t.Fatalf("new attach not sheddable: %q %v", proc, ok)
+	}
+	if proc, ok := o.Sheddable(&s1ap.InitialUEMessage{
+		NASPDU: nas.Marshal(&nas.TAURequest{GUTI: g, TAI: 2}),
+	}); !ok || proc != "tau" {
+		t.Fatalf("new TAU not sheddable: %q %v", proc, ok)
+	}
+	// Exempt classes and continuations.
+	for name, msg := range map[string]s1ap.Message{
+		"emergency":     attach(s1ap.EstabEmergency),
+		"mt-access":     attach(s1ap.EstabMTAccess),
+		"high-priority": attach(s1ap.EstabHighPriority),
+		"service-request": &s1ap.InitialUEMessage{
+			NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: g, Seq: 1}),
+		},
+		"continuation": &s1ap.UplinkNASTransport{MMEUEID: 7, NASPDU: nas.Marshal(&nas.SecurityModeComplete{})},
+		"detach": &s1ap.InitialUEMessage{
+			NASPDU: nas.Marshal(&nas.DetachRequest{GUTI: g}),
+		},
+	} {
+		if _, ok := o.Sheddable(msg); ok {
+			t.Fatalf("%s classified sheddable", name)
+		}
+	}
+	// The high-priority exemption is configurable.
+	o2 := NewOverloadController(OverloadConfig{ShedHighPriority: true})
+	if _, ok := o2.Sheddable(attach(s1ap.EstabHighPriority)); !ok {
+		t.Fatal("high-priority not sheddable with ShedHighPriority")
+	}
+}
+
+func TestRouterHeadroomAndOverloadedPick(t *testing.T) {
+	r := NewRouter(Config{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1})
+	if _, ok := r.Headroom(); ok {
+		t.Fatal("headroom ok with empty ring")
+	}
+	r.RegisterMMP("mmp-1", 1)
+	r.RegisterMMP("mmp-2", 2)
+	r.ReportLoadFlags("mmp-1", 0.4, false)
+	r.ReportLoadFlags("mmp-2", 0.6, false)
+	h, ok := r.Headroom()
+	if !ok || h < 0.49 || h > 0.51 {
+		t.Fatalf("headroom = %v,%v want ~0.5", h, ok)
+	}
+	// An overloaded VM counts as fully utilized whatever its CPU says.
+	r.ReportLoadFlags("mmp-2", 0.1, true)
+	h, _ = r.Headroom()
+	if h < 0.29 || h > 0.31 {
+		t.Fatalf("headroom with overloaded VM = %v want ~0.3", h)
+	}
+	if !r.Overloaded("mmp-2") || r.Overloaded("mmp-1") {
+		t.Fatal("overloaded flags not tracked per VM")
+	}
+
+	// pick must prefer the non-overloaded holder even at higher CPU.
+	r.ReportLoadFlags("mmp-1", 0.9, false)
+	g := guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1, MTMSI: 0xBEEF}
+	_, target, err := r.pick(g.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "mmp-1" {
+		t.Fatalf("pick chose overloaded VM %q", target)
+	}
+	// With both overloaded, routing still works (least loaded of the two).
+	r.ReportLoadFlags("mmp-1", 0.9, true)
+	if _, _, err := r.pick(g.Key()); err != nil {
+		t.Fatalf("pick with all overloaded: %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+package mmp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig bounds how much in-progress signaling an engine accepts
+// before it starts rejecting new procedures cheaply instead of queueing
+// them. SCALE provisions MMP VMs per epoch; between provisioning
+// decisions a signaling storm must hit a bounded queue, not an unbounded
+// one, so the cost of being over capacity is a constant-time NAS reject
+// rather than a latency collapse for every admitted procedure.
+type AdmissionConfig struct {
+	// PendingLimit caps concurrently pending attach procedures per engine
+	// shard. New attaches beyond it are rejected with CauseCongestion
+	// before any HSS work is done. 0 means 256.
+	PendingLimit int
+	// EnterOccupancy is the engine occupancy fraction (busy time /
+	// report interval, as fed by ObserveOccupancy) at or above which the
+	// engine declares itself overloaded. 0 means 0.9.
+	EnterOccupancy float64
+	// ExitOccupancy is the fraction occupancy must stay below before the
+	// overloaded state can clear (hysteresis; must be < EnterOccupancy).
+	// 0 means 0.7.
+	ExitOccupancy float64
+	// EnterQueueDelay is the host-queue sojourn time (fed by
+	// ObserveQueueDelay) at or above which the engine declares itself
+	// overloaded regardless of occupancy. Recovery requires delay back
+	// under half this value. 0 means 50ms.
+	EnterQueueDelay time.Duration
+	// ExitHold is how long both signals must stay calm before the
+	// overloaded state clears — flapping protection. 0 means 2s.
+	ExitHold time.Duration
+	// BackoffMS is the T3346-style backoff timer attached to congestion
+	// rejects, telling the UE when to retry. 0 means 1000.
+	BackoffMS uint32
+	// Disabled turns admission control off entirely: no pending bound,
+	// never overloaded.
+	Disabled bool
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.PendingLimit <= 0 {
+		c.PendingLimit = 256
+	}
+	if c.EnterOccupancy <= 0 {
+		c.EnterOccupancy = 0.9
+	}
+	if c.ExitOccupancy <= 0 {
+		c.ExitOccupancy = 0.7
+	}
+	if c.EnterQueueDelay <= 0 {
+		c.EnterQueueDelay = 50 * time.Millisecond
+	}
+	if c.ExitHold <= 0 {
+		c.ExitHold = 2 * time.Second
+	}
+	if c.BackoffMS == 0 {
+		c.BackoffMS = 1000
+	}
+	return c
+}
+
+// admission is the engine's overload detector: a two-signal hysteresis
+// state machine over occupancy (periodic, from the host's load loop) and
+// queue delay (per dequeued frame, from the host's S1 queue). Entering
+// the overloaded state is immediate on either signal crossing its enter
+// threshold; leaving requires both signals calm for ExitHold.
+type admission struct {
+	cfg AdmissionConfig
+
+	overloaded atomic.Bool
+
+	mu          sync.Mutex
+	lastOcc     float64
+	lastDelay   time.Duration
+	lastDelayAt time.Time
+	calmSince   time.Time // zero while not arming recovery
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	return &admission{cfg: cfg.withDefaults()}
+}
+
+// Overloaded reports the detector state; hosts copy it into load reports.
+func (a *admission) Overloaded() bool { return a.overloaded.Load() }
+
+// ObserveOccupancy feeds one occupancy sample (0..1+ busy fraction).
+func (a *admission) ObserveOccupancy(frac float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastOcc = frac
+	a.evaluate(time.Now())
+}
+
+// ObserveQueueDelay feeds the queueing delay of one dequeued frame.
+func (a *admission) ObserveQueueDelay(d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := time.Now()
+	a.lastDelay = d
+	a.lastDelayAt = now
+	a.evaluate(now)
+}
+
+// evaluate runs the hysteresis transition with a.mu held.
+func (a *admission) evaluate(now time.Time) {
+	delay := a.lastDelay
+	// A queue-delay sample goes stale when the queue stops producing
+	// them (drained or idle); don't let the last storm-era sample pin
+	// the overloaded state forever.
+	if !a.lastDelayAt.IsZero() && now.Sub(a.lastDelayAt) > a.cfg.ExitHold {
+		delay = 0
+	}
+	hot := a.lastOcc >= a.cfg.EnterOccupancy || delay >= a.cfg.EnterQueueDelay
+	calm := a.lastOcc < a.cfg.ExitOccupancy && delay < a.cfg.EnterQueueDelay/2
+
+	if !a.overloaded.Load() {
+		if hot {
+			a.overloaded.Store(true)
+			a.calmSince = time.Time{}
+		}
+		return
+	}
+	if !calm {
+		a.calmSince = time.Time{}
+		return
+	}
+	if a.calmSince.IsZero() {
+		a.calmSince = now
+		return
+	}
+	if now.Sub(a.calmSince) >= a.cfg.ExitHold {
+		a.overloaded.Store(false)
+		a.calmSince = time.Time{}
+	}
+}

@@ -1,0 +1,215 @@
+package mmp
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+	"scale/internal/sgw"
+)
+
+func TestAdmissionHysteresisOccupancy(t *testing.T) {
+	a := newAdmission(AdmissionConfig{
+		EnterOccupancy: 0.9, ExitOccupancy: 0.7, ExitHold: 20 * time.Millisecond,
+	})
+	if a.Overloaded() {
+		t.Fatal("overloaded before any sample")
+	}
+	a.ObserveOccupancy(0.85)
+	if a.Overloaded() {
+		t.Fatal("tripped below enter threshold")
+	}
+	a.ObserveOccupancy(0.95)
+	if !a.Overloaded() {
+		t.Fatal("did not trip at 0.95 occupancy")
+	}
+	// 0.8 is below enter but above exit: must stay overloaded (hysteresis
+	// band) and must not arm recovery.
+	a.ObserveOccupancy(0.8)
+	if !a.Overloaded() {
+		t.Fatal("cleared inside the hysteresis band")
+	}
+	// Calm sample arms recovery, but the state must hold until ExitHold
+	// elapses with no hot sample.
+	a.ObserveOccupancy(0.1)
+	if !a.Overloaded() {
+		t.Fatal("cleared before ExitHold")
+	}
+	time.Sleep(30 * time.Millisecond)
+	a.ObserveOccupancy(0.1)
+	if a.Overloaded() {
+		t.Fatal("did not clear after sustained calm")
+	}
+}
+
+func TestAdmissionHysteresisFlapReset(t *testing.T) {
+	a := newAdmission(AdmissionConfig{
+		EnterOccupancy: 0.9, ExitOccupancy: 0.7, ExitHold: 30 * time.Millisecond,
+	})
+	a.ObserveOccupancy(1.0)
+	a.ObserveOccupancy(0.1) // arms recovery
+	time.Sleep(20 * time.Millisecond)
+	a.ObserveOccupancy(0.95) // re-trips: recovery timer must reset
+	time.Sleep(20 * time.Millisecond)
+	a.ObserveOccupancy(0.1)
+	if !a.Overloaded() {
+		t.Fatal("cleared without a full calm ExitHold after re-trip")
+	}
+	time.Sleep(40 * time.Millisecond)
+	a.ObserveOccupancy(0.1)
+	if a.Overloaded() {
+		t.Fatal("stuck overloaded after sustained calm")
+	}
+}
+
+func TestAdmissionQueueDelaySignal(t *testing.T) {
+	a := newAdmission(AdmissionConfig{
+		EnterQueueDelay: 50 * time.Millisecond, ExitHold: 20 * time.Millisecond,
+	})
+	a.ObserveQueueDelay(10 * time.Millisecond)
+	if a.Overloaded() {
+		t.Fatal("tripped on small queue delay")
+	}
+	a.ObserveQueueDelay(80 * time.Millisecond)
+	if !a.Overloaded() {
+		t.Fatal("did not trip on queue delay over threshold")
+	}
+	// A drained queue stops producing delay samples entirely; the stale
+	// storm-era sample must age out so occupancy alone can clear us.
+	time.Sleep(30 * time.Millisecond)
+	a.ObserveOccupancy(0.1) // arms recovery (stale delay treated as 0)
+	time.Sleep(30 * time.Millisecond)
+	a.ObserveOccupancy(0.1)
+	if a.Overloaded() {
+		t.Fatal("stale queue-delay sample pinned the overloaded state")
+	}
+}
+
+// admissionTestBed builds an engine with a tiny per-shard pending bound
+// on a single shard so the bound is easy to hit deterministically.
+func admissionTestBed(t *testing.T, limit int) *testBed {
+	t.Helper()
+	db := hss.NewDB()
+	db.ProvisionRange(100000, 1000)
+	gw := sgw.New()
+	eng := New(Config{
+		ID:             "mmp-1",
+		Index:          1,
+		PLMN:           guti.PLMN{MCC: 310, MNC: 26},
+		MMEGI:          0x0101,
+		MMEC:           1,
+		ServingNetwork: "310-26",
+		HSS:            localHSS{db},
+		SGW:            localSGW{gw},
+		Shards:         1,
+		Admission:      AdmissionConfig{PendingLimit: limit},
+	})
+	return &testBed{engine: eng, hssDB: db, gw: gw}
+}
+
+// startAttachOnly sends just the AttachRequest, leaving the procedure
+// pending, and returns the downlink NAS answer.
+func startAttachOnly(t *testing.T, e *Engine, imsi uint64, enbUEID uint32) nas.Message {
+	t.Helper()
+	out, err := e.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: enbUEID, TAI: 7,
+		NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: imsi}),
+	})
+	if err != nil {
+		t.Fatalf("attach request: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("attach request out = %d msgs", len(out))
+	}
+	return mustNAS(t, out[0].Msg.(*s1ap.DownlinkNASTransport).NASPDU)
+}
+
+func TestAttachAdmissionBound(t *testing.T) {
+	const limit = 4
+	tb := admissionTestBed(t, limit)
+	e := tb.engine
+
+	// Fill the bound with half-open attaches.
+	for i := 0; i < limit; i++ {
+		if _, ok := startAttachOnly(t, e, uint64(100000+i), uint32(10+i)).(*nas.AuthenticationRequest); !ok {
+			t.Fatalf("attach %d not admitted", i)
+		}
+	}
+	// The next attach must be rejected cheaply with congestion + backoff.
+	rej, ok := startAttachOnly(t, e, 100500, 99).(*nas.AttachReject)
+	if !ok {
+		t.Fatal("attach over the bound was admitted")
+	}
+	if rej.Cause != nas.CauseCongestion {
+		t.Fatalf("reject cause = %d, want %d", rej.Cause, nas.CauseCongestion)
+	}
+	if rej.BackoffMS == 0 {
+		t.Fatal("congestion reject carries no backoff timer")
+	}
+	if s := e.Stats(); s.AdmissionRejects != 1 {
+		t.Fatalf("AdmissionRejects = %d, want 1", s.AdmissionRejects)
+	}
+	if p := e.PendingPeak(); p != limit {
+		t.Fatalf("PendingPeak = %d, want %d", p, limit)
+	}
+	// No HSS work was done for the rejected attach: the reject must not
+	// have registered a serving MME for it.
+	if _, ok := tb.hssDB.ServingMME(100500); ok {
+		t.Fatal("rejected attach reached the HSS")
+	}
+}
+
+func TestAttachAdmissionReleasesSlots(t *testing.T) {
+	const limit = 2
+	tb := admissionTestBed(t, limit)
+	e := tb.engine
+
+	// Completing a full attach must return its admission slot.
+	for i := 0; i < 3*limit; i++ {
+		tb.attach(t, uint64(100000+i), 1, uint32(10+i))
+	}
+	// A failed authentication must return its slot too.
+	for i := 0; i < limit; i++ {
+		m := startAttachOnly(t, e, uint64(100100+i), uint32(50+i))
+		dl := m.(*nas.AuthenticationRequest)
+		_ = dl
+		out, err := e.Handle(1, &s1ap.UplinkNASTransport{
+			ENBUEID: uint32(50 + i), MMEUEID: lastMMEUEID(t, e, uint32(50+i)),
+			NASPDU: nas.Marshal(&nas.AuthenticationResponse{RES: [8]byte{0xFF}}),
+		})
+		if err != nil {
+			t.Fatalf("auth response: %v", err)
+		}
+		if rej, ok := mustNAS(t, out[0].Msg.(*s1ap.DownlinkNASTransport).NASPDU).(*nas.AttachReject); !ok || rej.Cause != nas.CauseAuthFailure {
+			t.Fatalf("expected auth-failure reject, got %v", out[0].Msg)
+		}
+	}
+	// All slots must be free again.
+	for i := 0; i < limit; i++ {
+		if _, ok := startAttachOnly(t, e, uint64(100200+i), uint32(70+i)).(*nas.AuthenticationRequest); !ok {
+			t.Fatalf("slot %d not released", i)
+		}
+	}
+	if s := e.Stats(); s.AdmissionRejects != 0 {
+		t.Fatalf("AdmissionRejects = %d, want 0", s.AdmissionRejects)
+	}
+}
+
+// lastMMEUEID digs the MMEUEID of the pending attach for enbUEID out of
+// the engine's single shard (tests run with Shards: 1).
+func lastMMEUEID(t *testing.T, e *Engine, enbUEID uint32) uint32 {
+	t.Helper()
+	s := e.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, proc := range s.pendingAttach {
+		if proc.enbUEID == enbUEID {
+			return id
+		}
+	}
+	t.Fatalf("no pending attach for eNB UE id %d", enbUEID)
+	return 0
+}

@@ -106,6 +106,15 @@ type Config struct {
 	// power of two); 0 sizes it to GOMAXPROCS. Tests use 1 to force every
 	// device onto one shard.
 	Shards int
+	// Admission bounds pending procedures and detects overload; zero
+	// values take the AdmissionConfig defaults. Set Admission.Disabled to
+	// turn admission control off.
+	Admission AdmissionConfig
+	// ProcCost, when nonzero, adds a fixed delay to every handled
+	// message — a stand-in for per-procedure CPU cost so capacity drills
+	// and overload tests can provision a deterministic ceiling (the
+	// host's serialized S1 queue then caps throughput at 1/ProcCost).
+	ProcCost time.Duration
 	// CDR, when set, receives a call data record for every completed
 	// procedure (Section 2 lists CDR generation among the MME's tasks).
 	CDR *cdr.Journal
@@ -133,6 +142,9 @@ type Stats struct {
 	// Promotions counts replica entries promoted to master during
 	// failover (PromoteReplicasFrom).
 	Promotions uint64
+	// AdmissionRejects counts new attaches refused at the admission
+	// bound (rejected with CauseCongestion before any HSS work).
+	AdmissionRejects uint64
 }
 
 // shardStats is one shard's slice of the activity counters. Fields are
@@ -153,6 +165,7 @@ type shardStats struct {
 	forwardsRequested atomic.Uint64
 	implicitDetaches  atomic.Uint64
 	promotions        atomic.Uint64
+	admissionRejects  atomic.Uint64
 }
 
 // Errors the engine returns to its host.
@@ -198,6 +211,13 @@ type engineShard struct {
 	pendingHO     map[uint32]*hoProc     // keyed by MMEUEID
 	lastActivity  map[guti.GUTI]time.Time
 
+	// attachLoad counts pending attach procedures including those
+	// admitted but not yet inserted (the admission reservation covers
+	// the lock-free HSS window), so the bound holds under concurrency.
+	// attachPeak records the high-water mark for the overload metrics.
+	attachLoad atomic.Int32
+	attachPeak atomic.Int32
+
 	stats shardStats
 }
 
@@ -219,6 +239,7 @@ type Engine struct {
 	nShards   uint32
 	shardMask uint32
 
+	adm *admission // nil when Config.Admission.Disabled
 	obs *engineObs // nil when Config.Obs is unset
 }
 
@@ -264,6 +285,12 @@ func New(cfg Config) *Engine {
 			pendingHO:     make(map[uint32]*hoProc),
 			lastActivity:  make(map[guti.GUTI]time.Time),
 		}
+	}
+	if !cfg.Admission.Disabled {
+		e.adm = newAdmission(cfg.Admission)
+	}
+	if eo != nil {
+		eo.registerAdmission(e)
 	}
 	return e
 }
@@ -312,8 +339,82 @@ func (e *Engine) Stats() Stats {
 		out.ForwardsRequested += s.stats.forwardsRequested.Load()
 		out.ImplicitDetaches += s.stats.implicitDetaches.Load()
 		out.Promotions += s.stats.promotions.Load()
+		out.AdmissionRejects += s.stats.admissionRejects.Load()
 	}
 	return out
+}
+
+// Overloaded reports the admission detector's state. Hosts copy it into
+// their load reports so the MLB can steer and shed.
+func (e *Engine) Overloaded() bool { return e.adm != nil && e.adm.Overloaded() }
+
+// ObserveOccupancy feeds one occupancy sample (busy fraction over the
+// host's report interval) into the admission detector.
+func (e *Engine) ObserveOccupancy(frac float64) {
+	if e.adm != nil {
+		e.adm.ObserveOccupancy(frac)
+	}
+}
+
+// ObserveQueueDelay feeds the host-queue sojourn time of one dequeued
+// frame into the admission detector.
+func (e *Engine) ObserveQueueDelay(d time.Duration) {
+	if e.adm != nil {
+		e.adm.ObserveQueueDelay(d)
+	}
+}
+
+// AdmissionBackoffMS is the backoff timer the engine attaches to its
+// congestion rejects (hosts reuse it for rejects they mint themselves).
+func (e *Engine) AdmissionBackoffMS() uint32 {
+	if e.adm == nil {
+		return AdmissionConfig{}.withDefaults().BackoffMS
+	}
+	return e.adm.cfg.BackoffMS
+}
+
+// PendingPeak reports the highest pending-attach count any shard has
+// seen — the bounded-queue assertion surface for overload tests.
+func (e *Engine) PendingPeak() int {
+	var peak int32
+	for _, s := range e.shards {
+		if p := s.attachPeak.Load(); p > peak {
+			peak = p
+		}
+	}
+	return int(peak)
+}
+
+// admitAttach reserves one pending-attach slot on shard s, returning
+// false when the shard is at its admission bound. The reservation is
+// released by releaseAttach (abort) or consumed when the pending entry
+// is deleted after AttachComplete / auth failure.
+func (e *Engine) admitAttach(s *engineShard) bool {
+	if e.adm == nil {
+		return true
+	}
+	lim := int32(e.adm.cfg.PendingLimit)
+	for {
+		cur := s.attachLoad.Load()
+		if cur >= lim {
+			return false
+		}
+		if s.attachLoad.CompareAndSwap(cur, cur+1) {
+			for {
+				p := s.attachPeak.Load()
+				if cur+1 <= p || s.attachPeak.CompareAndSwap(p, cur+1) {
+					return true
+				}
+			}
+		}
+	}
+}
+
+// releaseAttach returns one reserved pending-attach slot on shard s.
+func (e *Engine) releaseAttach(s *engineShard) {
+	if e.adm != nil {
+		s.attachLoad.Add(-1)
+	}
 }
 
 // nextUEIDLocked mints a UE id on shard s (s.mu held). The composed
@@ -374,6 +475,9 @@ func (e *Engine) BusyNS() int64 { return e.busyNS.Load() }
 func (e *Engine) Handled() uint64 { return e.handled.Load() }
 
 func (e *Engine) dispatch(enbID uint32, msg s1ap.Message) ([]Outbound, error) {
+	if e.cfg.ProcCost > 0 {
+		time.Sleep(e.cfg.ProcCost)
+	}
 	switch m := msg.(type) {
 	case *s1ap.InitialUEMessage:
 		return e.handleInitialUE(enbID, m)
@@ -416,15 +520,38 @@ func (e *Engine) handleInitialUE(enbID uint32, m *s1ap.InitialUEMessage) ([]Outb
 }
 
 // startAttach runs steps 1 of the attach procedure: identity, auth
-// vector retrieval, authentication challenge.
+// vector retrieval, authentication challenge. The admission bound is
+// checked before any HSS work so an over-capacity attach costs one
+// atomic compare-and-swap plus a NAS reject, never an S6a round trip.
 func (e *Engine) startAttach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.AttachRequest) ([]Outbound, error) {
-	// Fetch an auth vector first (no shard lock across the HSS call).
+	g := req.OldGUTI
+	if g.IsZero() {
+		g = e.alloc.Allocate()
+	}
+	s := e.gutiShard(g)
+	if !e.admitAttach(s) {
+		s.stats.admissionRejects.Add(1)
+		if e.obs != nil {
+			e.obs.admissionRejects.Inc()
+		}
+		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
+			ENBUEID: m.ENBUEID,
+			NASPDU: nas.Marshal(&nas.AttachReject{
+				Cause: nas.CauseCongestion, BackoffMS: e.AdmissionBackoffMS(),
+			}),
+		}}}, nil
+	}
+
+	// Fetch an auth vector (no shard lock across the HSS call; the
+	// admission reservation above keeps the bound honest meanwhile).
 	ans, err := e.cfg.HSS.AuthInfo(req.IMSI, e.cfg.ServingNetwork, 1)
 	if err != nil {
+		e.releaseAttach(s)
 		return nil, fmt.Errorf("mmp: HSS auth info: %w", err)
 	}
 	if ans.Result != s6.ResultSuccess || len(ans.Vectors) == 0 {
-		e.gutiShard(req.OldGUTI).stats.authFailures.Add(1)
+		e.releaseAttach(s)
+		s.stats.authFailures.Add(1)
 		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 			ENBUEID: m.ENBUEID,
 			NASPDU:  nas.Marshal(&nas.AttachReject{Cause: nas.CauseAuthFailure}),
@@ -432,11 +559,6 @@ func (e *Engine) startAttach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.At
 	}
 	v := ans.Vectors[0]
 
-	g := req.OldGUTI
-	if g.IsZero() {
-		g = e.alloc.Allocate()
-	}
-	s := e.gutiShard(g)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mmeUEID := e.nextUEIDLocked(s)
@@ -489,6 +611,7 @@ func (e *Engine) authResponse(enbID uint32, m *s1ap.UplinkNASTransport, resp *na
 		s.stats.authFailures.Add(1)
 		delete(s.pendingAttach, m.MMEUEID)
 		delete(s.byMMEUEID, m.MMEUEID)
+		e.releaseAttach(s)
 		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 			ENBUEID: m.ENBUEID, MMEUEID: m.MMEUEID,
 			NASPDU: nas.Marshal(&nas.AttachReject{Cause: nas.CauseAuthFailure}),
@@ -521,6 +644,7 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 		return nil, fmt.Errorf("mmp: update location: %w", err)
 	}
 	if ula.Result != s6.ResultSuccess {
+		e.abortAttach(mmeUEID)
 		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
 			NASPDU: nas.Marshal(&nas.AttachReject{Cause: nas.CauseAuthFailure}),
@@ -531,9 +655,10 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 		return nil, fmt.Errorf("mmp: create session: %w", err)
 	}
 	if csr.Cause != s11.CauseAccepted {
+		e.abortAttach(mmeUEID)
 		return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
-			NASPDU: nas.Marshal(&nas.AttachReject{Cause: nas.CauseCongestion}),
+			NASPDU: nas.Marshal(&nas.AttachReject{Cause: nas.CauseCongestion, BackoffMS: e.AdmissionBackoffMS()}),
 		}}}, nil
 	}
 
@@ -592,7 +717,26 @@ func (e *Engine) attachComplete(m *s1ap.UplinkNASTransport) ([]Outbound, error) 
 		return nil, ErrBadState
 	}
 	delete(s.pendingAttach, m.MMEUEID)
+	e.releaseAttach(s)
 	return nil, nil
+}
+
+// abortAttach tears down a pending attach that failed after the
+// challenge (HSS/S-GW definite refusal): the procedure is over, so its
+// entry and admission reservation must not linger until a complete that
+// will never come.
+func (e *Engine) abortAttach(mmeUEID uint32) {
+	s := e.idShard(mmeUEID)
+	s.mu.Lock()
+	_, ok := s.pendingAttach[mmeUEID]
+	if ok {
+		delete(s.pendingAttach, mmeUEID)
+		delete(s.byMMEUEID, mmeUEID)
+	}
+	s.mu.Unlock()
+	if ok {
+		e.releaseAttach(s)
+	}
 }
 
 func (e *Engine) handleICSResponse(enbID uint32, m *s1ap.InitialContextSetupResponse) ([]Outbound, error) {

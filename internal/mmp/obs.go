@@ -76,14 +76,19 @@ type engineObs struct {
 	ob       *obs.Observer
 	requests map[string]*obs.Counter // proc → count
 	errs     map[string]*obs.Counter // kind → count
+
+	admissionRejects *obs.Counter
+	id               string
 }
 
 func newEngineObs(ob *obs.Observer, id string) *engineObs {
 	e := &engineObs{
 		ob:       ob,
+		id:       id,
 		requests: make(map[string]*obs.Counter, len(procNames)),
 		errs:     make(map[string]*obs.Counter, 3),
 	}
+	e.admissionRejects = ob.Reg.Counter(fmt.Sprintf("mmp_admission_rejects_total{mmp=%q}", id))
 	for _, p := range procNames {
 		e.requests[p] = ob.Reg.Counter(fmt.Sprintf("mmp_requests_total{mmp=%q,proc=%q}", id, p))
 		// Same id format the tracer uses, so the latency summaries are
@@ -94,6 +99,20 @@ func newEngineObs(ob *obs.Observer, id string) *engineObs {
 		e.errs[k] = ob.Reg.Counter(fmt.Sprintf("mmp_errors_total{mmp=%q,kind=%q}", id, k))
 	}
 	return e
+}
+
+// registerAdmission exposes the engine's admission state as live gauges.
+// Called from New once the engine exists (engineObs is built first).
+func (o *engineObs) registerAdmission(e *Engine) {
+	o.ob.Reg.GaugeFunc(fmt.Sprintf("mmp_admission_overloaded{mmp=%q}", o.id), func() float64 {
+		if e.Overloaded() {
+			return 1
+		}
+		return 0
+	})
+	o.ob.Reg.GaugeFunc(fmt.Sprintf("mmp_admission_pending_peak{mmp=%q}", o.id), func() float64 {
+		return float64(e.PendingPeak())
+	})
 }
 
 func (o *engineObs) countError(err error) {

@@ -250,16 +250,28 @@ func (*AttachComplete) Type() MessageType { return TypeAttachComplete }
 func (m *AttachComplete) marshal(w *wire.Writer)   { putGUTI(w, m.GUTI) }
 func (m *AttachComplete) unmarshal(r *wire.Reader) { m.GUTI = getGUTI(r) }
 
-// AttachReject refuses registration.
+// AttachReject refuses registration. BackoffMS is the T3346-style
+// backoff timer IE (TS 24.301 §5.5.1.2.5): with CauseCongestion it tells
+// the device not to retry for that long. Milliseconds rather than the
+// spec's GPRS-timer granularity, per this repo's reproduction-faithful
+// (not bit-exact) encoding; 0 means no timer.
 type AttachReject struct {
-	Cause uint8
+	Cause     uint8
+	BackoffMS uint32
 }
 
 // Type implements Message.
 func (*AttachReject) Type() MessageType { return TypeAttachReject }
 
-func (m *AttachReject) marshal(w *wire.Writer)   { w.U8(m.Cause) }
-func (m *AttachReject) unmarshal(r *wire.Reader) { m.Cause = r.U8() }
+func (m *AttachReject) marshal(w *wire.Writer) {
+	w.U8(m.Cause)
+	w.U32(m.BackoffMS)
+}
+
+func (m *AttachReject) unmarshal(r *wire.Reader) {
+	m.Cause = r.U8()
+	m.BackoffMS = r.U32()
+}
 
 // AuthenticationRequest carries the EPS-AKA challenge (RAND, AUTN).
 type AuthenticationRequest struct {
@@ -354,16 +366,25 @@ func (*ServiceAccept) Type() MessageType { return TypeServiceAccept }
 func (m *ServiceAccept) marshal(w *wire.Writer)   { w.U8(m.EBI) }
 func (m *ServiceAccept) unmarshal(r *wire.Reader) { m.EBI = r.U8() }
 
-// ServiceReject refuses the transition.
+// ServiceReject refuses the transition. BackoffMS is the T3346-style
+// backoff timer IE (see AttachReject).
 type ServiceReject struct {
-	Cause uint8
+	Cause     uint8
+	BackoffMS uint32
 }
 
 // Type implements Message.
 func (*ServiceReject) Type() MessageType { return TypeServiceReject }
 
-func (m *ServiceReject) marshal(w *wire.Writer)   { w.U8(m.Cause) }
-func (m *ServiceReject) unmarshal(r *wire.Reader) { m.Cause = r.U8() }
+func (m *ServiceReject) marshal(w *wire.Writer) {
+	w.U8(m.Cause)
+	w.U32(m.BackoffMS)
+}
+
+func (m *ServiceReject) unmarshal(r *wire.Reader) {
+	m.Cause = r.U8()
+	m.BackoffMS = r.U32()
+}
 
 // TAURequest is the periodic (or mobility-triggered) tracking area
 // update from an Idle device.
@@ -404,16 +425,25 @@ func (m *TAUAccept) unmarshal(r *wire.Reader) {
 	m.T3412Sec = r.U32()
 }
 
-// TAUReject refuses the update.
+// TAUReject refuses the update. BackoffMS is the T3346-style backoff
+// timer IE (see AttachReject).
 type TAUReject struct {
-	Cause uint8
+	Cause     uint8
+	BackoffMS uint32
 }
 
 // Type implements Message.
 func (*TAUReject) Type() MessageType { return TypeTAUReject }
 
-func (m *TAUReject) marshal(w *wire.Writer)   { w.U8(m.Cause) }
-func (m *TAUReject) unmarshal(r *wire.Reader) { m.Cause = r.U8() }
+func (m *TAUReject) marshal(w *wire.Writer) {
+	w.U8(m.Cause)
+	w.U32(m.BackoffMS)
+}
+
+func (m *TAUReject) unmarshal(r *wire.Reader) {
+	m.Cause = r.U8()
+	m.BackoffMS = r.U32()
+}
 
 // DetachRequest deregisters the device. SwitchOff suppresses the
 // DetachAccept.

@@ -39,6 +39,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&AttachAccept{GUTI: testGUTI}, // nil TAI list
 		&AttachComplete{GUTI: testGUTI},
 		&AttachReject{Cause: CauseCongestion},
+		&AttachReject{Cause: CauseCongestion, BackoffMS: 2500},
 		&AuthenticationRequest{RAND: [16]byte{1, 2, 3}, AUTN: [16]byte{4, 5, 6}},
 		&AuthenticationResponse{RES: [8]byte{9, 9, 9}},
 		&SecurityModeCommand{Alg: AlgHMACSHA256, NonceMME: 0xDEAD},
@@ -46,9 +47,11 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&ServiceRequest{GUTI: testGUTI, KSI: 3, Seq: 42},
 		&ServiceAccept{EBI: 5},
 		&ServiceReject{Cause: CauseImplicitDetached},
+		&ServiceReject{Cause: CauseCongestion, BackoffMS: 1000},
 		&TAURequest{GUTI: testGUTI, TAI: 12},
 		&TAUAccept{GUTI: testGUTI, T3412Sec: 3240},
 		&TAUReject{Cause: CauseProtocolError},
+		&TAUReject{Cause: CauseCongestion, BackoffMS: 60000},
 		&DetachRequest{GUTI: testGUTI, SwitchOff: true},
 		&DetachAccept{},
 	}

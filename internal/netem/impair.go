@@ -1,0 +1,217 @@
+package netem
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Impairment wraps a net.Conn with runtime-adjustable degradation:
+// added one-way delay with jitter, probabilistic loss, and a hard
+// partition. Unlike DelayedConn, every knob can be changed while the
+// connection is live, so chaos tests can degrade and heal a link
+// mid-run.
+//
+// The wrapped stream is framed TCP, so "loss" does not corrupt bytes:
+// a lost segment on a real TCP link manifests to the application as a
+// retransmission stall, and that is exactly how it is modeled here —
+// an impaired Write is delivered intact after an extra RTO-sized
+// penalty. A partition blocks delivery entirely (writes queue, then
+// flush on heal), which is what TCP endpoints observe inside the
+// retransmission window; long partitions surface as application-level
+// timeouts, exactly as in production.
+//
+// Reads pass through untouched: the peer impairs its own writes.
+type Impairment struct {
+	net.Conn
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	delay       Delay
+	loss        float64 // probability an enqueued write pays the RTO penalty
+	rto         time.Duration
+	partitioned bool
+	healed      chan struct{} // closed when the current partition lifts
+	closed      bool
+	err         error
+
+	queue      chan impairedChunk
+	done       chan struct{}
+	wg         sync.WaitGroup
+	lossEvents atomic.Uint64
+}
+
+type impairedChunk struct {
+	due  time.Time
+	data []byte
+}
+
+// DefaultRTO is the retransmission penalty a lost write pays.
+const DefaultRTO = 200 * time.Millisecond
+
+// NewImpairment wraps conn with an initially transparent impairment
+// layer (no delay, no loss, not partitioned). seed feeds the loss and
+// jitter source.
+func NewImpairment(conn net.Conn, seed int64) *Impairment {
+	im := &Impairment{
+		Conn:  conn,
+		rng:   rand.New(rand.NewSource(seed)),
+		rto:   DefaultRTO,
+		queue: make(chan impairedChunk, 1024),
+		done:  make(chan struct{}),
+	}
+	im.wg.Add(1)
+	go im.worker()
+	return im
+}
+
+// SetDelay changes the one-way delay profile applied to new writes.
+func (im *Impairment) SetDelay(d Delay) {
+	im.mu.Lock()
+	im.delay = d
+	im.mu.Unlock()
+}
+
+// SetLoss sets the per-write loss probability in [0,1]. Lost writes
+// are delivered after an extra RTO penalty (see type comment).
+func (im *Impairment) SetLoss(p float64) {
+	im.mu.Lock()
+	switch {
+	case p < 0:
+		im.loss = 0
+	case p > 1:
+		im.loss = 1
+	default:
+		im.loss = p
+	}
+	im.mu.Unlock()
+}
+
+// SetRTO changes the retransmission penalty lost writes pay.
+func (im *Impairment) SetRTO(d time.Duration) {
+	im.mu.Lock()
+	if d > 0 {
+		im.rto = d
+	}
+	im.mu.Unlock()
+}
+
+// Partition severs (on=true) or heals (on=false) the link. While
+// severed, queued writes are held; on heal they flush in order.
+func (im *Impairment) Partition(on bool) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if on == im.partitioned {
+		return
+	}
+	im.partitioned = on
+	if on {
+		im.healed = make(chan struct{})
+	} else if im.healed != nil {
+		close(im.healed)
+		im.healed = nil
+	}
+}
+
+// LossEvents reports how many writes paid the loss penalty so far.
+func (im *Impairment) LossEvents() uint64 { return im.lossEvents.Load() }
+
+// Write queues b for impaired delivery, reporting len(b) immediately
+// unless the conn is closed or a previous delivery failed. Data is
+// copied; callers may reuse b.
+func (im *Impairment) Write(b []byte) (int, error) {
+	im.mu.Lock()
+	if im.closed {
+		im.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	if im.err != nil {
+		err := im.err
+		im.mu.Unlock()
+		return 0, err
+	}
+	wait := im.delay.Sample(im.rng)
+	if im.loss > 0 && im.rng.Float64() < im.loss {
+		wait += im.rto
+		im.lossEvents.Add(1)
+	}
+	due := time.Now().Add(wait)
+	data := make([]byte, len(b))
+	copy(data, b)
+	im.mu.Unlock()
+
+	select {
+	case im.queue <- impairedChunk{due: due, data: data}:
+		return len(b), nil
+	case <-im.done:
+		return 0, net.ErrClosed
+	}
+}
+
+func (im *Impairment) worker() {
+	defer im.wg.Done()
+	for {
+		select {
+		case <-im.done:
+			return
+		case chunk := <-im.queue:
+			if !im.waitHealed() {
+				return
+			}
+			if wait := time.Until(chunk.due); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-im.done:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+			if _, err := im.Conn.Write(chunk.data); err != nil {
+				im.mu.Lock()
+				if im.err == nil {
+					im.err = err
+				}
+				im.mu.Unlock()
+				// Keep draining so senders don't block forever.
+			}
+		}
+	}
+}
+
+// waitHealed blocks while the link is partitioned; false means the
+// impairment was closed first.
+func (im *Impairment) waitHealed() bool {
+	for {
+		im.mu.Lock()
+		if !im.partitioned {
+			im.mu.Unlock()
+			return true
+		}
+		ch := im.healed
+		im.mu.Unlock()
+		select {
+		case <-ch:
+		case <-im.done:
+			return false
+		}
+	}
+}
+
+// Close stops delivery and closes the underlying connection. Queued
+// but undelivered writes are discarded (the link died with data in
+// flight).
+func (im *Impairment) Close() error {
+	im.mu.Lock()
+	if im.closed {
+		im.mu.Unlock()
+		return nil
+	}
+	im.closed = true
+	im.mu.Unlock()
+	close(im.done)
+	im.wg.Wait()
+	return im.Conn.Close()
+}

@@ -1,0 +1,150 @@
+package netem
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// impairedPipe returns an impaired client end and a channel of reads
+// from the server end (one []byte per Read call).
+func impairedPipe(t *testing.T) (*Impairment, <-chan []byte) {
+	t.Helper()
+	a, b := net.Pipe()
+	im := NewImpairment(a, 1)
+	t.Cleanup(func() { im.Close(); b.Close() })
+	reads := make(chan []byte, 64)
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			n, err := b.Read(buf)
+			if err != nil {
+				close(reads)
+				return
+			}
+			out := make([]byte, n)
+			copy(out, buf[:n])
+			reads <- out
+		}
+	}()
+	return im, reads
+}
+
+func recvWithin(t *testing.T, reads <-chan []byte, d time.Duration) []byte {
+	t.Helper()
+	select {
+	case b := <-reads:
+		return b
+	case <-time.After(d):
+		t.Fatal("no delivery within deadline")
+		return nil
+	}
+}
+
+func TestImpairmentTransparentByDefault(t *testing.T) {
+	im, reads := impairedPipe(t)
+	if _, err := im.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(recvWithin(t, reads, time.Second)); got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestImpairmentDelay(t *testing.T) {
+	im, reads := impairedPipe(t)
+	im.SetDelay(Delay{Base: 40 * time.Millisecond})
+	start := time.Now()
+	if _, err := im.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, reads, time.Second)
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= 40ms", el)
+	}
+	// Delay can be removed live.
+	im.SetDelay(Delay{})
+	start = time.Now()
+	im.Write([]byte("y"))
+	recvWithin(t, reads, time.Second)
+	if el := time.Since(start); el > 30*time.Millisecond {
+		t.Fatalf("undelayed write took %v", el)
+	}
+}
+
+func TestImpairmentLossStallsWithoutCorrupting(t *testing.T) {
+	im, reads := impairedPipe(t)
+	im.SetRTO(50 * time.Millisecond)
+	im.SetLoss(1)
+	start := time.Now()
+	if _, err := im.Write([]byte("frame")); err != nil {
+		t.Fatal(err)
+	}
+	got := string(recvWithin(t, reads, time.Second))
+	if got != "frame" {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("lost write delivered after only %v", el)
+	}
+	if im.LossEvents() != 1 {
+		t.Fatalf("loss events = %d", im.LossEvents())
+	}
+	// Clamping.
+	im.SetLoss(-1)
+	im.Write([]byte("z"))
+	recvWithin(t, reads, time.Second)
+	if im.LossEvents() != 1 {
+		t.Fatal("negative loss probability still losing")
+	}
+}
+
+func TestImpairmentPartitionAndHeal(t *testing.T) {
+	im, reads := impairedPipe(t)
+	im.Partition(true)
+	if _, err := im.Write([]byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-reads:
+		t.Fatal("delivery across a partition")
+	case <-time.After(60 * time.Millisecond):
+	}
+	im.Partition(false)
+	if got := string(recvWithin(t, reads, time.Second)); got != "held" {
+		t.Fatalf("after heal got %q", got)
+	}
+	// Redundant transitions are no-ops.
+	im.Partition(false)
+	im.Partition(true)
+	im.Partition(true)
+	im.Partition(false)
+	im.Write([]byte("ok"))
+	if got := string(recvWithin(t, reads, time.Second)); got != "ok" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestImpairmentCloseUnblocksPartition(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	im := NewImpairment(a, 1)
+	im.Partition(true)
+	im.Write([]byte("doomed"))
+	done := make(chan struct{})
+	go func() {
+		im.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Close hung on a partitioned link")
+	}
+	if _, err := im.Write([]byte("x")); err != net.ErrClosed {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ const (
 	StageS11       = "s11"
 	StageReplicate = "replicate"
 	StageFailover  = "failover"
+	StageOverload  = "overload"
 
 	StageNet     = "net"
 	StageQueue   = "queue"

@@ -225,12 +225,28 @@ func (m *S1SetupResponse) unmarshal(r *wire.Reader) {
 	m.RelativeCapacity = r.U8()
 }
 
+// RRC establishment causes carried in InitialUEMessage (TS 36.413
+// §9.2.1.3a). Overload control classifies new signaling by them:
+// OverloadStart shedding never touches emergency, high-priority or
+// mt-access (paging response) requests. The zero value is ordinary
+// mobile-originated data so pre-existing senders stay sheddable.
+const (
+	EstabMOData       uint8 = 0
+	EstabMOSignalling uint8 = 1
+	EstabMTAccess     uint8 = 2
+	EstabEmergency    uint8 = 3
+	EstabHighPriority uint8 = 4
+)
+
 // InitialUEMessage carries the first NAS PDU of a UE transaction (e.g.
 // an AttachRequest or ServiceRequest) from the eNodeB to the MME.
 type InitialUEMessage struct {
 	ENBUEID uint32 // eNodeB-assigned per-UE S1AP id
 	TAI     uint16
-	NASPDU  []byte
+	// EstabCause is the RRC establishment cause (Estab* constants); the
+	// overload-control path uses it to exempt priority traffic.
+	EstabCause uint8
+	NASPDU     []byte
 }
 
 // Type implements Message.
@@ -239,12 +255,14 @@ func (*InitialUEMessage) Type() MessageType { return TypeInitialUEMessage }
 func (m *InitialUEMessage) marshal(w *wire.Writer) {
 	w.U32(m.ENBUEID)
 	w.U16(m.TAI)
+	w.U8(m.EstabCause)
 	w.Bytes16(m.NASPDU)
 }
 
 func (m *InitialUEMessage) unmarshal(r *wire.Reader) {
 	m.ENBUEID = r.U32()
 	m.TAI = r.U16()
+	m.EstabCause = r.U8()
 	m.NASPDU = r.Bytes16()
 }
 

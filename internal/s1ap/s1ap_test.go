@@ -12,6 +12,8 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&S1SetupRequest{ENBID: 1}, // empty name/TAIs
 		&S1SetupResponse{MMEName: "mlb-1", ServedMMEGIs: []uint16{0x0101}, RelativeCapacity: 200},
 		&InitialUEMessage{ENBUEID: 7, TAI: 3, NASPDU: []byte{1, 2, 3}},
+		&InitialUEMessage{ENBUEID: 8, TAI: 3, EstabCause: EstabMTAccess, NASPDU: []byte{9}},
+		&InitialUEMessage{ENBUEID: 9, TAI: 4, EstabCause: EstabEmergency, NASPDU: []byte{8}},
 		&UplinkNASTransport{ENBUEID: 7, MMEUEID: 0x01000009, NASPDU: []byte{4}},
 		&DownlinkNASTransport{ENBUEID: 7, MMEUEID: 9, NASPDU: []byte{5, 6}},
 		&InitialContextSetupRequest{ENBUEID: 7, MMEUEID: 9, SGWTEID: 11, SGWAddr: "10.0.0.2:2123", KeyENB: [32]byte{1}, BearerID: 5},
