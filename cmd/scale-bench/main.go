@@ -51,6 +51,7 @@ func main() {
 	start := time.Now()
 	var rep benchReport
 	rep.StartedAt = start.UTC().Format(time.RFC3339)
+	rep.Meta = collectMeta()
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
 			continue

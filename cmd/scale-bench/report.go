@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"time"
 
 	"scale/internal/core"
@@ -40,10 +43,40 @@ type checkResult struct {
 	Detail string `json:"detail"`
 }
 
+// runMeta identifies the machine and tree a report came from, so
+// BENCH_*.json files can be compared across commits and hosts.
+type runMeta struct {
+	GitSHA     string `json:"git_sha,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+func collectMeta() runMeta {
+	m := runMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.GitSHA = strings.TrimSpace(string(out))
+	}
+	if host, err := os.Hostname(); err == nil {
+		m.Hostname = host
+	}
+	return m
+}
+
 // benchReport is the BENCH_*.json schema.
 type benchReport struct {
 	StartedAt   string  `json:"started_at"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
+	Meta        runMeta `json:"meta"`
 	Calibration struct {
 		VMs              int                `json:"vms"`
 		Devices          int                `json:"devices"`

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -17,6 +18,7 @@ import (
 	"scale/internal/core"
 	"scale/internal/hss"
 	"scale/internal/obs"
+	"scale/internal/obs/timeseries"
 	"scale/internal/sgw"
 )
 
@@ -29,6 +31,9 @@ func main() {
 		obsListen   = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
 		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; requires -obs-listen)")
 		blockRate   = flag.Int("block-profile-rate", 0, "sample one blocking event per n ns blocked for /debug/pprof/block (0 disables; requires -obs-listen)")
+
+		histInterval  = flag.Duration("history-interval", timeseries.DefaultInterval, "metric history sampling interval")
+		histRetention = flag.Int("history-retention", timeseries.DefaultRetention, "metric history samples retained per series")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-epc ", log.LstdFlags|log.Lmicroseconds)
@@ -51,7 +56,22 @@ func main() {
 		core.RegisterTransportMetrics(ob.Reg)
 		ob.Reg.CounterFunc("hss_vectors_issued_total", func() uint64 { return uint64(db.VectorsIssued()) })
 		ob.Reg.GaugeFunc("sgw_sessions", func() float64 { return float64(gw.Len()) })
-		osrv, err := obs.Serve(*obsListen, ob.Reg, ob.Tracer)
+		col := timeseries.New(timeseries.Config{
+			Registry:  ob.Reg,
+			Interval:  *histInterval,
+			Retention: *histRetention,
+		})
+		col.Start()
+		defer col.Stop()
+		osrv, err := obs.ServeConfig(*obsListen, obs.HandlerConfig{
+			Registry: ob.Reg,
+			Tracer:   ob.Tracer,
+			Events:   ob.Events,
+			// Both servers bound before this block runs, so the EPC is
+			// ready as soon as the probe is reachable.
+			Ready:  func() (bool, string) { return true, "" },
+			Mounts: []func(*http.ServeMux){col.Mount},
+		})
 		if err != nil {
 			logger.Fatalf("%v", err)
 		}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,7 +21,15 @@ import (
 	"scale/internal/guti"
 	"scale/internal/mlb"
 	"scale/internal/obs"
+	"scale/internal/obs/slo"
+	"scale/internal/obs/timeseries"
 )
+
+// defaultSLOs is the MLB's out-of-the-box objective set: attach rejects
+// under overload shedding must stay rare, and the routing hop must stay
+// fast.
+const defaultSLOs = `attach-shed:ratio(mlb_overload_shed_total{proc="attach"}/mlb_ingress_total{proc="attach"})<0.05@10s,1m;` +
+	`route-p99:p99(span_duration_seconds{proc="attach",stage="mlb-route"})<5ms@10s,1m`
 
 func main() {
 	var (
@@ -49,9 +58,19 @@ func main() {
 		ovlEvery    = flag.Duration("overload-every", 0, "headroom evaluation interval (0 = default 100ms)")
 		ovlShedHP   = flag.Bool("overload-shed-high-priority", false, "shed the high-priority establishment class too (default: exempt)")
 		retryBudget = flag.Int("forward-retry-budget", 0, "max in-flight MLB->MMP messages in retry backoff before drops (0 = default)")
+
+		histInterval  = flag.Duration("history-interval", timeseries.DefaultInterval, "metric history sampling interval")
+		histRetention = flag.Int("history-retention", timeseries.DefaultRetention, "metric history samples retained per series")
+		modelWindow   = flag.Duration("model-window", 10*time.Second, "default trailing window for /debug/scale/model")
+		sloSpecs      = flag.String("slo", defaultSLOs, "';'-separated SLO objectives (name:p99(metric)<dur or name:ratio(bad/total)<frac, optional @short,long); empty disables")
+		sloEvery      = flag.Duration("slo-every", time.Second, "SLO evaluation interval")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-mlb ", log.LstdFlags|log.Lmicroseconds)
+
+	// The server is created after the observability listener binds, so
+	// the readiness probe reads it through this pointer.
+	var srv *core.MLBServer
 
 	// Bind the observability listener before the S1AP/cluster listeners
 	// so a bad -obs-listen fails fast, before eNBs can connect.
@@ -59,7 +78,50 @@ func main() {
 	if *obsListen != "" {
 		ob = obs.NewObserver(*name, *spanLog)
 		core.RegisterTransportMetrics(ob.Reg)
-		osrv, err := obs.Serve(*obsListen, ob.Reg, ob.Tracer)
+		col := timeseries.New(timeseries.Config{
+			Registry:  ob.Reg,
+			Interval:  *histInterval,
+			Retention: *histRetention,
+		})
+		col.Start()
+		defer col.Stop()
+		feed := timeseries.NewModelFeed(col, *modelWindow)
+		mounts := []func(*http.ServeMux){col.Mount, feed.Mount}
+		if *sloSpecs != "" {
+			objs, err := slo.ParseList(*sloSpecs)
+			if err != nil {
+				logger.Fatalf("-slo: %v", err)
+			}
+			trk := slo.New(slo.Config{
+				Collector:  col,
+				Objectives: objs,
+				Registry:   ob.Reg,
+				Events:     ob.Events,
+				Node:       *name,
+				Every:      *sloEvery,
+			})
+			trk.Start()
+			defer trk.Stop()
+			mounts = append(mounts, trk.Mount)
+		}
+		osrv, err := obs.ServeConfig(*obsListen, obs.HandlerConfig{
+			Registry: ob.Reg,
+			Tracer:   ob.Tracer,
+			Events:   ob.Events,
+			Ready: func() (bool, string) {
+				if srv == nil {
+					return false, "starting"
+				}
+				if len(srv.Router.MMPs()) == 0 {
+					return false, "no MMPs registered"
+				}
+				if ovl := srv.Overload(); ovl != nil && ovl.Active() {
+					return false, "overload episode active"
+				}
+				return true, ""
+			},
+			Mounts: mounts,
+		})
 		if err != nil {
 			logger.Fatalf("%v", err)
 		}
@@ -77,7 +139,8 @@ func main() {
 	if lv <= 0 {
 		lv = -1 // config reads 0 as "use default", negative as "disabled"
 	}
-	srv, err := core.ServeMLBConfig(core.MLBServerConfig{
+	var err error
+	srv, err = core.ServeMLBConfig(core.MLBServerConfig{
 		Router: mlb.Config{
 			Name:   *name,
 			PLMN:   guti.PLMN{MCC: uint16(*mcc), MNC: uint16(*mnc)},

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -21,6 +22,8 @@ import (
 	"scale/internal/mmp"
 	"scale/internal/netem"
 	"scale/internal/obs"
+	"scale/internal/obs/slo"
+	"scale/internal/obs/timeseries"
 )
 
 func main() {
@@ -50,6 +53,12 @@ func main() {
 		admBackoff = flag.Duration("admission-backoff", 0, "NAS backoff timer on MMP congestion rejects (0 = default 1s)")
 		queueLimit = flag.Int("queue-limit", 0, "bounded S1 ingress queue depth (0 = default 1024)")
 		procCost   = flag.Duration("proc-cost", 0, "synthetic per-procedure CPU cost for capacity experiments (0 disables)")
+
+		histInterval  = flag.Duration("history-interval", timeseries.DefaultInterval, "metric history sampling interval")
+		histRetention = flag.Int("history-retention", timeseries.DefaultRetention, "metric history samples retained per series")
+		modelWindow   = flag.Duration("model-window", 10*time.Second, "default trailing window for /debug/scale/model")
+		sloSpecs      = flag.String("slo", "", "';'-separated SLO objectives (see scale-mlb -slo); default: attach p99 under 100ms; empty string keeps the default, 'off' disables")
+		sloEvery      = flag.Duration("slo-every", time.Second, "SLO evaluation interval")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "scale-mmp ", log.LstdFlags|log.Lmicroseconds)
@@ -58,13 +67,60 @@ func main() {
 	if node == "" {
 		node = fmt.Sprintf("mmp-%d", *index)
 	}
+	// The agent is created after the observability listener binds, so
+	// the readiness probe reads it through this pointer.
+	var agent *core.MMPAgent
 	// Bind the observability listener before registering with the MLB:
 	// a bad -obs-listen must not leave a half-started MMP on the ring.
 	var ob *obs.Observer
 	if *obsListen != "" {
 		ob = obs.NewObserver(node, *spanLog)
 		core.RegisterTransportMetrics(ob.Reg)
-		osrv, err := obs.Serve(*obsListen, ob.Reg, ob.Tracer)
+		col := timeseries.New(timeseries.Config{
+			Registry:  ob.Reg,
+			Interval:  *histInterval,
+			Retention: *histRetention,
+		})
+		col.Start()
+		defer col.Stop()
+		feed := timeseries.NewModelFeed(col, *modelWindow)
+		mounts := []func(*http.ServeMux){col.Mount, feed.Mount}
+		specs := *sloSpecs
+		if specs == "" {
+			specs = `attach-p99:p99(span_duration_seconds{proc="attach",stage="mmp"})<100ms@10s,1m`
+		}
+		if specs != "off" {
+			objs, err := slo.ParseList(specs)
+			if err != nil {
+				logger.Fatalf("-slo: %v", err)
+			}
+			trk := slo.New(slo.Config{
+				Collector:  col,
+				Objectives: objs,
+				Registry:   ob.Reg,
+				Events:     ob.Events,
+				Node:       node,
+				Every:      *sloEvery,
+			})
+			trk.Start()
+			defer trk.Stop()
+			mounts = append(mounts, trk.Mount)
+		}
+		osrv, err := obs.ServeConfig(*obsListen, obs.HandlerConfig{
+			Registry: ob.Reg,
+			Tracer:   ob.Tracer,
+			Events:   ob.Events,
+			Ready: func() (bool, string) {
+				if agent == nil {
+					return false, "starting"
+				}
+				if agent.Engine.Overloaded() {
+					return false, "admission control engaged"
+				}
+				return true, ""
+			},
+			Mounts: mounts,
+		})
 		if err != nil {
 			logger.Fatalf("%v", err)
 		}
@@ -82,7 +138,8 @@ func main() {
 	if hb <= 0 {
 		hb = -1 // config reads 0 as "use default", negative as "disabled"
 	}
-	agent, err := core.StartMMPAgent(core.MMPAgentConfig{
+	var err error
+	agent, err = core.StartMMPAgent(core.MMPAgentConfig{
 		ID:              *id,
 		Index:           uint8(*index),
 		PLMN:            guti.PLMN{MCC: uint16(*mcc), MNC: uint16(*mnc)},

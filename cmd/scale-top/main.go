@@ -1,0 +1,178 @@
+// Command scale-top is a live text view over one daemon's observability
+// endpoint — the control-plane analogue of top(1). It polls the model
+// feed (arrival rates, busy fractions, queue depths, VM count), the SLO
+// tracker and the flight recorder, and redraws a compact dashboard.
+//
+// Example:
+//
+//	scale-top -addr 127.0.0.1:9100 -every 2s
+//	scale-top -addr 127.0.0.1:9100 -once   # one snapshot, no redraw
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"scale/internal/obs/eventlog"
+	"scale/internal/obs/slo"
+	"scale/internal/obs/timeseries"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:9100", "observability endpoint address (host:port)")
+		every  = flag.Duration("every", 2*time.Second, "refresh interval")
+		once   = flag.Bool("once", false, "print one snapshot and exit")
+		window = flag.Duration("window", 0, "model window override (0 = server default)")
+		events = flag.Int("events", 8, "flight-recorder events shown")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 5 * time.Second}
+	t := &top{base: base, client: client, window: *window, maxEvents: *events}
+
+	for {
+		out, err := t.render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale-top: %v\n", err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			if !*once {
+				fmt.Print("\033[2J\033[H") // clear + home
+			}
+			fmt.Print(out)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*every)
+	}
+}
+
+type top struct {
+	base      string
+	client    *http.Client
+	window    time.Duration
+	maxEvents int
+
+	lastSeq uint64
+	tail    []eventlog.Event
+}
+
+// sloBody mirrors the JSON served at /debug/scale/slo.
+type sloBody struct {
+	Healthy bool        `json:"healthy"`
+	SLOs    []slo.State `json:"slos"`
+}
+
+func (t *top) get(path string, into interface{}) error {
+	resp, err := t.client.Get(t.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// fetchEvents appends the flight-recorder entries newer than lastSeq to
+// the bounded tail.
+func (t *top) fetchEvents() error {
+	resp, err := t.client.Get(fmt.Sprintf("%s/debug/scale/events?since=%d", t.base, t.lastSeq))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var e eventlog.Event
+		if err := dec.Decode(&e); err != nil {
+			break // io.EOF or trailing garbage: tail ends here either way
+		}
+		t.tail = append(t.tail, e)
+		if e.Seq > t.lastSeq {
+			t.lastSeq = e.Seq
+		}
+	}
+	if n := len(t.tail) - t.maxEvents; n > 0 {
+		t.tail = append(t.tail[:0], t.tail[n:]...)
+	}
+	return nil
+}
+
+func (t *top) render() (string, error) {
+	modelPath := timeseries.ModelPath
+	if t.window > 0 {
+		modelPath += "?window=" + t.window.String()
+	}
+	var model timeseries.ModelInputs
+	if err := t.get(modelPath, &model); err != nil {
+		return "", err
+	}
+	var slos sloBody
+	sloErr := t.get(slo.Path, &slos) // optional: daemon may run without a tracker
+	_ = t.fetchEvents()              // optional too
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "scale-top  %s  window %.0fs  vms %d  %s\n\n",
+		t.base, model.WindowMS/1000, model.VMs,
+		time.UnixMilli(model.TimeUnixMS).Format("15:04:05"))
+
+	fmt.Fprintf(&b, "%-18s %10s\n", "PROC", "ARRIVALS/S")
+	for _, proc := range sortedKeys(model.ArrivalRatesPerSec) {
+		fmt.Fprintf(&b, "%-18s %10.1f\n", proc, model.ArrivalRatesPerSec[proc])
+	}
+	if len(model.ArrivalRatesPerSec) == 0 {
+		b.WriteString("(no arrivals in window)\n")
+	}
+
+	if len(model.BusyFractions) > 0 {
+		fmt.Fprintf(&b, "\n%-18s %8s %8s\n", "MMP", "BUSY", "QUEUE")
+		for _, id := range sortedKeys(model.BusyFractions) {
+			fmt.Fprintf(&b, "%-18s %7.1f%% %8.1f\n",
+				id, model.BusyFractions[id]*100, model.QueueDepths[id])
+		}
+	}
+
+	if sloErr == nil && len(slos.SLOs) > 0 {
+		fmt.Fprintf(&b, "\n%-22s %8s %10s %10s %9s\n", "SLO", "STATE", "SHORT", "LONG", "BREACHES")
+		for _, s := range slos.SLOs {
+			state := "ok"
+			if !s.Healthy {
+				state = "BREACH"
+			}
+			fmt.Fprintf(&b, "%-22s %8s %10.4g %10.4g %9d\n",
+				s.Name, state, s.Short, s.Long, s.Breaches)
+		}
+	}
+
+	if len(t.tail) > 0 {
+		b.WriteString("\nRECENT EVENTS\n")
+		for _, e := range t.tail {
+			ts := time.Unix(0, e.TimeNS).Format("15:04:05.000")
+			fmt.Fprintf(&b, "%s  %-16s %-12s %-10s %g %s\n",
+				ts, e.Type, e.Node, e.Subject, e.Value, e.Detail)
+		}
+	}
+	return b.String(), nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -15,6 +15,7 @@ import (
 	"scale/internal/mmp"
 	"scale/internal/nas"
 	"scale/internal/obs"
+	"scale/internal/obs/eventlog"
 	"scale/internal/s1ap"
 	"scale/internal/sgw"
 	"scale/internal/state"
@@ -247,6 +248,11 @@ type MLBServer struct {
 	ovlStarts     *obs.Counter
 	ovlStops      *obs.Counter
 	shedTotal     map[string]*obs.Counter // sheddable proc → rejects
+	// ingress counts procedure initiations per procedure, before any
+	// shedding — the offered load the model feed derives arrival rates
+	// from (continuation messages are excluded so a 4-message attach
+	// counts once).
+	ingress map[string]*obs.Counter
 }
 
 // ServeMLB starts an MLB on the two listen addresses with default
@@ -275,6 +281,10 @@ func ServeMLBConfig(cfg MLBServerConfig) (*MLBServer, error) {
 		s.ovl = mlb.NewOverloadController(cfg.Overload)
 	}
 	if ob := s.Router.Observer(); ob != nil {
+		s.ingress = make(map[string]*obs.Counter, len(mmp.ProcNames()))
+		for _, p := range mmp.ProcNames() {
+			s.ingress[p] = ob.Reg.Counter(fmt.Sprintf("mlb_ingress_total{proc=%q}", p))
+		}
 		s.failovers = ob.Reg.Counter("mlb_mmp_failovers_total")
 		s.fwdRetries = ob.Reg.Counter("mlb_forward_retries_total")
 		s.fwdDrops = ob.Reg.Counter("mlb_forward_drops_total")
@@ -424,6 +434,8 @@ func (s *MLBServer) overloadTransition(entering bool, headroom float64) {
 			s.ovlSpanMu.Lock()
 			s.ovlSpan = ob.Tracer.Begin(ob.Tracer.NewTraceID(), "overload-episode", obs.StageOverload)
 			s.ovlSpanMu.Unlock()
+			ob.Events.Emitf(eventlog.TypeOverloadStart, s.Router.Name(), "cluster",
+				float64(s.ovl.Reduction()), fmt.Sprintf("headroom=%.3f", headroom))
 		}
 		s.logf("mlb: overload start (headroom %.2f, reduction %d%%)", headroom, s.ovl.Reduction())
 		return
@@ -435,6 +447,10 @@ func (s *MLBServer) overloadTransition(entering bool, headroom float64) {
 	s.ovlSpan.End()
 	s.ovlSpan = nil
 	s.ovlSpanMu.Unlock()
+	if ob != nil {
+		ob.Events.Emitf(eventlog.TypeOverloadStop, s.Router.Name(), "cluster",
+			0, fmt.Sprintf("headroom=%.3f", headroom))
+	}
 	s.logf("mlb: overload stop (headroom %.2f)", headroom)
 }
 
@@ -477,6 +493,10 @@ func (s *MLBServer) onMMPClose(conn *transport.Conn, err error) {
 		return // server shutdown, not a VM failure
 	default:
 	}
+	if ob := s.Router.Observer(); ob != nil {
+		ob.Events.Emitf(eventlog.TypeConnClose, s.Router.Name(), id, 0,
+			fmt.Sprintf("side=mmp err=%v", err))
+	}
 	s.failover(id, fmt.Sprintf("disconnect (%v)", err))
 }
 
@@ -504,6 +524,8 @@ func (s *MLBServer) failover(id, cause string) {
 	var span *obs.ActiveSpan
 	if ob := s.Router.Observer(); ob != nil {
 		span = ob.Tracer.Begin(ob.Tracer.NewTraceID(), "mmp-failover", obs.StageFailover)
+		ob.Events.Emitf(eventlog.TypeFailover, s.Router.Name(), id,
+			float64(len(survivors)), cause)
 	}
 	s.Router.UnregisterMMP(id)
 	conn.Close()
@@ -544,6 +566,19 @@ func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
 		}
 		return
 	}
+	// Classify once at ingress; the counter and the routing span reuse
+	// the same label. Initiations are counted before the shed branch so
+	// mlb_ingress_total measures offered load, not admitted load.
+	ob := s.Router.Observer()
+	var procLabel string
+	if ob != nil {
+		procLabel = mmp.ProcName(msg)
+		if isInitiation(msg) {
+			if c := s.ingress[procLabel]; c != nil {
+				c.Inc()
+			}
+		}
+	}
 	// Ingress load shedding: during an overload episode, reject the
 	// requested fraction of new sheddable signaling right here with a
 	// NAS congestion reject — constant cost, no MMP round trip.
@@ -568,12 +603,23 @@ func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
 	// routing hop; the id rides the frame-header extension to the MMP.
 	var trace uint64
 	var span *obs.ActiveSpan
-	if ob := s.Router.Observer(); ob != nil {
+	if ob != nil {
 		trace = ob.Tracer.NewTraceID()
-		span = ob.Tracer.Begin(trace, mmp.ProcName(msg), obs.StageMLBRoute)
+		span = ob.Tracer.Begin(trace, procLabel, obs.StageMLBRoute)
 	}
 	s.forwardToMMP(trace, enbID, msg)
 	span.End()
+}
+
+// isInitiation reports whether msg begins a control procedure (versus
+// continuing one already counted): the message classes the ingress
+// counters — and therefore the model feed's arrival rates — tally.
+func isInitiation(msg s1ap.Message) bool {
+	switch msg.(type) {
+	case *s1ap.InitialUEMessage, *s1ap.HandoverRequired, *s1ap.UEContextReleaseRequest:
+		return true
+	}
+	return false
 }
 
 // forwardToMMP routes and delivers one uplink message with bounded
@@ -654,14 +700,20 @@ func (s *MLBServer) enbIDFor(conn *transport.Conn) uint32 {
 // reconnected already replaced it.
 func (s *MLBServer) onENBClose(conn *transport.Conn, _ error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id, ok := s.enbIDOf[conn]
+	if ok {
+		delete(s.enbIDOf, conn)
+		if s.enbConns[id] == conn {
+			delete(s.enbConns, id)
+		}
+	}
+	s.mu.Unlock()
 	if !ok {
 		return
 	}
-	delete(s.enbIDOf, conn)
-	if s.enbConns[id] == conn {
-		delete(s.enbConns, id)
+	if ob := s.Router.Observer(); ob != nil {
+		ob.Events.Emitf(eventlog.TypeConnClose, s.Router.Name(),
+			fmt.Sprintf("enb-%d", id), 0, "side=enb")
 	}
 }
 
@@ -881,6 +933,13 @@ type MMPAgent struct {
 	qRejects atomic.Uint64
 
 	queueRejects *obs.Counter // nil without Obs
+
+	// Flight-recorder hooks (events is nil-safe; the limiter keeps
+	// queue-full — which fires per rejected frame — to one event per
+	// interval).
+	id     string
+	events *eventlog.Log
+	qfLim  *eventlog.Limiter
 }
 
 // StartMMPAgent dials the peers, registers with the MLB and starts the
@@ -917,6 +976,11 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		logger: cfg.Logger,
 		done:   make(chan struct{}),
 		s1q:    make(chan queuedFrame, cfg.QueueLimit),
+		id:     cfg.ID,
+		qfLim:  eventlog.NewLimiter(500 * time.Millisecond),
+	}
+	if cfg.Obs != nil {
+		a.events = cfg.Obs.Events
 	}
 	a.Engine = mmp.New(mmp.Config{
 		ID:             cfg.ID,
@@ -1088,6 +1152,10 @@ func (a *MMPAgent) rejectAtQueueFull(frame transport.Message) bool {
 	if a.queueRejects != nil {
 		a.queueRejects.Inc()
 	}
+	if a.events != nil && a.qfLim.Allow(time.Now()) {
+		a.events.Emitf(eventlog.TypeQueueFull, a.id, nasMsg.Type().String(),
+			float64(len(a.s1q)), fmt.Sprintf("rejects=%d", a.qRejects.Load()))
+	}
 	reject := &s1ap.DownlinkNASTransport{ENBUEID: m.ENBUEID, NASPDU: pdu}
 	if err := writeEnvelope(a.conn, frame.Trace, enbID, 0, reject); err != nil {
 		a.logf("mmp agent: queue-full reject: %v", err)
@@ -1168,12 +1236,20 @@ func (a *MMPAgent) handleS1(frame transport.Message) {
 // so the redundancy costs one version check per entry.
 func (a *MMPAgent) promoteFrom(deadID string) {
 	promoted := a.Engine.PromoteReplicasFrom(deadID)
+	if len(promoted) > 0 && a.events != nil {
+		a.events.Emitf(eventlog.TypePromotion, a.id, deadID, float64(len(promoted)), "")
+	}
 	// SnapshotMasters includes the freshly promoted entries.
+	pushed := 0
 	for _, ctx := range a.Engine.SnapshotMasters() {
 		if err := a.conn.Write(StreamRep, ctx.Marshal()); err != nil {
 			a.logf("mmp agent: re-replicate after failover: %v", err)
 			return
 		}
+		pushed++
+	}
+	if pushed > 0 && a.events != nil {
+		a.events.Emitf(eventlog.TypeReReplicate, a.id, deadID, float64(pushed), "")
 	}
 	if len(promoted) > 0 {
 		a.logf("mmp agent: %s promoted %d devices from dead %s and re-replicated",

@@ -1,8 +1,15 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,6 +19,9 @@ import (
 	"scale/internal/mlb"
 	"scale/internal/mmp"
 	"scale/internal/obs"
+	"scale/internal/obs/eventlog"
+	"scale/internal/obs/slo"
+	"scale/internal/obs/timeseries"
 	"scale/internal/sgw"
 )
 
@@ -26,6 +36,10 @@ type overloadTestbed struct {
 	mlbSrv *MLBServer
 	ob     *obs.Observer
 	agent  *MMPAgent
+
+	col    *timeseries.Collector
+	trk    *slo.Tracker
+	obsSrv *obs.Server
 }
 
 const (
@@ -39,7 +53,7 @@ func startOverloadTestbed(t *testing.T) *overloadTestbed {
 	plmn := guti.PLMN{MCC: 310, MNC: 26}
 
 	db := hss.NewDB()
-	db.ProvisionRange(100000000, 1000)
+	db.ProvisionRange(100000000, 2000)
 	hssSrv, err := hss.Serve("127.0.0.1:0", db)
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +89,57 @@ func startOverloadTestbed(t *testing.T) *overloadTestbed {
 		t.Fatal(err)
 	}
 	tb := &overloadTestbed{hssSrv: hssSrv, sgwSrv: sgwSrv, mlbSrv: mlbSrv, ob: ob}
+
+	// The full observability stack rides on the testbed so the storm
+	// exercises it end to end: a fast-sampling history collector, an
+	// aggressive multi-window SLO tracker over the shed ratio, the model
+	// feed, and the HTTP surface with a readiness probe wired to the
+	// overload state. Windows are scaled down (1s/3s vs the daemons'
+	// 10s/1m) to keep the test's wall clock short, but the short window
+	// is kept wide enough (~12 paced arrivals at 50% shed) that a lucky
+	// shed-free window cannot clear the objective mid-episode.
+	tb.col = timeseries.New(timeseries.Config{
+		Registry:  ob.Reg,
+		Interval:  50 * time.Millisecond,
+		Retention: 600,
+	})
+	tb.col.Start()
+	objs, err := slo.ParseList(
+		`attach-shed:ratio(mlb_overload_shed_total{proc="attach"}/mlb_ingress_total{proc="attach"})<0.05@1s,3s`)
+	if err != nil {
+		tb.close()
+		t.Fatal(err)
+	}
+	tb.trk = slo.New(slo.Config{
+		Collector:  tb.col,
+		Objectives: objs,
+		Registry:   ob.Reg,
+		Events:     ob.Events,
+		Node:       "mlb-overload",
+		Every:      50 * time.Millisecond,
+	})
+	tb.trk.Start()
+	feed := timeseries.NewModelFeed(tb.col, 2*time.Second)
+	tb.obsSrv, err = obs.ServeConfig("127.0.0.1:0", obs.HandlerConfig{
+		Registry: ob.Reg,
+		Tracer:   ob.Tracer,
+		Events:   ob.Events,
+		Ready: func() (bool, string) {
+			if len(tb.mlbSrv.Router.MMPs()) == 0 {
+				return false, "no MMPs registered"
+			}
+			if ovl := tb.mlbSrv.Overload(); ovl != nil && ovl.Active() {
+				return false, "overload episode active"
+			}
+			return true, ""
+		},
+		Mounts: []func(*http.ServeMux){tb.col.Mount, feed.Mount, tb.trk.Mount},
+	})
+	if err != nil {
+		tb.close()
+		t.Fatal(err)
+	}
+
 	tb.agent, err = StartMMPAgent(MMPAgentConfig{
 		Index: 1, PLMN: plmn, MMEGI: 1, MMEC: 1,
 		MLBAddr:         mlbSrv.MMPAddr(),
@@ -83,6 +148,7 @@ func startOverloadTestbed(t *testing.T) *overloadTestbed {
 		LoadReportEvery: 25 * time.Millisecond,
 		ProcCost:        ovlProcCost,
 		QueueLimit:      ovlQueueLimit,
+		Obs:             ob,
 		Admission: mmp.AdmissionConfig{
 			PendingLimit: ovlPendingLimit,
 			ExitHold:     200 * time.Millisecond,
@@ -103,6 +169,15 @@ func startOverloadTestbed(t *testing.T) *overloadTestbed {
 func (tb *overloadTestbed) close() {
 	if tb.agent != nil {
 		tb.agent.Close()
+	}
+	if tb.obsSrv != nil {
+		tb.obsSrv.Close()
+	}
+	if tb.trk != nil {
+		tb.trk.Stop()
+	}
+	if tb.col != nil {
+		tb.col.Stop()
 	}
 	if tb.mlbSrv != nil {
 		tb.mlbSrv.Close()
@@ -159,6 +234,70 @@ func p99(d []time.Duration) time.Duration {
 	return s[(len(s)-1)*99/100]
 }
 
+// obsGet fetches a path from the testbed's observability server and
+// returns the raw body (status is not checked — /readyz legitimately
+// serves 503).
+func (tb *overloadTestbed) obsGet(t *testing.T, path string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + tb.obsSrv.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return body
+}
+
+func (tb *overloadTestbed) readyzCode(t *testing.T) int {
+	t.Helper()
+	resp, err := http.Get("http://" + tb.obsSrv.Addr() + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// sloState reads one objective's state off the HTTP surface.
+func (tb *overloadTestbed) sloState(t *testing.T, name string) (slo.State, bool) {
+	t.Helper()
+	var body struct {
+		Healthy bool        `json:"healthy"`
+		SLOs    []slo.State `json:"slos"`
+	}
+	if err := json.Unmarshal(tb.obsGet(t, slo.Path), &body); err != nil {
+		t.Fatalf("decode %s: %v", slo.Path, err)
+	}
+	for _, s := range body.SLOs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return slo.State{}, false
+}
+
+// dumpObs writes the observability surface to dir for artifact upload
+// (CI sets SCALE_STORM_DUMP_DIR).
+func (tb *overloadTestbed) dumpObs(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("dump dir: %v", err)
+	}
+	for path, file := range map[string]string{
+		"/debug/scale":        "debug-scale.json",
+		"/debug/scale/events": "events.jsonl",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, file), tb.obsGet(t, path), 0o644); err != nil {
+			t.Fatalf("dump %s: %v", path, err)
+		}
+	}
+	t.Logf("storm dumps written to %s", dir)
+}
+
 // TestOverloadControlEndToEnd drives a signaling storm several times
 // the provisioned capacity through the full loop: the MMP saturates
 // and reports overload, the MLB broadcasts OverloadStart and sheds at
@@ -168,6 +307,12 @@ func p99(d []time.Duration) time.Duration {
 // admission.
 func TestOverloadControlEndToEnd(t *testing.T) {
 	tb := startOverloadTestbed(t)
+	// Dump the observability surface for artifact upload (CI sets the
+	// env var). Registered before the deferred closes so the obs
+	// server is still serving, and as a cleanup so failures dump too.
+	if dir := os.Getenv("SCALE_STORM_DUMP_DIR"); dir != "" {
+		t.Cleanup(func() { tb.dumpObs(t, dir) })
+	}
 	client, err := DialENB(tb.mlbSrv.ENBAddr(), map[uint32][]uint16{1: {7}})
 	if err != nil {
 		t.Fatal(err)
@@ -206,6 +351,10 @@ func TestOverloadControlEndToEnd(t *testing.T) {
 	waitFor(t, 5*time.Second, "overload to engage", func() bool {
 		return tb.mlbSrv.Overload().Active()
 	})
+	// The readiness probe reflects the episode.
+	if code := tb.readyzCode(t); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during overload: got %d, want 503", code)
+	}
 	// Wave 2 lands while OverloadStart is in force, so the eNB-side
 	// withholding and the MLB-side shedding both see traffic.
 	waitFor(t, 2*time.Second, "eNB to receive OverloadStart", func() bool {
@@ -214,6 +363,63 @@ func TestOverloadControlEndToEnd(t *testing.T) {
 		return red > 0
 	})
 	fire(60)
+
+	// Paced background traffic (~25 attaches/s, a quarter of capacity)
+	// keeps the ingress window populated from here on: while overload
+	// is active its arrivals hold the shed-ratio SLO in breach, and
+	// once OverloadStop lands they are admitted untouched, handing the
+	// model feed a steady measurable offered rate. The pacer quits 3s
+	// after the episode ends so the post-recovery windows are fully
+	// populated. It never calls into testing.T — errors are collected
+	// and checked after it drains.
+	var (
+		pacedMu    sync.Mutex
+		pacedFired []time.Time
+		pacedErrs  []error
+	)
+	pacerQuit := make(chan struct{})
+	pacerDone := make(chan struct{})
+	defer close(pacerQuit)
+	go func() {
+		defer close(pacerDone)
+		imsi := uint64(100000400)
+		var stopped time.Time
+		deadline := time.Now().Add(30 * time.Second)
+		tick := time.NewTicker(40 * time.Millisecond)
+		defer tick.Stop()
+		for time.Now().Before(deadline) {
+			if tb.mlbSrv.Overload().Active() {
+				stopped = time.Time{}
+			} else if stopped.IsZero() {
+				stopped = time.Now()
+			} else if time.Since(stopped) > 3*time.Second {
+				return
+			}
+			u := imsi
+			imsi++
+			err := client.Run(func(e *enb.Emulator) error { return e.StartAttach(u, 1) })
+			pacedMu.Lock()
+			switch {
+			case err == nil:
+				pacedFired = append(pacedFired, time.Now())
+			case !errors.Is(err, enb.ErrOverloadThrottled) && !errors.Is(err, enb.ErrBackoff):
+				pacedErrs = append(pacedErrs, fmt.Errorf("paced attach %d: %w", u, err))
+			}
+			pacedMu.Unlock()
+			select {
+			case <-pacerQuit:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+
+	// The shed ratio blows through its 5% objective on both burn
+	// windows while the storm rages.
+	waitFor(t, 5*time.Second, "attach-shed SLO breach", func() bool {
+		st, ok := tb.sloState(t, "attach-shed")
+		return ok && !st.Healthy
+	})
 
 	// Let the storm settle: every fired device ends Active or rejected;
 	// stragglers whose continuation was dropped under pressure stay
@@ -292,12 +498,105 @@ func TestOverloadControlEndToEnd(t *testing.T) {
 	if v := tb.ob.Reg.Counter(`mlb_overload_stops_total`).Value(); v == 0 {
 		t.Fatal("no OverloadStop recorded")
 	}
+	waitFor(t, 5*time.Second, "readyz to return 200", func() bool {
+		return tb.readyzCode(t) == http.StatusOK
+	})
 	waitFor(t, 2*time.Second, "eNB to receive OverloadStop", func() bool {
 		var red uint8
 		_ = client.Run(func(e *enb.Emulator) error { red = e.OverloadReduction(); return nil })
 		return red == 0
 	})
-	if d := attachTolerant(t, client, 100000999, 10*time.Second); d > limit {
+
+	// Let the pacer run out its 3s post-episode tail, then hold the
+	// model feed to its contract: the measured attach arrival rate over
+	// its trailing window tracks the offered rate, because with the
+	// episode over every paced attach in the window reached MLB ingress
+	// unwithheld and unshed.
+	<-pacerDone
+	pacedMu.Lock()
+	fired := append([]time.Time(nil), pacedFired...)
+	errsPaced := append([]error(nil), pacedErrs...)
+	pacedMu.Unlock()
+	for _, err := range errsPaced {
+		t.Error(err)
+	}
+	var model timeseries.ModelInputs
+	if err := json.Unmarshal(tb.obsGet(t, timeseries.ModelPath), &model); err != nil {
+		t.Fatalf("decode model feed: %v", err)
+	}
+	end := time.UnixMilli(model.TimeUnixMS)
+	winStart := end.Add(-time.Duration(model.WindowMS * float64(time.Millisecond)))
+	offeredN := 0
+	for _, ts := range fired {
+		if ts.After(winStart) && !ts.After(end) {
+			offeredN++
+		}
+	}
+	if offeredN < 20 {
+		t.Fatalf("only %d paced attaches landed in the model window — pacer starved", offeredN)
+	}
+	offered := float64(offeredN) / end.Sub(winStart).Seconds()
+	got := model.ArrivalRatesPerSec["attach"]
+	if got < 0.8*offered || got > 1.2*offered {
+		t.Fatalf("model attach rate %.1f/s vs offered %.1f/s: outside the 20%% band", got, offered)
+	}
+
+	// With shedding over, the short window drains and the objective
+	// recovers.
+	waitFor(t, 5*time.Second, "attach-shed SLO to clear", func() bool {
+		st, ok := tb.sloState(t, "attach-shed")
+		return ok && st.Healthy
+	})
+
+	// The flight recorder tells the episode's story in order: overload
+	// engaged, admission pressure surfaced before the episode ended,
+	// the SLO breached only once shedding began, and it recovered only
+	// after the final OverloadStop.
+	evs := tb.ob.Events.Events(0)
+	firstSeq := func(types ...string) uint64 {
+		for _, e := range evs { // events are returned in seq order
+			for _, typ := range types {
+				if e.Type == typ {
+					return e.Seq
+				}
+			}
+		}
+		return 0
+	}
+	lastSeq := func(typ string) uint64 {
+		var seq uint64
+		for _, e := range evs {
+			if e.Type == typ {
+				seq = e.Seq
+			}
+		}
+		return seq
+	}
+	startSeq := firstSeq(eventlog.TypeOverloadStart)
+	pressureSeq := firstSeq(eventlog.TypeQueueFull, eventlog.TypeAdmissionTrip)
+	stopSeq := lastSeq(eventlog.TypeOverloadStop)
+	breachSeq := firstSeq(eventlog.TypeSLOBreach)
+	clearSeq := lastSeq(eventlog.TypeSLOClear)
+	switch {
+	case startSeq == 0:
+		t.Fatal("flight recorder: no overload-start event")
+	case pressureSeq == 0:
+		t.Fatal("flight recorder: no queue-full or admission-trip event")
+	case stopSeq == 0:
+		t.Fatal("flight recorder: no overload-stop event")
+	case breachSeq == 0 || clearSeq == 0:
+		t.Fatalf("flight recorder: missing SLO events (breach=%d clear=%d)", breachSeq, clearSeq)
+	case stopSeq < startSeq:
+		t.Fatalf("flight recorder: overload-stop (seq %d) before overload-start (seq %d)", stopSeq, startSeq)
+	case pressureSeq > stopSeq:
+		t.Fatalf("flight recorder: admission pressure (seq %d) after overload-stop (seq %d)", pressureSeq, stopSeq)
+	case breachSeq < startSeq:
+		t.Fatalf("flight recorder: slo-breach (seq %d) before overload-start (seq %d)", breachSeq, startSeq)
+	case clearSeq < stopSeq:
+		t.Fatalf("flight recorder: slo-clear (seq %d) before final overload-stop (seq %d)", clearSeq, stopSeq)
+	}
+
+	if d := attachTolerant(t, client, 100001500, 10*time.Second); d > limit {
 		t.Fatalf("post-recovery attach took %v", d)
 	}
 }

@@ -76,13 +76,19 @@ func (h *Histogram) bucketIndex(v int64) int {
 // bucketLow returns the lowest value mapping to bucket i; used to invert
 // indices for percentile queries.
 func (h *Histogram) bucketLow(i int) int64 {
-	magnitude := uint(i) >> h.subBits
-	sub := uint64(i) & ((1 << h.subBits) - 1)
+	return bucketLowFor(h.subBits, i)
+}
+
+// bucketLowFor inverts a bucket index for a histogram with the given
+// subBits; shared by Histogram and HistSnapshot delta queries.
+func bucketLowFor(subBits uint, i int) int64 {
+	magnitude := uint(i) >> subBits
+	sub := uint64(i) & ((1 << subBits) - 1)
 	if magnitude == 0 {
 		return int64(sub)
 	}
 	shift := magnitude - 1
-	return int64((1<<h.subBits | sub) << shift)
+	return int64((1<<subBits | sub) << shift)
 }
 
 func leadingZeros64(x uint64) int {
@@ -321,6 +327,117 @@ func (h *Histogram) String() string {
 		float64(p95)/div, unit,
 		float64(p99)/div, unit,
 		float64(max)/div, unit)
+}
+
+// HistSnapshot is a compact, immutable copy of a histogram's bucket
+// state. Only non-zero buckets are kept (Idx/N are parallel slices,
+// Idx ascending), so a snapshot of a latency histogram costs a few
+// dozen entries instead of the full bucket array — cheap enough for a
+// history collector to retain hundreds of them per metric. Two
+// snapshots of the same histogram bound a time window; the Delta*
+// functions answer "what were the count / mean / percentiles of the
+// observations recorded between them".
+type HistSnapshot struct {
+	SubBits uint
+	Idx     []int32
+	N       []uint64
+	Total   uint64
+	Sum     float64
+}
+
+// Empty reports whether the snapshot holds no observations.
+func (s HistSnapshot) Empty() bool { return s.Total == 0 }
+
+// Snapshot captures the histogram's current bucket state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{SubBits: h.subBits, Total: h.total, Sum: h.sum}
+	for i, c := range h.counts {
+		if c != 0 {
+			s.Idx = append(s.Idx, int32(i))
+			s.N = append(s.N, c)
+		}
+	}
+	return s
+}
+
+// deltaUsable reports whether prev can be subtracted from cur: same
+// precision and no intervening Reset. A reset makes counts go
+// backwards; the caller then treats prev as empty (delta = since
+// start), which is the honest answer after history was discarded.
+func deltaUsable(cur, prev HistSnapshot) bool {
+	return prev.SubBits == cur.SubBits && prev.Total <= cur.Total
+}
+
+// DeltaCount reports the number of observations recorded between prev
+// and cur (snapshots of the same histogram, prev taken earlier).
+func DeltaCount(cur, prev HistSnapshot) uint64 {
+	if !deltaUsable(cur, prev) {
+		return cur.Total
+	}
+	return cur.Total - prev.Total
+}
+
+// DeltaMean reports the mean of observations recorded between prev and
+// cur, or 0 if the window is empty.
+func DeltaMean(cur, prev HistSnapshot) float64 {
+	if !deltaUsable(cur, prev) {
+		prev = HistSnapshot{SubBits: cur.SubBits}
+	}
+	n := cur.Total - prev.Total
+	if n == 0 {
+		return 0
+	}
+	return (cur.Sum - prev.Sum) / float64(n)
+}
+
+// DeltaQuantile returns the approximate q-quantile of the observations
+// recorded between prev and cur. ok is false when the window holds no
+// observations. A zero-value prev yields the since-start quantile.
+func DeltaQuantile(cur, prev HistSnapshot, q float64) (v int64, ok bool) {
+	if !deltaUsable(cur, prev) {
+		prev = HistSnapshot{SubBits: cur.SubBits}
+	}
+	total := cur.Total - prev.Total
+	if total == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	// Merge-walk the two sparse bucket lists (both Idx-ascending),
+	// accumulating cur minus prev per bucket.
+	var cum uint64
+	pi := 0
+	for ci, idx := range cur.Idx {
+		n := cur.N[ci]
+		for pi < len(prev.Idx) && prev.Idx[pi] < idx {
+			pi++
+		}
+		if pi < len(prev.Idx) && prev.Idx[pi] == idx {
+			if prev.N[pi] >= n {
+				n = 0
+			} else {
+				n -= prev.N[pi]
+			}
+		}
+		cum += n
+		if cum >= target {
+			return bucketLowFor(cur.SubBits, int(idx)), true
+		}
+	}
+	if len(cur.Idx) == 0 {
+		return 0, false
+	}
+	return bucketLowFor(cur.SubBits, int(cur.Idx[len(cur.Idx)-1])), true
 }
 
 // ExactPercentile computes an exact percentile from a raw sample slice.

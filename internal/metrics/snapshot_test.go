@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotSparse(t *testing.T) {
+	h := NewHistogram(5)
+	h.Record(100)
+	h.RecordN(100, 9)
+	h.Record(5000)
+
+	s := h.Snapshot()
+	if s.Total != 11 {
+		t.Fatalf("snapshot total = %d, want 11", s.Total)
+	}
+	if len(s.Idx) != 2 || len(s.N) != 2 {
+		t.Fatalf("snapshot kept %d buckets, want 2 (sparse)", len(s.Idx))
+	}
+	if s.Sum != 10*100+5000 {
+		t.Fatalf("snapshot sum = %g", s.Sum)
+	}
+	if got := int(s.N[0] + s.N[1]); got != 11 {
+		t.Fatalf("bucket counts sum to %d, want 11", got)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	h := NewHistogram(5)
+	s := h.Snapshot()
+	if !s.Empty() || len(s.Idx) != 0 {
+		t.Fatalf("empty histogram snapshot not empty: %+v", s)
+	}
+	if _, ok := DeltaQuantile(s, HistSnapshot{SubBits: s.SubBits}, 0.99); ok {
+		t.Fatal("DeltaQuantile on empty snapshot reported ok")
+	}
+}
+
+func TestDeltaQuantileWindow(t *testing.T) {
+	h := NewHistogram(5)
+	// First epoch: values around 1000.
+	for i := 0; i < 100; i++ {
+		h.Record(1000)
+	}
+	prev := h.Snapshot()
+	// Second epoch: values around 1e6, with a 1% tail at 1e8.
+	for i := 0; i < 99; i++ {
+		h.Record(1_000_000)
+	}
+	h.Record(100_000_000)
+	cur := h.Snapshot()
+
+	if n := DeltaCount(cur, prev); n != 100 {
+		t.Fatalf("DeltaCount = %d, want 100", n)
+	}
+	// The window's p50 must reflect only the second epoch — the since-
+	// start p50 would be ~1000.
+	p50, ok := DeltaQuantile(cur, prev, 0.50)
+	if !ok {
+		t.Fatal("DeltaQuantile not ok")
+	}
+	if relErr(float64(p50), 1_000_000) > 0.05 {
+		t.Fatalf("window p50 = %d, want ≈1e6", p50)
+	}
+	p99, ok := DeltaQuantile(cur, prev, 0.99)
+	if !ok {
+		t.Fatal("DeltaQuantile p99 not ok")
+	}
+	if float64(p99) < 0.95e6 {
+		t.Fatalf("window p99 = %d, want ≈1e6 within bucket error", p99)
+	}
+	p100, _ := DeltaQuantile(cur, prev, 1.0)
+	if relErr(float64(p100), 100_000_000) > 0.05 {
+		t.Fatalf("window max = %d, want ≈1e8", p100)
+	}
+	mean := DeltaMean(cur, prev)
+	wantMean := (99*1_000_000.0 + 100_000_000.0) / 100.0
+	if math.Abs(mean-wantMean)/wantMean > 1e-9 {
+		t.Fatalf("window mean = %g, want %g", mean, wantMean)
+	}
+}
+
+func TestDeltaQuantileEmptyWindow(t *testing.T) {
+	h := NewHistogram(5)
+	h.Record(42)
+	a := h.Snapshot()
+	b := h.Snapshot()
+	if n := DeltaCount(b, a); n != 0 {
+		t.Fatalf("DeltaCount across idle window = %d, want 0", n)
+	}
+	if _, ok := DeltaQuantile(b, a, 0.5); ok {
+		t.Fatal("DeltaQuantile reported ok for empty window")
+	}
+	if m := DeltaMean(b, a); m != 0 {
+		t.Fatalf("DeltaMean across idle window = %g, want 0", m)
+	}
+}
+
+func TestDeltaAfterResetFallsBackToSinceStart(t *testing.T) {
+	h := NewHistogram(5)
+	for i := 0; i < 50; i++ {
+		h.Record(10)
+	}
+	prev := h.Snapshot()
+	h.Reset()
+	for i := 0; i < 10; i++ {
+		h.Record(9999)
+	}
+	cur := h.Snapshot()
+	// prev.Total > cur.Total: history was discarded; the delta must
+	// degrade to "since start of the new epoch", not go negative.
+	if n := DeltaCount(cur, prev); n != 10 {
+		t.Fatalf("DeltaCount after reset = %d, want 10", n)
+	}
+	p50, ok := DeltaQuantile(cur, prev, 0.5)
+	if !ok || relErr(float64(p50), 9999) > 0.05 {
+		t.Fatalf("post-reset p50 = %d ok=%v, want ≈9999", p50, ok)
+	}
+}
+
+func TestDeltaQuantileZeroPrev(t *testing.T) {
+	h := NewHistogram(5)
+	for i := 1; i <= 100; i++ {
+		h.Record(int64(i) * 1000)
+	}
+	cur := h.Snapshot()
+	direct := h.Quantile(0.95)
+	got, ok := DeltaQuantile(cur, HistSnapshot{}, 0.95)
+	if !ok {
+		t.Fatal("DeltaQuantile with zero prev not ok")
+	}
+	// Zero-value prev means "since start": must agree with the live
+	// quantile up to bucket resolution.
+	if relErr(float64(got), float64(direct)) > 0.05 {
+		t.Fatalf("since-start DeltaQuantile = %d, live Quantile = %d", got, direct)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}

@@ -24,6 +24,7 @@ import (
 	"scale/internal/guti"
 	"scale/internal/nas"
 	"scale/internal/obs"
+	"scale/internal/obs/eventlog"
 	"scale/internal/s1ap"
 	"scale/internal/ueid"
 )
@@ -125,6 +126,9 @@ func NewRouter(cfg Config) *Router {
 // Observer returns the router's observability bundle, or nil.
 func (r *Router) Observer() *obs.Observer { return r.ob }
 
+// Name returns the MME identity presented to eNodeBs.
+func (r *Router) Name() string { return r.name }
+
 // RegisterMMP adds an MMP VM to the ring.
 func (r *Router) RegisterMMP(id string, index uint8) {
 	r.mu.Lock()
@@ -135,19 +139,27 @@ func (r *Router) RegisterMMP(id string, index uint8) {
 	}
 	r.mu.Unlock()
 	r.ring.Add(chash.NodeID(id))
+	if r.ob != nil {
+		r.ob.Events.Emitf(eventlog.TypeMMPRegister, r.name, id,
+			float64(len(r.ring.Nodes())), "")
+	}
 }
 
 // UnregisterMMP removes an MMP VM (scale-in).
 func (r *Router) UnregisterMMP(id string) {
 	r.ring.Remove(chash.NodeID(id))
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if idx, ok := r.index[id]; ok {
 		delete(r.byIndex, idx)
 		delete(r.index, id)
 	}
 	delete(r.load, id)
 	delete(r.overloaded, id)
+	r.mu.Unlock()
+	if r.ob != nil {
+		r.ob.Events.Emitf(eventlog.TypeRingRemove, r.name, id,
+			float64(len(r.ring.Nodes())), "")
+	}
 }
 
 // MMPs returns the registered MMP ids.

@@ -71,6 +71,11 @@ func (c AdmissionConfig) withDefaults() AdmissionConfig {
 type admission struct {
 	cfg AdmissionConfig
 
+	// onTransition, when set, fires on every overloaded-state flip with
+	// the signals that drove it (called with the detector lock held, so
+	// it must not call back into the detector).
+	onTransition func(overloaded bool, occ float64, delay time.Duration)
+
 	overloaded atomic.Bool
 
 	mu          sync.Mutex
@@ -121,6 +126,9 @@ func (a *admission) evaluate(now time.Time) {
 		if hot {
 			a.overloaded.Store(true)
 			a.calmSince = time.Time{}
+			if a.onTransition != nil {
+				a.onTransition(true, a.lastOcc, delay)
+			}
 		}
 		return
 	}
@@ -135,5 +143,8 @@ func (a *admission) evaluate(now time.Time) {
 	if now.Sub(a.calmSince) >= a.cfg.ExitHold {
 		a.overloaded.Store(false)
 		a.calmSince = time.Time{}
+		if a.onTransition != nil {
+			a.onTransition(false, a.lastOcc, delay)
+		}
 	}
 }

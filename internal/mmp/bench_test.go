@@ -9,6 +9,8 @@ import (
 	"scale/internal/guti"
 	"scale/internal/hss"
 	"scale/internal/nas"
+	"scale/internal/obs"
+	"scale/internal/obs/timeseries"
 	"scale/internal/s1ap"
 	"scale/internal/sgw"
 )
@@ -35,6 +37,12 @@ type benchSlab struct {
 // with replication disabled so the measurement isolates procedure
 // processing.
 func newBenchEngine(nSubs int) *Engine {
+	return newBenchEngineObs(nSubs, nil)
+}
+
+// newBenchEngineObs is the instrumented variant: the engine publishes
+// its counters, histograms and events to ob.
+func newBenchEngineObs(nSubs int, ob *obs.Observer) *Engine {
 	db := hss.NewDB()
 	db.ProvisionRange(100000, nSubs)
 	gw := sgw.New()
@@ -47,6 +55,7 @@ func newBenchEngine(nSubs int) *Engine {
 		ServingNetwork: "310-26",
 		HSS:            localHSS{db},
 		SGW:            localSGW{gw},
+		Obs:            ob,
 	})
 }
 
@@ -176,6 +185,52 @@ func BenchmarkEngineServiceCycleParallel(b *testing.B) {
 	if st.ServiceRequests == 0 {
 		b.Fatal("no service requests processed")
 	}
+}
+
+// benchServiceCycleObs runs the parallel service-cycle workload on a
+// fully instrumented engine, optionally with a background history
+// collector sampling every registered metric.
+func benchServiceCycleObs(b *testing.B, history bool) {
+	procs := runtime.GOMAXPROCS(0)
+	nSlabs := 2 * procs
+	ob := obs.NewObserver("mmp-bench", 4096)
+	e := newBenchEngineObs(nSlabs*64, ob)
+	slabs := buildSlabs(b, e, nSlabs, 64)
+	if history {
+		col := timeseries.New(timeseries.Config{Registry: ob.Reg})
+		col.Start()
+		defer col.Stop()
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		slab := &slabs[int(next.Add(1)-1)%nSlabs]
+		i := 0
+		for pb.Next() {
+			ue := &slab.ues[i%len(slab.ues)]
+			i++
+			if err := serviceCycle(e, ue); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkEngineServiceCycleParallelObs is the instrumented baseline:
+// per-procedure counters and latency histograms are live, but nothing
+// reads them.
+func BenchmarkEngineServiceCycleParallelObs(b *testing.B) {
+	benchServiceCycleObs(b, false)
+}
+
+// BenchmarkEngineServiceCycleParallelObsHistory layers the history
+// collector on top, snapshotting every registered metric at the default
+// 1s cadence. scripts/benchcompare.sh between this and ...ParallelObs
+// bounds the collector's hot-path overhead (the budget is <2%).
+func BenchmarkEngineServiceCycleParallelObsHistory(b *testing.B) {
+	benchServiceCycleObs(b, true)
 }
 
 // BenchmarkEngineTAUParallel measures concurrent tracking-area updates:

@@ -25,6 +25,7 @@ package mmp
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"scale/internal/guti"
 	"scale/internal/nas"
 	"scale/internal/obs"
+	"scale/internal/obs/eventlog"
 	"scale/internal/s11"
 	"scale/internal/s1ap"
 	"scale/internal/s6"
@@ -233,6 +235,10 @@ type Engine struct {
 	// of a hypervisor CPU figure (delta busy time / report interval).
 	busyNS  atomic.Int64
 	handled atomic.Uint64
+	// lastOcc holds the most recent occupancy sample (Float64bits), so
+	// the busy-fraction gauge and the model feed read what the admission
+	// detector saw rather than re-deriving it.
+	lastOcc atomic.Uint64
 
 	store     *state.Store
 	shards    []*engineShard
@@ -288,6 +294,21 @@ func New(cfg Config) *Engine {
 	}
 	if !cfg.Admission.Disabled {
 		e.adm = newAdmission(cfg.Admission)
+		if eo != nil {
+			// Flight-recorder hook: every admission flip becomes a typed
+			// event carrying the occupancy and queue-delay signals that
+			// drove it.
+			events := cfg.Obs.Events
+			id := cfg.ID
+			e.adm.onTransition = func(over bool, occ float64, delay time.Duration) {
+				typ := eventlog.TypeAdmissionClear
+				if over {
+					typ = eventlog.TypeAdmissionTrip
+				}
+				events.Emitf(typ, id, "admission", occ,
+					fmt.Sprintf("queue_delay_ms=%.2f", float64(delay)/float64(time.Millisecond)))
+			}
+		}
 	}
 	if eo != nil {
 		eo.registerAdmission(e)
@@ -351,9 +372,26 @@ func (e *Engine) Overloaded() bool { return e.adm != nil && e.adm.Overloaded() }
 // ObserveOccupancy feeds one occupancy sample (busy fraction over the
 // host's report interval) into the admission detector.
 func (e *Engine) ObserveOccupancy(frac float64) {
+	e.lastOcc.Store(math.Float64bits(frac))
 	if e.adm != nil {
 		e.adm.ObserveOccupancy(frac)
 	}
+}
+
+// Occupancy reports the most recent occupancy sample fed to
+// ObserveOccupancy (0 before the first report).
+func (e *Engine) Occupancy() float64 {
+	return math.Float64frombits(e.lastOcc.Load())
+}
+
+// PendingLoad reports the current pending-attach count summed across
+// shards — the admission queue depth the model feed exports.
+func (e *Engine) PendingLoad() int {
+	var n int32
+	for _, s := range e.shards {
+		n += s.attachLoad.Load()
+	}
+	return int(n)
 }
 
 // ObserveQueueDelay feeds the host-queue sojourn time of one dequeued

@@ -34,6 +34,12 @@ var procNames = []string{
 	ProcBearerSetup, ProcRelease, ProcHandover, ProcPaging, ProcOther,
 }
 
+// ProcNames returns the closed procedure label set (a copy — callers
+// pre-registering per-procedure metrics iterate it freely).
+func ProcNames() []string {
+	return append([]string(nil), procNames...)
+}
+
 // ProcName classifies an uplink S1AP message by the control procedure
 // it advances. The MLB and MMP use the same classification so spans
 // recorded on both hops carry matching labels.
@@ -112,6 +118,13 @@ func (o *engineObs) registerAdmission(e *Engine) {
 	})
 	o.ob.Reg.GaugeFunc(fmt.Sprintf("mmp_admission_pending_peak{mmp=%q}", o.id), func() float64 {
 		return float64(e.PendingPeak())
+	})
+	// Live feeds for the model endpoint: busy fraction as the admission
+	// detector last saw it, and the current pending-attach reservation
+	// count (hosts separately export their S1 queue depth).
+	o.ob.Reg.GaugeFunc(fmt.Sprintf("mmp_busy_fraction{mmp=%q}", o.id), e.Occupancy)
+	o.ob.Reg.GaugeFunc(fmt.Sprintf("mmp_admission_pending{mmp=%q}", o.id), func() float64 {
+		return float64(e.PendingLoad())
 	})
 }
 

@@ -1,0 +1,199 @@
+// Package eventlog is the control plane's flight recorder: a bounded
+// in-memory ring of typed, timestamped events covering the moments
+// that matter during an incident — overload episodes starting and
+// stopping, admission control tripping, MMP failovers and replica
+// promotions, shard queues overflowing, SLOs breaching and clearing.
+//
+// Aggregate counters say *how often* something happened; the event log
+// says *in what order*, which is what post-mortems of a signaling
+// storm actually need. The log is deliberately cheap: one short mutex
+// per emit, fixed memory, and nil-safe emission so instrumented code
+// never has to guard against an unconfigured recorder.
+package eventlog
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event types emitted by the transport, MLB and MMP layers. The set is
+// closed on purpose: dashboards and tests match on these strings.
+const (
+	TypeOverloadStart  = "overload-start"  // MLB entered overload (Value = reduction %)
+	TypeOverloadStop   = "overload-stop"   // MLB exited overload
+	TypeAdmissionTrip  = "admission-trip"  // MMP admission control engaged
+	TypeAdmissionClear = "admission-clear" // MMP admission control released
+	TypeQueueFull      = "queue-full"      // MMP shard queue rejected work (rate-limited)
+	TypeFailover       = "failover"        // MLB declared an MMP dead
+	TypePromotion      = "promotion"       // replica promoted contexts from a dead master
+	TypeReReplicate    = "re-replicate"    // promoted contexts re-replicated to new owners
+	TypeConnClose      = "conn-close"      // transport connection closed
+	TypeMMPRegister    = "mmp-register"    // MMP joined the serving ring
+	TypeRingRemove     = "ring-remove"     // MMP left the serving ring
+	TypeSLOBreach      = "slo-breach"      // an objective entered breach
+	TypeSLOClear       = "slo-clear"       // an objective recovered
+)
+
+// Event is one flight-recorder entry. Seq is a per-log monotonic
+// sequence number — ordering events from one log is always by Seq, not
+// by timestamp (clocks can tie at nanosecond granularity).
+type Event struct {
+	Seq     uint64  `json:"seq"`
+	TimeNS  int64   `json:"t_unix_ns"`
+	Type    string  `json:"type"`
+	Node    string  `json:"node,omitempty"`
+	Subject string  `json:"subject,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// Log is a bounded event ring. The zero value and the nil pointer are
+// both inert: Emit on them is a no-op, so wiring events into a
+// component never requires a nil check at every call site.
+type Log struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // slot for the next write
+	n       int // valid entries
+	seq     uint64
+	dropped uint64
+}
+
+// DefaultCapacity is the ring size used when New is given cap <= 0.
+const DefaultCapacity = 1024
+
+// New creates a log retaining up to capacity events (DefaultCapacity
+// when capacity <= 0).
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{buf: make([]Event, capacity)}
+}
+
+// Emit appends e, stamping Seq and — when e.TimeNS is zero — the
+// current time. It returns the assigned sequence number (0 when l is
+// nil). When the ring is full the oldest event is overwritten and
+// counted as dropped.
+func (l *Log) Emit(e Event) uint64 {
+	if l == nil {
+		return 0
+	}
+	if e.TimeNS == 0 {
+		e.TimeNS = time.Now().UnixNano()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) == 0 {
+		l.buf = make([]Event, DefaultCapacity)
+	}
+	l.seq++
+	e.Seq = l.seq
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	} else {
+		l.dropped++
+	}
+	return e.Seq
+}
+
+// Emitf is shorthand for Emit with the common fields.
+func (l *Log) Emitf(typ, node, subject string, value float64, detail string) uint64 {
+	return l.Emit(Event{Type: typ, Node: node, Subject: subject, Value: value, Detail: detail})
+}
+
+// Events returns the retained events with Seq > sinceSeq, oldest
+// first. sinceSeq 0 returns everything retained.
+func (l *Log) Events(sinceSeq uint64) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.n; i++ {
+		e := l.buf[(start+i)%len(l.buf)]
+		if e.Seq > sinceSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len reports how many events are currently retained.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Total reports how many events were ever emitted.
+func (l *Log) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Dropped reports how many events were overwritten before being read.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// WriteJSONL streams the retained events with Seq > sinceSeq as one
+// JSON object per line, oldest first.
+func (l *Log) WriteJSONL(w io.Writer, sinceSeq uint64) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events(sinceSeq) {
+		if err := enc.Encode(&e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Limiter throttles a hot event source (shard queue-full fires per
+// rejected message) to at most one emission per interval. Allow is a
+// single atomic compare-and-swap — safe and cheap on reject paths.
+type Limiter struct {
+	intervalNS int64
+	last       atomic.Int64
+}
+
+// NewLimiter returns a limiter allowing one event per interval.
+func NewLimiter(interval time.Duration) *Limiter {
+	return &Limiter{intervalNS: interval.Nanoseconds()}
+}
+
+// Allow reports whether an event may be emitted at time now, and if so
+// consumes the slot.
+func (l *Limiter) Allow(now time.Time) bool {
+	if l == nil {
+		return true
+	}
+	ns := now.UnixNano()
+	last := l.last.Load()
+	if last != 0 && ns-last < l.intervalNS {
+		return false
+	}
+	return l.last.CompareAndSwap(last, ns)
+}

@@ -1,0 +1,138 @@
+package eventlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmitAssignsSeqAndTime(t *testing.T) {
+	l := New(8)
+	s1 := l.Emitf(TypeOverloadStart, "mlb-1", "", 50, "headroom=0.08")
+	s2 := l.Emitf(TypeOverloadStop, "mlb-1", "", 0, "")
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("seqs = %d, %d, want 1, 2", s1, s2)
+	}
+	evs := l.Events(0)
+	if len(evs) != 2 {
+		t.Fatalf("retained %d events, want 2", len(evs))
+	}
+	if evs[0].TimeNS == 0 || evs[1].TimeNS < evs[0].TimeNS {
+		t.Fatalf("timestamps not stamped monotonically: %d, %d", evs[0].TimeNS, evs[1].TimeNS)
+	}
+	if evs[0].Type != TypeOverloadStart || evs[0].Value != 50 {
+		t.Fatalf("first event mangled: %+v", evs[0])
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Emitf(TypeQueueFull, "mmp-1", "", float64(i), "")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if l.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", l.Total())
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", l.Dropped())
+	}
+	evs := l.Events(0)
+	if evs[0].Seq != 7 || evs[len(evs)-1].Seq != 10 {
+		t.Fatalf("retained seq range [%d,%d], want [7,10]", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+}
+
+func TestEventsSince(t *testing.T) {
+	l := New(16)
+	for i := 0; i < 6; i++ {
+		l.Emitf(TypeFailover, "mlb", "mmp-2", 0, "")
+	}
+	evs := l.Events(4)
+	if len(evs) != 2 || evs[0].Seq != 5 {
+		t.Fatalf("Events(4) = %+v, want seqs 5,6", evs)
+	}
+}
+
+func TestNilLogIsInert(t *testing.T) {
+	var l *Log
+	if seq := l.Emitf(TypeFailover, "x", "y", 0, ""); seq != 0 {
+		t.Fatalf("nil Emit returned %d", seq)
+	}
+	if l.Len() != 0 || l.Total() != 0 || l.Dropped() != 0 || l.Events(0) != nil {
+		t.Fatal("nil log accessors not inert")
+	}
+}
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	l := New(8)
+	l.Emit(Event{Type: TypeSLOBreach, Node: "mlb-1", Subject: "attach-rejects", Value: 0.42, Detail: "burn=8.4"})
+	l.Emitf(TypeSLOClear, "mlb-1", "attach-rejects", 0, "")
+
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d lines, want 2", len(got))
+	}
+	if got[0].Subject != "attach-rejects" || got[0].Value != 0.42 {
+		t.Fatalf("round-trip mangled event: %+v", got[0])
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	l := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Emitf(TypeQueueFull, "mmp", "", 0, "")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", l.Total())
+	}
+	evs := l.Events(0)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	lim := NewLimiter(time.Second)
+	t0 := time.Unix(1000, 0)
+	if !lim.Allow(t0) {
+		t.Fatal("first Allow refused")
+	}
+	if lim.Allow(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("Allow inside interval accepted")
+	}
+	if !lim.Allow(t0.Add(1100 * time.Millisecond)) {
+		t.Fatal("Allow after interval refused")
+	}
+	var nilLim *Limiter
+	if !nilLim.Allow(t0) {
+		t.Fatal("nil limiter must always allow")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"scale/internal/metrics"
@@ -15,11 +16,32 @@ import (
 // as JSONL or CSV instead of ad-hoc prints, so the perf trajectory can
 // be tracked across runs.
 
+// finite maps NaN and ±Inf to 0. encoding/json refuses non-finite
+// floats outright, so a single NaN percentile (an empty histogram
+// window, a 0/0 ratio) would abort an entire export mid-file; the
+// exporters sanitize instead.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func sanitizeSummary(s StageSummary) StageSummary {
+	s.MeanUS = finite(s.MeanUS)
+	s.P50US = finite(s.P50US)
+	s.P95US = finite(s.P95US)
+	s.P99US = finite(s.P99US)
+	s.MaxUS = finite(s.MaxUS)
+	return s
+}
+
 // WriteSummariesJSONL writes one JSON object per (proc, stage) line.
 func WriteSummariesJSONL(w io.Writer, sums []StageSummary) error {
 	enc := json.NewEncoder(w)
 	for i := range sums {
-		if err := enc.Encode(&sums[i]); err != nil {
+		s := sanitizeSummary(sums[i])
+		if err := enc.Encode(&s); err != nil {
 			return err
 		}
 	}
@@ -32,7 +54,8 @@ func WriteSummariesCSV(w io.Writer, sums []StageSummary) error {
 	if err := cw.Write([]string{"proc", "stage", "count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"}); err != nil {
 		return err
 	}
-	for _, s := range sums {
+	for i := range sums {
+		s := sanitizeSummary(sums[i])
 		rec := []string{
 			s.Proc, s.Stage,
 			fmt.Sprintf("%d", s.Count),
@@ -62,7 +85,7 @@ func WriteSeriesJSONL(w io.Writer, series []metrics.Series) error {
 	enc := json.NewEncoder(w)
 	for _, s := range series {
 		for _, p := range s.Points {
-			if err := enc.Encode(&SeriesPoint{Label: s.Label, X: p.X, Y: p.Y}); err != nil {
+			if err := enc.Encode(&SeriesPoint{Label: s.Label, X: finite(p.X), Y: finite(p.Y)}); err != nil {
 				return err
 			}
 		}
@@ -78,7 +101,7 @@ func WriteSeriesCSV(w io.Writer, series []metrics.Series) error {
 	}
 	for _, s := range series {
 		for _, p := range s.Points {
-			if err := cw.Write([]string{s.Label, fmt.Sprintf("%g", p.X), fmt.Sprintf("%g", p.Y)}); err != nil {
+			if err := cw.Write([]string{s.Label, fmt.Sprintf("%g", finite(p.X)), fmt.Sprintf("%g", finite(p.Y))}); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scale/internal/metrics"
+)
+
+func sampleSummaries() []StageSummary {
+	return []StageSummary{
+		{Proc: "attach", Stage: "mmp", Count: 120, MeanUS: 850.5, P50US: 700, P95US: 1900.25, P99US: 2400, MaxUS: 3100},
+		{Proc: "tau", Stage: "mlb-route", Count: 40, MeanUS: 12.5, P50US: 11, P95US: 19, P99US: 22, MaxUS: 30},
+	}
+}
+
+func TestWriteSummariesJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := sampleSummaries()
+	if err := WriteSummariesJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	var got []StageSummary
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var s StageSummary
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, s)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d summaries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("summary %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteSummariesCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := sampleSummaries()
+	if err := WriteSummariesCSV(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want)+1 {
+		t.Fatalf("CSV has %d rows, want header + %d", len(rows), len(want))
+	}
+	head := rows[0]
+	if head[0] != "proc" || head[len(head)-1] != "max_us" {
+		t.Fatalf("unexpected header: %v", head)
+	}
+	if rows[1][0] != "attach" || rows[1][1] != "mmp" || rows[1][2] != "120" {
+		t.Fatalf("unexpected first data row: %v", rows[1])
+	}
+	if rows[1][3] != "850.500" {
+		t.Fatalf("mean not rendered with 3 decimals: %q", rows[1][3])
+	}
+}
+
+func TestWriteSummariesEmpty(t *testing.T) {
+	var jbuf, cbuf bytes.Buffer
+	if err := WriteSummariesJSONL(&jbuf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if jbuf.Len() != 0 {
+		t.Fatalf("empty JSONL export wrote %q", jbuf.String())
+	}
+	if err := WriteSummariesCSV(&cbuf, nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cbuf).ReadAll()
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("empty CSV export: rows=%v err=%v, want header only", rows, err)
+	}
+}
+
+func TestWriteSummariesJSONLSanitizesNaN(t *testing.T) {
+	// A histogram window with no observations yields NaN percentiles;
+	// the exporter must still produce valid JSON for the whole file.
+	sums := []StageSummary{
+		{Proc: "attach", Stage: "mmp", Count: 0, MeanUS: math.NaN(), P50US: math.NaN(), P95US: math.Inf(1), P99US: math.Inf(-1), MaxUS: math.NaN()},
+		{Proc: "tau", Stage: "mmp", Count: 1, MeanUS: 5, P50US: 5, P95US: 5, P99US: 5, MaxUS: 5},
+	}
+	var buf bytes.Buffer
+	if err := WriteSummariesJSONL(&buf, sums); err != nil {
+		t.Fatalf("JSONL export failed on NaN percentiles: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var got StageSummary
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("NaN line is not valid JSON: %v", err)
+	}
+	if got.MeanUS != 0 || got.P95US != 0 || got.P99US != 0 {
+		t.Fatalf("non-finite fields not zeroed: %+v", got)
+	}
+}
+
+func sampleSeries() []metrics.Series {
+	return []metrics.Series{
+		{Label: "p99_ms", Points: []metrics.Point{{X: 1, Y: 2.5}, {X: 2, Y: 3.25}}},
+		{Label: "util", Points: []metrics.Point{{X: 1, Y: 0.8}}},
+	}
+}
+
+func TestWriteSeriesJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesJSONL(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	var got []SeriesPoint
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var p SeriesPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+	}
+	want := []SeriesPoint{{"p99_ms", 1, 2.5}, {"p99_ms", 2, 3.25}, {"util", 1, 0.8}}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteSeriesJSONLSanitizesNonFinite(t *testing.T) {
+	series := []metrics.Series{{Label: "bad", Points: []metrics.Point{{X: math.NaN(), Y: math.Inf(1)}}}}
+	var buf bytes.Buffer
+	if err := WriteSeriesJSONL(&buf, series); err != nil {
+		t.Fatalf("series export failed on non-finite point: %v", err)
+	}
+	var p SeriesPoint
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.X != 0 || p.Y != 0 {
+		t.Fatalf("non-finite point not zeroed: %+v", p)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("CSV has %d rows, want header + 3", len(rows))
+	}
+	if rows[1][0] != "p99_ms" || rows[1][1] != "1" || rows[1][2] != "2.5" {
+		t.Fatalf("unexpected row: %v", rows[1])
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	if err := WriteFile(path, func(w io.Writer) error {
+		return WriteSummariesJSONL(w, sampleSummaries())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"proc":"attach"`) {
+		t.Fatalf("file missing expected content: %q", data)
+	}
+
+	if err := WriteFile(filepath.Join(t.TempDir(), "no/such/dir/out"), func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("WriteFile to missing directory must error")
+	}
+}

@@ -7,7 +7,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"time"
+
+	"scale/internal/obs/eventlog"
 )
 
 // EnableContentionProfiling turns on the runtime's mutex and block
@@ -21,16 +24,47 @@ func EnableContentionProfiling(mutexFraction, blockRateNS int) {
 	runtime.SetBlockProfileRate(blockRateNS)
 }
 
-// NewHandler builds the exposition mux:
-//
-//	/metrics       Prometheus text format
-//	/debug/scale   JSON: metric snapshot + per-(proc,stage) span
-//	               summaries + span-log state
-//	/debug/scale/spans  recent spans as JSONL
-//	/debug/pprof/* stdlib profiling endpoints
-//
-// reg and tr may each be nil; the corresponding sections are omitted.
+// HandlerConfig describes everything an exposition mux can serve.
+// All fields are optional; the corresponding endpoints degrade to
+// empty output (or, for health, to "always live / never ready-gated").
+type HandlerConfig struct {
+	Registry *Registry
+	Tracer   *Tracer
+	// Events is the flight recorder served at /debug/scale/events.
+	Events *eventlog.Log
+	// Live reports process liveness for /healthz (nil → always live).
+	Live func() bool
+	// Ready reports readiness for /readyz with a human-readable reason
+	// when not ready (nil → ready whenever live).
+	Ready func() (bool, string)
+	// Mounts register additional endpoints on the mux — the history
+	// collector, SLO tracker and model feed live in packages that
+	// import obs, so they attach themselves here rather than being
+	// linked in unconditionally.
+	Mounts []func(*http.ServeMux)
+}
+
+// NewHandler builds the exposition mux with just metrics and spans —
+// the pre-flight-recorder surface. Daemons wanting health endpoints,
+// the event log or mounted collectors use NewHandlerConfig.
 func NewHandler(reg *Registry, tr *Tracer) *http.ServeMux {
+	return NewHandlerConfig(HandlerConfig{Registry: reg, Tracer: tr})
+}
+
+// NewHandlerConfig builds the exposition mux:
+//
+//	/metrics              Prometheus text format
+//	/debug/scale          JSON: metric snapshot + per-(proc,stage)
+//	                      span summaries + span/event log state
+//	/debug/scale/spans    recent spans as JSONL
+//	/debug/scale/events   flight-recorder events as JSONL (?since=seq)
+//	/healthz              liveness  (200 ok / 503)
+//	/readyz               readiness (200 ready / 503 + reason)
+//	/debug/pprof/*        stdlib profiling endpoints
+//
+// plus whatever cfg.Mounts attach (/debug/scale/history, /slo, /model).
+func NewHandlerConfig(cfg HandlerConfig) *http.ServeMux {
+	reg, tr := cfg.Registry, cfg.Tracer
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -57,6 +91,13 @@ func NewHandler(reg *Registry, tr *Tracer) *http.ServeMux {
 				}
 			}
 		}
+		if cfg.Events != nil {
+			body.EventLog = &spanLogState{
+				Retained: cfg.Events.Len(),
+				Total:    cfg.Events.Total(),
+				Dropped:  cfg.Events.Dropped(),
+			}
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(&body)
@@ -67,11 +108,50 @@ func NewHandler(reg *Registry, tr *Tracer) *http.ServeMux {
 			_ = tr.Log().WriteJSONL(w)
 		}
 	})
+	mux.HandleFunc("/debug/scale/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if cfg.Events == nil {
+			return
+		}
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			since, _ = strconv.ParseUint(s, 10, 64)
+		}
+		_ = cfg.Events.WriteJSONL(w, since)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Live != nil && !cfg.Live() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Live != nil && !cfg.Live() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		if cfg.Ready != nil {
+			if ok, reason := cfg.Ready(); !ok {
+				if reason == "" {
+					reason = "not ready"
+				}
+				http.Error(w, reason, http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, mount := range cfg.Mounts {
+		if mount != nil {
+			mount(mux)
+		}
+	}
 	return mux
 }
 
@@ -81,6 +161,7 @@ type debugScale struct {
 	Spans       []StageSummary `json:"spans,omitempty"`
 	ActiveSpans int            `json:"active_spans"`
 	SpanLog     *spanLogState  `json:"span_log,omitempty"`
+	EventLog    *spanLogState  `json:"event_log,omitempty"`
 }
 
 type spanLogState struct {
@@ -98,13 +179,19 @@ type Server struct {
 // Serve starts the exposition server on addr (":0" picks a free
 // port; use Addr to discover it).
 func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	return ServeConfig(addr, HandlerConfig{Registry: reg, Tracer: tr})
+}
+
+// ServeConfig starts the exposition server for the full handler
+// configuration (health endpoints, event log, mounted collectors).
+func ServeConfig(addr string, cfg HandlerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		ln:  ln,
-		srv: &http.Server{Handler: NewHandler(reg, tr), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: NewHandlerConfig(cfg), ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

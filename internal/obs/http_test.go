@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"scale/internal/obs/eventlog"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -80,5 +82,73 @@ func TestServeMetricsAndDebug(t *testing.T) {
 	code, body = get(t, base+"/debug/pprof/")
 	if code != 200 || !strings.Contains(body, "goroutine") {
 		t.Fatalf("pprof index wrong (%d)", code)
+	}
+}
+
+func TestServeHealthEventsAndMounts(t *testing.T) {
+	ob := NewObserver("mlb-1", 0)
+	ob.Events.Emitf(eventlog.TypeOverloadStart, "mlb-1", "", 50, "headroom=0.05")
+	ob.Events.Emitf(eventlog.TypeOverloadStop, "mlb-1", "", 0, "")
+
+	ready := false
+	srv, err := ServeConfig("127.0.0.1:0", HandlerConfig{
+		Registry: ob.Reg,
+		Tracer:   ob.Tracer,
+		Events:   ob.Events,
+		Ready:    func() (bool, string) { return ready, "overloaded" },
+		Mounts: []func(*http.ServeMux){
+			func(mux *http.ServeMux) {
+				mux.HandleFunc("/debug/scale/extra", func(w http.ResponseWriter, _ *http.Request) {
+					io.WriteString(w, "mounted")
+				})
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get(t, base+"/readyz"); code != 503 || !strings.Contains(body, "overloaded") {
+		t.Fatalf("/readyz while not ready = %d %q, want 503 with reason", code, body)
+	}
+	ready = true
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("/readyz while ready = %d, want 200", code)
+	}
+
+	code, body := get(t, base+"/debug/scale/events")
+	if code != 200 {
+		t.Fatalf("/debug/scale/events status %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], eventlog.TypeOverloadStart) {
+		t.Fatalf("events JSONL wrong: %q", body)
+	}
+	if _, body = get(t, base+"/debug/scale/events?since=1"); strings.Contains(body, eventlog.TypeOverloadStart) {
+		t.Fatalf("since filter not applied: %q", body)
+	}
+
+	if code, body := get(t, base+"/debug/scale/extra"); code != 200 || body != "mounted" {
+		t.Fatalf("mounted endpoint wrong (%d): %q", code, body)
+	}
+
+	// /debug/scale must report event-log state.
+	_, body = get(t, base+"/debug/scale")
+	var dbg struct {
+		EventLog *struct {
+			Retained int    `json:"retained"`
+			Total    uint64 `json:"total"`
+		} `json:"event_log"`
+	}
+	if err := json.Unmarshal([]byte(body), &dbg); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.EventLog == nil || dbg.EventLog.Total != 2 {
+		t.Fatalf("event_log state missing from /debug/scale: %s", body)
 	}
 }

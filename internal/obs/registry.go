@@ -256,6 +256,63 @@ func (r *Registry) Snapshot() Snapshot {
 	return snap
 }
 
+// ScalarSnapshot captures only counters and gauges (including the
+// registered callbacks). This is the history collector's per-tick
+// sampling path: unlike Snapshot it never computes histogram
+// statistics, so a tick costs two map walks plus the callbacks.
+// Callbacks run outside the registry lock — they may take their own.
+func (r *Registry) ScalarSnapshot() (counters map[string]uint64, gauges map[string]float64) {
+	r.mu.Lock()
+	cs := make(map[string]*Counter, len(r.counters))
+	for id, c := range r.counters {
+		cs[id] = c
+	}
+	gs := make(map[string]*Gauge, len(r.gauges))
+	for id, g := range r.gauges {
+		gs[id] = g
+	}
+	cfuncs := make(map[string]func() uint64, len(r.counterFuncs))
+	for id, fn := range r.counterFuncs {
+		cfuncs[id] = fn
+	}
+	gfuncs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for id, fn := range r.gaugeFuncs {
+		gfuncs[id] = fn
+	}
+	r.mu.Unlock()
+
+	counters = make(map[string]uint64, len(cs)+len(cfuncs))
+	for id, c := range cs {
+		counters[id] = c.Value()
+	}
+	for id, fn := range cfuncs {
+		counters[id] = fn()
+	}
+	gauges = make(map[string]float64, len(gs)+len(gfuncs))
+	for id, g := range gs {
+		gauges[id] = g.Value()
+	}
+	for id, fn := range gfuncs {
+		gauges[id] = fn()
+	}
+	return counters, gauges
+}
+
+// ForEachHistogram visits every registered histogram. fn runs outside
+// the registry lock, so it may take the histogram's own lock (e.g. via
+// Snapshot) without ordering concerns.
+func (r *Registry) ForEachHistogram(fn func(id string, h *Histogram)) {
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for id, h := range r.hists {
+		hists[id] = h
+	}
+	r.mu.Unlock()
+	for id, h := range hists {
+		fn(id, h)
+	}
+}
+
 // WritePrometheus renders every metric in the Prometheus text
 // exposition format: counters and gauges as-is, histograms as
 // summaries with quantile labels plus _sum and _count.

@@ -1,0 +1,32 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Path is where the tracker mounts its JSON view.
+const Path = "/debug/scale/slo"
+
+// body is the JSON shape served at /debug/scale/slo.
+type body struct {
+	Healthy bool    `json:"healthy"`
+	SLOs    []State `json:"slos"`
+}
+
+// Mount registers the SLO endpoint on mux.
+func (t *Tracker) Mount(mux *http.ServeMux) {
+	mux.HandleFunc(Path, func(w http.ResponseWriter, _ *http.Request) {
+		states := t.States()
+		healthy := true
+		for _, s := range states {
+			if !s.Healthy {
+				healthy = false
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body{Healthy: healthy, SLOs: states})
+	})
+}

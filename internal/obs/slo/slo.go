@@ -1,0 +1,433 @@
+// Package slo evaluates declarative service-level objectives over the
+// history collector's windows. Two objective kinds cover the control
+// plane's contract: latency objectives ("attach p99 < 50ms") over a
+// histogram's windowed quantile, and ratio objectives ("attach reject
+// ratio < 5%") over a pair of counters.
+//
+// Detection is multi-window burn-rate in the SRE-workbook sense: an
+// objective breaches only when BOTH a short window (fast signal,
+// noisy) and a long window (slow signal, stable) exceed the objective
+// scaled by BurnFactor — a transient blip trips neither, a sustained
+// storm trips both within seconds. A breach flips the objective's
+// slo_healthy gauge, bumps slo_breaches_total, and emits a flight-
+// recorder event; recovery of the short window clears it.
+package slo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"scale/internal/obs"
+	"scale/internal/obs/eventlog"
+	"scale/internal/obs/timeseries"
+)
+
+// Kind discriminates objective flavors.
+type Kind string
+
+const (
+	KindLatency Kind = "latency"
+	KindRatio   Kind = "ratio"
+)
+
+// Default evaluation windows.
+const (
+	DefaultShortWindow = 10 * time.Second
+	DefaultLongWindow  = time.Minute
+)
+
+// Objective is one declarative target.
+type Objective struct {
+	Name string
+	Kind Kind
+
+	// Latency objectives: the Quantile of Metric (a histogram id) must
+	// stay below Threshold (exposition units, e.g. seconds).
+	Metric    string
+	Quantile  float64
+	Threshold float64
+
+	// Ratio objectives: Bad/Total (counter ids) must stay below
+	// MaxRatio. A window with no Total increase is treated as healthy.
+	Bad      string
+	Total    string
+	MaxRatio float64
+
+	// ShortWindow/LongWindow override the evaluation windows.
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	// BurnFactor scales the objective before comparison (default 1.0:
+	// any sustained violation breaches; 2.0 tolerates up to 2x the
+	// objective before paging).
+	BurnFactor float64
+	// MinCount ignores windows with fewer observations (latency) or
+	// less Total increase (ratio) than this, defaulting to 1 — one
+	// slow sample shouldn't breach an SLO.
+	MinCount uint64
+}
+
+func (o Objective) shortWindow() time.Duration {
+	if o.ShortWindow > 0 {
+		return o.ShortWindow
+	}
+	return DefaultShortWindow
+}
+
+func (o Objective) longWindow() time.Duration {
+	if o.LongWindow > 0 {
+		return o.LongWindow
+	}
+	return DefaultLongWindow
+}
+
+func (o Objective) burnFactor() float64 {
+	if o.BurnFactor > 0 {
+		return o.BurnFactor
+	}
+	return 1.0
+}
+
+func (o Objective) minCount() uint64 {
+	if o.MinCount > 0 {
+		return o.MinCount
+	}
+	return 1
+}
+
+// objective reports the threshold being enforced (Threshold or
+// MaxRatio by kind).
+func (o Objective) objective() float64 {
+	if o.Kind == KindLatency {
+		return o.Threshold
+	}
+	return o.MaxRatio
+}
+
+// State is one objective's last evaluation.
+type State struct {
+	Name      string  `json:"name"`
+	Kind      Kind    `json:"kind"`
+	Objective float64 `json:"objective"`
+	Healthy   bool    `json:"healthy"`
+	// Short/Long are the measured values over each window; ShortOK/
+	// LongOK report whether the window had enough data to measure.
+	Short   float64 `json:"short"`
+	ShortOK bool    `json:"short_ok"`
+	Long    float64 `json:"long"`
+	LongOK  bool    `json:"long_ok"`
+	// Breaches counts breach transitions since start; SinceUnixMS is
+	// when the current health state was entered (0 until the first
+	// evaluation).
+	Breaches    uint64 `json:"breaches"`
+	SinceUnixMS int64  `json:"since_unix_ms,omitempty"`
+}
+
+// Config parameterizes a Tracker.
+type Config struct {
+	Collector  *timeseries.Collector
+	Objectives []Objective
+	// Registry receives slo_healthy / slo_breaches_total metrics
+	// (nil skips metric registration).
+	Registry *obs.Registry
+	// Events receives slo-breach / slo-clear events (nil-safe).
+	Events *eventlog.Log
+	// Node stamps emitted events.
+	Node string
+	// Every is the evaluation cadence for Start (default 1s).
+	Every time.Duration
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+type objState struct {
+	obj      Objective
+	healthy  bool
+	everEval bool
+	since    time.Time
+	breaches uint64
+	last     State
+	gauge    *obs.Gauge
+	counter  *obs.Counter
+}
+
+// Tracker evaluates objectives against a collector.
+type Tracker struct {
+	cfg  Config
+	mu   sync.Mutex
+	objs []*objState
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates a tracker. Objectives start healthy.
+func New(cfg Config) *Tracker {
+	if cfg.Every <= 0 {
+		cfg.Every = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	t := &Tracker{cfg: cfg}
+	for _, o := range cfg.Objectives {
+		st := &objState{obj: o, healthy: true}
+		if cfg.Registry != nil {
+			st.gauge = cfg.Registry.Gauge(fmt.Sprintf("slo_healthy{slo=%q}", o.Name))
+			st.gauge.Set(1)
+			st.counter = cfg.Registry.Counter(fmt.Sprintf("slo_breaches_total{slo=%q}", o.Name))
+		}
+		t.objs = append(t.objs, st)
+	}
+	return t
+}
+
+// Start launches periodic evaluation; no-op when already running.
+func (t *Tracker) Start() {
+	t.mu.Lock()
+	if t.done != nil {
+		t.mu.Unlock()
+		return
+	}
+	t.done = make(chan struct{})
+	done := t.done
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		tick := time.NewTicker(t.cfg.Every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				t.EvaluateOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts periodic evaluation.
+func (t *Tracker) Stop() {
+	t.mu.Lock()
+	done := t.done
+	t.done = nil
+	t.mu.Unlock()
+	if done != nil {
+		close(done)
+		t.wg.Wait()
+	}
+}
+
+// measure evaluates one window of one objective: the measured value,
+// whether enough data was present, and whether the window violates the
+// burn-scaled objective.
+func (t *Tracker) measure(o Objective, window time.Duration) (value float64, ok, violated bool) {
+	limit := o.objective() * o.burnFactor()
+	switch o.Kind {
+	case KindLatency:
+		hw, found := t.cfg.Collector.WindowHist(o.Metric, window)
+		if !found || hw.Count < o.minCount() {
+			return 0, false, false
+		}
+		q, found := t.cfg.Collector.WindowQuantile(o.Metric, window, o.Quantile)
+		if !found {
+			return 0, false, false
+		}
+		return q, true, q > limit
+	case KindRatio:
+		total, _, found := t.cfg.Collector.CounterDelta(o.Total, window)
+		if !found || total < float64(o.minCount()) {
+			return 0, false, false
+		}
+		bad, _, _ := t.cfg.Collector.CounterDelta(o.Bad, window)
+		ratio := bad / total
+		return ratio, true, ratio > limit
+	}
+	return 0, false, false
+}
+
+// EvaluateOnce evaluates every objective against the collector's
+// current history. Exported so tests and one-shot tools can drive the
+// tracker deterministically.
+func (t *Tracker) EvaluateOnce() {
+	now := t.cfg.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, st := range t.objs {
+		o := st.obj
+		shortV, shortOK, shortViol := t.measure(o, o.shortWindow())
+		longV, longOK, longViol := t.measure(o, o.longWindow())
+
+		if !st.everEval {
+			st.everEval = true
+			st.since = now
+		}
+		switch {
+		case st.healthy && shortOK && longOK && shortViol && longViol:
+			// Breach: both windows sustain the violation.
+			st.healthy = false
+			st.since = now
+			st.breaches++
+			if st.gauge != nil {
+				st.gauge.Set(0)
+			}
+			if st.counter != nil {
+				st.counter.Inc()
+			}
+			t.cfg.Events.Emit(eventlog.Event{
+				Type: eventlog.TypeSLOBreach, Node: t.cfg.Node, Subject: o.Name,
+				Value:  shortV,
+				Detail: fmt.Sprintf("short=%g long=%g objective=%g", shortV, longV, o.objective()),
+			})
+		case !st.healthy && (!shortOK || !shortViol):
+			// Clear: the fast window is back within the objective (or
+			// has gone quiet — no data means no ongoing violation).
+			st.healthy = true
+			st.since = now
+			if st.gauge != nil {
+				st.gauge.Set(1)
+			}
+			t.cfg.Events.Emit(eventlog.Event{
+				Type: eventlog.TypeSLOClear, Node: t.cfg.Node, Subject: o.Name,
+				Value: shortV,
+			})
+		}
+		st.last = State{
+			Name:        o.Name,
+			Kind:        o.Kind,
+			Objective:   o.objective(),
+			Healthy:     st.healthy,
+			Short:       shortV,
+			ShortOK:     shortOK,
+			Long:        longV,
+			LongOK:      longOK,
+			Breaches:    st.breaches,
+			SinceUnixMS: st.since.UnixMilli(),
+		}
+	}
+}
+
+// States reports every objective's last evaluation.
+func (t *Tracker) States() []State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]State, 0, len(t.objs))
+	for _, st := range t.objs {
+		s := st.last
+		if !st.everEval {
+			s = State{Name: st.obj.Name, Kind: st.obj.Kind, Objective: st.obj.objective(), Healthy: true}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Healthy reports whether every objective is currently healthy.
+func (t *Tracker) Healthy() bool {
+	for _, s := range t.States() {
+		if !s.Healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse builds an Objective from its spec-string form:
+//
+//	name:p99(<histogram-id>)<50ms              latency
+//	name:ratio(<bad-id>/<total-id>)<0.05       ratio
+//
+// with an optional @short,long window suffix, e.g.
+//
+//	shed:ratio(mlb_overload_shed_total{proc="attach"}/mlb_ingress_total{proc="attach"})<0.05@10s,1m
+//
+// Metric ids may contain label blocks; they may not contain '/' or
+// '@', which is true of every id the registry produces.
+func Parse(spec string) (Objective, error) {
+	var o Objective
+	rest := spec
+	if i := strings.LastIndexByte(rest, '@'); i >= 0 {
+		windows := rest[i+1:]
+		rest = rest[:i]
+		parts := strings.SplitN(windows, ",", 2)
+		if len(parts) != 2 {
+			return o, fmt.Errorf("slo %q: window suffix must be @short,long", spec)
+		}
+		var err error
+		if o.ShortWindow, err = time.ParseDuration(parts[0]); err != nil {
+			return o, fmt.Errorf("slo %q: bad short window: %w", spec, err)
+		}
+		if o.LongWindow, err = time.ParseDuration(parts[1]); err != nil {
+			return o, fmt.Errorf("slo %q: bad long window: %w", spec, err)
+		}
+	}
+	colon := strings.IndexByte(rest, ':')
+	if colon <= 0 {
+		return o, fmt.Errorf("slo %q: missing name:", spec)
+	}
+	o.Name = rest[:colon]
+	rest = rest[colon+1:]
+
+	open := strings.IndexByte(rest, '(')
+	close_ := strings.LastIndex(rest, ")<")
+	if open < 0 || close_ < open {
+		return o, fmt.Errorf("slo %q: want kind(args)<threshold", spec)
+	}
+	kind, args, thr := rest[:open], rest[open+1:close_], rest[close_+2:]
+
+	switch {
+	case kind == "ratio":
+		o.Kind = KindRatio
+		slash := strings.IndexByte(args, '/')
+		if slash <= 0 || slash == len(args)-1 {
+			return o, fmt.Errorf("slo %q: ratio wants bad/total", spec)
+		}
+		o.Bad, o.Total = args[:slash], args[slash+1:]
+		v, err := strconv.ParseFloat(thr, 64)
+		if err != nil || v <= 0 {
+			return o, fmt.Errorf("slo %q: bad ratio threshold %q", spec, thr)
+		}
+		o.MaxRatio = v
+	case strings.HasPrefix(kind, "p"):
+		o.Kind = KindLatency
+		q, err := strconv.ParseFloat(kind[1:], 64)
+		if err != nil || q <= 0 || q > 100 {
+			return o, fmt.Errorf("slo %q: bad quantile %q", spec, kind)
+		}
+		if q > 1 {
+			q /= 100 // p99 → 0.99
+		}
+		o.Quantile = q
+		o.Metric = args
+		d, err := time.ParseDuration(thr)
+		if err != nil {
+			return o, fmt.Errorf("slo %q: bad latency threshold %q (want a duration like 50ms)", spec, thr)
+		}
+		o.Threshold = d.Seconds()
+	default:
+		return o, fmt.Errorf("slo %q: unknown kind %q", spec, kind)
+	}
+	return o, nil
+}
+
+// ParseList parses a ';'-separated list of specs (ids contain commas,
+// so ';' is the separator). Empty elements are skipped.
+func ParseList(specs string) ([]Objective, error) {
+	var out []Objective
+	for _, s := range strings.Split(specs, ";") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		o, err := Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,311 @@
+package slo
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"scale/internal/obs"
+	"scale/internal/obs/eventlog"
+	"scale/internal/obs/timeseries"
+)
+
+// rig bundles a registry, manual-clock collector and tracker.
+type rig struct {
+	reg *obs.Registry
+	col *timeseries.Collector
+	trk *Tracker
+	ev  *eventlog.Log
+	t   time.Time
+}
+
+func newRig(objs ...Objective) *rig {
+	r := &rig{reg: obs.NewRegistry(), ev: eventlog.New(64), t: time.Unix(1_700_000_000, 0)}
+	now := func() time.Time { return r.t }
+	r.col = timeseries.New(timeseries.Config{Registry: r.reg, Interval: time.Second, Retention: 256, Now: now})
+	r.trk = New(Config{
+		Collector:  r.col,
+		Objectives: objs,
+		Registry:   r.reg,
+		Events:     r.ev,
+		Node:       "test-node",
+		Now:        now,
+	})
+	return r
+}
+
+// step advances time one second, samples, and evaluates.
+func (r *rig) step() {
+	r.col.SampleOnce()
+	r.trk.EvaluateOnce()
+	r.t = r.t.Add(time.Second)
+}
+
+func ratioObjective() Objective {
+	return Objective{
+		Name: "attach-rejects", Kind: KindRatio,
+		Bad:         `shed_total{proc="attach"}`,
+		Total:       `ingress_total{proc="attach"}`,
+		MaxRatio:    0.05,
+		ShortWindow: 3 * time.Second,
+		LongWindow:  8 * time.Second,
+		MinCount:    5,
+	}
+}
+
+func TestRatioBreachAndClear(t *testing.T) {
+	r := newRig(ratioObjective())
+	bad := r.reg.Counter(`shed_total{proc="attach"}`)
+	total := r.reg.Counter(`ingress_total{proc="attach"}`)
+
+	// Healthy phase: 100/s arrivals, 1% shed.
+	for i := 0; i < 10; i++ {
+		total.Add(100)
+		bad.Add(1)
+		r.step()
+	}
+	if !r.trk.Healthy() {
+		t.Fatalf("healthy traffic breached: %+v", r.trk.States())
+	}
+
+	// Storm: 50% shed. The short window (3s) violates quickly; the
+	// long window (8s) follows once the storm has run long enough.
+	var breachedAt int
+	for i := 1; i <= 12; i++ {
+		total.Add(100)
+		bad.Add(50)
+		r.step()
+		if !r.trk.Healthy() && breachedAt == 0 {
+			breachedAt = i
+		}
+	}
+	if breachedAt == 0 {
+		t.Fatalf("sustained 50%% shed never breached: %+v", r.trk.States())
+	}
+	// A 10x burn trips even the long window within a couple of seconds.
+	if breachedAt > 3 {
+		t.Fatalf("breach took %d storm seconds, want fast detection at 10x burn", breachedAt)
+	}
+	st := r.trk.States()[0]
+	if st.Healthy || st.Breaches != 1 || st.Short < 0.4 {
+		t.Fatalf("breach state wrong: %+v", st)
+	}
+	if g := r.reg.Gauge(`slo_healthy{slo="attach-rejects"}`).Value(); g != 0 {
+		t.Fatalf("slo_healthy gauge = %g during breach, want 0", g)
+	}
+	if c := r.reg.Counter(`slo_breaches_total{slo="attach-rejects"}`).Value(); c != 1 {
+		t.Fatalf("slo_breaches_total = %d, want 1", c)
+	}
+
+	// Recovery: shedding stops, traffic continues. The short window
+	// drains in ~3s and the objective clears even though the long
+	// window still remembers the storm.
+	var clearedAt int
+	for i := 1; i <= 6; i++ {
+		total.Add(100)
+		r.step()
+		if r.trk.Healthy() {
+			clearedAt = i
+			break
+		}
+	}
+	if clearedAt == 0 {
+		t.Fatalf("objective never cleared after recovery: %+v", r.trk.States())
+	}
+	if g := r.reg.Gauge(`slo_healthy{slo="attach-rejects"}`).Value(); g != 1 {
+		t.Fatal("slo_healthy gauge not restored")
+	}
+
+	// Event order: breach then clear, stamped with node and name.
+	evs := r.ev.Events(0)
+	if len(evs) != 2 || evs[0].Type != eventlog.TypeSLOBreach || evs[1].Type != eventlog.TypeSLOClear {
+		t.Fatalf("events = %+v, want breach then clear", evs)
+	}
+	if evs[0].Node != "test-node" || evs[0].Subject != "attach-rejects" {
+		t.Fatalf("breach event fields wrong: %+v", evs[0])
+	}
+}
+
+func TestRatioQuietWindowStaysHealthy(t *testing.T) {
+	r := newRig(ratioObjective())
+	// No traffic at all: MinCount filters the empty windows; no breach.
+	for i := 0; i < 10; i++ {
+		r.step()
+	}
+	if !r.trk.Healthy() {
+		t.Fatal("idle tracker breached")
+	}
+	st := r.trk.States()[0]
+	if st.ShortOK || st.LongOK {
+		t.Fatalf("idle windows reported data: %+v", st)
+	}
+}
+
+func TestTransientBlipDoesNotBreach(t *testing.T) {
+	r := newRig(ratioObjective())
+	bad := r.reg.Counter(`shed_total{proc="attach"}`)
+	total := r.reg.Counter(`ingress_total{proc="attach"}`)
+	// 20 healthy seconds, one bad second, healthy again: the long
+	// window (8s at 50%→ one second of 50% ≈ 6% avg) may flicker, but
+	// a single-second blip must not trip both windows simultaneously
+	// once the short window has moved past it.
+	for i := 0; i < 10; i++ {
+		total.Add(100)
+		r.step()
+	}
+	total.Add(100)
+	bad.Add(8) // 8% for one second
+	r.step()
+	for i := 0; i < 10; i++ {
+		total.Add(100)
+		r.step()
+	}
+	if !r.trk.Healthy() {
+		t.Fatalf("one-second 8%% blip breached the SLO: %+v", r.trk.States())
+	}
+	if n := r.trk.States()[0].Breaches; n != 0 {
+		t.Fatalf("blip recorded %d breaches", n)
+	}
+}
+
+func TestLatencyObjective(t *testing.T) {
+	obj := Objective{
+		Name: "attach-p99", Kind: KindLatency,
+		Metric:      `span_duration_seconds{proc="attach",stage="mmp"}`,
+		Quantile:    0.99,
+		Threshold:   0.050, // 50ms
+		ShortWindow: 3 * time.Second,
+		LongWindow:  8 * time.Second,
+		MinCount:    5,
+	}
+	r := newRig(obj)
+	h := r.reg.Histogram(`span_duration_seconds{proc="attach",stage="mmp"}`, 1e9)
+
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 20; j++ {
+			h.Record(int64(5 * time.Millisecond))
+		}
+		r.step()
+	}
+	if !r.trk.Healthy() {
+		t.Fatalf("5ms latencies breached a 50ms objective: %+v", r.trk.States())
+	}
+
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 20; j++ {
+			h.Record(int64(200 * time.Millisecond))
+		}
+		r.step()
+	}
+	st := r.trk.States()[0]
+	if st.Healthy {
+		t.Fatalf("200ms latencies did not breach: %+v", st)
+	}
+	if math.Abs(st.Short-0.2) > 0.02 {
+		t.Fatalf("short-window p99 = %g, want ≈0.2", st.Short)
+	}
+
+	// Latency recovers; objective clears when the short window drains.
+	cleared := false
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 20; j++ {
+			h.Record(int64(2 * time.Millisecond))
+		}
+		r.step()
+		if r.trk.Healthy() {
+			cleared = true
+			break
+		}
+	}
+	if !cleared {
+		t.Fatalf("latency objective never cleared: %+v", r.trk.States())
+	}
+}
+
+func TestParse(t *testing.T) {
+	o, err := Parse(`shed:ratio(mlb_overload_shed_total{proc="attach"}/mlb_ingress_total{proc="attach"})<0.05@10s,1m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "shed" || o.Kind != KindRatio || o.MaxRatio != 0.05 {
+		t.Fatalf("parsed ratio wrong: %+v", o)
+	}
+	if o.Bad != `mlb_overload_shed_total{proc="attach"}` || o.Total != `mlb_ingress_total{proc="attach"}` {
+		t.Fatalf("parsed ids wrong: %+v", o)
+	}
+	if o.ShortWindow != 10*time.Second || o.LongWindow != time.Minute {
+		t.Fatalf("parsed windows wrong: %+v", o)
+	}
+
+	o, err = Parse(`attach-p99:p99(span_duration_seconds{proc="attach",stage="mmp"})<50ms`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != KindLatency || o.Quantile != 0.99 || o.Threshold != 0.05 {
+		t.Fatalf("parsed latency wrong: %+v", o)
+	}
+	if o.ShortWindow != 0 || o.LongWindow != 0 {
+		t.Fatalf("windows should default to zero: %+v", o)
+	}
+
+	if o, err = Parse(`mid:p50(h)<1s`); err != nil || o.Quantile != 0.5 {
+		t.Fatalf("p50 parse: %+v %v", o, err)
+	}
+
+	for _, bad := range []string{
+		"",
+		"noname",
+		"x:ratio(a)<0.05",        // missing /total
+		"x:ratio(a/b)<-1",        // bad threshold
+		"x:p99(h)<oops",          // bad duration
+		"x:pzz(h)<50ms",          // bad quantile
+		"x:widgets(h)<50ms",      // unknown kind
+		"x:ratio(a/b)<0.05@10s",  // malformed window suffix
+		"x:ratio(a/b)<0.05@a,1m", // bad short window
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	objs, err := ParseList(` a:p99(h1)<10ms ; b:ratio(x/y)<0.1 ; `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Name != "a" || objs[1].Name != "b" {
+		t.Fatalf("ParseList = %+v", objs)
+	}
+	if _, err := ParseList("good:p99(h)<1ms;bad"); err == nil {
+		t.Fatal("ParseList swallowed a bad spec")
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	r := newRig(ratioObjective())
+	r.step()
+	mux := http.NewServeMux()
+	r.trk.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Healthy bool    `json:"healthy"`
+		SLOs    []State `json:"slos"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Healthy || len(got.SLOs) != 1 || got.SLOs[0].Name != "attach-rejects" {
+		t.Fatalf("slo endpoint body wrong: %+v", got)
+	}
+}

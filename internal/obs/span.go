@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"scale/internal/obs/eventlog"
 )
 
 // Stage names for the hops a control procedure crosses. The simulator
@@ -431,20 +433,24 @@ func StartSweeper(tr *Tracer, every, maxAge time.Duration) (stop func()) {
 	return func() { once.Do(func() { close(done) }) }
 }
 
-// Observer bundles the registry and tracer one daemon wires through
-// its components and exposes over HTTP.
+// Observer bundles the registry, tracer and flight-recorder event log
+// one daemon wires through its components and exposes over HTTP.
+// Events may be nil (struct-literal observers in tests); emission via
+// eventlog.Log is nil-safe so components never need to check.
 type Observer struct {
 	Reg    *Registry
 	Tracer *Tracer
+	Events *eventlog.Log
 }
 
-// NewObserver creates a registry plus a tracer recording into it.
-// spanLogSize bounds the span log (0 disables it, negative uses the
-// default size).
+// NewObserver creates a registry, a tracer recording into it, and an
+// event log of the default capacity. spanLogSize bounds the span log
+// (0 disables it, negative uses the default size).
 func NewObserver(node string, spanLogSize int) *Observer {
 	reg := NewRegistry()
 	return &Observer{
 		Reg:    reg,
 		Tracer: NewTracer(TracerConfig{Node: node, Registry: reg, SpanLogSize: spanLogSize}),
+		Events: eventlog.New(0),
 	}
 }

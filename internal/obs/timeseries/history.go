@@ -1,0 +1,171 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HistoryPath is where the collector mounts its JSON view.
+const HistoryPath = "/debug/scale/history"
+
+// WindowStats is one trailing window's digest of a series.
+type WindowStats struct {
+	Window string  `json:"window"`
+	SpanMS float64 `json:"span_ms"`
+	// Counters and histograms: per-second rate of increase.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Gauges and histograms: mean over the window.
+	Mean float64 `json:"mean,omitempty"`
+	// Histograms only: observation count and percentiles in
+	// exposition units.
+	Count uint64  `json:"count,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// HistorySeries is one metric's history view.
+type HistorySeries struct {
+	ID      string        `json:"id"`
+	Kind    Kind          `json:"kind"`
+	Last    float64       `json:"last"`
+	Windows []WindowStats `json:"windows,omitempty"`
+	Samples []SamplePoint `json:"samples,omitempty"`
+}
+
+// History is the JSON body served at /debug/scale/history.
+type History struct {
+	IntervalMS float64         `json:"interval_ms"`
+	Retained   int             `json:"retained"`
+	Series     []HistorySeries `json:"series"`
+}
+
+// HistoryOpts filters a history export.
+type HistoryOpts struct {
+	// Prefix keeps only series whose id starts with it ("" keeps all).
+	Prefix string
+	// MaxSamples bounds the raw samples attached per scalar series
+	// (0 omits samples, negative attaches everything retained).
+	MaxSamples int
+	// Windows defaults to DefaultWindows.
+	Windows []Window
+}
+
+// History digests the retained rings into the export shape. Every
+// float is finite — JSON encoding never fails on the result.
+func (c *Collector) History(opts HistoryOpts) History {
+	windows := opts.Windows
+	if len(windows) == 0 {
+		windows = DefaultWindows
+	}
+	out := History{
+		IntervalMS: float64(c.cfg.Interval) / float64(time.Millisecond),
+		Retained:   c.Samples(),
+	}
+	match := func(id string) bool {
+		return opts.Prefix == "" || len(id) >= len(opts.Prefix) && id[:len(opts.Prefix)] == opts.Prefix
+	}
+	for _, id := range c.IDs(KindCounter) {
+		if !match(id) {
+			continue
+		}
+		s := HistorySeries{ID: id, Kind: KindCounter}
+		if v, ok := c.CounterLast(id); ok {
+			s.Last = v
+		}
+		for _, w := range windows {
+			if rate, ok := c.Rate(id, w.D); ok {
+				_, span, _ := c.CounterDelta(id, w.D)
+				s.Windows = append(s.Windows, WindowStats{
+					Window:     w.Name,
+					SpanMS:     float64(span) / float64(time.Millisecond),
+					RatePerSec: sanitize(rate),
+				})
+			}
+		}
+		if opts.MaxSamples != 0 {
+			s.Samples = c.ScalarSamples(KindCounter, id, opts.MaxSamples)
+		}
+		out.Series = append(out.Series, s)
+	}
+	for _, id := range c.IDs(KindGauge) {
+		if !match(id) {
+			continue
+		}
+		s := HistorySeries{ID: id, Kind: KindGauge}
+		if v, ok := c.GaugeLast(id); ok {
+			s.Last = sanitize(v)
+		}
+		for _, w := range windows {
+			if mean, ok := c.GaugeMean(id, w.D); ok {
+				s.Windows = append(s.Windows, WindowStats{
+					Window: w.Name,
+					Mean:   sanitize(mean),
+				})
+			}
+		}
+		if opts.MaxSamples != 0 {
+			samples := c.ScalarSamples(KindGauge, id, opts.MaxSamples)
+			for i := range samples {
+				samples[i].V = sanitize(samples[i].V)
+			}
+			s.Samples = samples
+		}
+		out.Series = append(out.Series, s)
+	}
+	for _, id := range c.IDs(KindHistogram) {
+		if !match(id) {
+			continue
+		}
+		s := HistorySeries{ID: id, Kind: KindHistogram}
+		for _, w := range windows {
+			hw, ok := c.WindowHist(id, w.D)
+			if !ok {
+				continue
+			}
+			s.Windows = append(s.Windows, WindowStats{
+				Window:     w.Name,
+				SpanMS:     float64(hw.Span) / float64(time.Millisecond),
+				RatePerSec: sanitize(hw.PerSec),
+				Mean:       sanitize(hw.Mean),
+				Count:      hw.Count,
+				P50:        sanitize(hw.P50),
+				P99:        sanitize(hw.P99),
+			})
+		}
+		if total, ok := c.HistTotal(id); ok {
+			s.Last = float64(total)
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out
+}
+
+// sanitize maps non-finite values to 0 so the JSON encoder never
+// chokes on an empty-window artifact.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Mount registers the history endpoint on mux. Query parameters:
+// ?prefix= filters series by id prefix, ?samples=N bounds attached raw
+// samples per series (default 60, 0 omits them).
+func (c *Collector) Mount(mux *http.ServeMux) {
+	mux.HandleFunc(HistoryPath, func(w http.ResponseWriter, r *http.Request) {
+		opts := HistoryOpts{Prefix: r.URL.Query().Get("prefix"), MaxSamples: 60}
+		if s := r.URL.Query().Get("samples"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil {
+				opts.MaxSamples = n
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.History(opts))
+	})
+}

@@ -1,0 +1,207 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ModelPath is where the model feed mounts its JSON view.
+const ModelPath = "/debug/scale/model"
+
+// SplitID parses a Prometheus-style metric id into its family and
+// label map, e.g. `mmp_requests_total{mmp="mmp-1",proc="attach"}` →
+// ("mmp_requests_total", {mmp: mmp-1, proc: attach}). Malformed label
+// blocks yield the family with nil labels.
+func SplitID(id string) (family string, labelsOf map[string]string) {
+	i := strings.IndexByte(id, '{')
+	if i < 0 {
+		return id, nil
+	}
+	family = id[:i]
+	block := id[i:]
+	if len(block) < 2 || block[len(block)-1] != '}' {
+		return family, nil
+	}
+	body := block[1 : len(block)-1]
+	out := make(map[string]string)
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			return family, nil
+		}
+		key := body[:eq]
+		rest := body[eq+1:]
+		// Values are Go-quoted; find the closing quote honoring
+		// backslash escapes, then unquote.
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			if rest[j] == '\\' {
+				j++
+				continue
+			}
+			if rest[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return family, nil
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return family, nil
+		}
+		out[key] = val
+		body = rest[end+1:]
+		if strings.HasPrefix(body, ",") {
+			body = body[1:]
+		} else if body != "" {
+			return family, nil
+		}
+	}
+	return family, out
+}
+
+// ModelInputs packages the windowed signals the capacity model and the
+// future autoscaling controller (ROADMAP item 2) consume: offered load
+// per procedure, how busy each MMP is, how deep its admission queue
+// sits, and how many VMs are serving. Everything is derived from the
+// history rings — the controller never touches collection code.
+type ModelInputs struct {
+	TimeUnixMS int64   `json:"t_unix_ms"`
+	WindowMS   float64 `json:"window_ms"`
+	// VMs is the serving-ring size (MLB view), falling back to the
+	// number of MMPs reporting busy fractions.
+	VMs int `json:"vms"`
+	// ArrivalRatesPerSec maps procedure → windowed initiation rate,
+	// measured at MLB ingress before shedding (offered load, not
+	// admitted load).
+	ArrivalRatesPerSec map[string]float64 `json:"arrival_rates_per_sec"`
+	// BusyFractions maps MMP id → mean busy-time fraction over the
+	// window.
+	BusyFractions map[string]float64 `json:"busy_fractions"`
+	// QueueDepths maps MMP id → mean admission queue depth over the
+	// window.
+	QueueDepths map[string]float64 `json:"queue_depths"`
+}
+
+// Metric families the feed is assembled from.
+const (
+	famIngress  = "mlb_ingress_total"
+	famRequests = "mmp_requests_total"
+	famBusy     = "mmp_busy_fraction"
+	famQueue    = "mmp_admission_queue_depth"
+	famRingMMPs = "mlb_ring_mmps"
+)
+
+// ModelFeed derives ModelInputs from a Collector.
+type ModelFeed struct {
+	Col *Collector
+	// Window is the default trailing window (10s when zero).
+	Window time.Duration
+}
+
+// NewModelFeed wraps col with the given default window.
+func NewModelFeed(col *Collector, window time.Duration) *ModelFeed {
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	return &ModelFeed{Col: col, Window: window}
+}
+
+// Inputs assembles the model inputs over the trailing window (feed
+// default when window <= 0).
+func (f *ModelFeed) Inputs(window time.Duration) ModelInputs {
+	if window <= 0 {
+		window = f.Window
+	}
+	in := ModelInputs{
+		WindowMS:           float64(window) / float64(time.Millisecond),
+		ArrivalRatesPerSec: map[string]float64{},
+		BusyFractions:      map[string]float64{},
+		QueueDepths:        map[string]float64{},
+	}
+	in.TimeUnixMS = time.Now().UnixMilli()
+
+	// Arrival rates: prefer the MLB's ingress counters (procedure
+	// initiations counted before shedding — true offered load). On an
+	// MMP-only deployment fall back to the engine's per-proc request
+	// counters, summed across MMPs; those count every message of a
+	// procedure, so they overestimate initiations — the MLB view wins
+	// whenever both exist (e.g. a shared test registry).
+	counters := f.Col.IDs(KindCounter)
+	haveIngress := false
+	for _, id := range counters {
+		if fam, _ := SplitID(id); fam == famIngress {
+			haveIngress = true
+			break
+		}
+	}
+	for _, id := range counters {
+		fam, lb := SplitID(id)
+		var proc string
+		switch {
+		case fam == famIngress:
+			proc = lb["proc"]
+		case !haveIngress && fam == famRequests:
+			proc = lb["proc"]
+		default:
+			continue
+		}
+		if proc == "" {
+			continue
+		}
+		if rate, ok := f.Col.Rate(id, window); ok {
+			in.ArrivalRatesPerSec[proc] += sanitize(rate)
+		}
+	}
+
+	for _, id := range f.Col.IDs(KindGauge) {
+		fam, lb := SplitID(id)
+		switch fam {
+		case famBusy:
+			if v, ok := f.Col.GaugeMean(id, window); ok {
+				in.BusyFractions[keyOr(lb["mmp"], id)] = sanitize(v)
+			}
+		case famQueue:
+			if v, ok := f.Col.GaugeMean(id, window); ok {
+				in.QueueDepths[keyOr(lb["mmp"], id)] = sanitize(v)
+			}
+		case famRingMMPs:
+			if v, ok := f.Col.GaugeLast(id); ok {
+				in.VMs = int(v + 0.5)
+			}
+		}
+	}
+	if in.VMs == 0 {
+		in.VMs = len(in.BusyFractions)
+	}
+	return in
+}
+
+func keyOr(k, fallback string) string {
+	if k != "" {
+		return k
+	}
+	return fallback
+}
+
+// Mount registers the model endpoint on mux. ?window=10s overrides the
+// feed's default trailing window.
+func (f *ModelFeed) Mount(mux *http.ServeMux) {
+	mux.HandleFunc(ModelPath, func(w http.ResponseWriter, r *http.Request) {
+		window := time.Duration(0)
+		if s := r.URL.Query().Get("window"); s != "" {
+			if d, err := time.ParseDuration(s); err == nil {
+				window = d
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(f.Inputs(window))
+	})
+}

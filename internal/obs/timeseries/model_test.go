@@ -1,0 +1,142 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"scale/internal/obs"
+)
+
+func mustMux(c *Collector) *http.ServeMux {
+	mux := http.NewServeMux()
+	c.Mount(mux)
+	return mux
+}
+
+func TestSplitID(t *testing.T) {
+	cases := []struct {
+		id     string
+		family string
+		labels map[string]string
+	}{
+		{"mlb_ring_mmps", "mlb_ring_mmps", nil},
+		{`mmp_requests_total{proc="attach"}`, "mmp_requests_total", map[string]string{"proc": "attach"}},
+		{`mmp_requests_total{mmp="mmp-1",proc="service-request"}`, "mmp_requests_total",
+			map[string]string{"mmp": "mmp-1", "proc": "service-request"}},
+		{`x{k="a\"b"}`, "x", map[string]string{"k": `a"b`}},
+		{`broken{k=}`, "broken", nil},
+		{`broken{`, "broken", nil},
+	}
+	for _, tc := range cases {
+		fam, lb := SplitID(tc.id)
+		if fam != tc.family || !reflect.DeepEqual(lb, tc.labels) {
+			t.Errorf("SplitID(%q) = %q %v, want %q %v", tc.id, fam, lb, tc.family, tc.labels)
+		}
+	}
+}
+
+func TestModelInputsFromMLBMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	attach := reg.Counter(`mlb_ingress_total{proc="attach"}`)
+	tau := reg.Counter(`mlb_ingress_total{proc="tau"}`)
+	// Requests counters must be ignored when ingress counters exist.
+	reg.Counter(`mmp_requests_total{mmp="mmp-1",proc="attach"}`).Add(100000)
+	busy1 := reg.Gauge(`mmp_busy_fraction{mmp="mmp-1"}`)
+	busy2 := reg.Gauge(`mmp_busy_fraction{mmp="mmp-2"}`)
+	reg.Gauge(`mmp_admission_queue_depth{mmp="mmp-1"}`).Set(3)
+	reg.GaugeFunc("mlb_ring_mmps", func() float64 { return 2 })
+
+	c, clk := newTestCollector(reg, 64)
+	for i := 0; i < 10; i++ {
+		attach.Add(40) // 40/s
+		tau.Add(10)    // 10/s
+		busy1.Set(0.8)
+		busy2.Set(0.4)
+		c.SampleOnce()
+		clk.advance(time.Second)
+	}
+
+	feed := NewModelFeed(c, 10*time.Second)
+	in := feed.Inputs(0)
+
+	if in.VMs != 2 {
+		t.Fatalf("VMs = %d, want 2", in.VMs)
+	}
+	if r := in.ArrivalRatesPerSec["attach"]; math.Abs(r-40) > 1 {
+		t.Fatalf("attach arrival rate = %g, want ≈40 (ingress counters, not mmp_requests)", r)
+	}
+	if r := in.ArrivalRatesPerSec["tau"]; math.Abs(r-10) > 0.5 {
+		t.Fatalf("tau arrival rate = %g, want ≈10", r)
+	}
+	if v := in.BusyFractions["mmp-1"]; math.Abs(v-0.8) > 1e-9 {
+		t.Fatalf("mmp-1 busy = %g, want 0.8", v)
+	}
+	if v := in.BusyFractions["mmp-2"]; math.Abs(v-0.4) > 1e-9 {
+		t.Fatalf("mmp-2 busy = %g, want 0.4", v)
+	}
+	if v := in.QueueDepths["mmp-1"]; math.Abs(v-3) > 1e-9 {
+		t.Fatalf("mmp-1 queue depth = %g, want 3", v)
+	}
+}
+
+func TestModelInputsMMPFallback(t *testing.T) {
+	reg := obs.NewRegistry()
+	// No MLB in this process: arrival rates fall back to summing
+	// mmp_requests_total across MMP labels.
+	r1 := reg.Counter(`mmp_requests_total{mmp="mmp-1",proc="attach"}`)
+	r2 := reg.Counter(`mmp_requests_total{mmp="mmp-2",proc="attach"}`)
+	reg.Gauge(`mmp_busy_fraction{mmp="mmp-1"}`).Set(0.5)
+
+	c, clk := newTestCollector(reg, 32)
+	for i := 0; i < 5; i++ {
+		r1.Add(6)
+		r2.Add(4)
+		c.SampleOnce()
+		clk.advance(time.Second)
+	}
+
+	in := NewModelFeed(c, 0).Inputs(4 * time.Second)
+	if r := in.ArrivalRatesPerSec["attach"]; math.Abs(r-10) > 0.5 {
+		t.Fatalf("fallback attach rate = %g, want ≈10 (summed across mmp labels)", r)
+	}
+	// No ring gauge → VM count falls back to busy-fraction cardinality.
+	if in.VMs != 1 {
+		t.Fatalf("VMs = %d, want 1 (fallback)", in.VMs)
+	}
+}
+
+func TestModelHTTPEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter(`mlb_ingress_total{proc="attach"}`)
+	c, clk := newTestCollector(reg, 32)
+	for i := 0; i < 5; i++ {
+		ctr.Add(20)
+		c.SampleOnce()
+		clk.advance(time.Second)
+	}
+	mux := http.NewServeMux()
+	NewModelFeed(c, 10*time.Second).Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + ModelPath + "?window=4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var in ModelInputs
+	if err := json.NewDecoder(resp.Body).Decode(&in); err != nil {
+		t.Fatal(err)
+	}
+	if in.WindowMS != 4000 {
+		t.Fatalf("window_ms = %g, want 4000", in.WindowMS)
+	}
+	if r := in.ArrivalRatesPerSec["attach"]; math.Abs(r-20) > 1 {
+		t.Fatalf("attach rate over HTTP = %g, want ≈20", r)
+	}
+}

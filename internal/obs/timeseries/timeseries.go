@@ -1,0 +1,566 @@
+// Package timeseries turns the point-in-time metrics registry into
+// history: a background collector samples every registered counter,
+// gauge and histogram into fixed-size ring buffers at a configurable
+// interval, and derived views answer windowed questions — per-second
+// rates over the last 10s/1m/5m, p50/p99 of only the observations that
+// fell inside a window (via sparse histogram snapshot deltas), mean
+// gauge values over a window.
+//
+// The paper's time-series figures (per-VM CPU timelines, delay
+// percentiles during a storm, Section 4 of PAPER.md) are windowed
+// views over exactly this history, and ROADMAP item 2's predictive
+// autoscaler consumes the same rings through the model feed.
+package timeseries
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"scale/internal/metrics"
+	"scale/internal/obs"
+)
+
+// Kind classifies a tracked series.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Window is a named trailing interval used in exports.
+type Window struct {
+	Name string
+	D    time.Duration
+}
+
+// DefaultWindows are the trailing windows rendered by the history and
+// model endpoints.
+var DefaultWindows = []Window{
+	{"10s", 10 * time.Second},
+	{"1m", time.Minute},
+	{"5m", 5 * time.Minute},
+}
+
+// Config parameterizes a Collector.
+type Config struct {
+	Registry *obs.Registry
+	// Interval between samples (default 1s).
+	Interval time.Duration
+	// Retention is how many samples each ring keeps (default 600 —
+	// ten minutes at the default interval).
+	Retention int
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+// DefaultInterval is the sampling cadence used when Config.Interval is
+// zero.
+const DefaultInterval = time.Second
+
+// DefaultRetention is the ring length used when Config.Retention is
+// zero.
+const DefaultRetention = 600
+
+type scalarSeries struct {
+	v []float64 // ring aligned with Collector.times; NaN = not yet registered
+}
+
+type histSeries struct {
+	scale float64
+	snaps []metrics.HistSnapshot // ring aligned with Collector.times
+	have  []bool
+}
+
+// Collector samples a registry into aligned ring buffers. One shared
+// timestamp ring plus one value ring per metric keeps lookups O(ring)
+// and memory strictly bounded: retention × (8 bytes per scalar series
+// + one sparse snapshot per histogram series).
+type Collector struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	times    []int64 // unix nanos
+	head     int     // next write slot
+	n        int     // valid samples
+	counters map[string]*scalarSeries
+	gauges   map[string]*scalarSeries
+	hists    map[string]*histSeries
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates a collector for cfg.Registry. Call Start to begin
+// background sampling, or drive it manually with SampleOnce.
+func New(cfg Config) *Collector {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = DefaultRetention
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Collector{
+		cfg:      cfg,
+		times:    make([]int64, cfg.Retention),
+		counters: make(map[string]*scalarSeries),
+		gauges:   make(map[string]*scalarSeries),
+		hists:    make(map[string]*histSeries),
+	}
+}
+
+// Interval reports the configured sampling interval.
+func (c *Collector) Interval() time.Duration { return c.cfg.Interval }
+
+// Start launches the background sampling loop. It is a no-op if the
+// collector is already running.
+func (c *Collector) Start() {
+	c.mu.Lock()
+	if c.done != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.done = make(chan struct{})
+	done := c.done
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.SampleOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts background sampling and waits for the loop to exit.
+func (c *Collector) Stop() {
+	c.mu.Lock()
+	done := c.done
+	c.done = nil
+	c.mu.Unlock()
+	if done != nil {
+		close(done)
+		c.wg.Wait()
+	}
+}
+
+// SampleOnce takes one sample of every registered metric. Exported so
+// tests (and one-shot tools) can drive collection deterministically.
+func (c *Collector) SampleOnce() {
+	now := c.cfg.Now()
+	counters, gauges := c.cfg.Registry.ScalarSnapshot()
+	type hsnap struct {
+		id    string
+		scale float64
+		s     metrics.HistSnapshot
+	}
+	var hsnaps []hsnap
+	c.cfg.Registry.ForEachHistogram(func(id string, h *obs.Histogram) {
+		scale := h.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		hsnaps = append(hsnaps, hsnap{id: id, scale: scale, s: h.H.Snapshot()})
+	})
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot := c.head
+	c.times[slot] = now.UnixNano()
+	for id, v := range counters {
+		c.seriesLocked(c.counters, id).v[slot] = float64(v)
+	}
+	for id, v := range gauges {
+		c.seriesLocked(c.gauges, id).v[slot] = v
+	}
+	// A metric can disappear (callback deregistered by a dying
+	// component); mark its slot absent rather than repeating the last
+	// value forever.
+	for id, s := range c.counters {
+		if _, ok := counters[id]; !ok {
+			s.v[slot] = math.NaN()
+		}
+	}
+	for id, s := range c.gauges {
+		if _, ok := gauges[id]; !ok {
+			s.v[slot] = math.NaN()
+		}
+	}
+	for _, hs := range c.hists {
+		hs.have[slot] = false
+	}
+	for _, h := range hsnaps {
+		hs, ok := c.hists[h.id]
+		if !ok {
+			hs = &histSeries{
+				scale: h.scale,
+				snaps: make([]metrics.HistSnapshot, len(c.times)),
+				have:  make([]bool, len(c.times)),
+			}
+			c.hists[h.id] = hs
+		}
+		hs.snaps[slot] = h.s
+		hs.have[slot] = true
+	}
+	c.head = (c.head + 1) % len(c.times)
+	if c.n < len(c.times) {
+		c.n++
+	}
+}
+
+// seriesLocked returns the scalar series for id, creating it with all
+// retained slots absent; c.mu must be held.
+func (c *Collector) seriesLocked(m map[string]*scalarSeries, id string) *scalarSeries {
+	s, ok := m[id]
+	if !ok {
+		s = &scalarSeries{v: make([]float64, len(c.times))}
+		for i := range s.v {
+			s.v[i] = math.NaN()
+		}
+		m[id] = s
+	}
+	return s
+}
+
+// newestLocked returns the ring index of the newest sample, or -1.
+func (c *Collector) newestLocked() int {
+	if c.n == 0 {
+		return -1
+	}
+	i := c.head - 1
+	if i < 0 {
+		i += len(c.times)
+	}
+	return i
+}
+
+// windowStartLocked returns the ring index of the far edge of the
+// trailing window: the newest sample at least `window` older than the
+// newest sample, so the measured span covers the whole window. A
+// window shorter than one sampling interval degrades to the last
+// interval; a window longer than retained history clamps to the
+// oldest retained sample.
+func (c *Collector) windowStartLocked(window time.Duration) int {
+	newest := c.newestLocked()
+	if newest < 0 {
+		return -1
+	}
+	tNew := c.times[newest]
+	idx := newest
+	for k := 1; k < c.n; k++ {
+		i := newest - k
+		if i < 0 {
+			i += len(c.times)
+		}
+		idx = i
+		if tNew-c.times[i] >= window.Nanoseconds() {
+			break
+		}
+	}
+	return idx
+}
+
+// IDs lists the tracked series ids of one kind, sorted.
+func (c *Collector) IDs(kind Kind) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var m map[string]*scalarSeries
+	switch kind {
+	case KindCounter:
+		m = c.counters
+	case KindGauge:
+		m = c.gauges
+	case KindHistogram:
+		out := make([]string, 0, len(c.hists))
+		for id := range c.hists {
+			out = append(out, id)
+		}
+		sort.Strings(out)
+		return out
+	}
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Samples reports how many samples the collector has taken (capped at
+// retention).
+func (c *Collector) Samples() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Rate reports the counter's per-second increase over the trailing
+// window (clamped to retained history). ok is false when the series is
+// unknown or fewer than two samples cover it.
+func (c *Collector) Rate(id string, window time.Duration) (perSec float64, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, found := c.counters[id]
+	if !found {
+		return 0, false
+	}
+	newest := c.newestLocked()
+	start := c.windowStartLocked(window)
+	if newest < 0 || start == newest {
+		return 0, false
+	}
+	vNew, vOld := s.v[newest], s.v[start]
+	if math.IsNaN(vNew) || math.IsNaN(vOld) {
+		return 0, false
+	}
+	dt := float64(c.times[newest]-c.times[start]) / 1e9
+	if dt <= 0 {
+		return 0, false
+	}
+	d := vNew - vOld
+	if d < 0 { // counter reset
+		d = 0
+	}
+	return d / dt, true
+}
+
+// CounterDelta reports the counter's increase over the trailing window
+// and the actual time span measured.
+func (c *Collector) CounterDelta(id string, window time.Duration) (delta float64, span time.Duration, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, found := c.counters[id]
+	if !found {
+		return 0, 0, false
+	}
+	newest := c.newestLocked()
+	start := c.windowStartLocked(window)
+	if newest < 0 || start == newest {
+		return 0, 0, false
+	}
+	vNew, vOld := s.v[newest], s.v[start]
+	if math.IsNaN(vNew) || math.IsNaN(vOld) {
+		return 0, 0, false
+	}
+	d := vNew - vOld
+	if d < 0 {
+		d = 0
+	}
+	return d, time.Duration(c.times[newest] - c.times[start]), true
+}
+
+// GaugeLast reports the most recent sampled value of a gauge.
+func (c *Collector) GaugeLast(id string) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, found := c.gauges[id]
+	if !found || c.n == 0 {
+		return 0, false
+	}
+	newest := c.newestLocked()
+	for k := 0; k < c.n; k++ {
+		i := newest - k
+		if i < 0 {
+			i += len(c.times)
+		}
+		if !math.IsNaN(s.v[i]) {
+			return s.v[i], true
+		}
+	}
+	return 0, false
+}
+
+// GaugeMean reports the mean of the gauge's samples inside the
+// trailing window.
+func (c *Collector) GaugeMean(id string, window time.Duration) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, found := c.gauges[id]
+	if !found || c.n == 0 {
+		return 0, false
+	}
+	newest := c.newestLocked()
+	start := c.windowStartLocked(window)
+	var sum float64
+	var cnt int
+	for i := start; ; i = (i + 1) % len(c.times) {
+		if !math.IsNaN(s.v[i]) {
+			sum += s.v[i]
+			cnt++
+		}
+		if i == newest {
+			break
+		}
+	}
+	if cnt == 0 {
+		return 0, false
+	}
+	return sum / float64(cnt), true
+}
+
+// CounterLast reports the most recent cumulative value of a counter.
+func (c *Collector) CounterLast(id string) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, found := c.counters[id]
+	if !found || c.n == 0 {
+		return 0, false
+	}
+	newest := c.newestLocked()
+	if math.IsNaN(s.v[newest]) {
+		return 0, false
+	}
+	return s.v[newest], true
+}
+
+// HistWindow summarizes the observations a histogram recorded inside a
+// trailing window, in exposition units.
+type HistWindow struct {
+	Count  uint64
+	PerSec float64
+	Mean   float64
+	P50    float64
+	P99    float64
+	Span   time.Duration
+}
+
+// WindowHist digests a histogram's trailing window: count, rate, mean
+// and p50/p99 of only the observations inside it. ok is false when the
+// window holds no observations.
+func (c *Collector) WindowHist(id string, window time.Duration) (HistWindow, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	hs, found := c.hists[id]
+	if !found || c.n == 0 {
+		return HistWindow{}, false
+	}
+	newest := c.newestLocked()
+	start := c.windowStartLocked(window)
+	if !hs.have[newest] {
+		return HistWindow{}, false
+	}
+	cur := hs.snaps[newest]
+	var prev metrics.HistSnapshot
+	if start != newest && hs.have[start] {
+		prev = hs.snaps[start]
+	} else {
+		prev = metrics.HistSnapshot{SubBits: cur.SubBits}
+	}
+	n := metrics.DeltaCount(cur, prev)
+	if n == 0 {
+		return HistWindow{}, false
+	}
+	out := HistWindow{
+		Count: n,
+		Mean:  metrics.DeltaMean(cur, prev) / hs.scale,
+		Span:  time.Duration(c.times[newest] - c.times[start]),
+	}
+	if p, ok := metrics.DeltaQuantile(cur, prev, 0.50); ok {
+		out.P50 = float64(p) / hs.scale
+	}
+	if p, ok := metrics.DeltaQuantile(cur, prev, 0.99); ok {
+		out.P99 = float64(p) / hs.scale
+	}
+	if out.Span > 0 {
+		out.PerSec = float64(n) / out.Span.Seconds()
+	}
+	return out, true
+}
+
+// WindowQuantile reports the q-quantile (exposition units) of the
+// observations a histogram recorded inside the trailing window.
+func (c *Collector) WindowQuantile(id string, window time.Duration, q float64) (float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	hs, found := c.hists[id]
+	if !found {
+		return 0, false
+	}
+	newest := c.newestLocked()
+	start := c.windowStartLocked(window)
+	if newest < 0 || !hs.have[newest] {
+		return 0, false
+	}
+	cur := hs.snaps[newest]
+	var prev metrics.HistSnapshot
+	if start != newest && hs.have[start] {
+		prev = hs.snaps[start]
+	} else {
+		prev = metrics.HistSnapshot{SubBits: cur.SubBits}
+	}
+	v, ok := metrics.DeltaQuantile(cur, prev, q)
+	if !ok {
+		return 0, false
+	}
+	return float64(v) / hs.scale, true
+}
+
+// HistTotal reports the cumulative observation count in the newest
+// sample of a histogram series.
+func (c *Collector) HistTotal(id string) (uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	hs, found := c.hists[id]
+	if !found {
+		return 0, false
+	}
+	newest := c.newestLocked()
+	if newest < 0 || !hs.have[newest] {
+		return 0, false
+	}
+	return hs.snaps[newest].Total, true
+}
+
+// SamplePoint is one retained (time, value) sample.
+type SamplePoint struct {
+	TimeUnixMS int64   `json:"t_unix_ms"`
+	V          float64 `json:"v"`
+}
+
+// ScalarSamples returns up to max retained samples of a counter or
+// gauge series, oldest first (absent slots are skipped). max <= 0
+// returns everything retained.
+func (c *Collector) ScalarSamples(kind Kind, id string, max int) []SamplePoint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var s *scalarSeries
+	switch kind {
+	case KindCounter:
+		s = c.counters[id]
+	case KindGauge:
+		s = c.gauges[id]
+	}
+	if s == nil || c.n == 0 {
+		return nil
+	}
+	out := make([]SamplePoint, 0, c.n)
+	start := c.head - c.n
+	if start < 0 {
+		start += len(c.times)
+	}
+	for k := 0; k < c.n; k++ {
+		i := (start + k) % len(c.times)
+		if math.IsNaN(s.v[i]) {
+			continue
+		}
+		out = append(out, SamplePoint{TimeUnixMS: c.times[i] / 1e6, V: s.v[i]})
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"scale/internal/obs"
+)
+
+// fakeClock steps a deterministic clock for SampleOnce-driven tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) now() time.Time { return f.t }
+
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestCollector(reg *obs.Registry, retention int) (*Collector, *fakeClock) {
+	clk := newFakeClock()
+	c := New(Config{Registry: reg, Interval: time.Second, Retention: retention, Now: clk.now})
+	return c, clk
+}
+
+func TestCounterRateOverWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter(`mlb_ingress_total{proc="attach"}`)
+	c, clk := newTestCollector(reg, 64)
+
+	// 10 samples 1s apart; counter grows 5/s for the first half then
+	// 50/s for the second half.
+	for i := 0; i < 5; i++ {
+		ctr.Add(5)
+		c.SampleOnce()
+		clk.advance(time.Second)
+	}
+	for i := 0; i < 5; i++ {
+		ctr.Add(50)
+		c.SampleOnce()
+		clk.advance(time.Second)
+	}
+
+	// Trailing 4s covers only the fast phase.
+	rate, ok := c.Rate(`mlb_ingress_total{proc="attach"}`, 4*time.Second)
+	if !ok {
+		t.Fatal("Rate not ok")
+	}
+	if math.Abs(rate-50) > 0.01 {
+		t.Fatalf("4s rate = %g, want 50", rate)
+	}
+	// Trailing 9s covers both phases: (4*5 + 5*50)/9 ≈ 30.
+	rate, _ = c.Rate(`mlb_ingress_total{proc="attach"}`, 9*time.Second)
+	if rate < 25 || rate > 35 {
+		t.Fatalf("9s rate = %g, want ≈30", rate)
+	}
+
+	if _, ok := c.Rate("nonexistent", time.Second); ok {
+		t.Fatal("Rate of unknown series reported ok")
+	}
+}
+
+func TestGaugeViewsAndLateRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, clk := newTestCollector(reg, 64)
+
+	// Three samples before the gauge exists.
+	for i := 0; i < 3; i++ {
+		c.SampleOnce()
+		clk.advance(time.Second)
+	}
+	g := reg.Gauge(`mmp_busy_fraction{mmp="mmp-1"}`)
+	for i := 1; i <= 4; i++ {
+		g.Set(float64(i) * 0.2) // 0.2, 0.4, 0.6, 0.8
+		c.SampleOnce()
+		clk.advance(time.Second)
+	}
+
+	last, ok := c.GaugeLast(`mmp_busy_fraction{mmp="mmp-1"}`)
+	if !ok || math.Abs(last-0.8) > 1e-9 {
+		t.Fatalf("GaugeLast = %g ok=%v, want 0.8", last, ok)
+	}
+	// A window reaching back before registration must skip the absent
+	// slots, not average NaNs.
+	mean, ok := c.GaugeMean(`mmp_busy_fraction{mmp="mmp-1"}`, 10*time.Second)
+	if !ok || math.Abs(mean-0.5) > 1e-9 {
+		t.Fatalf("GaugeMean = %g ok=%v, want 0.5", mean, ok)
+	}
+}
+
+func TestWindowHistogramPercentiles(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram(`span_duration_seconds{proc="attach",stage="mmp"}`, 1e9)
+	c, clk := newTestCollector(reg, 64)
+
+	// Baseline sample before any observation, so the widest window has
+	// an empty far edge and covers everything.
+	c.SampleOnce()
+	clk.advance(time.Second)
+	// Epoch 1: 1ms latencies.
+	for i := 0; i < 100; i++ {
+		h.Record(int64(time.Millisecond))
+	}
+	c.SampleOnce()
+	clk.advance(time.Second)
+	// Epoch 2: 100ms latencies.
+	for i := 0; i < 100; i++ {
+		h.Record(int64(100 * time.Millisecond))
+	}
+	c.SampleOnce()
+
+	// A 0.5s window holds only epoch 2 — its p50 must be ≈0.1s even
+	// though the cumulative p50 is ≈0.001s.
+	hw, ok := c.WindowHist(`span_duration_seconds{proc="attach",stage="mmp"}`, 500*time.Millisecond)
+	if !ok {
+		t.Fatal("WindowHist not ok")
+	}
+	if hw.Count != 100 {
+		t.Fatalf("window count = %d, want 100", hw.Count)
+	}
+	if hw.P50 < 0.09 || hw.P50 > 0.11 {
+		t.Fatalf("window p50 = %g, want ≈0.1", hw.P50)
+	}
+	// The wide window includes both epochs: p50 back near 1ms.
+	hw, ok = c.WindowHist(`span_duration_seconds{proc="attach",stage="mmp"}`, time.Hour)
+	if !ok || hw.Count != 200 {
+		t.Fatalf("wide window count = %d ok=%v, want 200", hw.Count, ok)
+	}
+	if hw.P50 > 0.01 {
+		t.Fatalf("wide window p50 = %g, want ≈0.001", hw.P50)
+	}
+
+	q, ok := c.WindowQuantile(`span_duration_seconds{proc="attach",stage="mmp"}`, 500*time.Millisecond, 0.99)
+	if !ok || q < 0.09 {
+		t.Fatalf("WindowQuantile p99 = %g ok=%v, want ≈0.1", q, ok)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("frames_total")
+	c, clk := newTestCollector(reg, 4)
+
+	for i := 0; i < 10; i++ {
+		ctr.Add(10)
+		c.SampleOnce()
+		clk.advance(time.Second)
+	}
+	if c.Samples() != 4 {
+		t.Fatalf("Samples = %d, want 4 (retention)", c.Samples())
+	}
+	// Window far wider than retention clamps to what's retained.
+	rate, ok := c.Rate("frames_total", time.Hour)
+	if !ok || math.Abs(rate-10) > 0.01 {
+		t.Fatalf("clamped rate = %g ok=%v, want 10", rate, ok)
+	}
+	pts := c.ScalarSamples(KindCounter, "frames_total", 0)
+	if len(pts) != 4 {
+		t.Fatalf("retained %d sample points, want 4", len(pts))
+	}
+	if pts[0].V != 70 || pts[3].V != 100 {
+		t.Fatalf("sample values = %v, want cumulative 70..100", pts)
+	}
+	if pts = c.ScalarSamples(KindCounter, "frames_total", 2); len(pts) != 2 || pts[1].V != 100 {
+		t.Fatalf("max=2 samples = %v, want newest two", pts)
+	}
+}
+
+func TestHistoryExportIsFiniteJSON(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(`mlb_ingress_total{proc="attach"}`).Add(7)
+	reg.Gauge("mlb_headroom").Set(0.42)
+	reg.Histogram(`span_duration_seconds{proc="attach",stage="mmp"}`, 1e9).Record(int64(2 * time.Millisecond))
+	// A gauge func that returns NaN must not poison the export.
+	reg.GaugeFunc("bad_gauge", func() float64 { return math.NaN() })
+
+	c, clk := newTestCollector(reg, 16)
+	for i := 0; i < 3; i++ {
+		c.SampleOnce()
+		clk.advance(time.Second)
+	}
+
+	hist := c.History(HistoryOpts{MaxSamples: 10})
+	data, err := json.Marshal(hist)
+	if err != nil {
+		t.Fatalf("history JSON marshal failed: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{`mlb_ingress_total`, `mlb_headroom`, `span_duration_seconds`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("history missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "NaN") {
+		t.Fatalf("history leaked NaN:\n%s", s)
+	}
+
+	// Prefix filter.
+	hist = c.History(HistoryOpts{Prefix: "mlb_"})
+	for _, sr := range hist.Series {
+		if !strings.HasPrefix(sr.ID, "mlb_") {
+			t.Fatalf("prefix filter leaked %q", sr.ID)
+		}
+	}
+	if len(hist.Series) != 2 {
+		t.Fatalf("prefix filter kept %d series, want 2", len(hist.Series))
+	}
+}
+
+func TestHistoryHTTPEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a_total").Add(3)
+	c, clk := newTestCollector(reg, 8)
+	c.SampleOnce()
+	clk.advance(time.Second)
+	c.SampleOnce()
+
+	mux := httptest.NewServer(mustMux(c))
+	defer mux.Close()
+
+	resp, err := mux.Client().Get(mux.URL + HistoryPath + "?samples=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hist History
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Retained != 2 || len(hist.Series) != 1 || hist.Series[0].ID != "a_total" {
+		t.Fatalf("unexpected history body: %+v", hist)
+	}
+	if len(hist.Series[0].Samples) != 2 {
+		t.Fatalf("samples = %+v, want 2 points", hist.Series[0].Samples)
+	}
+}
+
+func TestCollectorStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total").Inc()
+	c := New(Config{Registry: reg, Interval: 5 * time.Millisecond, Retention: 32})
+	c.Start()
+	c.Start() // second Start is a no-op, not a second loop
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Samples() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Stop()
+	if c.Samples() < 3 {
+		t.Fatalf("background collector took %d samples, want ≥3", c.Samples())
+	}
+	n := c.Samples()
+	time.Sleep(30 * time.Millisecond)
+	if c.Samples() != n {
+		t.Fatal("collector kept sampling after Stop")
+	}
+	c.Stop() // idempotent
+}
