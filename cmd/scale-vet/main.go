@@ -1,0 +1,124 @@
+// Command scale-vet runs the project's custom static-analysis suite
+// (internal/lint) over the module: shard-lock discipline, atomic field
+// hygiene, wire.Writer pool lifetimes, metric-registration hygiene and
+// hot-path allocation checks that go vet and staticcheck cannot
+// express. It exits non-zero if any analyzer reports a finding, so it
+// can gate CI alongside vet and staticcheck.
+//
+// Usage:
+//
+//	scale-vet [flags] [packages]
+//
+// Packages default to ./... and accept any go-list pattern. The tool
+// must run from inside the module (it resolves imports through the go
+// command).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"scale/internal/lint"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "print the analyzer suite and exit")
+		only      = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		extraDeny = flag.String("shardlock.deny", "", "comma-separated extra deny patterns for the shardlock analyzer")
+		depth     = flag.Int("shardlock.depth", lint.ShardLockDepth, "call-graph depth for the shardlock analyzer")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *extraDeny != "" {
+		for _, p := range strings.Split(*extraDeny, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				lint.ShardLockDeny = append(lint.ShardLockDeny, p)
+			}
+		}
+	}
+	lint.ShardLockDepth = *depth
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, err := lint.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := lint.NewLoader()
+	listed, err := loader.List(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, _ := os.Getwd()
+	seen := make(map[string]bool) // dedupes directive diagnostics repeated per pass
+	var diags []lint.Diagnostic
+	for _, p := range listed {
+		pkg, err := loader.Load(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range analyzers {
+			found, err := lint.Run(a, pkg)
+			if err != nil {
+				fatal(err)
+			}
+			for _, d := range found {
+				if key := d.String(); !seen[key] {
+					seen[key] = true
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scale-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scale-vet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField flags struct fields that are accessed through sync/atomic
+// in one place and by plain loads or stores elsewhere in the package.
+// Mixed access is a data race even when it "works": the plain side can
+// tear, be cached, or be reordered against the atomic side. A field is
+// either always atomic or always guarded — never both.
+//
+// Typed atomics (atomic.Bool, atomic.Uint64, ...) cannot be misused
+// this way and are out of scope; the analyzer covers the functional
+// form (atomic.AddUint64(&s.n, 1) etc.), which is what the engine's
+// per-shard counters use.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "flags fields accessed via sync/atomic in one place and by plain " +
+		"load/store elsewhere in the same package",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect every field passed by address to a sync/atomic
+	// function, and remember those argument nodes so pass 2 can skip
+	// them.
+	atomicFields := make(map[*types.Var]token.Pos) // field → first atomic use
+	atomicArgs := make(map[ast.Expr]bool)          // the &x.f selector nodes
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if !isAtomicAccessor(fn.Name()) || len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fld := fieldOf(pass.TypesInfo, sel); fld != nil {
+				if _, seen := atomicFields[fld]; !seen {
+					atomicFields[fld] = call.Pos()
+				}
+				atomicArgs[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector resolving to one of those fields is a
+	// plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			fld := fieldOf(pass.TypesInfo, sel)
+			if fld == nil {
+				return true
+			}
+			if _, ok := atomicFields[fld]; !ok {
+				return true
+			}
+			owner := "?"
+			if named := namedOf(pass.TypesInfo.TypeOf(sel.X)); named != nil {
+				owner = named.Obj().Name()
+			}
+			pass.Reportf(sel.Pos(), "plain access to %s.%s, which is accessed via sync/atomic elsewhere in this package (data race)",
+				owner, fld.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicAccessor reports whether name is one of the sync/atomic
+// functions that read or write through their pointer argument.
+func isAtomicAccessor(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotPathDirective marks a function whose body must stay allocation-
+// and syscall-light: the per-message service cycle of the MMP engine,
+// the MLB pick/forward path, and the transport flush path.
+const hotPathDirective = "//scale:hotpath"
+
+// HotPathAlloc flags, inside functions annotated //scale:hotpath,
+// the operations that defeat ROADMAP item 4's allocation-free hot
+// path: wall-clock reads, fmt formatting, map/slice/channel
+// allocation, string building, byte/string conversions, and
+// interface boxing of non-pointer values at call sites. Each finding
+// is either eliminated or explicitly waived with //scale:allow
+// hotpathalloc plus the measured justification.
+//
+// Function literals declared inside a hot function are scanned too:
+// closures on the hot path run on the hot path (and their creation may
+// itself allocate if they capture).
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "flags time.Now, fmt.*, errors.New, map/slice/chan allocation, string " +
+		"concatenation, []byte/string conversion, and interface boxing inside " +
+		"//scale:hotpath functions",
+	Run: runHotPathAlloc,
+}
+
+// hotPathDenied are calls that are never acceptable on the hot path
+// without a directive: clock reads and formatting.
+var hotPathDenied = []string{
+	"time.Now",
+	"time.Since",
+	"time.Until",
+	"time.Sleep",
+	"fmt.*",
+	"errors.New",
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		if !isHotPath(fd) {
+			continue
+		}
+		checkHotBody(pass, fd.Body)
+	}
+	return nil
+}
+
+// isHotPath reports whether fd carries the //scale:hotpath directive
+// in its doc comment.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		case *ast.CompositeLit:
+			switch types.Unalias(info.Types[n].Type).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates on the hot path")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates on the hot path")
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			tv := info.Types[n]
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 && tv.Value == nil {
+				pass.Reportf(n.Pos(), "non-constant string concatenation allocates on the hot path")
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Built-in make: map/chan always, slices too (the hot path reuses
+	// pooled or preallocated buffers instead).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "make" && len(call.Args) > 0 {
+			switch types.Unalias(info.Types[call.Args[0]].Type).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(call.Pos(), "make(map) allocates on the hot path")
+			case *types.Slice:
+				pass.Reportf(call.Pos(), "make([]T) allocates on the hot path; use a pooled or preallocated buffer")
+			case *types.Chan:
+				pass.Reportf(call.Pos(), "make(chan) allocates on the hot path")
+			}
+			return
+		}
+	}
+	// Conversions: []byte(s) and string(b) copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := types.Unalias(tv.Type).Underlying()
+		from := info.Types[call.Args[0]].Type
+		if from != nil {
+			fromU := from.Underlying()
+			if isByteSlice(to) && isString(fromU) {
+				pass.Reportf(call.Pos(), "[]byte(string) conversion copies on the hot path")
+			}
+			if isString(to) && isByteSlice(fromU) {
+				pass.Reportf(call.Pos(), "string([]byte) conversion copies on the hot path")
+			}
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		if name := funcName(fn); matchAny(name, hotPathDenied) {
+			pass.Reportf(call.Pos(), "call to %s on the hot path", name)
+			return
+		}
+	}
+	// Interface boxing: a non-pointer concrete argument passed in an
+	// interface-typed parameter heap-allocates the value.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding an existing slice, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg]
+		if at.Type == nil || at.IsNil() || at.Value != nil {
+			continue // nil and constants do not heap-allocate
+		}
+		if types.IsInterface(at.Type) {
+			continue // already boxed
+		}
+		if _, isPtr := at.Type.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit the iface word without allocating
+		}
+		pass.Reportf(arg.Pos(), "argument boxes a non-pointer %s into an interface on the hot path", at.Type.String())
+	}
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,318 @@
+// Package lint is the project's static-analysis suite: a set of
+// analyzers encoding the concurrency and pooling invariants the scaled
+// control plane depends on but `go vet` and staticcheck cannot see —
+// shard-lock discipline, atomic-vs-plain field access, wire.Writer pool
+// lifetimes, metric-registration hygiene and hot-path allocation
+// bounds. The cmd/scale-vet driver runs every analyzer over the module;
+// each analyzer also ships fixture tests under testdata/.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built on the standard library alone — go/parser,
+// go/types and the source importer — so the suite needs no module
+// downloads. Porting an analyzer to the upstream framework is a
+// mechanical change if the dependency ever lands in the module.
+//
+// # Suppression directives
+//
+// A finding that reflects a deliberate, understood exception is
+// silenced in place with a directive comment naming the analyzer and
+// the reason:
+//
+//	e.store.RangeShard(i, fn) //scale:allow shardlock aligned-shard sweep holds engine lock i by design
+//
+// The directive may sit on the flagged line or on the line directly
+// above it. The reason is mandatory: a bare allow is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives (lowercase, no spaces).
+	Name string
+	// Doc is a one-paragraph description shown by `scale-vet -help`.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags   []Diagnostic
+	allowed map[allowKey]bool // (file,line,analyzer) → suppressed
+	used    map[allowKey]bool // directives that matched a finding
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a //scale:allow directive for
+// this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		k := allowKey{file: position.Filename, line: line, analyzer: p.Analyzer.Name}
+		if p.allowed[k] {
+			p.used[k] = true
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const allowPrefix = "//scale:allow"
+
+// collectAllows indexes every //scale:allow directive in the pass's
+// files and reports malformed ones (missing analyzer name or reason) as
+// diagnostics of the pseudo-analyzer "directive".
+func (p *Pass) collectAllows() {
+	p.allowed = make(map[allowKey]bool)
+	p.used = make(map[allowKey]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other word, e.g. //scale:allowlist
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				pos := p.Fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(reason) == "" {
+					p.diags = append(p.diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "malformed //scale:allow: want \"//scale:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				p.allowed[allowKey{file: pos.Filename, line: pos.Line, analyzer: name}] = true
+			}
+		}
+	}
+}
+
+// Run executes the analyzer over the loaded package and returns its
+// findings sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	pass.collectAllows()
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	// A directive that suppressed nothing is stale: the finding moved or
+	// was fixed. Flag it so suppressions cannot silently outlive their
+	// reason.
+	for k := range pass.allowed {
+		if k.analyzer == a.Name && !pass.used[k] {
+			pass.diags = append(pass.diags, Diagnostic{
+				Pos:      token.Position{Filename: k.file, Line: k.line, Column: 1},
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("unused //scale:allow %s directive (nothing to suppress here)", a.Name),
+			})
+		}
+	}
+	sort.Slice(pass.diags, func(i, j int) bool {
+		a, b := pass.diags[i].Pos, pass.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return pass.diags, nil
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ShardLock,
+		AtomicField,
+		PoolLeak,
+		MetricHygiene,
+		HotPathAlloc,
+	}
+}
+
+// ByName returns the analyzer with the given name, or an error naming
+// the valid set.
+func ByName(name string) (*Analyzer, error) {
+	names := make([]string, 0, 8)
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+		names = append(names, a.Name)
+	}
+	return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// ---- shared type/AST helpers used by several analyzers ----
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for calls
+// through function values, built-ins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fn.Sel] // package-qualified call
+		}
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// funcName renders a function as "pkgpath.Name" or, for methods and
+// interface methods, "pkgpath.Recv.Name" (pointer receivers are
+// dereferenced so value and pointer methods share a name).
+func funcName(f *types.Func) string {
+	if f == nil {
+		return ""
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			recvPkg := ""
+			if named.Obj().Pkg() != nil {
+				recvPkg = named.Obj().Pkg().Path() + "."
+			}
+			return recvPkg + named.Obj().Name() + "." + f.Name()
+		}
+		return f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Path() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// matchName reports whether name matches pattern; a pattern ending in
+// ".*" matches any method of the named type (or any function of the
+// named package).
+func matchName(name, pattern string) bool {
+	if suf, ok := strings.CutSuffix(pattern, ".*"); ok {
+		return strings.HasPrefix(name, suf+".")
+	}
+	return name == pattern
+}
+
+// matchAny reports whether name matches any pattern in the set.
+func matchAny(name string, patterns []string) bool {
+	for _, p := range patterns {
+		if matchName(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprKey renders a canonical string for a lock/pool receiver
+// expression ("s.mu", "e.shards[i].mu") so abstract states can be keyed
+// by it. Expressions this cannot canonicalize return "".
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[" + exprKey(e.Index) + "]"
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprKey(e.X)
+		}
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return ""
+}
+
+// namedOf unwraps pointers and aliases down to the *types.Named type,
+// or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// funcDecls yields every function declaration with a body in the pass,
+// paired with its doc comment.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

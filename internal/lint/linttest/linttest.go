@@ -1,0 +1,105 @@
+// Package linttest runs lint analyzers over fixture packages and
+// checks their findings against `// want "regex"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the project-local
+// framework.
+package linttest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"scale/internal/lint"
+)
+
+// wantRe extracts the quoted patterns of `// want "..."` comments. A
+// line may carry several, each asserting one diagnostic on that line.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type wantMark struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Fixture loads the fixture package rooted at dir, runs the analyzer
+// over it, and checks the findings against `// want "regex"` comments:
+// every diagnostic must match a want on its line, and every want must
+// be matched by a diagnostic.
+func Fixture(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	importPath := "scale/internal/lint/" + filepath.ToSlash(dir)
+	pkg, err := lint.NewLoader().Load(importPath, abs, nil)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+
+	var wants []*wantMark
+	for _, name := range fixtureFiles(t, abs) {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+				}
+				wants = append(wants, &wantMark{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+
+	diags, err := lint.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		if w := matchWant(wants, d.Pos, d.Message); w != nil {
+			w.hit = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*wantMark, pos token.Position, msg string) *wantMark {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+func fixtureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, m := range matches {
+		if !strings.HasSuffix(m, "_test.go") {
+			out = append(out, m)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	return out
+}

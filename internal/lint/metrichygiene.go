@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MetricRegistrars lists the obs.Registry methods that mint a new
+// time series on first use of an id.
+var MetricRegistrars = []string{
+	"scale/internal/obs.Registry.Counter",
+	"scale/internal/obs.Registry.Gauge",
+	"scale/internal/obs.Registry.Histogram",
+	"scale/internal/obs.Registry.CounterFunc",
+	"scale/internal/obs.Registry.GaugeFunc",
+}
+
+// MetricHygiene flags metric registration outside an init context and
+// registration inside loops. The registry keys series by id string, so
+// a registration on a request path — or one per loop iteration keyed
+// by a formatted id — is the project's equivalent of unbounded label
+// cardinality: every new id allocates a live series that is scraped,
+// snapshotted by the time-series collector, and retained forever.
+//
+// Init contexts are package init, main, constructors (New*/new*),
+// explicit registration helpers (Register*/register*, setup*/Setup*),
+// and run-once bringup entry points (Serve*/Start*).
+// A loop inside an init context is still flagged — a series per shard
+// is bounded and can be allowed with a directive stating the bound; a
+// series per UE is an outage.
+var MetricHygiene = &Analyzer{
+	Name: "metrichygiene",
+	Doc: "flags metric registration outside init/constructor functions and " +
+		"registrations inside loops (unbounded series cardinality)",
+	Run: runMetricHygiene,
+}
+
+func runMetricHygiene(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		initCtx := isInitContext(fd)
+		var walk func(n ast.Node, inLoop bool)
+		walk = func(n ast.Node, inLoop bool) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.ForStmt:
+					if m.Init != nil {
+						walk(m.Init, inLoop)
+					}
+					if m.Cond != nil {
+						walk(m.Cond, inLoop)
+					}
+					if m.Post != nil {
+						walk(m.Post, inLoop)
+					}
+					walk(m.Body, true)
+					return false
+				case *ast.RangeStmt:
+					walk(m.X, inLoop)
+					walk(m.Body, true)
+					return false
+				case *ast.CallExpr:
+					name := funcName(calleeFunc(pass.TypesInfo, m))
+					if !matchAny(name, MetricRegistrars) {
+						return true
+					}
+					short := name[strings.LastIndex(name, ".")+1:]
+					switch {
+					case !initCtx:
+						pass.Reportf(m.Pos(),
+							"metric registered via Registry.%s outside an init/constructor function (%s); register once at startup and use the handle",
+							short, fd.Name.Name)
+					case inLoop:
+						pass.Reportf(m.Pos(),
+							"metric registered via Registry.%s inside a loop; unbounded series cardinality unless the loop is provably bounded",
+							short)
+					}
+				}
+				return true
+			})
+		}
+		walk(fd.Body, false)
+	}
+	return nil
+}
+
+// isInitContext reports whether fd is a place where one-time metric
+// registration is expected.
+func isInitContext(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if fd.Recv == nil && (name == "init" || name == "main") {
+		return true
+	}
+	for _, prefix := range []string{"New", "new", "Register", "register", "Setup", "setup", "Serve", "Start"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

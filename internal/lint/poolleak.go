@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolPairs maps a pool's get function to its put function. Values
+// obtained from the get side must reach the put side on every path.
+var PoolPairs = map[string]string{
+	"scale/internal/wire.GetWriter": "scale/internal/wire.PutWriter",
+}
+
+// PoolLeak flags wire.GetWriter results that do not reach PutWriter on
+// every path out of the function, plus use-after-Put and double-Put.
+// The dominant safe shape is
+//
+//	w := wire.GetWriter()
+//	defer wire.PutWriter(w)
+//
+// which the analyzer recognizes as covering all paths. A pooled writer
+// that is returned, stored into a struct, or captured by a closure
+// stops being tracked only if a closure mentions it (the closure may
+// legitimately own the Put); returns and stores are reported, because
+// ownership hand-off of a pooled buffer across an API boundary is
+// exactly the aliasing bug the pool discipline exists to prevent.
+var PoolLeak = &Analyzer{
+	Name: "poolleak",
+	Doc: "flags pooled wire.Writer values that miss PutWriter on some path, " +
+		"escape the function, or are used after being returned to the pool",
+	Run: runPoolLeak,
+}
+
+type poolStatus int
+
+const (
+	poolUntracked poolStatus = iota // zero value: not a pooled writer
+	poolHeld                        // taken from the pool, not yet returned
+	poolReleased                    // PutWriter has run on every path here
+	poolMixed                       // released on some merged paths only
+	poolDeferred                    // a deferred PutWriter covers function exit
+	poolEscaped                     // mentioned by a closure; tracking stops
+)
+
+type poolState map[*types.Var]poolStatus
+
+func (s poolState) clone() poolState {
+	c := make(poolState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type poolWalker struct {
+	pass *Pass
+	get  map[*types.Var]ast.Node // where each tracked var was filled
+}
+
+func runPoolLeak(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		w := &poolWalker{pass: pass, get: make(map[*types.Var]ast.Node)}
+		exit, terminated := w.stmts(fd.Body.List, make(poolState))
+		if !terminated {
+			w.checkExit(exit)
+		}
+	}
+	return nil
+}
+
+// checkExit reports every variable still holding a pooled writer at a
+// function exit point.
+func (w *poolWalker) checkExit(st poolState) {
+	for v, status := range st {
+		switch status {
+		case poolHeld:
+			w.pass.Reportf(w.get[v].Pos(), "pooled writer %s is not returned with PutWriter on every path", v.Name())
+			st[v] = poolEscaped // one report per writer, not per exit
+		case poolMixed:
+			w.pass.Reportf(w.get[v].Pos(), "pooled writer %s reaches PutWriter on some paths but leaks on others", v.Name())
+			st[v] = poolEscaped
+		}
+	}
+}
+
+func isPoolGet(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name := funcName(calleeFunc(info, call))
+	_, ok = PoolPairs[name]
+	return ok
+}
+
+// poolPutArg returns the tracked variable passed to a put function, or
+// nil if the call is not a put.
+func (w *poolWalker) poolPutArg(call *ast.CallExpr) *types.Var {
+	name := funcName(calleeFunc(w.pass.TypesInfo, call))
+	for _, put := range PoolPairs {
+		if name == put && len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if v, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// scanUses reports reads of released writers and closure captures
+// inside an expression, skipping the put calls themselves.
+func (w *poolWalker) scanUses(e ast.Expr, st poolState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure that mentions a tracked writer may own its
+			// Put; stop tracking rather than guess.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
+						if _, tracked := st[v]; tracked {
+							st[v] = poolEscaped
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			if v := w.poolPutArg(n); v != nil {
+				return false // the put itself is handled in stmt()
+			}
+		case *ast.Ident:
+			if v, ok := w.pass.TypesInfo.Uses[n].(*types.Var); ok {
+				if st[v] == poolReleased {
+					w.pass.Reportf(n.Pos(), "use of pooled writer %s after PutWriter returned it to the pool", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *poolWalker) stmts(list []ast.Stmt, st poolState) (poolState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *poolWalker) stmt(s ast.Stmt, st poolState) (poolState, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanUses(e, st)
+		}
+		for i, lhs := range s.Lhs {
+			if i >= len(s.Rhs) {
+				break
+			}
+			rhs := s.Rhs[i]
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				// Storing a pooled writer into a field, map or slice
+				// element lets it outlive the function's Put.
+				if w.exprIsTracked(rhs, st) {
+					w.pass.Reportf(s.Pos(), "pooled writer stored outside the local scope; its pool lifetime can no longer be verified")
+				}
+				continue
+			}
+			var v *types.Var
+			if d, ok := w.pass.TypesInfo.Defs[id].(*types.Var); ok {
+				v = d
+			} else if u, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				v = u
+			}
+			if v == nil {
+				continue
+			}
+			if isPoolGet(w.pass.TypesInfo, rhs) {
+				if st[v] == poolHeld || st[v] == poolMixed {
+					w.pass.Reportf(s.Pos(), "pooled writer %s overwritten before PutWriter; the previous buffer leaks", v.Name())
+				}
+				st[v] = poolHeld
+				w.get[v] = s
+			} else if _, tracked := st[v]; tracked {
+				delete(st, v) // rebound to something else
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if v := w.poolPutArg(call); v != nil {
+				if st[v] == poolReleased {
+					w.pass.Reportf(call.Pos(), "double PutWriter of %s; the pool will hand the same buffer out twice", v.Name())
+				}
+				st[v] = poolReleased
+				return st, false
+			}
+		}
+		w.scanUses(s.X, st)
+	case *ast.DeferStmt:
+		if v := w.poolPutArg(s.Call); v != nil {
+			st[v] = poolDeferred
+			return st, false
+		}
+		w.scanUses(s.Call, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			if w.exprIsTracked(e, st) {
+				w.pass.Reportf(s.Pos(), "pooled writer returned to the caller; Put it here or document the ownership hand-off with //scale:allow")
+			}
+			w.scanUses(e, st)
+		}
+		w.checkExit(st)
+		return st, true
+	case *ast.SendStmt:
+		if w.exprIsTracked(s.Value, st) {
+			w.pass.Reportf(s.Pos(), "pooled writer sent on a channel; its pool lifetime can no longer be verified")
+		}
+		w.scanUses(s.Chan, st)
+		w.scanUses(s.Value, st)
+	case *ast.IncDecStmt:
+		w.scanUses(s.X, st)
+	case *ast.GoStmt:
+		w.scanUses(s.Call, st)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanUses(s.Cond, st)
+		thenSt, thenTerm := w.stmts(s.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergePool(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanUses(s.Cond, st)
+		w.stmts(s.Body.List, st.clone())
+		if s.Post != nil {
+			w.stmt(s.Post, st.clone())
+		}
+		return st, false
+	case *ast.RangeStmt:
+		w.scanUses(s.X, st)
+		w.stmts(s.Body.List, st.clone())
+		return st, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Conservative: walk every nested statement against a shared
+		// clone per clause and merge nothing — clause-local get/put
+		// pairs are verified, cross-clause flows are not tracked.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				w.stmts(n.Body, st.clone())
+				return false
+			case *ast.CommClause:
+				w.stmts(n.Body, st.clone())
+				return false
+			}
+			return true
+		})
+		return st, false
+	}
+	return st, false
+}
+
+// exprIsTracked reports whether e is (exactly) a tracked pooled-writer
+// variable or a fresh pool get.
+func (w *poolWalker) exprIsTracked(e ast.Expr, st poolState) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := w.pass.TypesInfo.Uses[e].(*types.Var); ok {
+			status, tracked := st[v]
+			return tracked && status != poolEscaped && status != poolReleased
+		}
+	case *ast.CallExpr:
+		return isPoolGet(w.pass.TypesInfo, e)
+	}
+	return false
+}
+
+// mergePool joins two branch exits: a writer released on one side and
+// held on the other becomes mixed (a some-path leak).
+func mergePool(a, b poolState) poolState {
+	out := a.clone()
+	for v, sb := range b {
+		sa, ok := out[v]
+		if !ok {
+			out[v] = sb
+			continue
+		}
+		if sa == sb {
+			continue
+		}
+		if sa == poolEscaped || sb == poolEscaped {
+			out[v] = poolEscaped
+			continue
+		}
+		out[v] = poolMixed
+	}
+	return out
+}

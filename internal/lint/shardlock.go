@@ -1,0 +1,530 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ShardLockDeny lists functions that must never be called while a
+// shard mutex is held: all-shard sweeps, ring reads behind the global
+// ring mutex, blocking network writes, replication fan-out, the CDR
+// journal's global mutex, and outright sleeps. A pattern ending in
+// ".*" denies every method of the named type (or function of the named
+// package). The driver can extend the list with -shardlock.deny.
+//
+// Deliberately absent: state.Store.RangeShard and Store.GetAt — the
+// engine's index-aligned engine-shard→store-shard ordering is the
+// designed idiom, and a same-index store lock under the engine lock is
+// safe by construction (see internal/mmp shard layout docs).
+var ShardLockDeny = []string{
+	"scale/internal/state.Store.Range",
+	"scale/internal/state.Store.PromoteMatching",
+	"scale/internal/state.Store.Len",
+	"scale/internal/state.Store.MasterCount",
+	"scale/internal/chash.Ring.*",
+	"scale/internal/cdr.Journal.Append",
+	"scale/internal/transport.Conn.Write",
+	"scale/internal/transport.Conn.WriteTraced",
+	"scale/internal/mmp.Replicator.Replicate",
+	"scale/internal/mmp.HSSClient.*",
+	"scale/internal/mmp.SGWClient.*",
+	"time.Sleep",
+}
+
+// ShardLockDepth bounds the same-package call-graph walk that chases
+// denied calls and nested shard-lock acquisitions through helpers.
+var ShardLockDepth = 6
+
+// ShardLock flags cross-shard and global operations performed while a
+// shard mutex is held. A "shard mutex" is a sync.Mutex or sync.RWMutex
+// field of a struct whose type name contains "shard" (engineShard,
+// storeShard). The analyzer tracks the held-lock set through branches
+// with a path-sensitive walker — lock hand-offs like
+//
+//	if gs != is { is.mu.Unlock(); gs.mu.Lock() }
+//
+// are understood — and additionally enforces the repo invariant that
+// no code path holds two shard locks of the same type at once.
+var ShardLock = &Analyzer{
+	Name: "shardlock",
+	Doc: "flags cross-shard/global calls (all-shard sweeps, ring ops, journal appends, " +
+		"network writes, replication fan-out, sleeps, blocking sends) and second " +
+		"same-type lock acquisitions while a shard mutex is held",
+	Run: runShardLock,
+}
+
+// heldLock is one entry of the abstract lock set.
+type heldLock struct {
+	typ string    // shard struct type name ("engineShard")
+	pos token.Pos // where it was acquired
+}
+
+type lockState map[string]heldLock // exprKey of the mutex → lock
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// anyKey returns an arbitrary held lock for diagnostics.
+func (s lockState) anyKey() (string, heldLock) {
+	for k, v := range s {
+		return k, v
+	}
+	return "", heldLock{}
+}
+
+func union(a, b lockState) lockState {
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+type shardLockWalker struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]*lockSummary
+}
+
+// lockSummary is the transitive behavior of one same-package function:
+// which denied operations it can reach and which shard types it locks.
+type lockSummary struct {
+	denied []string        // call chains like "flush → scale/internal/cdr.Journal.Append"
+	locks  map[string]bool // shard type names acquired somewhere inside
+	done   bool            // false while the summary is being computed (cycle guard)
+}
+
+func runShardLock(pass *Pass) error {
+	w := &shardLockWalker{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		sums:  make(map[*types.Func]*lockSummary),
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			w.decls[fn] = fd
+		}
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		w.stmts(fd.Body.List, make(lockState))
+	}
+	return nil
+}
+
+// mutexOp classifies a call as a shard-mutex operation. op is "lock"
+// for Lock/RLock, "unlock" for Unlock/RUnlock, "" for anything else.
+func (w *shardLockWalker) mutexOp(call *ast.CallExpr) (op, key, shardType string) {
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	name := funcName(fn)
+	switch name {
+	case "sync.Mutex.Lock", "sync.RWMutex.Lock", "sync.RWMutex.RLock":
+		op = "lock"
+	case "sync.Mutex.Unlock", "sync.RWMutex.Unlock", "sync.RWMutex.RUnlock":
+		op = "unlock"
+	default:
+		return "", "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	// The mutex must itself be a field of a *shard struct: base.mu.Lock().
+	mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	t := w.pass.TypesInfo.TypeOf(mutexSel.X)
+	if t == nil {
+		return "", "", ""
+	}
+	named := namedOf(t)
+	if named == nil || !strings.Contains(strings.ToLower(named.Obj().Name()), "shard") {
+		return "", "", ""
+	}
+	key = exprKey(sel.X)
+	if key == "" {
+		return "", "", ""
+	}
+	return op, key, named.Obj().Name()
+}
+
+// scanExpr processes every call inside e in source order, updating and
+// checking the lock state. Function literal bodies are skipped: they
+// run later, under their own lock discipline.
+func (w *shardLockWalker) scanExpr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			op, key, typ := w.mutexOp(n)
+			switch op {
+			case "lock":
+				if prev, ok := st[key]; ok {
+					w.pass.Reportf(n.Pos(), "re-locking %s %s which is already held (self-deadlock)", prev.typ, key)
+				} else {
+					for k, h := range st {
+						if h.typ == typ {
+							w.pass.Reportf(n.Pos(),
+								"acquiring %s lock %s while %s lock %s is already held (invariant: one shard lock of a type at a time)",
+								typ, key, h.typ, k)
+						}
+					}
+				}
+				st[key] = heldLock{typ: typ, pos: n.Pos()}
+			case "unlock":
+				delete(st, key)
+			default:
+				w.checkCall(n, st)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall reports a denied or transitively-unsafe call made while a
+// shard lock is held.
+func (w *shardLockWalker) checkCall(call *ast.CallExpr, st lockState) {
+	if len(st) == 0 {
+		return
+	}
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	name := funcName(fn)
+	key, held := st.anyKey()
+	if matchAny(name, ShardLockDeny) {
+		w.pass.Reportf(call.Pos(), "cross-shard/global call %s while shard lock %s (%s) is held", name, key, held.typ)
+		return
+	}
+	// Same-package callee: consult its transitive summary.
+	if fn.Pkg() != w.pass.Pkg {
+		return
+	}
+	sum := w.summary(fn, 0)
+	if sum == nil {
+		return
+	}
+	if len(sum.denied) > 0 {
+		w.pass.Reportf(call.Pos(), "call to %s while shard lock %s (%s) is held: transitively reaches %s",
+			fn.Name(), key, held.typ, sum.denied[0])
+		return
+	}
+	for typ := range sum.locks {
+		for k, h := range st {
+			if h.typ == typ {
+				w.pass.Reportf(call.Pos(), "call to %s while %s lock %s is held: it acquires another %s lock",
+					fn.Name(), h.typ, k, typ)
+				return
+			}
+		}
+	}
+}
+
+// summary computes (and memoizes) the transitive lock behavior of a
+// same-package function, chasing calls up to ShardLockDepth deep.
+func (w *shardLockWalker) summary(fn *types.Func, depth int) *lockSummary {
+	if depth > ShardLockDepth {
+		return nil
+	}
+	if s, ok := w.sums[fn]; ok {
+		if !s.done {
+			return nil // cycle: treat the back-edge as clean
+		}
+		return s
+	}
+	fd, ok := w.decls[fn]
+	if !ok {
+		return nil
+	}
+	s := &lockSummary{locks: make(map[string]bool)}
+	w.sums[fn] = s
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			op, _, typ := w.mutexOp(n)
+			if op == "lock" {
+				s.locks[typ] = true
+				return true
+			}
+			if op != "" {
+				return true
+			}
+			callee := calleeFunc(w.pass.TypesInfo, n)
+			if callee == nil {
+				return true
+			}
+			name := funcName(callee)
+			if matchAny(name, ShardLockDeny) {
+				s.denied = append(s.denied, name)
+				return true
+			}
+			if callee.Pkg() == w.pass.Pkg && callee != fn {
+				if child := w.summary(callee, depth+1); child != nil {
+					for _, d := range child.denied {
+						s.denied = append(s.denied, callee.Name()+" → "+d)
+					}
+					for t := range child.locks {
+						s.locks[t] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	s.done = true
+	return s
+}
+
+// stmts walks a statement list with the given entry state, returning
+// the exit state and whether every path through the list terminates
+// (return / branch) before falling off the end.
+func (w *shardLockWalker) stmts(list []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *shardLockWalker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, st)
+	case *ast.SendStmt:
+		if len(st) > 0 {
+			key, held := st.anyKey()
+			w.pass.Reportf(s.Pos(), "channel send (may block) while shard lock %s (%s) is held", key, held.typ)
+		}
+		w.scanExpr(s.Chan, st)
+		w.scanExpr(s.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, st)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, st)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto end this path for merge purposes.
+		return st, s.Tok != token.FALLTHROUGH
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the
+		// function body, so it does not change the abstract state; a
+		// deferred denied call still runs in the lock's shadow.
+		if op, _, _ := w.mutexOp(s.Call); op == "" {
+			w.checkCall(s.Call, st)
+			for _, a := range s.Call.Args {
+				w.scanExpr(a, st)
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs under its own lock discipline;
+		// only the argument expressions evaluate here.
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, st)
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		// Equality guards create aliases: on the path where `gs != is`
+		// is false (or `gs == is` is true) the two expressions name the
+		// same shard, so a lock tracked as is.mu is released by
+		// gs.mu.Unlock(). Canonicalize the aliased branch's keys to the
+		// left-hand name, which is what the code after the hop uses.
+		thenEntry, elseEntry := st.clone(), st.clone()
+		if x, y, op := eqCond(s.Cond); op == token.NEQ {
+			elseEntry = unifyKeys(elseEntry, x, y)
+		} else if op == token.EQL {
+			thenEntry = unifyKeys(thenEntry, x, y)
+		}
+		thenSt, thenTerm := w.stmts(s.Body.List, thenEntry)
+		elseSt, elseTerm := elseEntry, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, elseEntry)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return union(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		w.stmts(s.Body.List, st.clone())
+		if s.Post != nil {
+			w.stmt(s.Post, st.clone())
+		}
+		// Loop bodies are analyzed for their own balance; the state
+		// after the loop is the entry state (locks taken inside a loop
+		// iteration are expected to be released inside it).
+		return st, false
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st)
+		w.stmts(s.Body.List, st.clone())
+		return st, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Tag, st)
+		return w.caseClauses(s.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		return w.caseClauses(s.Body.List, st)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		var exits []lockState
+		allTerm := true
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cst := st.clone()
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault && len(cst) > 0 {
+				key, held := cst.anyKey()
+				w.pass.Reportf(send.Pos(), "blocking select send while shard lock %s (%s) is held", key, held.typ)
+			}
+			if cc.Comm != nil {
+				cst, _ = w.stmt(cc.Comm, cst)
+			}
+			out, term := w.stmts(cc.Body, cst)
+			if !term {
+				allTerm = false
+				exits = append(exits, out)
+			}
+		}
+		if len(exits) == 0 {
+			return st, allTerm && len(s.Body.List) > 0
+		}
+		merged := exits[0]
+		for _, e := range exits[1:] {
+			merged = union(merged, e)
+		}
+		return merged, false
+	}
+	return st, false
+}
+
+// eqCond decomposes a comparison between two canonicalizable
+// expressions, returning their keys and the operator (EQL, NEQ, or
+// ILLEGAL for anything else).
+func eqCond(cond ast.Expr) (x, y string, op token.Token) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return "", "", token.ILLEGAL
+	}
+	x, y = exprKey(be.X), exprKey(be.Y)
+	if x == "" || y == "" {
+		return "", "", token.ILLEGAL
+	}
+	return x, y, be.Op
+}
+
+// unifyKeys renames every lock keyed under y (y itself or y.field...)
+// to the equivalent key under x.
+func unifyKeys(st lockState, x, y string) lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		switch {
+		case k == y:
+			k = x
+		case strings.HasPrefix(k, y+"."):
+			k = x + k[len(y):]
+		}
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// caseClauses merges the exits of switch cases; absent a default
+// clause the entry state is also a possible exit.
+func (w *shardLockWalker) caseClauses(list []ast.Stmt, st lockState) (lockState, bool) {
+	hasDefault := false
+	var exits []lockState
+	for _, c := range list {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.scanExpr(e, st)
+		}
+		out, term := w.stmts(cc.Body, st.clone())
+		if !term {
+			exits = append(exits, out)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		return st, true
+	}
+	merged := exits[0]
+	for _, e := range exits[1:] {
+		merged = union(merged, e)
+	}
+	return merged, false
+}

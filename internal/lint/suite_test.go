@@ -1,0 +1,76 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scale/internal/lint"
+	"scale/internal/lint/linttest"
+)
+
+func TestShardLockFixture(t *testing.T) {
+	linttest.Fixture(t, lint.ShardLock, filepath.Join("testdata", "shardlock"))
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	linttest.Fixture(t, lint.AtomicField, filepath.Join("testdata", "atomicfield"))
+}
+
+func TestPoolLeakFixture(t *testing.T) {
+	linttest.Fixture(t, lint.PoolLeak, filepath.Join("testdata", "poolleak"))
+}
+
+func TestMetricHygieneFixture(t *testing.T) {
+	linttest.Fixture(t, lint.MetricHygiene, filepath.Join("testdata", "metrichygiene"))
+}
+
+func TestHotPathAllocFixture(t *testing.T) {
+	linttest.Fixture(t, lint.HotPathAlloc, filepath.Join("testdata", "hotpathalloc"))
+}
+
+// TestDirectiveHygiene asserts that a stale //scale:allow (suppressing
+// nothing) and a malformed one (missing its reason) are both reported.
+func TestDirectiveHygiene(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "directive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.NewLoader().Load("scale/internal/lint/testdata/directive", dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(lint.HotPathAlloc, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotUnused, gotMalformed bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "unused //scale:allow hotpathalloc"):
+			gotUnused = true
+		case strings.Contains(d.Message, "malformed //scale:allow"):
+			gotMalformed = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !gotUnused {
+		t.Error("expected a diagnostic for the stale //scale:allow directive")
+	}
+	if !gotMalformed {
+		t.Error("expected a diagnostic for the malformed //scale:allow directive")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.All() {
+		got, err := lint.ByName(a.Name)
+		if err != nil || got != a {
+			t.Fatalf("ByName(%q) = %v, %v", a.Name, got, err)
+		}
+	}
+	if _, err := lint.ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+}

@@ -1,0 +1,43 @@
+// Package atomicfieldfix exercises the atomicfield analyzer: fields
+// touched by sync/atomic in one place must never see plain loads or
+// stores elsewhere.
+package atomicfieldfix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) read() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// racyRead mixes a plain load into an otherwise atomic field.
+func (c *counters) racyRead() uint64 {
+	return c.hits // want "plain access to counters.hits"
+}
+
+// racyWrite mixes a plain store in.
+func (c *counters) racyWrite(v uint64) {
+	c.hits = v // want "plain access to counters.hits"
+}
+
+// plainOnly is fine: misses is never accessed atomically.
+func (c *counters) plainOnly() uint64 {
+	c.misses++
+	return c.misses
+}
+
+// newCounters initializes before publication; the waiver documents it.
+func newCounters() *counters {
+	c := &counters{}
+	//scale:allow atomicfield zeroing before the struct is published
+	c.hits = 0
+	return c
+}

@@ -1,0 +1,16 @@
+// Package directivefix exercises the //scale:allow directive plumbing
+// itself: a stale directive that suppresses nothing and a malformed
+// one missing its reason are both findings (asserted by a unit test
+// rather than want comments, since the directive occupies the whole
+// line).
+package directivefix
+
+import "time"
+
+func fine() time.Time {
+	//scale:allow hotpathalloc stale waiver: this function is not annotated
+	return time.Now()
+}
+
+//scale:allow hotpathalloc
+func missingReason() {}

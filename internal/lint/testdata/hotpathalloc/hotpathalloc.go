@@ -1,0 +1,54 @@
+// Package hotpathfix exercises the hotpathalloc analyzer: functions
+// annotated //scale:hotpath must not allocate, format, or read the
+// clock without an explicit waiver.
+package hotpathfix
+
+import (
+	"fmt"
+	"time"
+)
+
+func sink(v any) { _ = v }
+
+//scale:hotpath
+func hot(vals []int, m map[string]int) int {
+	now := time.Now()                 // want "call to time.Now on the hot path"
+	s := fmt.Sprintf("%d", len(vals)) // want "call to fmt.Sprintf on the hot path"
+	buf := make([]byte, 8)            // want "allocates on the hot path"
+	mm := make(map[string]int)        // want "allocates on the hot path"
+	tmp := []int{1, 2, 3}             // want "slice literal allocates"
+	name := s + "!"                   // want "string concatenation allocates"
+	raw := []byte(name)               // want "conversion copies on the hot path"
+	n := len(vals)
+	sink(n) // want "boxes a non-pointer int into an interface"
+	_, _, _, _, _ = now, buf, mm, tmp, raw
+	return m["a"]
+}
+
+// hotClean stays on preallocated state: no findings.
+//
+//scale:hotpath
+func hotClean(buf []byte, vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	if len(buf) > 0 {
+		buf[0] = byte(total)
+	}
+	sink(&total) // pointers fit the interface word without allocating
+	return total
+}
+
+// hotWaived documents a measured exception.
+//
+//scale:hotpath
+func hotWaived() int64 {
+	//scale:allow hotpathalloc coarse tick measured at 0.1% of the cycle
+	return time.Now().UnixNano()
+}
+
+// cold is unannotated: the analyzer ignores it.
+func cold() string {
+	return fmt.Sprintf("%v", time.Now())
+}

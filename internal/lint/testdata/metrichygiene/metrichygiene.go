@@ -1,0 +1,50 @@
+// Package metrichygienefix exercises the metrichygiene analyzer:
+// metric series are registered once at startup, never on request paths
+// and never per loop iteration.
+package metrichygienefix
+
+import (
+	"strconv"
+
+	"scale/internal/obs"
+)
+
+type server struct {
+	reg  *obs.Registry
+	hits *obs.Counter
+}
+
+// newServer registers in a constructor: clean.
+func newServer(reg *obs.Registry) *server {
+	return &server{
+		reg:  reg,
+		hits: reg.Counter("requests_total"),
+	}
+}
+
+// handle registers on the request path, minting a series per id.
+func (s *server) handle(id string) {
+	s.reg.Counter("req_" + id).Inc() // want "outside an init/constructor function"
+	s.hits.Inc()
+}
+
+// registerShards registers inside a loop; the waiver must state the
+// bound if this is intended.
+func registerShards(reg *obs.Registry) {
+	for i := 0; i < 4; i++ {
+		reg.Counter("shard_" + strconv.Itoa(i)) // want "inside a loop"
+	}
+}
+
+// registerShardsAllowed is the same shape with the bound documented.
+func registerShardsAllowed(reg *obs.Registry) {
+	for i := 0; i < 4; i++ {
+		//scale:allow metrichygiene bounded by the fixed shard count
+		reg.Counter("bounded_shard_" + strconv.Itoa(i))
+	}
+}
+
+// observe only uses pre-registered handles: clean.
+func (s *server) observe() {
+	s.hits.Add(2)
+}

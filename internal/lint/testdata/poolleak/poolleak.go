@@ -1,0 +1,85 @@
+// Package poolleakfix exercises the poolleak analyzer: every
+// wire.GetWriter must reach PutWriter on every path, with no use after
+// the buffer goes back to the pool.
+package poolleakfix
+
+import "scale/internal/wire"
+
+// deferred is the canonical safe shape.
+func deferred() []byte {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.U32(7)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// balanced puts explicitly on the single path.
+func balanced() int {
+	w := wire.GetWriter()
+	w.U8(1)
+	n := w.Len()
+	wire.PutWriter(w)
+	return n
+}
+
+// leak never puts.
+func leak() {
+	w := wire.GetWriter() // want "pooled writer w is not returned with PutWriter on every path"
+	w.U8(1)
+}
+
+// partial puts on one branch only.
+func partial(ok bool) {
+	w := wire.GetWriter() // want "reaches PutWriter on some paths but leaks on others"
+	w.U8(1)
+	if ok {
+		wire.PutWriter(w)
+	}
+}
+
+// branchBalanced puts on every branch and must analyze clean.
+func branchBalanced(ok bool) {
+	w := wire.GetWriter()
+	w.U8(1)
+	if ok {
+		wire.PutWriter(w)
+		return
+	}
+	wire.PutWriter(w)
+}
+
+// useAfterPut touches the buffer after it went back to the pool.
+func useAfterPut() int {
+	w := wire.GetWriter()
+	w.U8(7)
+	wire.PutWriter(w)
+	return w.Len() // want "use of pooled writer w after PutWriter"
+}
+
+// doublePut frees twice.
+func doublePut() {
+	w := wire.GetWriter()
+	wire.PutWriter(w)
+	wire.PutWriter(w) // want "double PutWriter of w"
+}
+
+// escape transfers ownership to the caller without documenting it.
+func escape() *wire.Writer {
+	w := wire.GetWriter() // want "not returned with PutWriter on every path"
+	return w              // want "pooled writer returned to the caller"
+}
+
+// overwrite drops the first buffer on the floor.
+func overwrite() {
+	w := wire.GetWriter()
+	w = wire.GetWriter() // want "overwritten before PutWriter"
+	wire.PutWriter(w)
+}
+
+// closureOwned hands the put to a closure; tracking stops rather than
+// guessing, so this is clean.
+func closureOwned() func() {
+	w := wire.GetWriter()
+	w.U8(1)
+	return func() { wire.PutWriter(w) }
+}

@@ -1,0 +1,166 @@
+// Package shardlockfix exercises the shardlock analyzer: cross-shard
+// and global calls under a shard mutex, double-lock acquisition, and
+// the branch-sensitive lock hand-off patterns that must stay clean.
+package shardlockfix
+
+import (
+	"sync"
+	"time"
+
+	"scale/internal/cdr"
+)
+
+type fooShard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type engine struct {
+	shards []fooShard
+	j      *cdr.Journal
+	ch     chan int
+}
+
+// sleepUnderLock: a denied global call in the critical section.
+func (e *engine) sleepUnderLock(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "cross-shard/global call time.Sleep while shard lock"
+	s.mu.Unlock()
+}
+
+// sleepAfterUnlock is the fixed shape: the denied call happens outside
+// the critical section.
+func (e *engine) sleepAfterUnlock(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// journalUnderDeferredLock: defer Unlock keeps the lock held to the
+// end of the function, so the Append runs in its shadow.
+func (e *engine) journalUnderDeferredLock(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	e.j.Append(cdr.Record{}) // want "cross-shard/global call scale/internal/cdr.Journal.Append"
+}
+
+// journalAllowed shows an explicit, reasoned waiver.
+func (e *engine) journalAllowed(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//scale:allow shardlock fixture demonstrates a reasoned waiver
+	e.j.Append(cdr.Record{})
+}
+
+// doubleLock: two shard locks of the same type at once.
+func (e *engine) doubleLock(i, j int) {
+	e.shards[i].mu.Lock()
+	e.shards[j].mu.Lock() // want "acquiring fooShard lock .* while fooShard lock .* is already held"
+	e.shards[j].mu.Unlock()
+	e.shards[i].mu.Unlock()
+}
+
+// relock: self-deadlock on the same mutex.
+func (e *engine) relock(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	s.mu.Lock() // want "re-locking fooShard s.mu"
+	s.mu.Unlock()
+}
+
+// handoff is the two-hop foreign-id dance: never two locks at once, so
+// it must analyze clean.
+func (e *engine) handoff(i, j int) {
+	is := &e.shards[i]
+	is.mu.Lock()
+	gs := &e.shards[j]
+	if gs != is {
+		is.mu.Unlock()
+		gs.mu.Lock()
+	}
+	gs.n++
+	gs.mu.Unlock()
+}
+
+// hopThenCall mirrors the engine's release handlers: after the hop the
+// lock is released via gs on both paths (gs aliases is when the guard
+// is false), so the trailing sleep is outside the critical section.
+func (e *engine) hopThenCall(i, j int) {
+	is := &e.shards[i]
+	is.mu.Lock()
+	gs := &e.shards[j]
+	if gs != is {
+		is.mu.Unlock()
+		gs.mu.Lock()
+	}
+	gs.n++
+	gs.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	gs.mu.Lock()
+	gs.n++
+	gs.mu.Unlock()
+}
+
+// earlyReturn: a terminated branch must not pollute the merged state.
+func (e *engine) earlyReturn(i int, ok bool) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// sendUnderLock: a channel send can block indefinitely.
+func (e *engine) sendUnderLock(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	e.ch <- s.n // want "channel send .* while shard lock"
+	s.mu.Unlock()
+}
+
+// indirectSleep reaches a denied call through a same-package helper.
+func (e *engine) indirectSleep(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	e.slowHelper() // want "transitively reaches time.Sleep"
+	s.mu.Unlock()
+}
+
+func (e *engine) slowHelper() {
+	time.Sleep(time.Millisecond)
+}
+
+// indirectLock reaches a second same-type shard lock through a helper.
+func (e *engine) indirectLock(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	e.lockFirst() // want "it acquires another fooShard lock"
+	s.mu.Unlock()
+}
+
+func (e *engine) lockFirst() {
+	e.shards[0].mu.Lock()
+	e.shards[0].n++
+	e.shards[0].mu.Unlock()
+}
+
+// goroutineEscape: the spawned goroutine runs under its own lock
+// discipline and must not be flagged against the caller's lock.
+func (e *engine) goroutineEscape(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	s.mu.Unlock()
+}

@@ -271,6 +271,8 @@ func (r *Router) AssignGUTI(imsi uint64) guti.GUTI {
 }
 
 // Route decides the MMP for one uplink S1AP message.
+//
+//scale:hotpath
 func (r *Router) Route(msg s1ap.Message) (Decision, error) {
 	d, err := r.route(msg)
 	if r.ob != nil {
@@ -288,6 +290,7 @@ func (r *Router) Route(msg s1ap.Message) (Decision, error) {
 	return d, err
 }
 
+//scale:hotpath
 func (r *Router) route(msg s1ap.Message) (Decision, error) {
 	switch m := msg.(type) {
 	case *s1ap.InitialUEMessage:
@@ -307,6 +310,7 @@ func (r *Router) route(msg s1ap.Message) (Decision, error) {
 	case *s1ap.HandoverNotify:
 		return r.routeByUEID(m.MMEUEID, msg)
 	default:
+		//scale:allow hotpathalloc unroutable-message error path, off the steady-state cycle
 		return Decision{}, fmt.Errorf("%w: %s", ErrUnroutable, msg.Type())
 	}
 }
@@ -353,6 +357,8 @@ func (r *Router) routeInitialUE(m *s1ap.InitialUEMessage) (Decision, error) {
 // overloaded is penalized past any non-overloaded one, so new work
 // steers to replicas that still admit — overload only decides among the
 // device's legitimate holders, never off-ring.
+//
+//scale:hotpath
 func (r *Router) pick(key []byte) (master, target string, err error) {
 	owners, err := r.ring.Owners(key, ReplicaFanout)
 	if err != nil {
@@ -380,12 +386,15 @@ func (r *Router) pick(key []byte) (master, target string, err error) {
 
 // routeByUEID routes an active-mode message by the MMP id embedded in
 // the MME UE id — no table lookups (Section 5 MLB implementation).
+//
+//scale:hotpath
 func (r *Router) routeByUEID(id uint32, msg s1ap.Message) (Decision, error) {
 	idx, _ := ueid.Split(id)
 	r.mu.RLock()
 	target, ok := r.byIndex[idx]
 	r.mu.RUnlock()
 	if !ok {
+		//scale:allow hotpathalloc unknown-MMP error path, off the steady-state cycle
 		return Decision{}, fmt.Errorf("%w: index %d", ErrUnknownMMP, idx)
 	}
 	return Decision{Target: target, Msg: msg}, nil

@@ -329,6 +329,8 @@ func (e *Engine) NumShards() int { return int(e.nShards) }
 
 // gutiShard returns the shard owning the device g — the same index the
 // store uses, so engine and store lock domains align.
+//
+//scale:hotpath
 func (e *Engine) gutiShard(g guti.GUTI) *engineShard {
 	return e.shards[uint32(g.Hash())&e.shardMask]
 }
@@ -336,6 +338,8 @@ func (e *Engine) gutiShard(g guti.GUTI) *engineShard {
 // idShard returns the shard an MME-allocated identifier (S1AP MME UE id
 // or S11 TEID) belongs to: the id's low sequence bits. For ids this
 // engine allocated that is exactly the owning device's GUTI shard.
+//
+//scale:hotpath
 func (e *Engine) idShard(id uint32) *engineShard {
 	_, seq := ueid.Split(id)
 	return e.shards[seq&e.shardMask]
@@ -427,6 +431,8 @@ func (e *Engine) PendingPeak() int {
 // false when the shard is at its admission bound. The reservation is
 // released by releaseAttach (abort) or consumed when the pending entry
 // is deleted after AttachComplete / auth failure.
+//
+//scale:hotpath
 func (e *Engine) admitAttach(s *engineShard) bool {
 	if e.adm == nil {
 		return true
@@ -449,6 +455,8 @@ func (e *Engine) admitAttach(s *engineShard) bool {
 }
 
 // releaseAttach returns one reserved pending-attach slot on shard s.
+//
+//scale:hotpath
 func (e *Engine) releaseAttach(s *engineShard) {
 	if e.adm != nil {
 		s.attachLoad.Add(-1)
@@ -458,6 +466,8 @@ func (e *Engine) releaseAttach(s *engineShard) {
 // nextUEIDLocked mints a UE id on shard s (s.mu held). The composed
 // sequence number is congruent to the shard index modulo the shard
 // count, so idShard recovers the owner from the id alone.
+//
+//scale:hotpath
 func (e *Engine) nextUEIDLocked(s *engineShard) uint32 {
 	s.seq++
 	return ueid.Compose(e.cfg.Index, s.seq*e.nShards+s.idx)
@@ -483,9 +493,13 @@ func (e *Engine) Handle(enbID uint32, msg s1ap.Message) ([]Outbound, error) {
 // HandleTraced is Handle carrying the procedure's end-to-end trace id:
 // when observability is configured the handler is bracketed by an
 // "mmp"-stage span under that id and counted per procedure.
+//
+//scale:hotpath
 func (e *Engine) HandleTraced(traceID uint64, enbID uint32, msg s1ap.Message) ([]Outbound, error) {
+	//scale:allow hotpathalloc busy-fraction accounting needs the wall clock
 	start := time.Now()
 	defer func() {
+		//scale:allow hotpathalloc busy-fraction accounting needs the wall clock
 		e.busyNS.Add(int64(time.Since(start)))
 		e.handled.Add(1)
 	}()
@@ -512,8 +526,10 @@ func (e *Engine) BusyNS() int64 { return e.busyNS.Load() }
 // HandleDownlinkData calls, including errored ones).
 func (e *Engine) Handled() uint64 { return e.handled.Load() }
 
+//scale:hotpath
 func (e *Engine) dispatch(enbID uint32, msg s1ap.Message) ([]Outbound, error) {
 	if e.cfg.ProcCost > 0 {
+		//scale:allow hotpathalloc ProcCost simulates per-procedure CPU cost; bench/test knob, zero in production
 		time.Sleep(e.cfg.ProcCost)
 	}
 	switch m := msg.(type) {
@@ -534,6 +550,7 @@ func (e *Engine) dispatch(enbID uint32, msg s1ap.Message) ([]Outbound, error) {
 	case *s1ap.HandoverNotify:
 		return e.handleHandoverNotify(enbID, m)
 	default:
+		//scale:allow hotpathalloc unhandled-message error path, off the steady-state cycle
 		return nil, fmt.Errorf("mmp: unhandled S1AP message %s", msg.Type())
 	}
 }
@@ -704,7 +721,6 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 	// the id mappings and the stored context all live on s.
 	gs := e.gutiShard(g)
 	gs.mu.Lock()
-	defer gs.mu.Unlock()
 	ctx := &state.UEContext{
 		IMSI:     imsi,
 		GUTI:     g,
@@ -730,6 +746,11 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 	e.store.PutMaster(ctx)
 	gs.byMMETEID[mmeUEID] = g
 	gs.stats.attaches.Add(1)
+	taiList, t3412 := ctx.TAIList, ctx.T3412Sec
+	gs.mu.Unlock()
+
+	// The CDR journal serializes on a global mutex; keep it out of the
+	// shard critical section.
 	e.record(cdr.EventAttach, imsi, proc.enbID, proc.tai)
 
 	return []Outbound{
@@ -741,7 +762,7 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 		{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
 			NASPDU: nas.Marshal(&nas.AttachAccept{
-				GUTI: g, TAIList: ctx.TAIList, T3412Sec: ctx.T3412Sec,
+				GUTI: g, TAIList: taiList, T3412Sec: t3412,
 			}),
 		}},
 	}, nil
@@ -843,10 +864,11 @@ func (e *Engine) serviceRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas
 	s.lastActivity[ctx.GUTI] = time.Now()
 	s.byMMEUEID[mmeUEID] = ctx.GUTI
 	s.stats.serviceRequests.Add(1)
-	e.record(cdr.EventServiceRequest, ctx.IMSI, enbID, m.TAI)
 	sgwTEID, ebi := ctx.SGWTEID, ctx.BearerID
+	imsi := ctx.IMSI
 	s.mu.Unlock()
 
+	e.record(cdr.EventServiceRequest, imsi, enbID, m.TAI)
 	return []Outbound{
 		{ENB: enbID, Msg: &s1ap.InitialContextSetupRequest{
 			ENBUEID: m.ENBUEID, MMEUEID: mmeUEID,
@@ -873,11 +895,12 @@ func (e *Engine) tauRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.TAU
 	ctx.Touch(e.cfg.AccessAlpha)
 	s.lastActivity[ctx.GUTI] = time.Now()
 	s.stats.taus.Add(1)
-	e.record(cdr.EventTAU, ctx.IMSI, enbID, req.TAI)
 	clone := ctx.Clone()
 	t3412 := ctx.T3412Sec
+	imsi := ctx.IMSI
 	s.mu.Unlock()
 
+	e.record(cdr.EventTAU, imsi, enbID, req.TAI)
 	e.replicate(clone)
 	return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
 		ENBUEID: m.ENBUEID,
@@ -1078,9 +1101,10 @@ func (e *Engine) handleHandoverNotify(_ uint32, m *s1ap.HandoverNotify) ([]Outbo
 	ctx.Touch(e.cfg.AccessAlpha)
 	gs.lastActivity[ctx.GUTI] = time.Now()
 	sgwTEID, enbTEID, ebi := ctx.SGWTEID, ctx.ENBTEID, ctx.BearerID
+	imsi, srcENB := ctx.IMSI, ctx.ENBID
 	gs.stats.handovers.Add(1)
-	e.record(cdr.EventHandover, ctx.IMSI, ctx.ENBID, m.TAI)
 	gs.mu.Unlock()
+	e.record(cdr.EventHandover, imsi, srcENB, m.TAI)
 	is.mu.Lock()
 	delete(is.pendingHO, m.MMEUEID)
 	is.mu.Unlock()
@@ -1118,18 +1142,23 @@ func (e *Engine) HandleDownlinkData(ddn *s11.DownlinkDataNotification) ([]Outbou
 		ts.mu.Unlock()
 		gs.mu.Lock()
 	}
-	defer gs.mu.Unlock()
 	ctx, ok := e.store.GetAt(int(gs.idx), g)
 	if !ok {
+		gs.mu.Unlock()
 		return nil, ErrNoContext
 	}
 	if ctx.Mode != state.Idle {
+		gs.mu.Unlock()
 		return nil, nil // already active; no paging needed
 	}
 	gs.stats.pagings.Add(1)
-	e.record(cdr.EventPaging, ctx.IMSI, BroadcastENB, ctx.TAI)
-	return []Outbound{{ENB: BroadcastENB, TAI: ctx.TAI, Msg: &s1ap.Paging{
-		MTMSI: ctx.GUTI.MTMSI, TAIs: ctx.TAIList,
+	imsi, tai := ctx.IMSI, ctx.TAI
+	mtmsi, tais := ctx.GUTI.MTMSI, ctx.TAIList
+	gs.mu.Unlock()
+
+	e.record(cdr.EventPaging, imsi, BroadcastENB, tai)
+	return []Outbound{{ENB: BroadcastENB, TAI: tai, Msg: &s1ap.Paging{
+		MTMSI: mtmsi, TAIs: tais,
 	}}}, nil
 }
 

@@ -174,8 +174,10 @@ func New(cfg Config) *Tracker {
 	for _, o := range cfg.Objectives {
 		st := &objState{obj: o, healthy: true}
 		if cfg.Registry != nil {
+			//scale:allow metrichygiene bounded by the configured objective list
 			st.gauge = cfg.Registry.Gauge(fmt.Sprintf("slo_healthy{slo=%q}", o.Name))
 			st.gauge.Set(1)
+			//scale:allow metrichygiene bounded by the configured objective list
 			st.counter = cfg.Registry.Counter(fmt.Sprintf("slo_breaches_total{slo=%q}", o.Name))
 		}
 		t.objs = append(t.objs, st)

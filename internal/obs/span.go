@@ -348,6 +348,7 @@ func (t *Tracer) histFor(proc, stage string) *Histogram {
 		return h
 	}
 	id := fmt.Sprintf("span_duration_seconds{proc=%q,stage=%q}", proc, stage)
+	//scale:allow metrichygiene lazy first-use registration, ids bounded by the (proc, stage) sets
 	h = t.reg.Histogram(id, 1e9)
 	t.histMu.Lock()
 	if existing, ok := t.hists[key]; ok {

@@ -1,0 +1,41 @@
+package s11
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens the S11 (GTP-C-like) decoder: no panics on
+// arbitrary input; accepted messages re-encode stably.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []Message{
+		&CreateSessionRequest{IMSI: 123456789012345, MMETEID: 0x10001, APN: "internet", BearerID: 5},
+		&CreateSessionResponse{Cause: CauseAccepted, SGWTEID: 0x20001, PDNAddr: 0x0A000001, BearerID: 5},
+		&ModifyBearerRequest{SGWTEID: 0x20001, ENBTEID: 0x30001, ENBAddr: "enb-7:2152", BearerID: 5},
+		&ModifyBearerResponse{Cause: CauseAccepted},
+		&ReleaseAccessBearersRequest{SGWTEID: 0x20001},
+		&DeleteSessionRequest{SGWTEID: 0x20001, BearerID: 5},
+		&DownlinkDataNotification{SGWTEID: 0x20001, MMETEID: 0x10001},
+		&DownlinkDataNotificationAck{Cause: CauseAccepted},
+	}
+	for _, m := range seeds {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xEE})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re := Marshal(m)
+		m2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(re, Marshal(m2)) {
+			t.Fatalf("marshal not stable: % x vs % x", re, Marshal(m2))
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// memConn is a net.Conn whose read side replays a fixed byte stream and
+// whose write side captures into a buffer. It lets the fuzzer feed
+// arbitrary frame bytes straight into Conn.Read without a socket pair.
+type memConn struct {
+	r *bytes.Reader
+	w bytes.Buffer
+}
+
+func (m *memConn) Read(p []byte) (int, error)  { return m.r.Read(p) }
+func (m *memConn) Write(p []byte) (int, error) { return m.w.Write(p) }
+func (m *memConn) Close() error                { return nil }
+func (m *memConn) LocalAddr() net.Addr         { return &net.TCPAddr{} }
+func (m *memConn) RemoteAddr() net.Addr        { return &net.TCPAddr{} }
+func (m *memConn) SetDeadline(time.Time) error { return nil }
+
+func (m *memConn) SetReadDeadline(time.Time) error  { return nil }
+func (m *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+// frames encodes a sequence of messages with a real Conn and returns
+// the raw byte stream — the seeds are genuine wire frames.
+func frames(t interface{ Fatalf(string, ...any) }, msgs ...Message) []byte {
+	mc := &memConn{r: bytes.NewReader(nil)}
+	c := NewConn(mc)
+	for _, m := range msgs {
+		var err error
+		if m.Trace != 0 {
+			err = c.WriteTraced(m.Stream, m.Trace, m.Payload)
+		} else {
+			err = c.Write(m.Stream, m.Payload)
+		}
+		if err != nil {
+			t.Fatalf("seed write: %v", err)
+		}
+	}
+	return mc.w.Bytes()
+}
+
+// FuzzFrameRead hardens the frame decoder against arbitrary byte
+// streams: Conn.Read must never panic, never return a payload above
+// MaxMessageSize, and must keep decoding frames that follow valid ones.
+func FuzzFrameRead(f *testing.F) {
+	f.Add(frames(f, Message{Stream: 1, Payload: []byte("attach-request")}))
+	f.Add(frames(f, Message{Stream: 2, Payload: []byte("paged"), Trace: 0xDEADBEEF}))
+	f.Add(frames(f,
+		Message{Stream: 1, Payload: []byte("a")},
+		Message{Stream: 9, Payload: nil, Trace: 7},
+		Message{Stream: 3, Payload: bytes.Repeat([]byte{0x5C}, 300)},
+	))
+	f.Add([]byte{})
+	f.Add([]byte{0x5C})                                          // bare v1 magic
+	f.Add([]byte{0x5D, 0, 1, 0, 0, 0, 0})                        // v2 header, missing extension
+	f.Add([]byte{0x5C, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})            // oversized length
+	f.Add([]byte{0x00, 0, 1, 0, 0, 0, 0})                        // bad magic
+	f.Add([]byte{0x5D, 0, 1, 0, 0, 0, 1, 3, 0xFF, 0, 0, 0, 'x'}) // unknown TLV tag
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(&memConn{r: bytes.NewReader(data)})
+		for {
+			msg, err := c.Read()
+			if err != nil {
+				// Any error is acceptable on garbage input; EOF and
+				// short reads end the stream.
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return
+				}
+				return
+			}
+			if len(msg.Payload) > MaxMessageSize {
+				t.Fatalf("Read returned %d-byte payload above MaxMessageSize", len(msg.Payload))
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip writes an arbitrary message through the real
+// encoder and requires the decoder to hand back exactly what went in —
+// stream id, payload, and trace id — with nothing left in the stream.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint64(0), []byte("initial-ue-message"))
+	f.Add(uint16(7), uint64(0x1122334455667788), []byte{})
+	f.Add(uint16(0xFFFF), uint64(1), bytes.Repeat([]byte{0xAB}, 1000))
+
+	f.Fuzz(func(t *testing.T, stream uint16, trace uint64, payload []byte) {
+		if len(payload) > MaxMessageSize {
+			return
+		}
+		raw := frames(t, Message{Stream: stream, Payload: payload, Trace: trace})
+		c := NewConn(&memConn{r: bytes.NewReader(raw)})
+		msg, err := c.Read()
+		if err != nil {
+			t.Fatalf("decode of encoder output failed: %v", err)
+		}
+		if msg.Stream != stream {
+			t.Fatalf("stream = %d, want %d", msg.Stream, stream)
+		}
+		if !bytes.Equal(msg.Payload, payload) {
+			t.Fatalf("payload mismatch: % x vs % x", msg.Payload, payload)
+		}
+		if msg.Trace != trace {
+			t.Fatalf("trace = %#x, want %#x", msg.Trace, trace)
+		}
+		if _, err := c.Read(); err == nil {
+			t.Fatal("stream had trailing bytes after one frame")
+		}
+	})
+}

@@ -158,6 +158,8 @@ func DialTimeout(addr string, d time.Duration) (*Conn, error) {
 // connection the flush is left to the last of them, so a burst of
 // concurrent frames shares one flush — and one write syscall — instead
 // of paying one each.
+//
+//scale:hotpath
 func (c *Conn) Write(stream uint16, payload []byte) error {
 	return c.WriteTraced(stream, 0, payload)
 }
@@ -165,6 +167,8 @@ func (c *Conn) Write(stream uint16, payload []byte) error {
 // WriteTraced sends one message carrying a trace id in the header
 // extension. A zero trace id emits the v1 frame layout, so untraced
 // traffic stays readable by peers that predate the extension.
+//
+//scale:hotpath
 func (c *Conn) WriteTraced(stream uint16, traceID uint64, payload []byte) error {
 	if len(payload) > MaxMessageSize {
 		return ErrMessageTooLarge
@@ -194,13 +198,16 @@ func (c *Conn) WriteTraced(stream uint16, traceID uint64, payload []byte) error 
 	c.wwaiters.Add(-1)
 	defer c.wmu.Unlock()
 	if _, err := c.bw.Write(hdr[:hlen]); err != nil {
+		//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 		return fmt.Errorf("transport: write header: %w", err)
 	}
 	if _, err := c.bw.Write(payload); err != nil {
+		//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 		return fmt.Errorf("transport: write payload: %w", err)
 	}
 	if c.wwaiters.Load() == 0 {
 		if err := c.bw.Flush(); err != nil {
+			//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 			return fmt.Errorf("transport: flush: %w", err)
 		}
 		wireStats.flushesOut.Add(1)
@@ -212,6 +219,8 @@ func (c *Conn) WriteTraced(stream uint16, traceID uint64, payload []byte) error 
 
 // Read blocks for the next message. The returned payload is freshly
 // allocated and owned by the caller.
+//
+//scale:hotpath
 func (c *Conn) Read() (Message, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
@@ -230,10 +239,13 @@ func (c *Conn) Read() (Message, error) {
 	if hdr[0] == magicV2 {
 		extLen, err := c.br.ReadByte()
 		if err != nil {
+			//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 			return Message{}, fmt.Errorf("transport: short extension length: %w", err)
 		}
+		//scale:allow hotpathalloc v2 extension block is rare and tiny; pooled framing is ROADMAP item 4
 		ext := make([]byte, extLen)
 		if _, err := io.ReadFull(c.br, ext); err != nil {
+			//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 			return Message{}, fmt.Errorf("transport: short extension block: %w", err)
 		}
 		read += 1 + int(extLen)
@@ -242,8 +254,10 @@ func (c *Conn) Read() (Message, error) {
 			return Message{}, err
 		}
 	}
+	//scale:allow hotpathalloc per-frame payload is handed to the caller; pooled read buffers are ROADMAP item 4
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.br, payload); err != nil {
+		//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 		return Message{}, fmt.Errorf("transport: short payload: %w", err)
 	}
 	wireStats.framesIn.Add(1)

@@ -53,3 +53,45 @@ func TestDistinctMMPsDistinctIDs(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+// The engine mints ids with seq = counter*nShards + shardIdx, so the
+// store's owning shard is recoverable from the id alone (idShard).
+// That congruence must survive the seqMask wrap: for power-of-two shard
+// counts, (x mod 2^(32-MMPBits)) mod nShards == x mod nShards.
+func TestShardAlignmentSurvivesWrap(t *testing.T) {
+	for _, nShards := range []uint32{1, 2, 8, 64, 256} {
+		mask := nShards - 1
+		for _, counter := range []uint32{0, 1, MaxSeq / nShards, MaxSeq/nShards + 1, MaxSeq, MaxSeq + 1, 1<<31 - 1} {
+			for idx := uint32(0); idx < nShards; idx += max(1, nShards/4) {
+				id := Compose(9, counter*nShards+idx)
+				_, seq := Split(id)
+				if seq&mask != idx&mask {
+					t.Fatalf("nShards=%d counter=%d idx=%d: shard %d from wrapped seq %d",
+						nShards, counter, idx, seq&mask, seq)
+				}
+			}
+		}
+	}
+}
+
+// After an MMP fails over, surviving ids still carry the dead MMP's
+// index: Split must keep returning the original owner (the MLB routes
+// on it, and the inheritor matches on it), and no sequence value may
+// bleed into the embedded MMP bits.
+func TestForeignPostFailoverIDs(t *testing.T) {
+	const dead, survivor = 3, 5
+	for _, seq := range []uint32{0, 1, MaxSeq, MaxSeq + 1, ^uint32(0)} {
+		id := Compose(dead, seq)
+		mmp, gotSeq := Split(id)
+		if mmp != dead {
+			t.Fatalf("seq %d bled into MMP bits: got owner %d, want %d", seq, mmp, dead)
+		}
+		if gotSeq != seq&MaxSeq {
+			t.Fatalf("seq %d: round-tripped to %d", seq, gotSeq)
+		}
+		// The survivor's own ids can never collide with inherited ones.
+		if other := Compose(survivor, seq); other == id {
+			t.Fatalf("seq %d: survivor id collides with inherited id %#x", seq, id)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzReader drives a Reader over an arbitrary buffer with an arbitrary
+// op sequence and checks the decoder invariants every codec depends on:
+// no panics, Remaining never grows, and the sticky error never clears
+// once set (all reads after the first failure return zero values).
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 3, 'a', 'b', 'c'}, []byte{5, 5})
+	f.Add([]byte{}, []byte{0, 1, 2})
+	f.Add([]byte{0xFF, 0xFF}, []byte{5, 6})
+
+	f.Fuzz(func(t *testing.T, buf, ops []byte) {
+		r := NewReader(buf)
+		prevRemaining := r.Remaining()
+		if prevRemaining != len(buf) {
+			t.Fatalf("fresh reader: Remaining = %d, want %d", prevRemaining, len(buf))
+		}
+		failed := false
+		for _, op := range ops {
+			switch op % 9 {
+			case 0:
+				v := r.U8()
+				if failed && v != 0 {
+					t.Fatalf("U8 after sticky error returned %d", v)
+				}
+			case 1:
+				v := r.U16()
+				if failed && v != 0 {
+					t.Fatalf("U16 after sticky error returned %d", v)
+				}
+			case 2:
+				v := r.U32()
+				if failed && v != 0 {
+					t.Fatalf("U32 after sticky error returned %d", v)
+				}
+			case 3:
+				v := r.U64()
+				if failed && v != 0 {
+					t.Fatalf("U64 after sticky error returned %d", v)
+				}
+			case 4:
+				v := r.Bool()
+				if failed && v {
+					t.Fatal("Bool after sticky error returned true")
+				}
+			case 5:
+				s := r.String16()
+				if failed && s != "" {
+					t.Fatalf("String16 after sticky error returned %q", s)
+				}
+			case 6:
+				b := r.Bytes16()
+				if failed && len(b) != 0 {
+					t.Fatalf("Bytes16 after sticky error returned %d bytes", len(b))
+				}
+			case 7:
+				n := int(op >> 4)
+				b := r.Raw(n)
+				if r.Err() == nil && len(b) != n {
+					t.Fatalf("Raw(%d) returned %d bytes without error", n, len(b))
+				}
+			case 8:
+				v := r.F64()
+				if failed && v != 0 && !math.IsNaN(v) {
+					t.Fatalf("F64 after sticky error returned %v", v)
+				}
+			}
+			if r.Err() != nil {
+				failed = true
+			} else if failed {
+				t.Fatal("sticky error cleared")
+			}
+			rem := r.Remaining()
+			if rem < 0 || rem > prevRemaining {
+				t.Fatalf("Remaining went from %d to %d", prevRemaining, rem)
+			}
+			prevRemaining = rem
+		}
+		if err := r.Finish(); err == nil && r.Remaining() != 0 {
+			t.Fatalf("Finish accepted %d unread bytes", r.Remaining())
+		}
+	})
+}
+
+// FuzzWriterRoundTrip encodes an op-driven value sequence with a Writer
+// and decodes it back with a Reader: every field must round-trip
+// exactly and the reader must finish with no bytes left over.
+func FuzzWriterRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6}, []byte("payload-bytes-to-slice-up"))
+	f.Add([]byte{5, 5, 6, 6}, []byte("short"))
+	f.Add([]byte{}, []byte{})
+
+	f.Fuzz(func(t *testing.T, ops, src []byte) {
+		w := NewWriter(0)
+		type field struct {
+			op  byte
+			u   uint64
+			b   []byte
+			f64 float64
+		}
+		var fields []field
+		next := func(n int) []byte {
+			if n > len(src) {
+				n = len(src)
+			}
+			b := src[:n]
+			src = src[n:]
+			return b
+		}
+		for _, op := range ops {
+			op %= 7
+			switch op {
+			case 0:
+				v := uint64(op) + 17
+				w.U8(uint8(v))
+				fields = append(fields, field{op: op, u: v & 0xFF})
+			case 1:
+				b := next(2)
+				v := uint64(0)
+				for _, c := range b {
+					v = v<<8 | uint64(c)
+				}
+				w.U16(uint16(v))
+				fields = append(fields, field{op: op, u: v & 0xFFFF})
+			case 2:
+				b := next(4)
+				v := uint64(0)
+				for _, c := range b {
+					v = v<<8 | uint64(c)
+				}
+				w.U32(uint32(v))
+				fields = append(fields, field{op: op, u: v & 0xFFFFFFFF})
+			case 3:
+				b := next(8)
+				v := uint64(0)
+				for _, c := range b {
+					v = v<<8 | uint64(c)
+				}
+				w.U64(v)
+				fields = append(fields, field{op: op, u: v})
+			case 4:
+				b := next(3)
+				w.Bytes16(b)
+				fields = append(fields, field{op: op, b: b})
+			case 5:
+				b := next(5)
+				w.String16(string(b))
+				fields = append(fields, field{op: op, b: b})
+			case 6:
+				b := next(8)
+				var bits uint64
+				if len(b) == 8 {
+					bits = binary.BigEndian.Uint64(b)
+				}
+				v := math.Float64frombits(bits)
+				if math.IsNaN(v) {
+					v = 0 // NaN != NaN breaks the equality check below
+				}
+				w.F64(v)
+				fields = append(fields, field{op: op, f64: v})
+			}
+		}
+		r := NewReader(w.Bytes())
+		for i, fd := range fields {
+			switch fd.op {
+			case 0:
+				if got := uint64(r.U8()); got != fd.u {
+					t.Fatalf("field %d: U8 = %d, want %d", i, got, fd.u)
+				}
+			case 1:
+				if got := uint64(r.U16()); got != fd.u {
+					t.Fatalf("field %d: U16 = %d, want %d", i, got, fd.u)
+				}
+			case 2:
+				if got := uint64(r.U32()); got != fd.u {
+					t.Fatalf("field %d: U32 = %d, want %d", i, got, fd.u)
+				}
+			case 3:
+				if got := r.U64(); got != fd.u {
+					t.Fatalf("field %d: U64 = %d, want %d", i, got, fd.u)
+				}
+			case 4:
+				if got := r.Bytes16(); !bytes.Equal(got, fd.b) {
+					t.Fatalf("field %d: Bytes16 = % x, want % x", i, got, fd.b)
+				}
+			case 5:
+				if got := r.String16(); got != string(fd.b) {
+					t.Fatalf("field %d: String16 = %q, want %q", i, got, fd.b)
+				}
+			case 6:
+				if got := r.F64(); got != fd.f64 {
+					t.Fatalf("field %d: F64 = %v, want %v", i, got, fd.f64)
+				}
+			}
+		}
+		if err := r.Finish(); err != nil {
+			t.Fatalf("Finish after full round-trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# fuzz-smoke.sh — short fuzz pass over every decoder target, seeded by
+# the committed corpora under each package's testdata/fuzz/. CI runs
+# this on every push; longer local sessions just raise FUZZTIME.
+#
+#   FUZZTIME=10m scripts/fuzz-smoke.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME=${FUZZTIME:-30s}
+
+targets=(
+    "./internal/nas FuzzUnmarshal"
+    "./internal/s1ap FuzzUnmarshal"
+    "./internal/s11 FuzzUnmarshal"
+    "./internal/s6 FuzzUnmarshal"
+    "./internal/wire FuzzReader"
+    "./internal/wire FuzzWriterRoundTrip"
+    "./internal/transport FuzzFrameRead"
+    "./internal/transport FuzzFrameRoundTrip"
+)
+
+for t in "${targets[@]}"; do
+    set -- $t
+    pkg=$1 fuzz=$2
+    echo "== $pkg $fuzz ($FUZZTIME) =="
+    go test -fuzz="^${fuzz}\$" -fuzztime="$FUZZTIME" -run '^$' "$pkg"
+done
+echo "fuzz-smoke: OK"
