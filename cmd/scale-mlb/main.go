@@ -10,6 +10,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 		liveness  = flag.Duration("liveness-timeout", core.DefaultLivenessTimeout, "evict an MMP whose last frame is older than this; <=0 disables the timer (close hook still fires)")
 		fwdTries  = flag.Int("forward-attempts", 0, "MLB->MMP forward attempts per message (0 = default)")
 		fwdWait   = flag.Duration("forward-timeout", 0, "total time budget per forwarded message incl. backoff (0 = default)")
+		xferWait  = flag.Duration("xfer-timeout", 0, "time budget for one join/drain state transfer before falling back to failover (0 = default)")
 		obsListen = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
 		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
 		mutexFrac = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; requires -obs-listen)")
@@ -87,6 +89,27 @@ func main() {
 		defer col.Stop()
 		feed := timeseries.NewModelFeed(col, *modelWindow)
 		mounts := []func(*http.ServeMux){col.Mount, feed.Mount}
+		// Scale-in trigger for orchestrators: GET /debug/scale/drain?id=mmp-2
+		// starts an online hand-off of that MMP's masters and deregisters
+		// it when done. The handler runs after srv is assigned below.
+		mounts = append(mounts, func(mux *http.ServeMux) {
+			mux.HandleFunc("/debug/scale/drain", func(w http.ResponseWriter, r *http.Request) {
+				if srv == nil {
+					http.Error(w, "starting", http.StatusServiceUnavailable)
+					return
+				}
+				id := r.URL.Query().Get("id")
+				if id == "" {
+					http.Error(w, "missing id parameter", http.StatusBadRequest)
+					return
+				}
+				if err := srv.Drain(id); err != nil {
+					http.Error(w, err.Error(), http.StatusConflict)
+					return
+				}
+				fmt.Fprintf(w, "draining %s\n", id)
+			})
+		})
 		if *sloSpecs != "" {
 			objs, err := slo.ParseList(*sloSpecs)
 			if err != nil {
@@ -155,6 +178,7 @@ func main() {
 		LivenessTimeout: lv,
 		ForwardAttempts: *fwdTries,
 		ForwardTimeout:  *fwdWait,
+		XferTimeout:     *xferWait,
 		Overload: mlb.OverloadConfig{
 			Disabled:         *ovlDisable,
 			EnterHeadroom:    *ovlEnter,

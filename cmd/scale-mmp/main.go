@@ -28,21 +28,25 @@ import (
 
 func main() {
 	var (
-		index     = flag.Uint("index", 1, "MMP index (1-255), embedded in UE identifiers")
-		id        = flag.String("id", "", "MMP id (default mmp-<index>)")
-		mlbAddr   = flag.String("mlb", "127.0.0.1:36500", "MLB cluster address")
-		hssAddr   = flag.String("hss", "127.0.0.1:3868", "HSS address")
-		sgwAddr   = flag.String("sgw", "127.0.0.1:2123", "S-GW address")
-		mcc       = flag.Uint("mcc", 310, "mobile country code")
-		mnc       = flag.Uint("mnc", 26, "mobile network code")
-		mmegi     = flag.Uint("mmegi", 0x0101, "MME group id")
-		report    = flag.Duration("load-report", 2*time.Second, "load report interval")
-		heartbeat = flag.Duration("heartbeat", core.DefaultHeartbeatEvery, "cluster heartbeat interval; <=0 disables")
-		failAfter = flag.Duration("fail-after", 0, "fault injection: sever the MLB connection (without deregistering) after this long; 0 disables")
-		obsListen = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
-		spanLog   = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
-		mutexFrac = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; requires -obs-listen)")
-		blockRate = flag.Int("block-profile-rate", 0, "sample one blocking event per n ns blocked for /debug/pprof/block (0 disables; requires -obs-listen)")
+		index      = flag.Uint("index", 1, "MMP index (1-255), embedded in UE identifiers")
+		id         = flag.String("id", "", "MMP id (default mmp-<index>)")
+		mlbAddr    = flag.String("mlb", "127.0.0.1:36500", "MLB cluster address")
+		hssAddr    = flag.String("hss", "127.0.0.1:3868", "HSS address")
+		sgwAddr    = flag.String("sgw", "127.0.0.1:2123", "S-GW address")
+		mcc        = flag.Uint("mcc", 310, "mobile country code")
+		mnc        = flag.Uint("mnc", 26, "mobile network code")
+		mmegi      = flag.Uint("mmegi", 0x0101, "MME group id")
+		report     = flag.Duration("load-report", 2*time.Second, "load report interval")
+		heartbeat  = flag.Duration("heartbeat", core.DefaultHeartbeatEvery, "cluster heartbeat interval; <=0 disables")
+		failAfter  = flag.Duration("fail-after", 0, "fault injection: sever the MLB connection (without deregistering) after this long; 0 disables")
+		join       = flag.Bool("join", false, "join an already-serving ring: receive owned UE contexts by state transfer before taking traffic")
+		drain      = flag.Bool("drain", false, "on SIGINT/SIGTERM, drain instead of dying: hand masters off to ring peers and deregister cleanly before exiting")
+		drainWait  = flag.Duration("drain-wait", 30*time.Second, "how long a -drain shutdown waits for the hand-off to complete before exiting anyway")
+		drainAfter = flag.Duration("drain-after", 0, "scale-in automation: trigger the -drain shutdown path after this long; 0 disables")
+		obsListen  = flag.String("obs-listen", "", "observability HTTP listen address (/metrics, /debug/scale, /debug/pprof); empty disables")
+		spanLog    = flag.Int("span-log", 4096, "spans retained in the bounded span log (0 disables)")
+		mutexFrac  = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; requires -obs-listen)")
+		blockRate  = flag.Int("block-profile-rate", 0, "sample one blocking event per n ns blocked for /debug/pprof/block (0 disables; requires -obs-listen)")
 
 		admDisable = flag.Bool("admission-disable", false, "turn per-shard admission control off")
 		admLimit   = flag.Int("admission-limit", 0, "pending attaches admitted per shard (0 = default 256)")
@@ -150,6 +154,7 @@ func main() {
 		SGWAddr:         *sgwAddr,
 		LoadReportEvery: *report,
 		HeartbeatEvery:  hb,
+		Join:            *join,
 		Logger:          logger,
 		Obs:             ob,
 		QueueLimit:      *queueLimit,
@@ -167,6 +172,11 @@ func main() {
 	if err != nil {
 		logger.Fatalf("start: %v", err)
 	}
+	if *join {
+		logger.Printf("joining ring: waiting for state transfer and activation")
+		<-agent.Activated()
+		logger.Printf("activated on the ring")
+	}
 	if *failAfter > 0 {
 		logger.Printf("fault injection armed: killing cluster connection in %s", *failAfter)
 		defer netem.KillSwitch(*failAfter, func() {
@@ -178,7 +188,30 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if *drainAfter > 0 {
+		logger.Printf("scale-in armed: draining in %s", *drainAfter)
+		defer netem.KillSwitch(*drainAfter, func() {
+			logger.Printf("scale-in: drain timer fired")
+			sig <- syscall.SIGTERM
+		})()
+		*drain = true
+	}
 	<-sig
+	if *drain {
+		logger.Printf("draining: handing masters off to ring peers")
+		if err := agent.RequestDrain(); err != nil {
+			logger.Printf("drain request failed (%v); shutting down hard", err)
+		} else {
+			select {
+			case <-agent.Drained():
+				logger.Printf("drain complete: deregistered cleanly")
+			case <-time.After(*drainWait):
+				logger.Printf("drain did not finish within %s; shutting down anyway (MLB failover covers the rest)", *drainWait)
+			case <-sig:
+				logger.Printf("second signal: abandoning drain")
+			}
+		}
+	}
 	st := agent.Engine.Stats()
 	logger.Printf("shutting down: attaches=%d service=%d tau=%d handovers=%d",
 		st.Attaches, st.ServiceRequests, st.TAUs, st.Handovers)

@@ -16,6 +16,12 @@ import (
 // each resize to ring neighbors, which is what makes this cheap enough
 // to do every epoch — the property experiment F2d shows the 3GPP pool
 // lacks.
+//
+// This controller drives the *simulated* cluster. The live TCP cluster
+// exposes the matching primitives — MMPAgent join (Join/MLBConn config,
+// StreamXfer state transfer) and MLBServer.Drain — in elastic_live.go;
+// OnDecision is the bridge point where an operator loop can translate
+// the simulated decision stream into real scale-mmp joins and drains.
 type ElasticController struct {
 	Eng     *sim.Engine
 	Cluster *ScaleCluster
@@ -32,6 +38,12 @@ type ElasticController struct {
 
 	// History records every provisioning decision.
 	History []EpochRecord
+
+	// OnDecision, when non-nil, is invoked after each epoch's record is
+	// appended — the hook an orchestrator uses to mirror simulated
+	// resize decisions onto a live pool (join on growth, drain on
+	// shrink) without polling History.
+	OnDecision func(EpochRecord)
 
 	// lastCounts holds per-VM processed baselines; keyed per VM so that
 	// scale-in (which forgets a VM's counter) cannot underflow the
@@ -85,13 +97,17 @@ func (c *ElasticController) runEpoch() {
 	}
 	d := c.Prov.Epoch(observed, k, beta)
 	c.resize(d.V)
-	c.History = append(c.History, EpochRecord{
+	rec := EpochRecord{
 		At:       c.Eng.Now(),
 		Observed: observed,
 		Beta:     beta,
 		Decision: d,
 		Size:     c.Cluster.Size(),
-	})
+	}
+	c.History = append(c.History, rec)
+	if c.OnDecision != nil {
+		c.OnDecision(rec)
+	}
 }
 
 // resize grows or shrinks the pool toward target, one ring change at a

@@ -1,0 +1,708 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"scale/internal/chash"
+	"scale/internal/guti"
+	"scale/internal/mlb"
+	"scale/internal/obs/eventlog"
+	"scale/internal/state"
+	"scale/internal/transport"
+	"scale/internal/wire"
+)
+
+// This file is the live-cluster half of the paper's elasticity story
+// (ROADMAP item 1): the MLB-side orchestration of joins and drains, and
+// the agent-side handlers that export, install and demote UE contexts.
+// The simulator half (epoch provisioning decisions) lives in elastic.go;
+// the wire protocol in xfer.go.
+//
+// Join (scale-out):
+//
+//	agent ── ctlJoin ──▶ MLB   register conn, phase=Joining, ack
+//	MLB ── ctlJoinAck ──▶ agent
+//	MLB ── ctlExport(cmd, joiner) ──▶ every Active member
+//	member ── StreamXfer chunks ──▶ MLB ── chunks the joiner will own ──▶ joiner
+//	MLB ── ctlDemote ──▶ member      (moved masters become replicas)
+//	member ── ctlExportDone ──▶ MLB
+//	all done → ring.Add, MLB ── ctlActivated ──▶ joiner
+//
+// The join is hitless: until activation the ring is unchanged, so
+// every request keeps routing to the old masters; a demoted source
+// copy still serves reads as the R=2 replica.
+//
+// Drain (scale-in):
+//
+//	MLB: phase=Draining, ring.Remove (new work reroutes immediately)
+//	MLB ── ctlDrain(cmd) ──▶ agent ── ctlDrainStarted ──▶ MLB
+//	agent: per shard — pause, quiesce, snapshot ── StreamXfer ──▶ MLB
+//	MLB ── chunks ──▶ each context's new ring master
+//	agent ── ctlExportDone ──▶ MLB
+//	MLB: FinishDrain, ctlShutdown, ctlReplicate to survivors (R=2 for
+//	     devices whose replica copies lived on the drained VM)
+//
+// While a context is in flight its requests bounce over the existing
+// ctl-stream forward path; the MLB requeues them with backoff until
+// the new master has installed the state (see forwardToMaster). A
+// drain that times out or loses its connection falls back to the
+// crash path: failover promotion recovers every unexported master
+// from its replicas — recovery trumps tidiness.
+
+// xferOp tracks one in-flight membership transfer (join fill or drain
+// export) — the async-command state between the ack and the
+// completion report.
+type xferOp struct {
+	cmdID   uint64
+	kind    string // "join" or "drain"
+	subject string // the joining or draining MMP
+
+	mu       sync.Mutex
+	ownersOf func(key []byte) []chash.NodeID // prospective-ring hash
+	pending  map[string]bool                 // exporters yet to report done
+	moved    int                             // contexts re-homed so far
+	failed   bool                            // subject vanished mid-transfer
+	finished bool
+	done     chan struct{}
+}
+
+// owners hashes a device key on the op's prospective ring.
+func (op *xferOp) owners(key []byte) []chash.NodeID {
+	op.mu.Lock()
+	f := op.ownersOf
+	op.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f(key)
+}
+
+// finish closes the completion channel exactly once.
+func (op *xferOp) finish() {
+	if !op.finished {
+		op.finished = true
+		close(op.done)
+	}
+}
+
+// newOp registers a transfer op under a fresh command id.
+func (s *MLBServer) newOp(kind, subject string) *xferOp {
+	op := &xferOp{
+		cmdID:   s.nextCmd.Add(1),
+		kind:    kind,
+		subject: subject,
+		pending: make(map[string]bool),
+		done:    make(chan struct{}),
+	}
+	s.opMu.Lock()
+	s.ops[op.cmdID] = op
+	s.opMu.Unlock()
+	return op
+}
+
+func (s *MLBServer) opByID(id uint64) *xferOp {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	return s.ops[id]
+}
+
+func (s *MLBServer) removeOp(id uint64) {
+	s.opMu.Lock()
+	delete(s.ops, id)
+	s.opMu.Unlock()
+}
+
+// influx reports whether cluster membership is in flux: a transfer is
+// running, or one (or a failover) ended within the last two forward
+// timeouts. While in flux, a bounced envelope may legitimately be
+// redelivered to its own bouncer — the ring already names it master
+// but the state transfer has not landed yet. In steady state that
+// redelivery would loop forever (nobody holds the state), so it stays
+// forbidden.
+func (s *MLBServer) influx() bool {
+	s.opMu.Lock()
+	n := len(s.ops)
+	s.opMu.Unlock()
+	if n > 0 {
+		return true
+	}
+	last := s.lastFlux.Load()
+	return last != 0 && time.Since(time.Unix(0, last)) < 2*s.cfg.ForwardTimeout
+}
+
+// markFlux stamps the membership-change clock that keeps influx true
+// through the settling window after a join, drain or failover.
+func (s *MLBServer) markFlux() { s.lastFlux.Store(time.Now().UnixNano()) }
+
+// noteMMPGone updates in-flight transfers when an MMP vanishes (called
+// from failover): an op whose subject died is failed; a dead exporter
+// is excused so the op can still complete with a partial fill.
+func (s *MLBServer) noteMMPGone(id string) {
+	s.markFlux()
+	s.opMu.Lock()
+	ops := make([]*xferOp, 0, len(s.ops))
+	for _, op := range s.ops {
+		ops = append(ops, op)
+	}
+	s.opMu.Unlock()
+	for _, op := range ops {
+		op.mu.Lock()
+		if op.subject == id {
+			op.failed = true
+			op.finish()
+		} else if op.pending[id] {
+			delete(op.pending, id)
+			if len(op.pending) == 0 {
+				op.finish()
+			}
+		}
+		op.mu.Unlock()
+	}
+	s.Router.AbortJoin(id)
+}
+
+// handleJoin admits a joining MMP: its connection is installed (so
+// transfer chunks and heartbeats flow) but the ring is untouched until
+// the state fill completes. The command is acked immediately; the
+// transfer runs asynchronously.
+func (s *MLBServer) handleJoin(conn *transport.Conn, id string, index uint8) {
+	s.mu.Lock()
+	old := s.mmpConns[id]
+	s.mu.Unlock()
+	if old != nil && old != conn {
+		// A crashed VM rejoining under its old identity: clear the stale
+		// registration (promoting its orphaned masters) before admitting
+		// the new incarnation.
+		s.failover(id, "superseded by rejoin")
+	}
+	if err := s.Router.BeginJoin(id); err != nil {
+		s.logf("mlb: refusing join: %v", err)
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	s.mmpConns[id] = conn
+	s.mmpIDOf[conn] = id
+	s.lastSeen[id] = time.Now()
+	s.mu.Unlock()
+	op := s.newOp("join", id)
+	if err := conn.Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlJoinAck, CmdID: op.cmdID})); err != nil {
+		s.logf("mlb: join ack to %s: %v", id, err)
+	}
+	if ob := s.Router.Observer(); ob != nil {
+		ob.Events.Emitf(eventlog.TypeJoinStart, s.Router.Name(), id, 0, "")
+	}
+	s.logf("mlb: MMP %s (index %d) joining; state fill %d starting", id, index, op.cmdID)
+	go s.runJoin(op, conn, id, index)
+}
+
+// runJoin drives one join: collect the active members, build the
+// prospective ring (current members + joiner, hashed exactly like the
+// live ring), ask every member to export, wait for completion, then
+// activate. Transfers are serialized by elastMu so two membership
+// changes never redistribute against each other's rings.
+func (s *MLBServer) runJoin(op *xferOp, conn *transport.Conn, id string, index uint8) {
+	s.elastMu.Lock()
+	defer s.elastMu.Unlock()
+	defer s.removeOp(op.cmdID)
+
+	exporters := make(map[string]*transport.Conn)
+	s.mu.Lock()
+	for eid, c := range s.mmpConns {
+		if eid != id && s.Router.Phase(eid) == mlb.PhaseActive {
+			exporters[eid] = c
+		}
+	}
+	s.mu.Unlock()
+
+	ring := chash.New(s.Router.Tokens())
+	for eid := range exporters {
+		ring.Add(chash.NodeID(eid))
+	}
+	ring.Add(chash.NodeID(id))
+	op.mu.Lock()
+	op.ownersOf = func(key []byte) []chash.NodeID {
+		owners, err := ring.Owners(key, 1)
+		if err != nil {
+			return nil
+		}
+		return owners
+	}
+	for eid := range exporters {
+		op.pending[eid] = true
+	}
+	if len(exporters) == 0 {
+		op.finish() // first member: nothing to fill
+	}
+	op.mu.Unlock()
+
+	export := encodeCtlElastic(ctlElastic{Kind: ctlExport, CmdID: op.cmdID, Subject: id})
+	for eid, c := range exporters {
+		if err := c.Write(StreamCtl, export); err != nil {
+			s.failover(eid, "write error")
+		}
+	}
+
+	timer := time.NewTimer(s.cfg.XferTimeout)
+	defer timer.Stop()
+	select {
+	case <-op.done:
+	case <-timer.C:
+		// Activate anyway: the joiner serves its ranges via the bounce
+		// path for whatever didn't arrive, which beats holding the whole
+		// scale-out hostage to one slow exporter.
+		s.logf("mlb: join fill %d for %s timed out; activating with partial fill", op.cmdID, id)
+	case <-s.done:
+		return
+	}
+	op.mu.Lock()
+	failed, moved := op.failed, op.moved
+	op.mu.Unlock()
+	if failed {
+		s.logf("mlb: join of %s aborted (connection lost during fill)", id)
+		return
+	}
+	s.mu.Lock()
+	current := s.mmpConns[id] == conn
+	s.mu.Unlock()
+	if !current {
+		s.Router.AbortJoin(id)
+		return
+	}
+	s.Router.RegisterMMP(id, index)
+	s.markFlux()
+	if err := conn.Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlActivated, CmdID: op.cmdID})); err != nil {
+		s.logf("mlb: activation notify to %s: %v", id, err)
+	}
+	if s.joins != nil {
+		s.joins.Inc()
+	}
+	if ob := s.Router.Observer(); ob != nil {
+		ob.Events.Emitf(eventlog.TypeJoinDone, s.Router.Name(), id, float64(moved), "")
+	}
+	s.logf("mlb: MMP %s activated after state fill (%d contexts re-homed)", id, moved)
+}
+
+// Drain starts scale-in for one MMP. Validation is synchronous — the
+// transfer itself runs in the background and ends with the VM's
+// deregistration (or, on timeout, its failover). The command is
+// idempotent-ish: a second Drain for the same id fails BeginDrain.
+func (s *MLBServer) Drain(id string) error {
+	s.mu.Lock()
+	conn := s.mmpConns[id]
+	s.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("mlb: unknown MMP %q", id)
+	}
+	if len(s.Router.MMPs()) <= 1 {
+		return errors.New("mlb: cannot drain the last ring member")
+	}
+	if err := s.Router.BeginDrain(id); err != nil {
+		return err
+	}
+	s.markFlux()
+	op := s.newOp("drain", id)
+	op.mu.Lock()
+	op.pending[id] = true
+	op.ownersOf = func(key []byte) []chash.NodeID {
+		owners, err := s.Router.Ring().Owners(key, 1)
+		if err != nil {
+			return nil
+		}
+		return owners
+	}
+	op.mu.Unlock()
+	s.logf("mlb: draining MMP %s (transfer %d)", id, op.cmdID)
+	go s.runDrain(op, conn, id)
+	return nil
+}
+
+// runDrain drives one drain to completion: command the agent, wait for
+// its export, then deregister cleanly — or fail the VM over if the
+// transfer dies, which recovers every unexported master from replicas.
+func (s *MLBServer) runDrain(op *xferOp, conn *transport.Conn, id string) {
+	s.elastMu.Lock()
+	defer s.elastMu.Unlock()
+	defer s.removeOp(op.cmdID)
+
+	if err := conn.Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlDrain, CmdID: op.cmdID})); err != nil {
+		s.failover(id, "drain command write error")
+		return
+	}
+	timer := time.NewTimer(s.cfg.XferTimeout)
+	defer timer.Stop()
+	timedOut := false
+	select {
+	case <-op.done:
+	case <-timer.C:
+		timedOut = true
+	case <-s.done:
+		return
+	}
+	op.mu.Lock()
+	failed, moved := op.failed, op.moved
+	op.mu.Unlock()
+	if failed {
+		return // connection died; failover recovery already ran
+	}
+	if timedOut {
+		s.logf("mlb: drain of %s timed out; falling back to failover", id)
+		s.failover(id, "drain timeout")
+		return
+	}
+	// Clean departure: release the connection maps first so the close
+	// hook sees an unregistered conn and does not declare a failure.
+	s.mu.Lock()
+	if s.mmpConns[id] == conn {
+		delete(s.mmpConns, id)
+		delete(s.mmpIDOf, conn)
+		delete(s.lastSeen, id)
+	}
+	survivors := make([]*transport.Conn, 0, len(s.mmpConns))
+	for _, c := range s.mmpConns {
+		survivors = append(survivors, c)
+	}
+	s.mu.Unlock()
+	s.Router.FinishDrain(id)
+	s.markFlux()
+	if err := conn.Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlShutdown})); err != nil {
+		s.logf("mlb: shutdown notify to %s: %v", id, err)
+	}
+	conn.Close()
+	// Devices whose replica copies lived on the drained VM are down to
+	// R=1: have every survivor re-push its masters so the ring's current
+	// holders refresh (stale-version refusal makes redundancy harmless).
+	rep := encodeCtlElastic(ctlElastic{Kind: ctlReplicate})
+	for _, c := range survivors {
+		if err := c.Write(StreamCtl, rep); err != nil {
+			s.logf("mlb: replicate request after drain: %v", err)
+		}
+	}
+	if s.drains != nil {
+		s.drains.Inc()
+	}
+	if ob := s.Router.Observer(); ob != nil {
+		ob.Events.Emitf(eventlog.TypeDrainDone, s.Router.Name(), id, float64(moved), "")
+	}
+	s.logf("mlb: MMP %s drained cleanly (%d contexts re-homed); %d MMPs remain", id, moved, len(survivors))
+}
+
+// handleExportDone retires one exporter from a transfer op.
+func (s *MLBServer) handleExportDone(fromID string, c ctlElastic) {
+	op := s.opByID(c.CmdID)
+	if op == nil || fromID == "" {
+		return
+	}
+	op.mu.Lock()
+	if op.pending[fromID] {
+		delete(op.pending, fromID)
+		if len(op.pending) == 0 {
+			op.finish()
+		}
+	}
+	op.mu.Unlock()
+}
+
+// handleXferChunk re-homes one state-transfer chunk: each context is
+// hashed on the op's prospective ring and forwarded to its new master.
+// For a join, contexts the joiner won't own stay put and the moved ones
+// are demoted at the source; for a drain, every context moves.
+func (s *MLBServer) handleXferChunk(from *transport.Conn, frame transport.Message) {
+	cmdID, ctxs, err := decodeXferChunk(frame.Payload)
+	if err != nil {
+		s.logf("mlb: bad transfer chunk: %v", err)
+		return
+	}
+	op := s.opByID(cmdID)
+	if op == nil {
+		return // transfer already over (timeout/failover); exports are moot
+	}
+	s.mu.Lock()
+	fromID := s.mmpIDOf[from]
+	s.mu.Unlock()
+	var moved int
+	switch op.kind {
+	case "join":
+		moved = s.routeJoinChunk(op, fromID, frame.Trace, ctxs)
+	case "drain":
+		moved = s.routeDrainChunk(op, fromID, frame.Trace, ctxs)
+	}
+	if moved > 0 {
+		op.mu.Lock()
+		op.moved += moved
+		op.mu.Unlock()
+		if s.xferCtxs != nil {
+			s.xferCtxs.Add(uint64(moved))
+		}
+	}
+}
+
+// routeJoinChunk forwards the contexts the joiner will own and demotes
+// them at their exporting source.
+func (s *MLBServer) routeJoinChunk(op *xferOp, fromID string, trace uint64, ctxs []*state.UEContext) int {
+	var move []*state.UEContext
+	var gutis []guti.GUTI
+	for _, ctx := range ctxs {
+		owners := op.owners(ctx.GUTI.Key())
+		if len(owners) > 0 && string(owners[0]) == op.subject {
+			move = append(move, ctx)
+			gutis = append(gutis, ctx.GUTI)
+		}
+	}
+	if len(move) == 0 {
+		return 0
+	}
+	if !s.sendXfer(op.subject, op.cmdID, trace, move) {
+		return 0
+	}
+	s.mu.Lock()
+	src := s.mmpConns[fromID]
+	s.mu.Unlock()
+	if src != nil {
+		if err := src.Write(StreamCtl, encodeDemote(op.subject, gutis)); err != nil {
+			s.logf("mlb: demote notify to %s: %v", fromID, err)
+		}
+	}
+	return len(move)
+}
+
+// routeDrainChunk fans a draining VM's masters out to their new ring
+// owners.
+func (s *MLBServer) routeDrainChunk(op *xferOp, fromID string, trace uint64, ctxs []*state.UEContext) int {
+	groups := make(map[string][]*state.UEContext)
+	for _, ctx := range ctxs {
+		owners := op.owners(ctx.GUTI.Key())
+		if len(owners) == 0 {
+			continue
+		}
+		target := string(owners[0])
+		if target == fromID {
+			continue // draining VM is off the ring; stale op if this hits
+		}
+		groups[target] = append(groups[target], ctx)
+	}
+	moved := 0
+	for target, group := range groups {
+		if s.sendXfer(target, op.cmdID, trace, group) {
+			moved += len(group)
+		}
+	}
+	return moved
+}
+
+// sendXfer delivers one re-homed chunk to its new master. A missing or
+// dead target is not fatal to the transfer: the contexts stay where
+// they are and the usual failure machinery (or the bounce path) covers
+// them.
+func (s *MLBServer) sendXfer(to string, cmdID uint64, trace uint64, ctxs []*state.UEContext) bool {
+	s.mu.Lock()
+	conn := s.mmpConns[to]
+	s.mu.Unlock()
+	if conn == nil {
+		s.logf("mlb: transfer target %s unavailable; %d contexts not moved", to, len(ctxs))
+		return false
+	}
+	w := wire.GetWriter()
+	encodeXferChunkTo(w, cmdID, ctxs)
+	err := conn.WriteTraced(StreamXfer, trace, w.Bytes())
+	wire.PutWriter(w)
+	if err != nil {
+		s.failover(to, "write error")
+		return false
+	}
+	return true
+}
+
+// ---- agent side ----
+
+// Activated is closed once the agent is serving on the ring: at start
+// for a plain register, at join completion for a state-transfer join.
+func (a *MMPAgent) Activated() <-chan struct{} { return a.activated }
+
+// Drained is closed when the MLB confirms a clean drain; the agent can
+// then be shut down without losing any device's state.
+func (a *MMPAgent) Drained() <-chan struct{} { return a.drainedCh }
+
+// Draining reports whether a drain export has started.
+func (a *MMPAgent) Draining() bool { return a.draining.Load() }
+
+// RequestDrain asks the MLB to drain this agent (scale-mmp -drain).
+// Completion is observed via Drained.
+func (a *MMPAgent) RequestDrain() error {
+	return a.conn.Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlDrainReq}))
+}
+
+// handleCtl dispatches one control frame from the MLB.
+func (a *MMPAgent) handleCtl(frame transport.Message) {
+	r := wire.NewReader(frame.Payload)
+	kind := r.U8()
+	switch kind {
+	case ctlFailover:
+		deadID := r.String16()
+		if r.Err() == nil {
+			a.promoteFrom(deadID)
+		}
+	case ctlJoinAck:
+		// The fill is underway; activation arrives asynchronously.
+	case ctlActivated:
+		a.activatedOnce.Do(func() { close(a.activated) })
+		a.logf("mmp agent: %s activated on the ring", a.id)
+	case ctlExport:
+		c, err := readCtlElastic(kind, r)
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go a.exportMasters(c.CmdID, false)
+	case ctlDrain:
+		c, err := readCtlElastic(kind, r)
+		if err != nil {
+			return
+		}
+		if !a.draining.CompareAndSwap(false, true) {
+			return // duplicate drain command
+		}
+		if err := a.conn.Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlDrainStarted, CmdID: c.CmdID})); err != nil {
+			a.logf("mmp agent: drain ack: %v", err)
+		}
+		a.wg.Add(1)
+		go a.exportMasters(c.CmdID, true)
+	case ctlDemote:
+		a.applyDemotes(r)
+	case ctlShutdown:
+		a.drainedOnce.Do(func() { close(a.drainedCh) })
+		a.logf("mmp agent: %s drained; safe to shut down", a.id)
+	case ctlReplicate:
+		if n := a.repushMasters(); n > 0 {
+			a.logf("mmp agent: %s re-pushed %d masters after membership change", a.id, n)
+		}
+	}
+}
+
+// exportMasters streams this VM's master contexts to the MLB shard by
+// shard and reports completion asynchronously. A drain export
+// additionally pauses each shard and waits for its in-flight
+// procedures to finish before snapshotting, so the snapshot is the
+// device's final state on this VM; shards stay paused — the VM is
+// leaving.
+func (a *MMPAgent) exportMasters(cmdID uint64, drain bool) {
+	defer a.wg.Done()
+	total := 0
+	chunk := a.xferChunk
+	if chunk <= 0 {
+		chunk = XferChunkSize
+	}
+	for i := 0; i < a.Engine.NumShards(); i++ {
+		if drain {
+			a.Engine.PauseShard(i)
+			a.waitShardQuiesce(i)
+		}
+		ctxs := a.Engine.SnapshotMastersShard(i)
+		for off := 0; off < len(ctxs); off += chunk {
+			end := off + chunk
+			if end > len(ctxs) {
+				end = len(ctxs)
+			}
+			w := wire.GetWriter()
+			encodeXferChunkTo(w, cmdID, ctxs[off:end])
+			err := a.conn.Write(StreamXfer, w.Bytes())
+			wire.PutWriter(w)
+			if err != nil {
+				// No completion report: the MLB's transfer timeout (or this
+				// connection's close hook) takes over.
+				a.logf("mmp agent: state transfer: %v", err)
+				return
+			}
+			total += end - off
+			if a.xferDelay > 0 {
+				select {
+				case <-a.done:
+					return
+				case <-time.After(a.xferDelay):
+				}
+			}
+		}
+	}
+	done := encodeCtlElastic(ctlElastic{Kind: ctlExportDone, CmdID: cmdID, Count: uint32(total)})
+	if err := a.conn.Write(StreamCtl, done); err != nil {
+		a.logf("mmp agent: export completion: %v", err)
+		return
+	}
+	a.logf("mmp agent: %s exported %d masters (cmd %d, drain=%v)", a.id, total, cmdID, drain)
+}
+
+// waitShardQuiesce polls until shard i's in-flight procedures finish
+// (bounded: a wedged procedure must not wedge the whole drain — its
+// device recovers through the failover-grade staleness path).
+func (a *MMPAgent) waitShardQuiesce(i int) {
+	deadline := time.Now().Add(time.Second)
+	for a.Engine.ShardPending(i) > 0 && time.Now().Before(deadline) {
+		select {
+		case <-a.done:
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// installXferChunk installs re-homed contexts as masters. The version
+// bump makes the install win against any replica push of the
+// pre-transfer version; the fresh snapshot is then re-replicated so
+// the ring's other holder refreshes to the new mastership.
+func (a *MMPAgent) installXferChunk(frame transport.Message) {
+	_, ctxs, err := decodeXferChunk(frame.Payload)
+	if err != nil {
+		a.logf("mmp agent: bad transfer chunk: %v", err)
+		return
+	}
+	w := wire.GetWriter()
+	for _, ctx := range ctxs {
+		ctx.Version++
+		ctx.MasterMMP = a.id
+		w.Reset()
+		ctx.MarshalTo(w)
+		a.Engine.InstallMaster(ctx)
+		if err := a.conn.WriteTraced(StreamRep, frame.Trace, w.Bytes()); err != nil {
+			a.logf("mmp agent: re-replicate after transfer: %v", err)
+			break
+		}
+	}
+	wire.PutWriter(w)
+}
+
+// applyDemotes flips moved masters to replicas after a join fill.
+func (a *MMPAgent) applyDemotes(r *wire.Reader) {
+	newMaster, gutis, err := readDemote(r)
+	if err != nil {
+		a.logf("mmp agent: bad demote: %v", err)
+		return
+	}
+	n := 0
+	for _, g := range gutis {
+		if a.Engine.DemoteToReplica(g, newMaster) {
+			n++
+		}
+	}
+	if n > 0 {
+		a.logf("mmp agent: %s demoted %d masters to %s", a.id, n, newMaster)
+	}
+}
+
+// repushMasters streams every master snapshot through the replicate
+// stream; the MLB fans each one out to the ring's current holders.
+// Receivers with a fresh copy refuse the push as stale, so redundancy
+// costs one version check per entry.
+func (a *MMPAgent) repushMasters() int {
+	pushed := 0
+	for _, ctx := range a.Engine.SnapshotMasters() {
+		if err := a.conn.Write(StreamRep, ctx.Marshal()); err != nil {
+			a.logf("mmp agent: re-replicate: %v", err)
+			return pushed
+		}
+		pushed++
+	}
+	return pushed
+}

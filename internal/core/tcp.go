@@ -170,6 +170,12 @@ type MLBServerConfig struct {
 	Overload mlb.OverloadConfig
 	// OverloadEvery paces the headroom evaluation (default 100ms).
 	OverloadEvery time.Duration
+
+	// XferTimeout bounds one membership state transfer (join fill or
+	// drain export) end to end (default DefaultXferTimeout). A join that
+	// exceeds it activates with a partial fill; a drain that exceeds it
+	// falls back to failover promotion.
+	XferTimeout time.Duration
 }
 
 // Failure-handling defaults.
@@ -210,6 +216,9 @@ func (c *MLBServerConfig) applyDefaults() {
 	if c.OverloadEvery <= 0 {
 		c.OverloadEvery = defaultOverloadEvery
 	}
+	if c.XferTimeout <= 0 {
+		c.XferTimeout = DefaultXferTimeout
+	}
 }
 
 // MLBServer is the TCP-facing MLB: one listener for eNodeBs, one for
@@ -238,6 +247,16 @@ type MLBServer struct {
 	retrySlots atomic.Int32 // forwards currently inside the retry loop
 	headroom   atomic.Int64 // last measured headroom ×1e6, for the gauge
 
+	// Elastic membership orchestration: elastMu serializes transfers
+	// (one join/drain at a time), ops tracks in-flight async commands by
+	// id, lastFlux timestamps the last membership change (the bounce
+	// redelivery window — see influx).
+	elastMu  sync.Mutex
+	opMu     sync.Mutex
+	ops      map[uint64]*xferOp
+	nextCmd  atomic.Uint64
+	lastFlux atomic.Int64
+
 	ovlSpanMu sync.Mutex
 	ovlSpan   *obs.ActiveSpan // open from OverloadStart to OverloadStop
 
@@ -249,6 +268,9 @@ type MLBServer struct {
 	retryOverflow *obs.Counter
 	ovlStarts     *obs.Counter
 	ovlStops      *obs.Counter
+	joins         *obs.Counter
+	drains        *obs.Counter
+	xferCtxs      *obs.Counter
 	shedTotal     map[string]*obs.Counter // sheddable proc → rejects
 	// ingress counts procedure initiations per procedure, before any
 	// shedding — the offered load the model feed derives arrival rates
@@ -278,6 +300,7 @@ func ServeMLBConfig(cfg MLBServerConfig) (*MLBServer, error) {
 		lastSeen: make(map[string]time.Time),
 		logger:   cfg.Logger,
 		done:     make(chan struct{}),
+		ops:      make(map[uint64]*xferOp),
 	}
 	if !cfg.Overload.Disabled {
 		s.ovl = mlb.NewOverloadController(cfg.Overload)
@@ -294,6 +317,9 @@ func ServeMLBConfig(cfg MLBServerConfig) (*MLBServer, error) {
 		s.repForwards = ob.Reg.Counter("mlb_replications_forwarded_total")
 		s.ctxForwards = ob.Reg.Counter("mlb_context_forwards_total")
 		s.retryOverflow = ob.Reg.Counter("mlb_forward_retry_overflow_total")
+		s.joins = ob.Reg.Counter("mlb_mmp_joins_total")
+		s.drains = ob.Reg.Counter("mlb_mmp_drains_total")
+		s.xferCtxs = ob.Reg.Counter("mlb_xfer_contexts_total")
 		if s.ovl != nil {
 			s.ovlStarts = ob.Reg.Counter("mlb_overload_starts_total")
 			s.ovlStops = ob.Reg.Counter("mlb_overload_stops_total")
@@ -543,6 +569,9 @@ func (s *MLBServer) failover(id, cause string) {
 	if s.failovers != nil {
 		s.failovers.Inc()
 	}
+	// A vanished MMP also fails any membership transfer it anchored and
+	// opens the bounce-redelivery window.
+	s.noteMMPGone(id)
 	span.End()
 	s.logf("mlb: MMP %s failed over (%s); %d MMPs remain", id, cause, len(survivors))
 }
@@ -756,7 +785,33 @@ func (s *MLBServer) handleMMP(conn *transport.Conn, frame transport.Message) {
 		case ctlForward:
 			s.touchMMP(conn)
 			s.forwardToMaster(conn, frame, r.Raw(r.Remaining()))
+		case ctlJoin:
+			id := r.String16()
+			index := r.U8()
+			if r.Err() != nil {
+				return
+			}
+			s.handleJoin(conn, id, index)
+		case ctlExportDone:
+			c, err := readCtlElastic(ctlExportDone, r)
+			if err != nil {
+				return
+			}
+			s.handleExportDone(s.touchMMP(conn), c)
+		case ctlDrainStarted:
+			s.touchMMP(conn) // ack only; completion arrives as exportDone
+		case ctlDrainReq:
+			if id := s.touchMMP(conn); id != "" {
+				go func() {
+					if err := s.Drain(id); err != nil {
+						s.logf("mlb: drain request from %s: %v", id, err)
+					}
+				}()
+			}
 		}
+	case StreamXfer:
+		s.touchMMP(conn)
+		s.handleXferChunk(conn, frame)
 	case StreamRep:
 		s.touchMMP(conn)
 		s.forwardReplica(conn, frame)
@@ -778,41 +833,106 @@ func (s *MLBServer) handleMMP(conn *transport.Conn, frame transport.Message) {
 }
 
 // forwardToMaster re-delivers a bounced S1AP envelope to the device's
-// ring master. Bounces from the master itself — nobody holds the state —
-// are dropped; the device recovers by NAS retransmission, like any lost
-// uplink.
+// ring master. During a failover, join or drain the master is routinely
+// in flux — unreachable for a moment, or the bouncer itself while a
+// state transfer is landing — so an undeliverable bounce is requeued
+// through the forward retry budget instead of dropped; each retry
+// re-routes against the then-current ring. Only budget/attempt
+// exhaustion drops the envelope (the device then recovers by NAS
+// retransmission, like any lost uplink).
 func (s *MLBServer) forwardToMaster(from *transport.Conn, frame transport.Message, envelope []byte) {
 	_, _, msg, err := DecodeEnvelope(envelope)
 	if err != nil {
 		s.logf("mlb: bad bounced envelope: %v", err)
 		return
 	}
-	d, err := s.Router.Route(msg)
-	if err != nil {
-		s.logf("mlb: route bounced %s: %v", msg.Type(), err)
-		return
-	}
 	s.mu.Lock()
 	fromID := s.mmpIDOf[from]
-	var conn *transport.Conn
-	if d.Master != "" && d.Master != fromID {
-		conn = s.mmpConns[d.Master]
+	s.mu.Unlock()
+	if s.tryDeliverBounce(frame.Trace, fromID, msg, envelope, false) {
+		return
 	}
+	s.requeueBounce(frame.Trace, fromID, msg, envelope)
+}
+
+// tryDeliverBounce makes one attempt at re-delivering a bounced
+// envelope to its current ring master. Redelivery to the bouncer
+// itself (allowSelf) happens only from the backoff retry path and only
+// while membership is in flux — the ring names the bouncer master but
+// the transferred state may not have landed yet, so a paced retry
+// gives the install time without spinning a zero-delay bounce loop. In
+// steady state a self-bounce means nobody holds the state; the retry
+// path's exhaustion handles the drop.
+func (s *MLBServer) tryDeliverBounce(trace uint64, fromID string, msg s1ap.Message, envelope []byte, allowSelf bool) bool {
+	d, err := s.Router.Route(msg)
+	if err != nil {
+		return false
+	}
+	target := d.Master
+	if target == "" {
+		target = d.Target
+	}
+	if target == "" || (target == fromID && !(allowSelf && s.influx())) {
+		return false
+	}
+	s.mu.Lock()
+	conn := s.mmpConns[target]
 	s.mu.Unlock()
 	if conn == nil {
-		if s.fwdDrops != nil {
-			s.fwdDrops.Inc()
-		}
-		s.logf("mlb: dropping bounced %s from %s (master %q unavailable)", msg.Type(), fromID, d.Master)
-		return
+		return false
 	}
-	if err := conn.WriteTraced(StreamS1, frame.Trace, envelope); err != nil {
-		s.failover(d.Master, "write error")
-		return
+	if err := conn.WriteTraced(StreamS1, trace, envelope); err != nil {
+		s.failover(target, "write error")
+		return false
 	}
 	if s.ctxForwards != nil {
 		s.ctxForwards.Inc()
 	}
+	return true
+}
+
+// requeueBounce retries an undeliverable bounce with the same bounded
+// backoff and budget as direct forwards. The envelope is caller-owned
+// (freshly allocated per frame by the transport read path), so holding
+// it across retries is safe.
+func (s *MLBServer) requeueBounce(trace uint64, fromID string, msg s1ap.Message, envelope []byte) {
+	if s.retrySlots.Add(1) > int32(s.cfg.ForwardRetryBudget) {
+		s.retrySlots.Add(-1)
+		if s.retryOverflow != nil {
+			s.retryOverflow.Inc()
+		}
+		if s.fwdDrops != nil {
+			s.fwdDrops.Inc()
+		}
+		s.logf("mlb: retry budget exhausted, dropping bounced %s from %s", msg.Type(), fromID)
+		return
+	}
+	go func() {
+		defer s.retrySlots.Add(-1)
+		deadline := time.Now().Add(s.cfg.ForwardTimeout)
+		backoff := s.cfg.ForwardBackoff
+		for attempt := 1; attempt <= s.cfg.ForwardAttempts; attempt++ {
+			if time.Now().Add(backoff).After(deadline) {
+				break
+			}
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if s.fwdRetries != nil {
+				s.fwdRetries.Inc()
+			}
+			if s.tryDeliverBounce(trace, fromID, msg, envelope, true) {
+				return
+			}
+		}
+		if s.fwdDrops != nil {
+			s.fwdDrops.Inc()
+		}
+		s.logf("mlb: dropping bounced %s from %s after retries (master unavailable)", msg.Type(), fromID)
+	}()
 }
 
 // forwardReplica fans one agent's state snapshot out to the ring's
@@ -908,6 +1028,21 @@ type MMPAgentConfig struct {
 	// ProcCost is a per-message processing cost emulation (see
 	// mmp.Config.ProcCost).
 	ProcCost time.Duration
+
+	// Join makes the agent enter the cluster through a state-transfer
+	// join instead of a plain register: it receives its token ranges'
+	// UE contexts first and only then enters the ring (watch Activated).
+	Join bool
+	// MLBConn, when set, is used instead of dialing MLBAddr — the
+	// injection point for chaos tests that impair the cluster link
+	// (netem) before framing it, mirroring NewENBClient.
+	MLBConn *transport.Conn
+	// XferChunkSize caps UE contexts per state-transfer chunk
+	// (0 → XferChunkSize).
+	XferChunkSize int
+	// XferDelay paces transfer chunks (tests widen the migration window
+	// with it; 0 = as fast as the link takes them).
+	XferDelay time.Duration
 }
 
 // queuedFrame is one inbound S1 frame with its arrival time, so the
@@ -943,7 +1078,27 @@ type MMPAgent struct {
 	id     string
 	events *eventlog.Log
 	qfLim  *eventlog.Limiter
+
+	// Elastic membership state: activated closes at ring entry (join
+	// completion, or immediately for a plain register), drainedCh at
+	// clean drain completion.
+	activated     chan struct{}
+	activatedOnce sync.Once
+	drainedCh     chan struct{}
+	drainedOnce   sync.Once
+	draining      atomic.Bool
+	xferChunk     int
+	xferDelay     time.Duration
+
+	// hbTicks counts heartbeat ticker firings (not deliveries) — the
+	// observable a liveness regression test asserts keeps growing
+	// through a transient write stall.
+	hbTicks atomic.Uint64
 }
+
+// HeartbeatTicks reports how many heartbeat ticks have fired since the
+// agent started, whether or not each wrote successfully.
+func (a *MMPAgent) HeartbeatTicks() uint64 { return a.hbTicks.Load() }
 
 // StartMMPAgent dials the peers, registers with the MLB and starts the
 // serve loop.
@@ -963,24 +1118,31 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		hc.Close()
 		return nil, fmt.Errorf("mmp agent: SGW: %w", err)
 	}
-	conn, err := transport.Dial(cfg.MLBAddr)
-	if err != nil {
-		hc.Close()
-		sc.Close()
-		return nil, fmt.Errorf("mmp agent: MLB: %w", err)
+	conn := cfg.MLBConn
+	if conn == nil {
+		conn, err = transport.Dial(cfg.MLBAddr)
+		if err != nil {
+			hc.Close()
+			sc.Close()
+			return nil, fmt.Errorf("mmp agent: MLB: %w", err)
+		}
 	}
 	if cfg.QueueLimit <= 0 {
 		cfg.QueueLimit = DefaultAgentQueueLimit
 	}
 	a := &MMPAgent{
-		conn:   conn,
-		hss:    hc,
-		sgw:    sc,
-		logger: cfg.Logger,
-		done:   make(chan struct{}),
-		s1q:    make(chan queuedFrame, cfg.QueueLimit),
-		id:     cfg.ID,
-		qfLim:  eventlog.NewLimiter(500 * time.Millisecond),
+		conn:      conn,
+		hss:       hc,
+		sgw:       sc,
+		logger:    cfg.Logger,
+		done:      make(chan struct{}),
+		s1q:       make(chan queuedFrame, cfg.QueueLimit),
+		id:        cfg.ID,
+		qfLim:     eventlog.NewLimiter(500 * time.Millisecond),
+		activated: make(chan struct{}),
+		drainedCh: make(chan struct{}),
+		xferChunk: cfg.XferChunkSize,
+		xferDelay: cfg.XferDelay,
 	}
 	if cfg.Obs != nil {
 		a.events = cfg.Obs.Events
@@ -1011,9 +1173,16 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		})
 	}
 
-	// Register.
+	// Register — or, for an elastic scale-out, join: the MLB fills the
+	// agent with its token ranges' state before ring entry, and
+	// Activated closes when the fill completes.
 	w := wire.NewWriter(32)
-	w.U8(ctlRegister)
+	if cfg.Join {
+		w.U8(ctlJoin)
+	} else {
+		w.U8(ctlRegister)
+		a.activatedOnce.Do(func() { close(a.activated) })
+	}
 	w.String16(cfg.ID)
 	w.U8(cfg.Index)
 	if err := conn.Write(StreamCtl, w.Bytes()); err != nil {
@@ -1083,14 +1252,10 @@ func (a *MMPAgent) serveLoop() {
 			if err := a.Engine.ApplyReplica(ctx); err != nil && !errors.Is(err, state.ErrStale) {
 				a.logf("mmp agent: apply replica: %v", err)
 			}
+		case StreamXfer:
+			a.installXferChunk(frame)
 		case StreamCtl:
-			r := wire.NewReader(frame.Payload)
-			if r.U8() == ctlFailover {
-				deadID := r.String16()
-				if r.Err() == nil {
-					a.promoteFrom(deadID)
-				}
-			}
+			a.handleCtl(frame)
 		}
 	}
 }
@@ -1204,10 +1369,11 @@ func (a *MMPAgent) handleS1(frame transport.Message) {
 		return
 	}
 	out, err := a.Engine.HandleTraced(frame.Trace, enbID, msg)
-	if errors.Is(err, mmp.ErrNoContext) {
-		// This VM doesn't hold the device's state (e.g. the master's
-		// async replica push hasn't landed yet): bounce the envelope back
-		// so the MLB re-delivers it to the master.
+	if errors.Is(err, mmp.ErrNoContext) || errors.Is(err, mmp.ErrPaused) {
+		// This VM doesn't hold the device's state (the master's async
+		// replica push hasn't landed yet), or its shard is paused for
+		// migration: bounce the envelope back so the MLB re-delivers it
+		// to the current master.
 		w := wire.GetWriter()
 		w.U8(ctlForward)
 		w.Raw(frame.Payload)
@@ -1243,14 +1409,7 @@ func (a *MMPAgent) promoteFrom(deadID string) {
 		a.events.Emitf(eventlog.TypePromotion, a.id, deadID, float64(len(promoted)), "")
 	}
 	// SnapshotMasters includes the freshly promoted entries.
-	pushed := 0
-	for _, ctx := range a.Engine.SnapshotMasters() {
-		if err := a.conn.Write(StreamRep, ctx.Marshal()); err != nil {
-			a.logf("mmp agent: re-replicate after failover: %v", err)
-			return
-		}
-		pushed++
-	}
+	pushed := a.repushMasters()
 	if pushed > 0 && a.events != nil {
 		a.events.Emitf(eventlog.TypeReReplicate, a.id, deadID, float64(pushed), "")
 	}
@@ -1260,12 +1419,27 @@ func (a *MMPAgent) promoteFrom(deadID string) {
 	}
 }
 
+// closing reports whether the agent is shutting down (Close or Kill) —
+// the only condition under which the reporting loops may exit. A
+// conn.Write error alone must not kill them: a transient stall would
+// otherwise permanently silence liveness and occupancy while the agent
+// keeps serving (the MLB would evict a healthy VM).
+func (a *MMPAgent) closing() bool {
+	select {
+	case <-a.done:
+		return true
+	default:
+	}
+	return a.killed.Load()
+}
+
 func (a *MMPAgent) loadLoop(every time.Duration) {
 	defer a.wg.Done()
 	t := time.NewTicker(every)
 	defer t.Stop()
 	lastBusy := a.Engine.BusyNS()
 	lastAt := time.Now()
+	failing := false
 	for {
 		select {
 		case <-a.done:
@@ -1295,7 +1469,15 @@ func (a *MMPAgent) loadLoop(every time.Duration) {
 			w.F64(util)
 			w.U8(flags)
 			if err := a.conn.Write(StreamCtl, w.Bytes()); err != nil {
-				return
+				if a.closing() {
+					return
+				}
+				if !failing {
+					a.logf("mmp agent: load report: %v (keeping the loop alive)", err)
+				}
+				failing = true
+			} else {
+				failing = false
 			}
 		}
 	}
@@ -1305,15 +1487,25 @@ func (a *MMPAgent) heartbeatLoop(every time.Duration) {
 	defer a.wg.Done()
 	t := time.NewTicker(every)
 	defer t.Stop()
+	failing := false
 	for {
 		select {
 		case <-a.done:
 			return
 		case <-t.C:
+			a.hbTicks.Add(1)
 			w := wire.NewWriter(2)
 			w.U8(ctlHeartbeat)
 			if err := a.conn.Write(StreamCtl, w.Bytes()); err != nil {
-				return
+				if a.closing() {
+					return
+				}
+				if !failing {
+					a.logf("mmp agent: heartbeat: %v (keeping the loop alive)", err)
+				}
+				failing = true
+			} else {
+				failing = false
 			}
 		}
 	}

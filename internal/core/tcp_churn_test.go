@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/mlb"
+	"scale/internal/netem"
+	"scale/internal/obs"
+	"scale/internal/sgw"
+	"scale/internal/state"
+	"scale/internal/transport"
+)
+
+// elasticTestbed is the churn-drill deployment: like failoverTestbed
+// but with a generous forward-retry envelope (a bounce must survive a
+// whole state-transfer window, not just a failover blip) and helpers to
+// add joining members and mutate per-agent config.
+type elasticTestbed struct {
+	hssSrv *hss.Server
+	sgwSrv *sgw.Server
+	mlbSrv *MLBServer
+	ob     *obs.Observer
+	agents []*MMPAgent
+}
+
+func startElasticTestbed(t *testing.T, mmps int, mutate func(i int, cfg *MMPAgentConfig)) *elasticTestbed {
+	t.Helper()
+	db := hss.NewDB()
+	db.ProvisionRange(100000000, 1000)
+	hssSrv, err := hss.Serve("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := sgw.New()
+	sgwSrv, err := sgw.Serve("127.0.0.1:0", gw)
+	if err != nil {
+		hssSrv.Close()
+		t.Fatal(err)
+	}
+	ob := obs.NewObserver("mlb-elastic", 256)
+	mlbSrv, err := ServeMLBConfig(MLBServerConfig{
+		Router:  mlb.Config{Name: "mlb-elastic", PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1, Obs: ob},
+		ENBAddr: "127.0.0.1:0", MMPAddr: "127.0.0.1:0",
+		LivenessTimeout: 2 * time.Second,
+		LivenessEvery:   50 * time.Millisecond,
+		// A bounced envelope must outlive a full transfer window: short
+		// backoff, many attempts, roomy deadline.
+		ForwardBackoff:  10 * time.Millisecond,
+		ForwardAttempts: 9,
+		ForwardTimeout:  8 * time.Second,
+		XferTimeout:     10 * time.Second,
+	})
+	if err != nil {
+		hssSrv.Close()
+		sgwSrv.Close()
+		t.Fatal(err)
+	}
+	tb := &elasticTestbed{hssSrv: hssSrv, sgwSrv: sgwSrv, mlbSrv: mlbSrv, ob: ob}
+	t.Cleanup(tb.close)
+	for i := 1; i <= mmps; i++ {
+		tb.addAgent(t, uint8(i), false, mutate)
+	}
+	waitFor(t, 2*time.Second, "MMP registration", func() bool {
+		return len(mlbSrv.Router.MMPs()) == mmps
+	})
+	return tb
+}
+
+// addAgent starts one more MMP against the testbed — registering
+// directly (join=false) or via the state-transfer join protocol
+// (join=true) — and tracks it for cleanup.
+func (tb *elasticTestbed) addAgent(t *testing.T, index uint8, join bool, mutate func(i int, cfg *MMPAgentConfig)) *MMPAgent {
+	t.Helper()
+	cfg := MMPAgentConfig{
+		Index: index, PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1,
+		MLBAddr:        tb.mlbSrv.MMPAddr(),
+		HSSAddr:        tb.hssSrv.Addr(),
+		SGWAddr:        tb.sgwSrv.Addr(),
+		HeartbeatEvery: 50 * time.Millisecond,
+		Join:           join,
+	}
+	if mutate != nil {
+		mutate(int(index), &cfg)
+	}
+	a, err := StartMMPAgent(cfg)
+	if err != nil {
+		t.Fatalf("start mmp-%d: %v", index, err)
+	}
+	tb.agents = append(tb.agents, a)
+	return a
+}
+
+func (tb *elasticTestbed) close() {
+	for _, a := range tb.agents {
+		a.Close()
+	}
+	if tb.mlbSrv != nil {
+		tb.mlbSrv.Close()
+	}
+	if tb.sgwSrv != nil {
+		tb.sgwSrv.Close()
+	}
+	if tb.hssSrv != nil {
+		tb.hssSrv.Close()
+	}
+}
+
+func (tb *elasticTestbed) counter(name string) uint64 {
+	return tb.ob.Reg.Counter(name).Value()
+}
+
+// awaitCh fails the test if ch does not close within timeout.
+func awaitCh(t *testing.T, ch <-chan struct{}, timeout time.Duration, what string) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(timeout):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+}
+
+// TestTCPJoinStateTransfer grows a serving 2-MMP cluster to three: the
+// joiner must receive its token ranges' masters through the bulk
+// transfer before entering the ring, the sources must demote the moved
+// contexts to replicas, and idle-mode traffic must keep completing for
+// every device afterwards.
+func TestTCPJoinStateTransfer(t *testing.T) {
+	tb := startElasticTestbed(t, 2, nil)
+	client, err := DialENB(tb.mlbSrv.ENBAddr(), map[uint32][]uint16{1: {7}, 2: {8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 30
+	imsis := attachAndIdle(t, client, n)
+	waitFor(t, 3*time.Second, "initial replication", func() bool {
+		total := 0
+		for _, a := range tb.agents {
+			total += a.Engine.Store().Len()
+		}
+		return total >= 2*n
+	})
+
+	joiner := tb.addAgent(t, 3, true, nil)
+	awaitCh(t, joiner.Activated(), 10*time.Second, "join activation")
+	waitFor(t, 2*time.Second, "ring growth", func() bool {
+		return len(tb.mlbSrv.Router.MMPs()) == 3
+	})
+
+	// The joiner took over its ranges via the transfer, not via traffic.
+	if got := joiner.Engine.Store().MasterCount(); got == 0 {
+		t.Fatal("joiner activated without receiving any masters")
+	}
+	if got := tb.counter("mlb_xfer_contexts_total"); got == 0 {
+		t.Fatal("mlb_xfer_contexts_total = 0 after a join fill")
+	}
+	if got := tb.counter("mlb_mmp_joins_total"); got != 1 {
+		t.Fatalf("mlb_mmp_joins_total = %d, want 1", got)
+	}
+	// Mastership is conserved: sources demoted what moved.
+	waitFor(t, 3*time.Second, "demotion of moved masters", func() bool {
+		total := 0
+		for _, a := range tb.agents {
+			total += a.Engine.Store().MasterCount()
+		}
+		return total == n
+	})
+
+	// Every device still serves — including those the joiner now owns.
+	for _, imsi := range imsis {
+		imsi := imsi
+		if err := client.Run(func(e *enb.Emulator) error {
+			return e.StartServiceRequest(imsi, 2)
+		}); err != nil {
+			t.Fatalf("service request %d: %v", imsi, err)
+		}
+		if err := client.WaitUntil(5*time.Second, func(e *enb.Emulator) bool {
+			return e.UEFor(imsi).State == enb.Active
+		}); err != nil {
+			t.Fatalf("service request for %d after join: %v", imsi, err)
+		}
+	}
+	if got := tb.counter("mlb_forward_drops_total"); got != 0 {
+		t.Fatalf("mlb_forward_drops_total = %d, want 0", got)
+	}
+	if got := tb.counter("mlb_mmp_failovers_total"); got != 0 {
+		t.Fatalf("join triggered %d failovers, want 0", got)
+	}
+}
+
+// TestTCPDrainBounceDelivers is the regression drill for the
+// forwardToMaster drop bug: during a deliberately slowed drain, service
+// requests race the state transfer — the ring already names the
+// survivor master, but the context has not landed there yet. Each
+// bounced envelope must ride the retry budget until the transfer
+// catches up; with the old drop-on-unavailable behavior the requests
+// for in-flight devices were simply lost.
+func TestTCPDrainBounceDelivers(t *testing.T) {
+	tb := startElasticTestbed(t, 2, func(i int, cfg *MMPAgentConfig) {
+		cfg.XferChunkSize = 1
+		cfg.XferDelay = 10 * time.Millisecond
+	})
+	client, err := DialENB(tb.mlbSrv.ENBAddr(), map[uint32][]uint16{1: {7}, 2: {8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 24
+	imsis := attachAndIdle(t, client, n)
+	waitFor(t, 3*time.Second, "initial replication", func() bool {
+		total := 0
+		for _, a := range tb.agents {
+			total += a.Engine.Store().Len()
+		}
+		return total >= 2*n
+	})
+
+	// Strip replicas: each device lives only at its master, so during
+	// the drain the survivor cannot serve a moved device until its
+	// context physically arrives.
+	for _, a := range tb.agents {
+		var replicas []guti.GUTI
+		a.Engine.Store().Range(func(ctx *state.UEContext, isReplica bool) bool {
+			if isReplica {
+				replicas = append(replicas, ctx.GUTI)
+			}
+			return true
+		})
+		for _, g := range replicas {
+			a.Engine.Store().Delete(g)
+		}
+	}
+	drainedMasters := tb.agents[0].Engine.Store().MasterCount()
+
+	if err := tb.mlbSrv.Drain("mmp-1"); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Fire every service request while the paced transfer is running.
+	for _, imsi := range imsis {
+		imsi := imsi
+		if err := client.Run(func(e *enb.Emulator) error {
+			return e.StartServiceRequest(imsi, 2)
+		}); err != nil {
+			t.Fatalf("service request %d: %v", imsi, err)
+		}
+	}
+	for _, imsi := range imsis {
+		imsi := imsi
+		if err := client.WaitUntil(10*time.Second, func(e *enb.Emulator) bool {
+			return e.UEFor(imsi).State == enb.Active
+		}); err != nil {
+			t.Fatalf("service request for %d lost across drain: %v", imsi, err)
+		}
+	}
+
+	awaitCh(t, tb.agents[0].Drained(), 10*time.Second, "clean drain")
+	waitFor(t, 2*time.Second, "ring shrink", func() bool {
+		return len(tb.mlbSrv.Router.MMPs()) == 1
+	})
+	if got := tb.counter("mlb_forward_drops_total"); got != 0 {
+		t.Fatalf("mlb_forward_drops_total = %d, want 0 (bounced requests were dropped)", got)
+	}
+	if got := tb.counter("mlb_mmp_drains_total"); got != 1 {
+		t.Fatalf("mlb_mmp_drains_total = %d, want 1", got)
+	}
+	if got := tb.counter("mlb_mmp_failovers_total"); got != 0 {
+		t.Fatalf("drain fell back to failover %d times, want 0", got)
+	}
+	if drainedMasters > 0 {
+		if got := tb.counter("mlb_context_forwards_total"); got == 0 {
+			t.Fatal("no request ever rode the bounce path during the drain")
+		}
+	}
+	// Everything the drained VM mastered now lives on the survivor.
+	if got := tb.agents[1].Engine.Store().MasterCount(); got != n {
+		t.Fatalf("survivor masters %d devices, want %d", got, n)
+	}
+}
+
+// TestTCPChurnElastic is the acceptance drill: scale 2→4→2 during a
+// sustained attach storm. Every attach must complete (with NAS-style
+// retransmissions allowed), latency must stay bounded, nothing may be
+// dropped from the forward path, and no membership change may be
+// mistaken for a failure.
+func TestTCPChurnElastic(t *testing.T) {
+	tb := startElasticTestbed(t, 2, nil)
+	client, err := DialENB(tb.mlbSrv.ENBAddr(), map[uint32][]uint16{1: {7}, 2: {8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	type result struct {
+		imsi uint64
+		d    time.Duration
+		ok   bool
+	}
+	var attached atomic.Int64
+	stop := make(chan struct{})
+	resCh := make(chan []result, 1)
+	go func() {
+		var results []result
+		for i := 0; i < 600; i++ {
+			select {
+			case <-stop:
+				resCh <- results
+				return
+			default:
+			}
+			imsi := uint64(100000000 + i)
+			t0 := time.Now()
+			ok := false
+			for attempt := 0; attempt < 5 && !ok; attempt++ {
+				if err := client.Run(func(e *enb.Emulator) error {
+					return e.StartAttach(imsi, 1)
+				}); err != nil && !errors.Is(err, enb.ErrBadUEState) {
+					break
+				}
+				ok = client.WaitUntil(2*time.Second, func(e *enb.Emulator) bool {
+					return e.UEFor(imsi).State == enb.Active
+				}) == nil
+			}
+			results = append(results, result{imsi, time.Since(t0), ok})
+			attached.Add(1)
+		}
+		<-stop
+		resCh <- results
+	}()
+
+	stormed := func(delta int64) {
+		t.Helper()
+		target := attached.Load() + delta
+		waitFor(t, 30*time.Second, "attach storm progress", func() bool {
+			return attached.Load() >= target
+		})
+	}
+
+	// Scale out under load: 2 → 3 → 4.
+	stormed(15)
+	a3 := tb.addAgent(t, 3, true, nil)
+	awaitCh(t, a3.Activated(), 15*time.Second, "mmp-3 activation")
+	stormed(10)
+	a4 := tb.addAgent(t, 4, true, nil)
+	awaitCh(t, a4.Activated(), 15*time.Second, "mmp-4 activation")
+	waitFor(t, 2*time.Second, "ring at 4", func() bool {
+		return len(tb.mlbSrv.Router.MMPs()) == 4
+	})
+	stormed(25)
+
+	// Scale back in under load: one drain via the MLB admin API, one
+	// via the agent-requested path (scale-mmp -drain).
+	if err := tb.mlbSrv.Drain("mmp-3"); err != nil {
+		t.Fatalf("drain mmp-3: %v", err)
+	}
+	awaitCh(t, a3.Drained(), 15*time.Second, "mmp-3 drain")
+	stormed(10)
+	if err := a4.RequestDrain(); err != nil {
+		t.Fatalf("request drain mmp-4: %v", err)
+	}
+	awaitCh(t, a4.Drained(), 15*time.Second, "mmp-4 drain")
+	waitFor(t, 2*time.Second, "ring back at 2", func() bool {
+		return len(tb.mlbSrv.Router.MMPs()) == 2
+	})
+
+	// Post-churn traffic on the shrunken ring.
+	stormed(15)
+	close(stop)
+	results := <-resCh
+
+	var lost int
+	durs := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		if !r.ok {
+			lost++
+			t.Errorf("attach for %d lost during churn", r.imsi)
+		}
+		durs = append(durs, r.d)
+	}
+	if lost > 0 {
+		t.Fatalf("%d/%d attaches lost across scale 2→4→2", lost, len(results))
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	p99 := durs[len(durs)*99/100]
+	t.Logf("churn: %d attaches, p50=%v p99=%v", len(durs), durs[len(durs)/2], p99)
+	if p99 > 3*time.Second {
+		t.Fatalf("attach p99 = %v across churn, want < 3s", p99)
+	}
+
+	if got := tb.counter("mlb_forward_drops_total"); got != 0 {
+		t.Fatalf("mlb_forward_drops_total = %d, want 0", got)
+	}
+	if got := tb.counter("mlb_mmp_joins_total"); got != 2 {
+		t.Fatalf("mlb_mmp_joins_total = %d, want 2", got)
+	}
+	if got := tb.counter("mlb_mmp_drains_total"); got != 2 {
+		t.Fatalf("mlb_mmp_drains_total = %d, want 2", got)
+	}
+	if got := tb.counter("mlb_mmp_failovers_total"); got != 0 {
+		t.Fatalf("clean churn triggered %d failovers, want 0", got)
+	}
+}
+
+// TestMMPAgentLoopsSurviveTransientWriteError is the regression drill
+// for the liveness-loop bug: the heartbeat and load-report loops used
+// to exit on the first conn.Write error, silently turning a healthy VM
+// into a liveness-eviction victim. With the fix, a transient stall
+// (modeled by netem refusing a handful of writes) is logged and ridden
+// out: the ticks keep counting, the writes recover, and the MLB never
+// declares the VM dead.
+func TestMMPAgentLoopsSurviveTransientWriteError(t *testing.T) {
+	tb := startElasticTestbed(t, 1, nil)
+
+	nc, err := net.Dial("tcp", tb.mlbSrv.MMPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := netem.NewImpairment(nc, 42)
+	a, err := StartMMPAgent(MMPAgentConfig{
+		Index: 2, PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1,
+		MLBConn:         transport.NewConn(im),
+		HSSAddr:         tb.hssSrv.Addr(),
+		SGWAddr:         tb.sgwSrv.Addr(),
+		HeartbeatEvery:  50 * time.Millisecond,
+		LoadReportEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	waitFor(t, 2*time.Second, "impaired agent registration", func() bool {
+		return len(tb.mlbSrv.Router.MMPs()) == 2
+	})
+
+	before := a.HeartbeatTicks()
+	// Refuse a burst of writes: heartbeats, load reports and their
+	// group-commit flushes all hit the stall.
+	im.FailNextWrites(6)
+
+	// The loops must keep ticking through the stall...
+	waitFor(t, 3*time.Second, "heartbeat loop survival", func() bool {
+		return a.HeartbeatTicks() >= before+8
+	})
+	// ...and the connection must recover well past the liveness window
+	// (2s in this testbed) without the MLB evicting the VM.
+	time.Sleep(2500 * time.Millisecond)
+	if got := len(tb.mlbSrv.Router.MMPs()); got != 2 {
+		t.Fatalf("ring size = %d after transient write stall, want 2", got)
+	}
+	if got := tb.counter("mlb_mmp_failovers_total"); got != 0 {
+		t.Fatalf("transient write stall caused %d failovers, want 0", got)
+	}
+	if a.HeartbeatTicks() == before {
+		t.Fatal("heartbeat loop died")
+	}
+}

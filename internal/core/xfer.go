@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scale/internal/guti"
+	"scale/internal/state"
+	"scale/internal/wire"
+)
+
+// This file defines the elasticity wire protocol: the async control
+// commands that orchestrate a live join or drain, and the bulk
+// state-transfer chunk format that moves UE contexts between MMPs.
+//
+// Orchestration follows the async-command pattern: the MLB (or agent)
+// sends a command carrying a command id, the receiver acks or starts
+// work immediately, and completion is reported later as a separate
+// frame referencing the same id. Nothing blocks a connection's read
+// loop on a long-running transfer.
+//
+//	StreamXfer: bulk state transfer — U64 cmdID, U16 count,
+//	            count × Bytes16(marshaled state.UEContext). Agents
+//	            export master snapshots in chunks; the MLB hashes each
+//	            context on the prospective ring and installs it on the
+//	            new owner.
+//
+// New StreamCtl kinds (continuing the 1–5 set in tcp.go):
+//
+//	join (agent → MLB):     String16 id, U8 index — like register, but
+//	                        the MMP wants its token ranges' state
+//	                        before entering the ring.
+//	joinAck (MLB → agent):  U64 cmdID — transfer underway.
+//	activated (MLB→agent):  U64 cmdID — ring entry complete.
+//	export (MLB → agent):   U64 cmdID, String16 subject — stream your
+//	                        master contexts owned by subject on the
+//	                        prospective ring (join fill).
+//	exportDone (agent→MLB): U64 cmdID, U32 count — async completion of
+//	                        an export or drain command.
+//	drain (MLB → agent):    U64 cmdID — pause new work shard by shard,
+//	                        stream all masters out, then await shutdown.
+//	drainStarted (a→MLB):   U64 cmdID — immediate ack; the transfer
+//	                        completion arrives later as exportDone.
+//	demote (MLB → agent):   String16 new master id, U16 n, n × GUTI —
+//	                        contexts now mastered elsewhere become
+//	                        replicas here.
+//	shutdown (MLB→agent):   empty — drain complete, deregistered;
+//	                        the agent may exit.
+//	drainReq (agent→MLB):   empty — ask the MLB to drain me
+//	                        (scale-mmp -drain).
+//	replicate (MLB→agent):  empty — re-push your masters through the
+//	                        replicate stream (restores R=2 after a
+//	                        clean membership change, without the
+//	                        promotion a failover broadcast implies).
+
+// StreamXfer carries bulk state-transfer chunks.
+const StreamXfer uint16 = 13
+
+// Elasticity control frame kinds (continuing the set in tcp.go).
+const (
+	ctlJoin         uint8 = 6
+	ctlJoinAck      uint8 = 7
+	ctlActivated    uint8 = 8
+	ctlExport       uint8 = 9
+	ctlExportDone   uint8 = 10
+	ctlDrain        uint8 = 11
+	ctlDrainStarted uint8 = 12
+	ctlDemote       uint8 = 13
+	ctlShutdown     uint8 = 14
+	ctlDrainReq     uint8 = 15
+	ctlReplicate    uint8 = 16
+)
+
+// XferChunkSize is the default number of UE contexts per transfer
+// chunk: large enough to amortize framing, small enough that a chunk
+// stays far below transport.MaxMessageSize and interleaves with live
+// signaling on the shared connection.
+const XferChunkSize = 64
+
+// DefaultXferTimeout bounds one join or drain transfer end to end.
+const DefaultXferTimeout = 30 * time.Second
+
+// ctlElastic is the decoded form of an elasticity control frame. The
+// kinds share one layout with optional fields: every kind carries
+// CmdID except the empty ones; export carries Subject; exportDone
+// carries Count.
+type ctlElastic struct {
+	Kind    uint8
+	CmdID   uint64
+	Subject string
+	Count   uint32
+}
+
+// encodeCtlElastic packs an elasticity control frame.
+func encodeCtlElastic(c ctlElastic) []byte {
+	w := wire.NewWriter(32)
+	w.U8(c.Kind)
+	switch c.Kind {
+	case ctlShutdown, ctlDrainReq, ctlReplicate:
+	case ctlExport:
+		w.U64(c.CmdID)
+		w.String16(c.Subject)
+	case ctlExportDone:
+		w.U64(c.CmdID)
+		w.U32(c.Count)
+	default: // joinAck, activated, drain, drainStarted
+		w.U64(c.CmdID)
+	}
+	return w.Bytes()
+}
+
+// readCtlElastic decodes the body of an elasticity control frame; r is
+// positioned just past the kind byte.
+func readCtlElastic(kind uint8, r *wire.Reader) (ctlElastic, error) {
+	c := ctlElastic{Kind: kind}
+	switch kind {
+	case ctlShutdown, ctlDrainReq, ctlReplicate:
+	case ctlExport:
+		c.CmdID = r.U64()
+		c.Subject = r.String16()
+	case ctlExportDone:
+		c.CmdID = r.U64()
+		c.Count = r.U32()
+	case ctlJoinAck, ctlActivated, ctlDrain, ctlDrainStarted:
+		c.CmdID = r.U64()
+	default:
+		return c, fmt.Errorf("core: unknown elastic ctl kind %d", kind)
+	}
+	if err := r.Err(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// errChunkTooBig guards the chunk decoder against absurd counts.
+var errChunkTooBig = errors.New("core: transfer chunk count out of range")
+
+// maxXferChunk bounds contexts per chunk at the decoder (a marshaled
+// context is ≥ 30 bytes, so anything beyond this cannot be genuine
+// within transport.MaxMessageSize).
+const maxXferChunk = 16384
+
+// encodeXferChunkTo packs up to len(ctxs) contexts into one transfer
+// chunk on w. Each context is marshaled through a pooled scratch writer
+// so the Bytes16 length prefix comes for free.
+func encodeXferChunkTo(w *wire.Writer, cmdID uint64, ctxs []*state.UEContext) {
+	w.U64(cmdID)
+	w.U16(uint16(len(ctxs)))
+	sw := wire.GetWriter()
+	for _, ctx := range ctxs {
+		sw.Reset()
+		ctx.MarshalTo(sw)
+		w.Bytes16(sw.Bytes())
+	}
+	wire.PutWriter(sw)
+}
+
+// decodeXferChunk unpacks a transfer chunk.
+func decodeXferChunk(b []byte) (cmdID uint64, ctxs []*state.UEContext, err error) {
+	r := wire.NewReader(b)
+	cmdID = r.U64()
+	n := int(r.U16())
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	if n > maxXferChunk {
+		return 0, nil, errChunkTooBig
+	}
+	ctxs = make([]*state.UEContext, 0, n)
+	for i := 0; i < n; i++ {
+		raw := r.Bytes16()
+		if err := r.Err(); err != nil {
+			return 0, nil, err
+		}
+		ctx, err := state.Unmarshal(raw)
+		if err != nil {
+			return 0, nil, err
+		}
+		ctxs = append(ctxs, ctx)
+	}
+	if err := r.Finish(); err != nil {
+		return 0, nil, err
+	}
+	return cmdID, ctxs, nil
+}
+
+// encodeDemote packs a demote command: the new master plus the GUTIs
+// whose mastership moved to it.
+func encodeDemote(newMaster string, gutis []guti.GUTI) []byte {
+	w := wire.NewWriter(16 + len(gutis)*guti.EncodedLen)
+	w.U8(ctlDemote)
+	w.String16(newMaster)
+	w.U16(uint16(len(gutis)))
+	var buf [guti.EncodedLen]byte
+	for _, g := range gutis {
+		w.Raw(g.Encode(buf[:0]))
+	}
+	return w.Bytes()
+}
+
+// readDemote decodes a demote command body; r is positioned just past
+// the kind byte.
+func readDemote(r *wire.Reader) (newMaster string, gutis []guti.GUTI, err error) {
+	newMaster = r.String16()
+	n := int(r.U16())
+	if err := r.Err(); err != nil {
+		return "", nil, err
+	}
+	if n > maxXferChunk {
+		return "", nil, errChunkTooBig
+	}
+	gutis = make([]guti.GUTI, 0, n)
+	for i := 0; i < n; i++ {
+		raw := r.Raw(guti.EncodedLen)
+		if err := r.Err(); err != nil {
+			return "", nil, err
+		}
+		g, err := guti.Decode(raw)
+		if err != nil {
+			return "", nil, err
+		}
+		gutis = append(gutis, g)
+	}
+	if err := r.Finish(); err != nil {
+		return "", nil, err
+	}
+	return newMaster, gutis, nil
+}

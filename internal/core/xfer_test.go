@@ -1,0 +1,202 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"scale/internal/guti"
+	"scale/internal/nas"
+	"scale/internal/state"
+	"scale/internal/wire"
+)
+
+// xferTestCtx builds a representative UE context for codec tests: every
+// field class populated (identity, security, bearer, SCALE metadata) so
+// a round trip that drops anything fails loudly.
+func xferTestCtx(mtmsi uint32) *state.UEContext {
+	return &state.UEContext{
+		IMSI:      100000000 + uint64(mtmsi),
+		GUTI:      guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1, MTMSI: mtmsi},
+		Mode:      state.Idle,
+		TAI:       7,
+		TAIList:   []uint16{7, 8},
+		Security:  nas.SecurityContext{},
+		BearerID:  5,
+		MMETEID:   mtmsi + 1,
+		SGWTEID:   mtmsi + 2,
+		PDNAddr:   0x0a000001,
+		APN:       "internet",
+		MasterMMP: "mmp-1",
+		Version:   3,
+	}
+}
+
+func TestCtlElasticRoundTrip(t *testing.T) {
+	cases := []ctlElastic{
+		{Kind: ctlJoinAck, CmdID: 1},
+		{Kind: ctlActivated, CmdID: 42},
+		{Kind: ctlExport, CmdID: 7, Subject: "mmp-9"},
+		{Kind: ctlExportDone, CmdID: 7, Count: 512},
+		{Kind: ctlDrain, CmdID: 8},
+		{Kind: ctlDrainStarted, CmdID: 8},
+		{Kind: ctlShutdown},
+		{Kind: ctlDrainReq},
+		{Kind: ctlReplicate},
+	}
+	for _, want := range cases {
+		b := encodeCtlElastic(want)
+		r := wire.NewReader(b)
+		kind := r.U8()
+		got, err := readCtlElastic(kind, r)
+		if err != nil {
+			t.Fatalf("kind %d: decode: %v", want.Kind, err)
+		}
+		if got != want {
+			t.Fatalf("kind %d round trip: got %+v, want %+v", want.Kind, got, want)
+		}
+	}
+}
+
+func TestCtlElasticRejectsUnknownKind(t *testing.T) {
+	r := wire.NewReader([]byte{0xff})
+	if _, err := readCtlElastic(99, r); err == nil {
+		t.Fatal("unknown ctl kind accepted")
+	}
+}
+
+func TestXferChunkRoundTrip(t *testing.T) {
+	ctxs := []*state.UEContext{xferTestCtx(1), xferTestCtx(2), xferTestCtx(3)}
+	w := wire.NewWriter(256)
+	encodeXferChunkTo(w, 99, ctxs)
+	cmdID, got, err := decodeXferChunk(w.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cmdID != 99 {
+		t.Fatalf("cmdID = %d, want 99", cmdID)
+	}
+	if len(got) != len(ctxs) {
+		t.Fatalf("got %d contexts, want %d", len(got), len(ctxs))
+	}
+	for i := range ctxs {
+		if !reflect.DeepEqual(got[i], ctxs[i]) {
+			t.Fatalf("context %d round trip:\n got %+v\nwant %+v", i, got[i], ctxs[i])
+		}
+	}
+}
+
+func TestXferChunkEmpty(t *testing.T) {
+	w := wire.NewWriter(16)
+	encodeXferChunkTo(w, 5, nil)
+	cmdID, got, err := decodeXferChunk(w.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cmdID != 5 || len(got) != 0 {
+		t.Fatalf("got cmdID=%d n=%d, want 5, 0", cmdID, len(got))
+	}
+}
+
+func TestXferChunkRejectsTruncation(t *testing.T) {
+	w := wire.NewWriter(256)
+	encodeXferChunkTo(w, 1, []*state.UEContext{xferTestCtx(1)})
+	b := w.Bytes()
+	for cut := 1; cut < len(b); cut++ {
+		if _, _, err := decodeXferChunk(b[:len(b)-cut]); err == nil {
+			t.Fatalf("truncated chunk (-%d bytes) accepted", cut)
+		}
+	}
+}
+
+func TestDemoteRoundTrip(t *testing.T) {
+	gutis := []guti.GUTI{
+		{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1, MTMSI: 10},
+		{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1, MTMSI: 11},
+	}
+	b := encodeDemote("mmp-3", gutis)
+	r := wire.NewReader(b)
+	if kind := r.U8(); kind != ctlDemote {
+		t.Fatalf("kind = %d, want %d", kind, ctlDemote)
+	}
+	newMaster, got, err := readDemote(r)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if newMaster != "mmp-3" {
+		t.Fatalf("newMaster = %q, want mmp-3", newMaster)
+	}
+	if !reflect.DeepEqual(got, gutis) {
+		t.Fatalf("gutis round trip: got %+v, want %+v", got, gutis)
+	}
+}
+
+// FuzzXferChunk hardens the bulk state-transfer decoder: chunks cross
+// the MLB from agents, so a corrupted frame must never panic, and any
+// accepted chunk must re-encode and re-decode identically.
+func FuzzXferChunk(f *testing.F) {
+	w := wire.NewWriter(256)
+	encodeXferChunkTo(w, 7, []*state.UEContext{xferTestCtx(1), xferTestCtx(2)})
+	f.Add(append([]byte(nil), w.Bytes()...))
+	w.Reset()
+	encodeXferChunkTo(w, 0, nil)
+	f.Add(append([]byte(nil), w.Bytes()...))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cmdID, ctxs, err := decodeXferChunk(data)
+		if err != nil {
+			return
+		}
+		rw := wire.NewWriter(len(data))
+		encodeXferChunkTo(rw, cmdID, ctxs)
+		cmdID2, again, err := decodeXferChunk(rw.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if cmdID2 != cmdID || !reflect.DeepEqual(ctxs, again) {
+			t.Fatalf("round trip unstable: %d/%d %+v vs %+v", cmdID, cmdID2, ctxs, again)
+		}
+	})
+}
+
+// FuzzCtlElastic hardens the elasticity control-frame decoder (and the
+// demote sub-format, which shares the ctl stream): no panics, and every
+// accepted frame round-trips.
+func FuzzCtlElastic(f *testing.F) {
+	f.Add(encodeCtlElastic(ctlElastic{Kind: ctlExport, CmdID: 7, Subject: "mmp-9"}))
+	f.Add(encodeCtlElastic(ctlElastic{Kind: ctlExportDone, CmdID: 7, Count: 3}))
+	f.Add(encodeCtlElastic(ctlElastic{Kind: ctlReplicate}))
+	f.Add(encodeDemote("mmp-3", []guti.GUTI{{MTMSI: 9}}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewReader(data)
+		kind := r.U8()
+		if r.Err() != nil {
+			return
+		}
+		if kind == ctlDemote {
+			newMaster, gutis, err := readDemote(r)
+			if err != nil {
+				return
+			}
+			rr := wire.NewReader(encodeDemote(newMaster, gutis))
+			rr.U8()
+			m2, g2, err := readDemote(rr)
+			if err != nil || m2 != newMaster || !reflect.DeepEqual(gutis, g2) {
+				t.Fatalf("demote round trip unstable: %v %q %+v", err, m2, g2)
+			}
+			return
+		}
+		c, err := readCtlElastic(kind, r)
+		if err != nil {
+			return
+		}
+		rr := wire.NewReader(encodeCtlElastic(c))
+		k2 := rr.U8()
+		c2, err := readCtlElastic(k2, rr)
+		if err != nil || c2 != c {
+			t.Fatalf("ctl round trip unstable: %v %+v vs %+v", err, c, c2)
+		}
+	})
+}

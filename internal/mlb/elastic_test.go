@@ -1,0 +1,114 @@
+package mlb
+
+import (
+	"testing"
+
+	"scale/internal/guti"
+	"scale/internal/s1ap"
+	"scale/internal/ueid"
+)
+
+// TestMemberPhaseLifecycle walks one MMP through the elastic membership
+// states: joining (known, off ring) → active (registered) → draining
+// (off ring, index kept for active-mode routing) → gone.
+func TestMemberPhaseLifecycle(t *testing.T) {
+	r := NewRouter(Config{Name: "mlb-test", PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1})
+	r.RegisterMMP("mmp-1", 1)
+
+	if got := r.Phase("mmp-2"); got != PhaseUnknown {
+		t.Fatalf("unseen phase = %v, want unknown", got)
+	}
+	if err := r.BeginJoin("mmp-2"); err != nil {
+		t.Fatalf("begin join: %v", err)
+	}
+	if got := r.Phase("mmp-2"); got != PhaseJoining {
+		t.Fatalf("phase = %v, want joining", got)
+	}
+	if len(r.MMPs()) != 1 {
+		t.Fatal("joining MMP appeared on the ring before activation")
+	}
+	// Re-entry while joining is tolerated (retried join command).
+	if err := r.BeginJoin("mmp-2"); err != nil {
+		t.Fatalf("repeat begin join: %v", err)
+	}
+	// A joiner cannot drain: it owns nothing yet.
+	if err := r.BeginDrain("mmp-2"); err == nil {
+		t.Fatal("drain of a joining MMP accepted")
+	}
+
+	r.RegisterMMP("mmp-2", 2)
+	if got := r.Phase("mmp-2"); got != PhaseActive {
+		t.Fatalf("phase after activation = %v, want active", got)
+	}
+	if len(r.MMPs()) != 2 {
+		t.Fatalf("ring size = %d, want 2", len(r.MMPs()))
+	}
+	// An active member cannot re-join.
+	if err := r.BeginJoin("mmp-2"); err == nil {
+		t.Fatal("join of an active MMP accepted")
+	}
+	// AbortJoin must not touch non-joining members.
+	r.AbortJoin("mmp-2")
+	if got := r.Phase("mmp-2"); got != PhaseActive {
+		t.Fatalf("AbortJoin demoted an active member to %v", got)
+	}
+
+	if err := r.BeginDrain("mmp-2"); err != nil {
+		t.Fatalf("begin drain: %v", err)
+	}
+	if got := r.Phase("mmp-2"); got != PhaseDraining {
+		t.Fatalf("phase = %v, want draining", got)
+	}
+	if err := r.BeginDrain("mmp-2"); err == nil {
+		t.Fatal("second drain of the same MMP accepted")
+	}
+	// Off the ring (new idle-mode work reroutes) but still reachable by
+	// embedded UE id (in-flight active-mode procedures must land).
+	if len(r.MMPs()) != 1 {
+		t.Fatalf("ring size during drain = %d, want 1", len(r.MMPs()))
+	}
+	d, err := r.Route(&s1ap.UplinkNASTransport{MMEUEID: ueid.Compose(2, 5)})
+	if err != nil {
+		t.Fatalf("active-mode route during drain: %v", err)
+	}
+	if d.Target != "mmp-2" {
+		t.Fatalf("active-mode route during drain landed on %q, want mmp-2", d.Target)
+	}
+
+	r.FinishDrain("mmp-2")
+	if got := r.Phase("mmp-2"); got != PhaseUnknown {
+		t.Fatalf("phase after finish = %v, want unknown", got)
+	}
+	if _, err := r.Route(&s1ap.UplinkNASTransport{MMEUEID: ueid.Compose(2, 5)}); err == nil {
+		t.Fatal("drained MMP still routable by index")
+	}
+	// The id can come back later (scale-out reusing the slot).
+	if err := r.BeginJoin("mmp-2"); err != nil {
+		t.Fatalf("re-join after full drain: %v", err)
+	}
+}
+
+// TestHeadroomSkipsDraining verifies the capacity arithmetic ignores
+// leaving members: their capacity is not part of the cluster's future.
+func TestHeadroomSkipsDraining(t *testing.T) {
+	r := NewRouter(Config{Name: "mlb-test", PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 1})
+	r.RegisterMMP("mmp-1", 1)
+	r.RegisterMMP("mmp-2", 2)
+	r.ReportLoad("mmp-1", 0.2)
+	r.ReportLoad("mmp-2", 0.8)
+
+	if h, ok := r.Headroom(); !ok || h != 0.5 {
+		t.Fatalf("headroom = %v,%v, want 0.5,true", h, ok)
+	}
+	if err := r.BeginDrain("mmp-2"); err != nil {
+		t.Fatal(err)
+	}
+	// Only mmp-1 counts now.
+	if h, ok := r.Headroom(); !ok || h != 0.8 {
+		t.Fatalf("headroom during drain = %v,%v, want 0.8,true", h, ok)
+	}
+	r.FinishDrain("mmp-2")
+	if h, ok := r.Headroom(); !ok || h != 0.8 {
+		t.Fatalf("headroom after drain = %v,%v, want 0.8,true", h, ok)
+	}
+}

@@ -62,12 +62,14 @@ type Router struct {
 	reg  *guti.Registry
 
 	mu         sync.RWMutex
-	load       map[string]float64 // MMP id → smoothed CPU utilization
-	overloaded map[string]bool    // MMP id → self-declared admission overload
-	byIndex    map[uint8]string   // MMP index → id
-	index      map[string]uint8   // MMP id → index
+	load       map[string]float64     // MMP id → smoothed CPU utilization
+	overloaded map[string]bool        // MMP id → self-declared admission overload
+	byIndex    map[uint8]string       // MMP index → id
+	index      map[string]uint8       // MMP id → index
+	phase      map[string]MemberPhase // MMP id → membership phase
 	enbTAIs    map[uint32][]uint16
 	name       string
+	tokens     int
 
 	ob            *obs.Observer
 	routedInitial *obs.Counter // idle-mode (GUTI-hashed) routes
@@ -103,9 +105,11 @@ func NewRouter(cfg Config) *Router {
 		overloaded: make(map[string]bool),
 		byIndex:    make(map[uint8]string),
 		index:      make(map[string]uint8),
+		phase:      make(map[string]MemberPhase),
 		enbTAIs:    make(map[uint32][]uint16),
 		name:       cfg.Name,
 		ob:         cfg.Obs,
+		tokens:     cfg.Tokens,
 	}
 	if r.ob != nil {
 		r.routedInitial = r.ob.Reg.Counter(`mlb_routed_total{kind="initial"}`)
@@ -129,11 +133,40 @@ func (r *Router) Observer() *obs.Observer { return r.ob }
 // Name returns the MME identity presented to eNodeBs.
 func (r *Router) Name() string { return r.name }
 
+// MemberPhase tracks an MMP's membership lifecycle during elastic
+// scale-out/in. Only Active members are on the hash ring; Joining
+// members are receiving their token ranges' state and Draining members
+// have left the ring but still serve in-flight work while their
+// masters transfer out.
+type MemberPhase uint8
+
+// Membership phases.
+const (
+	PhaseUnknown MemberPhase = iota
+	PhaseJoining
+	PhaseActive
+	PhaseDraining
+)
+
+// String implements fmt.Stringer.
+func (p MemberPhase) String() string {
+	switch p {
+	case PhaseJoining:
+		return "joining"
+	case PhaseActive:
+		return "active"
+	case PhaseDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
 // RegisterMMP adds an MMP VM to the ring.
 func (r *Router) RegisterMMP(id string, index uint8) {
 	r.mu.Lock()
 	r.byIndex[index] = id
 	r.index[id] = index
+	r.phase[id] = PhaseActive
 	if _, ok := r.load[id]; !ok {
 		r.load[id] = 0
 	}
@@ -155,12 +188,88 @@ func (r *Router) UnregisterMMP(id string) {
 	}
 	delete(r.load, id)
 	delete(r.overloaded, id)
+	delete(r.phase, id)
 	r.mu.Unlock()
 	if r.ob != nil {
 		r.ob.Events.Emitf(eventlog.TypeRingRemove, r.name, id,
 			float64(len(r.ring.Nodes())), "")
 	}
 }
+
+// Phase reports an MMP's membership phase (PhaseUnknown for ids the
+// router has never seen or has fully removed).
+func (r *Router) Phase(id string) MemberPhase {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.phase[id]
+}
+
+// BeginJoin marks an MMP as joining: known to the cluster, receiving
+// its token ranges' state, not yet on the ring. RegisterMMP completes
+// the join (activation); AbortJoin rolls it back.
+func (r *Router) BeginJoin(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.phase[id]; ok && p != PhaseJoining {
+		return fmt.Errorf("mlb: %s cannot join while %s", id, p)
+	}
+	r.phase[id] = PhaseJoining
+	return nil
+}
+
+// AbortJoin forgets a joining MMP (its connection died before
+// activation). Active and draining members are left untouched.
+func (r *Router) AbortJoin(id string) {
+	r.mu.Lock()
+	if r.phase[id] == PhaseJoining {
+		delete(r.phase, id)
+	}
+	r.mu.Unlock()
+}
+
+// BeginDrain starts scale-in for an Active MMP: it leaves the hash
+// ring immediately — new idle-mode work routes to the remaining
+// members — but keeps its index registration so active-mode messages
+// (embedded UE ids) still reach it while its masters transfer out.
+// FinishDrain completes the removal.
+func (r *Router) BeginDrain(id string) error {
+	r.mu.Lock()
+	if p := r.phase[id]; p != PhaseActive {
+		r.mu.Unlock()
+		return fmt.Errorf("mlb: %s cannot drain while %s", id, p)
+	}
+	r.phase[id] = PhaseDraining
+	r.mu.Unlock()
+	r.ring.Remove(chash.NodeID(id))
+	if r.ob != nil {
+		r.ob.Events.Emitf(eventlog.TypeDrainStart, r.name, id,
+			float64(len(r.ring.Nodes())), "")
+	}
+	return nil
+}
+
+// FinishDrain completes scale-in: the drained MMP's index and load
+// records go away, so nothing routes to it anymore.
+func (r *Router) FinishDrain(id string) {
+	r.mu.Lock()
+	if idx, ok := r.index[id]; ok {
+		delete(r.byIndex, idx)
+		delete(r.index, id)
+	}
+	delete(r.load, id)
+	delete(r.overloaded, id)
+	delete(r.phase, id)
+	r.mu.Unlock()
+	if r.ob != nil {
+		r.ob.Events.Emitf(eventlog.TypeRingRemove, r.name, id,
+			float64(len(r.ring.Nodes())), "")
+	}
+}
+
+// Tokens reports the per-VM token count the ring was built with, so
+// membership orchestration can build prospective rings that hash
+// identically.
+func (r *Router) Tokens() int { return r.tokens }
 
 // MMPs returns the registered MMP ids.
 func (r *Router) MMPs() []string {
@@ -216,11 +325,15 @@ func (r *Router) Overloaded(id string) bool {
 func (r *Router) Headroom() (headroom float64, ok bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if len(r.index) == 0 {
-		return 0, false
-	}
 	var sum float64
+	n := 0
 	for id := range r.index {
+		// A draining member is leaving: its capacity is not part of the
+		// cluster's future, so counting it would overstate headroom right
+		// when the remaining members absorb its load.
+		if r.phase[id] == PhaseDraining {
+			continue
+		}
 		u := r.load[id]
 		if u > 1 {
 			u = 1
@@ -232,8 +345,12 @@ func (r *Router) Headroom() (headroom float64, ok bool) {
 			u = 1
 		}
 		sum += u
+		n++
 	}
-	return 1 - sum/float64(len(r.index)), true
+	if n == 0 {
+		return 0, false
+	}
+	return 1 - sum/float64(n), true
 }
 
 // HandleS1Setup registers an eNodeB and returns the S1SetupResponse the

@@ -1,0 +1,212 @@
+package mmp
+
+import (
+	"errors"
+	"testing"
+
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+	"scale/internal/sgw"
+	"scale/internal/state"
+	"scale/internal/ueid"
+)
+
+// newShardedTestBed builds an engine with a fixed shard count so tests
+// can place ids and devices on specific shards deterministically.
+func newShardedTestBed(t *testing.T, shards int) *testBed {
+	t.Helper()
+	db := hss.NewDB()
+	db.ProvisionRange(100000, 100)
+	gw := sgw.New()
+	rep := &captureReplicator{}
+	eng := New(Config{
+		ID:             "mmp-1",
+		Index:          1,
+		PLMN:           guti.PLMN{MCC: 310, MNC: 26},
+		MMEGI:          0x0101,
+		MMEC:           1,
+		ServingNetwork: "310-26",
+		HSS:            localHSS{db},
+		SGW:            localSGW{gw},
+		Replicator:     rep,
+		Shards:         shards,
+	})
+	return &testBed{engine: eng, hssDB: db, gw: gw, rep: rep}
+}
+
+// releaseUE drives a device Active→Idle through the release handshake.
+func (tb *testBed) releaseUE(t *testing.T, enbID, enbUEID, mmeUEID uint32) {
+	t.Helper()
+	if _, err := tb.engine.Handle(enbID, &s1ap.UEContextReleaseRequest{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID, Cause: 1,
+	}); err != nil {
+		t.Fatalf("release request: %v", err)
+	}
+	if _, err := tb.engine.Handle(enbID, &s1ap.UEContextReleaseComplete{
+		ENBUEID: enbUEID, MMEUEID: mmeUEID,
+	}); err != nil {
+		t.Fatalf("release complete: %v", err)
+	}
+}
+
+// TestPauseShardRejectsStarts verifies the migration gate: a paused
+// shard refuses new procedure starts with ErrPaused (so the host
+// bounces them over the forward path) and serves again after resume.
+func TestPauseShardRejectsStarts(t *testing.T) {
+	tb := newTestBed(t)
+	e := tb.engine
+
+	for i := 0; i < e.NumShards(); i++ {
+		e.PauseShard(i)
+	}
+	if got := e.PausedShards(); got != e.NumShards() {
+		t.Fatalf("PausedShards = %d, want %d", got, e.NumShards())
+	}
+	_, err := e.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 10, TAI: 7,
+		NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: 100000}),
+	})
+	if !errors.Is(err, ErrPaused) {
+		t.Fatalf("attach on paused shard: err = %v, want ErrPaused", err)
+	}
+
+	for i := 0; i < e.NumShards(); i++ {
+		e.ResumeShard(i)
+	}
+	if got := e.PausedShards(); got != 0 {
+		t.Fatalf("PausedShards after resume = %d, want 0", got)
+	}
+	g, _ := tb.attach(t, 100000, 1, 10)
+	if _, ok := e.Store().Get(g); !ok {
+		t.Fatal("attach after resume left no context")
+	}
+}
+
+// TestPauseShardRejectsServiceRequest covers the idle-mode starters: a
+// registered device's service request on a paused shard bounces too.
+func TestPauseShardRejectsServiceRequest(t *testing.T) {
+	tb := newTestBed(t)
+	e := tb.engine
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+	tb.releaseUE(t, 1, 10, mmeUEID)
+
+	for i := 0; i < e.NumShards(); i++ {
+		e.PauseShard(i)
+	}
+	ctx, _ := e.Store().Get(g)
+	_, err := e.Handle(1, &s1ap.InitialUEMessage{
+		ENBUEID: 11, TAI: 7,
+		NASPDU: nas.Marshal(&nas.ServiceRequest{GUTI: ctx.GUTI, KSI: 1}),
+	})
+	if !errors.Is(err, ErrPaused) {
+		t.Fatalf("service request on paused shard: err = %v, want ErrPaused", err)
+	}
+}
+
+// TestSnapshotMastersShard verifies the per-shard export primitive:
+// shard snapshots partition the full master set and return clones.
+func TestSnapshotMastersShard(t *testing.T) {
+	tb := newTestBed(t)
+	e := tb.engine
+	for i := 0; i < 8; i++ {
+		tb.attach(t, uint64(100000+i), 1, uint32(10+i))
+	}
+
+	total := 0
+	for i := 0; i < e.NumShards(); i++ {
+		total += len(e.SnapshotMastersShard(i))
+	}
+	if all := len(e.SnapshotMasters()); total != all || total != 8 {
+		t.Fatalf("shard snapshots sum to %d, SnapshotMasters = %d, want 8", total, all)
+	}
+	for i := 0; i < e.NumShards(); i++ {
+		for _, snap := range e.SnapshotMastersShard(i) {
+			snap.Version = 999
+			stored, _ := e.Store().Get(snap.GUTI)
+			if stored.Version == 999 {
+				t.Fatal("SnapshotMastersShard returned a live pointer")
+			}
+		}
+	}
+}
+
+// TestDemoteToReplica verifies the join-fill demotion: a master whose
+// device moved to the joiner becomes a replica crediting the new
+// master, and the operation is a no-op on replicas and unknown devices.
+func TestDemoteToReplica(t *testing.T) {
+	tb := newTestBed(t)
+	e := tb.engine
+	g, mmeUEID := tb.attach(t, 100000, 1, 10)
+	tb.releaseUE(t, 1, 10, mmeUEID)
+
+	if !e.DemoteToReplica(g, "mmp-7") {
+		t.Fatal("demote of a mastered device returned false")
+	}
+	if !e.Store().IsReplica(g) {
+		t.Fatal("demoted device still a master")
+	}
+	ctx, _ := e.Store().Get(g)
+	if ctx.MasterMMP != "mmp-7" {
+		t.Fatalf("MasterMMP = %q, want mmp-7", ctx.MasterMMP)
+	}
+	if e.DemoteToReplica(g, "mmp-8") {
+		t.Fatal("second demote of a replica returned true")
+	}
+	if e.DemoteToReplica(guti.GUTI{MTMSI: 999999}, "mmp-7") {
+		t.Fatal("demote of an unknown device returned true")
+	}
+}
+
+// TestForeignPostMigrationIDs mirrors the post-failover ueid tests for
+// the migration path: a context installed by a state transfer keeps the
+// MME UE id its original master minted, whose embedded index and
+// sequence place it on a different lock shard here — the two-hop
+// foreign-id slow path must still resolve it for in-flight S1
+// procedures (release racing a drain being the canonical case).
+func TestForeignPostMigrationIDs(t *testing.T) {
+	tb := newShardedTestBed(t, 4)
+	e := tb.engine
+
+	g := guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 0x0101, MMEC: 9, MTMSI: 42}
+	// Mint the id as the drained mmp-9 (index 9) would have, picking a
+	// sequence whose shard bits disagree with the device's GUTI shard so
+	// the lookup cannot succeed without the cross-shard hop.
+	gutiShard := uint32(g.Hash()) & uint32(e.NumShards()-1)
+	seq := (gutiShard + 1) % uint32(e.NumShards())
+	foreignID := ueid.Compose(9, seq)
+	if mmp, _ := ueid.Split(foreignID); mmp != 9 {
+		t.Fatalf("foreign id lost its owner index: %d", mmp)
+	}
+
+	e.InstallMaster(&state.UEContext{
+		IMSI: 900042, GUTI: g, Mode: state.Active,
+		ENBID: 1, ENBUEID: 77, MMEUEID: foreignID,
+		BearerID: 5, Version: 3,
+	})
+	if e.Store().MasterCount() != 1 {
+		t.Fatalf("MasterCount = %d, want 1", e.Store().MasterCount())
+	}
+
+	// Release request by the foreign id: resolved via byMMEUEID on the
+	// id's shard, then the hop to the device's shard.
+	out, err := e.Handle(1, &s1ap.UEContextReleaseRequest{ENBUEID: 77, MMEUEID: foreignID, Cause: 1})
+	if err != nil {
+		t.Fatalf("release by foreign id: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("release out = %d msgs, want 1", len(out))
+	}
+	if _, err := e.Handle(1, &s1ap.UEContextReleaseComplete{ENBUEID: 77, MMEUEID: foreignID}); err != nil {
+		t.Fatalf("release complete by foreign id: %v", err)
+	}
+	ctx, _ := e.Store().Get(g)
+	if ctx.Mode != state.Idle {
+		t.Fatalf("mode after release = %v, want Idle", ctx.Mode)
+	}
+	// The id mapping is retired with the S1 association.
+	if _, err := e.Handle(1, &s1ap.UEContextReleaseRequest{ENBUEID: 77, MMEUEID: foreignID, Cause: 1}); !errors.Is(err, ErrNoContext) {
+		t.Fatalf("released foreign id still resolves: err = %v", err)
+	}
+}

@@ -178,6 +178,10 @@ var (
 	// ErrBadState means the message does not fit the device's procedure
 	// state (e.g. AuthResponse with no attach in progress).
 	ErrBadState = errors.New("mmp: message does not match procedure state")
+	// ErrPaused means the device's shard is paused for state migration;
+	// the host should redirect the message like ErrNoContext — the ring
+	// already (or soon will) name another VM as master.
+	ErrPaused = errors.New("mmp: shard paused for state migration")
 )
 
 type attachProc struct {
@@ -219,6 +223,12 @@ type engineShard struct {
 	// attachPeak records the high-water mark for the overload metrics.
 	attachLoad atomic.Int32
 	attachPeak atomic.Int32
+
+	// paused gates new procedure starts while the shard's masters are
+	// being migrated off this VM (drain). Continuations of in-flight
+	// procedures are never paused — they run to completion so the
+	// shard quiesces instead of deadlocking its own drain.
+	paused atomic.Bool
 
 	stats shardStats
 }
@@ -584,6 +594,9 @@ func (e *Engine) startAttach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.At
 		g = e.alloc.Allocate()
 	}
 	s := e.gutiShard(g)
+	if s.paused.Load() {
+		return nil, ErrPaused
+	}
 	if !e.admitAttach(s) {
 		s.stats.admissionRejects.Add(1)
 		if e.obs != nil {
@@ -836,6 +849,9 @@ func (e *Engine) handleICSResponse(enbID uint32, m *s1ap.InitialContextSetupResp
 // serviceRequest handles the Idle→Active transition.
 func (e *Engine) serviceRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.ServiceRequest) ([]Outbound, error) {
 	s := e.gutiShard(req.GUTI)
+	if s.paused.Load() {
+		return nil, ErrPaused
+	}
 	s.mu.Lock()
 	ctx, ok := e.store.GetAt(int(s.idx), req.GUTI)
 	if !ok {
@@ -883,6 +899,9 @@ func (e *Engine) serviceRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas
 
 func (e *Engine) tauRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.TAURequest) ([]Outbound, error) {
 	s := e.gutiShard(req.GUTI)
+	if s.paused.Load() {
+		return nil, ErrPaused
+	}
 	s.mu.Lock()
 	ctx, ok := e.store.GetAt(int(s.idx), req.GUTI)
 	if !ok {
@@ -910,6 +929,9 @@ func (e *Engine) tauRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.TAU
 
 func (e *Engine) detach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.DetachRequest) ([]Outbound, error) {
 	s := e.gutiShard(req.GUTI)
+	if s.paused.Load() {
+		return nil, ErrPaused
+	}
 	s.mu.Lock()
 	ctx, ok := e.store.GetAt(int(s.idx), req.GUTI)
 	if !ok {
@@ -1272,17 +1294,75 @@ func (e *Engine) PromoteReplicasFrom(deadID string) []*state.UEContext {
 // half-applied procedure.
 func (e *Engine) SnapshotMasters() []*state.UEContext {
 	var out []*state.UEContext
-	for i, s := range e.shards {
-		s.mu.Lock()
-		e.store.RangeShard(i, func(ctx *state.UEContext, isReplica bool) bool {
-			if !isReplica {
-				out = append(out, ctx.Clone())
-			}
-			return true
-		})
-		s.mu.Unlock()
+	for i := range e.shards {
+		out = append(out, e.SnapshotMastersShard(i)...)
 	}
 	return out
+}
+
+// SnapshotMastersShard clones shard i's master entries — the unit of
+// bulk state transfer. The engine shard is locked while its store shard
+// is walked, so snapshots never observe a half-applied procedure.
+func (e *Engine) SnapshotMastersShard(i int) []*state.UEContext {
+	var out []*state.UEContext
+	s := e.shards[i]
+	s.mu.Lock()
+	e.store.RangeShard(i, func(ctx *state.UEContext, isReplica bool) bool {
+		if !isReplica {
+			out = append(out, ctx.Clone())
+		}
+		return true
+	})
+	s.mu.Unlock()
+	return out
+}
+
+// PauseShard stops new procedure starts on shard i (drain step 1).
+// In-flight continuations keep running so the shard can quiesce.
+func (e *Engine) PauseShard(i int) { e.shards[i].paused.Store(true) }
+
+// ResumeShard lifts a PauseShard (an aborted drain).
+func (e *Engine) ResumeShard(i int) { e.shards[i].paused.Store(false) }
+
+// ShardPaused reports shard i's pause gate.
+func (e *Engine) ShardPaused(i int) bool { return e.shards[i].paused.Load() }
+
+// PausedShards counts shards currently paused for migration.
+func (e *Engine) PausedShards() int {
+	n := 0
+	for _, s := range e.shards {
+		if s.paused.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardPending reports shard i's in-flight procedure count: pending
+// attaches (including admission reservations) plus pending handovers.
+// A paused shard is quiescent — safe to snapshot for transfer — once
+// this reaches zero.
+func (e *Engine) ShardPending(i int) int {
+	s := e.shards[i]
+	n := int(s.attachLoad.Load())
+	s.mu.Lock()
+	n += len(s.pendingHO)
+	s.mu.Unlock()
+	return n
+}
+
+// DemoteToReplica flips a master entry to replica after its mastership
+// moved to newMaster during a ring rebalance (join fill). Unlike a
+// failover promotion there is no version bump: the new master bumped
+// the version when it installed the context, so this VM's copy is the
+// R=2 replica at the pre-transfer version, refreshed by the new
+// master's next push. Reports whether a master entry was demoted.
+func (e *Engine) DemoteToReplica(g guti.GUTI, newMaster string) bool {
+	s := e.gutiShard(g)
+	s.mu.Lock()
+	ok := e.store.Demote(g, newMaster)
+	s.mu.Unlock()
+	return ok
 }
 
 // InstallMaster provisions a context directly as master state — used for

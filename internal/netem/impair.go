@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"errors"
 	"math/rand"
 	"net"
 	"sync"
@@ -36,6 +37,7 @@ type Impairment struct {
 	healed      chan struct{} // closed when the current partition lifts
 	closed      bool
 	err         error
+	failWrites  int // next n writes refused with ErrTransient
 
 	queue      chan impairedChunk
 	done       chan struct{}
@@ -115,6 +117,26 @@ func (im *Impairment) Partition(on bool) {
 	}
 }
 
+// ErrTransient is the error surfaced by writes refused via
+// FailNextWrites. It models a transient syscall-level refusal (ENOBUFS
+// under memory pressure, a full socket buffer on a non-blocking write)
+// where the kernel accepted nothing: the connection is still healthy
+// and later writes succeed.
+var ErrTransient = errors.New("netem: transient write failure")
+
+// FailNextWrites arms the link to refuse the next n writes with
+// (0, ErrTransient) without queueing any bytes. Unlike Partition,
+// which silently holds data, this surfaces an error to the writer —
+// the shape of failure that exercises sender-side error handling and
+// recovery rather than timeout paths.
+func (im *Impairment) FailNextWrites(n int) {
+	im.mu.Lock()
+	if n > 0 {
+		im.failWrites = n
+	}
+	im.mu.Unlock()
+}
+
 // LossEvents reports how many writes paid the loss penalty so far.
 func (im *Impairment) LossEvents() uint64 { return im.lossEvents.Load() }
 
@@ -131,6 +153,11 @@ func (im *Impairment) Write(b []byte) (int, error) {
 		err := im.err
 		im.mu.Unlock()
 		return 0, err
+	}
+	if im.failWrites > 0 {
+		im.failWrites--
+		im.mu.Unlock()
+		return 0, ErrTransient
 	}
 	wait := im.delay.Sample(im.rng)
 	if im.loss > 0 && im.rng.Float64() < im.loss {

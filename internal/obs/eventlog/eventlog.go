@@ -35,6 +35,10 @@ const (
 	TypeRingRemove     = "ring-remove"     // MMP left the serving ring
 	TypeSLOBreach      = "slo-breach"      // an objective entered breach
 	TypeSLOClear       = "slo-clear"       // an objective recovered
+	TypeJoinStart      = "join-start"      // MMP began a state-transfer join
+	TypeJoinDone       = "join-done"       // joining MMP activated on the ring
+	TypeDrainStart     = "drain-start"     // MMP left the ring, transferring masters out
+	TypeDrainDone      = "drain-done"      // draining MMP deregistered cleanly
 )
 
 // Event is one flight-recorder entry. Seq is a per-log monotonic

@@ -370,6 +370,24 @@ func (s *Store) Promote(g guti.GUTI) (*UEContext, bool) {
 	return c, true
 }
 
+// Demote flips a master entry to replica, recording newMaster as the
+// device's master — the inverse of Promote, used when mastership moves
+// to another VM during a live ring rebalance. Replica entries and
+// misses are left untouched. Reports whether a master entry was
+// demoted.
+func (s *Store) Demote(g guti.GUTI, newMaster string) bool {
+	sh := s.shard(g)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.byGUTI[g]
+	if !ok || sh.replica[g] {
+		return false
+	}
+	sh.replica[g] = true
+	c.MasterMMP = newMaster
+	return true
+}
+
 // PromoteMatching promotes every replica entry matching pred to master
 // and returns the promoted contexts. Master entries are never visited.
 // The failover path uses it to take ownership of the devices a dead MMP

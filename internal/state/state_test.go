@@ -307,3 +307,41 @@ func BenchmarkContextUnmarshal(b *testing.B) {
 		}
 	}
 }
+
+func TestStoreDemote(t *testing.T) {
+	s := NewStore()
+	c := sampleContext()
+	s.PutMaster(c)
+
+	if !s.Demote(c.GUTI, "mmp-4") {
+		t.Fatal("demote of a master returned false")
+	}
+	if !s.IsReplica(c.GUTI) {
+		t.Fatal("demoted entry not flagged replica")
+	}
+	if got, _ := s.Get(c.GUTI); got.MasterMMP != "mmp-4" {
+		t.Fatalf("MasterMMP = %q, want mmp-4", got.MasterMMP)
+	}
+	if s.MasterCount() != 0 {
+		t.Fatalf("MasterCount = %d after demote, want 0", s.MasterCount())
+	}
+	// Idempotence and misses: replicas and absent devices are untouched.
+	if s.Demote(c.GUTI, "mmp-5") {
+		t.Fatal("demote of a replica returned true")
+	}
+	if got, _ := s.Get(c.GUTI); got.MasterMMP != "mmp-4" {
+		t.Fatal("second demote overwrote the master id")
+	}
+	if s.Demote(guti.GUTI{MTMSI: 12345}, "mmp-4") {
+		t.Fatal("demote of an unknown device returned true")
+	}
+
+	// Demote then Promote round-trips mastership (drain reversed by a
+	// later failover of the new master).
+	if _, ok := s.Promote(c.GUTI); !ok {
+		t.Fatal("promote after demote failed")
+	}
+	if s.IsReplica(c.GUTI) || s.MasterCount() != 1 {
+		t.Fatal("promote did not restore mastership")
+	}
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"scale/internal/netem"
+)
+
+// TestWriteRecoversAfterTransientError verifies the write path is not
+// permanently poisoned by one failed syscall: the erroring frame is
+// lost (like a frame inside a dropped TCP window), but the next write
+// resets the buffered writer and the stream stays framed — the peer
+// decodes every subsequent frame cleanly.
+func TestWriteRecoversAfterTransientError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan *Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- NewConn(nc)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := netem.NewImpairment(nc, 1)
+	client := NewConn(im)
+	defer client.Close()
+	var server *Conn
+	select {
+	case server = <-accepted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	defer server.Close()
+
+	if err := client.Write(1, []byte("before")); err != nil {
+		t.Fatalf("write before impairment: %v", err)
+	}
+
+	im.FailNextWrites(2)
+	sawErr := false
+	for i := 0; i < 4; i++ {
+		if err := client.Write(2, []byte("during")); err != nil {
+			if !errors.Is(err, netem.ErrTransient) {
+				t.Fatalf("unexpected write error: %v", err)
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("impaired writes never surfaced an error")
+	}
+	if err := client.Write(3, []byte("after")); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+
+	// The peer sees a clean framed stream: whatever frames survived
+	// decode in order, and the post-recovery frame always arrives.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := server.SetReadDeadline(deadline); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := server.Read()
+		if err != nil {
+			t.Fatalf("peer read after recovery: %v", err)
+		}
+		switch msg.Stream {
+		case 1:
+			if string(msg.Payload) != "before" {
+				t.Fatalf("frame 1 corrupted: %q", msg.Payload)
+			}
+		case 2:
+			if string(msg.Payload) != "during" {
+				t.Fatalf("frame 2 corrupted: %q", msg.Payload)
+			}
+		case 3:
+			if string(msg.Payload) != "after" {
+				t.Fatalf("frame 3 corrupted: %q", msg.Payload)
+			}
+			return // post-recovery frame delivered intact
+		default:
+			t.Fatalf("unexpected stream %d", msg.Stream)
+		}
+	}
+}

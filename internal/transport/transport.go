@@ -111,6 +111,16 @@ type Conn struct {
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
+	// werr records that the buffered writer latched a write error. bufio
+	// makes errors sticky, so without recovery one transient refusal
+	// from the OS (or an impaired test link) would permanently kill a
+	// connection whose socket is still healthy. The next write resets
+	// the buffer first: the frames buffered at the moment of failure are
+	// lost — like frames inside a dropped TCP window — but the stream
+	// stays framed when the failed syscall wrote nothing (how refusals
+	// surface). A genuinely dead socket keeps erroring and is detected
+	// by the read loop and close hook exactly as before.
+	werr bool
 	// wwaiters counts goroutines between "decided to write" and
 	// "acquired wmu". The lock holder flushes only when nobody is
 	// waiting: under contention, queued frames batch into one flush
@@ -197,16 +207,23 @@ func (c *Conn) WriteTraced(stream uint16, traceID uint64, payload []byte) error 
 	c.wmu.Lock()
 	c.wwaiters.Add(-1)
 	defer c.wmu.Unlock()
+	if c.werr {
+		c.bw.Reset(c.nc)
+		c.werr = false
+	}
 	if _, err := c.bw.Write(hdr[:hlen]); err != nil {
+		c.werr = true
 		//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 		return fmt.Errorf("transport: write header: %w", err)
 	}
 	if _, err := c.bw.Write(payload); err != nil {
+		c.werr = true
 		//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 		return fmt.Errorf("transport: write payload: %w", err)
 	}
 	if c.wwaiters.Load() == 0 {
 		if err := c.bw.Flush(); err != nil {
+			c.werr = true
 			//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 			return fmt.Errorf("transport: flush: %w", err)
 		}

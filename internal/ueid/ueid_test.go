@@ -78,6 +78,41 @@ func TestShardAlignmentSurvivesWrap(t *testing.T) {
 // index: Split must keep returning the original owner (the MLB routes
 // on it, and the inheritor matches on it), and no sequence value may
 // bleed into the embedded MMP bits.
+// A live migration (join fill or drain) moves a context — with the MME
+// UE id its original master minted — onto a VM whose shard count may
+// differ from the minter's. The destination indexes the id by its own
+// seq&mask, so the only property migration needs from the id itself is
+// determinism: Split must be stable, owner bits intact, and the
+// destination's shard derivation must agree between install and lookup
+// for any power-of-two shard count.
+func TestForeignPostMigrationIDs(t *testing.T) {
+	const minter, dest = 2, 6
+	for _, minterShards := range []uint32{1, 4, 64} {
+		for _, destShards := range []uint32{1, 8, 256} {
+			for _, counter := range []uint32{0, 1, MaxSeq / minterShards, MaxSeq} {
+				for idx := uint32(0); idx < minterShards; idx += max(1, minterShards/2) {
+					id := Compose(minter, counter*minterShards+idx)
+					mmp, seq := Split(id)
+					if mmp != minter {
+						t.Fatalf("migrated id lost its minter: got %d, want %d", mmp, minter)
+					}
+					// Install and lookup on the destination both derive the
+					// shard from the id alone; one Split must serve both.
+					_, again := Split(id)
+					if seq&(destShards-1) != again&(destShards-1) {
+						t.Fatalf("dest shard unstable for id %#x", id)
+					}
+					// The destination's own mints can never collide with an
+					// adopted id, so byMMEUEID entries stay unambiguous.
+					if own := Compose(dest, seq); own == id {
+						t.Fatalf("destination mint collides with migrated id %#x", id)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestForeignPostFailoverIDs(t *testing.T) {
 	const dead, survivor = 3, 5
 	for _, seq := range []uint32{0, 1, MaxSeq, MaxSeq + 1, ^uint32(0)} {

@@ -18,6 +18,8 @@ targets=(
     "./internal/wire FuzzWriterRoundTrip"
     "./internal/transport FuzzFrameRead"
     "./internal/transport FuzzFrameRoundTrip"
+    "./internal/core FuzzXferChunk"
+    "./internal/core FuzzCtlElastic"
 )
 
 for t in "${targets[@]}"; do
