@@ -24,7 +24,26 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations (A1-A4)")
 	jsonOut := flag.String("json", "", `write a machine-readable run report to this file ("auto" names it BENCH_<stamp>.json)`)
+	diff := flag.Bool("diff", false, "compare two BENCH_*.json reports (args: OLD.json NEW.json) against the regression budget; exit 1 on breach")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: scale-bench -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		breaches, err := diffReports(flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale-bench -diff: %v\n", err)
+			os.Exit(2)
+		}
+		if breaches > 0 {
+			fmt.Printf("bench gate: %d regression budget breach(es)\n", breaches)
+			os.Exit(1)
+		}
+		fmt.Println("bench gate: within budget")
+		return
+	}
 
 	all := experiments.All()
 	// Ablations join the set when requested explicitly or when a filter

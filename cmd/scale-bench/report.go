@@ -163,6 +163,71 @@ func calibrate(rep *benchReport) {
 	cal.Stages = spans.Summaries()
 }
 
+// Regression budget for the -diff gate: the calibration scenario is a
+// seeded, simulated-time run, so its numbers are deterministic enough
+// for hard thresholds even on noisy CI runners.
+const (
+	maxThroughputDropPct = 5  // completed procedures/sec may not drop more
+	maxP99RisePct        = 10 // per-procedure p99 latency may not rise more
+)
+
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// diffReports compares two BENCH_*.json calibration sections against
+// the regression budget, printing one line per metric, and returns the
+// number of breaches.
+func diffReports(oldPath, newPath string) (int, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	breaches := 0
+	oc, nc := &oldRep.Calibration, &newRep.Calibration
+
+	tputDelta := 100 * (nc.ThroughputPerSec - oc.ThroughputPerSec) / oc.ThroughputPerSec
+	mark := "ok"
+	if tputDelta < -maxThroughputDropPct {
+		mark = fmt.Sprintf("FAIL (budget -%d%%)", maxThroughputDropPct)
+		breaches++
+	}
+	fmt.Printf("%-28s %10.1f -> %10.1f  %+6.1f%%  %s\n",
+		"throughput/sec", oc.ThroughputPerSec, nc.ThroughputPerSec, tputDelta, mark)
+
+	oldP99 := make(map[string]float64, len(oc.Latency))
+	for _, l := range oc.Latency {
+		oldP99[l.Proc] = l.P99MS
+	}
+	for _, l := range nc.Latency {
+		base, ok := oldP99[l.Proc]
+		if !ok || base == 0 {
+			fmt.Printf("%-28s %10s -> %10.3f  %7s  new\n", l.Proc+" p99 ms", "-", l.P99MS, "")
+			continue
+		}
+		delta := 100 * (l.P99MS - base) / base
+		mark := "ok"
+		if delta > maxP99RisePct {
+			mark = fmt.Sprintf("FAIL (budget +%d%%)", maxP99RisePct)
+			breaches++
+		}
+		fmt.Printf("%-28s %10.3f -> %10.3f  %+6.1f%%  %s\n", l.Proc+" p99 ms", base, l.P99MS, delta, mark)
+	}
+	return breaches, nil
+}
+
 // writeReport writes the report to path ("auto" → BENCH_<stamp>.json)
 // and returns the resolved path.
 func writeReport(rep *benchReport, path string) (string, error) {

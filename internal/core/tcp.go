@@ -102,19 +102,17 @@ func EncodeEnvelope(enbID uint32, tai uint16, msg s1ap.Message) []byte {
 }
 
 // writeEnvelope frames msg with its routing tag and writes it on the S1
-// stream, encoding through the wire writer pool. Recycling immediately
-// after the write is safe: Conn.WriteTraced copies the payload into the
-// connection's buffer before returning.
+// stream, encoding straight into a pooled frame: WriteFrame queues the
+// encoded buffer for the gathered flush and recycles it afterwards, so
+// the envelope is never copied between encode and syscall.
 //
 //scale:hotpath
 func writeEnvelope(conn *transport.Conn, trace uint64, enbID uint32, tai uint16, msg s1ap.Message) error {
-	w := wire.GetWriter()
+	w := transport.GetFrame()
 	w.U32(enbID)
 	w.U16(tai)
 	s1ap.MarshalTo(w, msg)
-	err := conn.WriteTraced(StreamS1, trace, w.Bytes())
-	wire.PutWriter(w)
-	return err
+	return conn.WriteFrame(StreamS1, trace, w)
 }
 
 // DecodeEnvelope unpacks an S1AP envelope.
@@ -578,6 +576,9 @@ func (s *MLBServer) failover(id, cause string) {
 
 // handleENB processes frames from eNodeB connections.
 func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
+	// The S1AP decode copies every field out of the wire buffer, so the
+	// pooled payload recycles when dispatch completes.
+	defer frame.Free()
 	msg, err := s1ap.Unmarshal(frame.Payload)
 	if err != nil {
 		s.logf("mlb: bad S1AP frame from eNB: %v", err)
@@ -620,11 +621,9 @@ func (s *MLBServer) handleENB(conn *transport.Conn, frame transport.Message) {
 				c.Inc()
 			}
 			reject := s.ovl.CongestionReject(msg.(*s1ap.InitialUEMessage), proc)
-			w := wire.GetWriter()
+			w := transport.GetFrame()
 			s1ap.MarshalTo(w, reject)
-			err := conn.Write(transport.StreamUE, w.Bytes())
-			wire.PutWriter(w)
-			if err != nil {
+			if err := conn.WriteFrame(transport.StreamUE, 0, w); err != nil {
 				s.logf("mlb: shed reject: %v", err)
 			}
 			return
@@ -749,8 +748,12 @@ func (s *MLBServer) onENBClose(conn *transport.Conn, _ error) {
 	}
 }
 
-// handleMMP processes frames from MMP agents.
+// handleMMP processes frames from MMP agents. Every branch finishes
+// with the payload decoded into owned values (requeueBounce copies the
+// one envelope that outlives the handler), so the frame recycles
+// unconditionally on return.
 func (s *MLBServer) handleMMP(conn *transport.Conn, frame transport.Message) {
+	defer frame.Free()
 	switch frame.Stream {
 	case StreamCtl:
 		r := wire.NewReader(frame.Payload)
@@ -892,9 +895,11 @@ func (s *MLBServer) tryDeliverBounce(trace uint64, fromID string, msg s1ap.Messa
 }
 
 // requeueBounce retries an undeliverable bounce with the same bounded
-// backoff and budget as direct forwards. The envelope is caller-owned
-// (freshly allocated per frame by the transport read path), so holding
-// it across retries is safe.
+// backoff and budget as direct forwards. The envelope aliases a pooled
+// read buffer that the dispatch path recycles when the handler returns,
+// so the retry goroutine works from a private copy — bounces that reach
+// the backoff path are rare (membership in flux), so the copy is far
+// off the steady-state cycle.
 func (s *MLBServer) requeueBounce(trace uint64, fromID string, msg s1ap.Message, envelope []byte) {
 	if s.retrySlots.Add(1) > int32(s.cfg.ForwardRetryBudget) {
 		s.retrySlots.Add(-1)
@@ -907,6 +912,7 @@ func (s *MLBServer) requeueBounce(trace uint64, fromID string, msg s1ap.Message,
 		s.logf("mlb: retry budget exhausted, dropping bounced %s from %s", msg.Type(), fromID)
 		return
 	}
+	envelope = append([]byte(nil), envelope...)
 	go func() {
 		defer s.retrySlots.Add(-1)
 		deadline := time.Now().Add(s.cfg.ForwardTimeout)
@@ -988,11 +994,9 @@ func (s *MLBServer) sendToENB(enbID uint32, msg s1ap.Message) {
 		s.logf("mlb: no connection for eNB %d", enbID)
 		return
 	}
-	w := wire.GetWriter()
+	w := transport.GetFrame()
 	s1ap.MarshalTo(w, msg)
-	err := conn.Write(transport.StreamUE, w.Bytes())
-	wire.PutWriter(w)
-	if err != nil {
+	if err := conn.WriteFrame(transport.StreamUE, 0, w); err != nil {
 		s.logf("mlb: downlink to eNB %d: %v", enbID, err)
 	}
 }
@@ -1242,9 +1246,12 @@ func (a *MMPAgent) serveLoop() {
 		}
 		switch frame.Stream {
 		case StreamS1:
+			// Ownership transfers to the S1 queue; the worker (or the
+			// shed path) frees the frame once the procedure is handled.
 			a.enqueueS1(frame)
 		case StreamRep:
 			ctx, err := state.Unmarshal(frame.Payload)
+			frame.Free()
 			if err != nil {
 				a.logf("mmp agent: bad replica: %v", err)
 				continue
@@ -1254,8 +1261,10 @@ func (a *MMPAgent) serveLoop() {
 			}
 		case StreamXfer:
 			a.installXferChunk(frame)
+			frame.Free()
 		case StreamCtl:
 			a.handleCtl(frame)
+			frame.Free()
 		}
 	}
 }
@@ -1274,12 +1283,14 @@ func (a *MMPAgent) enqueueS1(frame transport.Message) {
 	default:
 	}
 	if a.rejectAtQueueFull(frame) {
+		frame.Free()
 		return
 	}
 	select {
 	case a.s1q <- qf:
 		a.noteQueueDepth()
 	case <-a.done:
+		frame.Free() // agent shutting down; the queue will never drain
 	}
 }
 
@@ -1358,6 +1369,7 @@ func (a *MMPAgent) s1Worker() {
 		case qf := <-a.s1q:
 			a.Engine.ObserveQueueDelay(time.Since(qf.at))
 			a.handleS1(qf.frame)
+			qf.frame.Free()
 		}
 	}
 }
@@ -1374,12 +1386,10 @@ func (a *MMPAgent) handleS1(frame transport.Message) {
 		// replica push hasn't landed yet), or its shard is paused for
 		// migration: bounce the envelope back so the MLB re-delivers it
 		// to the current master.
-		w := wire.GetWriter()
+		w := transport.GetFrame()
 		w.U8(ctlForward)
 		w.Raw(frame.Payload)
-		werr := a.conn.WriteTraced(StreamCtl, frame.Trace, w.Bytes())
-		wire.PutWriter(w)
-		if werr != nil {
+		if werr := a.conn.WriteFrame(StreamCtl, frame.Trace, w); werr != nil {
 			a.logf("mmp agent: bounce %s: %v", msg.Type(), werr)
 		}
 		return
@@ -1596,6 +1606,7 @@ func (c *ENBClient) readLoop() {
 			return
 		}
 		msg, err := s1ap.Unmarshal(frame.Payload)
+		frame.Free() // the decode copied every field out
 		if err != nil {
 			continue
 		}

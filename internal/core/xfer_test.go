@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -79,7 +80,9 @@ func TestXferChunkRoundTrip(t *testing.T) {
 		t.Fatalf("got %d contexts, want %d", len(got), len(ctxs))
 	}
 	for i := range ctxs {
-		if !reflect.DeepEqual(got[i], ctxs[i]) {
+		// Wire-level comparison: short TAI lists may be inlined or
+		// heap-backed depending on how the context was built.
+		if !bytes.Equal(got[i].Marshal(), ctxs[i].Marshal()) {
 			t.Fatalf("context %d round trip:\n got %+v\nwant %+v", i, got[i], ctxs[i])
 		}
 	}

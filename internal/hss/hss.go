@@ -244,7 +244,11 @@ func (c *Client) call(req s6.Message) (s6.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s6.Unmarshal(resp)
+	// Unmarshal copies every field out of the wire buffer, so the pooled
+	// response can go straight back.
+	msg, err := s6.Unmarshal(resp)
+	transport.PutPayload(resp)
+	return msg, err
 }
 
 // AuthInfo fetches n authentication vectors for imsi.

@@ -72,6 +72,15 @@ func checkHotBody(pass *Pass, body *ast.BlockStmt) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkHotCall(pass, n)
+		case *ast.UnaryExpr:
+			// &T{} (or &[N]T{}) heap-allocates the composite when the
+			// pointer escapes — on the hot path the value should live in
+			// a pooled or caller-provided slot instead.
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates on the hot path; use a pooled or preallocated value")
+				}
+			}
 		case *ast.CompositeLit:
 			switch types.Unalias(info.Types[n].Type).Underlying().(type) {
 			case *types.Slice:
@@ -106,6 +115,10 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 			case *types.Chan:
 				pass.Reportf(call.Pos(), "make(chan) allocates on the hot path")
 			}
+			return
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "new" {
+			pass.Reportf(call.Pos(), "new(T) allocates on the hot path; use a pooled or preallocated value")
 			return
 		}
 	}

@@ -2,43 +2,105 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
-// PoolPairs maps a pool's get function to its put function. Values
-// obtained from the get side must reach the put side on every path.
-var PoolPairs = map[string]string{
-	"scale/internal/wire.GetWriter": "scale/internal/wire.PutWriter",
+// PoolPair describes one way a pooled value obtained from a get
+// function can be released: the fully qualified put function, and which
+// operand of the put call carries the pooled value (-1 = the method
+// receiver).
+type PoolPair struct {
+	Put    string
+	PutArg int
 }
 
-// PoolLeak flags wire.GetWriter results that do not reach PutWriter on
-// every path out of the function, plus use-after-Put and double-Put.
-// The dominant safe shape is
+// PoolPairs maps a pool's get function to every call that releases its
+// result. Values obtained from the get side must reach one of the put
+// sides on every path. WriteFrame appears here because it always takes
+// ownership of the frame writer, success or error; Message.Free is the
+// receiver-style release of the transport's read-buffer pool.
+var PoolPairs = map[string][]PoolPair{
+	"scale/internal/wire.GetWriter": {
+		{Put: "scale/internal/wire.PutWriter", PutArg: 0},
+	},
+	"scale/internal/transport.GetFrame": {
+		{Put: "scale/internal/transport.PutFrame", PutArg: 0},
+		{Put: "scale/internal/transport.Conn.WriteFrame", PutArg: 2},
+	},
+	"scale/internal/transport.Conn.Read": {
+		{Put: "scale/internal/transport.Message.Free", PutArg: -1},
+	},
+}
+
+// poolPuts is the reverse index: put function name to the operand index
+// of the pooled value.
+var poolPuts = func() map[string]int {
+	m := make(map[string]int)
+	for _, pairs := range PoolPairs {
+		for _, p := range pairs {
+			m[p.Put] = p.PutArg
+		}
+	}
+	return m
+}()
+
+// releaseNames renders the put side of a get's pairs for diagnostics:
+// "PutWriter", "PutFrame or Conn.WriteFrame".
+func releaseNames(pairs []PoolPair) string {
+	names := make([]string, len(pairs))
+	for i, p := range pairs {
+		n := p.Put
+		if j := strings.LastIndex(n, "/"); j >= 0 {
+			n = n[j+1:]
+		}
+		if j := strings.Index(n, "."); j >= 0 {
+			n = n[j+1:]
+		}
+		names[i] = n
+	}
+	return strings.Join(names, " or ")
+}
+
+// PoolLeak flags pooled values (wire.GetWriter writers, transport
+// GetFrame frames, transport Conn.Read messages) that do not reach
+// their put side on every path out of the function, plus
+// use-after-release and double release. The dominant safe shapes are
 //
 //	w := wire.GetWriter()
 //	defer wire.PutWriter(w)
 //
-// which the analyzer recognizes as covering all paths. A pooled writer
-// that is returned, stored into a struct, or captured by a closure
-// stops being tracked only if a closure mentions it (the closure may
-// legitimately own the Put); returns and stores are reported, because
-// ownership hand-off of a pooled buffer across an API boundary is
-// exactly the aliasing bug the pool discipline exists to prevent.
+//	fw := transport.GetFrame()
+//	... fill ...
+//	return c.WriteFrame(stream, trace, fw) // WriteFrame takes ownership
+//
+//	msg, err := c.Read()
+//	if err != nil { return err } // nothing to free on the error path
+//	defer msg.Free()
+//
+// A pooled value that is returned, stored into a struct, or captured by
+// a closure stops being tracked only if a closure mentions it (the
+// closure may legitimately own the release); returns, stores and
+// channel sends are reported, because ownership hand-off of a pooled
+// buffer across an API boundary is exactly the aliasing bug the pool
+// discipline exists to prevent.
 var PoolLeak = &Analyzer{
 	Name: "poolleak",
-	Doc: "flags pooled wire.Writer values that miss PutWriter on some path, " +
-		"escape the function, or are used after being returned to the pool",
+	Doc: "flags pooled buffers (wire writers, transport frames and read messages) " +
+		"that miss their release call on some path, escape the function, or are " +
+		"used after going back to the pool",
 	Run: runPoolLeak,
 }
 
 type poolStatus int
 
 const (
-	poolUntracked poolStatus = iota // zero value: not a pooled writer
+	poolUntracked poolStatus = iota // zero value: not a pooled value
 	poolHeld                        // taken from the pool, not yet returned
-	poolReleased                    // PutWriter has run on every path here
+	poolReleased                    // released on every path here
 	poolMixed                       // released on some merged paths only
-	poolDeferred                    // a deferred PutWriter covers function exit
+	poolDeferred                    // a deferred release covers function exit
 	poolEscaped                     // mentioned by a closure; tracking stops
 )
 
@@ -54,12 +116,19 @@ func (s poolState) clone() poolState {
 
 type poolWalker struct {
 	pass *Pass
-	get  map[*types.Var]ast.Node // where each tracked var was filled
+	get  map[*types.Var]ast.Node   // where each tracked var was filled
+	rel  map[*types.Var]string     // human-readable release options
+	errs map[*types.Var]*types.Var // pooled var -> error var from the same get
 }
 
 func runPoolLeak(pass *Pass) error {
 	for _, fd := range funcDecls(pass.Files) {
-		w := &poolWalker{pass: pass, get: make(map[*types.Var]ast.Node)}
+		w := &poolWalker{
+			pass: pass,
+			get:  make(map[*types.Var]ast.Node),
+			rel:  make(map[*types.Var]string),
+			errs: make(map[*types.Var]*types.Var),
+		}
 		exit, terminated := w.stmts(fd.Body.List, make(poolState))
 		if !terminated {
 			w.checkExit(exit)
@@ -68,49 +137,84 @@ func runPoolLeak(pass *Pass) error {
 	return nil
 }
 
-// checkExit reports every variable still holding a pooled writer at a
+// checkExit reports every variable still holding a pooled value at a
 // function exit point.
 func (w *poolWalker) checkExit(st poolState) {
 	for v, status := range st {
 		switch status {
 		case poolHeld:
-			w.pass.Reportf(w.get[v].Pos(), "pooled writer %s is not returned with PutWriter on every path", v.Name())
-			st[v] = poolEscaped // one report per writer, not per exit
+			w.pass.Reportf(w.get[v].Pos(), "pooled value %s is not released with %s on every path", v.Name(), w.rel[v])
+			st[v] = poolEscaped // one report per value, not per exit
 		case poolMixed:
-			w.pass.Reportf(w.get[v].Pos(), "pooled writer %s reaches PutWriter on some paths but leaks on others", v.Name())
+			w.pass.Reportf(w.get[v].Pos(), "pooled value %s is released with %s on some paths but leaks on others", v.Name(), w.rel[v])
 			st[v] = poolEscaped
 		}
 	}
 }
 
-func isPoolGet(info *types.Info, e ast.Expr) bool {
+// poolGetPairs resolves e as a call to a registered pool get and
+// returns its release pairs.
+func poolGetPairs(info *types.Info, e ast.Expr) ([]PoolPair, bool) {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
-		return false
+		return nil, false
 	}
-	name := funcName(calleeFunc(info, call))
-	_, ok = PoolPairs[name]
-	return ok
+	pairs, ok := PoolPairs[funcName(calleeFunc(info, call))]
+	return pairs, ok
 }
 
-// poolPutArg returns the tracked variable passed to a put function, or
-// nil if the call is not a put.
+// poolPutArg returns the variable a put call releases, or nil if the
+// call is not a put. For receiver-style puts (Message.Free) the
+// released value is the receiver; otherwise it is the registered
+// argument.
 func (w *poolWalker) poolPutArg(call *ast.CallExpr) *types.Var {
-	name := funcName(calleeFunc(w.pass.TypesInfo, call))
-	for _, put := range PoolPairs {
-		if name == put && len(call.Args) == 1 {
-			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
-				if v, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
-					return v
-				}
-			}
+	arg, ok := poolPuts[funcName(calleeFunc(w.pass.TypesInfo, call))]
+	if !ok {
+		return nil
+	}
+	var e ast.Expr
+	if arg == -1 {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		e = sel.X
+	} else {
+		if arg >= len(call.Args) {
+			return nil
+		}
+		e = call.Args[arg]
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			return v
 		}
 	}
 	return nil
 }
 
-// scanUses reports reads of released writers and closure captures
-// inside an expression, skipping the put calls themselves.
+// release marks v released, reporting a double release at pos.
+func (w *poolWalker) release(v *types.Var, pos token.Pos, st poolState) {
+	if st[v] == poolReleased {
+		w.pass.Reportf(pos, "double release of pooled value %s; the pool will hand the same buffer out twice", v.Name())
+	}
+	st[v] = poolReleased
+}
+
+// releaseCalls marks the release of every put call appearing directly
+// in the expression list (assignment right-hand sides, return results).
+func (w *poolWalker) releaseCalls(exprs []ast.Expr, st poolState) {
+	for _, e := range exprs {
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			if v := w.poolPutArg(call); v != nil {
+				w.release(v, call.Pos(), st)
+			}
+		}
+	}
+}
+
+// scanUses reports reads of released values and closure captures inside
+// an expression, skipping the put calls themselves.
 func (w *poolWalker) scanUses(e ast.Expr, st poolState) {
 	if e == nil {
 		return
@@ -118,8 +222,8 @@ func (w *poolWalker) scanUses(e ast.Expr, st poolState) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			// A closure that mentions a tracked writer may own its
-			// Put; stop tracking rather than guess.
+			// A closure that mentions a tracked value may own its
+			// release; stop tracking rather than guess.
 			ast.Inspect(n.Body, func(m ast.Node) bool {
 				if id, ok := m.(*ast.Ident); ok {
 					if v, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok {
@@ -138,7 +242,7 @@ func (w *poolWalker) scanUses(e ast.Expr, st poolState) {
 		case *ast.Ident:
 			if v, ok := w.pass.TypesInfo.Uses[n].(*types.Var); ok {
 				if st[v] == poolReleased {
-					w.pass.Reportf(n.Pos(), "use of pooled writer %s after PutWriter returned it to the pool", v.Name())
+					w.pass.Reportf(n.Pos(), "use of pooled value %s after it was released to the pool", v.Name())
 				}
 			}
 		}
@@ -160,6 +264,7 @@ func (w *poolWalker) stmts(list []ast.Stmt, st poolState) (poolState, bool) {
 func (w *poolWalker) stmt(s ast.Stmt, st poolState) (poolState, bool) {
 	switch s := s.(type) {
 	case *ast.AssignStmt:
+		w.releaseCalls(s.Rhs, st)
 		for _, e := range s.Rhs {
 			w.scanUses(e, st)
 		}
@@ -170,10 +275,13 @@ func (w *poolWalker) stmt(s ast.Stmt, st poolState) (poolState, bool) {
 			rhs := s.Rhs[i]
 			id, ok := ast.Unparen(lhs).(*ast.Ident)
 			if !ok {
-				// Storing a pooled writer into a field, map or slice
-				// element lets it outlive the function's Put.
-				if w.exprIsTracked(rhs, st) {
-					w.pass.Reportf(s.Pos(), "pooled writer stored outside the local scope; its pool lifetime can no longer be verified")
+				// Storing a pooled value into a field, map or slice
+				// element lets it outlive the function's release.
+				if v := w.trackedVar(rhs, st); v != nil {
+					w.pass.Reportf(s.Pos(), "pooled value stored outside the local scope; its pool lifetime can no longer be verified")
+					st[v] = poolEscaped
+				} else if _, ok := poolGetPairs(w.pass.TypesInfo, rhs); ok {
+					w.pass.Reportf(s.Pos(), "pooled value stored outside the local scope; its pool lifetime can no longer be verified")
 				}
 				continue
 			}
@@ -186,12 +294,25 @@ func (w *poolWalker) stmt(s ast.Stmt, st poolState) (poolState, bool) {
 			if v == nil {
 				continue
 			}
-			if isPoolGet(w.pass.TypesInfo, rhs) {
+			if pairs, ok := poolGetPairs(w.pass.TypesInfo, rhs); ok {
 				if st[v] == poolHeld || st[v] == poolMixed {
-					w.pass.Reportf(s.Pos(), "pooled writer %s overwritten before PutWriter; the previous buffer leaks", v.Name())
+					w.pass.Reportf(s.Pos(), "pooled value %s overwritten before release; the previous buffer leaks", v.Name())
 				}
 				st[v] = poolHeld
 				w.get[v] = s
+				w.rel[v] = releaseNames(pairs)
+				// Multi-value get ("msg, err := c.Read()"): remember the
+				// paired error so err-checked early returns don't count
+				// as leaks — a failed get returns the zero value.
+				if len(s.Lhs) == 2 && len(s.Rhs) == 1 {
+					if eid, ok := ast.Unparen(s.Lhs[1]).(*ast.Ident); ok {
+						if ev, ok := w.pass.TypesInfo.Defs[eid].(*types.Var); ok {
+							w.errs[v] = ev
+						} else if ev, ok := w.pass.TypesInfo.Uses[eid].(*types.Var); ok {
+							w.errs[v] = ev
+						}
+					}
+				}
 			} else if _, tracked := st[v]; tracked {
 				delete(st, v) // rebound to something else
 			}
@@ -199,10 +320,7 @@ func (w *poolWalker) stmt(s ast.Stmt, st poolState) (poolState, bool) {
 	case *ast.ExprStmt:
 		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
 			if v := w.poolPutArg(call); v != nil {
-				if st[v] == poolReleased {
-					w.pass.Reportf(call.Pos(), "double PutWriter of %s; the pool will hand the same buffer out twice", v.Name())
-				}
-				st[v] = poolReleased
+				w.release(v, call.Pos(), st)
 				return st, false
 			}
 		}
@@ -214,17 +332,24 @@ func (w *poolWalker) stmt(s ast.Stmt, st poolState) (poolState, bool) {
 		}
 		w.scanUses(s.Call, st)
 	case *ast.ReturnStmt:
+		w.releaseCalls(s.Results, st)
 		for _, e := range s.Results {
-			if w.exprIsTracked(e, st) {
-				w.pass.Reportf(s.Pos(), "pooled writer returned to the caller; Put it here or document the ownership hand-off with //scale:allow")
+			if v := w.trackedVar(e, st); v != nil {
+				w.pass.Reportf(s.Pos(), "pooled value returned to the caller; release it here or document the ownership hand-off with //scale:allow")
+				st[v] = poolEscaped // the hand-off report covers this value
+			} else if _, ok := poolGetPairs(w.pass.TypesInfo, e); ok {
+				w.pass.Reportf(s.Pos(), "pooled value returned to the caller; release it here or document the ownership hand-off with //scale:allow")
 			}
 			w.scanUses(e, st)
 		}
 		w.checkExit(st)
 		return st, true
 	case *ast.SendStmt:
-		if w.exprIsTracked(s.Value, st) {
-			w.pass.Reportf(s.Pos(), "pooled writer sent on a channel; its pool lifetime can no longer be verified")
+		if v := w.trackedVar(s.Value, st); v != nil {
+			w.pass.Reportf(s.Pos(), "pooled value sent on a channel; its pool lifetime can no longer be verified")
+			st[v] = poolEscaped
+		} else if _, ok := poolGetPairs(w.pass.TypesInfo, s.Value); ok {
+			w.pass.Reportf(s.Pos(), "pooled value sent on a channel; its pool lifetime can no longer be verified")
 		}
 		w.scanUses(s.Chan, st)
 		w.scanUses(s.Value, st)
@@ -243,10 +368,12 @@ func (w *poolWalker) stmt(s ast.Stmt, st poolState) (poolState, bool) {
 			st, _ = w.stmt(s.Init, st)
 		}
 		w.scanUses(s.Cond, st)
-		thenSt, thenTerm := w.stmts(s.Body.List, st.clone())
-		elseSt, elseTerm := st, false
+		thenSt, elseSt := st.clone(), st.clone()
+		w.applyErrCheck(s.Cond, thenSt, elseSt)
+		thenSt, thenTerm := w.stmts(s.Body.List, thenSt)
+		elseTerm := false
 		if s.Else != nil {
-			elseSt, elseTerm = w.stmt(s.Else, st.clone())
+			elseSt, elseTerm = w.stmt(s.Else, elseSt)
 		}
 		switch {
 		case thenTerm && elseTerm:
@@ -292,22 +419,62 @@ func (w *poolWalker) stmt(s ast.Stmt, st poolState) (poolState, bool) {
 	return st, false
 }
 
-// exprIsTracked reports whether e is (exactly) a tracked pooled-writer
-// variable or a fresh pool get.
-func (w *poolWalker) exprIsTracked(e ast.Expr, st poolState) bool {
+// applyErrCheck recognizes "err != nil" / "err == nil" conditions where
+// err came from the same multi-value get as a tracked pooled value, and
+// marks the value released on the error branch: a failed Read hands out
+// no buffer, so the early return is not a leak.
+func (w *poolWalker) applyErrCheck(cond ast.Expr, thenSt, elseSt poolState) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return
+	}
+	var id *ast.Ident
+	if i, ok := ast.Unparen(be.X).(*ast.Ident); ok && isNilIdent(be.Y) {
+		id = i
+	} else if i, ok := ast.Unparen(be.Y).(*ast.Ident); ok && isNilIdent(be.X) {
+		id = i
+	}
+	if id == nil {
+		return
+	}
+	ev, ok := w.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	errSt := thenSt // err != nil: the then branch is the error path
+	if be.Op == token.EQL {
+		errSt = elseSt
+	}
+	for pv, peer := range w.errs {
+		if peer == ev && errSt[pv] == poolHeld {
+			errSt[pv] = poolReleased
+		}
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// trackedVar returns the variable behind e if e is (exactly) a tracked
+// pooled-value variable still live in the pool sense, or nil. A fresh
+// pool get used directly as an expression also counts, reported via a
+// synthetic nil var check by the caller.
+func (w *poolWalker) trackedVar(e ast.Expr, st poolState) *types.Var {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
 		if v, ok := w.pass.TypesInfo.Uses[e].(*types.Var); ok {
 			status, tracked := st[v]
-			return tracked && status != poolEscaped && status != poolReleased
+			if tracked && status != poolEscaped && status != poolReleased {
+				return v
+			}
 		}
-	case *ast.CallExpr:
-		return isPoolGet(w.pass.TypesInfo, e)
 	}
-	return false
+	return nil
 }
 
-// mergePool joins two branch exits: a writer released on one side and
+// mergePool joins two branch exits: a value released on one side and
 // held on the other becomes mixed (a some-path leak).
 func mergePool(a, b poolState) poolState {
 	out := a.clone()

@@ -19,9 +19,11 @@ func hot(vals []int, m map[string]int) int {
 	tmp := []int{1, 2, 3}             // want "slice literal allocates"
 	name := s + "!"                   // want "string concatenation allocates"
 	raw := []byte(name)               // want "conversion copies on the hot path"
+	box := new(int)                   // want "new.T. allocates on the hot path"
+	st := &struct{ a, b int }{1, 2}   // want "&composite literal allocates on the hot path"
 	n := len(vals)
 	sink(n) // want "boxes a non-pointer int into an interface"
-	_, _, _, _, _ = now, buf, mm, tmp, raw
+	_, _, _, _, _, _, _ = now, buf, mm, tmp, raw, box, st
 	return m["a"]
 }
 

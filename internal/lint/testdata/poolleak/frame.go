@@ -1,0 +1,60 @@
+package poolleakfix
+
+import "scale/internal/transport"
+
+// frameWrite hands the frame to WriteFrame in a return statement;
+// WriteFrame always takes ownership, so this is clean.
+func frameWrite(c *transport.Conn) error {
+	fw := transport.GetFrame()
+	fw.U32(7)
+	return c.WriteFrame(transport.StreamUE, 0, fw)
+}
+
+// frameWriteAssign releases through an assignment's right-hand side.
+func frameWriteAssign(c *transport.Conn) {
+	fw := transport.GetFrame()
+	fw.U8(1)
+	err := c.WriteFrame(transport.StreamUE, 0, fw)
+	_ = err
+}
+
+// framePut releases an unsent frame explicitly.
+func framePut() {
+	fw := transport.GetFrame()
+	fw.U8(1)
+	transport.PutFrame(fw)
+}
+
+// frameLeak never releases.
+func frameLeak() {
+	fw := transport.GetFrame() // want "pooled value fw is not released with PutFrame or Conn.WriteFrame on every path"
+	fw.U8(1)
+}
+
+// frameUseAfterWrite touches the frame after WriteFrame took ownership
+// of its buffer.
+func frameUseAfterWrite(c *transport.Conn) int {
+	fw := transport.GetFrame()
+	_ = c.WriteFrame(transport.StreamUE, 0, fw)
+	return fw.Len() // want "use of pooled value fw after it was released"
+}
+
+// framePartial sends on one branch and leaks on the other.
+func framePartial(c *transport.Conn, ok bool) {
+	fw := transport.GetFrame() // want "released with PutFrame or Conn.WriteFrame on some paths but leaks on others"
+	fw.U8(1)
+	if ok {
+		_ = c.WriteFrame(transport.StreamUE, 0, fw)
+	}
+}
+
+// frameBranchBalanced releases on both branches through different puts.
+func frameBranchBalanced(c *transport.Conn, send bool) {
+	fw := transport.GetFrame()
+	fw.U8(1)
+	if send {
+		_ = c.WriteFrame(transport.StreamUE, 0, fw)
+		return
+	}
+	transport.PutFrame(fw)
+}

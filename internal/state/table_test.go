@@ -1,0 +1,256 @@
+package state
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"scale/internal/guti"
+)
+
+func tableGUTI(mtmsi uint32) guti.GUTI {
+	return guti.GUTI{PLMN: guti.PLMN{MCC: 310, MNC: 26}, MMEGI: 1, MMEC: 2, MTMSI: mtmsi}
+}
+
+// checkTableInvariants verifies the structural health of the table:
+// occupancy count, the stored probe distances, and the robin-hood
+// ordering property that get()'s early exit depends on.
+func checkTableInvariants(t testing.TB, tab *ueTable) {
+	t.Helper()
+	if len(tab.entries) == 0 {
+		if tab.n != 0 {
+			t.Fatalf("empty table with n=%d", tab.n)
+		}
+		return
+	}
+	if len(tab.entries)&(len(tab.entries)-1) != 0 {
+		t.Fatalf("table size %d is not a power of two", len(tab.entries))
+	}
+	if 5*tab.n > 4*len(tab.entries) {
+		t.Fatalf("load factor exceeded: %d/%d", tab.n, len(tab.entries))
+	}
+	mask := len(tab.entries) - 1
+	occupied := 0
+	for i := range tab.entries {
+		e := &tab.entries[i]
+		if e.dist == 0 {
+			continue
+		}
+		occupied++
+		if e.ctx == nil {
+			t.Fatalf("slot %d occupied with nil ctx", i)
+		}
+		if packGUTI(e.ctx.GUTI) != e.key {
+			t.Fatalf("slot %d key does not match its context's GUTI", i)
+		}
+		home := tab.slot(e.ctx.GUTI.Hash())
+		want := uint16((i-home)&mask) + 1
+		if e.dist != want {
+			t.Fatalf("slot %d: dist=%d, want %d (home %d)", i, e.dist, want, home)
+		}
+	}
+	if occupied != tab.n {
+		t.Fatalf("n=%d but %d slots occupied", tab.n, occupied)
+	}
+}
+
+// tableInsert is the test-side idiom for a full insert: upsert then
+// fill the context, as the store does under its shard lock.
+func tableInsert(tab *ueTable, g guti.GUTI) *UEContext {
+	e := tab.upsert(g.Hash(), packGUTI(g))
+	if e.ctx == nil {
+		e.ctx = &UEContext{GUTI: g}
+	}
+	return e.ctx
+}
+
+func TestUETableBasic(t *testing.T) {
+	tab := &ueTable{}
+	g := tableGUTI(42)
+	if tab.get(g.Hash(), packGUTI(g)) != nil {
+		t.Fatal("get on empty table returned an entry")
+	}
+	if tab.del(g.Hash(), packGUTI(g)) {
+		t.Fatal("del on empty table reported success")
+	}
+	ctx := tableInsert(tab, g)
+	e := tab.get(g.Hash(), packGUTI(g))
+	if e == nil || e.ctx != ctx {
+		t.Fatal("get after insert did not return the stored context")
+	}
+	// Upsert of an existing key returns the same entry, not a new one.
+	if tab.upsert(g.Hash(), packGUTI(g)).ctx != ctx {
+		t.Fatal("upsert of existing key lost the context")
+	}
+	if tab.n != 1 {
+		t.Fatalf("n=%d after one insert", tab.n)
+	}
+	other := tableGUTI(43)
+	if tab.get(other.Hash(), packGUTI(other)) != nil {
+		t.Fatal("get of absent key returned an entry")
+	}
+	if !tab.del(g.Hash(), packGUTI(g)) {
+		t.Fatal("del of present key reported absence")
+	}
+	if tab.get(g.Hash(), packGUTI(g)) != nil {
+		t.Fatal("get after delete returned an entry")
+	}
+	checkTableInvariants(t, tab)
+}
+
+func TestUETableGrowth(t *testing.T) {
+	tab := &ueTable{}
+	const n = 10_000
+	for i := uint32(0); i < n; i++ {
+		tableInsert(tab, tableGUTI(i))
+	}
+	if tab.n != n {
+		t.Fatalf("n=%d, want %d", tab.n, n)
+	}
+	checkTableInvariants(t, tab)
+	for i := uint32(0); i < n; i++ {
+		g := tableGUTI(i)
+		e := tab.get(g.Hash(), packGUTI(g))
+		if e == nil || e.ctx.GUTI.MTMSI != i {
+			t.Fatalf("entry %d lost after growth", i)
+		}
+	}
+}
+
+func TestUETableDeleteBackwardShift(t *testing.T) {
+	tab := &ueTable{}
+	const n = 4096
+	for i := uint32(0); i < n; i++ {
+		tableInsert(tab, tableGUTI(i))
+	}
+	// Delete every other key; the backward shifts must keep every
+	// surviving probe chain intact.
+	for i := uint32(0); i < n; i += 2 {
+		g := tableGUTI(i)
+		if !tab.del(g.Hash(), packGUTI(g)) {
+			t.Fatalf("delete of %d failed", i)
+		}
+	}
+	checkTableInvariants(t, tab)
+	for i := uint32(0); i < n; i++ {
+		g := tableGUTI(i)
+		e := tab.get(g.Hash(), packGUTI(g))
+		if i%2 == 0 && e != nil {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && e == nil {
+			t.Fatalf("surviving key %d lost by a backward shift", i)
+		}
+	}
+}
+
+func TestUETableDeletedSlotReuse(t *testing.T) {
+	tab := &ueTable{}
+	for i := uint32(0); i < 8; i++ {
+		tableInsert(tab, tableGUTI(i))
+	}
+	size := len(tab.entries)
+	// Churn delete/reinsert far past the table size: without slot reuse
+	// (e.g. tombstones) this would force growth.
+	for round := 0; round < 1000; round++ {
+		g := tableGUTI(uint32(round % 8))
+		if !tab.del(g.Hash(), packGUTI(g)) {
+			t.Fatalf("round %d: delete failed", round)
+		}
+		tableInsert(tab, g)
+	}
+	if len(tab.entries) != size {
+		t.Fatalf("churn grew the table from %d to %d slots", size, len(tab.entries))
+	}
+	checkTableInvariants(t, tab)
+}
+
+func TestUETableForeach(t *testing.T) {
+	tab := &ueTable{}
+	for i := uint32(0); i < 100; i++ {
+		tableInsert(tab, tableGUTI(i))
+	}
+	seen := 0
+	if !tab.foreach(func(e *ueEntry) bool {
+		seen++
+		e.replica = true // in-place mutation, as the demote sweep does
+		return true
+	}) {
+		t.Fatal("full walk reported early termination")
+	}
+	if seen != 100 {
+		t.Fatalf("foreach visited %d entries, want 100", seen)
+	}
+	g := tableGUTI(50)
+	if e := tab.get(g.Hash(), packGUTI(g)); e == nil || !e.replica {
+		t.Fatal("in-place mutation lost")
+	}
+	// Early termination.
+	seen = 0
+	if tab.foreach(func(*ueEntry) bool { seen++; return false }) {
+		t.Fatal("early stop reported a complete walk")
+	}
+	if seen != 1 {
+		t.Fatalf("early stop visited %d", seen)
+	}
+}
+
+// FuzzUETable drives the table through arbitrary insert/delete/lookup
+// sequences against a Go map model: every lookup must agree with the
+// map, and the robin-hood invariants must hold after every growth and
+// backward-shift the sequence provokes. The key space is folded to 256
+// MTMSIs so deletes hit live keys often.
+func FuzzUETable(f *testing.F) {
+	seed := func(ops ...byte) []byte { return ops }
+	// insert, lookup, delete, reinsert of one key
+	f.Add(seed(0, 0, 0, 0, 7, 2, 0, 0, 0, 7, 1, 0, 0, 0, 7, 0, 0, 0, 0, 7))
+	// interleaved inserts and deletes across keys
+	f.Add(seed(0, 0, 0, 0, 1, 0, 0, 0, 0, 2, 1, 0, 0, 0, 1, 0, 0, 0, 0, 3, 1, 0, 0, 0, 2))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := &ueTable{}
+		model := make(map[ueKey]*UEContext)
+		for len(data) >= 5 {
+			op := data[0] % 3
+			mtmsi := binary.BigEndian.Uint32(data[1:5]) % 256
+			data = data[5:]
+			g := tableGUTI(mtmsi)
+			h, k := g.Hash(), packGUTI(g)
+			switch op {
+			case 0: // insert / upsert
+				e := tab.upsert(h, k)
+				if e.ctx == nil {
+					e.ctx = &UEContext{GUTI: g}
+				}
+				model[k] = e.ctx
+			case 1: // delete
+				got := tab.del(h, k)
+				_, want := model[k]
+				if got != want {
+					t.Fatalf("del(%d) = %v, model says %v", mtmsi, got, want)
+				}
+				delete(model, k)
+			case 2: // lookup
+				e := tab.get(h, k)
+				want, ok := model[k]
+				if ok != (e != nil) {
+					t.Fatalf("get(%d) presence = %v, model says %v", mtmsi, e != nil, ok)
+				}
+				if ok && e.ctx != want {
+					t.Fatalf("get(%d) returned the wrong context", mtmsi)
+				}
+			}
+			if tab.n != len(model) {
+				t.Fatalf("n=%d, model has %d", tab.n, len(model))
+			}
+		}
+		checkTableInvariants(t, tab)
+		// Every surviving model key must still be reachable.
+		for k, want := range model {
+			e := tab.get(want.GUTI.Hash(), k)
+			if e == nil || e.ctx != want {
+				t.Fatalf("model key %v lost", k)
+			}
+		}
+	})
+}

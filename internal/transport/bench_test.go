@@ -63,6 +63,59 @@ func BenchmarkConnWriteParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkConnReadSerial measures the pooled frame-read path: a peer
+// goroutine pumps frames over loopback TCP and the benchmark loop reads
+// and frees each one. Steady state should recycle every payload buffer
+// (0 allocs/op).
+func BenchmarkConnReadSerial(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		wc := NewConn(nc)
+		payload := make([]byte, 128)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if wc.Write(StreamUE, payload) != nil {
+				return
+			}
+		}
+	}()
+	conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	b.Cleanup(func() {
+		close(stop)
+		conn.Close()
+		<-done
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg, err := conn.Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		msg.Free()
+	}
+}
+
 // BenchmarkConnWriteSerial is the single-writer reference: with no
 // concurrent writer waiting, every frame still flushes immediately, so
 // latency-sensitive lone messages are never delayed.

@@ -78,6 +78,7 @@ func FuzzFrameRead(f *testing.F) {
 			if len(msg.Payload) > MaxMessageSize {
 				t.Fatalf("Read returned %d-byte payload above MaxMessageSize", len(msg.Payload))
 			}
+			msg.Free()
 		}
 	})
 }
@@ -109,6 +110,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		if msg.Trace != trace {
 			t.Fatalf("trace = %#x, want %#x", msg.Trace, trace)
 		}
+		msg.Free()
 		if _, err := c.Read(); err == nil {
 			t.Fatal("stream had trailing bytes after one frame")
 		}

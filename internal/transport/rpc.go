@@ -44,6 +44,7 @@ func (c *Caller) readLoop() {
 			return
 		}
 		if len(msg.Payload) < 8 {
+			msg.Free()
 			c.fail(fmt.Errorf("transport: rpc response shorter than sequence header"))
 			return
 		}
@@ -53,7 +54,14 @@ func (c *Caller) readLoop() {
 		delete(c.pending, seq)
 		c.mu.Unlock()
 		if ok {
-			ch <- msg.Payload[8:]
+			// The waiter receives the full pooled payload (sequence
+			// header included) and owns it from here; Call strips the
+			// header before returning.
+			ch <- msg.Payload
+		} else {
+			// Late response after the call was abandoned: nobody will
+			// free it downstream.
+			msg.Free()
 		}
 	}
 }
@@ -73,6 +81,10 @@ func (c *Caller) fail(err error) {
 }
 
 // Call sends payload on stream and blocks for the correlated response.
+// The response buffer comes from the transport's read pool: callers
+// release it with PutPayload once decoded.
+//
+//scale:hotpath
 func (c *Caller) Call(stream uint16, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -85,20 +97,21 @@ func (c *Caller) Call(stream uint16, payload []byte) ([]byte, error) {
 	}
 	c.seq++
 	seq := c.seq
+	//scale:allow hotpathalloc one channel per in-flight RPC; fail() closes it, so it cannot be pooled
 	ch := make(chan []byte, 1)
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
-	buf := make([]byte, 8+len(payload))
-	binary.BigEndian.PutUint64(buf[:8], seq)
-	copy(buf[8:], payload)
-	if err := c.conn.Write(stream, buf); err != nil {
+	fw := GetFrame()
+	fw.U64(seq)
+	fw.Raw(payload)
+	if err := c.conn.WriteFrame(stream, 0, fw); err != nil {
 		c.mu.Lock()
 		delete(c.pending, seq)
 		c.mu.Unlock()
 		return nil, err
 	}
-	resp, ok := <-ch
+	full, ok := <-ch
 	if !ok {
 		c.mu.Lock()
 		err := c.err
@@ -108,7 +121,11 @@ func (c *Caller) Call(stream uint16, payload []byte) ([]byte, error) {
 		}
 		return nil, err
 	}
-	return resp, nil
+	// Strip the sequence header by shifting the body down in place:
+	// subslicing the front would shrink the buffer's usable capacity
+	// below its size class and stop it from pooling on PutPayload.
+	n := copy(full, full[8:])
+	return full[:n], nil
 }
 
 // Close tears down the caller and its connection; in-flight calls fail.
@@ -126,15 +143,16 @@ type RPCHandler func(payload []byte) []byte
 func ServeRPC(addr string, handler RPCHandler) (*Server, error) {
 	return Serve(addr, func(conn *Conn, msg Message) {
 		if len(msg.Payload) < 8 {
+			msg.Free()
 			return
 		}
-		seq := msg.Payload[:8]
 		resp := handler(msg.Payload[8:])
-		buf := make([]byte, 8+len(resp))
-		copy(buf[:8], seq)
-		copy(buf[8:], resp)
+		fw := GetFrame()
+		fw.Raw(msg.Payload[:8]) // echo the sequence header
+		fw.Raw(resp)
+		msg.Free()
 		// Best-effort: a failed write means the peer went away and its
 		// reader will observe the close.
-		_ = conn.Write(msg.Stream, buf)
+		_ = conn.WriteFrame(msg.Stream, 0, fw)
 	})
 }

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"scale/internal/wire"
 )
 
 // Frame header layout.
@@ -41,6 +43,18 @@ const (
 
 	// extTrace is the extension type carrying an 8-byte trace id.
 	extTrace = 0x01
+
+	// maxFrameHeader is the worst-case header size: v2 fixed header,
+	// extension-block length byte, and the trace TLV. GetFrame reserves
+	// this much in front of the payload so WriteFrame can fill the
+	// header in place and queue header+payload as one contiguous
+	// buffer (one iovec per frame).
+	maxFrameHeader = headerLen + 1 + 2 + 8
+
+	// flushPendingBytes caps how much a coalescing connection queues
+	// before flushing even with writers still waiting — the same bound
+	// the old 64 KiB bufio.Writer imposed.
+	flushPendingBytes = 64 << 10
 )
 
 // Common stream ids, mirroring SCTP stream usage on S1-MME.
@@ -62,7 +76,12 @@ var (
 	ErrBadExtension = errors.New("transport: malformed header extension")
 )
 
-// Message is one framed unit received from a peer.
+// Message is one framed unit received from a peer. The payload comes
+// from the transport's read-buffer pool: the consumer that ends a
+// message's dispatch chain calls Free (or PutPayload on the payload)
+// exactly once to recycle the buffer. A missed Free degrades to a
+// garbage-collected allocation; a double Free would hand the same
+// buffer to two readers, so ownership hand-offs must be explicit.
 type Message struct {
 	Stream  uint16
 	Payload []byte
@@ -70,6 +89,90 @@ type Message struct {
 	// extension; zero when the frame had none (v1 peers, untraced
 	// traffic).
 	Trace uint64
+}
+
+// Free returns the message's payload buffer to the read pool and nils
+// it, so a second Free through the same Message value is a no-op.
+// Copies of the Message share the payload: only the owning copy may
+// Free.
+//
+//scale:hotpath
+func (m *Message) Free() {
+	if m.Payload != nil {
+		PutPayload(m.Payload)
+		m.Payload = nil
+	}
+}
+
+// Read-side buffer pool: size-classed free lists mirroring the encode
+// side's wire.Writer pool. Plain mutex-guarded stacks instead of
+// sync.Pool — putting a []byte into a sync.Pool boxes the slice header
+// (one 24-byte allocation per frame), which is exactly the garbage this
+// pool exists to eliminate.
+var payloadClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
+
+// payloadPoolCap bounds buffers retained per class so an inbound burst
+// cannot pin memory forever.
+const payloadPoolCap = 256
+
+type payloadPool struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+var payloadPools [len(payloadClasses)]payloadPool
+
+// getPayload returns a length-n buffer from the smallest size class
+// that fits; frames above the largest class fall back to a plain
+// allocation (they are too rare to pin pool memory for).
+//
+//scale:hotpath
+func getPayload(n int) []byte {
+	for i, size := range &payloadClasses {
+		if n > size {
+			continue
+		}
+		p := &payloadPools[i]
+		p.mu.Lock()
+		if last := len(p.free) - 1; last >= 0 {
+			b := p.free[last]
+			p.free[last] = nil
+			p.free = p.free[:last]
+			p.mu.Unlock()
+			return b[:n]
+		}
+		p.mu.Unlock()
+		//scale:allow hotpathalloc pool-miss refill; steady state reuses the freed buffers
+		return make([]byte, n, size)
+	}
+	//scale:allow hotpathalloc frames above the largest size class are rare (bulk state transfer)
+	return make([]byte, n)
+}
+
+// PutPayload recycles a buffer handed out by Conn.Read (directly or via
+// a Caller response). The buffer goes to the largest size class its
+// capacity covers, so subslices with a few bytes shaved off the front
+// still pool; anything below the smallest class is left to the GC. The
+// caller must not touch the buffer afterwards.
+//
+//scale:hotpath
+func PutPayload(b []byte) {
+	c := cap(b)
+	for i := len(payloadClasses) - 1; i >= 0; i-- {
+		if c < payloadClasses[i] {
+			continue
+		}
+		if c > 2*payloadClasses[len(payloadClasses)-1] {
+			return // outsized one-off; don't pin it
+		}
+		p := &payloadPools[i]
+		p.mu.Lock()
+		if len(p.free) < payloadPoolCap {
+			p.free = append(p.free, b[:0])
+		}
+		p.mu.Unlock()
+		return
+	}
 }
 
 // wireStats holds the package-wide frame counters the observability
@@ -110,24 +213,35 @@ type Conn struct {
 	br *bufio.Reader
 
 	wmu sync.Mutex
-	bw  *bufio.Writer
-	// werr records that the buffered writer latched a write error. bufio
-	// makes errors sticky, so without recovery one transient refusal
-	// from the OS (or an impaired test link) would permanently kill a
-	// connection whose socket is still healthy. The next write resets
-	// the buffer first: the frames buffered at the moment of failure are
-	// lost — like frames inside a dropped TCP window — but the stream
-	// stays framed when the failed syscall wrote nothing (how refusals
-	// surface). A genuinely dead socket keeps erroring and is detected
-	// by the read loop and close hook exactly as before.
-	werr bool
+	// pend queues complete frames (header+payload, one contiguous
+	// buffer each) between group-commit flushes; a flush hands the
+	// whole queue to net.Buffers.WriteTo, which gathers it into one
+	// writev on TCP instead of memcpying frames into a staging buffer.
+	// owned parallels pend with the pooled writers backing each frame;
+	// they return to the wire pool once the flush consumed them.
+	pend      net.Buffers
+	owned     []*wire.Writer
+	pendBytes int
+	// flushBufs is the scratch slice header handed to net.Buffers.WriteTo
+	// (which consumes its argument in place). A Conn field rather than a
+	// local: WriteTo takes the address of its receiver, and a local's
+	// header would escape — one 24-byte allocation per flush.
+	flushBufs net.Buffers
 	// wwaiters counts goroutines between "decided to write" and
 	// "acquired wmu". The lock holder flushes only when nobody is
 	// waiting: under contention, queued frames batch into one flush
 	// (and so one write syscall), while a lone writer still flushes
 	// every frame immediately. The last writer out always sees zero
-	// waiters, so buffered frames are never stranded.
+	// waiters, so queued frames are never stranded.
 	wwaiters atomic.Int32
+
+	// rhdr and rext hold the fixed header and v2 extension block during
+	// a read; conn fields rather than locals because they cross the
+	// io.Reader interface into ReadFull, where escape analysis would
+	// heap-allocate a local every frame. Reads are single-goroutine per
+	// connection, so one set per conn suffices.
+	rhdr [headerLen]byte
+	rext [255]byte
 
 	hookMu   sync.Mutex
 	closed   bool
@@ -139,7 +253,6 @@ func NewConn(nc net.Conn) *Conn {
 	return &Conn{
 		nc: nc,
 		br: bufio.NewReaderSize(nc, 64<<10),
-		bw: bufio.NewWriterSize(nc, 64<<10),
 	}
 }
 
@@ -161,86 +274,153 @@ func DialTimeout(addr string, d time.Duration) (*Conn, error) {
 	return NewConn(nc), nil
 }
 
-// Write sends one message on the given stream. It is safe for concurrent
-// use. Flushing is opportunistic group commit: a lone writer flushes its
-// frame before returning (latency-sensitive control signaling is never
-// held in the buffer), but when other writers are already queued on the
-// connection the flush is left to the last of them, so a burst of
-// concurrent frames shares one flush — and one write syscall — instead
-// of paying one each.
+// GetFrame returns a pooled frame writer with the worst-case header
+// region already reserved in front. Encode the payload into it, then
+// hand it to Conn.WriteFrame, which fills the header in place (so
+// header+payload ship as one contiguous buffer — one iovec) and owns
+// the writer from then on. If the frame is abandoned before WriteFrame,
+// release it with PutFrame.
+//
+//scale:hotpath
+func GetFrame() *wire.Writer {
+	w := wire.GetWriter()
+	w.Pad(maxFrameHeader)
+	//scale:allow poolleak ownership transfers to the caller, who must WriteFrame or PutFrame it
+	return w
+}
+
+// PutFrame recycles a frame writer obtained from GetFrame without
+// sending it — the abandon path for callers that hit an error before
+// WriteFrame could take ownership.
+func PutFrame(w *wire.Writer) { wire.PutWriter(w) }
+
+// Write sends one message on the given stream, copying the payload into
+// a pooled frame. It is safe for concurrent use. Flushing is
+// opportunistic group commit: a lone writer flushes its frame before
+// returning (latency-sensitive control signaling is never held back),
+// but when other writers are already queued on the connection the flush
+// is left to the last of them, so a burst of concurrent frames shares
+// one flush — and one writev syscall — instead of paying one each.
 //
 //scale:hotpath
 func (c *Conn) Write(stream uint16, payload []byte) error {
 	return c.WriteTraced(stream, 0, payload)
 }
 
-// WriteTraced sends one message carrying a trace id in the header
-// extension. A zero trace id emits the v1 frame layout, so untraced
-// traffic stays readable by peers that predate the extension.
+// WriteTraced is Write carrying a trace id in the header extension. A
+// zero trace id emits the v1 frame layout, so untraced traffic stays
+// readable by peers that predate the extension.
 //
 //scale:hotpath
 func (c *Conn) WriteTraced(stream uint16, traceID uint64, payload []byte) error {
 	if len(payload) > MaxMessageSize {
 		return ErrMessageTooLarge
 	}
-	// Worst case: v2 header + extLen byte + trace TLV.
-	var hdr [headerLen + 1 + 2 + 8]byte
-	hdr[0] = magic
-	binary.BigEndian.PutUint16(hdr[1:3], stream)
-	binary.BigEndian.PutUint32(hdr[3:7], uint32(len(payload)))
-	hlen := headerLen
+	fw := GetFrame()
+	fw.Raw(payload)
+	return c.WriteFrame(stream, traceID, fw)
+}
+
+// WriteFrame sends a frame assembled in fw (obtained from GetFrame,
+// payload encoded after the reserved header region). WriteFrame always
+// takes ownership of fw — success or error, the caller must not touch
+// it again. The frame is queued on the connection and flushed by
+// whichever writer last holds the lock with no other writer waiting
+// (see Write); the flush hands all queued frames to the kernel in one
+// gathered writev, zero-copy.
+//
+//scale:hotpath
+func (c *Conn) WriteFrame(stream uint16, traceID uint64, fw *wire.Writer) error {
+	buf := fw.Bytes()
+	payloadLen := len(buf) - maxFrameHeader
+	if payloadLen > MaxMessageSize {
+		wire.PutWriter(fw)
+		return ErrMessageTooLarge
+	}
+	// Fill the header right-aligned against the payload inside the
+	// reserved region: v1 frames start 11 bytes in, v2 frames (trace
+	// TLV) use the whole region.
+	start := maxFrameHeader - headerLen
 	if traceID != 0 {
-		hdr[0] = magicV2
-		hdr[7] = 10 // extension block: type(1) + len(1) + value(8)
-		hdr[8] = extTrace
-		hdr[9] = 8
-		binary.BigEndian.PutUint64(hdr[10:18], traceID)
-		hlen = headerLen + 1 + 10
+		start = 0
+	}
+	frame := buf[start:]
+	binary.BigEndian.PutUint16(frame[1:3], stream)
+	binary.BigEndian.PutUint32(frame[3:7], uint32(payloadLen))
+	if traceID != 0 {
+		frame[0] = magicV2
+		frame[7] = 10 // extension block: type(1) + len(1) + value(8)
+		frame[8] = extTrace
+		frame[9] = 8
+		binary.BigEndian.PutUint64(frame[10:18], traceID)
+	} else {
+		frame[0] = magic
 	}
 
 	// The waiter count brackets lock acquisition: incremented before
 	// Lock, decremented after. Any writer the holder observes waiting is
 	// therefore guaranteed to acquire the lock next and re-run the flush
-	// decision, so skipping the flush can never strand bytes — the chain
-	// always ends with a writer that sees no waiters and flushes.
+	// decision, so skipping the flush can never strand frames — the
+	// chain always ends with a writer that sees no waiters and flushes.
 	c.wwaiters.Add(1)
 	c.wmu.Lock()
 	c.wwaiters.Add(-1)
 	defer c.wmu.Unlock()
-	if c.werr {
-		c.bw.Reset(c.nc)
-		c.werr = false
-	}
-	if _, err := c.bw.Write(hdr[:hlen]); err != nil {
-		c.werr = true
-		//scale:allow hotpathalloc I/O error path, off the steady-state cycle
-		return fmt.Errorf("transport: write header: %w", err)
-	}
-	if _, err := c.bw.Write(payload); err != nil {
-		c.werr = true
-		//scale:allow hotpathalloc I/O error path, off the steady-state cycle
-		return fmt.Errorf("transport: write payload: %w", err)
-	}
-	if c.wwaiters.Load() == 0 {
-		if err := c.bw.Flush(); err != nil {
-			c.werr = true
-			//scale:allow hotpathalloc I/O error path, off the steady-state cycle
-			return fmt.Errorf("transport: flush: %w", err)
-		}
-		wireStats.flushesOut.Add(1)
-	}
+	c.pend = append(c.pend, frame)
+	c.owned = append(c.owned, fw)
+	c.pendBytes += len(frame)
 	wireStats.framesOut.Add(1)
-	wireStats.bytesOut.Add(uint64(hlen + len(payload)))
+	wireStats.bytesOut.Add(uint64(len(frame)))
+	if c.wwaiters.Load() == 0 || c.pendBytes >= flushPendingBytes {
+		return c.flushLocked()
+	}
 	return nil
 }
 
-// Read blocks for the next message. The returned payload is freshly
-// allocated and owned by the caller.
+// flushLocked hands the queued frames to the kernel in one gathered
+// write and recycles their backing writers. Callers hold wmu. On error
+// the queued frames are dropped whole — like frames inside a dropped
+// TCP window the stream stays framed when the failed syscall wrote
+// nothing (how transient refusals surface) — and the connection is
+// immediately usable again.
+//
+//scale:hotpath
+func (c *Conn) flushLocked() error {
+	if len(c.pend) == 0 {
+		return nil
+	}
+	// net.Buffers.WriteTo consumes the slice in place (on a TCP conn it
+	// gathers everything into writev), so give it a scratch copy of the
+	// slice header and rebuild the queue state from c.pend afterwards.
+	c.flushBufs = c.pend
+	_, err := c.flushBufs.WriteTo(c.nc)
+	c.flushBufs = nil
+	for i, w := range c.owned {
+		wire.PutWriter(w)
+		c.owned[i] = nil
+	}
+	c.owned = c.owned[:0]
+	for i := range c.pend {
+		c.pend[i] = nil
+	}
+	c.pend = c.pend[:0]
+	c.pendBytes = 0
+	if err != nil {
+		//scale:allow hotpathalloc I/O error path, off the steady-state cycle
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	wireStats.flushesOut.Add(1)
+	return nil
+}
+
+// Read blocks for the next message. The returned payload comes from
+// the transport's read-buffer pool; whoever ends the message's dispatch
+// chain calls Message.Free (or PutPayload) exactly once to recycle it.
 //
 //scale:hotpath
 func (c *Conn) Read() (Message, error) {
-	var hdr [headerLen]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+	hdr := c.rhdr[:]
+	if _, err := io.ReadFull(c.br, hdr); err != nil {
 		return Message{}, err
 	}
 	if hdr[0] != magic && hdr[0] != magicV2 {
@@ -259,8 +439,9 @@ func (c *Conn) Read() (Message, error) {
 			//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 			return Message{}, fmt.Errorf("transport: short extension length: %w", err)
 		}
-		//scale:allow hotpathalloc v2 extension block is rare and tiny; pooled framing is ROADMAP item 4
-		ext := make([]byte, extLen)
+		// Reads are single-goroutine per connection, so the conn-level
+		// scratch buffer holds the extension block with no allocation.
+		ext := c.rext[:extLen]
 		if _, err := io.ReadFull(c.br, ext); err != nil {
 			//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 			return Message{}, fmt.Errorf("transport: short extension block: %w", err)
@@ -271,9 +452,9 @@ func (c *Conn) Read() (Message, error) {
 			return Message{}, err
 		}
 	}
-	//scale:allow hotpathalloc per-frame payload is handed to the caller; pooled read buffers are ROADMAP item 4
-	payload := make([]byte, n)
+	payload := getPayload(int(n))
 	if _, err := io.ReadFull(c.br, payload); err != nil {
+		PutPayload(payload)
 		//scale:allow hotpathalloc I/O error path, off the steady-state cycle
 		return Message{}, fmt.Errorf("transport: short payload: %w", err)
 	}

@@ -109,6 +109,16 @@ func (w *Writer) String16(s string) { w.Bytes16([]byte(s)) }
 // Raw appends b verbatim (no length prefix).
 func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
 
+// Pad appends n zero bytes — reserved space a caller fills in later via
+// the slice returned by Bytes (the transport uses it to leave room for
+// a frame header in front of the payload, keeping header+payload one
+// contiguous buffer).
+func (w *Writer) Pad(n int) {
+	for i := 0; i < n; i++ {
+		w.buf = append(w.buf, 0)
+	}
+}
+
 // Reader decodes a big-endian message with a sticky error: after the
 // first failed read every subsequent read returns zero values, and Err
 // reports the failure. This lets Unmarshal code decode entire messages

@@ -7,10 +7,19 @@
 # ns/op and prints the delta. The fallback has no statistics — treat
 # deltas under ~10% as noise unless the runs were interleaved.
 #
+# When both arguments are BENCH_*.json reports (from scale-bench -json),
+# the comparison instead runs the scale-bench regression gate: the
+# calibration scenario is seeded and simulated-time, so its numbers are
+# deterministic and gated hard — >5% throughput drop or >10% p99 rise
+# on any procedure fails with exit 1. CI runs this against the committed
+# BENCH_baseline.json on every push.
+#
 # Typical use:
 #   go test -bench . -count 6 ./internal/mmp/ > /tmp/old.txt   # at the base commit
 #   go test -bench . -count 6 ./internal/mmp/ > /tmp/new.txt   # at the candidate
 #   scripts/benchcompare.sh /tmp/old.txt /tmp/new.txt
+#
+#   scripts/benchcompare.sh BENCH_baseline.json bench-report.json
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -21,6 +30,18 @@ old=$1
 new=$2
 [ -f "$old" ] || { echo "benchcompare: no such file: $old" >&2; exit 2; }
 [ -f "$new" ] || { echo "benchcompare: no such file: $new" >&2; exit 2; }
+
+case "$old" in
+*.json)
+    case "$new" in
+    *.json)
+        exec go run ./cmd/scale-bench -diff "$old" "$new"
+        ;;
+    esac
+    echo "benchcompare: cannot mix a .json report with a bench text capture" >&2
+    exit 2
+    ;;
+esac
 
 if command -v benchstat >/dev/null 2>&1; then
     exec benchstat "$old" "$new"

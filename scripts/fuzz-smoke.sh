@@ -20,6 +20,7 @@ targets=(
     "./internal/transport FuzzFrameRoundTrip"
     "./internal/core FuzzXferChunk"
     "./internal/core FuzzCtlElastic"
+    "./internal/state FuzzUETable"
 )
 
 for t in "${targets[@]}"; do
