@@ -1,0 +1,74 @@
+// Command scale-chaos runs seeded chaos campaigns against an
+// in-process SCALE deployment and reports invariant violations. The
+// same (campaign, seed) pair replays the same fault schedule, so a
+// failing CI run reproduces locally:
+//
+//	scale-chaos -list
+//	scale-chaos -campaign mlb-restart-under-storm -seed 7
+//	scale-chaos -all -seed 42
+//
+// Exit status is 0 when every invariant held and 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"scale/internal/chaos"
+)
+
+func main() {
+	var (
+		campaign = flag.String("campaign", "", "campaign to run (see -list)")
+		seed     = flag.Int64("seed", 1, "scenario seed; the same seed replays the same fault schedule")
+		all      = flag.Bool("all", false, "run every campaign")
+		short    = flag.Bool("short", false, "smoke-scale the scenario (what CI runs)")
+		quiet    = flag.Bool("q", false, "suppress fault narration, print only reports")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: scale-chaos [-list] [-all] [-campaign name] [-seed n]\n")
+		flag.PrintDefaults()
+	}
+	list := flag.Bool("list", false, "list campaigns and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range chaos.Campaigns() {
+			fmt.Printf("%-26s %s\n", c.Name, c.Desc)
+		}
+		return
+	}
+
+	var campaigns []chaos.Campaign
+	switch {
+	case *all:
+		campaigns = chaos.Campaigns()
+	case *campaign != "":
+		c, ok := chaos.Get(*campaign)
+		if !ok {
+			log.Fatalf("unknown campaign %q (try -list)", *campaign)
+		}
+		campaigns = []chaos.Campaign{c}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logf := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds).Printf
+	if *quiet {
+		logf = func(string, ...interface{}) {}
+	}
+	failed := false
+	for _, c := range campaigns {
+		rep := c.Run(*seed, *short, logf)
+		fmt.Print(rep)
+		if !rep.Passed() {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -104,7 +105,15 @@ func main() {
 					return
 				}
 				if err := srv.Drain(id); err != nil {
-					http.Error(w, err.Error(), http.StatusConflict)
+					// Typed errors map to clear client statuses: an id the
+					// cluster has never seen is 404; a member whose phase
+					// forbids draining (already draining, still joining) is
+					// 409 — immediately, not after the transfer timeout.
+					status := http.StatusConflict
+					if errors.Is(err, mlb.ErrUnknownMMP) {
+						status = http.StatusNotFound
+					}
+					http.Error(w, err.Error(), status)
 					return
 				}
 				fmt.Fprintf(w, "draining %s\n", id)

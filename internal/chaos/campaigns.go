@@ -1,0 +1,299 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scale/internal/obs/eventlog"
+	"scale/internal/transport"
+)
+
+// runScenario deploys a cluster, runs the campaign body, then stamps
+// the metrics snapshot and elapsed time on the report.
+func runScenario(name string, seed int64, cfg Config, logf func(string, ...interface{}), body func(c *Cluster, r *Report)) *Report {
+	r := &Report{Campaign: name, Seed: seed, Metrics: make(map[string]uint64)}
+	start := time.Now()
+	panicsBefore := transport.Stats().HandlerPanics
+	cfg.Seed = seed
+	cfg.Logf = logf
+	c, err := New(cfg)
+	if err != nil {
+		r.violate("deploy", "%v", err)
+		r.Elapsed = time.Since(start)
+		return r
+	}
+	defer c.Close()
+	body(c, r)
+	snapshotMetrics(c, r, panicsBefore)
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// extraIMSI returns the base of the provisioned range beyond the storm
+// pool — campaigns use it for standing populations and p99 probes.
+func extraIMSI(c *Cluster) uint64 { return imsiBase + uint64(c.cfg.Devices) }
+
+// mlbRestartUnderStorm is the acceptance drill: kill and restart the
+// MLB in the middle of an attach storm against four MMPs. Every agent
+// and eNB must redial and re-register within its backoff budget, the
+// warm restart must be detected exactly once, no MMP may be declared
+// failed (the crash was the MLB's, not theirs), no attach may be lost
+// beyond explicit rejects, and attach p99 must re-converge.
+var mlbRestartUnderStorm = Campaign{
+	Name: "mlb-restart-under-storm",
+	Desc: "crash-restart the MLB mid-attach-storm; fleet re-registers, zero lost attaches, zero spurious failovers, p99 re-converges",
+	Run: func(seed int64, short bool, logf func(string, ...interface{})) *Report {
+		rng := rand.New(rand.NewSource(seed))
+		warmup := 800 * time.Millisecond
+		tail := 1200 * time.Millisecond
+		probes := 30
+		if short {
+			warmup, tail, probes = 300*time.Millisecond, 500*time.Millisecond, 10
+		}
+		down := 100*time.Millisecond + time.Duration(rng.Intn(150))*time.Millisecond
+
+		return runScenario("mlb-restart-under-storm", seed, Config{MMPs: 4, ENBs: 2, Devices: 4096}, logf, func(c *Cluster, r *Report) {
+			failoversBefore := c.Counter("mlb_mmp_failovers_total")
+			storm := c.StartStorm(200 * time.Millisecond)
+			script := Script{
+				{At: warmup, Name: fmt.Sprintf("restart MLB (down %v)", down), Do: func(c *Cluster) error {
+					return c.RestartMLB(down)
+				}},
+				{At: warmup + down + tail, Name: "stop storm", Do: func(*Cluster) error { return nil }},
+			}
+			err := script.Run(c, r, logf)
+			attempted := storm.StopWait()
+			if err != nil {
+				r.violate("script", "%v", err)
+				return
+			}
+			r.notef("storm attempted %d attaches", len(attempted))
+
+			checkRing(c, r, 4, 5*time.Second)
+			for _, slot := range c.agents {
+				if got := slot.Agent().Reconnects(); got < 1 {
+					r.violate("reconnect", "%s never reconnected (reconnects=%d)", slot.ID(), got)
+				}
+			}
+			for i, client := range c.enbs {
+				if got := client.Reconnects(); got < 1 {
+					r.violate("reconnect", "eNB client %d never reconnected", i)
+				}
+			}
+			if got := c.Counter("mlb_warm_restarts_total"); got != 1 {
+				r.violate("warm-restart", "mlb_warm_restarts_total = %d, want 1", got)
+			}
+			if got := c.Counter("mlb_mmp_failovers_total") - failoversBefore; got != 0 {
+				r.violate("spurious-failover", "MLB crash caused %d MMP failovers, want 0", got)
+			}
+			checkEventEmitted(c, r, eventlog.TypeWarmRestart)
+			checkLostAttaches(c, r, attempted, 5*time.Second)
+			checkNoPausedShards(c, r, 3*time.Second)
+			checkNoPendingProcs(c, r, 5*time.Second)
+			checkP99(c, r, extraIMSI(c), probes, 2*time.Second)
+			checkGoroutines(c, r, 48, 5*time.Second)
+		})
+	},
+}
+
+// rollingMMPKill kills and replaces every MMP in seeded order, waiting
+// for R=2 to be restored between rounds — the rolling-restart
+// discipline. A standing idle population must survive every round and
+// come back Active afterwards.
+var rollingMMPKill = Campaign{
+	Name: "rolling-mmp-kill",
+	Desc: "kill+replace each MMP in seeded order; idle population survives, R=2 restored each round",
+	Run: func(seed int64, short bool, logf func(string, ...interface{})) *Report {
+		rng := rand.New(rand.NewSource(seed))
+		devices := 24
+		if short {
+			devices = 12
+		}
+		return runScenario("rolling-mmp-kill", seed, Config{MMPs: 3, ENBs: 1, Devices: 1024}, logf, func(c *Cluster, r *Report) {
+			imsis, err := c.AttachIdle(0, devices, extraIMSI(c), 5*time.Second)
+			if err != nil {
+				r.violate("population", "%v", err)
+				return
+			}
+			checkReplication(c, r, len(imsis), 8*time.Second)
+			kills := 0
+			for _, victim := range rng.Perm(len(c.agents)) {
+				r.notef("kill round: %s", c.agents[victim].ID())
+				c.KillAgent(victim)
+				kills++
+				if !c.WaitRing(len(c.agents)-1, 5*time.Second) {
+					r.violate("eviction", "%s not evicted after kill", c.agents[victim].ID())
+					return
+				}
+				if err := c.ReplaceAgent(victim); err != nil {
+					r.violate("replace", "%v", err)
+					return
+				}
+				if !c.WaitRing(len(c.agents), 5*time.Second) {
+					r.violate("rejoin", "%s replacement never registered", c.agents[victim].ID())
+					return
+				}
+				// Rolling discipline: do not take the next VM until every
+				// device is back at R=2 — otherwise a second kill could
+				// destroy both copies.
+				checkReplication(c, r, len(imsis), 10*time.Second)
+				if !r.Passed() {
+					return
+				}
+				time.Sleep(time.Duration(rng.Intn(100)) * time.Millisecond)
+			}
+			if got := c.Counter("mlb_mmp_failovers_total"); got < uint64(kills) {
+				r.violate("failover", "mlb_mmp_failovers_total = %d after %d kills, want >= %d", got, kills, kills)
+			}
+			for _, imsi := range imsis {
+				if err := serviceTolerant(c.ENB(0), imsi, 1, 5*time.Second); err != nil {
+					r.violate("service-recovery", "device %d unreachable after rolling kills: %v", imsi, err)
+				}
+			}
+			checkNoPausedShards(c, r, 3*time.Second)
+			checkNoPendingProcs(c, r, 5*time.Second)
+			checkGoroutines(c, r, 48, 5*time.Second)
+		})
+	},
+}
+
+// flappingPartition flaps one MMP's cluster link — short blips the
+// liveness timer rides out, then a hold long enough to force eviction
+// — under a light attach storm. At heal the victim must be back in the
+// ring via redial and no attach may be lost.
+var flappingPartition = Campaign{
+	Name: "flapping-partition",
+	Desc: "flap one MMP's cluster link (blips, then an eviction-length hold) under storm; victim redials back in, zero lost attaches",
+	Run: func(seed int64, short bool, logf func(string, ...interface{})) *Report {
+		rng := rand.New(rand.NewSource(seed))
+		flaps := 4
+		if short {
+			flaps = 2
+		}
+		return runScenario("flapping-partition", seed, Config{MMPs: 3, ENBs: 1, Devices: 2048}, logf, func(c *Cluster, r *Report) {
+			victim := c.agents[rng.Intn(len(c.agents))]
+			storm := c.StartStorm(200 * time.Millisecond)
+
+			var script Script
+			at := 200 * time.Millisecond
+			for i := 0; i < flaps; i++ {
+				hold := time.Duration(40+rng.Intn(80)) * time.Millisecond
+				gap := time.Duration(30+rng.Intn(50)) * time.Millisecond
+				script = append(script,
+					Event{At: at, Name: fmt.Sprintf("blip %s (%v)", victim.ID(), hold), Do: func(*Cluster) error {
+						victim.Partition(true)
+						return nil
+					}},
+					Event{At: at + hold, Name: "heal blip", Do: func(*Cluster) error {
+						victim.Partition(false)
+						return nil
+					}},
+				)
+				at += hold + gap
+			}
+			// The long hold: outlast the liveness timer so the MLB evicts
+			// the silent VM and closes its conn; the victim must ride the
+			// redial path back in.
+			hold := c.cfg.Liveness + 400*time.Millisecond
+			script = append(script,
+				Event{At: at, Name: fmt.Sprintf("partition %s past liveness (%v)", victim.ID(), hold), Do: func(*Cluster) error {
+					victim.Partition(true)
+					return nil
+				}},
+				Event{At: at + hold, Name: "final heal", Do: func(*Cluster) error {
+					victim.Partition(false)
+					return nil
+				}},
+			)
+			err := script.Run(c, r, logf)
+			attempted := storm.StopWait()
+			if err != nil {
+				r.violate("script", "%v", err)
+				return
+			}
+			r.notef("storm attempted %d attaches", len(attempted))
+
+			checkRing(c, r, 3, 8*time.Second)
+			if got := victim.Agent().Reconnects(); got < 1 {
+				r.violate("reconnect", "%s never redialed after eviction (reconnects=%d)", victim.ID(), got)
+			}
+			checkEventEmitted(c, r, eventlog.TypeReconnect)
+			checkLostAttaches(c, r, attempted, 5*time.Second)
+			checkNoPausedShards(c, r, 3*time.Second)
+			checkNoPendingProcs(c, r, 5*time.Second)
+			checkGoroutines(c, r, 48, 5*time.Second)
+		})
+	},
+}
+
+// drainVsKill races an admin drain against an MLB crash: the drain
+// pauses shards and starts exporting, then the MLB dies mid-transfer.
+// The victim must abort the drain (link-loss abort or pause watchdog),
+// resume every paused shard, and re-register into the restarted MLB;
+// every device stays reachable.
+var drainVsKill = Campaign{
+	Name: "drain-vs-kill",
+	Desc: "crash the MLB mid-drain; the half-drained MMP aborts, resumes its shards and re-registers; devices stay reachable",
+	Run: func(seed int64, short bool, logf func(string, ...interface{})) *Report {
+		rng := rand.New(rand.NewSource(seed))
+		devices := 24
+		if short {
+			devices = 16
+		}
+		down := 80*time.Millisecond + time.Duration(rng.Intn(120))*time.Millisecond
+		cfg := Config{
+			MMPs: 3, ENBs: 1, Devices: 1024,
+			// Slow the transfer so the crash reliably lands mid-drain.
+			XferChunkSize: 1,
+			XferDelay:     20 * time.Millisecond,
+		}
+		return runScenario("drain-vs-kill", seed, cfg, logf, func(c *Cluster, r *Report) {
+			imsis, err := c.AttachIdle(0, devices, extraIMSI(c), 5*time.Second)
+			if err != nil {
+				r.violate("population", "%v", err)
+				return
+			}
+			checkReplication(c, r, len(imsis), 8*time.Second)
+			victimIdx := rng.Intn(len(c.agents))
+			victim := c.agents[victimIdx]
+			r.notef("draining %s, then killing the MLB (down %v)", victim.ID(), down)
+			if err := c.Drain(victimIdx); err != nil {
+				r.violate("drain", "%v", err)
+				return
+			}
+			if !waitUntil(2*time.Second, func() bool { return victim.Agent().Draining() }) {
+				r.violate("drain", "%s never entered draining", victim.ID())
+				return
+			}
+			if err := c.RestartMLB(down); err != nil {
+				r.violate("script", "%v", err)
+				return
+			}
+
+			// The abort is the invariant: drain flag dropped, every paused
+			// shard resumed, and the victim back in the ring.
+			a := victim.Agent()
+			if !waitUntil(8*time.Second, func() bool {
+				return !a.Draining() && a.Engine.PausedShards() == 0
+			}) {
+				r.violate("drain-abort", "%s still draining=%v with %d paused shards after MLB restart",
+					victim.ID(), a.Draining(), a.Engine.PausedShards())
+			}
+			checkRing(c, r, 3, 8*time.Second)
+			resumes := c.Counter(fmt.Sprintf("mmp_xfer_aborted_resumes_total{mmp=%q}", victim.ID()))
+			if resumes < 1 {
+				r.violate("drain-abort", "no xfer-aborted-resume recorded for %s", victim.ID())
+			}
+			checkEventEmitted(c, r, eventlog.TypeXferAbort)
+			for _, imsi := range imsis {
+				if err := serviceTolerant(c.ENB(0), imsi, 1, 5*time.Second); err != nil {
+					r.violate("service-recovery", "device %d unreachable after aborted drain: %v", imsi, err)
+				}
+			}
+			checkNoPausedShards(c, r, 3*time.Second)
+			checkNoPendingProcs(c, r, 5*time.Second)
+			checkGoroutines(c, r, 48, 5*time.Second)
+		})
+	},
+}

@@ -1,0 +1,117 @@
+// Package chaos is a deterministic fault-injection harness for the
+// SCALE split-MME. It deploys a full in-process cluster (MLB, MMP
+// fleet, HSS, SGW, eNB clients), drives an attach storm against it,
+// and executes a seeded, scenario-scripted schedule of faults — MLB
+// crash/restart, MMP kills, link partitions, drain vs. kill races —
+// built from the same primitives production failures are made of
+// (netem impairments, killed connections, restarted processes).
+//
+// When the scenario heals, a battery of invariants must hold: every
+// attach the storm attempted is either Active or recoverable (zero
+// lost attaches beyond explicit rejects), the ring regains all live
+// members, R=2 replication is restored, no shard stays paused, no
+// mid-flight procedure leaks an admission reservation, goroutine
+// counts return to baseline, and attach p99 re-converges.
+//
+// Campaigns are reproducible by seed: the same (campaign, seed) pair
+// replays the same fault schedule, so a failing run from CI can be
+// re-run locally with `scale-chaos -campaign <name> -seed <n>`.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Violation is one failed invariant at the end of a campaign.
+type Violation struct {
+	// Invariant names the check that failed (e.g. "lost-attaches").
+	Invariant string
+	// Detail says what was observed vs. expected.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Invariant, v.Detail)
+}
+
+// Report is the outcome of one campaign run.
+type Report struct {
+	Campaign   string
+	Seed       int64
+	Elapsed    time.Duration
+	Violations []Violation
+	// Metrics snapshots the recovery-relevant counters at the end of
+	// the run, keyed by registry id.
+	Metrics map[string]uint64
+	// Notes records scenario milestones (faults injected, heal times)
+	// for the human reading a failed run.
+	Notes []string
+}
+
+// Passed reports whether every invariant held.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// String renders the report for terminal output and failure dumps.
+func (r *Report) String() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "campaign %s seed=%d: %s (%v)\n", r.Campaign, r.Seed, status, r.Elapsed.Round(time.Millisecond))
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  metric: %s = %d\n", k, r.Metrics[k])
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION %s\n", v)
+	}
+	return b.String()
+}
+
+func (r *Report) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) violate(invariant, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Campaign is a named, seeded chaos scenario.
+type Campaign struct {
+	Name string
+	Desc string
+	// Run executes the scenario. short trims the storm and fault
+	// schedule for CI smoke runs; logf (may be nil) narrates progress.
+	Run func(seed int64, short bool, logf func(string, ...interface{})) *Report
+}
+
+// Campaigns lists every registered campaign in a stable order.
+func Campaigns() []Campaign {
+	return []Campaign{
+		mlbRestartUnderStorm,
+		rollingMMPKill,
+		flappingPartition,
+		drainVsKill,
+	}
+}
+
+// Get returns the campaign with the given name.
+func Get(name string) (Campaign, bool) {
+	for _, c := range Campaigns() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Campaign{}, false
+}

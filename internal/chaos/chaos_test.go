@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runCampaign executes a named campaign at seed 1, short-scaled under
+// `go test -short` (the CI chaos-smoke job). A failing run dumps its
+// full report to SCALE_STORM_DUMP_DIR when set, so CI preserves the
+// scenario for replay with `scale-chaos -campaign <name> -seed 1`.
+func runCampaign(t *testing.T, name string) {
+	t.Helper()
+	camp, ok := Get(name)
+	if !ok {
+		t.Fatalf("unknown campaign %q", name)
+	}
+	rep := camp.Run(1, testing.Short(), t.Logf)
+	if rep.Passed() {
+		t.Logf("\n%s", rep)
+		return
+	}
+	if dir := os.Getenv("SCALE_STORM_DUMP_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			path := filepath.Join(dir, fmt.Sprintf("chaos-%s-seed%d.txt", name, rep.Seed))
+			_ = os.WriteFile(path, []byte(rep.String()), 0o644)
+			t.Logf("report dumped to %s", path)
+		}
+	}
+	t.Fatalf("campaign failed:\n%s", rep)
+}
+
+func TestCampaignMLBRestartUnderStorm(t *testing.T) {
+	runCampaign(t, "mlb-restart-under-storm")
+}
+
+func TestCampaignRollingMMPKill(t *testing.T) {
+	runCampaign(t, "rolling-mmp-kill")
+}
+
+func TestCampaignFlappingPartition(t *testing.T) {
+	runCampaign(t, "flapping-partition")
+}
+
+func TestCampaignDrainVsKill(t *testing.T) {
+	runCampaign(t, "drain-vs-kill")
+}
+
+// TestCampaignRegistry pins the catalog: every campaign is named,
+// described, runnable, and retrievable by name.
+func TestCampaignRegistry(t *testing.T) {
+	list := Campaigns()
+	if len(list) < 3 {
+		t.Fatalf("want >= 3 campaigns, have %d", len(list))
+	}
+	for _, c := range list {
+		if c.Name == "" || c.Desc == "" || c.Run == nil {
+			t.Fatalf("campaign %+v incomplete", c.Name)
+		}
+		got, ok := Get(c.Name)
+		if !ok || got.Name != c.Name {
+			t.Fatalf("Get(%q) failed", c.Name)
+		}
+	}
+	if _, ok := Get("no-such-campaign"); ok {
+		t.Fatal("Get accepted an unknown name")
+	}
+}

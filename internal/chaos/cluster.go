@@ -1,0 +1,551 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"scale/internal/core"
+	"scale/internal/enb"
+	"scale/internal/guti"
+	"scale/internal/hss"
+	"scale/internal/mlb"
+	"scale/internal/netem"
+	"scale/internal/obs"
+	"scale/internal/s1ap"
+	"scale/internal/sgw"
+	"scale/internal/transport"
+)
+
+// Config sizes one chaos deployment.
+type Config struct {
+	// MMPs is the agent fleet size (default 3).
+	MMPs int
+	// ENBs is the eNB client count; client i serves cell i+1 with TAI
+	// i+1 (default 1).
+	ENBs int
+	// Devices is how many IMSIs the HSS provisions from imsiBase
+	// (default 4096).
+	Devices int
+	// Seed derives per-link netem seeds so impairment behavior is
+	// reproducible per campaign seed.
+	Seed int64
+	// Liveness is the MLB eviction timeout (default 800ms — fast enough
+	// that partition campaigns converge quickly, slow enough that a
+	// healthy heartbeat cadence never trips it).
+	Liveness time.Duration
+	// XferChunkSize / XferDelay pace state transfers on every agent
+	// (campaigns that race drains against crashes widen the window).
+	XferChunkSize int
+	XferDelay     time.Duration
+	// Logf, when set, narrates deployment and fault milestones.
+	Logf func(string, ...interface{})
+}
+
+const imsiBase = 100000000
+
+// Cluster is one in-process SCALE deployment under chaos: a
+// restartable MLB on pinned addresses, a fleet of MMP agents whose
+// cluster links are wrapped in netem impairments, and reconnecting
+// eNB clients.
+type Cluster struct {
+	cfg Config
+	Obs *obs.Observer
+
+	hssSrv *hss.Server
+	sgwSrv *sgw.Server
+
+	mlbMu            sync.Mutex
+	mlbSrv           *core.MLBServer
+	enbAddr, mmpAddr string
+
+	agents []*AgentSlot
+	enbs   []*core.ENBClient
+
+	baseGoroutines int
+}
+
+// AgentSlot tracks one MMP position in the fleet across kills and
+// replacements, along with the current impairment on its cluster link.
+type AgentSlot struct {
+	Index uint8
+	seed  int64
+
+	mu    sync.Mutex
+	agent *core.MMPAgent
+	im    *netem.Impairment
+}
+
+// Agent returns the current agent occupying the slot.
+func (s *AgentSlot) Agent() *core.MMPAgent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agent
+}
+
+// ID is the agent identity for this slot ("mmp-<index>").
+func (s *AgentSlot) ID() string { return fmt.Sprintf("mmp-%d", s.Index) }
+
+// Partition severs (or heals) the slot's current cluster link. The
+// impairment applies to the live link incarnation; a redial installs
+// a fresh, healed one.
+func (s *AgentSlot) Partition(on bool) {
+	s.mu.Lock()
+	im := s.im
+	s.mu.Unlock()
+	if im != nil {
+		im.Partition(on)
+	}
+}
+
+// New deploys a cluster and waits until every MMP registered.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.MMPs <= 0 {
+		cfg.MMPs = 3
+	}
+	if cfg.ENBs <= 0 {
+		cfg.ENBs = 1
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = 4096
+	}
+	if cfg.Liveness <= 0 {
+		cfg.Liveness = 800 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	c := &Cluster{cfg: cfg, Obs: obs.NewObserver("chaos", 1024)}
+
+	// Provision the storm pool plus a reserve beyond it for standing
+	// populations and post-heal p99 probes (see extraIMSI).
+	db := hss.NewDB()
+	db.ProvisionRange(imsiBase, cfg.Devices+4096)
+	var err error
+	c.hssSrv, err = hss.Serve("127.0.0.1:0", db)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hss: %w", err)
+	}
+	c.sgwSrv, err = sgw.Serve("127.0.0.1:0", sgw.New())
+	if err != nil {
+		c.hssSrv.Close()
+		return nil, fmt.Errorf("chaos: sgw: %w", err)
+	}
+	c.enbAddr, c.mmpAddr = "127.0.0.1:0", "127.0.0.1:0"
+	srv, err := core.ServeMLBConfig(c.mlbConfig())
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("chaos: mlb: %w", err)
+	}
+	c.mlbSrv = srv
+	// Pin the bound addresses: every MLB restart and every redial must
+	// land on the same endpoints.
+	c.enbAddr, c.mmpAddr = srv.ENBAddr(), srv.MMPAddr()
+
+	for i := 1; i <= cfg.MMPs; i++ {
+		slot := &AgentSlot{Index: uint8(i), seed: cfg.Seed + int64(i)}
+		if err := c.startAgent(slot); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.agents = append(c.agents, slot)
+	}
+	if !c.WaitRing(cfg.MMPs, 5*time.Second) {
+		c.Close()
+		return nil, fmt.Errorf("chaos: fleet never registered (%d of %d)", c.RingSize(), cfg.MMPs)
+	}
+
+	for i := 0; i < cfg.ENBs; i++ {
+		cell := uint32(i + 1)
+		addr := c.enbAddr
+		client, err := core.DialENBWith(
+			func() (*transport.Conn, error) { return transport.Dial(addr) },
+			map[uint32][]uint16{cell: {uint16(cell)}},
+		)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("chaos: enb %d: %w", cell, err)
+		}
+		c.enbs = append(c.enbs, client)
+	}
+	c.baseGoroutines = runtime.NumGoroutine()
+	cfg.Logf("chaos: cluster up — %d MMPs, %d eNBs, mlb enb=%s mmp=%s",
+		cfg.MMPs, cfg.ENBs, c.enbAddr, c.mmpAddr)
+	return c, nil
+}
+
+func (c *Cluster) mlbConfig() core.MLBServerConfig {
+	return core.MLBServerConfig{
+		Router: mlb.Config{
+			Name:  "mlb-chaos",
+			PLMN:  guti.PLMN{MCC: 310, MNC: 26},
+			MMEGI: 1, MMEC: 1,
+			Obs: c.Obs,
+		},
+		ENBAddr:         c.enbAddr,
+		MMPAddr:         c.mmpAddr,
+		LivenessTimeout: c.cfg.Liveness,
+		LivenessEvery:   25 * time.Millisecond,
+		// A bounced or retried envelope must outlive a restart window.
+		ForwardBackoff:  10 * time.Millisecond,
+		ForwardAttempts: 9,
+		ForwardTimeout:  8 * time.Second,
+		XferTimeout:     10 * time.Second,
+	}
+}
+
+// startAgent launches a fresh agent into the slot. Its cluster link
+// dials through a netem impairment so campaigns can partition it; a
+// redial wraps the new incarnation in a fresh impairment.
+func (c *Cluster) startAgent(slot *AgentSlot) error {
+	mmpAddr := c.mmpAddr
+	dial := func() (*transport.Conn, error) {
+		nc, err := net.Dial("tcp", mmpAddr)
+		if err != nil {
+			return nil, err
+		}
+		im := netem.NewImpairment(nc, slot.seed)
+		slot.mu.Lock()
+		slot.im = im
+		slot.mu.Unlock()
+		return transport.NewConn(im), nil
+	}
+	a, err := core.StartMMPAgent(core.MMPAgentConfig{
+		Index: slot.Index,
+		PLMN:  guti.PLMN{MCC: 310, MNC: 26},
+		MMEGI: 1, MMEC: 1,
+		MLBDial:         dial,
+		HSSAddr:         c.hssSrv.Addr(),
+		SGWAddr:         c.sgwSrv.Addr(),
+		HeartbeatEvery:  25 * time.Millisecond,
+		LoadReportEvery: 25 * time.Millisecond,
+		ReconnectMin:    5 * time.Millisecond,
+		ReconnectMax:    100 * time.Millisecond,
+		// A storm interrupted by a fault strands half-open attaches;
+		// the reaper must return their admission reservations well
+		// inside the campaign's settle window.
+		ProcTimeout:   time.Second,
+		PauseWatchdog: 2 * time.Second,
+		XferChunkSize: c.cfg.XferChunkSize,
+		XferDelay:     c.cfg.XferDelay,
+		Obs:           c.Obs,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: agent %s: %w", slot.ID(), err)
+	}
+	slot.mu.Lock()
+	slot.agent = a
+	slot.mu.Unlock()
+	return nil
+}
+
+// MLB returns the current MLB incarnation.
+func (c *Cluster) MLB() *core.MLBServer {
+	c.mlbMu.Lock()
+	defer c.mlbMu.Unlock()
+	return c.mlbSrv
+}
+
+// RingSize is the number of registered MMPs.
+func (c *Cluster) RingSize() int { return len(c.MLB().Router.MMPs()) }
+
+// WaitRing polls until the ring holds want members.
+func (c *Cluster) WaitRing(want int, d time.Duration) bool {
+	return waitUntil(d, func() bool { return c.RingSize() == want })
+}
+
+// Agents returns the fleet slots.
+func (c *Cluster) Agents() []*AgentSlot { return c.agents }
+
+// ENB returns eNB client i.
+func (c *Cluster) ENB(i int) *core.ENBClient { return c.enbs[i] }
+
+// RestartMLB crash-stops the MLB, keeps it down for downFor, then
+// restarts it on the same pinned addresses. Agents and eNBs are
+// expected to redial and re-register on their own.
+func (c *Cluster) RestartMLB(downFor time.Duration) error {
+	c.mlbMu.Lock()
+	defer c.mlbMu.Unlock()
+	c.cfg.Logf("chaos: killing MLB for %v", downFor)
+	c.mlbSrv.Close()
+	time.Sleep(downFor)
+	var (
+		srv *core.MLBServer
+		err error
+	)
+	// The freed ports may take a beat to rebind; retry briefly.
+	for attempt := 0; attempt < 40; attempt++ {
+		srv, err = core.ServeMLBConfig(c.mlbConfig())
+		if err == nil {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("chaos: mlb restart: %w", err)
+	}
+	c.mlbSrv = srv
+	c.cfg.Logf("chaos: MLB back on enb=%s mmp=%s", srv.ENBAddr(), srv.MMPAddr())
+	return nil
+}
+
+// KillAgent crash-stops the slot's agent (abrupt conn close, like a VM
+// death) and reaps its goroutines.
+func (c *Cluster) KillAgent(i int) {
+	slot := c.agents[i]
+	slot.mu.Lock()
+	a := slot.agent
+	slot.mu.Unlock()
+	c.cfg.Logf("chaos: killing %s", slot.ID())
+	a.Kill()
+	a.Close()
+}
+
+// ReplaceAgent starts a fresh agent in slot i (same identity) after a
+// kill — the "VM rescheduled" half of a rolling restart.
+func (c *Cluster) ReplaceAgent(i int) error {
+	c.cfg.Logf("chaos: replacing %s", c.agents[i].ID())
+	return c.startAgent(c.agents[i])
+}
+
+// Drain asks the current MLB to drain the slot's agent.
+func (c *Cluster) Drain(i int) error { return c.MLB().Drain(c.agents[i].ID()) }
+
+// Counter reads a counter from the shared registry by id.
+//
+//scale:allow metrichygiene invariant checks read counters by id; Counter is idempotent so this never mints a new series
+func (c *Cluster) Counter(id string) uint64 { return c.Obs.Reg.Counter(id).Value() }
+
+// Close tears the whole deployment down.
+func (c *Cluster) Close() {
+	for _, client := range c.enbs {
+		client.Close()
+	}
+	for _, slot := range c.agents {
+		if a := slot.Agent(); a != nil {
+			a.Close()
+		}
+	}
+	if srv := c.MLB(); srv != nil {
+		srv.Close()
+	}
+	if c.sgwSrv != nil {
+		c.sgwSrv.Close()
+	}
+	if c.hssSrv != nil {
+		c.hssSrv.Close()
+	}
+}
+
+// ---- attach driving -------------------------------------------------
+
+// AttachIdle attaches n fresh devices through eNB client enbIdx and
+// releases them to idle — the standing population campaigns then
+// disturb. It returns the IMSIs.
+func (c *Cluster) AttachIdle(enbIdx, n int, startIMSI uint64, budget time.Duration) ([]uint64, error) {
+	client := c.enbs[enbIdx]
+	cell := uint32(enbIdx + 1)
+	imsis := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		imsi := startIMSI + uint64(i)
+		if _, err := attachTolerant(client, imsi, cell, budget); err != nil {
+			return imsis, fmt.Errorf("attach %d: %w", imsi, err)
+		}
+		if err := client.Run(func(e *enb.Emulator) error {
+			// Asynchronous-host release: send the request and wait for
+			// the downlink (ReleaseToIdle is the synchronous-host path).
+			ue := e.UEFor(imsi)
+			e.Uplink(ue.Cell, &s1ap.UEContextReleaseRequest{
+				ENBUEID: ue.ENBUEID, MMEUEID: ue.MMEUEID, Cause: 1,
+			})
+			return nil
+		}); err != nil {
+			return imsis, fmt.Errorf("release %d: %w", imsi, err)
+		}
+		if err := client.WaitUntil(3*time.Second, func(e *enb.Emulator) bool {
+			return e.UEFor(imsi).State == enb.Idle
+		}); err != nil {
+			return imsis, fmt.Errorf("device %d never went idle: %w", imsi, err)
+		}
+		imsis = append(imsis, imsi)
+	}
+	return imsis, nil
+}
+
+// attachTolerant drives one attach to Active, riding through overload
+// withholding, congestion backoff and explicit rejects by retrying
+// until budget expires. It returns the latency of the successful
+// attempt.
+func attachTolerant(client *core.ENBClient, imsi uint64, cell uint32, budget time.Duration) (time.Duration, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		start := time.Now()
+		var alreadyActive bool
+		err := client.Run(func(e *enb.Emulator) error {
+			ue := e.UEFor(imsi)
+			switch ue.State {
+			case enb.Active:
+				alreadyActive = true
+				return nil
+			case enb.Attaching:
+				// A previous attempt died with the fault. Model the UE's
+				// T3410 expiry: abandon it and retry from scratch.
+				ue.State = enb.Detached
+			}
+			return e.StartAttach(imsi, cell)
+		})
+		if alreadyActive {
+			return time.Since(start), nil
+		}
+		if err != nil {
+			if (errors.Is(err, enb.ErrOverloadThrottled) || errors.Is(err, enb.ErrBackoff)) && time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			return 0, err
+		}
+		rejected := false
+		waitErr := client.WaitUntil(time.Until(deadline), func(e *enb.Emulator) bool {
+			ue := e.UEFor(imsi)
+			rejected = ue.LastError != 0
+			return rejected || ue.State == enb.Active
+		})
+		if waitErr == nil && !rejected {
+			return time.Since(start), nil
+		}
+		if time.Now().After(deadline) {
+			if rejected {
+				return 0, fmt.Errorf("rejected past the budget")
+			}
+			return 0, fmt.Errorf("no answer past the budget")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// serviceTolerant drives one idle device back to Active via service
+// request, with the same tolerance as attachTolerant.
+func serviceTolerant(client *core.ENBClient, imsi uint64, cell uint32, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		err := client.Run(func(e *enb.Emulator) error {
+			if e.UEFor(imsi).State == enb.Active {
+				return nil
+			}
+			return e.StartServiceRequest(imsi, cell)
+		})
+		if err != nil {
+			if (errors.Is(err, enb.ErrOverloadThrottled) || errors.Is(err, enb.ErrBackoff)) && time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		waitErr := client.WaitUntil(400*time.Millisecond, func(e *enb.Emulator) bool {
+			return e.UEFor(imsi).State == enb.Active
+		})
+		if waitErr == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("not Active past the budget")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Storm drives a continuous attach load from every eNB client and
+// records each attempted IMSI so invariants can audit the outcome.
+type Storm struct {
+	c    *Cluster
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	attempted map[uint64]int // imsi → eNB client index
+}
+
+// StartStorm begins an attach storm: each eNB client loops starting
+// attaches for fresh IMSIs (carved from disjoint ranges) with a short
+// per-attempt wait. Outcomes are not enforced mid-storm — faults are
+// expected to strand attempts; the audit happens at heal.
+func (c *Cluster) StartStorm(perAttempt time.Duration) *Storm {
+	if perAttempt <= 0 {
+		perAttempt = 250 * time.Millisecond
+	}
+	st := &Storm{c: c, stop: make(chan struct{}), attempted: make(map[uint64]int)}
+	stride := uint64(c.cfg.Devices / len(c.enbs))
+	for i := range c.enbs {
+		st.wg.Add(1)
+		go st.drive(i, imsiBase+uint64(i)*stride, stride, perAttempt)
+	}
+	return st
+}
+
+func (st *Storm) drive(enbIdx int, base, stride uint64, perAttempt time.Duration) {
+	defer st.wg.Done()
+	client := st.c.enbs[enbIdx]
+	cell := uint32(enbIdx + 1)
+	for n := uint64(0); n < stride; n++ {
+		select {
+		case <-st.stop:
+			return
+		default:
+		}
+		imsi := base + n
+		st.mu.Lock()
+		st.attempted[imsi] = enbIdx
+		st.mu.Unlock()
+		err := client.Run(func(e *enb.Emulator) error { return e.StartAttach(imsi, cell) })
+		if err != nil {
+			// Withheld or backed off: the device never signaled. Drop it
+			// from the audit set and yield — overload control is doing
+			// its job, not losing attaches.
+			st.mu.Lock()
+			delete(st.attempted, imsi)
+			st.mu.Unlock()
+			select {
+			case <-st.stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		// Give the attach a short window; strands are fine mid-fault.
+		_ = client.WaitUntil(perAttempt, func(e *enb.Emulator) bool {
+			ue := e.UEFor(imsi)
+			return ue.State == enb.Active || ue.LastError != 0
+		})
+	}
+}
+
+// StopWait ends the storm and returns the audited attempts
+// (imsi → eNB client index).
+func (st *Storm) StopWait() map[uint64]int {
+	close(st.stop)
+	st.wg.Wait()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[uint64]int, len(st.attempted))
+	for k, v := range st.attempted {
+		out[k] = v
+	}
+	return out
+}
+
+// waitUntil polls pred every 5ms until it holds or d expires.
+func waitUntil(d time.Duration, pred func() bool) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if pred() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

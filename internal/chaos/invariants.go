@@ -1,0 +1,190 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"scale/internal/enb"
+	"scale/internal/transport"
+)
+
+// The invariant battery. Each check appends violations to the report;
+// checks that wait poll with a deadline so "eventually heals" is part
+// of the contract, not a race.
+
+// checkRing asserts the ring regains want members.
+func checkRing(c *Cluster, r *Report, want int, d time.Duration) {
+	if !c.WaitRing(want, d) {
+		r.violate("ring-size", "ring has %d members after heal, want %d", c.RingSize(), want)
+	}
+}
+
+// checkNoPausedShards asserts no agent is left half-quiesced: every
+// paused shard resumed, no drain still flagged.
+func checkNoPausedShards(c *Cluster, r *Report, d time.Duration) {
+	for _, slot := range c.agents {
+		a := slot.Agent()
+		ok := waitUntil(d, func() bool {
+			return a.Engine.PausedShards() == 0 && !a.Draining()
+		})
+		if !ok {
+			r.violate("paused-shards", "%s left with %d paused shards (draining=%v)",
+				slot.ID(), a.Engine.PausedShards(), a.Draining())
+		}
+	}
+}
+
+// checkNoPendingProcs asserts stranded mid-flight procedures drain —
+// by completing or by the reaper returning their admission
+// reservations — so no capacity leaks past the campaign.
+func checkNoPendingProcs(c *Cluster, r *Report, d time.Duration) {
+	for _, slot := range c.agents {
+		a := slot.Agent()
+		if !waitUntil(d, func() bool { return a.Engine.PendingProcs() == 0 }) {
+			r.violate("pending-procs", "%s still holds %d mid-flight procedures",
+				slot.ID(), a.Engine.PendingProcs())
+		}
+	}
+}
+
+// checkReplication asserts R=2 is restored: with at least two members,
+// every device's context exists on two VMs, so the fleet-wide context
+// count reaches twice the attached population.
+func checkReplication(c *Cluster, r *Report, devices int, d time.Duration) {
+	if len(c.agents) < 2 || devices == 0 {
+		return
+	}
+	total := func() int {
+		n := 0
+		for _, slot := range c.agents {
+			n += slot.Agent().Engine.Store().Len()
+		}
+		return n
+	}
+	if !waitUntil(d, func() bool { return total() >= 2*devices }) {
+		r.violate("replication", "fleet holds %d contexts for %d devices, want >= %d (R=2)",
+			total(), devices, 2*devices)
+	}
+}
+
+// checkLostAttaches audits every IMSI the storm attempted: after heal
+// each must be drivable to Active (a fresh attempt is allowed — the
+// storm's own attempt may have died with the fault). A device that
+// cannot attach within budget is a lost attach.
+func checkLostAttaches(c *Cluster, r *Report, attempted map[uint64]int, budget time.Duration) {
+	// Partition the audit per eNB client (each emulator is its own
+	// serial domain) and recover concurrently across clients.
+	byENB := make(map[int][]uint64)
+	for imsi, enbIdx := range attempted {
+		byENB[enbIdx] = append(byENB[enbIdx], imsi)
+	}
+	var (
+		mu   sync.Mutex
+		lost []string
+	)
+	var wg sync.WaitGroup
+	for enbIdx, imsis := range byENB {
+		sort.Slice(imsis, func(i, j int) bool { return imsis[i] < imsis[j] })
+		wg.Add(1)
+		go func(enbIdx int, imsis []uint64) {
+			defer wg.Done()
+			client := c.enbs[enbIdx]
+			cell := uint32(enbIdx + 1)
+			for _, imsi := range imsis {
+				var active bool
+				_ = client.Run(func(e *enb.Emulator) error {
+					active = e.UEFor(imsi).State == enb.Active
+					return nil
+				})
+				if active {
+					continue
+				}
+				if _, err := attachTolerant(client, imsi, cell, budget); err != nil {
+					mu.Lock()
+					lost = append(lost, fmt.Sprintf("%d (%v)", imsi, err))
+					mu.Unlock()
+				}
+			}
+		}(enbIdx, imsis)
+	}
+	wg.Wait()
+	if len(lost) > 0 {
+		sort.Strings(lost)
+		show := lost
+		if len(show) > 5 {
+			show = show[:5]
+		}
+		r.violate("lost-attaches", "%d of %d stormed devices unrecoverable after heal: %v",
+			len(lost), len(attempted), show)
+	}
+}
+
+// checkP99 measures attach latency re-convergence: probes fresh
+// attaches after heal and requires the p99 back under bound.
+func checkP99(c *Cluster, r *Report, startIMSI uint64, probes int, bound time.Duration) {
+	client := c.enbs[0]
+	durations := make([]time.Duration, 0, probes)
+	for i := 0; i < probes; i++ {
+		d, err := attachTolerant(client, startIMSI+uint64(i), 1, 5*time.Second)
+		if err != nil {
+			r.violate("p99-reconverge", "probe attach %d failed: %v", startIMSI+uint64(i), err)
+			return
+		}
+		durations = append(durations, d)
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	got := durations[(len(durations)-1)*99/100]
+	r.Metrics["probe_attach_p99_us"] = uint64(got.Microseconds())
+	if got > bound {
+		r.violate("p99-reconverge", "post-heal attach p99 %v, want <= %v", got, bound)
+	}
+}
+
+// checkGoroutines asserts the deployment sheds its fault-era
+// goroutines (retry loops, redial waiters, stranded workers) back to
+// near the post-deploy baseline.
+func checkGoroutines(c *Cluster, r *Report, slack int, d time.Duration) {
+	limit := c.baseGoroutines + slack
+	if !waitUntil(d, func() bool { return runtime.NumGoroutine() <= limit }) {
+		r.violate("goroutine-leak", "%d goroutines after heal, baseline %d + slack %d",
+			runtime.NumGoroutine(), c.baseGoroutines, slack)
+	}
+}
+
+// checkEventEmitted asserts the flight recorder captured at least one
+// event of the given type — the observability half of recovery.
+func checkEventEmitted(c *Cluster, r *Report, typ string) {
+	for _, ev := range c.Obs.Events.Events(0) {
+		if ev.Type == typ {
+			return
+		}
+	}
+	r.violate("event-missing", "no %q event in the flight recorder", typ)
+}
+
+// snapshotMetrics records the recovery counters on the report.
+func snapshotMetrics(c *Cluster, r *Report, panicsBefore uint64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]uint64)
+	}
+	r.Metrics["mlb_warm_restarts_total"] = c.Counter("mlb_warm_restarts_total")
+	r.Metrics["mlb_mmp_failovers_total"] = c.Counter("mlb_mmp_failovers_total")
+	var reconnects, resumes, timeouts uint64
+	for _, slot := range c.agents {
+		id := slot.ID()
+		reconnects += c.Counter(fmt.Sprintf("mmp_reconnects_total{mmp=%q}", id))
+		resumes += c.Counter(fmt.Sprintf("mmp_xfer_aborted_resumes_total{mmp=%q}", id))
+		timeouts += c.Counter(fmt.Sprintf("mmp_proc_timeouts_total{mmp=%q}", id))
+	}
+	r.Metrics["mmp_reconnects_total"] = reconnects
+	r.Metrics["mmp_xfer_aborted_resumes_total"] = resumes
+	r.Metrics["mmp_proc_timeouts_total"] = timeouts
+	panics := transport.Stats().HandlerPanics - panicsBefore
+	r.Metrics["transport_handler_panics_delta"] = panics
+	if panics > 0 {
+		r.violate("handler-panics", "%d frame handler panics during the campaign", panics)
+	}
+}

@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Event is one scheduled fault (or probe) in a scenario script.
+type Event struct {
+	// At is the offset from script start.
+	At time.Duration
+	// Name labels the event for narration and failure dumps.
+	Name string
+	// Do injects the fault. An error aborts the script.
+	Do func(c *Cluster) error
+}
+
+// Script is a deterministic fault schedule. Campaigns build one from a
+// seeded RNG, so a (campaign, seed) pair always replays the same
+// scenario shape.
+type Script []Event
+
+// Run executes the script against the cluster: events fire in At
+// order, each at its offset from the moment Run was called. The
+// returned names/offsets are appended to the report as notes.
+func (s Script) Run(c *Cluster, r *Report, logf func(string, ...interface{})) error {
+	ordered := append(Script(nil), s...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	start := time.Now()
+	for _, ev := range ordered {
+		if wait := time.Until(start.Add(ev.At)); wait > 0 {
+			time.Sleep(wait)
+		}
+		if logf != nil {
+			logf("chaos: +%v %s", time.Since(start).Round(time.Millisecond), ev.Name)
+		}
+		if r != nil {
+			r.notef("+%v %s", time.Since(start).Round(time.Millisecond), ev.Name)
+		}
+		if err := ev.Do(c); err != nil {
+			return fmt.Errorf("event %q: %w", ev.Name, err)
+		}
+	}
+	return nil
+}

@@ -295,7 +295,7 @@ func (s *MLBServer) Drain(id string) error {
 	conn := s.mmpConns[id]
 	s.mu.Unlock()
 	if conn == nil {
-		return fmt.Errorf("mlb: unknown MMP %q", id)
+		return fmt.Errorf("mlb: unknown MMP %q: %w", id, mlb.ErrUnknownMMP)
 	}
 	if len(s.Router.MMPs()) <= 1 {
 		return errors.New("mlb: cannot drain the last ring member")
@@ -532,7 +532,7 @@ func (a *MMPAgent) Draining() bool { return a.draining.Load() }
 // RequestDrain asks the MLB to drain this agent (scale-mmp -drain).
 // Completion is observed via Drained.
 func (a *MMPAgent) RequestDrain() error {
-	return a.conn.Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlDrainReq}))
+	return a.cluster().Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlDrainReq}))
 }
 
 // handleCtl dispatches one control frame from the MLB.
@@ -565,11 +565,18 @@ func (a *MMPAgent) handleCtl(frame transport.Message) {
 		if !a.draining.CompareAndSwap(false, true) {
 			return // duplicate drain command
 		}
-		if err := a.conn.Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlDrainStarted, CmdID: c.CmdID})); err != nil {
+		if err := a.cluster().Write(StreamCtl, encodeCtlElastic(ctlElastic{Kind: ctlDrainStarted, CmdID: c.CmdID})); err != nil {
 			a.logf("mmp agent: drain ack: %v", err)
 		}
 		a.wg.Add(1)
 		go a.exportMasters(c.CmdID, true)
+		if a.watchdog > 0 {
+			// The pause watchdog auto-resumes the shards this export pauses
+			// if the MLB never confirms the drain (it died, or the link
+			// flapped mid-transfer).
+			a.wg.Add(1)
+			go a.drainWatchdog(a.watchdog)
+		}
 	case ctlDemote:
 		a.applyDemotes(r)
 	case ctlShutdown:
@@ -597,7 +604,17 @@ func (a *MMPAgent) exportMasters(cmdID uint64, drain bool) {
 	}
 	for i := 0; i < a.Engine.NumShards(); i++ {
 		if drain {
+			// Pause under drainMu so an abort (watchdog / link loss) that
+			// already resumed the earlier shards can never race a fresh
+			// pause it would miss.
+			a.drainMu.Lock()
+			if !a.draining.Load() {
+				a.drainMu.Unlock()
+				a.logf("mmp agent: drain export %d abandoned (drain aborted)", cmdID)
+				return
+			}
 			a.Engine.PauseShard(i)
+			a.drainMu.Unlock()
 			a.waitShardQuiesce(i)
 		}
 		ctxs := a.Engine.SnapshotMastersShard(i)
@@ -608,7 +625,7 @@ func (a *MMPAgent) exportMasters(cmdID uint64, drain bool) {
 			}
 			w := wire.GetWriter()
 			encodeXferChunkTo(w, cmdID, ctxs[off:end])
-			err := a.conn.Write(StreamXfer, w.Bytes())
+			err := a.cluster().Write(StreamXfer, w.Bytes())
 			wire.PutWriter(w)
 			if err != nil {
 				// No completion report: the MLB's transfer timeout (or this
@@ -627,7 +644,7 @@ func (a *MMPAgent) exportMasters(cmdID uint64, drain bool) {
 		}
 	}
 	done := encodeCtlElastic(ctlElastic{Kind: ctlExportDone, CmdID: cmdID, Count: uint32(total)})
-	if err := a.conn.Write(StreamCtl, done); err != nil {
+	if err := a.cluster().Write(StreamCtl, done); err != nil {
 		a.logf("mmp agent: export completion: %v", err)
 		return
 	}
@@ -665,7 +682,7 @@ func (a *MMPAgent) installXferChunk(frame transport.Message) {
 		w.Reset()
 		ctx.MarshalTo(w)
 		a.Engine.InstallMaster(ctx)
-		if err := a.conn.WriteTraced(StreamRep, frame.Trace, w.Bytes()); err != nil {
+		if err := a.cluster().WriteTraced(StreamRep, frame.Trace, w.Bytes()); err != nil {
 			a.logf("mmp agent: re-replicate after transfer: %v", err)
 			break
 		}
@@ -698,7 +715,7 @@ func (a *MMPAgent) applyDemotes(r *wire.Reader) {
 func (a *MMPAgent) repushMasters() int {
 	pushed := 0
 	for _, ctx := range a.Engine.SnapshotMasters() {
-		if err := a.conn.Write(StreamRep, ctx.Marshal()); err != nil {
+		if err := a.cluster().Write(StreamRep, ctx.Marshal()); err != nil {
 			a.logf("mmp agent: re-replicate: %v", err)
 			return pushed
 		}

@@ -75,6 +75,9 @@ func RegisterTransportMetrics(reg *obs.Registry) {
 	// Flushes ≈ write syscalls; flushes/frames(out) is the write-coalescing
 	// batching factor (1.0 = no batching, lower = better under load).
 	reg.CounterFunc(`transport_flushes_total{dir="out"}`, func() uint64 { return transport.Stats().FlushesOut })
+	// Panics recovered in frame handlers: each one closed its connection
+	// instead of taking the daemon down. Nonzero means a poisoned frame.
+	reg.CounterFunc(`transport_handler_panics_total`, func() uint64 { return transport.Stats().HandlerPanics })
 }
 
 // Control frame kinds.
@@ -90,6 +93,14 @@ const (
 	// realization of System's forward-to-master (Section 4.6). A bounce
 	// from the master itself is dropped, so forwarding cannot loop.
 	ctlForward uint8 = 5
+)
+
+// Register-frame extension flags (tolerated trailing byte, absent from
+// older senders).
+const (
+	// reregFlagReconnect marks a register sent after a redial: the agent
+	// already holds state and is rebuilding its ring entry, not booting.
+	reregFlagReconnect uint8 = 1
 )
 
 // EncodeEnvelope packs an S1AP message with its eNodeB routing tag.
@@ -178,8 +189,14 @@ type MLBServerConfig struct {
 
 // Failure-handling defaults.
 const (
-	DefaultLivenessTimeout    = 10 * time.Second
-	DefaultHeartbeatEvery     = 2 * time.Second
+	DefaultLivenessTimeout = 10 * time.Second
+	DefaultHeartbeatEvery  = 2 * time.Second
+	// DefaultPauseWatchdog bounds drain-paused shards (see
+	// MMPAgentConfig.PauseWatchdog).
+	DefaultPauseWatchdog = 45 * time.Second
+	// DefaultProcTimeout is the stalled-procedure reaper's max age (see
+	// MMPAgentConfig.ProcTimeout).
+	DefaultProcTimeout        = 30 * time.Second
 	defaultForwardAttempts    = 3
 	defaultForwardBackoff     = 20 * time.Millisecond
 	defaultForwardTimeout     = 2 * time.Second
@@ -235,6 +252,7 @@ type MLBServer struct {
 	mmpConns map[string]*transport.Conn // MMP id → conn
 	mmpIDOf  map[*transport.Conn]string // conn → MMP id
 	lastSeen map[string]time.Time       // MMP id → last frame time
+	seenMMPs map[string]bool            // ids ever registered with this process
 	logger   *log.Logger
 
 	done chan struct{}
@@ -258,7 +276,13 @@ type MLBServer struct {
 	ovlSpanMu sync.Mutex
 	ovlSpan   *obs.ActiveSpan // open from OverloadStart to OverloadStop
 
+	// warmRestarted latches the first reconnect-flagged registration from
+	// an MMP this process never saw boot: the agents outlived the MLB, so
+	// this incarnation is a warm restart rebuilding soft state.
+	warmRestarted atomic.Bool
+
 	failovers     *obs.Counter
+	warmRestarts  *obs.Counter
 	fwdRetries    *obs.Counter
 	fwdDrops      *obs.Counter
 	repForwards   *obs.Counter
@@ -296,6 +320,7 @@ func ServeMLBConfig(cfg MLBServerConfig) (*MLBServer, error) {
 		mmpConns: make(map[string]*transport.Conn),
 		mmpIDOf:  make(map[*transport.Conn]string),
 		lastSeen: make(map[string]time.Time),
+		seenMMPs: make(map[string]bool),
 		logger:   cfg.Logger,
 		done:     make(chan struct{}),
 		ops:      make(map[uint64]*xferOp),
@@ -310,6 +335,7 @@ func ServeMLBConfig(cfg MLBServerConfig) (*MLBServer, error) {
 			s.ingress[p] = ob.Reg.Counter(fmt.Sprintf("mlb_ingress_total{proc=%q}", p))
 		}
 		s.failovers = ob.Reg.Counter("mlb_mmp_failovers_total")
+		s.warmRestarts = ob.Reg.Counter("mlb_warm_restarts_total")
 		s.fwdRetries = ob.Reg.Counter("mlb_forward_retries_total")
 		s.fwdDrops = ob.Reg.Counter("mlb_forward_drops_total")
 		s.repForwards = ob.Reg.Counter("mlb_replications_forwarded_total")
@@ -504,6 +530,58 @@ func (s *MLBServer) touchMMP(conn *transport.Conn) string {
 		s.lastSeen[id] = time.Now()
 	}
 	return id
+}
+
+// registerMMP installs (or reinstalls) an MMP's cluster connection and
+// ring entry. Registration is idempotent: the ring Add is a no-op for a
+// known node, so an agent that redials after a link loss — or keeps
+// running across an MLB restart — rebuilds its entry by re-registering,
+// replaying nothing. A register that supersedes a live connection for
+// the same id closes the stale one WITHOUT failover: the old conn's
+// close hook then finds no registered id and stays silent, so a
+// reconnect never costs a spurious promotion storm.
+func (s *MLBServer) registerMMP(conn *transport.Conn, id string, index uint8, reconnect bool, occ float64, hasOcc bool) {
+	s.mu.Lock()
+	old := s.mmpConns[id]
+	s.mmpConns[id] = conn
+	s.mmpIDOf[conn] = id
+	s.lastSeen[id] = time.Now()
+	if old != nil && old != conn {
+		delete(s.mmpIDOf, old)
+	}
+	first := !s.seenMMPs[id]
+	s.seenMMPs[id] = true
+	s.mu.Unlock()
+	if old != nil && old != conn {
+		old.Close()
+	}
+	s.Router.RegisterMMP(id, index)
+	if hasOcc {
+		s.Router.ReportLoad(id, occ)
+	}
+	ob := s.Router.Observer()
+	if reconnect {
+		if ob != nil {
+			ob.Events.Emitf(eventlog.TypeReconnect, s.Router.Name(), id, occ, "side=mmp")
+		}
+		// A reconnect-flagged register for an id this process never saw
+		// boot means the agents outlived the MLB: this incarnation is a
+		// warm restart, rebuilding ring and member maps purely from
+		// re-registrations (the active-mode index refills lazily through
+		// the bounce path). Latched once per process.
+		if first && s.warmRestarted.CompareAndSwap(false, true) {
+			if s.warmRestarts != nil {
+				s.warmRestarts.Inc()
+			}
+			if ob != nil {
+				ob.Events.Emitf(eventlog.TypeWarmRestart, s.Router.Name(), id, 0, "")
+			}
+			s.logf("mlb: warm restart detected (reconnecting MMP %s); rebuilding soft state", id)
+		}
+		s.logf("mlb: MMP %s (index %d) re-registered after reconnect (occupancy %.2f)", id, index, occ)
+		return
+	}
+	s.logf("mlb: MMP %s (index %d) registered", id, index)
 }
 
 // onMMPClose is the cluster-side connection close hook: a vanished MMP
@@ -764,13 +842,15 @@ func (s *MLBServer) handleMMP(conn *transport.Conn, frame transport.Message) {
 			if r.Err() != nil {
 				return
 			}
-			s.mu.Lock()
-			s.mmpConns[id] = conn
-			s.mmpIDOf[conn] = id
-			s.lastSeen[id] = time.Now()
-			s.mu.Unlock()
-			s.Router.RegisterMMP(id, index)
-			s.logf("mlb: MMP %s (index %d) registered", id, index)
+			// Tolerated trailing extension (absent from older senders):
+			// flags (bit0 = re-register after a redial) and the agent's
+			// current occupancy, so a rebuilt ring entry starts with live
+			// load data instead of a cold zero.
+			flags := r.U8()
+			occ := r.F64()
+			hasExt := r.Err() == nil
+			reconnect := hasExt && flags&reregFlagReconnect != 0
+			s.registerMMP(conn, id, index, reconnect, occ, hasExt)
 		case ctlLoadReport:
 			util := r.F64()
 			if r.Err() != nil {
@@ -1039,8 +1119,30 @@ type MMPAgentConfig struct {
 	Join bool
 	// MLBConn, when set, is used instead of dialing MLBAddr — the
 	// injection point for chaos tests that impair the cluster link
-	// (netem) before framing it, mirroring NewENBClient.
+	// (netem) before framing it, mirroring NewENBClient. An injected
+	// conn is one-shot: the agent cannot redial it, so reconnect is
+	// disabled unless MLBDial is also set.
 	MLBConn *transport.Conn
+	// MLBDial overrides how the agent dials (and redials) its cluster
+	// link. Chaos tests use it to re-wrap each incarnation of the link
+	// in a fresh impairment. Defaults to dialing MLBAddr.
+	MLBDial func() (*transport.Conn, error)
+	// ReconnectMin/ReconnectMax bound the redial backoff (0 → transport
+	// defaults). Reconnect itself is on whenever the agent owns its dial
+	// path (MLBConn nil, or MLBDial set); a negative ReconnectMin
+	// disables it — tests emulating a hung VM use that.
+	ReconnectMin, ReconnectMax time.Duration
+	// PauseWatchdog bounds how long a drain may hold shards paused: if
+	// the transfer has not completed cleanly by then (the MLB died, the
+	// link flapped, the export wedged) the agent aborts the drain and
+	// resumes its paused shards — a dead peer must not leave the VM
+	// half-quiesced forever. 0 → DefaultPauseWatchdog; negative disables.
+	PauseWatchdog time.Duration
+	// ProcTimeout bounds how long a mid-flight procedure (half-open
+	// attach, half-done handover) may sit waiting for its next message
+	// before the reaper drops it and releases its admission reservation.
+	// 0 → DefaultProcTimeout; negative disables the reaper.
+	ProcTimeout time.Duration
 	// XferChunkSize caps UE contexts per state-transfer chunk
 	// (0 → XferChunkSize).
 	XferChunkSize int
@@ -1059,7 +1161,12 @@ type queuedFrame struct {
 // MMPAgent runs an MMP engine against a remote MLB/HSS/S-GW.
 type MMPAgent struct {
 	Engine *mmp.Engine
-	conn   *transport.Conn
+	// conn is the live cluster link. It is swapped atomically on redial,
+	// so every writer goes through cluster() and never caches the value
+	// across a reconnect.
+	conn   atomic.Pointer[transport.Conn]
+	redial *transport.Redialer // nil when reconnect is disabled
+	index  uint8
 	hss    *hss.Client
 	sgw    *sgw.Client
 	logger *log.Logger
@@ -1075,6 +1182,8 @@ type MMPAgent struct {
 	qRejects atomic.Uint64
 
 	queueRejects *obs.Counter // nil without Obs
+	reconnects   *obs.Counter // nil without Obs
+	xferResumes  *obs.Counter // nil without Obs
 
 	// Flight-recorder hooks (events is nil-safe; the limiter keeps
 	// queue-full — which fires per rejected frame — to one event per
@@ -1091,8 +1200,10 @@ type MMPAgent struct {
 	drainedCh     chan struct{}
 	drainedOnce   sync.Once
 	draining      atomic.Bool
+	drainMu       sync.Mutex // serializes drain pausing vs. abort resume
 	xferChunk     int
 	xferDelay     time.Duration
+	watchdog      time.Duration // pause-watchdog budget (<=0 disabled)
 
 	// hbTicks counts heartbeat ticker firings (not deliveries) — the
 	// observable a liveness regression test asserts keeps growing
@@ -1122,9 +1233,17 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		hc.Close()
 		return nil, fmt.Errorf("mmp agent: SGW: %w", err)
 	}
+	// The agent owns its dial path unless handed a one-shot injected
+	// conn: MLBDial (chaos tests re-impairing each link incarnation), or
+	// plain dialing of MLBAddr. Owning the path is what enables redial.
+	dial := cfg.MLBDial
+	if dial == nil && cfg.MLBConn == nil {
+		addr := cfg.MLBAddr
+		dial = func() (*transport.Conn, error) { return transport.Dial(addr) }
+	}
 	conn := cfg.MLBConn
 	if conn == nil {
-		conn, err = transport.Dial(cfg.MLBAddr)
+		conn, err = dial()
 		if err != nil {
 			hc.Close()
 			sc.Close()
@@ -1135,7 +1254,7 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		cfg.QueueLimit = DefaultAgentQueueLimit
 	}
 	a := &MMPAgent{
-		conn:      conn,
+		index:     cfg.Index,
 		hss:       hc,
 		sgw:       sc,
 		logger:    cfg.Logger,
@@ -1147,6 +1266,21 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		drainedCh: make(chan struct{}),
 		xferChunk: cfg.XferChunkSize,
 		xferDelay: cfg.XferDelay,
+	}
+	a.conn.Store(conn)
+	switch {
+	case cfg.PauseWatchdog == 0:
+		a.watchdog = DefaultPauseWatchdog
+	case cfg.PauseWatchdog > 0:
+		a.watchdog = cfg.PauseWatchdog
+	}
+	if dial != nil && cfg.ReconnectMin >= 0 {
+		a.redial = transport.NewRedialer(transport.RedialerConfig{
+			Dial:      dial,
+			Min:       cfg.ReconnectMin,
+			Max:       cfg.ReconnectMax,
+			OnConnect: a.reregister,
+		})
 	}
 	if cfg.Obs != nil {
 		a.events = cfg.Obs.Events
@@ -1169,6 +1303,8 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 	})
 	if cfg.Obs != nil {
 		a.queueRejects = cfg.Obs.Reg.Counter(fmt.Sprintf("mmp_admission_queue_rejects_total{mmp=%q}", cfg.ID))
+		a.reconnects = cfg.Obs.Reg.Counter(fmt.Sprintf("mmp_reconnects_total{mmp=%q}", cfg.ID))
+		a.xferResumes = cfg.Obs.Reg.Counter(fmt.Sprintf("mmp_xfer_aborted_resumes_total{mmp=%q}", cfg.ID))
 		cfg.Obs.Reg.GaugeFunc(fmt.Sprintf("mmp_admission_queue_depth{mmp=%q}", cfg.ID), func() float64 {
 			return float64(len(a.s1q))
 		})
@@ -1205,7 +1341,70 @@ func StartMMPAgent(cfg MMPAgentConfig) (*MMPAgent, error) {
 		a.wg.Add(1)
 		go a.heartbeatLoop(cfg.HeartbeatEvery)
 	}
+	if cfg.ProcTimeout >= 0 {
+		maxAge := cfg.ProcTimeout
+		if maxAge == 0 {
+			maxAge = DefaultProcTimeout
+		}
+		a.wg.Add(1)
+		go a.reaperLoop(maxAge)
+	}
 	return a, nil
+}
+
+// cluster returns the current cluster link. Callers must re-fetch it
+// per write: after a redial the old pointer is a dead connection.
+func (a *MMPAgent) cluster() *transport.Conn { return a.conn.Load() }
+
+// Reconnects reports how many times the agent redialed its cluster
+// link.
+func (a *MMPAgent) Reconnects() uint64 {
+	if a.redial == nil {
+		return 0
+	}
+	return a.redial.Reconnects()
+}
+
+// reregister is the redialer's OnConnect hook: rebuild this agent's
+// ring entry on the fresh link. The register carries the reconnect flag
+// and the engine's current occupancy as the tolerated trailing
+// extension, so the MLB (possibly itself freshly restarted) rebuilds
+// the member entry with live load data. Nothing is replayed — the
+// engine state never left this process.
+func (a *MMPAgent) reregister(conn *transport.Conn, _ int) error {
+	w := wire.NewWriter(48)
+	w.U8(ctlRegister)
+	w.String16(a.id)
+	w.U8(a.index)
+	w.U8(reregFlagReconnect)
+	w.F64(a.Engine.Occupancy())
+	return conn.Write(StreamCtl, w.Bytes())
+}
+
+// reaperLoop periodically drops mid-flight procedures whose next
+// message never arrived (their eNB died, or the chaos monkey cut the
+// path), releasing the admission reservations they pinned.
+func (a *MMPAgent) reaperLoop(maxAge time.Duration) {
+	defer a.wg.Done()
+	every := maxAge / 4
+	if every < 5*time.Millisecond {
+		every = 5 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-t.C:
+			if n := a.Engine.ReapStalledProcs(maxAge, time.Now()); n > 0 {
+				if a.events != nil {
+					a.events.Emitf(eventlog.TypeProcTimeout, a.id, "", float64(n), "")
+				}
+				a.logf("mmp agent: reaped %d stalled procedures", n)
+			}
+		}
+	}
 }
 
 // agentReplicator pushes state snapshots onto the replicate stream; the
@@ -1217,7 +1416,7 @@ type agentReplicator struct{ a *MMPAgent }
 func (r agentReplicator) Replicate(_ string, ctx *state.UEContext) {
 	w := wire.GetWriter()
 	ctx.MarshalTo(w)
-	err := r.a.conn.Write(StreamRep, w.Bytes())
+	err := r.a.cluster().Write(StreamRep, w.Bytes())
 	wire.PutWriter(w)
 	if err != nil {
 		r.a.logf("mmp agent: replicate push: %v", err)
@@ -1233,39 +1432,83 @@ func (a *MMPAgent) logf(format string, args ...interface{}) {
 func (a *MMPAgent) serveLoop() {
 	defer a.wg.Done()
 	for {
-		frame, err := a.conn.Read()
+		frame, err := a.cluster().Read()
 		if err != nil {
-			select {
-			case <-a.done:
-			default:
-				if !a.killed.Load() {
-					a.logf("mmp agent: read: %v", err)
+			if a.closing() || a.hasDrained() || a.redial == nil {
+				select {
+				case <-a.done:
+				default:
+					if !a.killed.Load() {
+						a.logf("mmp agent: read: %v", err)
+					}
 				}
+				return
 			}
+			// The cluster link died under us. Abort any half-done drain
+			// first (the MLB lost the transfer either way; paused shards
+			// must not stay paused), then redial with backoff. The
+			// redialer's OnConnect hook re-registers before the swap, so
+			// by the time writers see the new conn the MLB knows us.
+			a.logf("mmp agent: cluster link lost (%v); redialing", err)
+			a.abortDrain("link lost")
+			nc, rerr := a.redial.Redial()
+			if rerr != nil {
+				return // stopped by Close/Kill
+			}
+			a.conn.Store(nc)
+			if a.reconnects != nil {
+				a.reconnects.Inc()
+			}
+			if a.events != nil {
+				a.events.Emitf(eventlog.TypeReconnect, a.id, "mlb", 0, "")
+			}
+			a.logf("mmp agent: %s reconnected to MLB and re-registered", a.id)
+			// The ring was just rebuilt server-side; re-push masters so
+			// the current replica holders refresh (stale-version refusal
+			// makes redundancy harmless). Async — the serve loop must get
+			// back to reading.
+			a.wg.Add(1)
+			go func() {
+				defer a.wg.Done()
+				a.repushMasters()
+			}()
+			continue
+		}
+		a.dispatch(frame)
+	}
+}
+
+// dispatch routes one cluster frame, containing any handler panic to
+// this frame: a poisoned frame is logged and dropped instead of taking
+// the whole agent down (the transport server gives daemons the same
+// containment per connection).
+func (a *MMPAgent) dispatch(frame transport.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.logf("mmp agent: frame handler panic (stream %d): %v", frame.Stream, r)
+		}
+	}()
+	switch frame.Stream {
+	case StreamS1:
+		// Ownership transfers to the S1 queue; the worker (or the
+		// shed path) frees the frame once the procedure is handled.
+		a.enqueueS1(frame)
+	case StreamRep:
+		ctx, err := state.Unmarshal(frame.Payload)
+		frame.Free()
+		if err != nil {
+			a.logf("mmp agent: bad replica: %v", err)
 			return
 		}
-		switch frame.Stream {
-		case StreamS1:
-			// Ownership transfers to the S1 queue; the worker (or the
-			// shed path) frees the frame once the procedure is handled.
-			a.enqueueS1(frame)
-		case StreamRep:
-			ctx, err := state.Unmarshal(frame.Payload)
-			frame.Free()
-			if err != nil {
-				a.logf("mmp agent: bad replica: %v", err)
-				continue
-			}
-			if err := a.Engine.ApplyReplica(ctx); err != nil && !errors.Is(err, state.ErrStale) {
-				a.logf("mmp agent: apply replica: %v", err)
-			}
-		case StreamXfer:
-			a.installXferChunk(frame)
-			frame.Free()
-		case StreamCtl:
-			a.handleCtl(frame)
-			frame.Free()
+		if err := a.Engine.ApplyReplica(ctx); err != nil && !errors.Is(err, state.ErrStale) {
+			a.logf("mmp agent: apply replica: %v", err)
 		}
+	case StreamXfer:
+		a.installXferChunk(frame)
+		frame.Free()
+	case StreamCtl:
+		a.handleCtl(frame)
+		frame.Free()
 	}
 }
 
@@ -1336,7 +1579,7 @@ func (a *MMPAgent) rejectAtQueueFull(frame transport.Message) bool {
 			float64(len(a.s1q)), fmt.Sprintf("rejects=%d", a.qRejects.Load()))
 	}
 	reject := &s1ap.DownlinkNASTransport{ENBUEID: m.ENBUEID, NASPDU: pdu}
-	if err := writeEnvelope(a.conn, frame.Trace, enbID, 0, reject); err != nil {
+	if err := writeEnvelope(a.cluster(), frame.Trace, enbID, 0, reject); err != nil {
 		a.logf("mmp agent: queue-full reject: %v", err)
 	}
 	return true
@@ -1389,7 +1632,7 @@ func (a *MMPAgent) handleS1(frame transport.Message) {
 		w := transport.GetFrame()
 		w.U8(ctlForward)
 		w.Raw(frame.Payload)
-		if werr := a.conn.WriteFrame(StreamCtl, frame.Trace, w); werr != nil {
+		if werr := a.cluster().WriteFrame(StreamCtl, frame.Trace, w); werr != nil {
 			a.logf("mmp agent: bounce %s: %v", msg.Type(), werr)
 		}
 		return
@@ -1399,7 +1642,7 @@ func (a *MMPAgent) handleS1(frame transport.Message) {
 		return
 	}
 	for _, o := range out {
-		if err := writeEnvelope(a.conn, frame.Trace, o.ENB, o.TAI, o.Msg); err != nil {
+		if err := writeEnvelope(a.cluster(), frame.Trace, o.ENB, o.TAI, o.Msg); err != nil {
 			a.logf("mmp agent: write: %v", err)
 			return
 		}
@@ -1478,7 +1721,7 @@ func (a *MMPAgent) loadLoop(every time.Duration) {
 			w.U8(ctlLoadReport)
 			w.F64(util)
 			w.U8(flags)
-			if err := a.conn.Write(StreamCtl, w.Bytes()); err != nil {
+			if err := a.cluster().Write(StreamCtl, w.Bytes()); err != nil {
 				if a.closing() {
 					return
 				}
@@ -1506,7 +1749,7 @@ func (a *MMPAgent) heartbeatLoop(every time.Duration) {
 			a.hbTicks.Add(1)
 			w := wire.NewWriter(2)
 			w.U8(ctlHeartbeat)
-			if err := a.conn.Write(StreamCtl, w.Bytes()); err != nil {
+			if err := a.cluster().Write(StreamCtl, w.Bytes()); err != nil {
 				if a.closing() {
 					return
 				}
@@ -1524,10 +1767,14 @@ func (a *MMPAgent) heartbeatLoop(every time.Duration) {
 // Kill abruptly severs the agent's cluster connection without
 // deregistering — fault injection emulating a crashed VM. The engine
 // and its state stay in-process so tests can inspect what was lost;
-// Close remains necessary for full cleanup.
+// Close remains necessary for full cleanup. A killed agent never
+// redials: the kill is terminal by design.
 func (a *MMPAgent) Kill() {
 	a.killed.Store(true)
-	a.conn.Close()
+	if a.redial != nil {
+		a.redial.Stop()
+	}
+	a.cluster().Close()
 }
 
 // Close stops the agent.
@@ -1537,73 +1784,211 @@ func (a *MMPAgent) Close() error {
 	default:
 		close(a.done)
 	}
-	err := a.conn.Close()
+	if a.redial != nil {
+		a.redial.Stop() // unblocks a serve loop sleeping in backoff
+	}
+	err := a.cluster().Close()
 	a.hss.Close()
 	a.sgw.Close()
 	a.wg.Wait()
 	return err
 }
 
+// hasDrained reports whether the MLB confirmed a clean drain — after
+// which a closing cluster link is the expected shutdown, not a fault.
+func (a *MMPAgent) hasDrained() bool {
+	select {
+	case <-a.drainedCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// abortDrain rolls a half-done drain back: shards paused for the
+// export resume serving, and the draining latch clears so a future
+// drain command can start over. Called when the cluster link dies
+// mid-transfer and from the pause watchdog — either way the transfer
+// peer is gone and keeping shards paused would wedge the VM.
+func (a *MMPAgent) abortDrain(cause string) {
+	// drainMu makes the abort atomic against the export's pause loop:
+	// once the flag drops under the lock, no further shard can be paused
+	// for this drain, so the resume sweep below cannot miss one.
+	a.drainMu.Lock()
+	if !a.draining.CompareAndSwap(true, false) {
+		a.drainMu.Unlock()
+		return
+	}
+	resumed := 0
+	for i := 0; i < a.Engine.NumShards(); i++ {
+		if a.Engine.ShardPaused(i) {
+			a.Engine.ResumeShard(i)
+			resumed++
+		}
+	}
+	a.drainMu.Unlock()
+	if a.xferResumes != nil {
+		a.xferResumes.Inc()
+	}
+	if a.events != nil {
+		a.events.Emitf(eventlog.TypeXferAbort, a.id, cause, float64(resumed), "")
+	}
+	a.logf("mmp agent: %s drain aborted (%s); %d paused shards resumed", a.id, cause, resumed)
+}
+
+// drainWatchdog bounds one drain's pause window: if the MLB has not
+// confirmed completion within the budget, the drain is aborted and the
+// paused shards resume. Fires once per drain command.
+func (a *MMPAgent) drainWatchdog(budget time.Duration) {
+	defer a.wg.Done()
+	t := time.NewTimer(budget)
+	defer t.Stop()
+	select {
+	case <-a.drainedCh:
+	case <-a.done:
+	case <-t.C:
+		a.abortDrain("pause watchdog")
+	}
+}
+
 // ENBClient drives an eNodeB emulator against a TCP MLB. It serializes
 // emulator access under a mutex (the emulator is not concurrency-safe)
-// and lets callers wait for procedure completion with a timeout.
+// and lets callers wait for procedure completion with a timeout. A
+// dialed client (DialENB / DialENBWith) survives MLB restarts: on a
+// read error it redials with backoff and replays its S1 Setup per cell
+// — the MLB's setup path then replays any active OverloadStart back,
+// so the eNB rejoins with current throttling state. A client built on
+// an injected conn (NewENBClient) stays one-shot.
 type ENBClient struct {
-	Emu  *enb.Emulator
-	conn *transport.Conn
+	Emu    *enb.Emulator
+	conn   atomic.Pointer[transport.Conn]
+	redial *transport.Redialer // nil for injected-conn clients
+	cells  map[uint32][]uint16 // setup replayed per cell on reconnect
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	wg   sync.WaitGroup
-	done chan struct{}
+	mu        sync.Mutex
+	cond      *sync.Cond
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 // DialENB connects an emulator to a TCP MLB and registers its cells.
 func DialENB(mlbAddr string, cells map[uint32][]uint16) (*ENBClient, error) {
-	conn, err := transport.Dial(mlbAddr)
+	return DialENBWith(func() (*transport.Conn, error) {
+		return transport.Dial(mlbAddr)
+	}, cells)
+}
+
+// DialENBWith is DialENB with an explicit dial function — the chaos
+// harness injects one that re-wraps each link incarnation in a fresh
+// impairment. The dialer is reused for reconnects.
+func DialENBWith(dial func() (*transport.Conn, error), cells map[uint32][]uint16) (*ENBClient, error) {
+	conn, err := dial()
 	if err != nil {
 		return nil, err
 	}
-	return NewENBClient(conn, cells)
+	return newENBClient(conn, cells, dial)
 }
 
 // NewENBClient wires an emulator over an already-established transport
 // connection — the injection point for chaos tests that impair the
-// underlying link (netem) before framing it.
+// underlying link (netem) before framing it. With no dial path the
+// client cannot reconnect; use DialENBWith for that.
 func NewENBClient(conn *transport.Conn, cells map[uint32][]uint16) (*ENBClient, error) {
+	return newENBClient(conn, cells, nil)
+}
+
+func newENBClient(conn *transport.Conn, cells map[uint32][]uint16, dial func() (*transport.Conn, error)) (*ENBClient, error) {
 	c := &ENBClient{
-		Emu:  enb.New(),
-		conn: conn,
-		done: make(chan struct{}),
+		Emu:   enb.New(),
+		cells: make(map[uint32][]uint16, len(cells)),
+		done:  make(chan struct{}),
 	}
+	c.conn.Store(conn)
 	c.cond = sync.NewCond(&c.mu)
 	c.Emu.Uplink = func(_ uint32, msg s1ap.Message) {
 		// Uplink is invoked with c.mu held (all emulator access is under
 		// the lock); the framed write is safe to perform inline.
-		if err := conn.Write(transport.StreamUE, s1ap.Marshal(msg)); err != nil {
+		if err := c.link().Write(transport.StreamUE, s1ap.Marshal(msg)); err != nil {
 			// The read loop will observe the close and wake waiters.
 			return
 		}
 	}
 	for id, tais := range cells {
+		c.cells[id] = append([]uint16(nil), tais...)
 		req := c.Emu.AddCell(id, tais)
 		if err := conn.Write(transport.StreamCommon, s1ap.Marshal(req)); err != nil {
 			conn.Close()
 			return nil, err
 		}
 	}
+	if dial != nil {
+		c.redial = transport.NewRedialer(transport.RedialerConfig{
+			Dial:      dial,
+			OnConnect: c.replaySetup,
+		})
+	}
 	c.wg.Add(1)
 	go c.readLoop()
 	return c, nil
 }
 
+// link returns the current MLB connection (swapped on reconnect).
+func (c *ENBClient) link() *transport.Conn { return c.conn.Load() }
+
+// Reconnects reports how many times the client redialed the MLB.
+func (c *ENBClient) Reconnects() uint64 {
+	if c.redial == nil {
+		return 0
+	}
+	return c.redial.Reconnects()
+}
+
+// replaySetup is the redialer's OnConnect hook: the S1 Setup exchange
+// is replayed per cell, re-announcing this eNB's tracking areas to the
+// (possibly restarted) MLB. The server replays OverloadStart back if an
+// episode is in progress, so a reconnecting eNB throttles correctly.
+func (c *ENBClient) replaySetup(conn *transport.Conn, _ int) error {
+	for id, tais := range c.cells {
+		req := &s1ap.S1SetupRequest{ENBID: id, Name: fmt.Sprintf("enb-%d", id), TAIs: tais}
+		if err := conn.Write(transport.StreamCommon, s1ap.Marshal(req)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shutdown marks the client dead and wakes every waiter.
+func (c *ENBClient) shutdown() {
+	c.closeOnce.Do(func() { close(c.done) })
+	c.cond.Broadcast()
+}
+
+func (c *ENBClient) closed() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
 func (c *ENBClient) readLoop() {
 	defer c.wg.Done()
 	for {
-		frame, err := c.conn.Read()
+		frame, err := c.link().Read()
 		if err != nil {
-			close(c.done)
-			c.cond.Broadcast()
-			return
+			if c.redial == nil || c.closed() {
+				c.shutdown()
+				return
+			}
+			nc, rerr := c.redial.Redial()
+			if rerr != nil {
+				c.shutdown()
+				return
+			}
+			c.conn.Store(nc)
+			continue
 		}
 		msg, err := s1ap.Unmarshal(frame.Payload)
 		frame.Free() // the decode copied every field out
@@ -1694,7 +2079,11 @@ func (c *ENBClient) WaitUntil(timeout time.Duration, pred func(e *enb.Emulator) 
 
 // Close tears the client down.
 func (c *ENBClient) Close() error {
-	err := c.conn.Close()
+	c.closeOnce.Do(func() { close(c.done) })
+	if c.redial != nil {
+		c.redial.Stop() // unblocks a read loop sleeping in backoff
+	}
+	err := c.link().Close()
 	c.wg.Wait()
 	return err
 }

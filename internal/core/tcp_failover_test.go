@@ -323,6 +323,7 @@ func TestTCPLivenessTimeout(t *testing.T) {
 		HSSAddr:        tb.hssSrv.Addr(),
 		SGWAddr:        tb.sgwSrv.Addr(),
 		HeartbeatEvery: -1, // never heartbeats
+		ReconnectMin:   -1, // a hung VM does not redial after eviction
 	})
 	if err != nil {
 		t.Fatal(err)

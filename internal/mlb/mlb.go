@@ -41,6 +41,11 @@ var (
 	ErrUnknownMMP = errors.New("mlb: UE id references unknown MMP")
 	// ErrUnroutable means the message type carries no routing key.
 	ErrUnroutable = errors.New("mlb: message carries no routing key")
+	// ErrPhaseConflict means a join or drain was requested for a member
+	// whose lifecycle phase forbids it (already draining, still joining).
+	// Admin surfaces map it to a client error instead of hanging until
+	// the transfer timeout.
+	ErrPhaseConflict = errors.New("phase conflict")
 )
 
 // Decision is the routing result for one uplink message.
@@ -211,7 +216,7 @@ func (r *Router) BeginJoin(id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if p, ok := r.phase[id]; ok && p != PhaseJoining {
-		return fmt.Errorf("mlb: %s cannot join while %s", id, p)
+		return fmt.Errorf("mlb: %s cannot join while %s: %w", id, p, ErrPhaseConflict)
 	}
 	r.phase[id] = PhaseJoining
 	return nil
@@ -236,7 +241,7 @@ func (r *Router) BeginDrain(id string) error {
 	r.mu.Lock()
 	if p := r.phase[id]; p != PhaseActive {
 		r.mu.Unlock()
-		return fmt.Errorf("mlb: %s cannot drain while %s", id, p)
+		return fmt.Errorf("mlb: %s cannot drain while %s: %w", id, p, ErrPhaseConflict)
 	}
 	r.phase[id] = PhaseDraining
 	r.mu.Unlock()

@@ -147,6 +147,9 @@ type Stats struct {
 	// AdmissionRejects counts new attaches refused at the admission
 	// bound (rejected with CauseCongestion before any HSS work).
 	AdmissionRejects uint64
+	// ProcTimeouts counts half-open procedures reaped by
+	// ReapStalledProcs after their continuation never arrived.
+	ProcTimeouts uint64
 }
 
 // shardStats is one shard's slice of the activity counters. Fields are
@@ -168,6 +171,7 @@ type shardStats struct {
 	implicitDetaches  atomic.Uint64
 	promotions        atomic.Uint64
 	admissionRejects  atomic.Uint64
+	procTimeouts      atomic.Uint64
 }
 
 // Errors the engine returns to its host.
@@ -193,12 +197,16 @@ type attachProc struct {
 	xres    [8]byte
 	kasme   [nas.KeySize]byte
 	smcSent bool
+	// started stamps procedure creation so ReapStalledProcs can time out
+	// entries whose continuation will never arrive (peer died mid-flight).
+	started time.Time
 }
 
 type hoProc struct {
 	sourceENB     uint32
 	sourceENBUEID uint32
 	targetENB     uint32
+	started       time.Time
 }
 
 // engineShard is one lock domain of the engine: the procedure and id
@@ -375,6 +383,7 @@ func (e *Engine) Stats() Stats {
 		out.ImplicitDetaches += s.stats.implicitDetaches.Load()
 		out.Promotions += s.stats.promotions.Load()
 		out.AdmissionRejects += s.stats.admissionRejects.Load()
+		out.ProcTimeouts += s.stats.procTimeouts.Load()
 	}
 	return out
 }
@@ -638,6 +647,7 @@ func (e *Engine) startAttach(enbID uint32, m *s1ap.InitialUEMessage, req *nas.At
 		enbUEID: m.ENBUEID,
 		xres:    v.XRES,
 		kasme:   v.KASME,
+		started: time.Now(),
 	}
 	s.byMMEUEID[mmeUEID] = g
 	return []Outbound{{ENB: enbID, Msg: &s1ap.DownlinkNASTransport{
@@ -1071,6 +1081,7 @@ func (e *Engine) handleHandoverRequired(enbID uint32, m *s1ap.HandoverRequired) 
 		sourceENB:     enbID,
 		sourceENBUEID: m.ENBUEID,
 		targetENB:     m.TargetENB,
+		started:       time.Now(),
 	}
 	is.mu.Unlock()
 

@@ -84,6 +84,7 @@ type engineObs struct {
 	errs     map[string]*obs.Counter // kind → count
 
 	admissionRejects *obs.Counter
+	procTimeouts     *obs.Counter
 	id               string
 }
 
@@ -95,6 +96,7 @@ func newEngineObs(ob *obs.Observer, id string) *engineObs {
 		errs:     make(map[string]*obs.Counter, 3),
 	}
 	e.admissionRejects = ob.Reg.Counter(fmt.Sprintf("mmp_admission_rejects_total{mmp=%q}", id))
+	e.procTimeouts = ob.Reg.Counter(fmt.Sprintf("mmp_proc_timeouts_total{mmp=%q}", id))
 	for _, p := range procNames {
 		//scale:allow metrichygiene bounded by the fixed procedure set
 		e.requests[p] = ob.Reg.Counter(fmt.Sprintf("mmp_requests_total{mmp=%q,proc=%q}", id, p))

@@ -1,0 +1,96 @@
+package mmp
+
+import (
+	"testing"
+	"time"
+
+	"scale/internal/nas"
+	"scale/internal/s1ap"
+)
+
+// startHalfOpenAttach sends only the AttachRequest, leaving a pending
+// attach whose auth response never arrives — the half-open state a
+// severed eNB produces mid-storm. Returns the minted MMEUEID.
+func startHalfOpenAttach(t *testing.T, tb *testBed, imsi uint64, enbID, enbUEID uint32) uint32 {
+	t.Helper()
+	out, err := tb.engine.Handle(enbID, &s1ap.InitialUEMessage{
+		ENBUEID: enbUEID, TAI: 7,
+		NASPDU: nas.Marshal(&nas.AttachRequest{IMSI: imsi}),
+	})
+	if err != nil {
+		t.Fatalf("attach request: %v", err)
+	}
+	return out[0].Msg.(*s1ap.DownlinkNASTransport).MMEUEID
+}
+
+func TestReapStalledProcsReleasesReservations(t *testing.T) {
+	tb := newTestBed(t)
+	e := tb.engine
+
+	startHalfOpenAttach(t, tb, 100001, 1, 11)
+	startHalfOpenAttach(t, tb, 100002, 1, 12)
+
+	if got := e.PendingProcs(); got != 2 {
+		t.Fatalf("PendingProcs = %d, want 2", got)
+	}
+	if got := e.PendingLoad(); got != 2 {
+		t.Fatalf("PendingLoad = %d, want 2 (admission reservations held)", got)
+	}
+
+	// Too young: nothing reaped.
+	if n := e.ReapStalledProcs(time.Minute, time.Now()); n != 0 {
+		t.Fatalf("reaped %d fresh procs, want 0", n)
+	}
+	if got := e.PendingProcs(); got != 2 {
+		t.Fatalf("PendingProcs after no-op sweep = %d, want 2", got)
+	}
+
+	// Sweep from one hour in the future: both stalled attaches go.
+	future := time.Now().Add(time.Hour)
+	if n := e.ReapStalledProcs(time.Minute, future); n != 2 {
+		t.Fatalf("reaped %d, want 2", n)
+	}
+	if got := e.PendingProcs(); got != 0 {
+		t.Fatalf("PendingProcs after sweep = %d, want 0", got)
+	}
+	if got := e.PendingLoad(); got != 0 {
+		t.Fatalf("PendingLoad after sweep = %d, want 0 (reservations released)", got)
+	}
+	if got := e.Stats().ProcTimeouts; got != 2 {
+		t.Fatalf("Stats().ProcTimeouts = %d, want 2", got)
+	}
+
+	// The reaped ids are gone: a late auth response finds no context.
+	if _, err := e.Handle(1, &s1ap.UplinkNASTransport{
+		ENBUEID: 11, MMEUEID: 1,
+		NASPDU: nas.Marshal(&nas.AuthenticationResponse{RES: [8]byte{1, 2, 3, 4}}),
+	}); err == nil {
+		t.Fatal("late continuation of a reaped attach should fail")
+	}
+
+	// The device can start over cleanly after the reap.
+	tb.attach(t, 100001, 1, 21)
+}
+
+func TestReapStalledProcsSparesFreshProcs(t *testing.T) {
+	tb := newTestBed(t)
+	e := tb.engine
+
+	startHalfOpenAttach(t, tb, 100003, 1, 31)
+
+	// Disabled sweep is a no-op.
+	if n := e.ReapStalledProcs(0, time.Now().Add(time.Hour)); n != 0 {
+		t.Fatalf("disabled sweep reaped %d, want 0", n)
+	}
+
+	// A sweep with a generous maxAge leaves the in-window proc alone.
+	if n := e.ReapStalledProcs(time.Hour, time.Now()); n != 0 {
+		t.Fatalf("reaped %d in-window procs, want 0", n)
+	}
+	if got := e.PendingProcs(); got != 1 {
+		t.Fatalf("PendingProcs = %d, want 1", got)
+	}
+	if got := e.Stats().ProcTimeouts; got != 0 {
+		t.Fatalf("Stats().ProcTimeouts = %d, want 0", got)
+	}
+}

@@ -82,6 +82,65 @@ func (e *Engine) ExpireStale(grace time.Duration, now time.Time) []uint64 {
 	return detached
 }
 
+// ReapStalledProcs times out procedures stuck mid-flight — a pending
+// attach whose auth response will never arrive, a handover whose notify
+// is lost — because the device's eNB (or the path to it) died between
+// steps. ExpireStale covers idle contexts; this covers the half-open
+// window where an admission reservation and id mappings are held. Each
+// reaped attach releases its reservation exactly like abortAttach, so a
+// chaos-severed storm cannot pin the admission bound down permanently.
+// Returns how many procedures were reaped.
+func (e *Engine) ReapStalledProcs(maxAge time.Duration, now time.Time) int {
+	if maxAge <= 0 {
+		return 0
+	}
+	reaped := 0
+	for _, s := range e.shards {
+		attaches, handovers := 0, 0
+		s.mu.Lock()
+		for id, proc := range s.pendingAttach {
+			if now.Sub(proc.started) <= maxAge {
+				continue
+			}
+			delete(s.pendingAttach, id)
+			delete(s.byMMEUEID, id)
+			attaches++
+		}
+		for id, proc := range s.pendingHO {
+			if now.Sub(proc.started) <= maxAge {
+				continue
+			}
+			delete(s.pendingHO, id)
+			handovers++
+		}
+		s.stats.procTimeouts.Add(uint64(attaches + handovers))
+		s.mu.Unlock()
+		// Only attaches hold an admission reservation; handovers ride the
+		// device's existing context.
+		for i := 0; i < attaches; i++ {
+			e.releaseAttach(s)
+		}
+		reaped += attaches + handovers
+	}
+	if reaped > 0 && e.obs != nil {
+		e.obs.procTimeouts.Add(uint64(reaped))
+	}
+	return reaped
+}
+
+// PendingProcs reports the engine-wide count of half-open procedures
+// (pending attaches and handovers) — the quantity ReapStalledProcs
+// bounds, and a leak signal for chaos invariant checkers.
+func (e *Engine) PendingProcs() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += len(s.pendingAttach) + len(s.pendingHO)
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // TrackedDevices reports how many devices have live activity clocks
 // (diagnostics).
 func (e *Engine) TrackedDevices() int {

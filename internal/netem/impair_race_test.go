@@ -1,0 +1,258 @@
+package netem
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests exist to be run under -race: they drive the Impairment
+// knobs from one set of goroutines while writers and the delivery
+// worker run concurrently, covering the interleavings a chaos campaign
+// produces (partition flaps mid-heal, fault injection racing loss
+// configuration, a kill switch closing the link mid-write).
+
+// drainCount reads the server end of a pipe and counts delivered bytes.
+func drainCount(b net.Conn) *atomic.Int64 {
+	var n atomic.Int64
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			k, err := b.Read(buf)
+			n.Add(int64(k))
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return &n
+}
+
+func TestImpairmentPartitionFlapDuringHeal(t *testing.T) {
+	a, b := net.Pipe()
+	im := NewImpairment(a, 7)
+	defer b.Close()
+	got := drainCount(b)
+
+	const writers, perWriter = 4, 50
+	var wrote atomic.Int64
+	var wg sync.WaitGroup
+
+	// Flapper: partition and heal as fast as possible while writes flow,
+	// so heals race the worker's waitHealed wake-up and fresh partitions.
+	// It gets its own WaitGroup: it outlives the writers by design.
+	stop := make(chan struct{})
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			im.Partition(true)
+			im.Partition(false)
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg := []byte("payload")
+			for i := 0; i < perWriter; i++ {
+				if n, err := im.Write(msg); err == nil {
+					wrote.Add(int64(n))
+				}
+			}
+		}()
+	}
+
+	// Wait for the writers, then stop flapping with the link healed so
+	// the queue can drain.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("writers stuck behind partition flapping")
+	}
+	close(stop)
+	flapWG.Wait()
+	im.Partition(false)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < wrote.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d bytes after heal", got.Load(), wrote.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestImpairmentFailNextWritesRacesSetLoss(t *testing.T) {
+	a, b := net.Pipe()
+	im := NewImpairment(a, 11)
+	defer b.Close()
+	got := drainCount(b)
+
+	var transient, wrote atomic.Int64
+	var wg sync.WaitGroup
+
+	// Knob twiddlers: fault injection and loss configuration race the
+	// writers' reads of the same state.
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			im.FailNextWrites(2)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		p := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			im.SetLoss(p)
+			p = 0.5 - p // alternate 0 and 0.5
+		}
+	}()
+
+	const writers, perWriter = 4, 100
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			msg := []byte("chunk")
+			for i := 0; i < perWriter; i++ {
+				n, err := im.Write(msg)
+				switch {
+				case err == nil:
+					wrote.Add(int64(n))
+				case errors.Is(err, ErrTransient):
+					transient.Add(1)
+				default:
+					t.Errorf("unexpected write error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if transient.Load() == 0 {
+		t.Fatal("FailNextWrites never surfaced ErrTransient")
+	}
+	// Loss delays delivery (RTO) but never drops bytes: everything that
+	// Write accepted must arrive once loss settles back to zero.
+	im.SetLoss(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for got.Load() < wrote.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d accepted bytes", got.Load(), wrote.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The impairment must still be usable after the storm of faults.
+	// The arming goroutine may have left up to 2 refusals armed when it
+	// stopped; drain them, then the write must go through.
+	before := got.Load()
+	for tries := 0; ; tries++ {
+		_, err := im.Write([]byte("after"))
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrTransient) || tries >= 2 {
+			t.Fatalf("write after fault storm: %v", err)
+		}
+	}
+	for got.Load() < before+int64(len("after")) {
+		if time.Now().After(deadline) {
+			t.Fatal("post-storm write never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestImpairmentKillSwitchMidWrite(t *testing.T) {
+	a, b := net.Pipe()
+	im := NewImpairment(a, 13)
+	defer b.Close()
+	drainCount(b)
+
+	// Delay every frame so the kill switch reliably fires while writes
+	// are queued and the worker is mid-delivery.
+	im.SetDelay(Delay{Base: 2 * time.Millisecond})
+
+	disarm := KillSwitch(10*time.Millisecond, func() { im.Close() })
+
+	var wg sync.WaitGroup
+	var closedErrs atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Write until the kill fires: the delayed worker lets the
+			// queue fill, so writers are blocked in-flight when Close
+			// lands and must be unblocked with net.ErrClosed.
+			msg := []byte("doomed")
+			for {
+				if _, err := im.Write(msg); err != nil {
+					if !errors.Is(err, net.ErrClosed) {
+						t.Errorf("write after kill: got %v, want net.ErrClosed", err)
+					}
+					closedErrs.Add(1)
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("writers did not unblock after kill switch fired")
+	}
+	if !disarm() {
+		t.Fatal("kill switch should have fired before disarm")
+	}
+	if closedErrs.Load() == 0 {
+		t.Fatal("no writer observed net.ErrClosed after the kill")
+	}
+	// Close is idempotent even when racing the kill switch's Close.
+	if err := im.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

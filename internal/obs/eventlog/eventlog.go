@@ -39,6 +39,10 @@ const (
 	TypeJoinDone       = "join-done"       // joining MMP activated on the ring
 	TypeDrainStart     = "drain-start"     // MMP left the ring, transferring masters out
 	TypeDrainDone      = "drain-done"      // draining MMP deregistered cleanly
+	TypeReconnect      = "reconnect"       // peer redialed its cluster link and re-registered
+	TypeWarmRestart    = "warm-restart"    // MLB rebuilding soft state from re-registrations
+	TypeXferAbort      = "xfer-abort"      // state transfer aborted; paused shards resumed (Value = shards)
+	TypeProcTimeout    = "proc-timeout"    // stalled mid-flight procedures reaped (Value = count)
 )
 
 // Event is one flight-recorder entry. Seq is a per-log monotonic

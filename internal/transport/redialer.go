@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the crash-recovery layer under the cluster's long-lived
+// connections. The MLB is deliberately soft-state — ring, member set and
+// active-mode index are all reconstructible from its peers — so an MLB
+// restart should be a non-event: every peer redials with jittered
+// exponential backoff, re-announces itself on the fresh connection, and
+// replays nothing. The Redialer owns exactly the dial/backoff/cancel
+// mechanics; what to re-announce is the caller's OnConnect hook.
+
+// ErrRedialerStopped is returned by Redial after Stop (or when the
+// configured attempt budget is exhausted).
+var ErrRedialerStopped = errors.New("transport: redialer stopped")
+
+// Redialer defaults.
+const (
+	DefaultRedialMin = 25 * time.Millisecond
+	DefaultRedialMax = 2 * time.Second
+)
+
+// RedialerConfig parameterizes a Redialer.
+type RedialerConfig struct {
+	// Dial establishes one fresh connection (required). Chaos tests wrap
+	// the raw conn in a netem.Impairment here, so injected faults apply
+	// to every incarnation of the link, not just the first.
+	Dial func() (*Conn, error)
+
+	// Min and Max bound the backoff between consecutive failed attempts:
+	// it starts at Min, doubles per failure and is capped at Max
+	// (defaults DefaultRedialMin / DefaultRedialMax).
+	Min, Max time.Duration
+
+	// Jitter is the fraction of each backoff randomized around its
+	// nominal value (0 → 0.5; negative disables). Full herds of agents
+	// redialing a restarted MLB must not arrive in lockstep.
+	Jitter float64
+
+	// MaxAttempts caps consecutive failed attempts before Redial gives
+	// up with ErrRedialerStopped (0 = retry until Stop).
+	MaxAttempts int
+
+	// OnConnect runs on every fresh connection before Redial returns it
+	// — the re-registration hook. An error closes the conn and counts as
+	// a failed attempt. The attempt counter restarts at 1 for each
+	// Redial call.
+	OnConnect func(c *Conn, attempt int) error
+
+	// Seed fixes the jitter RNG for deterministic tests (0 seeds from
+	// the clock).
+	Seed int64
+}
+
+// Redialer re-establishes a connection with jittered exponential
+// backoff. It is safe for concurrent use, though the expected pattern is
+// a single read loop calling Redial when its connection dies.
+type Redialer struct {
+	cfg RedialerConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	reconnects atomic.Uint64
+}
+
+// NewRedialer validates cfg and builds a Redialer.
+func NewRedialer(cfg RedialerConfig) *Redialer {
+	if cfg.Dial == nil {
+		panic("transport: RedialerConfig.Dial is required")
+	}
+	if cfg.Min <= 0 {
+		cfg.Min = DefaultRedialMin
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = DefaultRedialMax
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.5
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Redialer{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		stop: make(chan struct{}),
+	}
+}
+
+// backoff computes the jittered sleep before attempt n (1-based; attempt
+// 1 dials immediately — the common case is a peer that just restarted).
+func (r *Redialer) backoff(attempt int) time.Duration {
+	if attempt <= 1 {
+		return 0
+	}
+	d := r.cfg.Min << (attempt - 2)
+	if d > r.cfg.Max || d <= 0 { // shift overflow guard
+		d = r.cfg.Max
+	}
+	if r.cfg.Jitter > 0 {
+		r.mu.Lock()
+		f := 1 + r.cfg.Jitter*(r.rng.Float64()-0.5)
+		r.mu.Unlock()
+		d = time.Duration(float64(d) * f)
+		if d < r.cfg.Min {
+			d = r.cfg.Min
+		}
+	}
+	return d
+}
+
+// Redial dials until a connection is established and OnConnect accepts
+// it, sleeping the jittered backoff between failures. It returns
+// ErrRedialerStopped when Stop is called (including mid-sleep) or the
+// attempt budget runs out.
+func (r *Redialer) Redial() (*Conn, error) {
+	for attempt := 1; ; attempt++ {
+		if r.cfg.MaxAttempts > 0 && attempt > r.cfg.MaxAttempts {
+			return nil, ErrRedialerStopped
+		}
+		if d := r.backoff(attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-r.stop:
+				t.Stop()
+				return nil, ErrRedialerStopped
+			case <-t.C:
+			}
+		}
+		select {
+		case <-r.stop:
+			return nil, ErrRedialerStopped
+		default:
+		}
+		conn, err := r.cfg.Dial()
+		if err != nil {
+			continue
+		}
+		if r.cfg.OnConnect != nil {
+			if err := r.cfg.OnConnect(conn, attempt); err != nil {
+				conn.Close()
+				continue
+			}
+		}
+		// A Stop racing the successful dial must not leak the conn: the
+		// caller would never read it.
+		select {
+		case <-r.stop:
+			conn.Close()
+			return nil, ErrRedialerStopped
+		default:
+		}
+		r.reconnects.Add(1)
+		return conn, nil
+	}
+}
+
+// Stop cancels any in-flight and all future Redial calls. Idempotent.
+func (r *Redialer) Stop() { r.stopOnce.Do(func() { close(r.stop) }) }
+
+// Stopped reports whether Stop was called.
+func (r *Redialer) Stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Reconnects counts connections successfully established by Redial.
+func (r *Redialer) Reconnects() uint64 { return r.reconnects.Load() }

@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRedialerReconnects(t *testing.T) {
+	var handled atomic.Uint64
+	srv, err := Serve("127.0.0.1:0", func(conn *Conn, msg Message) {
+		handled.Add(1)
+		msg.Free()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var fails atomic.Int32
+	fails.Store(3) // first three dials refused
+	var onConnect atomic.Uint64
+	r := NewRedialer(RedialerConfig{
+		Dial: func() (*Conn, error) {
+			if fails.Add(-1) >= 0 {
+				return nil, errors.New("injected dial failure")
+			}
+			return Dial(srv.Addr())
+		},
+		Min:  time.Millisecond,
+		Max:  4 * time.Millisecond,
+		Seed: 1,
+		OnConnect: func(c *Conn, attempt int) error {
+			onConnect.Add(1)
+			return c.Write(1, []byte("hello"))
+		},
+	})
+	defer r.Stop()
+
+	conn, err := r.Redial()
+	if err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	defer conn.Close()
+	if got := r.Reconnects(); got != 1 {
+		t.Fatalf("reconnects = %d, want 1", got)
+	}
+	if got := onConnect.Load(); got != 1 {
+		t.Fatalf("OnConnect ran %d times, want 1", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for handled.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if handled.Load() == 0 {
+		t.Fatal("re-registration frame never arrived")
+	}
+}
+
+func TestRedialerOnConnectRejectRetries(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(conn *Conn, msg Message) { msg.Free() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	attempts := 0
+	r := NewRedialer(RedialerConfig{
+		Dial: func() (*Conn, error) { return Dial(srv.Addr()) },
+		Min:  time.Millisecond,
+		Max:  2 * time.Millisecond,
+		Seed: 2,
+		OnConnect: func(c *Conn, attempt int) error {
+			attempts = attempt
+			if attempt < 3 {
+				return errors.New("not ready")
+			}
+			return nil
+		},
+	})
+	defer r.Stop()
+	conn, err := r.Redial()
+	if err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	conn.Close()
+	if attempts != 3 {
+		t.Fatalf("accepted on attempt %d, want 3", attempts)
+	}
+}
+
+func TestRedialerStopCancelsBackoff(t *testing.T) {
+	r := NewRedialer(RedialerConfig{
+		Dial: func() (*Conn, error) { return nil, errors.New("always down") },
+		Min:  30 * time.Second, // a sleep Stop must interrupt
+		Max:  time.Minute,
+		Seed: 3,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Redial()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrRedialerStopped) {
+			t.Fatalf("err = %v, want ErrRedialerStopped", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Redial did not observe Stop")
+	}
+	if !r.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestRedialerMaxAttempts(t *testing.T) {
+	dials := 0
+	r := NewRedialer(RedialerConfig{
+		Dial:        func() (*Conn, error) { dials++; return nil, errors.New("down") },
+		Min:         time.Millisecond,
+		Max:         time.Millisecond,
+		MaxAttempts: 4,
+		Seed:        4,
+	})
+	defer r.Stop()
+	if _, err := r.Redial(); !errors.Is(err, ErrRedialerStopped) {
+		t.Fatalf("err = %v, want ErrRedialerStopped", err)
+	}
+	if dials != 4 {
+		t.Fatalf("dialed %d times, want 4", dials)
+	}
+}
+
+func TestRedialerBackoffCappedAndJittered(t *testing.T) {
+	r := NewRedialer(RedialerConfig{
+		Dial: func() (*Conn, error) { return nil, errors.New("unused") },
+		Min:  10 * time.Millisecond,
+		Max:  80 * time.Millisecond,
+		Seed: 5,
+	})
+	defer r.Stop()
+	if d := r.backoff(1); d != 0 {
+		t.Fatalf("attempt 1 backoff = %v, want 0 (immediate)", d)
+	}
+	for attempt := 2; attempt <= 12; attempt++ {
+		d := r.backoff(attempt)
+		if d < r.cfg.Min {
+			t.Fatalf("attempt %d backoff %v below Min %v", attempt, d, r.cfg.Min)
+		}
+		// Cap plus the ±25% jitter envelope.
+		if max := time.Duration(float64(r.cfg.Max) * 1.25); d > max {
+			t.Fatalf("attempt %d backoff %v above jittered cap %v", attempt, d, max)
+		}
+	}
+}
+
+// TestServerHandlerPanicContained locks in per-connection panic
+// containment: a poisoned frame kills its connection (via the normal
+// close path, so close hooks fire) and bumps the panic counter, while
+// the server keeps serving other connections.
+func TestServerHandlerPanicContained(t *testing.T) {
+	before := Stats().HandlerPanics
+	closed := make(chan error, 1)
+	srv, err := ServeHooks("127.0.0.1:0", func(conn *Conn, msg Message) {
+		poison := string(msg.Payload) == "poison"
+		msg.Free()
+		if poison {
+			panic("poisoned frame")
+		}
+	}, func(conn *Conn, cause error) {
+		select {
+		case closed <- cause:
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	victim, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	if err := victim.Write(1, []byte("poison")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case cause := <-closed:
+		if !errors.Is(cause, errHandlerPanic) {
+			t.Fatalf("close cause = %v, want errHandlerPanic", cause)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("poisoned connection was not closed")
+	}
+	if got := Stats().HandlerPanics; got != before+1 {
+		t.Fatalf("HandlerPanics = %d, want %d", got, before+1)
+	}
+
+	// The server survives: a healthy connection still round-trips.
+	echoed := make(chan struct{})
+	srv2 := srv // same server; prove it still accepts and serves
+	healthy, err := Dial(srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	if err := healthy.Write(1, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// The handler for "fine" does not panic; if the server's accept
+		// loop had died, Dial or Write above would have failed.
+		close(echoed)
+	}()
+	<-echoed
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // This file layers request/response correlation over framed connections.
@@ -15,11 +16,23 @@ import (
 // ErrCallerClosed is returned for calls on a closed Caller.
 var ErrCallerClosed = errors.New("transport: caller closed")
 
+// ErrCallTimeout is returned when a call's response does not arrive
+// within the caller's timeout. The connection stays usable — a slow
+// response is dropped on arrival, not confused with a later call.
+var ErrCallTimeout = errors.New("transport: rpc call timed out")
+
+// DefaultCallTimeout bounds every RPC round trip unless overridden with
+// SetTimeout. Unbounded calls were the audit finding behind it: one
+// wedged HSS/S-GW response would park a procedure goroutine (and its
+// shard's admission reservation) forever.
+const DefaultCallTimeout = 10 * time.Second
+
 // Caller issues correlated request/response calls over a framed
 // connection. It is safe for concurrent use; responses may arrive in any
 // order.
 type Caller struct {
-	conn *Conn
+	conn    *Conn
+	timeout time.Duration
 
 	mu      sync.Mutex
 	seq     uint64
@@ -31,9 +44,17 @@ type Caller struct {
 // NewCaller wraps conn and starts its response reader. The caller owns
 // the connection's read side; do not call conn.Read elsewhere.
 func NewCaller(conn *Conn) *Caller {
-	c := &Caller{conn: conn, pending: make(map[uint64]chan []byte)}
+	c := &Caller{conn: conn, timeout: DefaultCallTimeout, pending: make(map[uint64]chan []byte)}
 	go c.readLoop()
 	return c
+}
+
+// SetTimeout overrides the per-call response deadline (0 disables —
+// only for tests that deliberately wedge a peer).
+func (c *Caller) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
 }
 
 func (c *Caller) readLoop() {
@@ -97,6 +118,7 @@ func (c *Caller) Call(stream uint16, payload []byte) ([]byte, error) {
 	}
 	c.seq++
 	seq := c.seq
+	timeout := c.timeout
 	//scale:allow hotpathalloc one channel per in-flight RPC; fail() closes it, so it cannot be pooled
 	ch := make(chan []byte, 1)
 	c.pending[seq] = ch
@@ -111,7 +133,33 @@ func (c *Caller) Call(stream uint16, payload []byte) ([]byte, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	full, ok := <-ch
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		expired = timer.C
+		defer timer.Stop()
+	}
+	var full []byte
+	var ok bool
+	select {
+	case full, ok = <-ch:
+	case <-expired:
+		// Abandon the call. If the read loop claimed the pending entry
+		// first it is committed to sending on ch (buffered), so receive
+		// and recycle rather than leak the pooled payload.
+		c.mu.Lock()
+		_, mine := c.pending[seq]
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		if mine {
+			return nil, ErrCallTimeout
+		}
+		if late, open := <-ch; open {
+			PutPayload(late)
+		}
+		return nil, ErrCallTimeout
+	}
 	if !ok {
 		c.mu.Lock()
 		err := c.err

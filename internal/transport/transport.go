@@ -182,6 +182,7 @@ var wireStats struct {
 	framesIn, framesOut atomic.Uint64
 	bytesIn, bytesOut   atomic.Uint64
 	flushesOut          atomic.Uint64
+	handlerPanics       atomic.Uint64
 }
 
 // WireStats is a snapshot of the transport's global frame counters.
@@ -192,16 +193,20 @@ type WireStats struct {
 	// write coalescing, concurrent senders share flushes, so
 	// FlushesOut/FramesOut is the batching factor.
 	FlushesOut uint64
+	// HandlerPanics counts server frame handlers that panicked; each one
+	// cost its connection, not the process.
+	HandlerPanics uint64
 }
 
 // Stats snapshots frames/bytes moved by every Conn in the process.
 func Stats() WireStats {
 	return WireStats{
-		FramesIn:   wireStats.framesIn.Load(),
-		FramesOut:  wireStats.framesOut.Load(),
-		BytesIn:    wireStats.bytesIn.Load(),
-		BytesOut:   wireStats.bytesOut.Load(),
-		FlushesOut: wireStats.flushesOut.Load(),
+		FramesIn:      wireStats.framesIn.Load(),
+		FramesOut:     wireStats.framesOut.Load(),
+		BytesIn:       wireStats.bytesIn.Load(),
+		BytesOut:      wireStats.bytesOut.Load(),
+		FlushesOut:    wireStats.flushesOut.Load(),
+		HandlerPanics: wireStats.handlerPanics.Load(),
 	}
 }
 
@@ -611,13 +616,34 @@ func (s *Server) readLoop(conn *Conn) {
 		}
 	}()
 	for {
+		//scale:allow poolleak on the panic-containment path ownership is ambiguous (Message is passed by value, so a recover-side Free could double-put a buffer the handler already released); one leaked buffer per contained panic is the deliberate trade
 		msg, err := conn.Read()
 		if err != nil {
 			cause = err
 			return
 		}
-		s.handler(conn, msg)
+		if !s.dispatch(conn, msg) {
+			cause = errHandlerPanic
+			return
+		}
 	}
+}
+
+var errHandlerPanic = errors.New("transport: frame handler panicked")
+
+// dispatch runs the handler with panic containment: one poisoned frame
+// costs its connection (closed through the normal lifecycle, so close
+// hooks — failover, liveness — fire), never the whole daemon. Reports
+// whether the handler completed.
+func (s *Server) dispatch(conn *Conn, msg Message) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			wireStats.handlerPanics.Add(1)
+			ok = false
+		}
+	}()
+	s.handler(conn, msg)
+	return true
 }
 
 // Close stops accepting, closes every connection and waits for reader
